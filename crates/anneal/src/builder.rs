@@ -1,0 +1,195 @@
+//! Penalty-based QUBO construction.
+//!
+//! Constrained combinatorial problems (join ordering, index selection,
+//! scheduling) become QUBOs by adding squared-penalty terms for each
+//! constraint. The builder keeps the bookkeeping — variable allocation and
+//! penalty expansion — in one audited place.
+
+use crate::qubo::Qubo;
+
+/// Incrementally builds a QUBO with named penalty helpers.
+#[derive(Clone, Debug)]
+pub struct QuboBuilder {
+    qubo: Qubo,
+}
+
+impl QuboBuilder {
+    /// Starts a builder over `n` binary variables.
+    pub fn new(n: usize) -> Self {
+        QuboBuilder {
+            qubo: Qubo::new(n),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n(&self) -> usize {
+        self.qubo.n()
+    }
+
+    /// Adds an objective term `w·xᵢ`.
+    pub fn linear(&mut self, i: usize, w: f64) -> &mut Self {
+        self.qubo.add_linear(i, w);
+        self
+    }
+
+    /// Adds an objective term `w·xᵢxⱼ`.
+    pub fn quadratic(&mut self, i: usize, j: usize, w: f64) -> &mut Self {
+        if i == j {
+            self.qubo.add_linear(i, w);
+        } else {
+            self.qubo.add(i, j, w);
+        }
+        self
+    }
+
+    /// Adds a constant.
+    pub fn constant(&mut self, v: f64) -> &mut Self {
+        self.qubo.add_offset(v);
+        self
+    }
+
+    /// Penalty `P·(Σ xᵢ − k)²` enforcing that exactly `k` of `vars` are 1.
+    pub fn exactly_k(&mut self, vars: &[usize], k: usize, penalty: f64) -> &mut Self {
+        // (Σx − k)² = Σxᵢ² + 2Σ_{i<j}xᵢxⱼ − 2kΣxᵢ + k²
+        //           = Σxᵢ(1−2k) + 2Σ_{i<j}xᵢxⱼ + k²   (xᵢ² = xᵢ)
+        let kf = k as f64;
+        for (a, &i) in vars.iter().enumerate() {
+            self.qubo.add_linear(i, penalty * (1.0 - 2.0 * kf));
+            for &j in &vars[a + 1..] {
+                self.qubo.add(i, j, 2.0 * penalty);
+            }
+        }
+        self.qubo.add_offset(penalty * kf * kf);
+        self
+    }
+
+    /// One-hot constraint: exactly one of `vars` is 1.
+    pub fn one_hot(&mut self, vars: &[usize], penalty: f64) -> &mut Self {
+        self.exactly_k(vars, 1, penalty)
+    }
+
+    /// Penalty `P·xᵢ·xⱼ` forbidding both variables being 1 together.
+    pub fn not_both(&mut self, i: usize, j: usize, penalty: f64) -> &mut Self {
+        self.qubo.add(i, j, penalty);
+        self
+    }
+
+    /// Penalty `P·xᵢ(1−xⱼ)` enforcing the implication `xᵢ ⇒ xⱼ`.
+    pub fn implies(&mut self, i: usize, j: usize, penalty: f64) -> &mut Self {
+        self.qubo.add_linear(i, penalty);
+        self.qubo.add(i, j, -penalty);
+        self
+    }
+
+    /// Penalty `P·(Σ wᵢxᵢ − target)²` for a weighted equality (weights and
+    /// target may be fractional).
+    pub fn weighted_equality(
+        &mut self,
+        vars: &[usize],
+        weights: &[f64],
+        target: f64,
+        penalty: f64,
+    ) -> &mut Self {
+        assert_eq!(vars.len(), weights.len(), "weights length");
+        for (a, (&i, &wi)) in vars.iter().zip(weights).enumerate() {
+            // wᵢ²xᵢ² − 2·target·wᵢxᵢ  (xᵢ² = xᵢ)
+            self.qubo
+                .add_linear(i, penalty * (wi * wi - 2.0 * target * wi));
+            for (&j, &wj) in vars[a + 1..].iter().zip(&weights[a + 1..]) {
+                self.qubo.add(i, j, 2.0 * penalty * wi * wj);
+            }
+        }
+        self.qubo.add_offset(penalty * target * target);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Qubo {
+        self.qubo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1usize << n)).map(move |idx| (0..n).map(|i| idx & (1 << i) != 0).collect())
+    }
+
+    #[test]
+    fn one_hot_penalizes_everything_but_single_assignments() {
+        let mut b = QuboBuilder::new(3);
+        b.one_hot(&[0, 1, 2], 10.0);
+        let q = b.build();
+        for x in assignments(3) {
+            let ones = x.iter().filter(|&&v| v).count();
+            let e = q.energy(&x);
+            if ones == 1 {
+                assert!(e.abs() < 1e-12, "{x:?}");
+            } else {
+                assert!(e >= 10.0 - 1e-12, "{x:?} energy {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_k_counts_correctly() {
+        let mut b = QuboBuilder::new(4);
+        b.exactly_k(&[0, 1, 2, 3], 2, 5.0);
+        let q = b.build();
+        for x in assignments(4) {
+            let ones = x.iter().filter(|&&v| v).count() as f64;
+            let expect = 5.0 * (ones - 2.0) * (ones - 2.0);
+            assert!((q.energy(&x) - expect).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn implication_penalty_structure() {
+        let mut b = QuboBuilder::new(2);
+        b.implies(0, 1, 7.0);
+        let q = b.build();
+        assert_eq!(q.energy(&[false, false]), 0.0);
+        assert_eq!(q.energy(&[false, true]), 0.0);
+        assert_eq!(q.energy(&[true, true]), 0.0);
+        assert_eq!(q.energy(&[true, false]), 7.0);
+    }
+
+    #[test]
+    fn not_both_only_penalizes_joint_assignment() {
+        let mut b = QuboBuilder::new(2);
+        b.not_both(0, 1, 3.0);
+        let q = b.build();
+        assert_eq!(q.energy(&[true, true]), 3.0);
+        assert_eq!(q.energy(&[true, false]), 0.0);
+    }
+
+    #[test]
+    fn weighted_equality_is_squared_residual() {
+        let mut b = QuboBuilder::new(3);
+        b.weighted_equality(&[0, 1, 2], &[1.0, 2.0, 3.0], 3.0, 2.0);
+        let q = b.build();
+        for x in assignments(3) {
+            let total: f64 = x
+                .iter()
+                .zip(&[1.0, 2.0, 3.0])
+                .map(|(&b, w)| if b { *w } else { 0.0 })
+                .sum();
+            let expect = 2.0 * (total - 3.0) * (total - 3.0);
+            assert!((q.energy(&x) - expect).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn objective_and_penalty_compose() {
+        // Minimize -x0 - 2x1 subject to one-hot(x0, x1).
+        let mut b = QuboBuilder::new(2);
+        b.linear(0, -1.0).linear(1, -2.0).one_hot(&[0, 1], 10.0);
+        let q = b.build();
+        let best = assignments(2)
+            .min_by(|a, b| q.energy(a).partial_cmp(&q.energy(b)).unwrap())
+            .unwrap();
+        assert_eq!(best, vec![false, true]);
+    }
+}

@@ -1,0 +1,347 @@
+//! A simulated quantum-annealing *device*: the full deployment path a real
+//! annealer imposes.
+//!
+//! Logical problem → minor embedding on the Chimera fabric → physical
+//! Ising with ferromagnetic chain couplings → (simulated quantum)
+//! annealing on the *physical* graph → majority-vote unembedding, with
+//! chain-break accounting. This is the piece that turns the clean QUBO
+//! abstraction into what D-Wave-class hardware actually solves, and what
+//! experiment E17 measures.
+
+use crate::embed::{clique_embedding, embed_with_retries, Chimera, Embedding};
+use crate::ising::{spins_to_bits, Ising};
+use crate::qubo::Qubo;
+use crate::sqa::{simulated_quantum_annealing, SqaParams};
+use qmldb_math::Rng64;
+
+/// Configuration of the simulated annealer device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Chimera grid dimension.
+    pub fabric_m: usize,
+    /// Chain coupling strength as a multiple of the logical energy scale.
+    pub chain_strength_factor: f64,
+    /// Annealing schedule of the physical solve.
+    pub schedule: SqaParams,
+    /// Number of reads (independent anneal runs).
+    pub reads: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            fabric_m: 4,
+            chain_strength_factor: 1.5,
+            schedule: SqaParams {
+                sweeps: 300,
+                replicas: 12,
+                restarts: 1,
+                ..SqaParams::default()
+            },
+            reads: 10,
+        }
+    }
+}
+
+/// Errors from a device run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The problem could not be embedded on the configured fabric.
+    EmbeddingFailed,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::EmbeddingFailed => write!(f, "minor embedding failed"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Result of a device solve.
+#[derive(Clone, Debug)]
+pub struct DeviceResult {
+    /// Best logical assignment found (QUBO bits).
+    pub bits: Vec<bool>,
+    /// Its logical energy.
+    pub energy: f64,
+    /// Fraction of (read, chain) pairs whose chain was broken (members
+    /// disagreed) and needed majority-vote repair.
+    pub chain_break_fraction: f64,
+    /// Physical qubits used by the embedding.
+    pub physical_qubits: usize,
+    /// Longest chain in the embedding.
+    pub max_chain_length: usize,
+}
+
+/// The simulated annealer device.
+#[derive(Clone, Debug)]
+pub struct AnnealerDevice {
+    fabric: Chimera,
+    config: DeviceConfig,
+}
+
+impl AnnealerDevice {
+    /// Creates a device over a `C(fabric_m)` Chimera fabric.
+    pub fn new(config: DeviceConfig) -> Self {
+        AnnealerDevice {
+            fabric: Chimera::new(config.fabric_m),
+            config,
+        }
+    }
+
+    /// The physical fabric.
+    pub fn fabric(&self) -> &Chimera {
+        &self.fabric
+    }
+
+    /// Embeds the logical interaction graph of `ising`, preferring the
+    /// greedy embedder and falling back to the native clique embedding.
+    pub fn embed(&self, ising: &Ising, rng: &mut Rng64) -> Result<Embedding, DeviceError> {
+        let edges: Vec<(usize, usize)> = ising
+            .couplings()
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        embed_with_retries(ising.n(), &edges, &self.fabric, 25, rng)
+            .or_else(|| clique_embedding(ising.n(), &self.fabric))
+            .ok_or(DeviceError::EmbeddingFailed)
+    }
+
+    /// Builds the physical Ising: logical fields are spread over chain
+    /// members, logical couplings connect one physical coupler per edge,
+    /// and chain members are tied with strong ferromagnetic couplings.
+    pub fn physical_ising(&self, ising: &Ising, embedding: &Embedding) -> Ising {
+        let chain_strength = self.config.chain_strength_factor * ising.energy_scale();
+        // Map physical qubit -> dense physical index.
+        let mut phys_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for chain in &embedding.chains {
+            for &q in chain {
+                let next = phys_index.len();
+                phys_index.entry(q).or_insert(next);
+            }
+        }
+        let n_phys = phys_index.len();
+        let mut h = vec![0.0f64; n_phys];
+        let mut couplings: Vec<(usize, usize, f64)> = Vec::new();
+
+        for (v, chain) in embedding.chains.iter().enumerate() {
+            // Spread the logical field across the chain.
+            let share = ising.fields()[v] / chain.len() as f64;
+            for &q in chain {
+                h[phys_index[&q]] += share;
+            }
+            // Ferromagnetic chain bonds along fabric couplers inside the
+            // chain (spanning structure suffices; we add all internal
+            // couplers present in the fabric).
+            for (i, &qa) in chain.iter().enumerate() {
+                for &qb in &chain[i + 1..] {
+                    if self.fabric.connected(qa, qb) {
+                        couplings.push((phys_index[&qa], phys_index[&qb], -chain_strength));
+                    }
+                }
+            }
+        }
+        // Logical couplings: place on the first available physical coupler
+        // between the two chains.
+        for &(a, b, j) in ising.couplings() {
+            let mut placed = false;
+            'outer: for &qa in &embedding.chains[a] {
+                for &qb in &embedding.chains[b] {
+                    if self.fabric.connected(qa, qb) {
+                        couplings.push((phys_index[&qa], phys_index[&qb], j));
+                        placed = true;
+                        break 'outer;
+                    }
+                }
+            }
+            assert!(placed, "embedding lacks coupler for logical edge ({a},{b})");
+        }
+        Ising::new(h, couplings, ising.offset())
+    }
+
+    /// Solves a QUBO end to end on the device.
+    pub fn solve(&self, qubo: &Qubo, rng: &mut Rng64) -> Result<DeviceResult, DeviceError> {
+        let logical = qubo.to_ising();
+        let embedding = self.embed(&logical, rng)?;
+        let physical = self.physical_ising(&logical, &embedding);
+
+        // Dense-index lookup mirroring physical_ising's mapping.
+        let mut phys_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for chain in &embedding.chains {
+            for &q in chain {
+                let next = phys_index.len();
+                phys_index.entry(q).or_insert(next);
+            }
+        }
+
+        let mut best_bits: Vec<bool> = vec![false; logical.n()];
+        let mut best_energy = f64::INFINITY;
+        let mut broken = 0usize;
+        let mut total_chains = 0usize;
+        for _ in 0..self.config.reads.max(1) {
+            let r = simulated_quantum_annealing(&physical, &self.config.schedule, rng);
+            // Unembed by majority vote per chain.
+            let mut spins = Vec::with_capacity(logical.n());
+            for chain in &embedding.chains {
+                total_chains += 1;
+                let ups = chain
+                    .iter()
+                    .filter(|&&q| r.spins[phys_index[&q]] > 0)
+                    .count();
+                if ups != 0 && ups != chain.len() {
+                    broken += 1;
+                }
+                spins.push(if 2 * ups >= chain.len() { 1i8 } else { -1 });
+            }
+            let bits = spins_to_bits(&spins);
+            let e = qubo.energy(&bits);
+            if e < best_energy {
+                best_energy = e;
+                best_bits = bits;
+            }
+        }
+        Ok(DeviceResult {
+            bits: best_bits,
+            energy: best_energy,
+            chain_break_fraction: broken as f64 / total_chains.max(1) as f64,
+            physical_qubits: embedding.physical_qubits(),
+            max_chain_length: embedding.max_chain_length(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = Rng64::new(seed);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+            for j in (i + 1)..n {
+                if rng.chance(0.5) {
+                    q.add(i, j, rng.uniform_range(-1.0, 1.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn device_solves_small_qubo_to_optimality() {
+        let q = random_qubo(8, 2501);
+        let exact = solve_exact(&q);
+        let device = AnnealerDevice::new(DeviceConfig::default());
+        let mut rng = Rng64::new(2502);
+        let r = device.solve(&q, &mut rng).unwrap();
+        assert!(
+            (r.energy - exact.energy).abs() < 1e-9,
+            "device {} vs exact {}",
+            r.energy,
+            exact.energy
+        );
+        assert!((q.energy(&r.bits) - r.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_problem_is_larger_than_logical() {
+        let q = random_qubo(8, 2503);
+        let device = AnnealerDevice::new(DeviceConfig::default());
+        let mut rng = Rng64::new(2504);
+        let r = device.solve(&q, &mut rng).unwrap();
+        assert!(r.physical_qubits >= 8);
+        assert!(r.max_chain_length >= 1);
+    }
+
+    #[test]
+    fn weak_chains_break_more_often_than_strong_chains() {
+        let q = random_qubo(10, 2505);
+        let weak = AnnealerDevice::new(DeviceConfig {
+            chain_strength_factor: 0.05,
+            ..DeviceConfig::default()
+        });
+        let strong = AnnealerDevice::new(DeviceConfig {
+            chain_strength_factor: 3.0,
+            ..DeviceConfig::default()
+        });
+        let mut rng = Rng64::new(2506);
+        let wb = weak.solve(&q, &mut rng).unwrap().chain_break_fraction;
+        let sb = strong.solve(&q, &mut rng).unwrap().chain_break_fraction;
+        assert!(wb >= sb, "weak {wb} vs strong {sb}");
+    }
+
+    #[test]
+    fn oversized_problem_reports_embedding_failure() {
+        let q = random_qubo(20, 2507);
+        let device = AnnealerDevice::new(DeviceConfig {
+            fabric_m: 1, // 8 physical qubits
+            ..DeviceConfig::default()
+        });
+        let mut rng = Rng64::new(2508);
+        assert_eq!(
+            device.solve(&q, &mut rng).unwrap_err(),
+            DeviceError::EmbeddingFailed
+        );
+    }
+
+    #[test]
+    fn physical_ising_ground_state_recovers_logical_ground_state() {
+        // With strong chains, unembedding the physical ground state must
+        // give the logical ground state.
+        let q = random_qubo(6, 2509);
+        let logical = q.to_ising();
+        let device = AnnealerDevice::new(DeviceConfig {
+            chain_strength_factor: 4.0,
+            ..DeviceConfig::default()
+        });
+        let mut rng = Rng64::new(2510);
+        let embedding = device.embed(&logical, &mut rng).unwrap();
+        let physical = device.physical_ising(&logical, &embedding);
+        // Physical problem may exceed brute-force limits; use SQA hard.
+        let r = simulated_quantum_annealing(
+            &physical,
+            &SqaParams {
+                sweeps: 800,
+                replicas: 16,
+                restarts: 3,
+                ..SqaParams::default()
+            },
+            &mut rng,
+        );
+        // Majority-vote unembed.
+        let mut phys_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for chain in &embedding.chains {
+            for &qq in chain {
+                let next = phys_index.len();
+                phys_index.entry(qq).or_insert(next);
+            }
+        }
+        let spins: Vec<i8> = embedding
+            .chains
+            .iter()
+            .map(|chain| {
+                let ups = chain.iter().filter(|&&qq| r.spins[phys_index[&qq]] > 0).count();
+                if 2 * ups >= chain.len() {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect();
+        let exact = solve_exact(&q);
+        let got = q.energy(&spins_to_bits(&spins));
+        assert!(
+            (got - exact.energy).abs() < 1e-9,
+            "unembedded {got} vs exact {}",
+            exact.energy
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! Chimera topology and greedy minor embedding.
+//!
+//! Physical annealers do not offer all-to-all connectivity: D-Wave's
+//! Chimera graph is a grid of K₄,₄ unit cells. A logical problem graph is
+//! *minor-embedded* by mapping each logical variable to a connected chain
+//! of physical qubits. This module builds the topology, runs a greedy
+//! path-based embedder, and reports the qubit-overhead statistics the
+//! embedding experiment (E16) measures.
+
+use qmldb_math::Rng64;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A Chimera graph `C(m)`: an `m×m` grid of K₄,₄ cells.
+#[derive(Clone, Debug)]
+pub struct Chimera {
+    m: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Chimera {
+    /// Builds `C(m)` with `8·m²` physical qubits.
+    ///
+    /// Qubit numbering: cell `(r, c)` holds qubits
+    /// `8(r·m + c) + k` with `k < 4` the "left" side and `k ≥ 4` the
+    /// "right" side of the bipartite cell.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "empty Chimera");
+        let n = 8 * m * m;
+        let mut adjacency = vec![Vec::new(); n];
+        let add = |a: usize, b: usize, adj: &mut Vec<Vec<usize>>| {
+            adj[a].push(b);
+            adj[b].push(a);
+        };
+        for r in 0..m {
+            for c in 0..m {
+                let base = 8 * (r * m + c);
+                // Intra-cell K4,4.
+                for l in 0..4 {
+                    for rr in 4..8 {
+                        add(base + l, base + rr, &mut adjacency);
+                    }
+                }
+                // Inter-cell couplers: left side connects vertically,
+                // right side horizontally.
+                if r + 1 < m {
+                    let below = 8 * ((r + 1) * m + c);
+                    for l in 0..4 {
+                        add(base + l, below + l, &mut adjacency);
+                    }
+                }
+                if c + 1 < m {
+                    let right = 8 * (r * m + c + 1);
+                    for k in 4..8 {
+                        add(base + k, right + k, &mut adjacency);
+                    }
+                }
+            }
+        }
+        Chimera { m, adjacency }
+    }
+
+    /// Grid dimension.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        8 * self.m * self.m
+    }
+
+    /// Physical neighbors of a qubit.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// True when two physical qubits share a coupler.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].contains(&b)
+    }
+}
+
+/// A minor embedding: each logical variable maps to a chain of physical
+/// qubits.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// chains[v] = physical qubits representing logical variable v.
+    pub chains: Vec<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Total physical qubits used.
+    pub fn physical_qubits(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Longest chain.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean chain length.
+    pub fn mean_chain_length(&self) -> f64 {
+        if self.chains.is_empty() {
+            return 0.0;
+        }
+        self.physical_qubits() as f64 / self.chains.len() as f64
+    }
+
+    /// Validates the embedding against a target and the logical edges:
+    /// chains are disjoint and connected, and every logical edge has at
+    /// least one physical coupler between its chains.
+    pub fn validate(&self, target: &Chimera, logical_edges: &[(usize, usize)]) -> Result<(), String> {
+        let mut seen = HashSet::new();
+        for (v, chain) in self.chains.iter().enumerate() {
+            if chain.is_empty() {
+                return Err(format!("variable {v} has an empty chain"));
+            }
+            for &q in chain {
+                if !seen.insert(q) {
+                    return Err(format!("qubit {q} used by two chains"));
+                }
+            }
+            // Connectivity by BFS inside the chain.
+            let set: HashSet<usize> = chain.iter().copied().collect();
+            let mut visited = HashSet::new();
+            let mut queue = VecDeque::from([chain[0]]);
+            visited.insert(chain[0]);
+            while let Some(q) = queue.pop_front() {
+                for &nb in target.neighbors(q) {
+                    if set.contains(&nb) && visited.insert(nb) {
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            if visited.len() != chain.len() {
+                return Err(format!("chain of variable {v} is disconnected"));
+            }
+        }
+        for &(a, b) in logical_edges {
+            let ok = self.chains[a].iter().any(|&qa| {
+                target
+                    .neighbors(qa)
+                    .iter()
+                    .any(|&nb| self.chains[b].contains(&nb))
+            });
+            if !ok {
+                return Err(format!("logical edge ({a},{b}) has no physical coupler"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy path-based minor embedding (a lightweight `minorminer`-style
+/// heuristic): variables are placed in random order; each new variable is
+/// seeded at a free qubit and grown along shortest free paths to each
+/// already-placed neighbor.
+///
+/// Returns `None` when the heuristic fails (target too small or unlucky
+/// order) — callers typically retry with another seed.
+pub fn embed(
+    n_vars: usize,
+    logical_edges: &[(usize, usize)],
+    target: &Chimera,
+    rng: &mut Rng64,
+) -> Option<Embedding> {
+    let mut order: Vec<usize> = (0..n_vars).collect();
+    // Highest-degree first tends to embed the hardest variables while the
+    // fabric is still empty; break ties randomly.
+    let mut degree = vec![0usize; n_vars];
+    for &(a, b) in logical_edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    rng.shuffle(&mut order);
+    order.sort_by_key(|&v| std::cmp::Reverse(degree[v]));
+
+    let mut owner: HashMap<usize, usize> = HashMap::new(); // physical -> logical
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
+
+    for &v in &order {
+        let placed_neighbors: Vec<usize> = logical_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == v && !chains[b].is_empty() {
+                    Some(b)
+                } else if b == v && !chains[a].is_empty() {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        if placed_neighbors.is_empty() {
+            // Seed anywhere free.
+            let free: Vec<usize> = (0..target.n_qubits())
+                .filter(|q| !owner.contains_key(q))
+                .collect();
+            if free.is_empty() {
+                return None;
+            }
+            let q = free[rng.index(free.len())];
+            owner.insert(q, v);
+            chains[v].push(q);
+            continue;
+        }
+
+        // Grow a chain reaching all placed neighbors: start from the free
+        // qubit adjacent to the first neighbor's chain, then BFS paths.
+        let mut chain: Vec<usize> = Vec::new();
+        for (k, &nb) in placed_neighbors.iter().enumerate() {
+            // Sources: current chain if non-empty, else free qubits
+            // adjacent to the first neighbor chain.
+            let sources: Vec<usize> = if chain.is_empty() {
+                chains[nb]
+                    .iter()
+                    .flat_map(|&q| target.neighbors(q).iter().copied())
+                    .filter(|q| !owner.contains_key(q))
+                    .collect()
+            } else {
+                chain.clone()
+            };
+            if chain.is_empty() {
+                if sources.is_empty() {
+                    return None;
+                }
+                let q = sources[rng.index(sources.len())];
+                chain.push(q);
+                owner.insert(q, v);
+                if k == 0 {
+                    continue;
+                }
+            }
+            // BFS from the chain through free qubits to any qubit adjacent
+            // to neighbor nb's chain.
+            let goal: HashSet<usize> = chains[nb]
+                .iter()
+                .flat_map(|&q| target.neighbors(q).iter().copied())
+                .collect();
+            if chain.iter().any(|q| goal.contains(q)) {
+                continue; // already adjacent
+            }
+            let mut prev: HashMap<usize, usize> = HashMap::new();
+            let mut queue: VecDeque<usize> = chain.iter().copied().collect();
+            let mut visited: HashSet<usize> = chain.iter().copied().collect();
+            let mut reached: Option<usize> = None;
+            while let Some(q) = queue.pop_front() {
+                for &nbq in target.neighbors(q) {
+                    if visited.contains(&nbq) || owner.contains_key(&nbq) {
+                        continue;
+                    }
+                    visited.insert(nbq);
+                    prev.insert(nbq, q);
+                    if goal.contains(&nbq) {
+                        reached = Some(nbq);
+                        break;
+                    }
+                    queue.push_back(nbq);
+                }
+                if reached.is_some() {
+                    break;
+                }
+            }
+            let mut cur = reached?;
+            // Walk the path back into the chain.
+            let chain_set: HashSet<usize> = chain.iter().copied().collect();
+            let mut path = vec![cur];
+            while let Some(&p) = prev.get(&cur) {
+                if chain_set.contains(&p) {
+                    break;
+                }
+                path.push(p);
+                cur = p;
+            }
+            for q in path {
+                owner.insert(q, v);
+                chain.push(q);
+            }
+        }
+        chains[v] = chain;
+    }
+    Some(Embedding { chains })
+}
+
+/// Deterministic native clique embedding (Choi-style "L" chains): variable
+/// `v = 4b + k` occupies right-side qubit `k` across row `b` plus left-side
+/// qubit `k` down column `b`, joined at the diagonal cell. Embeds `K_{4m}`
+/// into `C(m)` with chains of length `2m`.
+///
+/// Returns `None` when the fabric is too small (`n_vars > 4m`).
+pub fn clique_embedding(n_vars: usize, target: &Chimera) -> Option<Embedding> {
+    let m = target.m();
+    if n_vars > 4 * m {
+        return None;
+    }
+    let mut chains = Vec::with_capacity(n_vars);
+    for v in 0..n_vars {
+        let b = v / 4;
+        let k = v % 4;
+        let mut chain = Vec::with_capacity(2 * m);
+        // Row b, right-side qubit k of each cell.
+        for c in 0..m {
+            chain.push(8 * (b * m + c) + 4 + k);
+        }
+        // Column b, left-side qubit k of each cell.
+        for r in 0..m {
+            chain.push(8 * (r * m + b) + k);
+        }
+        chains.push(chain);
+    }
+    Some(Embedding { chains })
+}
+
+/// Retries [`embed`] with fresh randomness up to `attempts` times, then
+/// falls back to the deterministic [`clique_embedding`] (which dominates
+/// any logical graph on the same variables).
+pub fn embed_with_retries(
+    n_vars: usize,
+    logical_edges: &[(usize, usize)],
+    target: &Chimera,
+    attempts: usize,
+    rng: &mut Rng64,
+) -> Option<Embedding> {
+    for _ in 0..attempts.max(1) {
+        if let Some(e) = embed(n_vars, logical_edges, target, rng) {
+            if e.validate(target, logical_edges).is_ok() {
+                return Some(e);
+            }
+        }
+    }
+    if let Some(e) = clique_embedding(n_vars, target) {
+        if e.validate(target, logical_edges).is_ok() {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// A complete graph's edge list (the worst-case logical topology that
+/// QUBO formulations of join ordering produce).
+pub fn complete_graph_edges(n: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chimera_size_and_degree() {
+        let c = Chimera::new(2);
+        assert_eq!(c.n_qubits(), 32);
+        // Interior left-side qubits: 4 intra + up to 2 vertical.
+        for q in 0..c.n_qubits() {
+            let d = c.neighbors(q).len();
+            assert!((4..=6).contains(&d), "qubit {q} degree {d}");
+        }
+    }
+
+    #[test]
+    fn chimera_cell_is_bipartite() {
+        let c = Chimera::new(1);
+        // No edges within the left or right side of a cell.
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(!c.connected(a, b));
+                    assert!(!c.connected(4 + a, 4 + b));
+                }
+            }
+        }
+        for l in 0..4 {
+            for r in 4..8 {
+                assert!(c.connected(l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn embeds_k4_into_single_cell_fabric() {
+        let c = Chimera::new(2);
+        let edges = complete_graph_edges(4);
+        let mut rng = Rng64::new(1401);
+        let e = embed_with_retries(4, &edges, &c, 50, &mut rng).expect("K4 should embed");
+        e.validate(&c, &edges).unwrap();
+        // K4 fits with modest chains; the greedy heuristic may use a few
+        // extra qubits but should stay well under the 32-qubit fabric.
+        assert!(e.physical_qubits() <= 16, "used {}", e.physical_qubits());
+    }
+
+    #[test]
+    fn embeds_chain_graph_with_short_chains() {
+        let c = Chimera::new(2);
+        let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 1)).collect();
+        let mut rng = Rng64::new(1403);
+        let e = embed_with_retries(6, &edges, &c, 20, &mut rng).expect("path should embed");
+        e.validate(&c, &edges).unwrap();
+        assert!(e.mean_chain_length() < 3.0);
+    }
+
+    #[test]
+    fn larger_cliques_need_longer_chains() {
+        let mut rng = Rng64::new(1405);
+        let c = Chimera::new(6);
+        let e4 = embed_with_retries(4, &complete_graph_edges(4), &c, 100, &mut rng).unwrap();
+        let e8 = embed_with_retries(8, &complete_graph_edges(8), &c, 100, &mut rng).unwrap();
+        assert!(
+            e8.physical_qubits() > e4.physical_qubits(),
+            "K8 must cost more qubits than K4"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_chains() {
+        let c = Chimera::new(1);
+        let bad = Embedding {
+            chains: vec![vec![0], vec![0]],
+        };
+        assert!(bad.validate(&c, &[]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_disconnected_chain() {
+        let c = Chimera::new(1);
+        // Qubits 0 and 1 are both "left side": not coupled.
+        let bad = Embedding {
+            chains: vec![vec![0, 1]],
+        };
+        assert!(bad.validate(&c, &[]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_missing_logical_edge() {
+        let c = Chimera::new(1);
+        let e = Embedding {
+            chains: vec![vec![0], vec![1]], // 0 and 1 not coupled
+        };
+        assert!(e.validate(&c, &[(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn clique_embedding_is_valid_for_full_k4m() {
+        for m in 1..=4usize {
+            let c = Chimera::new(m);
+            let n = 4 * m;
+            let e = clique_embedding(n, &c).unwrap();
+            e.validate(&c, &complete_graph_edges(n)).unwrap();
+            assert_eq!(e.max_chain_length(), 2 * m);
+            assert_eq!(e.physical_qubits(), n * 2 * m);
+        }
+    }
+
+    #[test]
+    fn clique_embedding_rejects_oversized_cliques() {
+        let c = Chimera::new(2);
+        assert!(clique_embedding(9, &c).is_none());
+    }
+
+    #[test]
+    fn embedding_too_big_for_fabric_fails_gracefully() {
+        let c = Chimera::new(1); // 8 qubits
+        let edges = complete_graph_edges(12);
+        let mut rng = Rng64::new(1407);
+        assert!(embed_with_retries(12, &edges, &c, 5, &mut rng).is_none());
+    }
+}

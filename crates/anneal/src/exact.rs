@@ -1,0 +1,115 @@
+//! Exact QUBO/Ising solvers by exhaustive enumeration — ground truth for
+//! solver-quality experiments on small instances.
+
+use crate::qubo::Qubo;
+
+/// Exact solution of a QUBO.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactSolution {
+    /// The optimal assignment.
+    pub bits: Vec<bool>,
+    /// The optimal energy.
+    pub energy: f64,
+    /// Number of optimal assignments (degeneracy).
+    pub degeneracy: usize,
+}
+
+/// Enumerates all assignments of a QUBO (`n ≤ 26`), using Gray-code
+/// incremental updates so each step is `O(n)` instead of `O(n²)`.
+pub fn solve_exact(qubo: &Qubo) -> ExactSolution {
+    let n = qubo.n();
+    assert!(n <= 26, "exhaustive enumeration over {n} variables refused");
+    assert!(n >= 1, "empty model");
+    let mut x = vec![false; n];
+    let mut energy = qubo.energy(&x);
+    let mut best = energy;
+    let mut best_bits = x.clone();
+    let mut degeneracy = 1usize;
+    let total = 1usize << n;
+    for k in 1..total {
+        // Gray code: bit to flip is the trailing-zero count of k.
+        let i = k.trailing_zeros() as usize;
+        energy += qubo.delta_energy(&x, i);
+        x[i] = !x[i];
+        if energy < best - 1e-12 {
+            best = energy;
+            best_bits = x.clone();
+            degeneracy = 1;
+        } else if (energy - best).abs() <= 1e-12 {
+            degeneracy += 1;
+        }
+    }
+    ExactSolution {
+        bits: best_bits,
+        energy: best,
+        degeneracy,
+    }
+}
+
+/// The full sorted spectrum (energy per assignment index); for spectral
+/// plots and solver-gap analysis on tiny instances (`n ≤ 16`).
+pub fn spectrum(qubo: &Qubo) -> Vec<f64> {
+    let n = qubo.n();
+    assert!(n <= 16, "spectrum enumeration too large");
+    let mut energies: Vec<f64> = (0..(1usize << n))
+        .map(|idx| qubo.energy_of_index(idx))
+        .collect();
+    energies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    energies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_code_enumeration_matches_direct() {
+        let mut q = Qubo::new(8);
+        let mut rng = qmldb_math::Rng64::new(1301);
+        for i in 0..8 {
+            q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+            for j in (i + 1)..8 {
+                if rng.chance(0.4) {
+                    q.add(i, j, rng.uniform_range(-1.0, 1.0));
+                }
+            }
+        }
+        let fast = solve_exact(&q);
+        let direct = (0..256usize)
+            .map(|idx| q.energy_of_index(idx))
+            .fold(f64::INFINITY, f64::min);
+        assert!((fast.energy - direct).abs() < 1e-10);
+        assert!((q.energy(&fast.bits) - fast.energy).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degeneracy_counts_symmetric_optima() {
+        // E = x0 + x1 − 2x0x1: minima at (0,0) and (1,1), both energy 0.
+        let mut q = Qubo::new(2);
+        q.add_linear(0, 1.0);
+        q.add_linear(1, 1.0);
+        q.add(0, 1, -2.0);
+        let sol = solve_exact(&q);
+        assert_eq!(sol.energy, 0.0);
+        assert_eq!(sol.degeneracy, 2);
+    }
+
+    #[test]
+    fn spectrum_is_sorted_and_complete() {
+        let mut q = Qubo::new(3);
+        q.add_linear(0, -1.0);
+        q.add(1, 2, 2.0);
+        let spec = spectrum(&q);
+        assert_eq!(spec.len(), 8);
+        for w in spec.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(spec[0], solve_exact(&q).energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "refused")]
+    fn oversized_enumeration_panics() {
+        solve_exact(&Qubo::new(30));
+    }
+}

@@ -1,0 +1,242 @@
+//! Ising spin models: `E(s) = Σ hᵢsᵢ + Σ Jᵢⱼsᵢsⱼ + offset`, `s ∈ {−1,+1}ⁿ`.
+//!
+//! The solver-facing representation: adjacency lists make single-spin-flip
+//! energy deltas `O(degree)`, which is what every annealer sweep hammers.
+
+use crate::qubo::Qubo;
+
+/// An Ising model with sparse couplings.
+#[derive(Clone, Debug)]
+pub struct Ising {
+    n: usize,
+    h: Vec<f64>,
+    couplings: Vec<(usize, usize, f64)>,
+    /// neighbors[i] = (j, J_ij) pairs.
+    neighbors: Vec<Vec<(usize, f64)>>,
+    offset: f64,
+}
+
+impl Ising {
+    /// Builds a model from fields and couplings. Duplicate couplings are
+    /// summed; self-couplings are rejected.
+    pub fn new(h: Vec<f64>, couplings: Vec<(usize, usize, f64)>, offset: f64) -> Self {
+        let n = h.len();
+        let mut neighbors = vec![Vec::new(); n];
+        let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for (a, b, j) in couplings {
+            assert!(a < n && b < n, "coupling out of range");
+            assert_ne!(a, b, "self-coupling");
+            let key = if a < b { (a, b) } else { (b, a) };
+            *merged.entry(key).or_insert(0.0) += j;
+        }
+        let couplings: Vec<(usize, usize, f64)> = merged
+            .into_iter()
+            .filter(|&(_, j)| j != 0.0)
+            .map(|((a, b), j)| (a, b, j))
+            .collect();
+        for &(a, b, j) in &couplings {
+            neighbors[a].push((b, j));
+            neighbors[b].push((a, j));
+        }
+        Ising {
+            n,
+            h,
+            couplings,
+            neighbors,
+            offset,
+        }
+    }
+
+    /// Number of spins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Linear fields.
+    pub fn fields(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// Couplings as `(i, j, J)` triples with `i < j`.
+    pub fn couplings(&self) -> &[(usize, usize, f64)] {
+        &self.couplings
+    }
+
+    /// Constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Neighbors of spin `i` with coupling strengths.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.neighbors[i]
+    }
+
+    /// Energy of a spin configuration (`sᵢ ∈ {−1, +1}`).
+    pub fn energy(&self, s: &[i8]) -> f64 {
+        assert_eq!(s.len(), self.n, "spin count");
+        debug_assert!(s.iter().all(|&v| v == 1 || v == -1));
+        let mut e = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            e += hi * s[i] as f64;
+        }
+        for &(a, b, j) in &self.couplings {
+            e += j * (s[a] as f64) * (s[b] as f64);
+        }
+        e
+    }
+
+    /// Energy change from flipping spin `i`: `ΔE = −2sᵢ(hᵢ + Σⱼ Jᵢⱼsⱼ)`.
+    #[inline]
+    pub fn delta_flip(&self, s: &[i8], i: usize) -> f64 {
+        let mut local = self.h[i];
+        for &(j, jij) in &self.neighbors[i] {
+            local += jij * s[j] as f64;
+        }
+        -2.0 * s[i] as f64 * local
+    }
+
+    /// Converts to the equivalent QUBO (inverse of [`Qubo::to_ising`]).
+    pub fn to_qubo(&self) -> Qubo {
+        // s = 2x − 1.
+        let mut q = Qubo::new(self.n);
+        let mut offset = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            q.add_linear(i, 2.0 * hi);
+            offset -= hi;
+        }
+        for &(a, b, j) in &self.couplings {
+            q.add(a, b, 4.0 * j);
+            q.add_linear(a, -2.0 * j);
+            q.add_linear(b, -2.0 * j);
+            offset += j;
+        }
+        q.add_offset(offset);
+        q
+    }
+
+    /// Exact ground state by enumeration; only for `n ≤ 24`.
+    pub fn brute_force_ground(&self) -> (Vec<i8>, f64) {
+        assert!(self.n <= 24, "brute force too large");
+        let mut best_e = f64::INFINITY;
+        let mut best = vec![1i8; self.n];
+        for idx in 0..(1usize << self.n) {
+            let s: Vec<i8> = (0..self.n)
+                .map(|i| if idx & (1 << i) != 0 { 1 } else { -1 })
+                .collect();
+            let e = self.energy(&s);
+            if e < best_e {
+                best_e = e;
+                best = s;
+            }
+        }
+        (best, best_e)
+    }
+
+    /// Largest |coupling| + |field| — a scale for temperature schedules.
+    pub fn energy_scale(&self) -> f64 {
+        let hmax = self.h.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let jmax = self
+            .couplings
+            .iter()
+            .fold(0.0f64, |m, &(_, _, j)| m.max(j.abs()));
+        (hmax + jmax).max(1e-12)
+    }
+}
+
+/// Converts spins to bits under `x = (1+s)/2`.
+pub fn spins_to_bits(s: &[i8]) -> Vec<bool> {
+    s.iter().map(|&v| v > 0).collect()
+}
+
+/// Converts bits to spins.
+pub fn bits_to_spins(x: &[bool]) -> Vec<i8> {
+    x.iter().map(|&b| if b { 1 } else { -1 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frustrated_triangle() -> Ising {
+        // Antiferromagnetic triangle: ground energy = -J (one unsatisfied
+        // edge), 6-fold degenerate.
+        Ising::new(
+            vec![0.0; 3],
+            vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn energy_hand_check() {
+        let m = Ising::new(vec![0.5, -1.0], vec![(0, 1, 2.0)], 0.25);
+        // s = (+1, +1): 0.5 - 1 + 2 + 0.25 = 1.75
+        assert!((m.energy(&[1, 1]) - 1.75).abs() < 1e-12);
+        // s = (+1, -1): 0.5 + 1 - 2 + 0.25 = -0.25
+        assert!((m.energy(&[1, -1]) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_flip_matches_recomputation() {
+        let m = frustrated_triangle();
+        let mut s = vec![1i8, -1, 1];
+        for i in 0..3 {
+            let before = m.energy(&s);
+            let d = m.delta_flip(&s, i);
+            s[i] = -s[i];
+            let after = m.energy(&s);
+            s[i] = -s[i];
+            assert!((after - before - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_couplings_are_merged() {
+        let m = Ising::new(vec![0.0; 2], vec![(0, 1, 1.0), (1, 0, 0.5)], 0.0);
+        assert_eq!(m.couplings().len(), 1);
+        assert!((m.couplings()[0].2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubo_roundtrip_preserves_energy() {
+        let m = Ising::new(
+            vec![0.3, -0.7, 1.1],
+            vec![(0, 1, 0.9), (1, 2, -1.4)],
+            0.6,
+        );
+        let q = m.to_qubo();
+        let back = q.to_ising();
+        for idx in 0..8usize {
+            let s: Vec<i8> = (0..3)
+                .map(|i| if idx & (1 << i) != 0 { 1 } else { -1 })
+                .collect();
+            let x = spins_to_bits(&s);
+            assert!((m.energy(&s) - q.energy(&x)).abs() < 1e-12);
+            assert!((m.energy(&s) - back.energy(&s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_frustrated_ground() {
+        let m = frustrated_triangle();
+        let (s, e) = m.brute_force_ground();
+        assert!((e + 1.0).abs() < 1e-12, "ground energy {e}");
+        assert!((m.energy(&s) - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ferromagnet_ground_is_aligned() {
+        let m = Ising::new(vec![0.0; 4], vec![(0, 1, -1.0), (1, 2, -1.0), (2, 3, -1.0)], 0.0);
+        let (s, e) = m.brute_force_ground();
+        assert!((e + 3.0).abs() < 1e-12);
+        assert!(s.iter().all(|&v| v == s[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_rejected() {
+        Ising::new(vec![0.0; 2], vec![(1, 1, 1.0)], 0.0);
+    }
+}

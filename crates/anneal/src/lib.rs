@@ -1,0 +1,47 @@
+//! QUBO/Ising models and annealing solvers.
+//!
+//! This crate is the workspace's stand-in for a quantum annealer: problems
+//! are written as QUBOs (optionally via the penalty [`builder`]), converted
+//! to Ising form, and attacked by a lineup of solvers —
+//! [`sa`] simulated annealing, [`sqa`] path-integral simulated *quantum*
+//! annealing (the standard classical emulation of annealer dynamics),
+//! [`tempering`] parallel tempering, [`tabu`] search, and [`exact`]
+//! enumeration as ground truth. [`embed`] models the hardware-connectivity
+//! constraint (Chimera minor embedding) real annealers impose.
+//!
+//! # Example
+//! ```
+//! use qmldb_anneal::{Qubo, sa};
+//! use qmldb_math::Rng64;
+//!
+//! let mut q = Qubo::new(2);
+//! q.add_linear(0, -1.0);
+//! q.add_linear(1, -1.0);
+//! q.add(0, 1, 2.0);           // -x0 -x1 +2x0x1: optimum picks exactly one
+//! let ising = q.to_ising();
+//! let mut rng = Rng64::new(7);
+//! let r = sa::simulated_annealing(&ising, &sa::SaParams::default(), &mut rng);
+//! assert!((r.energy + 1.0).abs() < 1e-9);
+//! ```
+
+pub mod builder;
+pub mod device;
+pub mod embed;
+pub mod exact;
+pub mod ising;
+pub mod qubo;
+pub mod sa;
+pub mod sqa;
+pub mod tabu;
+pub mod tempering;
+
+pub use builder::QuboBuilder;
+pub use device::{AnnealerDevice, DeviceConfig, DeviceResult};
+pub use embed::{Chimera, Embedding};
+pub use exact::{solve_exact, ExactSolution};
+pub use ising::{bits_to_spins, spins_to_bits, Ising};
+pub use qubo::Qubo;
+pub use sa::{simulated_annealing, AnnealResult, SaParams};
+pub use sqa::{simulated_quantum_annealing, SqaParams};
+pub use tabu::{tabu_search, TabuParams, TabuResult};
+pub use tempering::{parallel_tempering, TemperingParams};

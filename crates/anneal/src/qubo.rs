@@ -1,0 +1,211 @@
+//! Quadratic unconstrained binary optimization (QUBO) models.
+//!
+//! `E(x) = Σ_{i≤j} Q[i,j]·xᵢ·xⱼ + offset` over binary variables — the
+//! native input format of quantum annealers and the target every database
+//! optimization problem in `qmldb-db` compiles to.
+
+use crate::ising::Ising;
+
+/// A QUBO instance with dense upper-triangular coefficients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Qubo {
+    n: usize,
+    /// Upper-triangular coefficients, row-major: `coeff[i*n + j]` for i ≤ j.
+    coeff: Vec<f64>,
+    offset: f64,
+}
+
+impl Qubo {
+    /// Creates an all-zero QUBO on `n` variables.
+    pub fn new(n: usize) -> Self {
+        Qubo {
+            n,
+            coeff: vec![0.0; n * n],
+            offset: 0.0,
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Constant energy offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Adds to the constant offset.
+    pub fn add_offset(&mut self, v: f64) {
+        self.offset += v;
+    }
+
+    /// The coefficient of `xᵢxⱼ` (diagonal = linear term).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        self.coeff[a * self.n + b]
+    }
+
+    /// Adds `w` to the coefficient of `xᵢxⱼ`.
+    pub fn add(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.n && j < self.n, "variable out of range");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        self.coeff[a * self.n + b] += w;
+    }
+
+    /// Adds `w·xᵢ` (linear term).
+    pub fn add_linear(&mut self, i: usize, w: f64) {
+        self.add(i, i, w);
+    }
+
+    /// Energy of an assignment.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length");
+        let mut e = self.offset;
+        for i in 0..self.n {
+            if !x[i] {
+                continue;
+            }
+            // Diagonal + upper row.
+            for j in i..self.n {
+                if x[j] {
+                    e += self.coeff[i * self.n + j];
+                }
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping variable `i` in assignment `x`.
+    /// `O(n)` without recomputing the full energy.
+    pub fn delta_energy(&self, x: &[bool], i: usize) -> f64 {
+        // Contribution of terms involving i when x_i = 1.
+        let mut contrib = self.coeff[i * self.n + i];
+        for j in 0..self.n {
+            if j == i || !x[j] {
+                continue;
+            }
+            contrib += self.get(i, j);
+        }
+        if x[i] {
+            -contrib
+        } else {
+            contrib
+        }
+    }
+
+    /// Converts to the equivalent Ising model via `xᵢ = (1 + sᵢ)/2`
+    /// (spin +1 ⇔ bit 1). Energies are preserved exactly.
+    pub fn to_ising(&self) -> Ising {
+        let n = self.n;
+        let mut h = vec![0.0f64; n];
+        let mut couplings: Vec<(usize, usize, f64)> = Vec::new();
+        let mut offset = self.offset;
+        for i in 0..n {
+            let qii = self.coeff[i * n + i];
+            h[i] += qii / 2.0;
+            offset += qii / 2.0;
+            for j in (i + 1)..n {
+                let qij = self.coeff[i * n + j];
+                if qij == 0.0 {
+                    continue;
+                }
+                couplings.push((i, j, qij / 4.0));
+                h[i] += qij / 4.0;
+                h[j] += qij / 4.0;
+                offset += qij / 4.0;
+            }
+        }
+        Ising::new(h, couplings, offset)
+    }
+
+    /// Interprets the low `n` bits of an integer as an assignment
+    /// (bit i = xᵢ) and returns its energy. Handy for ≤ 24-variable
+    /// enumeration.
+    pub fn energy_of_index(&self, index: usize) -> f64 {
+        let x: Vec<bool> = (0..self.n).map(|i| index & (1 << i) != 0).collect();
+        self.energy(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Qubo {
+        // E = -x0 - x1 + 2 x0 x1 (minimum at exactly one variable set).
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add(0, 1, 2.0);
+        q
+    }
+
+    #[test]
+    fn energy_enumerates_correctly() {
+        let q = toy();
+        assert_eq!(q.energy(&[false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false]), -1.0);
+        assert_eq!(q.energy(&[false, true]), -1.0);
+        assert_eq!(q.energy(&[true, true]), 0.0);
+    }
+
+    #[test]
+    fn symmetric_indexing() {
+        let mut q = Qubo::new(3);
+        q.add(2, 0, 1.5);
+        assert_eq!(q.get(0, 2), 1.5);
+        assert_eq!(q.get(2, 0), 1.5);
+    }
+
+    #[test]
+    fn delta_energy_matches_full_recomputation() {
+        let q = toy();
+        for idx in 0..4usize {
+            let mut x = vec![idx & 1 != 0, idx & 2 != 0];
+            for i in 0..2 {
+                let before = q.energy(&x);
+                let delta = q.delta_energy(&x, i);
+                x[i] = !x[i];
+                let after = q.energy(&x);
+                x[i] = !x[i];
+                assert!(
+                    (after - before - delta).abs() < 1e-12,
+                    "idx {idx}, flip {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ising_conversion_preserves_energy() {
+        let mut q = Qubo::new(3);
+        q.add_linear(0, 0.7);
+        q.add_linear(2, -1.2);
+        q.add(0, 1, 1.5);
+        q.add(1, 2, -0.8);
+        q.add_offset(0.3);
+        let ising = q.to_ising();
+        for idx in 0..8usize {
+            let x: Vec<bool> = (0..3).map(|i| idx & (1 << i) != 0).collect();
+            let s: Vec<i8> = x.iter().map(|&b| if b { 1 } else { -1 }).collect();
+            assert!(
+                (q.energy(&x) - ising.energy(&s)).abs() < 1e-12,
+                "assignment {idx:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_of_index_matches_energy() {
+        let q = toy();
+        assert_eq!(q.energy_of_index(0b01), -1.0);
+        assert_eq!(q.energy_of_index(0b11), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_add_panics() {
+        Qubo::new(2).add(0, 2, 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Classical simulated annealing for Ising models.
+//!
+//! Single-spin-flip Metropolis sweeps under a geometric temperature
+//! schedule — the thermal baseline the quantum annealer (and its
+//! path-integral emulation in [`crate::sqa`]) is compared against.
+
+use crate::ising::Ising;
+use qmldb_math::Rng64;
+
+/// Annealing schedule and effort parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SaParams {
+    /// Starting temperature as a multiple of the model's energy scale.
+    pub t_start_factor: f64,
+    /// Final temperature as a multiple of the energy scale.
+    pub t_end_factor: f64,
+    /// Number of full sweeps.
+    pub sweeps: usize,
+    /// Independent restarts (best result kept).
+    pub restarts: usize,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            t_start_factor: 2.0,
+            t_end_factor: 0.01,
+            sweeps: 500,
+            restarts: 4,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// Best spin configuration found.
+    pub spins: Vec<i8>,
+    /// Its energy.
+    pub energy: f64,
+    /// Best energy after each sweep of the best restart (for convergence
+    /// plots).
+    pub trace: Vec<f64>,
+    /// Total spin-flip proposals made across all restarts.
+    pub proposals: u64,
+}
+
+/// Runs simulated annealing and returns the best configuration seen.
+pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) -> AnnealResult {
+    assert!(model.n() > 0, "empty model");
+    assert!(params.sweeps > 0, "need at least one sweep");
+    let scale = model.energy_scale();
+    let t_start = params.t_start_factor * scale;
+    let t_end = params.t_end_factor * scale;
+    let cooling = (t_end / t_start).powf(1.0 / params.sweeps.max(2) as f64);
+
+    let mut best_spins = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut best_trace = Vec::new();
+    let mut proposals = 0u64;
+
+    for _ in 0..params.restarts.max(1) {
+        let mut s: Vec<i8> = (0..model.n())
+            .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+            .collect();
+        let mut energy = model.energy(&s);
+        let mut run_best = energy;
+        let mut run_best_spins = s.clone();
+        let mut trace = Vec::with_capacity(params.sweeps);
+        let mut temp = t_start;
+        for _ in 0..params.sweeps {
+            for i in 0..model.n() {
+                proposals += 1;
+                let d = model.delta_flip(&s, i);
+                if d <= 0.0 || rng.chance((-d / temp).exp()) {
+                    s[i] = -s[i];
+                    energy += d;
+                    if energy < run_best {
+                        run_best = energy;
+                        run_best_spins = s.clone();
+                    }
+                }
+            }
+            trace.push(run_best);
+            temp *= cooling;
+        }
+        if run_best < best_energy {
+            best_energy = run_best;
+            best_spins = run_best_spins;
+            best_trace = trace;
+        }
+    }
+    AnnealResult {
+        spins: best_spins,
+        energy: best_energy,
+        trace: best_trace,
+        proposals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_spin_glass(n: usize, rng: &mut Rng64) -> Ising {
+        let mut couplings = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.chance(0.5) {
+                    couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+                }
+            }
+        }
+        let h: Vec<f64> = (0..n).map(|_| rng.uniform_range(-0.5, 0.5)).collect();
+        Ising::new(h, couplings, 0.0)
+    }
+
+    #[test]
+    fn solves_small_ferromagnet_exactly() {
+        let m = Ising::new(
+            vec![0.0; 6],
+            (0..5).map(|i| (i, i + 1, -1.0)).collect(),
+            0.0,
+        );
+        let mut rng = Rng64::new(901);
+        let r = simulated_annealing(&m, &SaParams::default(), &mut rng);
+        assert!((r.energy + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_glasses() {
+        let mut rng = Rng64::new(903);
+        for _ in 0..5 {
+            let m = random_spin_glass(10, &mut rng);
+            let (_, exact) = m.brute_force_ground();
+            let r = simulated_annealing(&m, &SaParams::default(), &mut rng);
+            assert!(
+                (r.energy - exact).abs() < 1e-9,
+                "SA {} vs exact {exact}",
+                r.energy
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let mut rng = Rng64::new(905);
+        let m = random_spin_glass(12, &mut rng);
+        let r = simulated_annealing(&m, &SaParams::default(), &mut rng);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reported_energy_matches_reported_spins() {
+        let mut rng = Rng64::new(907);
+        let m = random_spin_glass(8, &mut rng);
+        let r = simulated_annealing(&m, &SaParams::default(), &mut rng);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_sweeps_do_not_hurt() {
+        let mut rng1 = Rng64::new(909);
+        let mut rng2 = Rng64::new(909);
+        let m = random_spin_glass(14, &mut Rng64::new(910));
+        let quick = simulated_annealing(
+            &m,
+            &SaParams {
+                sweeps: 10,
+                restarts: 1,
+                ..SaParams::default()
+            },
+            &mut rng1,
+        );
+        let slow = simulated_annealing(
+            &m,
+            &SaParams {
+                sweeps: 2000,
+                restarts: 1,
+                ..SaParams::default()
+            },
+            &mut rng2,
+        );
+        assert!(slow.energy <= quick.energy + 1e-12);
+    }
+
+    #[test]
+    fn proposal_count_is_exact() {
+        let m = Ising::new(vec![0.0; 5], vec![(0, 1, -1.0)], 0.0);
+        let mut rng = Rng64::new(911);
+        let r = simulated_annealing(
+            &m,
+            &SaParams {
+                sweeps: 100,
+                restarts: 3,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(r.proposals, 5 * 100 * 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablation benches for design choices called out in DESIGN.md:
+//! circuit peephole optimization, single-qubit gate fusion, and the SQA
+//! replica count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmldb_anneal::{simulated_quantum_annealing, Ising, SqaParams};
+use qmldb_math::Rng64;
+use qmldb_sim::{optimize, Circuit, StateVector};
+
+/// A deliberately redundant circuit: every layer carries cancelling pairs
+/// and zero rotations alongside real work.
+fn redundant_circuit(n: usize, layers: usize, rng: &mut Rng64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.h(q).h(q); // cancels
+            c.rz(q, 0.0); // trivial
+            c.ry(q, rng.uniform_range(0.0, 1.0));
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+            c.cx(q, q + 1); // cancels
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// A 1q-heavy circuit where gate fusion pays.
+fn rotation_heavy_circuit(n: usize, layers: usize, rng: &mut Rng64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.rx(q, rng.uniform_range(0.0, 1.0));
+            c.ry(q, rng.uniform_range(0.0, 1.0));
+            c.rz(q, rng.uniform_range(0.0, 1.0));
+            c.t(q);
+        }
+        c.cx(0, n - 1);
+    }
+    c
+}
+
+fn bench_peephole_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_peephole");
+    group.sample_size(10);
+    let n = 14;
+    let mut rng = Rng64::new(1);
+    let raw = redundant_circuit(n, 10, &mut rng);
+    let mut opt = raw.clone();
+    optimize::optimize(&mut opt);
+    group.bench_with_input(BenchmarkId::new("raw", raw.len()), &raw, |b, circ| {
+        b.iter(|| {
+            let mut s = StateVector::zero(n);
+            s.run(circ, &[]);
+            std::hint::black_box(s.norm())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("optimized", opt.len()), &opt, |b, circ| {
+        b.iter(|| {
+            let mut s = StateVector::zero(n);
+            s.run(circ, &[]);
+            std::hint::black_box(s.norm())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fusion_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(10);
+    let n = 14;
+    let mut rng = Rng64::new(2);
+    let raw = rotation_heavy_circuit(n, 8, &mut rng);
+    let mut fused = raw.clone();
+    optimize::fuse_single_qubit(&mut fused);
+    group.bench_with_input(BenchmarkId::new("unfused", raw.len()), &raw, |b, circ| {
+        b.iter(|| {
+            let mut s = StateVector::zero(n);
+            s.run(circ, &[]);
+            std::hint::black_box(s.norm())
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("fused", fused.len()),
+        &fused,
+        |b, circ| {
+            b.iter(|| {
+                let mut s = StateVector::zero(n);
+                s.run(circ, &[]);
+                std::hint::black_box(s.norm())
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_sqa_replica_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sqa_replicas");
+    group.sample_size(10);
+    let mut rng = Rng64::new(3);
+    let mut couplings = Vec::new();
+    for i in 0..48usize {
+        for j in (i + 1)..48 {
+            if rng.chance(0.2) {
+                couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+            }
+        }
+    }
+    let model = Ising::new(vec![0.0; 48], couplings, 0.0);
+    for replicas in [4usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replicas),
+            &replicas,
+            |b, &replicas| {
+                let mut rng = Rng64::new(4);
+                b.iter(|| {
+                    std::hint::black_box(
+                        simulated_quantum_annealing(
+                            &model,
+                            &SqaParams {
+                                sweeps: 100,
+                                replicas,
+                                restarts: 1,
+                                ..SqaParams::default()
+                            },
+                            &mut rng,
+                        )
+                        .energy,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_peephole_ablation,
+    bench_fusion_ablation,
+    bench_sqa_replica_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E15: Gram-matrix construction, exact vs shots, and
+//! the classical RBF reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmldb_core::kernel::{FeatureMap, QuantumKernel};
+use qmldb_math::Rng64;
+use qmldb_ml::{dataset, Kernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_matrix");
+    group.sample_size(10);
+    for n in [10usize, 20] {
+        let mut rng = Rng64::new(5);
+        let d = dataset::two_moons(n, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+        let qk = QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 });
+        group.bench_with_input(BenchmarkId::new("quantum_exact", n), &d, |b, d| {
+            b.iter(|| std::hint::black_box(qk.gram(&d.x)))
+        });
+        group.bench_with_input(BenchmarkId::new("quantum_512shots", n), &d, |b, d| {
+            let mut rng = Rng64::new(9);
+            b.iter(|| std::hint::black_box(qk.gram_sampled(&d.x, 512, &mut rng)))
+        });
+        let rbf = Kernel::Rbf { gamma: 2.0 };
+        group.bench_with_input(BenchmarkId::new("classical_rbf", n), &d, |b, d| {
+            b.iter(|| std::hint::black_box(rbf.gram(&d.x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment runner: regenerates the tables in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! experiments all            # every experiment, default seed
+//! experiments e9 e10         # a subset
+//! experiments --seed 7 e3    # custom seed
+//! experiments --list         # available ids
+//! ```
+
+use qmldb_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20230618u64; // SIGMOD'23 week, for flavor
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--list" => {
+                for (id, _) in experiments::all() {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        die("usage: experiments [--seed N] (all | e1 e2 ... e16)");
+    }
+    let table = experiments::all();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let mut ran = 0;
+    for (id, f) in &table {
+        if run_all || wanted.iter().any(|w| w == id) {
+            let t0 = std::time::Instant::now();
+            let report = f(seed);
+            println!("{report}");
+            println!("[{id} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        die("no matching experiment id; try --list");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

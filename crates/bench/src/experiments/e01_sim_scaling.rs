@@ -1,0 +1,88 @@
+//! E1 — state-vector simulator scaling.
+//!
+//! Times a fixed-depth random circuit as the qubit count grows. Expected
+//! shape: wall time roughly doubles per added qubit (the 2ⁿ amplitude
+//! array dominates), confirming the exponential classical-simulation wall
+//! the tutorial motivates quantum hardware with.
+
+use crate::report::{fmt_f, Report};
+use qmldb_math::Rng64;
+use qmldb_sim::{Circuit, StateVector};
+use std::time::Instant;
+
+/// Builds a depth-`layers` random circuit: one RY+RZ per qubit and a CX
+/// chain per layer.
+pub fn random_layered_circuit(n: usize, layers: usize, rng: &mut Rng64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.ry(q, rng.uniform_range(0.0, std::f64::consts::TAU));
+            c.rz(q, rng.uniform_range(0.0, std::f64::consts::TAU));
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// Runs the scaling sweep.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let layers = 20;
+    let mut report = Report::new(
+        "E1 state-vector simulator scaling (depth-20 random circuits)",
+        &["qubits", "amplitudes", "time_ms", "ratio_vs_prev"],
+    );
+    let mut prev: Option<f64> = None;
+    let mut ratios = Vec::new();
+    for n in (4..=18).step_by(2) {
+        let c = random_layered_circuit(n, layers, &mut rng);
+        // Warm-up + timed run.
+        let mut s = StateVector::zero(n);
+        s.run(&c, &[]);
+        let reps = if n <= 10 { 20 } else { 3 };
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut s = StateVector::zero(n);
+            s.run(&c, &[]);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let ratio = prev.map(|p| ms / p).unwrap_or(f64::NAN);
+        if let Some(p) = prev {
+            ratios.push(ms / p);
+        }
+        prev = Some(ms);
+        report.row(&[
+            n.to_string(),
+            (1usize << n).to_string(),
+            fmt_f(ms),
+            if ratio.is_nan() {
+                "-".into()
+            } else {
+                fmt_f(ratio)
+            },
+        ]);
+    }
+    let geo_mean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    report.note(format!(
+        "geometric-mean time ratio per +2 qubits: {:.2} (expected ≈ 4 once the state dominates)",
+        geo_mean.exp()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_exponential_in_qubits() {
+        let r = run(1);
+        assert_eq!(r.rows.len(), 8);
+        // Last-to-first wall-time ratio must be large (≫ linear growth).
+        let first: f64 = r.rows[0][2].parse().unwrap_or(f64::NAN);
+        let last: f64 = r.rows.last().unwrap()[2].parse().unwrap_or(f64::NAN);
+        assert!(last > first * 20.0, "first {first} ms, last {last} ms");
+    }
+}

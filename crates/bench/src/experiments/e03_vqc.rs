@@ -1,0 +1,76 @@
+//! E3 — variational quantum classifier vs classical baselines.
+//!
+//! Trains a VQC, logistic regression, and an RBF SVM on the standard toy
+//! datasets. Expected shape: all three are comparable on easy data; the
+//! linear model collapses on XOR while the entangling VQC and the kernel
+//! SVM do not.
+
+use crate::report::{fmt_f, Report};
+use qmldb_core::kernel::FeatureMap;
+use qmldb_core::vqc::{GradMethod, Vqc, VqcConfig};
+use qmldb_math::Rng64;
+use qmldb_ml::{dataset, Kernel, LogReg, LogRegParams, Svm, SvmParams};
+
+/// Runs the benchmark over three datasets.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E3 classifier accuracy: VQC vs logistic regression vs RBF-SVM",
+        &["dataset", "vqc_train", "vqc_test", "logreg_test", "rbf_svm_test"],
+    );
+    let sets: Vec<(&str, dataset::Dataset)> = vec![
+        ("blobs", dataset::blobs(60, &[0.5, 0.5], &[2.4, 2.4], 0.25, &mut rng)),
+        ("moons", dataset::two_moons(60, 0.15, &mut rng)),
+        ("xor", dataset::xor(60, 0.25, &mut rng)),
+    ];
+    for (name, d) in sets {
+        let d = d.rescaled(0.0, std::f64::consts::PI);
+        let (train, test) = d.split(0.6, &mut rng);
+        let cfg = VqcConfig {
+            n_qubits: 2,
+            layers: 3,
+            feature_map: FeatureMap::Angle,
+            epochs: 60,
+            lr: 0.15,
+            grad: GradMethod::ParameterShift,
+            reupload: false,
+        };
+        let vqc = Vqc::train(cfg, &train.x, &train.y, &mut rng);
+        let logreg = LogReg::train(&train.x, &train.y, &LogRegParams::default());
+        let svm = Svm::train(
+            train.x.clone(),
+            train.y.clone(),
+            Kernel::Rbf { gamma: 2.0 },
+            &SvmParams { c: 5.0, ..SvmParams::default() },
+            &mut rng,
+        );
+        report.row(&[
+            name.to_string(),
+            fmt_f(vqc.accuracy(&train.x, &train.y)),
+            fmt_f(vqc.accuracy(&test.x, &test.y)),
+            fmt_f(logreg.accuracy(&test.x, &test.y)),
+            fmt_f(svm.accuracy(&test.x, &test.y)),
+        ]);
+    }
+    report.note("expected: VQC ≈ classical on blobs/moons; logreg fails on xor (≈0.5)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vqc_is_competitive_and_logreg_fails_xor() {
+        let r = run(42);
+        let by_name = |n: &str| r.rows.iter().find(|row| row[0] == n).unwrap().clone();
+        let blobs = by_name("blobs");
+        let xor = by_name("xor");
+        let vqc_blobs: f64 = blobs[2].parse().unwrap();
+        assert!(vqc_blobs >= 0.8, "VQC blobs test acc {vqc_blobs}");
+        let logreg_xor: f64 = xor[3].parse().unwrap();
+        assert!(logreg_xor <= 0.75, "logreg must fail XOR, got {logreg_xor}");
+        let vqc_xor: f64 = xor[1].parse().unwrap();
+        assert!(vqc_xor >= 0.7, "entangling VQC should learn XOR train set, got {vqc_xor}");
+    }
+}

@@ -1,0 +1,41 @@
+//! E5 — barren plateaus.
+//!
+//! Gradient variance of random hardware-efficient circuits as a function
+//! of width. Expected shape: exponential decay (negative log-slope),
+//! reproducing the McClean et al. trainability barrier the tutorial warns
+//! database researchers about.
+
+use crate::report::{fmt_f, Report};
+use qmldb_core::plateau::{decay_exponent, plateau_scan};
+use qmldb_math::Rng64;
+
+/// Runs the variance scan.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E5 barren plateaus: Var[∂E/∂θ0] vs qubit count",
+        &["qubits", "variance", "mean"],
+    );
+    let scan = plateau_scan([2usize, 4, 6, 8, 10], 3, 100, &mut rng);
+    for s in &scan {
+        report.row(&[s.n_qubits.to_string(), fmt_f(s.variance), fmt_f(s.mean)]);
+    }
+    let slope = decay_exponent(&scan);
+    report.note(format!(
+        "fitted log-variance slope per qubit: {slope:.3} (exponential decay ⇔ slope < 0)"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_decays_exponentially() {
+        let r = run(11);
+        let first: f64 = r.rows[0][1].parse().unwrap();
+        let last: f64 = r.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last < first / 4.0, "2q {first} vs 10q {last}");
+    }
+}

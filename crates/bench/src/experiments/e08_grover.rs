@@ -1,0 +1,72 @@
+//! E8 — Grover speedup over a relation.
+//!
+//! Oracle-call counts for quantum vs classical lookup of a unique tuple as
+//! the table grows. Expected shape: quantum ≈ ⌈π/4·√N⌉ per attempt vs
+//! classical ≈ N/2 — the quadratic separation, with the crossover visible
+//! from N ≈ 16 onward.
+
+use crate::report::{fmt_f, Report};
+use qmldb_core::grover::{classical_search, grover_search_known, optimal_iterations};
+use qmldb_db::search::Relation;
+use qmldb_math::Rng64;
+
+/// Runs the sweep over table sizes.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E8 Grover vs classical lookup (unique match)",
+        &["rows", "grover_calls", "grover_succ", "classical_calls_avg", "speedup"],
+    );
+    for k in 4..=12usize {
+        let n = 1usize << k;
+        let rel = Relation::new((0..n as i64).collect());
+        let trials = 20;
+        let mut succ = 0usize;
+        let mut classical_total = 0usize;
+        let mut grover_calls = 0usize;
+        for t in 0..trials {
+            let needle = ((t * 7919) % n) as i64;
+            let oracle = rel.oracle(move |v| v == needle);
+            let r = grover_search_known(rel.n_bits(), &oracle, 1, &mut rng);
+            grover_calls = r.oracle_calls;
+            if r.success {
+                succ += 1;
+            }
+            classical_total += classical_search(n, &oracle, &mut rng);
+        }
+        let classical_avg = classical_total as f64 / trials as f64;
+        report.row(&[
+            n.to_string(),
+            grover_calls.to_string(),
+            format!("{succ}/{trials}"),
+            fmt_f(classical_avg),
+            fmt_f(classical_avg / grover_calls.max(1) as f64),
+        ]);
+        let expected = optimal_iterations(n, 1);
+        debug_assert_eq!(grover_calls, expected);
+    }
+    report.note("speedup grows as √N: doubling N multiplies it by ≈ √2");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_table_size() {
+        let r = run(41);
+        let first: f64 = r.rows[0][4].parse().unwrap();
+        let last: f64 = r.rows.last().unwrap()[4].parse().unwrap();
+        assert!(last > 4.0 * first, "speedup {first} -> {last}");
+    }
+
+    #[test]
+    fn grover_success_rates_are_high() {
+        let r = run(41);
+        for row in &r.rows {
+            let succ: usize = row[2].split('/').next().unwrap().parse().unwrap();
+            assert!(succ >= 18, "row {row:?}");
+        }
+    }
+}

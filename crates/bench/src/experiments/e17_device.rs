@@ -1,0 +1,99 @@
+//! E17 — end-to-end annealer-device deployment.
+//!
+//! Solves the same QUBOs three ways: exact enumeration, logical SQA
+//! (idealized all-to-all annealer), and the full device path — Chimera
+//! embedding, chain couplings, physical SQA, majority-vote unembedding —
+//! at several chain strengths. Expected shape: the device matches the
+//! logical solver when chains are strong enough; weak chains break and
+//! solution quality collapses — the deployment tax on real hardware.
+
+use crate::report::{fmt_f, Report};
+use qmldb_anneal::device::{AnnealerDevice, DeviceConfig};
+use qmldb_anneal::{simulated_quantum_annealing, solve_exact, Qubo, SqaParams};
+use qmldb_math::Rng64;
+
+fn random_qubo(n: usize, rng: &mut Rng64) -> Qubo {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+        for j in (i + 1)..n {
+            if rng.chance(0.5) {
+                q.add(i, j, rng.uniform_range(-1.0, 1.0));
+            }
+        }
+    }
+    q
+}
+
+/// Runs the chain-strength sweep.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E17 annealer-device deployment (10-var QUBOs, mean of 5 instances)",
+        &["chain_strength", "hit_rate_device", "hit_rate_logical", "chain_breaks", "phys_qubits"],
+    );
+    let instances = 5;
+    for &cs in &[0.1f64, 0.5, 1.5, 3.0] {
+        let mut device_hits = 0usize;
+        let mut logical_hits = 0usize;
+        let mut breaks = 0.0;
+        let mut phys = 0usize;
+        for _ in 0..instances {
+            let q = random_qubo(10, &mut rng);
+            let exact = solve_exact(&q);
+            // Idealized logical annealer.
+            let logical = simulated_quantum_annealing(
+                &q.to_ising(),
+                &SqaParams { sweeps: 300, replicas: 12, restarts: 1, ..SqaParams::default() },
+                &mut rng,
+            );
+            if (logical.energy - exact.energy).abs() < 1e-9 {
+                logical_hits += 1;
+            }
+            // The device path.
+            let device = AnnealerDevice::new(DeviceConfig {
+                fabric_m: 4,
+                chain_strength_factor: cs,
+                reads: 5,
+                ..DeviceConfig::default()
+            });
+            let r = device.solve(&q, &mut rng).expect("10 vars embed in C(4)");
+            if (r.energy - exact.energy).abs() < 1e-9 {
+                device_hits += 1;
+            }
+            breaks += r.chain_break_fraction / instances as f64;
+            phys = r.physical_qubits;
+        }
+        report.row(&[
+            fmt_f(cs),
+            fmt_f(device_hits as f64 / instances as f64),
+            fmt_f(logical_hits as f64 / instances as f64),
+            fmt_f(breaks),
+            phys.to_string(),
+        ]);
+    }
+    report.note("strong chains recover logical quality; weak chains break and quality collapses");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_chains_match_logical_solver() {
+        let r = run(131);
+        let strong = r.rows.last().unwrap();
+        let device: f64 = strong[1].parse().unwrap();
+        let logical: f64 = strong[2].parse().unwrap();
+        assert!(device >= logical - 0.21, "device {device} vs logical {logical}");
+    }
+
+    #[test]
+    fn weak_chains_break_more() {
+        let r = run(131);
+        let weak_breaks: f64 = r.rows[0][3].parse().unwrap();
+        let strong_breaks: f64 = r.rows.last().unwrap()[3].parse().unwrap();
+        assert!(weak_breaks >= strong_breaks, "{weak_breaks} vs {strong_breaks}");
+    }
+}

@@ -1,0 +1,126 @@
+//! E18 — quantum kernel ridge regression.
+//!
+//! QKRR vs classical kernel ridge and a linear model on the noisy-sine
+//! task, plus swap-test kernel estimation accuracy. Expected shape: QKRR ≈
+//! classical KRR ≫ linear; swap-test estimates converge to the exact
+//! kernel as shots grow (1/√shots).
+
+use crate::report::{fmt_f, Report};
+use qmldb_core::kernel::{FeatureMap, QuantumKernel};
+use qmldb_core::qkrr::{swap_test_kernel, Qkrr};
+use qmldb_math::Rng64;
+use qmldb_ml::ridge::{sine_dataset, KernelRidge, LinearRidge};
+use qmldb_ml::Kernel;
+
+/// Runs the regression comparison and the swap-test convergence check.
+pub fn run(seed: u64) -> Report {
+    let mut rng = Rng64::new(seed);
+    let mut report = Report::new(
+        "E18 regression MSE on noisy sine (30 train / 30 test points)",
+        &["model", "train_mse", "test_mse"],
+    );
+    let (x, y) = sine_dataset(60, 0.05, &mut rng);
+    // Interleave into train/test.
+    let (mut xtr, mut ytr, mut xte, mut yte) = (vec![], vec![], vec![], vec![]);
+    for (i, (xi, &yi)) in x.iter().zip(&y).enumerate() {
+        if i % 2 == 0 {
+            xtr.push(xi.clone());
+            ytr.push(yi);
+        } else {
+            xte.push(xi.clone());
+            yte.push(yi);
+        }
+    }
+
+    let qkrr = Qkrr::fit(
+        QuantumKernel::new(3, FeatureMap::MultiScale { copies: 3 }),
+        xtr.clone(),
+        &ytr,
+        1e-3,
+    );
+    report.row(&[
+        "qkrr (exact kernel)".into(),
+        fmt_f(qkrr.mse(&xtr, &ytr)),
+        fmt_f(qkrr.mse(&xte, &yte)),
+    ]);
+
+    let qkrr_s = Qkrr::fit_sampled(
+        QuantumKernel::new(3, FeatureMap::MultiScale { copies: 3 }),
+        xtr.clone(),
+        &ytr,
+        1e-3,
+        1024,
+        &mut rng,
+    );
+    report.row(&[
+        "qkrr (1024 shots)".into(),
+        fmt_f(qkrr_s.mse(&xtr, &ytr)),
+        fmt_f(qkrr_s.mse(&xte, &yte)),
+    ]);
+
+    let krr = KernelRidge::fit(xtr.clone(), &ytr, Kernel::Rbf { gamma: 1.0 }, 1e-3);
+    report.row(&[
+        "classical rbf-krr".into(),
+        fmt_f(krr.mse(&xtr, &ytr)),
+        fmt_f(krr.mse(&xte, &yte)),
+    ]);
+
+    let lin = LinearRidge::fit(&xtr, &ytr, 1e-3);
+    report.row(&[
+        "linear ridge".into(),
+        fmt_f(lin.mse(&xtr, &ytr)),
+        fmt_f(lin.mse(&xte, &yte)),
+    ]);
+
+    // Swap-test convergence.
+    let kernel = QuantumKernel::new(2, FeatureMap::Angle);
+    let a = [0.9, 1.7];
+    let b = [1.4, 0.3];
+    let exact = kernel.eval(&a, &b);
+    for shots in [256usize, 2048, 16384] {
+        let est = swap_test_kernel(&kernel, &a, &b, shots, &mut rng);
+        report.row(&[
+            format!("swap-test {shots} shots"),
+            fmt_f((est - exact).abs()),
+            "-".into(),
+        ]);
+    }
+    report.note("swap-test rows report |estimate − exact kernel| in the train_mse column");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qkrr_beats_linear_and_tracks_classical() {
+        let r = run(141);
+        let test_mse = |name: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0].starts_with(name))
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        let q = test_mse("qkrr (exact");
+        let c = test_mse("classical");
+        let l = test_mse("linear");
+        assert!(q < l / 3.0, "qkrr {q} vs linear {l}");
+        assert!(q < 20.0 * c + 0.02, "qkrr {q} vs classical {c}");
+    }
+
+    #[test]
+    fn swap_test_error_shrinks_with_shots() {
+        let r = run(141);
+        let errs: Vec<f64> = r
+            .rows
+            .iter()
+            .filter(|row| row[0].starts_with("swap-test"))
+            .map(|row| row[1].parse().unwrap())
+            .collect();
+        assert_eq!(errs.len(), 3);
+        assert!(errs[2] <= errs[0] + 0.02, "errors {errs:?}");
+    }
+}

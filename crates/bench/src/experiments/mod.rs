@@ -1,0 +1,52 @@
+//! One module per experiment in `EXPERIMENTS.md`; each exposes
+//! `run(seed) -> Report`.
+
+pub mod e01_sim_scaling;
+pub mod e02_noise_fidelity;
+pub mod e03_vqc;
+pub mod e04_gradients;
+pub mod e05_plateaus;
+pub mod e06_qkernel;
+pub mod e07_qaoa_maxcut;
+pub mod e08_grover;
+pub mod e09_join_order;
+pub mod e10_sa_vs_sqa;
+pub mod e11_mqo;
+pub mod e12_index;
+pub mod e13_txsched;
+pub mod e14_hhl;
+pub mod e15_kernel_cost;
+pub mod e16_embedding;
+pub mod e17_device;
+pub mod e18_qkrr;
+pub mod e19_robustness;
+pub mod e20_walks;
+
+use crate::report::Report;
+
+/// Dispatch table: experiment id → runner.
+pub fn all() -> Vec<(&'static str, fn(u64) -> Report)> {
+    vec![
+        ("e1", e01_sim_scaling::run),
+        ("e2", e02_noise_fidelity::run),
+        ("e3", e03_vqc::run),
+        ("e4", e04_gradients::run),
+        ("e5", e05_plateaus::run),
+        ("e6", e06_qkernel::run),
+        ("e7", e07_qaoa_maxcut::run),
+        ("e8", e08_grover::run),
+        ("e9", e09_join_order::run),
+        ("e9b", e09_join_order::run_qaoa_small),
+        ("e10", e10_sa_vs_sqa::run),
+        ("e11", e11_mqo::run),
+        ("e12", e12_index::run),
+        ("e13", e13_txsched::run),
+        ("e14", e14_hhl::run),
+        ("e15", e15_kernel_cost::run),
+        ("e16", e16_embedding::run),
+        ("e17", e17_device::run),
+        ("e18", e18_qkrr::run),
+        ("e19", e19_robustness::run),
+        ("e20", e20_walks::run),
+    ]
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness and experiment runner for the `qmldb` workspace.
+//!
+//! Every table/figure in `EXPERIMENTS.md` is regenerated either by a
+//! criterion bench (`cargo bench -p qmldb-bench`) or by the `experiments`
+//! binary (`cargo run -p qmldb-bench --bin experiments --release -- all`).
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

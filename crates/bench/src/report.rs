@@ -1,0 +1,119 @@
+//! Plain-text experiment reports: aligned tables that the `experiments`
+//! binary prints and EXPERIMENTS.md records.
+
+use std::fmt;
+
+/// A tabular experiment report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id + title, e.g. "E9 join-order quality".
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the width differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned_table() {
+        let mut r = Report::new("E0 demo", &["name", "value"]);
+        r.row(&["alpha".into(), "1".into()]);
+        r.row(&["b".into(), "12345".into()]);
+        r.note("hello");
+        let s = r.to_string();
+        assert!(s.contains("== E0 demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_row_panics() {
+        Report::new("t", &["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.5), "0.5000");
+        assert_eq!(fmt_f(123.456), "123.5");
+        assert!(fmt_f(1e7).contains('e'));
+        assert!(fmt_f(1e-5).contains('e'));
+    }
+}

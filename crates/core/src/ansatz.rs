@@ -1,0 +1,205 @@
+//! Variational circuit ansätze.
+
+use qmldb_sim::{Circuit, PauliSum};
+
+/// Entanglement topology for layered ansätze.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Entanglement {
+    /// CX chain 0→1→…→n−1.
+    Linear,
+    /// CX ring (chain plus n−1→0).
+    Ring,
+    /// All-to-all CX pairs.
+    Full,
+}
+
+/// Hardware-efficient ansatz: `layers` repetitions of per-qubit RY·RZ
+/// rotations followed by an entangling block, with a final rotation layer.
+///
+/// Parameter count: `2 · n · (layers + 1)`.
+pub fn hardware_efficient(n_qubits: usize, layers: usize, ent: Entanglement) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for layer in 0..=layers {
+        for q in 0..n_qubits {
+            let a = c.new_param();
+            let b = c.new_param();
+            c.ry(q, a).rz(q, b);
+        }
+        if layer < layers {
+            entangle(&mut c, ent);
+        }
+    }
+    c
+}
+
+/// RY-only "two-local" ansatz (real amplitudes): cheaper, all-real states.
+/// Parameter count: `n · (layers + 1)`.
+pub fn real_amplitudes(n_qubits: usize, layers: usize, ent: Entanglement) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for layer in 0..=layers {
+        for q in 0..n_qubits {
+            let a = c.new_param();
+            c.ry(q, a);
+        }
+        if layer < layers {
+            entangle(&mut c, ent);
+        }
+    }
+    c
+}
+
+fn entangle(c: &mut Circuit, ent: Entanglement) {
+    let n = c.n_qubits();
+    match ent {
+        Entanglement::Linear => {
+            for q in 0..n.saturating_sub(1) {
+                c.cx(q, q + 1);
+            }
+        }
+        Entanglement::Ring => {
+            for q in 0..n.saturating_sub(1) {
+                c.cx(q, q + 1);
+            }
+            if n > 2 {
+                c.cx(n - 1, 0);
+            }
+        }
+        Entanglement::Full => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    c.cx(i, j);
+                }
+            }
+        }
+    }
+}
+
+/// The QAOA ansatz for a diagonal cost Hamiltonian: `p` alternating layers
+/// of `exp(-iγ H_C)` (RZ/RZZ from Z and ZZ terms) and the transverse-field
+/// mixer `exp(-iβ Σ X)` (RX on every qubit), preceded by `H^{⊗n}`.
+///
+/// Parameters are ordered `[γ₁, β₁, γ₂, β₂, …]` (2p total).
+///
+/// # Panics
+/// Panics if the Hamiltonian is not diagonal or has terms on more than two
+/// qubits.
+pub fn qaoa_ansatz(n_qubits: usize, cost: &PauliSum, p: usize) -> Circuit {
+    assert!(cost.is_diagonal(), "QAOA cost Hamiltonian must be diagonal");
+    let mut c = Circuit::new(n_qubits);
+    for q in 0..n_qubits {
+        c.h(q);
+    }
+    for _ in 0..p {
+        let gamma = c.new_param();
+        // exp(-iγ Σ c_k P_k): each Z term → RZ(2γc), ZZ term → RZZ(2γc).
+        for (coeff, string) in cost.terms() {
+            let qubits: Vec<usize> = string.ops().iter().map(|&(q, _)| q).collect();
+            match qubits.len() {
+                0 => {} // global phase
+                1 => {
+                    c.rz(
+                        qubits[0],
+                        scale_angle(gamma, 2.0 * coeff),
+                    );
+                }
+                2 => {
+                    c.rzz(
+                        qubits[0],
+                        qubits[1],
+                        scale_angle(gamma, 2.0 * coeff),
+                    );
+                }
+                k => panic!("QAOA cost term on {k} qubits unsupported"),
+            }
+        }
+        let beta = c.new_param();
+        for q in 0..n_qubits {
+            c.rx(q, scale_angle(beta, 2.0));
+        }
+    }
+    c
+}
+
+/// Scales a parameter-referencing angle by a constant multiplier.
+fn scale_angle(a: qmldb_sim::Angle, k: f64) -> qmldb_sim::Angle {
+    match a {
+        qmldb_sim::Angle::Const(v) => qmldb_sim::Angle::Const(v * k),
+        qmldb_sim::Angle::Param { idx, mult, offset } => qmldb_sim::Angle::Param {
+            idx,
+            mult: mult * k,
+            offset: offset * k,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_sim::{PauliString, Simulator};
+
+    #[test]
+    fn hardware_efficient_parameter_count() {
+        let c = hardware_efficient(4, 3, Entanglement::Linear);
+        assert_eq!(c.n_params(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn real_amplitudes_parameter_count() {
+        let c = real_amplitudes(3, 2, Entanglement::Ring);
+        assert_eq!(c.n_params(), 3 * 3);
+    }
+
+    #[test]
+    fn real_amplitudes_state_is_real() {
+        let c = real_amplitudes(3, 2, Entanglement::Linear);
+        let params: Vec<f64> = (0..c.n_params()).map(|i| 0.3 * i as f64).collect();
+        let s = Simulator::new().run(&c, &params);
+        for a in s.amplitudes() {
+            assert!(a.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_entanglement_has_more_gates_than_linear() {
+        let lin = hardware_efficient(4, 1, Entanglement::Linear);
+        let full = hardware_efficient(4, 1, Entanglement::Full);
+        assert!(full.len() > lin.len());
+    }
+
+    #[test]
+    fn ring_topology_connects_endpoints() {
+        let ring = real_amplitudes(4, 1, Entanglement::Ring);
+        let has_wrap = ring
+            .instrs()
+            .iter()
+            .any(|i| i.controls == vec![3] && i.targets == vec![0]);
+        assert!(has_wrap);
+    }
+
+    #[test]
+    fn qaoa_ansatz_parameter_count_is_2p() {
+        let h = PauliSum::from_terms(vec![
+            (0.5, PauliString::zz(0, 1)),
+            (0.5, PauliString::zz(1, 2)),
+        ]);
+        let c = qaoa_ansatz(3, &h, 4);
+        assert_eq!(c.n_params(), 8);
+    }
+
+    #[test]
+    fn qaoa_at_zero_angles_is_uniform_superposition() {
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
+        let c = qaoa_ansatz(2, &h, 2);
+        let s = Simulator::new().run(&c, &[0.0; 4]);
+        for p in s.probabilities() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be diagonal")]
+    fn qaoa_rejects_nondiagonal_cost() {
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::x(0))]);
+        qaoa_ansatz(1, &h, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Classical-data → quantum-state encodings.
+//!
+//! The data-loading problem is the first obstacle every QML pipeline faces
+//! (Aaronson's "fine print"): these are the standard answers.
+//!
+//! * **basis** — integers as computational basis states;
+//! * **angle** — one feature per qubit as a rotation angle (constant depth);
+//! * **ZZ feature map** — the entangling map used by quantum-kernel
+//!   classifiers (Havlíček et al. style);
+//! * **amplitude** — `2ⁿ` features in n qubits via a tree of uniformly
+//!   controlled rotations (exponentially compact, linear-in-`N` depth).
+
+use qmldb_sim::{Circuit, Gate, StateVector};
+
+/// Encodes an integer as the computational basis state |index⟩.
+pub fn basis_encode(n_qubits: usize, index: usize) -> Circuit {
+    assert!(index < (1usize << n_qubits), "index out of range");
+    let mut c = Circuit::new(n_qubits);
+    for q in 0..n_qubits {
+        if index & (1 << q) != 0 {
+            c.x(q);
+        }
+    }
+    c
+}
+
+/// Angle encoding: qubit `i` gets `RY(x_i)`. Features beyond `n_qubits`
+/// wrap onto the same qubits with additional rotations.
+pub fn angle_encode(n_qubits: usize, features: &[f64]) -> Circuit {
+    assert!(!features.is_empty(), "no features");
+    let mut c = Circuit::new(n_qubits);
+    for (i, &x) in features.iter().enumerate() {
+        c.ry(i % n_qubits, x);
+    }
+    c
+}
+
+/// The ZZ feature map: `reps` repetitions of
+/// `H^{⊗n} · exp(i Σ x_i Z_i) · exp(i Σ (π−x_i)(π−x_j) Z_i Z_j)`,
+/// producing a kernel that is conjectured hard to evaluate classically.
+///
+/// Feature count must equal `n_qubits`.
+pub fn zz_feature_map(n_qubits: usize, features: &[f64], reps: usize) -> Circuit {
+    assert_eq!(features.len(), n_qubits, "one feature per qubit required");
+    let mut c = Circuit::new(n_qubits);
+    for _ in 0..reps {
+        for q in 0..n_qubits {
+            c.h(q);
+            c.p(q, 2.0 * features[q]);
+        }
+        for i in 0..n_qubits {
+            for j in (i + 1)..n_qubits {
+                let phi = 2.0
+                    * (std::f64::consts::PI - features[i])
+                    * (std::f64::consts::PI - features[j]);
+                c.cx(i, j);
+                c.p(j, phi);
+                c.cx(i, j);
+            }
+        }
+    }
+    c
+}
+
+/// Amplitude encoding of up to `2ⁿ` **non-negative** features as a quantum
+/// state, built from a binary tree of uniformly controlled RY rotations.
+///
+/// The feature vector is zero-padded to `2ⁿ` and normalized. Returns the
+/// preparation circuit; running it on |0…0⟩ yields amplitudes proportional
+/// to the features.
+///
+/// # Panics
+/// Panics on negative features or an all-zero vector.
+pub fn amplitude_encode(n_qubits: usize, features: &[f64]) -> Circuit {
+    let dim = 1usize << n_qubits;
+    assert!(features.len() <= dim, "too many features for {n_qubits} qubits");
+    assert!(
+        features.iter().all(|&f| f >= 0.0),
+        "amplitude encoding requires non-negative features"
+    );
+    let mut padded = vec![0.0f64; dim];
+    padded[..features.len()].copy_from_slice(features);
+    let norm: f64 = padded.iter().map(|f| f * f).sum::<f64>().sqrt();
+    assert!(norm > 0.0, "cannot encode the zero vector");
+    for f in &mut padded {
+        *f /= norm;
+    }
+
+    // probs[level][prefix]: probability mass of the subtree where the top
+    // `level` qubits (msb-first) take the bit pattern `prefix`.
+    // We use qubit n-1 as the first branching bit so that basis index bits
+    // line up with the standard little-endian convention.
+    let mut c = Circuit::new(n_qubits);
+    // Subtree masses, computed bottom-up.
+    // mass[k][p] = Σ of padded[i]^2 over i whose top k bits equal p.
+    let mut mass = vec![vec![0.0f64; 1]; n_qubits + 1];
+    mass[n_qubits] = padded.iter().map(|f| f * f).collect();
+    for k in (0..n_qubits).rev() {
+        let len = 1usize << k;
+        let mut level = vec![0.0f64; len];
+        for (p, l) in level.iter_mut().enumerate() {
+            *l = mass[k + 1][2 * p] + mass[k + 1][2 * p + 1];
+        }
+        mass[k] = level;
+    }
+
+    for k in 0..n_qubits {
+        // Rotate qubit (n-1-k) conditioned on each prefix pattern of the
+        // previously prepared qubits.
+        let target = n_qubits - 1 - k;
+        let higher: Vec<usize> = (0..k).map(|j| n_qubits - 1 - j).collect();
+        for prefix in 0..(1usize << k) {
+            let total = mass[k][prefix];
+            if total <= 1e-300 {
+                continue;
+            }
+            let p1 = mass[k + 1][2 * prefix + 1] / total;
+            let theta = 2.0 * p1.clamp(0.0, 1.0).sqrt().asin();
+            if theta.abs() < 1e-15 {
+                continue;
+            }
+            // Emulate 0-controls by X-conjugation.
+            let mut zero_ctrls = Vec::new();
+            for (j, &q) in higher.iter().enumerate() {
+                // higher[j] corresponds to prefix bit (k-1-j)? Define prefix
+                // msb-first: bit j of prefix (from msb) controls higher[j].
+                let bit = (prefix >> (k - 1 - j)) & 1;
+                if bit == 0 {
+                    zero_ctrls.push(q);
+                }
+            }
+            for &q in &zero_ctrls {
+                c.x(q);
+            }
+            if higher.is_empty() {
+                c.ry(target, theta);
+            } else {
+                c.push(Gate::RY(theta.into()), higher.clone(), vec![target]);
+            }
+            for &q in &zero_ctrls {
+                c.x(q);
+            }
+        }
+    }
+    c
+}
+
+/// Directly constructs the amplitude-encoded state (bypassing circuit
+/// synthesis); accepts signed features.
+pub fn amplitude_encode_state(n_qubits: usize, features: &[f64]) -> StateVector {
+    let dim = 1usize << n_qubits;
+    assert!(features.len() <= dim, "too many features");
+    let mut amps = vec![qmldb_math::C64::ZERO; dim];
+    for (i, &f) in features.iter().enumerate() {
+        amps[i] = qmldb_math::C64::real(f);
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_sim::Simulator;
+
+    #[test]
+    fn basis_encoding_prepares_exact_state() {
+        let c = basis_encode(4, 0b1010);
+        let s = Simulator::new().run(&c, &[]);
+        assert!((s.probabilities()[0b1010] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_encoding_rotates_each_qubit() {
+        let c = angle_encode(2, &[std::f64::consts::PI, 0.0]);
+        let s = Simulator::new().run(&c, &[]);
+        // Qubit 0 flipped, qubit 1 unchanged.
+        assert!((s.probabilities()[0b01] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_encoding_wraps_extra_features() {
+        let c = angle_encode(2, &[0.3, 0.4, 0.5]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn zz_feature_map_produces_entanglement() {
+        let c = zz_feature_map(2, &[0.5, 1.2], 2);
+        let s = Simulator::new().run(&c, &[]);
+        // Entanglement check: the 1-qubit marginal of an entangled pure
+        // state is mixed, so the Bloch vector is shorter than 1.
+        use qmldb_sim::PauliString;
+        let x = PauliString::x(0).expectation(&s);
+        let y = PauliString::y(0).expectation(&s);
+        let z = PauliString::z(0).expectation(&s);
+        assert!(x * x + y * y + z * z < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn zz_feature_map_is_deterministic_in_features() {
+        let a = zz_feature_map(3, &[0.1, 0.2, 0.3], 1);
+        let b = zz_feature_map(3, &[0.1, 0.2, 0.3], 1);
+        let sa = Simulator::new().run(&a, &[]);
+        let sb = Simulator::new().run(&b, &[]);
+        assert!(sa.fidelity(&sb) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn amplitude_encoding_reproduces_features() {
+        let features = [0.5, 0.1, 0.7, 0.3, 0.0, 0.2, 0.9, 0.4];
+        let c = amplitude_encode(3, &features);
+        let s = Simulator::new().run(&c, &[]);
+        let norm: f64 = features.iter().map(|f| f * f).sum::<f64>().sqrt();
+        for (i, &f) in features.iter().enumerate() {
+            let expect = (f / norm).powi(2);
+            assert!(
+                (s.probabilities()[i] - expect).abs() < 1e-10,
+                "index {i}: {} vs {expect}",
+                s.probabilities()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_encoding_pads_short_vectors() {
+        let c = amplitude_encode(2, &[1.0, 1.0]);
+        let s = Simulator::new().run(&c, &[]);
+        assert!((s.probabilities()[0] - 0.5).abs() < 1e-10);
+        assert!((s.probabilities()[1] - 0.5).abs() < 1e-10);
+        assert!(s.probabilities()[2].abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_encoding_handles_sparse_vectors() {
+        let mut features = vec![0.0; 8];
+        features[5] = 1.0;
+        let c = amplitude_encode(3, &features);
+        let s = Simulator::new().run(&c, &[]);
+        assert!((s.probabilities()[5] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_state_matches_circuit_for_nonnegative() {
+        let features = [0.3, 0.0, 0.4, 0.8];
+        let via_circuit = Simulator::new().run(&amplitude_encode(2, &features), &[]);
+        let direct = amplitude_encode_state(2, &features);
+        assert!(via_circuit.fidelity(&direct) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_features_rejected_by_circuit_encoder() {
+        amplitude_encode(1, &[0.5, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn zero_vector_rejected() {
+        amplitude_encode(1, &[0.0, 0.0]);
+    }
+}

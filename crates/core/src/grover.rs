@@ -1,0 +1,248 @@
+//! Grover search and amplitude amplification.
+//!
+//! The oracle is modelled as a black-box phase flip over basis states
+//! (`O|x⟩ = −|x⟩` for marked x). Each application counts as one oracle
+//! call — the resource both the quantum and the classical baseline are
+//! charged in, so the quadratic √N separation is measured honestly.
+
+use qmldb_math::Rng64;
+use qmldb_sim::StateVector;
+
+/// Result of a Grover run.
+#[derive(Clone, Debug)]
+pub struct GroverResult {
+    /// The measured basis state.
+    pub outcome: usize,
+    /// Whether the outcome satisfies the oracle.
+    pub success: bool,
+    /// Oracle calls consumed (= Grover iterations).
+    pub oracle_calls: usize,
+    /// Success probability of the final state (exact, for diagnostics).
+    pub success_probability: f64,
+}
+
+/// Applies the oracle phase flip in place.
+fn apply_oracle(state: &mut StateVector, oracle: &dyn Fn(usize) -> bool) {
+    for (i, a) in state.amplitudes_mut().iter_mut().enumerate() {
+        if oracle(i) {
+            *a = -*a;
+        }
+    }
+}
+
+/// Applies the diffusion operator `2|s⟩⟨s| − I` (inversion about the mean).
+fn apply_diffusion(state: &mut StateVector) {
+    let amps = state.amplitudes_mut();
+    let n = amps.len() as f64;
+    let mean = amps
+        .iter()
+        .fold(qmldb_math::C64::ZERO, |acc, &a| acc + a)
+        / n;
+    for a in amps.iter_mut() {
+        *a = mean.scale(2.0) - *a;
+    }
+}
+
+/// The optimal Grover iteration count for `marked` solutions among `total`
+/// states: `⌊π/4 · √(N/M)⌋` (at least 1 when a rotation helps).
+pub fn optimal_iterations(total: usize, marked: usize) -> usize {
+    assert!(marked > 0 && marked <= total, "bad marked count");
+    let theta = ((marked as f64 / total as f64).sqrt()).asin();
+    let k = (std::f64::consts::FRAC_PI_4 / theta - 0.5).round();
+    k.max(0.0) as usize
+}
+
+/// Runs Grover search on `n_qubits` with the given iteration count and one
+/// final measurement.
+pub fn grover_search(
+    n_qubits: usize,
+    oracle: &dyn Fn(usize) -> bool,
+    iterations: usize,
+    rng: &mut Rng64,
+) -> GroverResult {
+    let mut state = StateVector::zero(n_qubits);
+    // Uniform superposition.
+    let dim = 1usize << n_qubits;
+    let amp = qmldb_math::C64::real(1.0 / (dim as f64).sqrt());
+    for a in state.amplitudes_mut().iter_mut() {
+        *a = amp;
+    }
+    for _ in 0..iterations {
+        apply_oracle(&mut state, oracle);
+        apply_diffusion(&mut state);
+    }
+    let success_probability: f64 = state
+        .probabilities()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| oracle(i))
+        .map(|(_, p)| p)
+        .sum();
+    let outcome = state.sample(1, rng)[0];
+    GroverResult {
+        outcome,
+        success: oracle(outcome),
+        oracle_calls: iterations,
+        success_probability,
+    }
+}
+
+/// Grover with the optimal iteration count for a known number of marked
+/// items.
+pub fn grover_search_known(
+    n_qubits: usize,
+    oracle: &dyn Fn(usize) -> bool,
+    marked: usize,
+    rng: &mut Rng64,
+) -> GroverResult {
+    let iters = optimal_iterations(1usize << n_qubits, marked);
+    grover_search(n_qubits, oracle, iters, rng)
+}
+
+/// Grover with unknown marked count: the standard exponential-schedule
+/// strategy (Boyer–Brassard–Høyer–Tapp). Expected O(√(N/M)) oracle calls.
+pub fn grover_search_unknown(
+    n_qubits: usize,
+    oracle: &dyn Fn(usize) -> bool,
+    rng: &mut Rng64,
+) -> GroverResult {
+    let dim = 1usize << n_qubits;
+    let mut m = 1.0f64;
+    let lambda = 6.0 / 5.0;
+    let mut total_calls = 0usize;
+    loop {
+        let j = rng.below(m as u64 + 1) as usize;
+        let r = grover_search(n_qubits, oracle, j, rng);
+        total_calls += r.oracle_calls;
+        if r.success {
+            return GroverResult {
+                oracle_calls: total_calls,
+                ..r
+            };
+        }
+        m = (lambda * m).min((dim as f64).sqrt());
+        if total_calls > 20 * dim {
+            // No marked element (or pathological oracle): give up.
+            return GroverResult {
+                oracle_calls: total_calls,
+                ..r
+            };
+        }
+    }
+}
+
+/// Classical baseline: uniformly random probing without replacement;
+/// returns the number of oracle calls needed to find a marked item
+/// (or `total` if none exists).
+pub fn classical_search(
+    total: usize,
+    oracle: &dyn Fn(usize) -> bool,
+    rng: &mut Rng64,
+) -> usize {
+    let mut order: Vec<usize> = (0..total).collect();
+    rng.shuffle(&mut order);
+    for (calls, idx) in order.into_iter().enumerate() {
+        if oracle(idx) {
+            return calls + 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_marked_item_found_with_high_probability() {
+        let n = 8usize;
+        let target = 173usize;
+        let oracle = move |x: usize| x == target;
+        let mut rng = Rng64::new(501);
+        let r = grover_search_known(n, &oracle, 1, &mut rng);
+        assert!(r.success_probability > 0.99, "p = {}", r.success_probability);
+        assert_eq!(r.outcome, target);
+        // π/4·√256 = 12.57 → 12 iterations.
+        assert_eq!(r.oracle_calls, 12);
+    }
+
+    #[test]
+    fn oracle_calls_scale_as_sqrt_n() {
+        let calls_8 = optimal_iterations(1 << 8, 1);
+        let calls_12 = optimal_iterations(1 << 12, 1);
+        let ratio = calls_12 as f64 / calls_8 as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "√(2^12/2^8) = 4, got {ratio}");
+    }
+
+    #[test]
+    fn multiple_marked_items_need_fewer_iterations() {
+        assert!(optimal_iterations(1024, 16) < optimal_iterations(1024, 1));
+    }
+
+    #[test]
+    fn multiple_marked_search_succeeds() {
+        let n = 7usize;
+        let oracle = |x: usize| x % 13 == 0; // ~10 of 128 marked
+        let marked = (0..(1usize << n)).filter(|&x| oracle(x)).count();
+        let mut rng = Rng64::new(503);
+        let r = grover_search_known(n, &oracle, marked, &mut rng);
+        assert!(r.success_probability > 0.9);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn over_rotation_degrades_success() {
+        let n = 6usize;
+        let oracle = |x: usize| x == 5;
+        let mut rng = Rng64::new(505);
+        let opt = optimal_iterations(1 << n, 1);
+        let good = grover_search(n, &oracle, opt, &mut rng).success_probability;
+        let over = grover_search(n, &oracle, opt * 2, &mut rng).success_probability;
+        assert!(good > over, "good {good}, over-rotated {over}");
+    }
+
+    #[test]
+    fn unknown_count_strategy_finds_item() {
+        let n = 8usize;
+        let oracle = |x: usize| x == 99;
+        let mut rng = Rng64::new(507);
+        let mut successes = 0;
+        let mut total_calls = 0usize;
+        for _ in 0..20 {
+            let r = grover_search_unknown(n, &oracle, &mut rng);
+            if r.success {
+                successes += 1;
+            }
+            total_calls += r.oracle_calls;
+        }
+        assert!(successes >= 18, "{successes}/20");
+        // Expected calls stay well under classical N/2 = 128.
+        assert!(
+            (total_calls as f64 / 20.0) < 64.0,
+            "avg calls {}",
+            total_calls as f64 / 20.0
+        );
+    }
+
+    #[test]
+    fn classical_baseline_needs_linear_calls() {
+        let total = 1 << 10;
+        let oracle = |x: usize| x == 777;
+        let mut rng = Rng64::new(509);
+        let avg: f64 = (0..50)
+            .map(|_| classical_search(total, &oracle, &mut rng) as f64)
+            .sum::<f64>()
+            / 50.0;
+        // Expected (N+1)/2 ≈ 512.
+        assert!((avg - 512.0).abs() < 120.0, "avg {avg}");
+    }
+
+    #[test]
+    fn zero_iterations_is_uniform_guessing() {
+        let n = 5usize;
+        let oracle = |x: usize| x == 3;
+        let mut rng = Rng64::new(511);
+        let r = grover_search(n, &oracle, 0, &mut rng);
+        assert!((r.success_probability - 1.0 / 32.0).abs() < 1e-12);
+    }
+}

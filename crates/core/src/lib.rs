@@ -1,0 +1,56 @@
+//! Quantum machine learning: the primary library of the `qmldb` workspace.
+//!
+//! This crate implements the QML stack a database researcher would reach
+//! for, as laid out by the SIGMOD 2023 tutorial *Quantum Machine Learning:
+//! Foundation, New Techniques, and Opportunities for Database Research*:
+//!
+//! * **Foundation** — data encodings ([`encoding`]), the QFT and phase
+//!   estimation ([`qft`]), Grover search ([`grover`]) and amplitude
+//!   estimation ([`amplitude`]);
+//! * **New techniques** — variational ansätze ([`ansatz`]), parameter-shift
+//!   gradients ([`gradient`]), optimizers ([`optimizer`]), the variational
+//!   classifier ([`vqc`]), quantum kernels ([`kernel`]) and the QSVM
+//!   ([`qsvm`]), QAOA ([`qaoa`]), VQE ([`vqe`]) and the HHL linear solver
+//!   ([`linear`]);
+//! * **Limits** — barren-plateau diagnostics ([`plateau`]).
+//!
+//! # Example: a quantum-kernel SVM in six lines
+//! ```
+//! use qmldb_core::kernel::{FeatureMap, QuantumKernel};
+//! use qmldb_core::qsvm::{KernelMode, Qsvm};
+//! use qmldb_ml::{dataset, SvmParams};
+//! use qmldb_math::Rng64;
+//!
+//! let mut rng = Rng64::new(1);
+//! let d = dataset::blobs(20, &[0.5, 0.5], &[2.4, 2.4], 0.2, &mut rng);
+//! let kernel = QuantumKernel::new(2, FeatureMap::Angle);
+//! let model = Qsvm::train(kernel, d.x.clone(), d.y.clone(), KernelMode::Exact,
+//!                         &SvmParams::default(), &mut rng);
+//! assert!(model.accuracy(&d.x, &d.y) > 0.9);
+//! ```
+
+pub mod amplitude;
+pub mod ansatz;
+pub mod encoding;
+pub mod gradient;
+pub mod grover;
+pub mod kernel;
+pub mod linear;
+pub mod optimizer;
+pub mod oracles;
+pub mod plateau;
+pub mod qaoa;
+pub mod qft;
+pub mod qkrr;
+pub mod qsvm;
+pub mod vqc;
+pub mod vqe;
+pub mod walk;
+
+pub use ansatz::Entanglement;
+pub use kernel::{FeatureMap, QuantumKernel};
+pub use qaoa::{Qaoa, QaoaResult};
+pub use qkrr::Qkrr;
+pub use qsvm::{KernelMode, Qsvm};
+pub use vqc::{Vqc, VqcConfig};
+pub use vqe::{Vqe, VqeResult};

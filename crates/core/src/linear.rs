@@ -1,0 +1,421 @@
+//! HHL quantum linear-system solver.
+//!
+//! Solves `Ax = b` for real symmetric `A` with the textbook circuit: phase
+//! estimation of `U = e^{iAt}`, a clock-conditioned ancilla rotation
+//! `RY(2·asin(C/λ))`, uncomputation, and post-selection on the ancilla.
+//! The output is the normalized solution state — the regime where the
+//! algorithm's exponential speedup claim lives (you read out expectation
+//! values, not the full vector).
+
+use crate::qft::append_phase_estimation;
+use qmldb_math::decomp::{self, symmetric_eigen};
+use qmldb_math::{C64, CMatrix, Matrix, Rng64, Vector};
+use qmldb_sim::{Circuit, Gate, StateVector};
+
+/// HHL configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HhlConfig {
+    /// Clock-register width (eigenvalue resolution = 2^clock_bits).
+    pub clock_bits: usize,
+    /// Scale factor in `C = c_scale · λ_min_representable`; must be ≤ 1.
+    pub c_scale: f64,
+}
+
+impl Default for HhlConfig {
+    fn default() -> Self {
+        HhlConfig {
+            clock_bits: 5,
+            c_scale: 0.9,
+        }
+    }
+}
+
+/// Errors from the HHL pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HhlError {
+    /// `A` is not square/symmetric or `b` has the wrong length.
+    BadInput(String),
+    /// Post-selection on the ancilla succeeded with (numerically) zero
+    /// probability.
+    PostSelectionFailed,
+}
+
+impl std::fmt::Display for HhlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HhlError::BadInput(m) => write!(f, "bad input: {m}"),
+            HhlError::PostSelectionFailed => write!(f, "ancilla post-selection failed"),
+        }
+    }
+}
+
+impl std::error::Error for HhlError {}
+
+/// Result of an HHL run.
+#[derive(Clone, Debug)]
+pub struct HhlResult {
+    /// The normalized solution amplitudes (global phase fixed so the
+    /// largest-magnitude entry is positive real).
+    pub solution: Vec<f64>,
+    /// Probability of the ancilla post-selection succeeding.
+    pub success_probability: f64,
+    /// Number of qubits the circuit used.
+    pub qubits_used: usize,
+}
+
+/// Matrix exponential `e^{iAt}` for real symmetric `A` via the Jacobi
+/// eigendecomposition.
+pub fn expm_i_symmetric(a: &Matrix, t: f64) -> CMatrix {
+    let (vals, vecs) = symmetric_eigen(a, 1e-12, 200).expect("symmetric eigen failed");
+    let n = a.rows();
+    let mut u = CMatrix::zeros(n, n);
+    // U = V diag(e^{iλt}) Vᵀ
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = C64::ZERO;
+            for k in 0..n {
+                acc += C64::cis(vals[k] * t) * (vecs[(i, k)] * vecs[(j, k)]);
+            }
+            u[(i, j)] = acc;
+        }
+    }
+    u
+}
+
+/// Solves `Ax = b` with the HHL circuit on the state-vector simulator.
+///
+/// `A` must be real symmetric with dimension a power of two; `b` must have
+/// the same length and a nonzero norm. The classical reference solution is
+/// available via [`classical_solution`].
+pub fn hhl_solve(a: &Matrix, b: &[f64], cfg: &HhlConfig) -> Result<HhlResult, HhlError> {
+    let dim = a.rows();
+    if a.cols() != dim || !dim.is_power_of_two() || dim < 2 {
+        return Err(HhlError::BadInput(format!(
+            "A must be square with power-of-two dim ≥ 2, got {dim}×{}",
+            a.cols()
+        )));
+    }
+    if !a.is_symmetric(1e-9) {
+        return Err(HhlError::BadInput("A must be symmetric".into()));
+    }
+    if b.len() != dim {
+        return Err(HhlError::BadInput("b length mismatch".into()));
+    }
+    let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Err(HhlError::BadInput("b is zero".into()));
+    }
+
+    let s = dim.trailing_zeros() as usize; // system qubits
+    let t = cfg.clock_bits;
+    let n_qubits = t + s + 1;
+    let ancilla = t + s;
+    let system: Vec<usize> = (t..t + s).collect();
+
+    // Choose evolution time so |λ|·t0 < π (phases stay in (−1/2, 1/2)
+    // turn): Gershgorin bound on the spectral radius.
+    let mut radius: f64 = 0.0;
+    for i in 0..dim {
+        let row_sum: f64 = (0..dim).map(|j| a[(i, j)].abs()).sum();
+        radius = radius.max(row_sum);
+    }
+    let t0 = std::f64::consts::PI / radius.max(1e-12) * 0.9;
+    let u = expm_i_symmetric(a, t0);
+
+    // QPE + conditioned rotation + inverse QPE.
+    let mut c = Circuit::new(n_qubits);
+    append_phase_estimation(&mut c, 0, t, &system, &u);
+    // Clock value k encodes phase k/2^t ⇒ λ = 2π·φ/t0 with signed phase
+    // (k > 2^{t-1} is negative).
+    let two_t = 1usize << t;
+    let lam_min = std::f64::consts::TAU / (two_t as f64 * t0);
+    let c_const = cfg.c_scale * lam_min;
+    for k in 1..two_t {
+        let signed = if k < two_t / 2 {
+            k as f64
+        } else {
+            k as f64 - two_t as f64
+        };
+        let lam = std::f64::consts::TAU * signed / (two_t as f64 * t0);
+        let ratio = (c_const / lam).clamp(-1.0, 1.0);
+        let theta = 2.0 * ratio.asin();
+        if theta.abs() < 1e-14 {
+            continue;
+        }
+        // Multi-controlled RY on the ancilla, controls = clock == k.
+        let mut zero_ctrls = Vec::new();
+        let controls: Vec<usize> = (0..t).collect();
+        for (bit, &q) in controls.iter().enumerate() {
+            if k & (1 << bit) == 0 {
+                zero_ctrls.push(q);
+            }
+        }
+        for &q in &zero_ctrls {
+            c.x(q);
+        }
+        c.push(Gate::RY(theta.into()), controls, vec![ancilla]);
+        for &q in &zero_ctrls {
+            c.x(q);
+        }
+    }
+    // Uncompute the clock: inverse QPE.
+    let mut qpe = Circuit::new(n_qubits);
+    append_phase_estimation(&mut qpe, 0, t, &system, &u);
+    c.extend(&qpe.inverse());
+
+    // Initial state: |0…0⟩_clock ⊗ |b⟩_system ⊗ |0⟩_ancilla.
+    let mut state = StateVector::zero(n_qubits);
+    {
+        let amps = state.amplitudes_mut();
+        amps[0] = C64::ZERO;
+        for (i, &bi) in b.iter().enumerate() {
+            amps[i << t] = C64::real(bi / b_norm);
+        }
+    }
+    state.run(&c, &[]);
+
+    // Post-select ancilla = 1.
+    let success_probability = state.prob_one(ancilla);
+    if success_probability < 1e-12 {
+        return Err(HhlError::PostSelectionFailed);
+    }
+    state.collapse(ancilla, true);
+
+    // Read the system register: amplitudes at clock = 0, ancilla = 1.
+    let mut raw = vec![C64::ZERO; dim];
+    let amps = state.amplitudes();
+    for (i, r) in raw.iter_mut().enumerate() {
+        *r = amps[(1 << ancilla) | (i << t)];
+    }
+    // Fix global phase to make the dominant entry positive real.
+    let dominant = raw
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    let phase = raw[dominant].arg();
+    let rot = C64::cis(-phase);
+    let mut solution: Vec<f64> = raw.iter().map(|z| (*z * rot).re).collect();
+    let norm: f64 = solution.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in &mut solution {
+            *v /= norm;
+        }
+    }
+    Ok(HhlResult {
+        solution,
+        success_probability,
+        qubits_used: n_qubits,
+    })
+}
+
+/// The classical normalized solution direction of `Ax = b` (sign fixed the
+/// same way as the quantum output).
+pub fn classical_solution(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, HhlError> {
+    let x = decomp::solve(a, &Vector::from_vec(b.to_vec()))
+        .map_err(|e| HhlError::BadInput(e.to_string()))?;
+    let mut v = x.into_vec();
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    for vi in &mut v {
+        *vi /= norm;
+    }
+    let dominant = v
+        .iter()
+        .enumerate()
+        .max_by(|a, b| (a.1 * a.1).partial_cmp(&(b.1 * b.1)).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    if v[dominant] < 0.0 {
+        for vi in &mut v {
+            *vi = -*vi;
+        }
+    }
+    Ok(v)
+}
+
+/// |⟨x_quantum, x_classical⟩| — the figure of merit for HHL accuracy.
+pub fn solution_fidelity(quantum: &[f64], classical: &[f64]) -> f64 {
+    quantum
+        .iter()
+        .zip(classical)
+        .map(|(a, b)| a * b)
+        .sum::<f64>()
+        .abs()
+}
+
+/// Generates a random symmetric positive-definite matrix with the given
+/// condition number (for condition-number sweeps).
+pub fn random_spd_with_condition(dim: usize, kappa: f64, rng: &mut Rng64) -> Matrix {
+    assert!(kappa >= 1.0, "condition number must be ≥ 1");
+    // Random orthogonal basis via Gram–Schmidt on Gaussian vectors.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    while basis.len() < dim {
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.normal()).collect();
+        for u in &basis {
+            let proj: f64 = v.iter().zip(u).map(|(a, b)| a * b).sum();
+            for (vi, ui) in v.iter_mut().zip(u) {
+                *vi -= proj * ui;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-6 {
+            for vi in &mut v {
+                *vi /= norm;
+            }
+            basis.push(v);
+        }
+    }
+    // Eigenvalues log-spaced in [1/κ, 1].
+    let mut m = Matrix::zeros(dim, dim);
+    for (k, u) in basis.iter().enumerate() {
+        let frac = if dim == 1 { 0.0 } else { k as f64 / (dim - 1) as f64 };
+        let lam = kappa.powf(-frac); // from 1 down to 1/κ
+        for i in 0..dim {
+            for j in 0..dim {
+                m[(i, j)] += lam * u[i] * u[j];
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_is_unitary_and_matches_eigenphases() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, -2.0]]);
+        let u = expm_i_symmetric(&a, 0.7);
+        assert!(u.is_unitary(1e-10));
+        assert!(u[(0, 0)].approx_eq(C64::cis(0.7), 1e-10));
+        assert!(u[(1, 1)].approx_eq(C64::cis(-1.4), 1e-10));
+    }
+
+    #[test]
+    fn hhl_solves_diagonal_system() {
+        // A = diag(1, 2), b = (1, 1): x ∝ (1, 0.5).
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let b = [1.0, 1.0];
+        let r = hhl_solve(&a, &b, &HhlConfig::default()).unwrap();
+        let x = classical_solution(&a, &b).unwrap();
+        let f = solution_fidelity(&r.solution, &x);
+        assert!(f > 0.99, "fidelity {f}: {:?} vs {:?}", r.solution, x);
+    }
+
+    #[test]
+    fn more_clock_bits_improve_fidelity() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let b = [1.0, 1.0];
+        let x = classical_solution(&a, &b).unwrap();
+        let coarse = hhl_solve(&a, &b, &HhlConfig { clock_bits: 3, c_scale: 0.9 }).unwrap();
+        let fine = hhl_solve(&a, &b, &HhlConfig { clock_bits: 8, c_scale: 0.9 }).unwrap();
+        let f_coarse = solution_fidelity(&coarse.solution, &x);
+        let f_fine = solution_fidelity(&fine.solution, &x);
+        assert!(
+            f_fine > f_coarse,
+            "8 clock bits ({f_fine}) must beat 3 ({f_coarse})"
+        );
+        assert!(f_fine > 0.9999, "fine fidelity {f_fine}");
+    }
+
+    #[test]
+    fn hhl_solves_coupled_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
+        let b = [0.8, -0.6];
+        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.7 }).unwrap();
+        let x = classical_solution(&a, &b).unwrap();
+        let f = solution_fidelity(&r.solution, &x);
+        assert!(f > 0.99, "fidelity {f}");
+    }
+
+    #[test]
+    fn hhl_handles_indefinite_matrix() {
+        // One positive and one negative eigenvalue.
+        let a = Matrix::from_rows(&[vec![0.5, 1.0], vec![1.0, 0.5]]); // eig 1.5, -0.5
+        let b = [1.0, 0.3];
+        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 7, c_scale: 0.5 }).unwrap();
+        let x = classical_solution(&a, &b).unwrap();
+        let f = solution_fidelity(&r.solution, &x);
+        assert!(f > 0.98, "fidelity {f}");
+    }
+
+    #[test]
+    fn hhl_on_4d_system() {
+        let mut rng = Rng64::new(701);
+        let a = random_spd_with_condition(4, 4.0, &mut rng);
+        let b = [0.3, -0.5, 0.8, 0.1];
+        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.6 }).unwrap();
+        let x = classical_solution(&a, &b).unwrap();
+        let f = solution_fidelity(&r.solution, &x);
+        assert!(f > 0.97, "fidelity {f}");
+        assert_eq!(r.qubits_used, 6 + 2 + 1);
+    }
+
+    #[test]
+    fn success_probability_scales_as_c_squared() {
+        // p_success = Σ|β_j|²(C/λ_j)², so halving C quarters it.
+        let a = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
+        let b = [0.8, -0.6];
+        let p_full = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.8 })
+            .unwrap()
+            .success_probability;
+        let p_half = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.4 })
+            .unwrap()
+            .success_probability;
+        let ratio = p_full / p_half;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_condition_number_degrades_fidelity_at_fixed_clock() {
+        // With a fixed eigenvalue grid, an ill-conditioned spectrum is
+        // resolved relatively worse, so the solution drifts.
+        let mut rng = Rng64::new(703);
+        let a_easy = random_spd_with_condition(2, 1.5, &mut rng);
+        let a_hard = random_spd_with_condition(2, 24.0, &mut rng);
+        let b = [0.6, 0.8];
+        let cfg = HhlConfig { clock_bits: 5, c_scale: 0.5 };
+        let f_easy = solution_fidelity(
+            &hhl_solve(&a_easy, &b, &cfg).unwrap().solution,
+            &classical_solution(&a_easy, &b).unwrap(),
+        );
+        let f_hard = solution_fidelity(
+            &hhl_solve(&a_hard, &b, &cfg).unwrap().solution,
+            &classical_solution(&a_hard, &b).unwrap(),
+        );
+        assert!(
+            f_hard < f_easy + 1e-9,
+            "κ=24 fidelity {f_hard} vs κ=1.5 fidelity {f_easy}"
+        );
+        assert!(f_easy > 0.999, "easy fidelity {f_easy}");
+    }
+
+    #[test]
+    fn random_spd_has_requested_condition() {
+        let mut rng = Rng64::new(705);
+        let a = random_spd_with_condition(4, 10.0, &mut rng);
+        let (vals, _) = symmetric_eigen(&a, 1e-12, 200).unwrap();
+        let kappa = vals[0] / vals[3];
+        assert!((kappa - 10.0).abs() < 0.5, "κ = {kappa}");
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            hhl_solve(&a, &[1.0, 0.0], &HhlConfig::default()),
+            Err(HhlError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_rhs() {
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            hhl_solve(&a, &[0.0, 0.0], &HhlConfig::default()),
+            Err(HhlError::BadInput(_))
+        ));
+    }
+}

@@ -1,0 +1,342 @@
+//! Classical optimizers driving variational quantum algorithms.
+
+use qmldb_math::Rng64;
+
+/// A first-order optimizer consuming gradients.
+pub trait Optimizer {
+    /// Updates `params` in place given the gradient of the objective.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Resets internal state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain gradient descent.
+#[derive(Clone, Debug)]
+pub struct GradientDescent {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Optimizer for GradientDescent {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+    fn reset(&mut self) {}
+}
+
+/// Gradient descent with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient in [0, 1).
+    pub beta: f64,
+    velocity: Vec<f64>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimizer.
+    pub fn new(lr: f64, beta: f64) -> Self {
+        Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            *v = self.beta * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults except the learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// Record of one optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Objective at the best parameters.
+    pub best_value: f64,
+    /// Objective value after each iteration.
+    pub history: Vec<f64>,
+}
+
+/// Minimizes `objective` with a gradient closure and a first-order
+/// optimizer. Tracks the best point seen (the iterate may wander).
+pub fn minimize(
+    objective: &mut dyn FnMut(&[f64]) -> f64,
+    gradient: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+    init: &[f64],
+    optimizer: &mut dyn Optimizer,
+    iters: usize,
+) -> OptimizeResult {
+    let mut params = init.to_vec();
+    let mut history = Vec::with_capacity(iters);
+    let mut best = params.clone();
+    let mut best_value = objective(&params);
+    for _ in 0..iters {
+        let g = gradient(&params);
+        optimizer.step(&mut params, &g);
+        let v = objective(&params);
+        history.push(v);
+        if v < best_value {
+            best_value = v;
+            best = params.clone();
+        }
+    }
+    OptimizeResult {
+        params: best,
+        best_value,
+        history,
+    }
+}
+
+/// SPSA minimizer with the standard decaying gain schedules
+/// `aₖ = a/(k+1+A)^α`, `cₖ = c/(k+1)^γ`. Two objective evaluations per
+/// iteration regardless of dimension — the shot-frugal choice on hardware.
+#[derive(Clone, Debug)]
+pub struct SpsaConfig {
+    /// Initial step gain.
+    pub a: f64,
+    /// Initial perturbation size.
+    pub c: f64,
+    /// Step decay exponent (0.602 is Spall's recommendation).
+    pub alpha: f64,
+    /// Perturbation decay exponent (0.101 recommended).
+    pub gamma: f64,
+    /// Stability offset added to the step schedule.
+    pub stability: f64,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig {
+            a: 0.2,
+            c: 0.15,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+        }
+    }
+}
+
+/// Runs SPSA for `iters` iterations.
+pub fn spsa_minimize(
+    objective: &mut dyn FnMut(&[f64]) -> f64,
+    init: &[f64],
+    config: &SpsaConfig,
+    iters: usize,
+    rng: &mut Rng64,
+) -> OptimizeResult {
+    let mut params = init.to_vec();
+    let n = params.len();
+    let mut history = Vec::with_capacity(iters);
+    let mut best = params.clone();
+    let mut best_value = objective(&params);
+    for k in 0..iters {
+        let ak = config.a / (k as f64 + 1.0 + config.stability).powf(config.alpha);
+        let ck = config.c / (k as f64 + 1.0).powf(config.gamma);
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let plus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + ck * d).collect();
+        let minus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - ck * d).collect();
+        let diff = objective(&plus) - objective(&minus);
+        for (p, d) in params.iter_mut().zip(&delta) {
+            *p -= ak * diff / (2.0 * ck * d);
+        }
+        let v = objective(&params);
+        history.push(v);
+        if v < best_value {
+            best_value = v;
+            best = params.clone();
+        }
+    }
+    OptimizeResult {
+        params: best,
+        best_value,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rosenbrock-lite: a convex quadratic with known minimum.
+    fn quadratic(p: &[f64]) -> f64 {
+        (p[0] - 3.0).powi(2) + 2.0 * (p[1] + 1.0).powi(2)
+    }
+    fn quadratic_grad(p: &[f64]) -> Vec<f64> {
+        vec![2.0 * (p[0] - 3.0), 4.0 * (p[1] + 1.0)]
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_quadratic() {
+        let mut gd = GradientDescent { lr: 0.1 };
+        let r = minimize(
+            &mut quadratic,
+            &mut |p| quadratic_grad(p),
+            &[0.0, 0.0],
+            &mut gd,
+            200,
+        );
+        assert!(r.best_value < 1e-8);
+        assert!((r.params[0] - 3.0).abs() < 1e-3);
+        assert!((r.params[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_beats_plain_gd_on_ill_conditioned_quadratic() {
+        let f = |p: &[f64]| p[0].powi(2) + 50.0 * p[1].powi(2);
+        let g = |p: &[f64]| vec![2.0 * p[0], 100.0 * p[1]];
+        let mut gd = GradientDescent { lr: 0.01 };
+        let mut mo = Momentum::new(0.01, 0.9);
+        let r_gd = minimize(&mut f.clone(), &mut |p| g(p), &[5.0, 1.0], &mut gd, 100);
+        let r_mo = minimize(&mut f.clone(), &mut |p| g(p), &[5.0, 1.0], &mut mo, 100);
+        assert!(r_mo.best_value < r_gd.best_value);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.2);
+        let r = minimize(
+            &mut quadratic,
+            &mut |p| quadratic_grad(p),
+            &[-4.0, 4.0],
+            &mut adam,
+            400,
+        );
+        assert!(r.best_value < 1e-4, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn history_is_recorded_per_iteration() {
+        let mut gd = GradientDescent { lr: 0.05 };
+        let r = minimize(
+            &mut quadratic,
+            &mut |p| quadratic_grad(p),
+            &[0.0, 0.0],
+            &mut gd,
+            37,
+        );
+        assert_eq!(r.history.len(), 37);
+    }
+
+    #[test]
+    fn best_value_is_min_of_history() {
+        let mut gd = GradientDescent { lr: 1.05 }; // deliberately unstable
+        let r = minimize(
+            &mut quadratic,
+            &mut |p| quadratic_grad(p),
+            &[0.0, 0.0],
+            &mut gd,
+            50,
+        );
+        let hist_min = r.history.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(r.best_value <= hist_min + 1e-12);
+    }
+
+    #[test]
+    fn spsa_minimizes_noisy_objective() {
+        let mut rng = Rng64::new(71);
+        let mut noise_rng = Rng64::new(72);
+        let mut f = move |p: &[f64]| quadratic(p) + 0.01 * noise_rng.normal();
+        let r = spsa_minimize(
+            &mut f,
+            &[0.0, 0.0],
+            &SpsaConfig {
+                a: 1.2,
+                ..SpsaConfig::default()
+            },
+            800,
+            &mut rng,
+        );
+        assert!(
+            quadratic(&r.params) < 0.3,
+            "final {:?} -> {}",
+            r.params,
+            quadratic(&r.params)
+        );
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut adam = Adam::new(0.1);
+        let mut p = vec![1.0];
+        adam.step(&mut p, &[1.0]);
+        adam.reset();
+        let mut q = vec![1.0];
+        adam.step(&mut q, &[1.0]);
+        assert_eq!(p, q, "first step after reset matches a fresh optimizer");
+    }
+}

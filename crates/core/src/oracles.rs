@@ -1,0 +1,223 @@
+//! Textbook oracle algorithms: Deutsch–Jozsa, Bernstein–Vazirani, and
+//! QPE-based quantum counting.
+//!
+//! These are the "foundation" demonstrations every QML tutorial opens
+//! with: one-query separations that make the query-complexity story
+//! concrete before the heavier machinery (Grover, QAE) arrives.
+
+use crate::qft::append_phase_estimation;
+use qmldb_math::{C64, CMatrix, Rng64};
+use qmldb_sim::{Circuit, Simulator, StateVector};
+
+/// A promise function for Deutsch–Jozsa: constant or balanced on `n` bits.
+#[derive(Clone, Debug)]
+pub enum PromiseFunction {
+    /// f(x) = bit for all x.
+    Constant(bool),
+    /// f(x) balanced: exactly half the inputs map to 1. Stored as the set
+    /// of inputs mapping to 1 (validated).
+    Balanced(std::collections::HashSet<usize>),
+}
+
+impl PromiseFunction {
+    /// A random balanced function on `n` bits.
+    pub fn random_balanced(n: usize, rng: &mut Rng64) -> PromiseFunction {
+        let dim = 1usize << n;
+        let ones = rng.sample_indices(dim, dim / 2).into_iter().collect();
+        PromiseFunction::Balanced(ones)
+    }
+
+    /// Evaluates the function.
+    pub fn eval(&self, x: usize) -> bool {
+        match self {
+            PromiseFunction::Constant(b) => *b,
+            PromiseFunction::Balanced(ones) => ones.contains(&x),
+        }
+    }
+
+    /// True when constant.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, PromiseFunction::Constant(_))
+    }
+}
+
+/// Runs Deutsch–Jozsa with **one** oracle query: returns `true` when the
+/// function is judged constant. The phase oracle is applied directly to
+/// the state (a black box, same accounting as Grover's).
+pub fn deutsch_jozsa(n: usize, f: &PromiseFunction) -> bool {
+    // |ψ⟩ = H^⊗n |0⟩, phase oracle, H^⊗n, measure: all-zeros ⇔ constant.
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    let mut state = StateVector::zero(n);
+    state.run(&c, &[]);
+    for (x, amp) in state.amplitudes_mut().iter_mut().enumerate() {
+        if f.eval(x) {
+            *amp = -*amp;
+        }
+    }
+    let mut h_again = Circuit::new(n);
+    for q in 0..n {
+        h_again.h(q);
+    }
+    state.run(&h_again, &[]);
+    // Probability of |0…0⟩ is exactly 1 (constant) or 0 (balanced).
+    state.probabilities()[0] > 0.5
+}
+
+/// Classical deterministic baseline for the same promise problem: worst
+/// case needs `2^{n-1} + 1` queries. Returns (is_constant, queries used).
+pub fn deutsch_jozsa_classical(n: usize, f: &PromiseFunction) -> (bool, usize) {
+    let first = f.eval(0);
+    let mut queries = 1;
+    for x in 1..=(1usize << (n - 1)) {
+        queries += 1;
+        if f.eval(x) != first {
+            return (false, queries);
+        }
+    }
+    (true, queries)
+}
+
+/// Runs Bernstein–Vazirani: recovers the hidden string `s` of
+/// `f(x) = s·x mod 2` with a single query.
+pub fn bernstein_vazirani(n: usize, secret: usize) -> usize {
+    assert!(secret < (1usize << n), "secret out of range");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    let mut state = StateVector::zero(n);
+    state.run(&c, &[]);
+    for (x, amp) in state.amplitudes_mut().iter_mut().enumerate() {
+        if ((x & secret).count_ones() & 1) == 1 {
+            *amp = -*amp;
+        }
+    }
+    let mut h_again = Circuit::new(n);
+    for q in 0..n {
+        h_again.h(q);
+    }
+    state.run(&h_again, &[]);
+    // The state is exactly |s⟩.
+    state
+        .probabilities()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// The dense Grover operator `G = D·O` on `n` qubits for a marked-set
+/// oracle (for QPE-based counting; `n ≤ 8` keeps the matrix small).
+pub fn grover_operator_matrix(n: usize, oracle: &dyn Fn(usize) -> bool) -> CMatrix {
+    let dim = 1usize << n;
+    assert!(dim <= 256, "dense Grover operator too large");
+    // O = diag(±1); D = 2|s⟩⟨s| − I with s uniform.
+    let mut g = CMatrix::zeros(dim, dim);
+    let two_over = 2.0 / dim as f64;
+    for col in 0..dim {
+        let sign = if oracle(col) { -1.0 } else { 1.0 };
+        for row in 0..dim {
+            let d = if row == col { two_over - 1.0 } else { two_over };
+            g[(row, col)] = C64::real(d * sign);
+        }
+    }
+    g
+}
+
+/// QPE-based quantum counting: estimates the number of marked states by
+/// phase-estimating the Grover operator on `t` clock qubits. Returns the
+/// count estimate.
+///
+/// The Grover rotation angle θ obeys `sin²θ = M/N`; QPE reads `2θ/2π` (or
+/// its complement) from the uniform state, which has overlap with both
+/// rotation eigenvectors.
+pub fn quantum_count_qpe(
+    n: usize,
+    oracle: &dyn Fn(usize) -> bool,
+    clock_bits: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    let dim = 1usize << n;
+    let g = grover_operator_matrix(n, oracle);
+    let total = clock_bits + n;
+    let mut c = Circuit::new(total);
+    // System register (wires clock_bits..) in uniform superposition.
+    for q in clock_bits..total {
+        c.h(q);
+    }
+    let system: Vec<usize> = (clock_bits..total).collect();
+    append_phase_estimation(&mut c, 0, clock_bits, &system, &g);
+    let state = Simulator::new().run(&c, &[]);
+    // Measure the clock register once.
+    let clock_mask = (1usize << clock_bits) - 1;
+    let outcome = state.sample(1, rng)[0] & clock_mask;
+    // Phase φ = outcome / 2^t estimates 2θ/2π (mod 1), possibly as 1−φ.
+    let phi = outcome as f64 / (1u64 << clock_bits) as f64;
+    let theta = std::f64::consts::PI * phi.min(1.0 - phi);
+    (theta.sin().powi(2) * dim as f64).round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deutsch_jozsa_identifies_constant_functions() {
+        for bit in [false, true] {
+            assert!(deutsch_jozsa(5, &PromiseFunction::Constant(bit)));
+        }
+    }
+
+    #[test]
+    fn deutsch_jozsa_identifies_balanced_functions() {
+        let mut rng = Rng64::new(2801);
+        for _ in 0..10 {
+            let f = PromiseFunction::random_balanced(5, &mut rng);
+            assert!(!deutsch_jozsa(5, &f));
+        }
+    }
+
+    #[test]
+    fn classical_baseline_needs_many_queries_in_worst_case() {
+        let (verdict, queries) = deutsch_jozsa_classical(6, &PromiseFunction::Constant(true));
+        assert!(verdict);
+        assert_eq!(queries, (1 << 5) + 1, "worst case is 2^{{n-1}}+1 queries");
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_every_secret() {
+        let n = 6;
+        for secret in [0usize, 1, 0b101010, 0b111111, 17] {
+            assert_eq!(bernstein_vazirani(n, secret), secret);
+        }
+    }
+
+    #[test]
+    fn grover_operator_is_unitary() {
+        let g = grover_operator_matrix(4, &|x| x % 5 == 0);
+        assert!(g.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn qpe_counting_estimates_marked_fraction() {
+        let n = 5usize;
+        let marked = 8usize; // 8 of 32 → θ = asin(1/2) = π/6
+        let oracle = move |x: usize| x < marked;
+        let mut rng = Rng64::new(2803);
+        // Majority vote over a few runs to wash out clock-tail outcomes.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..15 {
+            let est = quantum_count_qpe(n, &oracle, 6, &mut rng) as i64;
+            *counts.entry(est).or_insert(0usize) += 1;
+        }
+        let mode = *counts.iter().max_by_key(|(_, &c)| c).unwrap().0;
+        assert!(
+            (mode - marked as i64).abs() <= 1,
+            "mode estimate {mode} vs true {marked} ({counts:?})"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Barren-plateau diagnostics.
+//!
+//! For random parameterized circuits, the variance of cost-function
+//! gradients decays exponentially with qubit count (McClean et al.) — the
+//! central trainability obstacle for variational QML. This module measures
+//! that decay so the experiment harness can regenerate the canonical
+//! variance-vs-qubits figure.
+
+use crate::ansatz::{hardware_efficient, Entanglement};
+use qmldb_math::{stats, Rng64};
+use qmldb_sim::{PauliString, PauliSum, Simulator};
+
+/// Result of a gradient-variance scan at one circuit size.
+#[derive(Clone, Copy, Debug)]
+pub struct VarianceSample {
+    /// Number of qubits.
+    pub n_qubits: usize,
+    /// Ansatz layers used.
+    pub layers: usize,
+    /// Var[∂E/∂θ₀] over random parameter draws.
+    pub variance: f64,
+    /// Mean gradient (should hover near 0).
+    pub mean: f64,
+}
+
+/// Estimates Var[∂E/∂θ₀] for a hardware-efficient ansatz with uniformly
+/// random parameters, observable `Z₀Z₁`.
+pub fn gradient_variance(
+    n_qubits: usize,
+    layers: usize,
+    samples: usize,
+    rng: &mut Rng64,
+) -> VarianceSample {
+    assert!(n_qubits >= 2, "observable needs at least 2 qubits");
+    let circuit = hardware_efficient(n_qubits, layers, Entanglement::Linear);
+    let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
+    let sim = Simulator::new();
+    let mut grads = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let params: Vec<f64> = (0..circuit.n_params())
+            .map(|_| rng.uniform_range(0.0, std::f64::consts::TAU))
+            .collect();
+        // Only the first component is needed; parameter_shift computes all,
+        // so restrict the cost by probing θ₀ alone via a two-point rule.
+        let g = first_component_gradient(&sim, &circuit, &params, &obs);
+        grads.push(g);
+    }
+    VarianceSample {
+        n_qubits,
+        layers,
+        variance: stats::variance(&grads),
+        mean: stats::mean(&grads),
+    }
+}
+
+/// ∂E/∂θ₀ only (cheaper than the full gradient for the scan).
+fn first_component_gradient(
+    sim: &Simulator,
+    circuit: &qmldb_sim::Circuit,
+    params: &[f64],
+    obs: &PauliSum,
+) -> f64 {
+    // The shift rule on parameter 0: shift the parameter vector directly —
+    // valid because each parameter appears in exactly one gate in the
+    // hardware-efficient ansatz.
+    let mut plus = params.to_vec();
+    let mut minus = params.to_vec();
+    plus[0] += std::f64::consts::FRAC_PI_2;
+    minus[0] -= std::f64::consts::FRAC_PI_2;
+    (sim.expectation(circuit, &plus, obs) - sim.expectation(circuit, &minus, obs)) / 2.0
+}
+
+/// Runs the scan across qubit counts, returning one row per size.
+pub fn plateau_scan(
+    qubit_range: impl IntoIterator<Item = usize>,
+    layers: usize,
+    samples: usize,
+    rng: &mut Rng64,
+) -> Vec<VarianceSample> {
+    qubit_range
+        .into_iter()
+        .map(|n| gradient_variance(n, layers, samples, rng))
+        .collect()
+}
+
+/// Fits `log(variance) ~ slope · n + c`, returning the decay exponent per
+/// qubit (negative for a barren plateau).
+pub fn decay_exponent(scan: &[VarianceSample]) -> f64 {
+    let xs: Vec<f64> = scan.iter().map(|s| s.n_qubits as f64).collect();
+    let ys: Vec<f64> = scan.iter().map(|s| s.variance.max(1e-300).ln()).collect();
+    let (slope, _, _) = stats::linear_fit(&xs, &ys);
+    slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::parameter_shift;
+
+    #[test]
+    fn single_sample_gradient_is_consistent_with_full_shift_rule() {
+        let circuit = hardware_efficient(3, 2, Entanglement::Linear);
+        let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
+        let sim = Simulator::new();
+        let params: Vec<f64> = (0..circuit.n_params()).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let fast = first_component_gradient(&sim, &circuit, &params, &obs);
+        let full = parameter_shift(&sim, &circuit, &params, &obs);
+        assert!((fast - full[0]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn variance_decays_with_qubit_count() {
+        let mut rng = Rng64::new(801);
+        let scan = plateau_scan([2usize, 4, 6, 8], 3, 60, &mut rng);
+        assert!(
+            scan[0].variance > scan[3].variance,
+            "2q var {} vs 8q var {}",
+            scan[0].variance,
+            scan[3].variance
+        );
+        let slope = decay_exponent(&scan);
+        assert!(slope < -0.2, "decay exponent {slope} should be negative");
+    }
+
+    #[test]
+    fn mean_gradient_is_near_zero() {
+        let mut rng = Rng64::new(803);
+        let s = gradient_variance(4, 2, 120, &mut rng);
+        assert!(s.mean.abs() < 0.1, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn deeper_circuits_plateau_harder_at_fixed_width() {
+        let mut rng = Rng64::new(805);
+        let shallow = gradient_variance(6, 1, 80, &mut rng);
+        let deep = gradient_variance(6, 6, 80, &mut rng);
+        // Deep random circuits approach the Haar 2-design limit: variance
+        // should not be larger than the shallow case (allow slack for
+        // sampling noise).
+        assert!(deep.variance < shallow.variance * 1.5);
+    }
+}

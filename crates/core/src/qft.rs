@@ -1,0 +1,163 @@
+//! Quantum Fourier transform and phase-estimation circuit builders.
+
+use qmldb_math::CMatrix;
+use qmldb_sim::{Circuit, Gate};
+
+/// Appends the QFT on qubits `lo..lo+k` of `c` (qubit `lo+k-1` is the most
+/// significant). Includes the final swap network, so the output follows the
+/// textbook bit order.
+pub fn append_qft(c: &mut Circuit, lo: usize, k: usize) {
+    for j in (0..k).rev() {
+        c.h(lo + j);
+        for m in (0..j).rev() {
+            let angle = std::f64::consts::PI / (1u64 << (j - m)) as f64;
+            c.cp(lo + m, lo + j, angle);
+        }
+    }
+    for i in 0..k / 2 {
+        c.swap(lo + i, lo + k - 1 - i);
+    }
+}
+
+/// Appends the inverse QFT on qubits `lo..lo+k`.
+pub fn append_iqft(c: &mut Circuit, lo: usize, k: usize) {
+    let mut q = Circuit::new(c.n_qubits());
+    append_qft(&mut q, lo, k);
+    c.extend(&q.inverse());
+}
+
+/// Builds a standalone QFT circuit on `k` qubits.
+pub fn qft(k: usize) -> Circuit {
+    let mut c = Circuit::new(k);
+    append_qft(&mut c, 0, k);
+    c
+}
+
+/// Appends textbook quantum phase estimation:
+/// `clock` qubits `clock_lo..clock_lo+t` estimate the phase of `unitary`
+/// acting on `system` qubits (given as explicit indices).
+///
+/// `unitary` must be a `2^s × 2^s` unitary where `s = system.len()`.
+/// After this routine, measuring the clock register (little-endian) yields
+/// `round(φ·2ᵗ)` for eigenphase `e^{2πiφ}` when the system register holds
+/// the eigenvector.
+pub fn append_phase_estimation(
+    c: &mut Circuit,
+    clock_lo: usize,
+    t: usize,
+    system: &[usize],
+    unitary: &CMatrix,
+) {
+    assert_eq!(unitary.rows(), 1usize << system.len(), "unitary dim");
+    for j in 0..t {
+        c.h(clock_lo + j);
+    }
+    // Controlled powers U^(2^j) controlled by clock bit j.
+    let mut power = unitary.clone();
+    for j in 0..t {
+        c.push(
+            Gate::Unitary(power.clone()),
+            vec![clock_lo + j],
+            system.to_vec(),
+        );
+        power = power.matmul(&power);
+    }
+    append_iqft(c, clock_lo, t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_math::C64;
+    use qmldb_sim::{Simulator, StateVector};
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let c = qft(3);
+        let s = Simulator::new().run(&c, &[]);
+        for p in s.probabilities() {
+            assert!((p - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        // QFT|j> should have amplitudes ω^{jk}/√N.
+        let k = 3usize;
+        let n = 1usize << k;
+        for j in 0..n {
+            let mut s = StateVector::basis(k, j);
+            s.run(&qft(k), &[]);
+            for (idx, amp) in s.amplitudes().iter().enumerate() {
+                let phase = std::f64::consts::TAU * (j * idx) as f64 / n as f64;
+                let expect = C64::cis(phase) / (n as f64).sqrt();
+                assert!(
+                    amp.approx_eq(expect, 1e-10),
+                    "j={j}, k={idx}: {amp} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_then_iqft_is_identity() {
+        let mut c = Circuit::new(4);
+        c.h(0).t(1).cx(1, 2).ry(3, 0.7); // arbitrary prep
+        let prep = Simulator::new().run(&c, &[]);
+        append_qft(&mut c, 0, 4);
+        append_iqft(&mut c, 0, 4);
+        let s = Simulator::new().run(&c, &[]);
+        assert!(s.fidelity(&prep) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn phase_estimation_reads_exact_phase() {
+        // U = diag(1, e^{2πi·k/8}) on one system qubit; eigenvector |1>.
+        let t = 3usize;
+        for k in 0..8usize {
+            let phi = k as f64 / 8.0;
+            let u = CMatrix::from_rows(&[
+                vec![C64::ONE, C64::ZERO],
+                vec![C64::ZERO, C64::cis(std::f64::consts::TAU * phi)],
+            ]);
+            let mut c = Circuit::new(t + 1);
+            c.x(t); // system qubit (index t) in eigenstate |1>
+            append_phase_estimation(&mut c, 0, t, &[t], &u);
+            let s = Simulator::new().run(&c, &[]);
+            // Clock register should read exactly k (little-endian in the
+            // low t qubits).
+            let probs = s.marginal(&(0..t).collect::<Vec<_>>());
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(best, k, "phase {phi}");
+            assert!(probs[best] > 0.99, "exact phase must be read exactly");
+        }
+    }
+
+    #[test]
+    fn phase_estimation_approximates_inexact_phase() {
+        let t = 5usize;
+        let phi = 0.3; // not a multiple of 1/32
+        let u = CMatrix::from_rows(&[
+            vec![C64::ONE, C64::ZERO],
+            vec![C64::ZERO, C64::cis(std::f64::consts::TAU * phi)],
+        ]);
+        let mut c = Circuit::new(t + 1);
+        c.x(t);
+        append_phase_estimation(&mut c, 0, t, &[t], &u);
+        let s = Simulator::new().run(&c, &[]);
+        let probs = s.marginal(&(0..t).collect::<Vec<_>>());
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let estimate = best as f64 / 32.0;
+        assert!((estimate - phi).abs() <= 1.0 / 32.0, "estimate {estimate}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Quantum kernel ridge regression (QKRR).
+//!
+//! The regression sibling of the QSVM: the quantum device supplies the
+//! fidelity-kernel Gram matrix, and the classical ridge dual
+//! `α = (K + λI)⁻¹y` does the rest. Supports exact and shot-sampled
+//! kernels, plus swap-test kernel estimation (the ancilla-based overlap
+//! protocol used when state preparation cannot be inverted).
+
+use crate::kernel::QuantumKernel;
+use qmldb_math::Rng64;
+use qmldb_ml::ridge::solve_dual;
+use qmldb_sim::{Circuit, Gate, Simulator};
+
+/// A trained quantum kernel ridge regressor.
+#[derive(Clone, Debug)]
+pub struct Qkrr {
+    kernel: QuantumKernel,
+    x: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+}
+
+impl Qkrr {
+    /// Fits with an exact Gram matrix.
+    pub fn fit(kernel: QuantumKernel, x: Vec<Vec<f64>>, y: &[f64], lambda: f64) -> Qkrr {
+        let gram = kernel.gram(&x);
+        let alphas = solve_dual(&gram, y, lambda);
+        Qkrr { kernel, x, alphas }
+    }
+
+    /// Fits with a shot-sampled Gram matrix.
+    pub fn fit_sampled(
+        kernel: QuantumKernel,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        lambda: f64,
+        shots: usize,
+        rng: &mut Rng64,
+    ) -> Qkrr {
+        let gram = kernel.gram_sampled(&x, shots, rng);
+        let alphas = solve_dual(&gram, y, lambda);
+        Qkrr { kernel, x, alphas }
+    }
+
+    /// Predicted value for a point.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        let row = self.kernel.row(&self.x, point);
+        row.iter().zip(&self.alphas).map(|(k, a)| k * a).sum()
+    }
+
+    /// Mean squared error on a labelled set.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        x.iter()
+            .zip(y)
+            .map(|(xi, &yi)| {
+                let e = self.predict(xi) - yi;
+                e * e
+            })
+            .sum::<f64>()
+            / y.len() as f64
+    }
+
+    /// The dual coefficients.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+}
+
+/// Estimates `|⟨φ(x)|φ(y)⟩|²` with the swap test: prepare both feature
+/// states in separate registers, Hadamard an ancilla, controlled-SWAP each
+/// qubit pair, Hadamard again; then `P(ancilla = 0) = (1 + |⟨a|b⟩|²)/2`.
+///
+/// Uses `2·n_qubits + 1` wires — the protocol of choice when the encoder
+/// cannot be inverted (e.g. it is a physical process, not a circuit).
+pub fn swap_test_kernel(
+    kernel: &QuantumKernel,
+    x: &[f64],
+    y: &[f64],
+    shots: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    let n = kernel.n_qubits();
+    let total = 2 * n + 1;
+    let ancilla = 2 * n;
+    let mut c = Circuit::new(total);
+    // Prepare |φ(x)⟩ on wires 0..n and |φ(y)⟩ on wires n..2n by rebuilding
+    // the encoder on shifted wires.
+    for (offset, point) in [(0usize, x), (n, y)] {
+        let enc = kernel.feature_circuit(point);
+        for instr in enc.instrs() {
+            let controls: Vec<usize> = instr.controls.iter().map(|q| q + offset).collect();
+            let targets: Vec<usize> = instr.targets.iter().map(|q| q + offset).collect();
+            c.push(instr.gate.clone(), controls, targets);
+        }
+    }
+    c.h(ancilla);
+    for q in 0..n {
+        c.push(Gate::Swap, vec![ancilla], vec![q, q + n]);
+    }
+    c.h(ancilla);
+    let state = Simulator::new().run(&c, &[]);
+    let zeros = state
+        .sample(shots, rng)
+        .into_iter()
+        .filter(|o| o & (1 << ancilla) == 0)
+        .count();
+    let p0 = zeros as f64 / shots as f64;
+    (2.0 * p0 - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FeatureMap;
+    use qmldb_ml::ridge::{sine_dataset, KernelRidge, LinearRidge};
+    use qmldb_ml::Kernel;
+
+    #[test]
+    fn qkrr_fits_the_sine_task() {
+        let mut rng = Rng64::new(2701);
+        let (x, y) = sine_dataset(30, 0.02, &mut rng);
+        // Rescale inputs into rotation range via multi-frequency encoding.
+        let kernel = QuantumKernel::new(3, FeatureMap::MultiScale { copies: 3 });
+        let model = Qkrr::fit(kernel, x.clone(), &y, 1e-3);
+        let mse = model.mse(&x, &y);
+        assert!(mse < 0.02, "train mse {mse}");
+    }
+
+    #[test]
+    fn qkrr_is_competitive_with_classical_kernel_ridge() {
+        let mut rng = Rng64::new(2703);
+        let (x, y) = sine_dataset(30, 0.05, &mut rng);
+        let q = Qkrr::fit(
+            QuantumKernel::new(3, FeatureMap::MultiScale { copies: 3 }),
+            x.clone(),
+            &y,
+            1e-3,
+        );
+        let c = KernelRidge::fit(x.clone(), &y, Kernel::Rbf { gamma: 1.0 }, 1e-3);
+        let lin = LinearRidge::fit(&x, &y, 1e-3);
+        assert!(q.mse(&x, &y) < lin.mse(&x, &y) / 5.0, "beats the linear model");
+        assert!(q.mse(&x, &y) < 10.0 * c.mse(&x, &y) + 0.01, "near classical KRR");
+    }
+
+    #[test]
+    fn sampled_gram_degrades_gracefully() {
+        let mut rng = Rng64::new(2705);
+        let (x, y) = sine_dataset(20, 0.02, &mut rng);
+        let kernel = QuantumKernel::new(3, FeatureMap::MultiScale { copies: 3 });
+        let exact = Qkrr::fit(kernel.clone(), x.clone(), &y, 1e-2);
+        let sampled = Qkrr::fit_sampled(kernel, x.clone(), &y, 1e-2, 2048, &mut rng);
+        assert!(sampled.mse(&x, &y) < exact.mse(&x, &y) + 0.05);
+    }
+
+    #[test]
+    fn swap_test_estimates_the_fidelity_kernel() {
+        let kernel = QuantumKernel::new(2, FeatureMap::Angle);
+        let x = [0.7, 1.9];
+        let y = [1.2, 0.4];
+        let exact = kernel.eval(&x, &y);
+        let mut rng = Rng64::new(2707);
+        let est = swap_test_kernel(&kernel, &x, &y, 60_000, &mut rng);
+        assert!((est - exact).abs() < 0.02, "swap test {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn swap_test_of_identical_points_is_one() {
+        let kernel = QuantumKernel::new(2, FeatureMap::ZZ { reps: 1 });
+        let x = [0.5, 1.0];
+        let mut rng = Rng64::new(2709);
+        let est = swap_test_kernel(&kernel, &x, &x, 20_000, &mut rng);
+        assert!(est > 0.98, "self-overlap {est}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Quantum-kernel support vector machine.
+//!
+//! The QSVM composes the fidelity kernel of [`crate::kernel`] with the SMO
+//! dual solver from `qmldb-ml`: the quantum device supplies the Gram
+//! matrix, a classical convex solver does the rest — exactly the division
+//! of labor proposed for near-term quantum classifiers.
+
+use crate::kernel::QuantumKernel;
+use qmldb_math::Rng64;
+use qmldb_ml::svm::{smo_solve, DualSolution, SvmParams};
+
+/// How the Gram matrix is obtained from the quantum device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelMode {
+    /// Exact state-vector fidelities (infinite-shot limit).
+    Exact,
+    /// Shot-noise-limited estimates with the given number of shots per
+    /// kernel entry.
+    Sampled {
+        /// Shots per Gram-matrix entry.
+        shots: usize,
+    },
+}
+
+/// A trained quantum-kernel SVM.
+#[derive(Clone, Debug)]
+pub struct Qsvm {
+    kernel: QuantumKernel,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    dual: DualSolution,
+}
+
+impl Qsvm {
+    /// Trains a QSVM on features `x` and ±1 labels `y`.
+    pub fn train(
+        kernel: QuantumKernel,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        mode: KernelMode,
+        params: &SvmParams,
+        rng: &mut Rng64,
+    ) -> Qsvm {
+        let gram = match mode {
+            KernelMode::Exact => kernel.gram(&x),
+            KernelMode::Sampled { shots } => kernel.gram_sampled(&x, shots, rng),
+        };
+        let dual = smo_solve(&gram, &y, params, rng);
+        Qsvm { kernel, x, y, dual }
+    }
+
+    /// Raw decision value for a point.
+    pub fn decision(&self, point: &[f64]) -> f64 {
+        let row = self.kernel.row(&self.x, point);
+        self.dual.decision(&row, &self.y)
+    }
+
+    /// Predicted ±1 label.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        if self.decision(point) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        x.iter()
+            .zip(y)
+            .filter(|(xi, &yi)| self.predict(xi) == yi)
+            .count() as f64
+            / y.len() as f64
+    }
+
+    /// The dual solution.
+    pub fn dual(&self) -> &DualSolution {
+        &self.dual
+    }
+
+    /// The underlying quantum kernel.
+    pub fn kernel(&self) -> &QuantumKernel {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FeatureMap;
+    use qmldb_ml::dataset;
+
+    #[test]
+    fn qsvm_separates_moons() {
+        let mut rng = Rng64::new(101);
+        let d = dataset::two_moons(60, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+        let k = QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 });
+        let model = Qsvm::train(
+            k,
+            d.x.clone(),
+            d.y.clone(),
+            KernelMode::Exact,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        let acc = model.accuracy(&d.x, &d.y);
+        assert!(acc >= 0.85, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn qsvm_with_multiscale_map_separates_moons() {
+        let mut rng = Rng64::new(109);
+        let d = dataset::two_moons(60, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+        let k = QuantumKernel::new(6, FeatureMap::MultiScale { copies: 3 });
+        let model = Qsvm::train(
+            k,
+            d.x.clone(),
+            d.y.clone(),
+            KernelMode::Exact,
+            &SvmParams { c: 5.0, ..SvmParams::default() },
+            &mut rng,
+        );
+        let acc = model.accuracy(&d.x, &d.y);
+        assert!(acc >= 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn qsvm_with_angle_map_handles_blobs() {
+        let mut rng = Rng64::new(103);
+        let d = dataset::blobs(40, &[0.6, 0.6], &[2.4, 2.4], 0.25, &mut rng);
+        let k = QuantumKernel::new(2, FeatureMap::Angle);
+        let model = Qsvm::train(
+            k,
+            d.x.clone(),
+            d.y.clone(),
+            KernelMode::Exact,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        assert!(model.accuracy(&d.x, &d.y) >= 0.95);
+    }
+
+    #[test]
+    fn sampled_kernel_degrades_gracefully() {
+        let mut rng = Rng64::new(105);
+        let d = dataset::blobs(30, &[0.6, 0.6], &[2.4, 2.4], 0.25, &mut rng);
+        let k = QuantumKernel::new(2, FeatureMap::Angle);
+        let model = Qsvm::train(
+            k,
+            d.x.clone(),
+            d.y.clone(),
+            KernelMode::Sampled { shots: 512 },
+            &SvmParams::default(),
+            &mut rng,
+        );
+        assert!(
+            model.accuracy(&d.x, &d.y) >= 0.85,
+            "shot noise should not destroy an easy problem"
+        );
+    }
+
+    #[test]
+    fn decision_sign_matches_predict() {
+        let mut rng = Rng64::new(107);
+        let d = dataset::blobs(20, &[0.5, 0.5], &[2.5, 2.5], 0.2, &mut rng);
+        let k = QuantumKernel::new(2, FeatureMap::Angle);
+        let model = Qsvm::train(
+            k,
+            d.x.clone(),
+            d.y.clone(),
+            KernelMode::Exact,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        for p in &d.x {
+            assert_eq!(model.predict(p), model.decision(p).signum());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Variational quantum eigensolver.
+//!
+//! VQE minimizes `⟨ψ(θ)|H|ψ(θ)⟩` over a parameterized ansatz to estimate
+//! the ground-state energy of a Pauli-sum Hamiltonian — the prototypical
+//! near-term algorithm the tutorial's "new techniques" section builds on.
+
+use crate::gradient::parameter_shift;
+use crate::optimizer::{minimize, Adam};
+use qmldb_math::decomp::symmetric_eigen;
+use qmldb_math::{Matrix, Rng64};
+use qmldb_sim::{Circuit, PauliSum, Simulator, StateVector};
+
+/// Result of a VQE run.
+#[derive(Clone, Debug)]
+pub struct VqeResult {
+    /// Optimal parameters found.
+    pub params: Vec<f64>,
+    /// Energy at the optimum.
+    pub energy: f64,
+    /// Energy after each iteration.
+    pub history: Vec<f64>,
+}
+
+/// A VQE instance: Hamiltonian + ansatz.
+#[derive(Clone, Debug)]
+pub struct Vqe {
+    hamiltonian: PauliSum,
+    ansatz: Circuit,
+}
+
+impl Vqe {
+    /// Creates a VQE problem. The ansatz's qubit count must cover every
+    /// qubit the Hamiltonian references.
+    pub fn new(hamiltonian: PauliSum, ansatz: Circuit) -> Self {
+        let max_q = hamiltonian
+            .terms()
+            .iter()
+            .filter_map(|(_, p)| p.max_qubit())
+            .max();
+        if let Some(q) = max_q {
+            assert!(
+                q < ansatz.n_qubits(),
+                "Hamiltonian touches qubit {q} but ansatz has {}",
+                ansatz.n_qubits()
+            );
+        }
+        Vqe {
+            hamiltonian,
+            ansatz,
+        }
+    }
+
+    /// Energy at the given parameters.
+    pub fn energy(&self, params: &[f64]) -> f64 {
+        Simulator::new().expectation(&self.ansatz, params, &self.hamiltonian)
+    }
+
+    /// Runs Adam + parameter-shift from `restarts` random starts.
+    pub fn run(&self, iters: usize, restarts: usize, rng: &mut Rng64) -> VqeResult {
+        let sim = Simulator::new();
+        let mut best = VqeResult {
+            params: vec![],
+            energy: f64::INFINITY,
+            history: vec![],
+        };
+        for _ in 0..restarts.max(1) {
+            let init: Vec<f64> = (0..self.ansatz.n_params())
+                .map(|_| rng.uniform_range(-0.8, 0.8))
+                .collect();
+            let mut adam = Adam::new(0.1);
+            let mut obj = |p: &[f64]| self.energy(p);
+            let mut grad =
+                |p: &[f64]| parameter_shift(&sim, &self.ansatz, p, &self.hamiltonian);
+            let r = minimize(&mut obj, &mut grad, &init, &mut adam, iters);
+            if r.best_value < best.energy {
+                best = VqeResult {
+                    params: r.params,
+                    energy: r.best_value,
+                    history: r.history,
+                };
+            }
+        }
+        best
+    }
+
+    /// The optimized state for a parameter vector.
+    pub fn state(&self, params: &[f64]) -> StateVector {
+        Simulator::new().run(&self.ansatz, params)
+    }
+}
+
+/// Builds the dense matrix of a **real** Pauli sum (X/Z/ZZ-style terms; any
+/// term with an odd number of Y factors is rejected) for exact
+/// diagonalization on ≤ ~10 qubits.
+pub fn dense_real_hamiltonian(h: &PauliSum, n_qubits: usize) -> Matrix {
+    let dim = 1usize << n_qubits;
+    let mut m = Matrix::zeros(dim, dim);
+    for j in 0..dim {
+        let basis = StateVector::basis(n_qubits, j);
+        for (coeff, p) in h.terms() {
+            let out = p.apply(&basis);
+            for (i, amp) in out.amplitudes().iter().enumerate() {
+                assert!(
+                    amp.im.abs() < 1e-12,
+                    "Hamiltonian has imaginary matrix elements; not real"
+                );
+                m[(i, j)] += coeff * amp.re;
+            }
+        }
+    }
+    m
+}
+
+/// Exact ground-state energy of a real Pauli sum by dense diagonalization.
+pub fn exact_ground_energy(h: &PauliSum, n_qubits: usize) -> f64 {
+    let m = dense_real_hamiltonian(h, n_qubits);
+    assert!(m.is_symmetric(1e-9), "real Hamiltonian must be symmetric");
+    let (vals, _) = symmetric_eigen(&m, 1e-12, 200).expect("diagonalization failed");
+    vals[vals.len() - 1]
+}
+
+/// The transverse-field Ising Hamiltonian on a chain:
+/// `H = -J Σ ZᵢZᵢ₊₁ - g Σ Xᵢ` — the standard VQE testbed.
+pub fn transverse_field_ising(n: usize, j: f64, g: f64) -> PauliSum {
+    use qmldb_sim::PauliString;
+    let mut terms = Vec::new();
+    for q in 0..n.saturating_sub(1) {
+        terms.push((-j, PauliString::zz(q, q + 1)));
+    }
+    for q in 0..n {
+        terms.push((-g, PauliString::x(q)));
+    }
+    PauliSum::from_terms(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{hardware_efficient, Entanglement};
+
+    #[test]
+    fn dense_hamiltonian_matches_expectations() {
+        let h = transverse_field_ising(3, 1.0, 0.5);
+        let m = dense_real_hamiltonian(&h, 3);
+        // Check a few entries against Pauli expectations on superpositions.
+        let mut rng = Rng64::new(401);
+        for _ in 0..5 {
+            let amps: Vec<qmldb_math::C64> = (0..8)
+                .map(|_| qmldb_math::C64::real(rng.normal()))
+                .collect();
+            let s = StateVector::from_amplitudes(amps);
+            let direct = h.expectation(&s);
+            // <s|M|s> computed densely.
+            let v: Vec<f64> = s.amplitudes().iter().map(|a| a.re).collect();
+            let mut quad = 0.0;
+            for i in 0..8 {
+                for j in 0..8 {
+                    quad += v[i] * m[(i, j)] * v[j];
+                }
+            }
+            assert!((direct - quad).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_energy_of_single_qubit_field() {
+        // H = -X: eigenvalues ∓1; ground energy −1.
+        let h = transverse_field_ising(1, 0.0, 1.0);
+        assert!((exact_ground_energy(&h, 1) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vqe_reaches_ground_state_of_tfim() {
+        let n = 3;
+        let h = transverse_field_ising(n, 1.0, 0.7);
+        let exact = exact_ground_energy(&h, n);
+        let ansatz = hardware_efficient(n, 2, Entanglement::Linear);
+        let vqe = Vqe::new(h, ansatz);
+        let mut rng = Rng64::new(403);
+        let r = vqe.run(150, 2, &mut rng);
+        assert!(
+            (r.energy - exact).abs() < 0.02 * exact.abs().max(1.0),
+            "VQE {} vs exact {exact}",
+            r.energy
+        );
+    }
+
+    #[test]
+    fn vqe_energy_never_below_exact_ground() {
+        let n = 2;
+        let h = transverse_field_ising(n, 1.0, 0.4);
+        let exact = exact_ground_energy(&h, n);
+        let vqe = Vqe::new(h, hardware_efficient(n, 1, Entanglement::Linear));
+        let mut rng = Rng64::new(405);
+        let r = vqe.run(80, 1, &mut rng);
+        assert!(r.energy >= exact - 1e-9, "variational principle violated");
+    }
+
+    #[test]
+    fn history_is_monotone_at_the_best_tracker() {
+        let n = 2;
+        let h = transverse_field_ising(n, 1.0, 1.0);
+        let vqe = Vqe::new(h, hardware_efficient(n, 1, Entanglement::Linear));
+        let mut rng = Rng64::new(407);
+        let r = vqe.run(40, 1, &mut rng);
+        assert_eq!(r.history.len(), 40);
+        let min_hist = r.history.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(r.energy <= min_hist + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "touches qubit")]
+    fn hamiltonian_larger_than_ansatz_panics() {
+        let h = transverse_field_ising(4, 1.0, 1.0);
+        Vqe::new(h, hardware_efficient(2, 1, Entanglement::Linear));
+    }
+}

@@ -1,0 +1,232 @@
+//! Discrete-time coined quantum walks.
+//!
+//! A coined walk on the cycle `Z_N` (N = 2ⁿ positions, one coin qubit):
+//! each step applies a Hadamard coin then a coin-conditioned shift. The
+//! quantum walk spreads **ballistically** (σ ∝ t) versus the classical
+//! random walk's diffusive σ ∝ √t — the quadratic separation underlying
+//! walk-based search and the reason walks appear in the tutorial's
+//! foundation toolbox.
+
+use qmldb_math::{C64, Rng64};
+use qmldb_sim::StateVector;
+
+/// A coined quantum walk on a cycle of `2ⁿ` positions.
+///
+/// State layout: qubits `0..n` hold the position (little-endian), qubit
+/// `n` is the coin.
+#[derive(Clone, Debug)]
+pub struct CoinedWalk {
+    n_pos_bits: usize,
+    state: StateVector,
+    steps: usize,
+}
+
+impl CoinedWalk {
+    /// Starts a walk at `position` with the coin in the balanced state
+    /// `(|0⟩ + i|1⟩)/√2` (gives a symmetric spread).
+    pub fn new(n_pos_bits: usize, position: usize) -> Self {
+        let n_nodes = 1usize << n_pos_bits;
+        assert!(position < n_nodes, "start position out of range");
+        let dim = n_nodes * 2;
+        let mut amps = vec![C64::ZERO; dim];
+        let s = 1.0 / 2f64.sqrt();
+        amps[position] = C64::real(s); // coin = 0
+        amps[position + n_nodes] = C64::new(0.0, s); // coin = 1
+        CoinedWalk {
+            n_pos_bits,
+            state: StateVector::from_amplitudes(amps),
+            steps: 0,
+        }
+    }
+
+    /// Number of cycle nodes.
+    pub fn n_nodes(&self) -> usize {
+        1usize << self.n_pos_bits
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Applies one walk step: Hadamard coin, then shift (coin 0 → −1,
+    /// coin 1 → +1 around the cycle).
+    pub fn step(&mut self) {
+        let n_nodes = self.n_nodes();
+        let amps = self.state.amplitudes_mut();
+        let s = 1.0 / 2f64.sqrt();
+        // Coin: H on the top qubit (block form since coin is the MSB).
+        for pos in 0..n_nodes {
+            let a0 = amps[pos];
+            let a1 = amps[pos + n_nodes];
+            amps[pos] = (a0 + a1).scale(s);
+            amps[pos + n_nodes] = (a0 - a1).scale(s);
+        }
+        // Shift: coin 0 moves left, coin 1 moves right.
+        let mut shifted = vec![C64::ZERO; amps.len()];
+        for pos in 0..n_nodes {
+            let left = (pos + n_nodes - 1) % n_nodes;
+            let right = (pos + 1) % n_nodes;
+            shifted[left] = amps[pos]; // coin 0
+            shifted[right + n_nodes] = amps[pos + n_nodes]; // coin 1
+        }
+        amps.copy_from_slice(&shifted);
+        self.steps += 1;
+    }
+
+    /// Runs `t` steps.
+    pub fn run(&mut self, t: usize) {
+        for _ in 0..t {
+            self.step();
+        }
+    }
+
+    /// Position marginal distribution (coin traced out).
+    pub fn position_distribution(&self) -> Vec<f64> {
+        let n_nodes = self.n_nodes();
+        let amps = self.state.amplitudes();
+        (0..n_nodes)
+            .map(|p| amps[p].norm_sqr() + amps[p + n_nodes].norm_sqr())
+            .collect()
+    }
+
+    /// Standard deviation of the signed displacement from `origin`
+    /// (shortest way around the cycle).
+    pub fn displacement_std(&self, origin: usize) -> f64 {
+        let n = self.n_nodes() as isize;
+        let dist = self.position_distribution();
+        let displacement = |p: usize| -> f64 {
+            let mut d = p as isize - origin as isize;
+            if d > n / 2 {
+                d -= n;
+            }
+            if d < -n / 2 {
+                d += n;
+            }
+            d as f64
+        };
+        let mean: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(p, w)| w * displacement(p))
+            .sum();
+        dist.iter()
+            .enumerate()
+            .map(|(p, w)| {
+                let d = displacement(p) - mean;
+                w * d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A classical symmetric random walk on the same cycle; returns the
+/// displacement standard deviation after `t` steps over `trials` runs.
+pub fn classical_walk_std(
+    n_pos_bits: usize,
+    origin: usize,
+    t: usize,
+    trials: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    let n = 1isize << n_pos_bits;
+    let mut sq_sum = 0.0;
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        let mut pos = origin as isize;
+        for _ in 0..t {
+            pos += if rng.chance(0.5) { 1 } else { -1 };
+        }
+        let mut d = pos - origin as isize;
+        d = ((d % n) + n) % n;
+        if d > n / 2 {
+            d -= n;
+        }
+        sum += d as f64;
+        sq_sum += (d * d) as f64;
+    }
+    let mean = sum / trials as f64;
+    (sq_sum / trials as f64 - mean * mean).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_preserves_probability() {
+        let mut w = CoinedWalk::new(6, 32);
+        w.run(20);
+        let total: f64 = w.position_distribution().iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn one_step_reaches_both_neighbors() {
+        let mut w = CoinedWalk::new(4, 8);
+        w.step();
+        let d = w.position_distribution();
+        assert!((d[7] - 0.5).abs() < 1e-10);
+        assert!((d[9] - 0.5).abs() < 1e-10);
+        assert!(d[8].abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantum_spread_is_ballistic() {
+        // σ(t)/t approaches a constant (~1/√2 for the Hadamard walk).
+        let origin = 1 << 7; // center of a 256-node cycle
+        let mut w = CoinedWalk::new(8, origin);
+        w.run(40);
+        let sigma40 = w.displacement_std(origin);
+        w.run(40); // now t = 80
+        let sigma80 = w.displacement_std(origin);
+        let ratio = sigma80 / sigma40;
+        assert!(
+            (ratio - 2.0).abs() < 0.25,
+            "ballistic: doubling t should double σ, got ×{ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn classical_spread_is_diffusive() {
+        let mut rng = Rng64::new(3401);
+        let origin = 1 << 7;
+        let s40 = classical_walk_std(8, origin, 40, 4000, &mut rng);
+        let s160 = classical_walk_std(8, origin, 160, 4000, &mut rng);
+        let ratio = s160 / s40;
+        assert!(
+            (ratio - 2.0).abs() < 0.3,
+            "diffusive: 4× t should double σ, got ×{ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn quantum_beats_classical_spread_at_equal_time() {
+        let mut rng = Rng64::new(3403);
+        let origin = 1 << 7;
+        let mut w = CoinedWalk::new(8, origin);
+        let t = 60;
+        w.run(t);
+        let quantum = w.displacement_std(origin);
+        let classical = classical_walk_std(8, origin, t, 4000, &mut rng);
+        assert!(
+            quantum > 3.0 * classical,
+            "quantum σ {quantum:.1} vs classical σ {classical:.1}"
+        );
+    }
+
+    #[test]
+    fn symmetric_coin_gives_symmetric_distribution() {
+        let origin = 1 << 6;
+        let mut w = CoinedWalk::new(7, origin);
+        w.run(30);
+        let d = w.position_distribution();
+        let n = w.n_nodes();
+        for off in 1..20usize {
+            let l = d[(origin + n - off) % n];
+            let r = d[(origin + off) % n];
+            assert!((l - r).abs() < 1e-9, "offset {off}: {l} vs {r}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Table catalog with synthetic statistics.
+
+use qmldb_math::Rng64;
+
+/// A base table's statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub cardinality: f64,
+}
+
+/// A catalog of base tables.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a table, returning its id.
+    pub fn add_table(&mut self, name: impl Into<String>, cardinality: f64) -> usize {
+        assert!(cardinality >= 1.0, "cardinality must be ≥ 1");
+        self.tables.push(Table {
+            name: name.into(),
+            cardinality,
+        });
+        self.tables.len() - 1
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: usize) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// All cardinalities, indexed by table id.
+    pub fn cardinalities(&self) -> Vec<f64> {
+        self.tables.iter().map(|t| t.cardinality).collect()
+    }
+
+    /// A synthetic catalog with log-uniform cardinalities in
+    /// `[10, 100_000]` (the Steinbrunn et al. evaluation convention).
+    pub fn synthetic(n_tables: usize, rng: &mut Rng64) -> Catalog {
+        let mut c = Catalog::new();
+        for i in 0..n_tables {
+            let log_card = rng.uniform_range(1.0, 5.0);
+            c.add_table(format!("t{i}"), 10f64.powf(log_card).round());
+        }
+        c
+    }
+
+    /// A TPC-H-like catalog at scale factor `sf` (row counts mirror the
+    /// spec's base tables).
+    pub fn tpch_like(sf: f64) -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("region", 5.0);
+        c.add_table("nation", 25.0);
+        c.add_table("supplier", (10_000.0 * sf).max(1.0));
+        c.add_table("customer", (150_000.0 * sf).max(1.0));
+        c.add_table("part", (200_000.0 * sf).max(1.0));
+        c.add_table("partsupp", (800_000.0 * sf).max(1.0));
+        c.add_table("orders", (1_500_000.0 * sf).max(1.0));
+        c.add_table("lineitem", (6_000_000.0 * sf).max(1.0));
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.add_table("orders", 1500.0);
+        assert_eq!(c.table(id).name, "orders");
+        assert_eq!(c.table(id).cardinality, 1500.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_cardinalities_are_in_range() {
+        let mut rng = Rng64::new(1501);
+        let c = Catalog::synthetic(20, &mut rng);
+        for card in c.cardinalities() {
+            assert!((10.0..=100_000.0).contains(&card));
+        }
+    }
+
+    #[test]
+    fn tpch_like_has_eight_tables_with_spec_ratios() {
+        let c = Catalog::tpch_like(1.0);
+        assert_eq!(c.len(), 8);
+        let cards = c.cardinalities();
+        // lineitem = 4 × orders.
+        assert!((cards[7] / cards[6] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn zero_cardinality_rejected() {
+        Catalog::new().add_table("bad", 0.0);
+    }
+}

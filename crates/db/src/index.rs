@@ -1,0 +1,326 @@
+//! Index selection under a storage budget as a QUBO.
+//!
+//! Candidates have a size and per-workload benefit; pairs of candidates on
+//! the same table can overlap (diminishing returns), modelled as pairwise
+//! interaction penalties. The storage budget becomes an equality over
+//! binary slack variables — the textbook inequality-to-QUBO reduction.
+
+use qmldb_anneal::{Qubo, QuboBuilder};
+use qmldb_math::Rng64;
+
+/// A candidate index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexCandidate {
+    /// Human-readable name (table.column style).
+    pub name: String,
+    /// Storage size in pages.
+    pub size: f64,
+    /// Workload benefit when built (cost reduction).
+    pub benefit: f64,
+}
+
+/// An index-selection instance.
+#[derive(Clone, Debug)]
+pub struct IndexSelection {
+    /// Candidates to choose from.
+    pub candidates: Vec<IndexCandidate>,
+    /// Benefit overlap for candidate pairs `(i, j, overlap)` with `i < j`:
+    /// selecting both yields `benefit_i + benefit_j − overlap`.
+    pub interactions: Vec<(usize, usize, f64)>,
+    /// Storage budget in pages.
+    pub budget: f64,
+}
+
+impl IndexSelection {
+    /// Validates and wraps an instance.
+    pub fn new(
+        candidates: Vec<IndexCandidate>,
+        interactions: Vec<(usize, usize, f64)>,
+        budget: f64,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "no candidates");
+        assert!(budget > 0.0, "budget must be positive");
+        for c in &candidates {
+            assert!(c.size > 0.0 && c.benefit >= 0.0, "bad candidate {c:?}");
+        }
+        for &(i, j, o) in &interactions {
+            assert!(i < j && j < candidates.len(), "bad interaction pair");
+            assert!(o >= 0.0, "negative overlap");
+        }
+        IndexSelection {
+            candidates,
+            interactions,
+            budget,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn n(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Net benefit of a selection; `None` when it violates the budget.
+    pub fn evaluate(&self, selected: &[bool]) -> Option<f64> {
+        assert_eq!(selected.len(), self.n(), "selection length");
+        let size: f64 = selected
+            .iter()
+            .zip(&self.candidates)
+            .filter(|(&s, _)| s)
+            .map(|(_, c)| c.size)
+            .sum();
+        if size > self.budget + 1e-9 {
+            return None;
+        }
+        let mut benefit: f64 = selected
+            .iter()
+            .zip(&self.candidates)
+            .filter(|(&s, _)| s)
+            .map(|(_, c)| c.benefit)
+            .sum();
+        for &(i, j, o) in &self.interactions {
+            if selected[i] && selected[j] {
+                benefit -= o;
+            }
+        }
+        Some(benefit)
+    }
+
+    /// Encodes as a QUBO: minimize `−benefit + overlaps` with a slack-bit
+    /// budget penalty `P·(Σ sizeᵢxᵢ + Σ 2ᵏsₖ − budget)²`.
+    ///
+    /// Returns `(qubo, n_slack_bits)`; decision variables come first.
+    pub fn to_qubo(&self, penalty: f64) -> (Qubo, usize) {
+        let n = self.n();
+        // Slack range must cover the budget with unit granularity.
+        let slack_bits = (self.budget.max(1.0)).log2().ceil() as usize + 1;
+        let mut b = QuboBuilder::new(n + slack_bits);
+        for (i, c) in self.candidates.iter().enumerate() {
+            b.linear(i, -c.benefit);
+        }
+        for &(i, j, o) in &self.interactions {
+            b.quadratic(i, j, o);
+        }
+        // Budget as weighted equality with slack: Σ size·x + Σ 2^k·s = budget.
+        let vars: Vec<usize> = (0..n + slack_bits).collect();
+        let mut weights: Vec<f64> = self.candidates.iter().map(|c| c.size).collect();
+        for k in 0..slack_bits {
+            weights.push((1u64 << k) as f64);
+        }
+        b.weighted_equality(&vars, &weights, self.budget, penalty);
+        (b.build(), slack_bits)
+    }
+
+    /// A penalty that dominates the largest possible benefit swing.
+    pub fn auto_penalty(&self) -> f64 {
+        let total: f64 = self.candidates.iter().map(|c| c.benefit).sum();
+        2.0 * total + 10.0
+    }
+
+    /// Decodes a QUBO assignment: takes the decision bits, then drops
+    /// lowest benefit-density indexes until the budget holds.
+    pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
+        let mut selected: Vec<bool> = bits[..self.n()].to_vec();
+        loop {
+            let size: f64 = selected
+                .iter()
+                .zip(&self.candidates)
+                .filter(|(&s, _)| s)
+                .map(|(_, c)| c.size)
+                .sum();
+            if size <= self.budget + 1e-9 {
+                return selected;
+            }
+            // Drop the worst benefit/size candidate.
+            let victim = selected
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .min_by(|a, b| {
+                    let da = self.candidates[a.0].benefit / self.candidates[a.0].size;
+                    let db = self.candidates[b.0].benefit / self.candidates[b.0].size;
+                    da.partial_cmp(&db).unwrap()
+                })
+                .map(|(i, _)| i)
+                .expect("over budget implies something selected");
+            selected[victim] = false;
+        }
+    }
+
+    /// Greedy baseline: add candidates by benefit/size density while the
+    /// budget allows (re-evaluating interactions en route).
+    pub fn solve_greedy(&self) -> (Vec<bool>, f64) {
+        let n = self.n();
+        let mut selected = vec![false; n];
+        let mut remaining = self.budget;
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if selected[i] || self.candidates[i].size > remaining + 1e-9 {
+                    continue;
+                }
+                // Marginal benefit including interactions with current set.
+                let mut marginal = self.candidates[i].benefit;
+                for &(a, b, o) in &self.interactions {
+                    if (a == i && selected[b]) || (b == i && selected[a]) {
+                        marginal -= o;
+                    }
+                }
+                let density = marginal / self.candidates[i].size;
+                if marginal > 0.0 && best.is_none_or(|(_, d)| density > d) {
+                    best = Some((i, density));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            selected[i] = true;
+            remaining -= self.candidates[i].size;
+        }
+        let value = self.evaluate(&selected).expect("greedy stays in budget");
+        (selected, value)
+    }
+
+    /// Exhaustive optimum (`n ≤ 20`).
+    pub fn solve_exhaustive(&self) -> (Vec<bool>, f64) {
+        let n = self.n();
+        assert!(n <= 20, "exhaustive index selection too large");
+        let mut best_sel = vec![false; n];
+        let mut best_val = 0.0f64;
+        for mask in 0..(1usize << n) {
+            let sel: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if let Some(v) = self.evaluate(&sel) {
+                if v > best_val {
+                    best_val = v;
+                    best_sel = sel;
+                }
+            }
+        }
+        (best_sel, best_val)
+    }
+}
+
+/// Generates a TPC-H-flavoured instance: candidate indexes over a
+/// workload with per-table interaction overlaps.
+pub fn generate_instance(n_candidates: usize, budget_frac: f64, rng: &mut Rng64) -> IndexSelection {
+    assert!(n_candidates >= 2, "too few candidates");
+    let tables = ["lineitem", "orders", "customer", "part", "supplier"];
+    let mut candidates = Vec::with_capacity(n_candidates);
+    let mut total_size = 0.0;
+    for i in 0..n_candidates {
+        let table = tables[i % tables.len()];
+        let size = rng.uniform_range(50.0, 400.0).round();
+        let benefit = size * rng.uniform_range(0.3, 2.0);
+        total_size += size;
+        candidates.push(IndexCandidate {
+            name: format!("{table}.c{i}"),
+            size,
+            benefit: benefit.round(),
+        });
+    }
+    // Same-table candidates overlap.
+    let mut interactions = Vec::new();
+    for i in 0..n_candidates {
+        for j in (i + 1)..n_candidates {
+            if i % tables.len() == j % tables.len() {
+                let o = candidates[i].benefit.min(candidates[j].benefit)
+                    * rng.uniform_range(0.2, 0.6);
+                interactions.push((i, j, o.round()));
+            }
+        }
+    }
+    let budget = (total_size * budget_frac).round().max(1.0);
+    IndexSelection::new(candidates, interactions, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+
+    fn small() -> IndexSelection {
+        IndexSelection::new(
+            vec![
+                IndexCandidate { name: "a".into(), size: 10.0, benefit: 30.0 },
+                IndexCandidate { name: "b".into(), size: 10.0, benefit: 28.0 },
+                IndexCandidate { name: "c".into(), size: 12.0, benefit: 25.0 },
+            ],
+            vec![(0, 1, 20.0)], // a and b overlap heavily
+            20.0,
+        )
+    }
+
+    #[test]
+    fn evaluate_enforces_budget_and_overlap() {
+        let s = small();
+        assert_eq!(s.evaluate(&[true, false, false]), Some(30.0));
+        assert_eq!(s.evaluate(&[true, true, false]), Some(38.0)); // 58 − 20
+        assert_eq!(s.evaluate(&[true, true, true]), None); // 32 > 20 pages
+    }
+
+    #[test]
+    fn exhaustive_avoids_overlapping_pair() {
+        let s = small();
+        let (sel, val) = s.solve_exhaustive();
+        // a + c (benefit 55, size 22 > budget) is infeasible; a + b gives
+        // 38; a alone 30... best feasible pair is a+b = 38? size 20 ≤ 20 ✓.
+        assert_eq!(val, 38.0);
+        assert_eq!(sel, vec![true, true, false]);
+    }
+
+    #[test]
+    fn greedy_respects_budget() {
+        let mut rng = Rng64::new(2101);
+        let s = generate_instance(12, 0.4, &mut rng);
+        let (sel, _) = s.solve_greedy();
+        assert!(s.evaluate(&sel).is_some());
+    }
+
+    #[test]
+    fn greedy_never_beats_exhaustive() {
+        let mut rng = Rng64::new(2103);
+        for _ in 0..5 {
+            let s = generate_instance(10, 0.35, &mut rng);
+            let (_, greedy) = s.solve_greedy();
+            let (_, exact) = s.solve_exhaustive();
+            assert!(greedy <= exact + 1e-9);
+        }
+    }
+
+    #[test]
+    fn annealed_qubo_is_competitive_with_exhaustive() {
+        let mut rng = Rng64::new(2105);
+        let s = generate_instance(10, 0.4, &mut rng);
+        let (q, _slack) = s.to_qubo(s.auto_penalty());
+        let r = simulated_annealing(
+            &q.to_ising(),
+            &SaParams {
+                sweeps: 3000,
+                restarts: 8,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
+        let sel = s.decode(&spins_to_bits(&r.spins));
+        let val = s.evaluate(&sel).expect("decode must repair to feasible");
+        let (_, exact) = s.solve_exhaustive();
+        assert!(
+            val >= 0.85 * exact,
+            "annealed {val} vs exhaustive {exact}"
+        );
+    }
+
+    #[test]
+    fn decode_repairs_budget_violations() {
+        let s = small();
+        let sel = s.decode(&[true, true, true]);
+        assert!(s.evaluate(&sel).is_some(), "repair must be feasible");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_rejected() {
+        IndexSelection::new(
+            vec![IndexCandidate { name: "a".into(), size: 1.0, benefit: 1.0 }],
+            vec![],
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Exact join-order optimization by dynamic programming over relation
+//! subsets (DP-size, Selinger-style), for both bushy and left-deep plan
+//! spaces.
+
+use crate::joinorder::tree::{cost, CostModel, JoinTree};
+use crate::query::JoinGraph;
+
+/// Result of exact optimization.
+#[derive(Clone, Debug)]
+pub struct DpResult {
+    /// The optimal plan.
+    pub plan: JoinTree,
+    /// Its cost.
+    pub cost: f64,
+    /// Number of subproblems materialized (complexity bookkeeping).
+    pub table_entries: usize,
+}
+
+/// Exact bushy optimum by DP over all connected subsets. Cross products
+/// are avoided when the graph is connected (standard practice); on a
+/// disconnected graph they are allowed where necessary.
+///
+/// # Panics
+/// Panics for more than 20 relations (the 3ⁿ subset-pair walk explodes).
+pub fn optimize_bushy(graph: &JoinGraph, model: CostModel) -> DpResult {
+    let full: u64 = (1 << graph.n_rels()) - 1;
+    optimize_bushy_with(graph, model, !graph.is_connected(full))
+}
+
+/// Exact bushy optimum with explicit control over cross products. With
+/// `allow_cross = true` the DP searches the full 3ⁿ subset-pair space and
+/// dominates every bushy heuristic (including cross-product plans).
+pub fn optimize_bushy_with(graph: &JoinGraph, model: CostModel, allow_cross: bool) -> DpResult {
+    let n = graph.n_rels();
+    assert!(n <= 20, "DP over {n} relations refused");
+    let full: u64 = (1 << n) - 1;
+    // best[mask] = (cost, plan)
+    let mut best: Vec<Option<(f64, JoinTree)>> = vec![None; 1 << n];
+    for r in 0..n {
+        best[1usize << r] = Some((0.0, JoinTree::Leaf(r)));
+    }
+    let mut entries = n;
+    for mask in 1u64..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        if !allow_cross && !graph.is_connected(mask) {
+            continue;
+        }
+        // Enumerate proper sub-masks.
+        let m = mask as usize;
+        let mut sub = (m - 1) & m;
+        let mut found: Option<(f64, JoinTree)> = None;
+        while sub > 0 {
+            let other = m & !sub;
+            if sub < other {
+                // Each unordered pair once (join is symmetric for cost
+                // models here).
+                if let (Some((cl, pl)), Some((cr, pr))) = (&best[sub], &best[other]) {
+                    // Require both sides present; for no-cross-product
+                    // plans also require a connecting edge.
+                    let connected = allow_cross
+                        || graph
+                            .edges()
+                            .iter()
+                            .any(|&(a, b, _)| {
+                                (sub & (1 << a) != 0 && other & (1 << b) != 0)
+                                    || (sub & (1 << b) != 0 && other & (1 << a) != 0)
+                            });
+                    if connected {
+                        let card = graph.result_cardinality(mask);
+                        let step = match model {
+                            CostModel::Cout => card,
+                            CostModel::Cmm => {
+                                graph.result_cardinality(sub as u64)
+                                    * graph.result_cardinality(other as u64)
+                            }
+                        };
+                        let total = cl + cr + step;
+                        if found.as_ref().is_none_or(|(c, _)| total < *c) {
+                            found = Some((
+                                total,
+                                JoinTree::Join(Box::new(pl.clone()), Box::new(pr.clone())),
+                            ));
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & m;
+        }
+        if found.is_some() {
+            best[m] = found;
+            entries += 1;
+        }
+    }
+    let (c, plan) = best[full as usize]
+        .clone()
+        .expect("connected graph must have a plan");
+    DpResult {
+        plan,
+        cost: c,
+        table_entries: entries,
+    }
+}
+
+/// Exact left-deep optimum by DP over `(subset, cost)` — the Selinger
+/// plan space. Cross products allowed (needed for star interiors etc. —
+/// still optimal within left-deep).
+pub fn optimize_left_deep(graph: &JoinGraph, model: CostModel) -> DpResult {
+    let n = graph.n_rels();
+    assert!(n <= 20, "DP over {n} relations refused");
+    let full: usize = (1 << n) - 1;
+    // best[mask] = (cost, order)
+    let mut best: Vec<Option<(f64, Vec<usize>)>> = vec![None; 1 << n];
+    for r in 0..n {
+        best[1usize << r] = Some((0.0, vec![r]));
+    }
+    let mut entries = n;
+    for mask in 1usize..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut found: Option<(f64, Vec<usize>)> = None;
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let prev = mask & !(1 << last);
+            let Some((pc, porder)) = &best[prev] else {
+                continue;
+            };
+            let card = graph.result_cardinality(mask as u64);
+            let step = match model {
+                CostModel::Cout => card,
+                CostModel::Cmm => {
+                    graph.result_cardinality(prev as u64) * graph.cardinality(last)
+                }
+            };
+            let total = pc + step;
+            if found.as_ref().is_none_or(|(c, _)| total < *c) {
+                let mut order = porder.clone();
+                order.push(last);
+                found = Some((total, order));
+            }
+        }
+        best[mask] = found;
+        entries += 1;
+    }
+    let (c, order) = best[full].clone().expect("left-deep plan must exist");
+    DpResult {
+        plan: JoinTree::left_deep(&order),
+        cost: c,
+        table_entries: entries,
+    }
+}
+
+/// Brute-force check helper: minimum left-deep cost over all
+/// permutations (`n ≤ 8`).
+pub fn brute_force_left_deep(graph: &JoinGraph, model: CostModel) -> (Vec<usize>, f64) {
+    let n = graph.n_rels();
+    assert!(n <= 8, "factorial enumeration refused");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best_cost = f64::INFINITY;
+    let mut best_order = order.clone();
+    permute(&mut order, 0, &mut |perm| {
+        let c = cost(&JoinTree::left_deep(perm), graph, model).0;
+        if c < best_cost {
+            best_cost = c;
+            best_order = perm.to_vec();
+        }
+    });
+    (best_order, best_cost)
+}
+
+fn permute(xs: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == xs.len() {
+        f(xs);
+        return;
+    }
+    for i in k..xs.len() {
+        xs.swap(k, i);
+        permute(xs, k + 1, f);
+        xs.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{generate, Topology};
+    use qmldb_math::Rng64;
+
+    #[test]
+    fn left_deep_dp_matches_brute_force() {
+        let mut rng = Rng64::new(1701);
+        for topo in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique] {
+            let g = generate(topo, 6, &mut rng);
+            let dp = optimize_left_deep(&g, CostModel::Cout);
+            let (_, bf) = brute_force_left_deep(&g, CostModel::Cout);
+            assert!(
+                (dp.cost - bf).abs() < 1e-6 * bf.max(1.0),
+                "{topo:?}: dp {} vs bf {bf}",
+                dp.cost
+            );
+        }
+    }
+
+    #[test]
+    fn bushy_never_worse_than_left_deep() {
+        let mut rng = Rng64::new(1703);
+        for topo in [Topology::Chain, Topology::Star, Topology::Clique] {
+            for _ in 0..3 {
+                let g = generate(topo, 7, &mut rng);
+                let bushy = optimize_bushy(&g, CostModel::Cout);
+                let ld = optimize_left_deep(&g, CostModel::Cout);
+                assert!(
+                    bushy.cost <= ld.cost + 1e-6 * ld.cost.max(1.0),
+                    "{topo:?}: bushy {} vs left-deep {}",
+                    bushy.cost,
+                    ld.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_plan_covers_all_relations() {
+        let mut rng = Rng64::new(1705);
+        let g = generate(Topology::Cycle, 8, &mut rng);
+        let dp = optimize_bushy(&g, CostModel::Cout);
+        assert_eq!(dp.plan.relation_mask(), (1 << 8) - 1);
+        assert_eq!(dp.plan.n_leaves(), 8);
+    }
+
+    #[test]
+    fn reported_cost_matches_plan_cost() {
+        let mut rng = Rng64::new(1707);
+        let g = generate(Topology::Chain, 7, &mut rng);
+        let dp = optimize_bushy(&g, CostModel::Cout);
+        let (recomputed, _) = cost(&dp.plan, &g, CostModel::Cout);
+        assert!((dp.cost - recomputed).abs() < 1e-6 * recomputed.max(1.0));
+    }
+
+    #[test]
+    fn chain_dp_prefers_small_intermediates() {
+        // Tiny middle relation: the optimal plan starts there.
+        let g = crate::query::JoinGraph::new(
+            vec![10_000.0, 5.0, 10_000.0],
+            vec![(0, 1, 0.001), (1, 2, 0.001)],
+        );
+        let dp = optimize_left_deep(&g, CostModel::Cout);
+        // The best left-deep order joins 1 with a neighbor first.
+        let (best_order, _) = brute_force_left_deep(&g, CostModel::Cout);
+        assert!(best_order[0] == 1 || best_order[1] == 1);
+        assert!((dp.cost - brute_force_left_deep(&g, CostModel::Cout).1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_entries_grow_with_relations() {
+        let mut rng = Rng64::new(1709);
+        let g_small = generate(Topology::Clique, 5, &mut rng);
+        let g_large = generate(Topology::Clique, 9, &mut rng);
+        let e_small = optimize_bushy(&g_small, CostModel::Cout).table_entries;
+        let e_large = optimize_bushy(&g_large, CostModel::Cout).table_entries;
+        assert!(e_large > 10 * e_small, "{e_small} vs {e_large}");
+    }
+
+    #[test]
+    fn handles_cmm_model() {
+        let mut rng = Rng64::new(1711);
+        let g = generate(Topology::Star, 6, &mut rng);
+        let dp = optimize_left_deep(&g, CostModel::Cmm);
+        let (_, bf) = brute_force_left_deep(&g, CostModel::Cmm);
+        assert!((dp.cost - bf).abs() < 1e-6 * bf.max(1.0));
+    }
+}

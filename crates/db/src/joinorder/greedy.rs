@@ -1,0 +1,110 @@
+//! Heuristic join-order baselines: GOO (greedy operator ordering) and
+//! random sampling.
+
+use crate::joinorder::tree::{cost, CostModel, JoinTree};
+use crate::query::JoinGraph;
+use qmldb_math::Rng64;
+
+/// Greedy operator ordering (Fegaras): repeatedly merge the pair of
+/// subtrees whose join yields the smallest intermediate result. Produces a
+/// bushy plan in `O(n³)`.
+pub fn goo(graph: &JoinGraph, model: CostModel) -> (JoinTree, f64) {
+    let n = graph.n_rels();
+    assert!(n >= 1, "empty graph");
+    let mut forest: Vec<(JoinTree, u64)> = (0..n).map(|r| (JoinTree::Leaf(r), 1u64 << r)).collect();
+    while forest.len() > 1 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..forest.len() {
+            for j in (i + 1)..forest.len() {
+                let mask = forest[i].1 | forest[j].1;
+                let card = graph.result_cardinality(mask);
+                if best.is_none_or(|(_, _, c)| card < c) {
+                    best = Some((i, j, card));
+                }
+            }
+        }
+        let (i, j, _) = best.unwrap();
+        let (tj, mj) = forest.remove(j);
+        let (ti, mi) = forest.remove(i);
+        forest.push((JoinTree::Join(Box::new(ti), Box::new(tj)), mi | mj));
+    }
+    let tree = forest.pop().unwrap().0;
+    let (c, _) = cost(&tree, graph, model);
+    (tree, c)
+}
+
+/// Best of `k` uniformly random left-deep orders — the "how hard is this
+/// instance" baseline.
+pub fn random_orders(
+    graph: &JoinGraph,
+    model: CostModel,
+    k: usize,
+    rng: &mut Rng64,
+) -> (Vec<usize>, f64) {
+    let n = graph.n_rels();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best_cost = f64::INFINITY;
+    let mut best_order = order.clone();
+    for _ in 0..k.max(1) {
+        rng.shuffle(&mut order);
+        let c = cost(&JoinTree::left_deep(&order), graph, model).0;
+        if c < best_cost {
+            best_cost = c;
+            best_order = order.clone();
+        }
+    }
+    (best_order, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinorder::dp::{optimize_bushy, optimize_bushy_with};
+    use crate::query::{generate, Topology};
+
+    #[test]
+    fn goo_covers_all_relations() {
+        let mut rng = Rng64::new(1801);
+        let g = generate(Topology::Chain, 7, &mut rng);
+        let (tree, _) = goo(&g, CostModel::Cout);
+        assert_eq!(tree.relation_mask(), (1 << 7) - 1);
+    }
+
+    #[test]
+    fn goo_is_never_better_than_exact() {
+        let mut rng = Rng64::new(1803);
+        for topo in [Topology::Chain, Topology::Star, Topology::Clique] {
+            let g = generate(topo, 8, &mut rng);
+            let (_, greedy_cost) = goo(&g, CostModel::Cout);
+            let exact = optimize_bushy_with(&g, CostModel::Cout, true);
+            assert!(
+                greedy_cost >= exact.cost - 1e-6 * exact.cost.max(1.0),
+                "{topo:?}: greedy {greedy_cost} below exact {}",
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn goo_is_reasonable_on_chains() {
+        let mut rng = Rng64::new(1805);
+        let g = generate(Topology::Chain, 10, &mut rng);
+        let (_, greedy_cost) = goo(&g, CostModel::Cout);
+        let exact = optimize_bushy(&g, CostModel::Cout);
+        assert!(
+            greedy_cost <= 100.0 * exact.cost.max(1.0),
+            "greedy {greedy_cost} vs exact {}",
+            exact.cost
+        );
+    }
+
+    #[test]
+    fn random_baseline_improves_with_more_samples() {
+        let mut rng1 = Rng64::new(1807);
+        let mut rng2 = Rng64::new(1807);
+        let g = generate(Topology::Clique, 9, &mut Rng64::new(1808));
+        let (_, one) = random_orders(&g, CostModel::Cout, 1, &mut rng1);
+        let (_, many) = random_orders(&g, CostModel::Cout, 200, &mut rng2);
+        assert!(many <= one);
+    }
+}

@@ -1,0 +1,295 @@
+//! IKKBZ: polynomial-time optimal left-deep join ordering for acyclic
+//! query graphs (Ibaraki–Kameda / Krishnamurthy–Boral–Zaniolo).
+//!
+//! For each candidate root the join tree is rooted, every relation gets
+//! the ASI rank `(T − 1)/C`, and precedence-constrained chains are merged
+//! in rank order (normalizing rank inversions into compound nodes). The
+//! best root wins. The cost function is `C_out` restricted to
+//! connected-prefix (no-cross-product) left-deep plans, for which the ASI
+//! property holds on trees.
+
+use crate::joinorder::tree::{left_deep_cost, CostModel};
+use crate::query::JoinGraph;
+
+/// Result of an IKKBZ run.
+#[derive(Clone, Debug)]
+pub struct IkkbzResult {
+    /// The optimal left-deep order.
+    pub order: Vec<usize>,
+    /// Its `C_out` cost.
+    pub cost: f64,
+}
+
+/// A (possibly compound) sequence node during chain merging.
+#[derive(Clone, Debug)]
+struct Seq {
+    /// Relations in execution order.
+    rels: Vec<usize>,
+    /// Aggregated T = Π sᵥ·nᵥ over members.
+    t: f64,
+    /// Aggregated cost C under the ASI recurrence.
+    c: f64,
+}
+
+impl Seq {
+    fn single(rel: usize, t: f64) -> Seq {
+        Seq {
+            rels: vec![rel],
+            t,
+            c: t,
+        }
+    }
+
+    fn rank(&self) -> f64 {
+        if self.c == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.t - 1.0) / self.c
+        }
+    }
+
+    /// Concatenation `self · other` under the ASI recurrence:
+    /// `C(AB) = C(A) + T(A)·C(B)`, `T(AB) = T(A)·T(B)`.
+    fn then(mut self, other: Seq) -> Seq {
+        self.c += self.t * other.c;
+        self.t *= other.t;
+        self.rels.extend(other.rels);
+        self
+    }
+}
+
+/// Runs IKKBZ over every root and returns the cheapest order.
+///
+/// # Panics
+/// Panics if the join graph is not connected and acyclic (a tree).
+pub fn ikkbz(graph: &JoinGraph) -> IkkbzResult {
+    let n = graph.n_rels();
+    assert!(n >= 1, "empty graph");
+    assert!(
+        graph.edges().len() == n - 1 && graph.is_connected((1u64 << n) - 1),
+        "IKKBZ requires an acyclic connected (tree) join graph"
+    );
+    let mut best: Option<IkkbzResult> = None;
+    for root in 0..n {
+        let order = ikkbz_for_root(graph, root);
+        let cost = left_deep_cost(&order, graph, CostModel::Cout);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(IkkbzResult { order, cost });
+        }
+    }
+    best.expect("at least one root")
+}
+
+/// Children lists of the join tree rooted at `root`.
+fn rooted_children(graph: &JoinGraph, root: usize) -> Vec<Vec<usize>> {
+    let n = graph.n_rels();
+    let mut children = vec![Vec::new(); n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root] = true;
+    while let Some(v) = stack.pop() {
+        for &(a, b, _) in graph.edges() {
+            for (u, w) in [(a, b), (b, a)] {
+                if u == v && !visited[w] {
+                    visited[w] = true;
+                    children[v].push(w);
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    children
+}
+
+fn ikkbz_for_root(graph: &JoinGraph, root: usize) -> Vec<usize> {
+    let children = rooted_children(graph, root);
+
+    // Bottom-up: chain(v) = the optimal normalized chain of v's subtree
+    // *below* v (sequence of Seq nodes in non-decreasing rank).
+    fn build_chain(
+        v: usize,
+        graph: &JoinGraph,
+        children: &[Vec<usize>],
+    ) -> Vec<Seq> {
+        // Gather each child's own chain prefixed by the child node itself.
+        let mut merged: Vec<Seq> = Vec::new();
+        for &c in &children[v] {
+            let t = graph.selectivity(c, parent_of(c, children)) * graph.cardinality(c);
+            let mut chain = vec![Seq::single(c, t)];
+            chain.extend(build_chain(c, graph, children));
+            normalize(&mut chain);
+            // Merge this child's chain into the accumulated chain by rank.
+            merged = merge_by_rank(merged, chain);
+        }
+        normalize(&mut merged);
+        merged
+    }
+
+    fn parent_of(c: usize, children: &[Vec<usize>]) -> usize {
+        for (v, ch) in children.iter().enumerate() {
+            if ch.contains(&c) {
+                return v;
+            }
+        }
+        unreachable!("child must have a parent")
+    }
+
+    let chain = build_chain(root, graph, &children);
+    let mut order = vec![root];
+    for seq in chain {
+        order.extend(seq.rels);
+    }
+    order
+}
+
+/// Merges two rank-sorted chains into one rank-sorted chain.
+fn merge_by_rank(a: Vec<Seq>, b: Vec<Seq>) -> Vec<Seq> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].rank() <= b[ib].rank() {
+            out.push(a[ia].clone());
+            ia += 1;
+        } else {
+            out.push(b[ib].clone());
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
+}
+
+/// Collapses rank inversions: whenever a successor has lower rank than its
+/// predecessor (a precedence conflict), fuse them into a compound node.
+fn normalize(chain: &mut Vec<Seq>) {
+    let mut i = 0;
+    while i + 1 < chain.len() {
+        if chain[i].rank() > chain[i + 1].rank() + 1e-15 {
+            let b = chain.remove(i + 1);
+            let a = chain.remove(i);
+            chain.insert(i, a.then(b));
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Brute-force optimal left-deep order restricted to connected prefixes
+/// (the plan space IKKBZ optimizes over); for validation on small trees.
+pub fn brute_force_connected(graph: &JoinGraph) -> IkkbzResult {
+    let n = graph.n_rels();
+    assert!(n <= 9, "factorial enumeration refused");
+    let mut best: Option<IkkbzResult> = None;
+    let mut order: Vec<usize> = (0..n).collect();
+    permute_connected(graph, &mut order, 0, &mut best);
+    best.expect("connected graph has connected orders")
+}
+
+fn permute_connected(
+    graph: &JoinGraph,
+    order: &mut Vec<usize>,
+    k: usize,
+    best: &mut Option<IkkbzResult>,
+) {
+    let n = order.len();
+    if k == n {
+        let cost = left_deep_cost(order, graph, CostModel::Cout);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            *best = Some(IkkbzResult {
+                order: order.clone(),
+                cost,
+            });
+        }
+        return;
+    }
+    for i in k..n {
+        order.swap(k, i);
+        // Prefix must stay connected (skip cross products).
+        let mask: u64 = order[..=k].iter().map(|&r| 1u64 << r).sum();
+        if graph.is_connected(mask) {
+            permute_connected(graph, order, k + 1, best);
+        }
+        order.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{generate, Topology};
+    use qmldb_math::Rng64;
+
+    #[test]
+    fn matches_connected_brute_force_on_chains() {
+        let mut rng = Rng64::new(2401);
+        for _ in 0..8 {
+            let g = generate(Topology::Chain, 7, &mut rng);
+            let fast = ikkbz(&g);
+            let exact = brute_force_connected(&g);
+            assert!(
+                (fast.cost - exact.cost).abs() <= 1e-6 * exact.cost.max(1.0),
+                "ikkbz {} vs exact {}",
+                fast.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn matches_connected_brute_force_on_stars() {
+        let mut rng = Rng64::new(2403);
+        for _ in 0..8 {
+            let g = generate(Topology::Star, 6, &mut rng);
+            let fast = ikkbz(&g);
+            let exact = brute_force_connected(&g);
+            assert!(
+                (fast.cost - exact.cost).abs() <= 1e-6 * exact.cost.max(1.0),
+                "ikkbz {} vs exact {}",
+                fast.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_a_connected_permutation() {
+        let mut rng = Rng64::new(2405);
+        let g = generate(Topology::Chain, 9, &mut rng);
+        let r = ikkbz(&g);
+        let mut sorted = r.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+        for k in 0..9 {
+            let mask: u64 = r.order[..=k].iter().map(|&x| 1u64 << x).sum();
+            assert!(g.is_connected(mask), "prefix {k} disconnected");
+        }
+    }
+
+    #[test]
+    fn handles_random_trees() {
+        // A star-of-chains tree (mixed topology).
+        let g = crate::query::JoinGraph::new(
+            vec![100.0, 2000.0, 50.0, 8000.0, 30.0, 400.0],
+            vec![
+                (0, 1, 0.001),
+                (0, 2, 0.05),
+                (2, 3, 0.0005),
+                (0, 4, 0.1),
+                (4, 5, 0.01),
+            ],
+        );
+        let fast = ikkbz(&g);
+        let exact = brute_force_connected(&g);
+        assert!((fast.cost - exact.cost).abs() <= 1e-6 * exact.cost.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn rejects_cyclic_graphs() {
+        let mut rng = Rng64::new(2407);
+        let g = generate(Topology::Cycle, 5, &mut rng);
+        ikkbz(&g);
+    }
+}

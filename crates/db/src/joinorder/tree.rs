@@ -1,0 +1,155 @@
+//! Join trees and cost models.
+
+use crate::query::JoinGraph;
+
+/// A (possibly bushy) join tree over a subset of relations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinTree {
+    /// A base relation scan.
+    Leaf(usize),
+    /// An inner join of two subtrees.
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Builds a left-deep tree from a permutation of relation ids.
+    pub fn left_deep(order: &[usize]) -> JoinTree {
+        assert!(!order.is_empty(), "empty order");
+        let mut tree = JoinTree::Leaf(order[0]);
+        for &r in &order[1..] {
+            tree = JoinTree::Join(Box::new(tree), Box::new(JoinTree::Leaf(r)));
+        }
+        tree
+    }
+
+    /// The set of relations in the tree as a bitmask.
+    pub fn relation_mask(&self) -> u64 {
+        match self {
+            JoinTree::Leaf(r) => 1u64 << r,
+            JoinTree::Join(l, r) => l.relation_mask() | r.relation_mask(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join(l, r) => l.n_leaves() + r.n_leaves(),
+        }
+    }
+
+    /// True when the tree is left-deep (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => matches!(**r, JoinTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+}
+
+/// Cost model over join trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// `C_out`: the sum of all intermediate result cardinalities (the
+    /// standard optimizer-research metric).
+    Cout,
+    /// Nested-loop-flavored: each join costs `|L| · |R|`, summed.
+    Cmm,
+}
+
+/// Evaluates the cost of a join tree under the given model, using
+/// independence-assumption cardinalities from the graph.
+///
+/// Returns `(cost, root_cardinality)`.
+pub fn cost(tree: &JoinTree, graph: &JoinGraph, model: CostModel) -> (f64, f64) {
+    match tree {
+        JoinTree::Leaf(r) => (0.0, graph.cardinality(*r)),
+        JoinTree::Join(l, r) => {
+            let (cl, card_l) = cost(l, graph, model);
+            let (cr, card_r) = cost(r, graph, model);
+            let mask = tree.relation_mask();
+            let card = graph.result_cardinality(mask);
+            let step = match model {
+                CostModel::Cout => card,
+                CostModel::Cmm => card_l * card_r,
+            };
+            (cl + cr + step, card)
+        }
+    }
+}
+
+/// Cost of a left-deep permutation (convenience wrapper).
+pub fn left_deep_cost(order: &[usize], graph: &JoinGraph, model: CostModel) -> f64 {
+    cost(&JoinTree::left_deep(order), graph, model).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> JoinGraph {
+        // card 1000, 10, 1000; joining through the small middle is cheap.
+        JoinGraph::new(
+            vec![1000.0, 10.0, 1000.0],
+            vec![(0, 1, 0.01), (1, 2, 0.01)],
+        )
+    }
+
+    #[test]
+    fn left_deep_construction() {
+        let t = JoinTree::left_deep(&[2, 0, 1]);
+        assert_eq!(t.n_leaves(), 3);
+        assert!(t.is_left_deep());
+        assert_eq!(t.relation_mask(), 0b111);
+    }
+
+    #[test]
+    fn bushy_tree_is_not_left_deep() {
+        let t = JoinTree::Join(
+            Box::new(JoinTree::Join(
+                Box::new(JoinTree::Leaf(0)),
+                Box::new(JoinTree::Leaf(1)),
+            )),
+            Box::new(JoinTree::Join(
+                Box::new(JoinTree::Leaf(2)),
+                Box::new(JoinTree::Leaf(3)),
+            )),
+        );
+        assert!(!t.is_left_deep());
+        assert_eq!(t.relation_mask(), 0b1111);
+    }
+
+    #[test]
+    fn cout_cost_hand_check() {
+        let g = chain3();
+        // Order (0,1,2): |0⋈1| = 1000·10·0.01 = 100;
+        // |0⋈1⋈2| = 1000·10·1000·0.01·0.01 = 1000. C_out = 1100.
+        let c = left_deep_cost(&[0, 1, 2], &g, CostModel::Cout);
+        assert!((c - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_order_changes_cost() {
+        let g = chain3();
+        let good = left_deep_cost(&[0, 1, 2], &g, CostModel::Cout);
+        // (0,2) first is a cross product of two big relations.
+        let bad = left_deep_cost(&[0, 2, 1], &g, CostModel::Cout);
+        assert!(bad > good * 100.0, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn final_cardinality_is_order_independent() {
+        let g = chain3();
+        let (_, c1) = cost(&JoinTree::left_deep(&[0, 1, 2]), &g, CostModel::Cout);
+        let (_, c2) = cost(&JoinTree::left_deep(&[2, 1, 0]), &g, CostModel::Cout);
+        assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmm_model_differs_from_cout() {
+        let g = chain3();
+        let cout = left_deep_cost(&[0, 1, 2], &g, CostModel::Cout);
+        let cmm = left_deep_cost(&[0, 1, 2], &g, CostModel::Cmm);
+        assert_ne!(cout, cmm);
+    }
+}

@@ -1,0 +1,45 @@
+//! Database-research substrate: the "opportunities" side of the tutorial.
+//!
+//! Classic database optimization problems — join ordering, multiple-query
+//! optimization, index selection, transaction scheduling — formulated both
+//! classically (exact DP, greedy heuristics) and as QUBOs for quantum
+//! annealing / QAOA, plus Grover-backed tuple search and quantum-counting
+//! selectivity estimation on relations.
+//!
+//! # Example: join ordering, classical vs annealed QUBO
+//! ```
+//! use qmldb_db::query::{generate, Topology};
+//! use qmldb_db::joinorder::{optimize_left_deep, CostModel};
+//! use qmldb_db::qubo_jo::JoinOrderQubo;
+//! use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+//! use qmldb_math::Rng64;
+//!
+//! let mut rng = Rng64::new(3);
+//! let g = generate(Topology::Chain, 5, &mut rng);
+//! let exact = optimize_left_deep(&g, CostModel::Cout);
+//! let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+//! let r = simulated_annealing(&jo.qubo().to_ising(), &SaParams::default(), &mut rng);
+//! let order = jo.decode(&spins_to_bits(&r.spins));
+//! let annealed = jo.true_cost(&order, &g, CostModel::Cout);
+//! assert!(annealed >= exact.cost * 0.99); // exact DP is the floor
+//! ```
+
+pub mod catalog;
+pub mod index;
+pub mod joinorder;
+pub mod mqo;
+pub mod optimizer;
+pub mod query;
+pub mod qubo_jo;
+pub mod search;
+pub mod txsched;
+
+pub use catalog::{Catalog, Table};
+pub use index::{IndexCandidate, IndexSelection};
+pub use joinorder::{CostModel, JoinTree};
+pub use mqo::MqoInstance;
+pub use optimizer::{optimize, OptimizedPlan, Strategy};
+pub use query::{JoinGraph, Topology};
+pub use qubo_jo::JoinOrderQubo;
+pub use search::Relation;
+pub use txsched::TxSchedule;

@@ -1,0 +1,310 @@
+//! Multiple-query optimization (MQO) as a QUBO.
+//!
+//! Following the Trummer & Koch formulation: a batch of queries each has a
+//! set of alternative plans; plans of different queries can share common
+//! subexpressions, so the cost of executing two sharing plans together is
+//! less than the sum of their standalone costs. Choosing one plan per
+//! query to minimize total cost is NP-hard and maps naturally onto
+//! one-hot QUBO variables with negative quadratic "sharing" terms.
+
+use qmldb_anneal::{Qubo, QuboBuilder};
+use qmldb_math::Rng64;
+
+/// An MQO problem instance.
+#[derive(Clone, Debug)]
+pub struct MqoInstance {
+    /// plan_costs[q][p] = standalone cost of plan p for query q.
+    pub plan_costs: Vec<Vec<f64>>,
+    /// Savings realized when both endpoints are selected:
+    /// `((q1, p1), (q2, p2), saving)` with `q1 < q2`.
+    pub savings: Vec<((usize, usize), (usize, usize), f64)>,
+}
+
+impl MqoInstance {
+    /// Validates and wraps an instance.
+    pub fn new(
+        plan_costs: Vec<Vec<f64>>,
+        savings: Vec<((usize, usize), (usize, usize), f64)>,
+    ) -> Self {
+        assert!(!plan_costs.is_empty(), "no queries");
+        assert!(
+            plan_costs.iter().all(|p| !p.is_empty()),
+            "query without plans"
+        );
+        for &((q1, p1), (q2, p2), s) in &savings {
+            assert!(q1 < q2, "savings must order queries");
+            assert!(p1 < plan_costs[q1].len() && p2 < plan_costs[q2].len());
+            assert!(s >= 0.0, "negative saving");
+        }
+        MqoInstance {
+            plan_costs,
+            savings,
+        }
+    }
+
+    /// Number of queries.
+    pub fn n_queries(&self) -> usize {
+        self.plan_costs.len()
+    }
+
+    /// Total binary variables in the QUBO encoding.
+    pub fn n_vars(&self) -> usize {
+        self.plan_costs.iter().map(Vec::len).sum()
+    }
+
+    /// Flat variable index of `(query, plan)`.
+    pub fn var(&self, q: usize, p: usize) -> usize {
+        self.plan_costs[..q].iter().map(Vec::len).sum::<usize>() + p
+    }
+
+    /// Total execution cost of a selection (one plan index per query).
+    pub fn cost(&self, selection: &[usize]) -> f64 {
+        assert_eq!(selection.len(), self.n_queries(), "selection length");
+        let mut total: f64 = selection
+            .iter()
+            .enumerate()
+            .map(|(q, &p)| self.plan_costs[q][p])
+            .sum();
+        for &((q1, p1), (q2, p2), s) in &self.savings {
+            if selection[q1] == p1 && selection[q2] == p2 {
+                total -= s;
+            }
+        }
+        total
+    }
+
+    /// Encodes the instance as a QUBO with one-hot penalties.
+    pub fn to_qubo(&self, penalty: f64) -> Qubo {
+        let mut b = QuboBuilder::new(self.n_vars());
+        for (q, plans) in self.plan_costs.iter().enumerate() {
+            for (p, &c) in plans.iter().enumerate() {
+                b.linear(self.var(q, p), c);
+            }
+            let vars: Vec<usize> = (0..plans.len()).map(|p| self.var(q, p)).collect();
+            b.one_hot(&vars, penalty);
+        }
+        for &((q1, p1), (q2, p2), s) in &self.savings {
+            b.quadratic(self.var(q1, p1), self.var(q2, p2), -s);
+        }
+        b.build()
+    }
+
+    /// A penalty that safely dominates the objective.
+    pub fn auto_penalty(&self) -> f64 {
+        let max_cost: f64 = self
+            .plan_costs
+            .iter()
+            .map(|p| p.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        let total_savings: f64 = self.savings.iter().map(|&(_, _, s)| s).sum();
+        2.0 * (max_cost + total_savings) + 10.0
+    }
+
+    /// Decodes a QUBO assignment into a plan selection, repairing broken
+    /// one-hot groups by picking the cheapest plan.
+    pub fn decode(&self, bits: &[bool]) -> Vec<usize> {
+        assert_eq!(bits.len(), self.n_vars(), "assignment length");
+        let mut selection = Vec::with_capacity(self.n_queries());
+        for (q, plans) in self.plan_costs.iter().enumerate() {
+            let chosen: Vec<usize> = (0..plans.len())
+                .filter(|&p| bits[self.var(q, p)])
+                .collect();
+            if chosen.len() == 1 {
+                selection.push(chosen[0]);
+            } else {
+                // Repair: cheapest standalone plan.
+                let best = plans
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                selection.push(best);
+            }
+        }
+        selection
+    }
+
+    /// Exhaustive optimum over all plan combinations (product of plan
+    /// counts must stay ≤ ~1e6).
+    pub fn solve_exhaustive(&self) -> (Vec<usize>, f64) {
+        let combos: usize = self.plan_costs.iter().map(Vec::len).product();
+        assert!(combos <= 1_000_000, "exhaustive MQO too large");
+        let mut best = vec![0usize; self.n_queries()];
+        let mut best_cost = self.cost(&best);
+        let mut sel = vec![0usize; self.n_queries()];
+        'outer: loop {
+            let c = self.cost(&sel);
+            if c < best_cost {
+                best_cost = c;
+                best = sel.clone();
+            }
+            // Increment mixed-radix counter.
+            for q in 0..self.n_queries() {
+                sel[q] += 1;
+                if sel[q] < self.plan_costs[q].len() {
+                    continue 'outer;
+                }
+                sel[q] = 0;
+            }
+            break;
+        }
+        (best, best_cost)
+    }
+
+    /// Greedy baseline: each query independently picks its cheapest
+    /// standalone plan (ignores sharing entirely).
+    pub fn solve_greedy(&self) -> (Vec<usize>, f64) {
+        let sel: Vec<usize> = self
+            .plan_costs
+            .iter()
+            .map(|plans| {
+                plans
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        let c = self.cost(&sel);
+        (sel, c)
+    }
+}
+
+/// Generates a random MQO instance with `n_queries` queries, `plans_per`
+/// alternatives each, and sharing-heavy structure: plan 0 of each query is
+/// slightly more expensive standalone but shares a common subexpression
+/// with plan 0 of other queries.
+pub fn generate_instance(
+    n_queries: usize,
+    plans_per: usize,
+    sharing_density: f64,
+    rng: &mut Rng64,
+) -> MqoInstance {
+    assert!(n_queries >= 2 && plans_per >= 2, "instance too small");
+    let mut plan_costs = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let base = rng.uniform_range(50.0, 150.0);
+        let mut plans: Vec<f64> = (0..plans_per)
+            .map(|_| base * rng.uniform_range(0.9, 1.4))
+            .collect();
+        // Plan 0 is the "sharing-friendly" plan: a bit pricier standalone.
+        plans[0] *= 1.15;
+        plan_costs.push(plans);
+    }
+    let mut savings = Vec::new();
+    for q1 in 0..n_queries {
+        for q2 in (q1 + 1)..n_queries {
+            if rng.chance(sharing_density) {
+                let s = rng.uniform_range(20.0, 60.0);
+                savings.push(((q1, 0), (q2, 0), s));
+            }
+        }
+    }
+    MqoInstance::new(plan_costs, savings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_anneal::{simulated_annealing, solve_exact, spins_to_bits, SaParams};
+
+    fn sharing_pays() -> MqoInstance {
+        // Two queries; plan 0 costs 110 vs plan 1's 100, but co-selecting
+        // the plan-0 pair saves 50 → optimum picks both plan 0.
+        MqoInstance::new(
+            vec![vec![110.0, 100.0], vec![110.0, 100.0]],
+            vec![((0, 0), (1, 0), 50.0)],
+        )
+    }
+
+    #[test]
+    fn cost_accounts_for_savings() {
+        let m = sharing_pays();
+        assert_eq!(m.cost(&[1, 1]), 200.0);
+        assert_eq!(m.cost(&[0, 0]), 170.0);
+        assert_eq!(m.cost(&[0, 1]), 210.0);
+    }
+
+    #[test]
+    fn exhaustive_finds_sharing_optimum_greedy_misses() {
+        let m = sharing_pays();
+        let (exact_sel, exact_cost) = m.solve_exhaustive();
+        assert_eq!(exact_sel, vec![0, 0]);
+        assert_eq!(exact_cost, 170.0);
+        let (greedy_sel, greedy_cost) = m.solve_greedy();
+        assert_eq!(greedy_sel, vec![1, 1]);
+        assert!(greedy_cost > exact_cost);
+    }
+
+    #[test]
+    fn qubo_ground_state_matches_exhaustive() {
+        let mut rng = Rng64::new(2001);
+        let m = generate_instance(4, 3, 0.7, &mut rng);
+        let q = m.to_qubo(m.auto_penalty());
+        let sol = solve_exact(&q);
+        let decoded = m.decode(&sol.bits);
+        let (_, exact_cost) = m.solve_exhaustive();
+        assert!(
+            (m.cost(&decoded) - exact_cost).abs() < 1e-9,
+            "qubo {} vs exact {exact_cost}",
+            m.cost(&decoded)
+        );
+    }
+
+    #[test]
+    fn qubo_energy_of_feasible_selection_equals_cost() {
+        let mut rng = Rng64::new(2003);
+        let m = generate_instance(3, 2, 0.9, &mut rng);
+        let q = m.to_qubo(m.auto_penalty());
+        let sel = vec![0, 1, 0];
+        let mut bits = vec![false; m.n_vars()];
+        for (qq, &p) in sel.iter().enumerate() {
+            bits[m.var(qq, p)] = true;
+        }
+        assert!((q.energy(&bits) - m.cost(&sel)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annealer_matches_exhaustive_on_medium_instance() {
+        let mut rng = Rng64::new(2005);
+        let m = generate_instance(6, 3, 0.5, &mut rng);
+        let q = m.to_qubo(m.auto_penalty());
+        let r = simulated_annealing(
+            &q.to_ising(),
+            &SaParams {
+                sweeps: 2000,
+                restarts: 6,
+                ..SaParams::default()
+            },
+            &mut rng,
+        );
+        let decoded = m.decode(&spins_to_bits(&r.spins));
+        let (_, exact_cost) = m.solve_exhaustive();
+        assert!(
+            m.cost(&decoded) <= exact_cost * 1.05 + 1e-9,
+            "annealed {} vs exact {exact_cost}",
+            m.cost(&decoded)
+        );
+    }
+
+    #[test]
+    fn decode_repairs_overfull_groups() {
+        let m = sharing_pays();
+        let bits = vec![true; m.n_vars()]; // every plan "selected"
+        let sel = m.decode(&bits);
+        assert_eq!(sel.len(), 2);
+        // Repair picks the cheapest standalone plan (index 1 here).
+        assert_eq!(sel, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "savings must order")]
+    fn misordered_savings_rejected() {
+        MqoInstance::new(
+            vec![vec![1.0], vec![1.0]],
+            vec![((1, 0), (0, 0), 5.0)],
+        );
+    }
+}

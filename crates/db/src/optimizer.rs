@@ -1,0 +1,256 @@
+//! One-call join-order optimization facade.
+//!
+//! Downstream code picks a [`Strategy`] and gets back a scored plan; the
+//! quantum strategies run the full QUBO pipeline internally. This is the
+//! adoption surface: swap `Strategy::ExactDp` for
+//! `Strategy::AnnealedQubo` without touching anything else.
+
+use crate::joinorder::{
+    goo, ikkbz, left_deep_cost, optimize_bushy, optimize_left_deep, random_orders, CostModel,
+    JoinTree,
+};
+use crate::query::JoinGraph;
+use crate::qubo_jo::JoinOrderQubo;
+use qmldb_anneal::device::{AnnealerDevice, DeviceConfig};
+use qmldb_anneal::{
+    simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
+};
+use qmldb_math::Rng64;
+
+/// Available optimization strategies.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Exact bushy DP (avoids cross products on connected graphs).
+    ExactDpBushy,
+    /// Exact left-deep DP (Selinger).
+    ExactDpLeftDeep,
+    /// IKKBZ (acyclic graphs only; polynomial time).
+    Ikkbz,
+    /// Greedy operator ordering.
+    Goo,
+    /// Best of `k` random left-deep orders.
+    Random {
+        /// Sample count.
+        k: usize,
+    },
+    /// QUBO + simulated annealing.
+    AnnealedQubo {
+        /// Annealing schedule.
+        params: SaParams,
+    },
+    /// QUBO + path-integral simulated quantum annealing.
+    QuantumAnnealedQubo {
+        /// Annealing schedule.
+        params: SqaParams,
+    },
+    /// QUBO on the full simulated annealer device (Chimera embedding,
+    /// chains, unembedding).
+    Device {
+        /// Device configuration.
+        config: DeviceConfig,
+    },
+}
+
+/// A scored plan.
+#[derive(Clone, Debug)]
+pub struct OptimizedPlan {
+    /// The join tree.
+    pub plan: JoinTree,
+    /// Its cost under the requested model (true statistics).
+    pub cost: f64,
+    /// The strategy that produced it.
+    pub strategy_name: &'static str,
+}
+
+/// Errors from the facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// The chosen strategy cannot handle this graph shape.
+    Unsupported(String),
+    /// The annealer device could not embed the problem.
+    DeviceFailed,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            OptimizeError::DeviceFailed => write!(f, "annealer device failed to embed"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Optimizes a join graph with the chosen strategy.
+pub fn optimize(
+    graph: &JoinGraph,
+    model: CostModel,
+    strategy: &Strategy,
+    rng: &mut Rng64,
+) -> Result<OptimizedPlan, OptimizeError> {
+    let plan = match strategy {
+        Strategy::ExactDpBushy => {
+            let r = optimize_bushy(graph, model);
+            OptimizedPlan {
+                plan: r.plan,
+                cost: r.cost,
+                strategy_name: "dp-bushy",
+            }
+        }
+        Strategy::ExactDpLeftDeep => {
+            let r = optimize_left_deep(graph, model);
+            OptimizedPlan {
+                plan: r.plan,
+                cost: r.cost,
+                strategy_name: "dp-left-deep",
+            }
+        }
+        Strategy::Ikkbz => {
+            let n = graph.n_rels();
+            if graph.edges().len() != n - 1 {
+                return Err(OptimizeError::Unsupported(
+                    "IKKBZ needs an acyclic join graph".into(),
+                ));
+            }
+            let r = ikkbz(graph);
+            OptimizedPlan {
+                plan: JoinTree::left_deep(&r.order),
+                cost: left_deep_cost(&r.order, graph, model),
+                strategy_name: "ikkbz",
+            }
+        }
+        Strategy::Goo => {
+            let (tree, cost) = goo(graph, model);
+            OptimizedPlan {
+                plan: tree,
+                cost,
+                strategy_name: "goo",
+            }
+        }
+        Strategy::Random { k } => {
+            let (order, cost) = random_orders(graph, model, *k, rng);
+            OptimizedPlan {
+                plan: JoinTree::left_deep(&order),
+                cost,
+                strategy_name: "random",
+            }
+        }
+        Strategy::AnnealedQubo { params } => {
+            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
+            let r = simulated_annealing(&jo.qubo().to_ising(), params, rng);
+            let order = jo.decode(&spins_to_bits(&r.spins));
+            OptimizedPlan {
+                plan: JoinTree::left_deep(&order),
+                cost: left_deep_cost(&order, graph, model),
+                strategy_name: "sa-qubo",
+            }
+        }
+        Strategy::QuantumAnnealedQubo { params } => {
+            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
+            let r = simulated_quantum_annealing(&jo.qubo().to_ising(), params, rng);
+            let order = jo.decode(&spins_to_bits(&r.spins));
+            OptimizedPlan {
+                plan: JoinTree::left_deep(&order),
+                cost: left_deep_cost(&order, graph, model),
+                strategy_name: "sqa-qubo",
+            }
+        }
+        Strategy::Device { config } => {
+            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
+            let device = AnnealerDevice::new(config.clone());
+            let r = device
+                .solve(jo.qubo(), rng)
+                .map_err(|_| OptimizeError::DeviceFailed)?;
+            let order = jo.decode(&r.bits);
+            OptimizedPlan {
+                plan: JoinTree::left_deep(&order),
+                cost: left_deep_cost(&order, graph, model),
+                strategy_name: "annealer-device",
+            }
+        }
+    };
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{generate, Topology};
+
+    #[test]
+    fn every_strategy_produces_a_complete_plan() {
+        let mut rng = Rng64::new(2901);
+        let g = generate(Topology::Chain, 5, &mut rng);
+        let strategies = [
+            Strategy::ExactDpBushy,
+            Strategy::ExactDpLeftDeep,
+            Strategy::Ikkbz,
+            Strategy::Goo,
+            Strategy::Random { k: 50 },
+            Strategy::AnnealedQubo {
+                params: SaParams { sweeps: 500, restarts: 2, ..SaParams::default() },
+            },
+            Strategy::QuantumAnnealedQubo {
+                params: SqaParams { sweeps: 200, restarts: 1, ..SqaParams::default() },
+            },
+        ];
+        for s in &strategies {
+            let r = optimize(&g, CostModel::Cout, s, &mut rng).unwrap();
+            assert_eq!(r.plan.relation_mask(), (1 << 5) - 1, "{s:?}");
+            assert!(r.cost.is_finite() && r.cost > 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_strategies_are_the_floor() {
+        let mut rng = Rng64::new(2903);
+        let g = generate(Topology::Star, 6, &mut rng);
+        let exact = optimize(&g, CostModel::Cout, &Strategy::ExactDpLeftDeep, &mut rng)
+            .unwrap()
+            .cost;
+        for s in [
+            Strategy::Goo,
+            Strategy::Random { k: 20 },
+            Strategy::AnnealedQubo {
+                params: SaParams { sweeps: 500, restarts: 2, ..SaParams::default() },
+            },
+        ] {
+            let r = optimize(&g, CostModel::Cout, &s, &mut rng).unwrap();
+            // GOO is bushy and may beat the left-deep floor; others are
+            // left-deep and cannot.
+            if r.strategy_name != "goo" {
+                assert!(r.cost >= exact * (1.0 - 1e-9), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ikkbz_rejects_cyclic_graphs_cleanly() {
+        let mut rng = Rng64::new(2905);
+        let g = generate(Topology::Cycle, 5, &mut rng);
+        let err = optimize(&g, CostModel::Cout, &Strategy::Ikkbz, &mut rng).unwrap_err();
+        assert!(matches!(err, OptimizeError::Unsupported(_)));
+    }
+
+    #[test]
+    fn device_strategy_runs_end_to_end_on_small_graphs() {
+        let mut rng = Rng64::new(2907);
+        let g = generate(Topology::Chain, 4, &mut rng); // 16 QUBO vars
+        let r = optimize(
+            &g,
+            CostModel::Cout,
+            &Strategy::Device {
+                config: DeviceConfig {
+                    fabric_m: 4,
+                    reads: 4,
+                    ..DeviceConfig::default()
+                },
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(r.plan.relation_mask(), (1 << 4) - 1);
+        assert_eq!(r.strategy_name, "annealer-device");
+    }
+}

@@ -1,0 +1,294 @@
+//! Join query graphs and workload generators.
+//!
+//! A [`JoinGraph`] is the optimizer's view of a query: one node per base
+//! relation with its cardinality, one edge per join predicate with its
+//! selectivity. The generators reproduce the classic evaluation
+//! topologies — chain, star, cycle, clique — following the Steinbrunn et
+//! al. methodology, plus a TPC-H-like star-ish schema.
+
+use crate::catalog::Catalog;
+use qmldb_math::Rng64;
+
+/// Shape of a generated join graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// R0 — R1 — … — Rn−1.
+    Chain,
+    /// R0 joined with every other relation.
+    Star,
+    /// Chain plus an edge closing the loop.
+    Cycle,
+    /// Every pair joined.
+    Clique,
+}
+
+/// A join query graph.
+#[derive(Clone, Debug)]
+pub struct JoinGraph {
+    cardinalities: Vec<f64>,
+    /// Join predicates `(a, b, selectivity)` with `a < b`.
+    edges: Vec<(usize, usize, f64)>,
+    /// Dense selectivity lookup (1.0 where no predicate exists).
+    sel: Vec<f64>,
+}
+
+impl JoinGraph {
+    /// Builds a graph from cardinalities and predicate selectivities.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-joins, duplicate edges, or
+    /// selectivities outside `(0, 1]`.
+    pub fn new(cardinalities: Vec<f64>, edges: Vec<(usize, usize, f64)>) -> Self {
+        let n = cardinalities.len();
+        assert!(n >= 1, "empty graph");
+        assert!(
+            cardinalities.iter().all(|&c| c >= 1.0),
+            "cardinalities must be ≥ 1"
+        );
+        let mut sel = vec![1.0f64; n * n];
+        let mut normalized = Vec::with_capacity(edges.len());
+        for (a, b, s) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self-join edge");
+            assert!(s > 0.0 && s <= 1.0, "selectivity out of (0,1]");
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            assert!(sel[a * n + b] == 1.0, "duplicate edge ({a},{b})");
+            sel[a * n + b] = s;
+            sel[b * n + a] = s;
+            normalized.push((a, b, s));
+        }
+        JoinGraph {
+            cardinalities,
+            edges: normalized,
+            sel,
+        }
+    }
+
+    /// Number of relations.
+    pub fn n_rels(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Base cardinality of relation `r`.
+    pub fn cardinality(&self, r: usize) -> f64 {
+        self.cardinalities[r]
+    }
+
+    /// All cardinalities.
+    pub fn cardinalities(&self) -> &[f64] {
+        &self.cardinalities
+    }
+
+    /// Join predicates.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Selectivity between two relations (1.0 when not joined).
+    pub fn selectivity(&self, a: usize, b: usize) -> f64 {
+        self.sel[a * self.n_rels() + b]
+    }
+
+    /// True when the relations in `mask` induce a connected subgraph.
+    pub fn is_connected(&self, mask: u64) -> bool {
+        let n = self.n_rels();
+        let members: Vec<usize> = (0..n).filter(|&r| mask & (1 << r) != 0).collect();
+        if members.is_empty() {
+            return false;
+        }
+        let mut visited = 1u64 << members[0];
+        let mut frontier = vec![members[0]];
+        while let Some(r) = frontier.pop() {
+            for &(a, b, _) in &self.edges {
+                let (x, y) = (a, b);
+                for (u, v) in [(x, y), (y, x)] {
+                    if u == r && mask & (1 << v) != 0 && visited & (1 << v) == 0 {
+                        visited |= 1 << v;
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+        (0..n).all(|r| mask & (1 << r) == 0 || visited & (1 << r) != 0)
+    }
+
+    /// Estimated cardinality of joining the relation set `mask` under the
+    /// independence assumption: `Π cardᵢ · Π selₑ` over internal edges.
+    pub fn result_cardinality(&self, mask: u64) -> f64 {
+        let n = self.n_rels();
+        let mut card = 1.0;
+        for r in 0..n {
+            if mask & (1 << r) != 0 {
+                card *= self.cardinalities[r];
+            }
+        }
+        for &(a, b, s) in &self.edges {
+            if mask & (1 << a) != 0 && mask & (1 << b) != 0 {
+                card *= s;
+            }
+        }
+        card
+    }
+
+    /// A copy with multiplicatively perturbed cardinalities (log-normal
+    /// error factor `exp(σ·N(0,1))`) — used to study optimizer robustness
+    /// to estimation error.
+    pub fn with_cardinality_noise(&self, sigma: f64, rng: &mut Rng64) -> JoinGraph {
+        let cards = self
+            .cardinalities
+            .iter()
+            .map(|&c| (c * (sigma * rng.normal()).exp()).max(1.0))
+            .collect();
+        JoinGraph::new(cards, self.edges.clone())
+    }
+}
+
+/// Random selectivity in the Steinbrunn-style range, scaled so large
+/// relations get proportionally smaller selectivities (keeps intermediate
+/// results from overflowing).
+fn random_selectivity(card_a: f64, card_b: f64, rng: &mut Rng64) -> f64 {
+    // Foreign-key-like: 1/max(card) scaled by a uniform factor in [1, 10].
+    let base = 1.0 / card_a.max(card_b);
+    (base * rng.uniform_range(1.0, 10.0)).min(1.0)
+}
+
+/// Generates a random query of the given topology over a fresh synthetic
+/// catalog.
+pub fn generate(topology: Topology, n_rels: usize, rng: &mut Rng64) -> JoinGraph {
+    assert!(n_rels >= 2, "need at least two relations");
+    let catalog = Catalog::synthetic(n_rels, rng);
+    let cards = catalog.cardinalities();
+    let mut edges = Vec::new();
+    let push = |a: usize, b: usize, edges: &mut Vec<(usize, usize, f64)>, rng: &mut Rng64| {
+        let s = random_selectivity(cards[a], cards[b], rng);
+        edges.push((a, b, s));
+    };
+    match topology {
+        Topology::Chain => {
+            for i in 0..n_rels - 1 {
+                push(i, i + 1, &mut edges, rng);
+            }
+        }
+        Topology::Star => {
+            for i in 1..n_rels {
+                push(0, i, &mut edges, rng);
+            }
+        }
+        Topology::Cycle => {
+            for i in 0..n_rels - 1 {
+                push(i, i + 1, &mut edges, rng);
+            }
+            if n_rels > 2 {
+                push(0, n_rels - 1, &mut edges, rng);
+            }
+        }
+        Topology::Clique => {
+            for i in 0..n_rels {
+                for j in (i + 1)..n_rels {
+                    push(i, j, &mut edges, rng);
+                }
+            }
+        }
+    }
+    JoinGraph::new(cards, edges)
+}
+
+/// The TPC-H-like 8-relation join graph (foreign-key chain through the
+/// schema), with selectivities derived from key cardinalities.
+pub fn tpch_like_query(sf: f64) -> JoinGraph {
+    let catalog = Catalog::tpch_like(sf);
+    let cards = catalog.cardinalities();
+    // region(0) nation(1) supplier(2) customer(3) part(4) partsupp(5)
+    // orders(6) lineitem(7)
+    let fk = |parent: usize| 1.0 / cards[parent];
+    let edges = vec![
+        (0, 1, fk(0)),
+        (1, 2, fk(1)),
+        (1, 3, fk(1)),
+        (2, 5, fk(2)),
+        (4, 5, fk(4)),
+        (3, 6, fk(3)),
+        (6, 7, fk(6)),
+        (5, 7, fk(5)),
+    ];
+    JoinGraph::new(cards, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_edge_count() {
+        let mut rng = Rng64::new(1601);
+        let g = generate(Topology::Chain, 6, &mut rng);
+        assert_eq!(g.edges().len(), 5);
+        assert!(g.is_connected((1 << 6) - 1));
+    }
+
+    #[test]
+    fn star_has_center() {
+        let mut rng = Rng64::new(1603);
+        let g = generate(Topology::Star, 5, &mut rng);
+        assert_eq!(g.edges().len(), 4);
+        assert!(g.edges().iter().all(|&(a, _, _)| a == 0));
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        let mut rng = Rng64::new(1605);
+        let g = generate(Topology::Clique, 5, &mut rng);
+        assert_eq!(g.edges().len(), 10);
+    }
+
+    #[test]
+    fn connectivity_detects_disconnection() {
+        let g = JoinGraph::new(vec![10.0, 20.0, 30.0], vec![(0, 1, 0.1)]);
+        assert!(g.is_connected(0b011));
+        assert!(!g.is_connected(0b101));
+        assert!(!g.is_connected(0b111));
+    }
+
+    #[test]
+    fn result_cardinality_independence() {
+        let g = JoinGraph::new(vec![100.0, 200.0], vec![(0, 1, 0.01)]);
+        assert!((g.result_cardinality(0b11) - 200.0).abs() < 1e-9);
+        assert!((g.result_cardinality(0b01) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_lookup_defaults_to_one() {
+        let g = JoinGraph::new(vec![10.0, 10.0, 10.0], vec![(0, 2, 0.5)]);
+        assert_eq!(g.selectivity(0, 2), 0.5);
+        assert_eq!(g.selectivity(2, 0), 0.5);
+        assert_eq!(g.selectivity(0, 1), 1.0);
+    }
+
+    #[test]
+    fn cardinality_noise_preserves_structure() {
+        let mut rng = Rng64::new(1607);
+        let g = generate(Topology::Cycle, 5, &mut rng);
+        let noisy = g.with_cardinality_noise(1.0, &mut rng);
+        assert_eq!(noisy.edges(), g.edges());
+        assert_ne!(noisy.cardinalities(), g.cardinalities());
+    }
+
+    #[test]
+    fn tpch_like_is_connected() {
+        let g = tpch_like_query(0.01);
+        assert_eq!(g.n_rels(), 8);
+        assert!(g.is_connected(0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        JoinGraph::new(vec![10.0, 10.0], vec![(0, 1, 0.5), (1, 0, 0.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn invalid_selectivity_rejected() {
+        JoinGraph::new(vec![10.0, 10.0], vec![(0, 1, 0.0)]);
+    }
+}

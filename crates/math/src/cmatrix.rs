@@ -1,0 +1,322 @@
+//! Dense complex matrices — the representation of quantum gates and
+//! operators throughout the workspace.
+
+use crate::complex::C64;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n×n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer; panics on size mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "cmatrix buffer size mismatch");
+        CMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from rows; panics on ragged input.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a real matrix (imaginary parts zero).
+    pub fn from_real(m: &crate::matrix::Matrix) -> Self {
+        let data = m.as_slice().iter().map(|&x| C64::real(x)).collect();
+        CMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major storage.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMatrix {
+        let mut t = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        t
+    }
+
+    /// Matrix product; panics on shape mismatch.
+    pub fn matmul(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, other.rows, "cmatmul shape mismatch");
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == C64::ZERO {
+                    continue;
+                }
+                let brow = other.row(k);
+                let base = i * out.cols;
+                for (j, &b) in brow.iter().enumerate() {
+                    out.data[base + j] += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product on a complex amplitude vector.
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "apply shape mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(C64::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for p in 0..other.rows {
+                    for q in 0..other.cols {
+                        out[(i * other.rows + p, j * other.cols + q)] = a * other[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: C64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Trace; panics if not square.
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Entry-wise approximate equality within `tol` (complex modulus).
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// True when `A†A = I` within `tol`. Requires square.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// True when `A = A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.rows == self.cols && self.approx_eq(&self.dagger(), tol)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hadamard() -> CMatrix {
+        let s = 1.0 / 2f64.sqrt();
+        CMatrix::from_rows(&[
+            vec![C64::real(s), C64::real(s)],
+            vec![C64::real(s), C64::real(-s)],
+        ])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]])
+    }
+
+    #[test]
+    fn hadamard_is_unitary_and_self_inverse() {
+        let h = hadamard();
+        assert!(h.is_unitary(1e-12));
+        assert!(h.matmul(&h).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn pauli_y_is_hermitian_and_unitary() {
+        let y = pauli_y();
+        assert!(y.is_hermitian(0.0));
+        assert!(y.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let h = hadamard();
+        let y = pauli_y();
+        let lhs = h.matmul(&y).dagger();
+        let rhs = y.dagger().matmul(&h.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let i = CMatrix::identity(2);
+        let y = pauli_y();
+        let iy = i.kron(&y);
+        assert_eq!((iy.rows(), iy.cols()), (4, 4));
+        // Block structure: diag(Y, Y).
+        assert_eq!(iy[(0, 1)], -C64::I);
+        assert_eq!(iy[(2, 3)], -C64::I);
+        assert_eq!(iy[(0, 2)], C64::ZERO);
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let u = hadamard().kron(&pauli_y());
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn apply_matches_matmul_with_column() {
+        let y = pauli_y();
+        let v = vec![C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let got = y.apply(&v);
+        // Y|v> = (-i*v1, i*v0)
+        assert!(got[0].approx_eq(-C64::I * v[1], 1e-12));
+        assert!(got[1].approx_eq(C64::I * v[0], 1e-12));
+    }
+
+    #[test]
+    fn trace_is_basis_independent_under_unitary() {
+        let y = pauli_y();
+        let h = hadamard();
+        let rotated = h.dagger().matmul(&y).matmul(&h);
+        assert!(rotated.trace().approx_eq(y.trace(), 1e-12));
+    }
+
+    #[test]
+    fn rectangular_not_unitary() {
+        assert!(!CMatrix::zeros(2, 3).is_unitary(1e-12));
+    }
+}

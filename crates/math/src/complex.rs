@@ -1,0 +1,348 @@
+//! Double-precision complex numbers.
+//!
+//! `C64` is a plain value type (`Copy`) with the full arithmetic surface the
+//! simulator needs: field operations, conjugation, modulus, polar form and
+//! the complex exponential. It intentionally mirrors the subset of
+//! `num_complex::Complex64` used by quantum simulators so the rest of the
+//! workspace reads like standard quantum-computing code.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`C64::abs`] (no square root).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = (self.abs(), self.arg());
+        C64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `z == 0`, matching IEEE division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True when `|self − other| ≤ tol`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+
+    /// Fused multiply-add: `self * b + c`, used by simulator inner loops.
+    #[inline]
+    pub fn mul_add(self, b: C64, c: C64) -> Self {
+        C64::new(
+            self.re.mul_add(b.re, -(self.im * b.im)) + c.re,
+            self.re.mul_add(b.im, self.im * b.re) + c.im,
+        )
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(C64::ZERO, C64::new(0.0, 0.0));
+        assert_eq!(C64::ONE, C64::new(1.0, 0.0));
+        assert_eq!(C64::I, C64::new(0.0, 1.0));
+        assert_eq!(C64::from(3.5), C64::real(3.5));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C64::I * C64::I).approx_eq(-C64::ONE, TOL));
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_computation() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0)); // (1+2i)(3-i) = 3-i+6i+2 = 5+5i
+        assert!((a / b * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn division_by_self_is_one() {
+        let z = C64::new(-2.5, 0.75);
+        assert!((z / z).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = C64::new(1.25, -0.5);
+        assert_eq!(z.conj().conj(), z);
+        assert!(approx(z.norm_sqr(), (z * z.conj()).re));
+        assert_eq!((z * z.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::new(-3.0, 4.0);
+        let back = C64::from_polar(z.abs(), z.arg());
+        assert!(back.approx_eq(z, 1e-9));
+        assert!(approx(z.abs(), 5.0));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.7 - 5.0;
+            assert!(approx(C64::cis(theta).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = C64::new(0.0, std::f64::consts::PI).exp();
+        assert!(z.approx_eq(-C64::ONE, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0)] {
+            let z = C64::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-9), "sqrt({z}) = {s}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(0.25, 3.0);
+        let c = C64::new(-1.0, 1.0);
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, C64::new(6.0, 4.0));
+    }
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+}

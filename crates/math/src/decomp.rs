@@ -1,0 +1,338 @@
+//! Matrix decompositions: LU solve with partial pivoting, Cholesky, and a
+//! symmetric Jacobi eigendecomposition.
+//!
+//! These cover everything the workspace needs: solving small linear systems
+//! (HHL reference solutions, least squares), PCA (eigen of covariance), and
+//! kernel-matrix diagnostics.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Errors from decomposition routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular,
+    /// The matrix is not positive definite (Cholesky).
+    NotPositiveDefinite,
+    /// Input shapes are inconsistent.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for DecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompError::Singular => write!(f, "matrix is singular"),
+            DecompError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            DecompError::ShapeMismatch => write!(f, "shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+/// LU factorization with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns [`DecompError::Singular`] if a pivot
+    /// underflows.
+    pub fn factor(a: &Matrix) -> Result<Lu, DecompError> {
+        if a.rows() != a.cols() {
+            return Err(DecompError::ShapeMismatch);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-14 {
+                return Err(DecompError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `Ax = b` using the stored factorization.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, DecompError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(DecompError::ShapeMismatch);
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower triangular).
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+/// Solves `Ax = b` for square `A` via LU with partial pivoting.
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, DecompError> {
+    Lu::factor(a)?.solve(b)
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular factor.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, DecompError> {
+    if a.rows() != a.cols() {
+        return Err(DecompError::ShapeMismatch);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(DecompError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted descending
+/// and eigenvectors as the *columns* of the returned matrix, matching
+/// `A = V diag(λ) Vᵀ`.
+pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<(Vector, Matrix), DecompError> {
+    if a.rows() != a.cols() {
+        return Err(DecompError::ShapeMismatch);
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += 2.0 * m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let eigenvalues: Vector = pairs.iter().map(|&(lam, _)| lam).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok((eigenvalues, vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I is SPD.
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -0.5],
+            vec![0.5, -0.5, 2.0],
+        ])
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from_vec(vec![5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_residual_is_tiny_on_random_system() {
+        let mut rng = crate::rng::Rng64::new(101);
+        let n = 8;
+        let mut rows = Vec::new();
+        for _ in 0..n {
+            rows.push((0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect());
+        }
+        let a = Matrix::from_rows(&rows);
+        let b: Vector = (0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let x = solve(&a, &b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        assert!(r.norm() < 1e-9, "residual {}", r.norm());
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(Lu::factor(&a).unwrap_err(), DecompError::Singular);
+    }
+
+    #[test]
+    fn determinant_via_lu() {
+        let a = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose());
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eig -1, 3
+        assert_eq!(cholesky(&a).unwrap_err(), DecompError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn jacobi_eigen_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[vec![5.0, 0.0], vec![0.0, 2.0]]);
+        let (vals, _) = symmetric_eigen(&a, 1e-12, 50).unwrap();
+        assert!((vals[0] - 5.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_spd() {
+        let a = spd3();
+        let (vals, v) = symmetric_eigen(&a, 1e-12, 100).unwrap();
+        // Reconstruct V diag(vals) V^T.
+        let n = a.rows();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = vals[i];
+        }
+        let recon = v.matmul(&d).matmul(&v.transpose());
+        assert!(recon.approx_eq(&a, 1e-8));
+        // Eigenvectors orthonormal.
+        assert!(v
+            .transpose()
+            .matmul(&v)
+            .approx_eq(&Matrix::identity(n), 1e-8));
+        // Sorted descending.
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+    }
+
+    #[test]
+    fn eigen_satisfies_av_equals_lambda_v() {
+        let a = spd3();
+        let (vals, v) = symmetric_eigen(&a, 1e-12, 100).unwrap();
+        for j in 0..a.rows() {
+            let col = v.col(j);
+            let av = a.matvec(&col);
+            let lv = col.scale(vals[j]);
+            assert!((&av - &lv).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(Lu::factor(&a).unwrap_err(), DecompError::ShapeMismatch);
+        assert_eq!(cholesky(&a).unwrap_err(), DecompError::ShapeMismatch);
+        assert!(symmetric_eigen(&a, 1e-10, 10).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Numeric substrate for the `qmldb` workspace.
+//!
+//! This crate deliberately re-implements the small slice of numerics the rest
+//! of the workspace needs — complex arithmetic, dense real/complex matrices,
+//! a handful of decompositions, a deterministic PRNG and summary statistics —
+//! instead of pulling heavyweight external linear-algebra crates. The build
+//! stays hermetic and every routine is covered by unit and property tests.
+//!
+//! # Example
+//! ```
+//! use qmldb_math::{C64, CMatrix};
+//!
+//! let h = CMatrix::from_rows(&[
+//!     vec![C64::new(1.0, 0.0), C64::new(1.0, 0.0)],
+//!     vec![C64::new(1.0, 0.0), C64::new(-1.0, 0.0)],
+//! ]).scale(C64::new(1.0 / 2f64.sqrt(), 0.0));
+//! assert!(h.is_unitary(1e-12));
+//! ```
+
+pub mod cmatrix;
+pub mod complex;
+pub mod decomp;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use cmatrix::CMatrix;
+pub use complex::C64;
+pub use matrix::Matrix;
+pub use rng::Rng64;
+pub use vector::Vector;
+
+/// Numeric tolerance used as a default across the workspace when comparing
+/// floating-point quantities that should be exact up to rounding.
+pub const EPS: f64 = 1e-10;
+
+/// Returns true when `a` and `b` differ by at most `tol` in absolute value.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,317 @@
+//! Dense real matrices (row-major).
+
+use crate::vector::Vector;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n×n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer. Panics if the length does
+    /// not equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from rows. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a `Vector`.
+    pub fn col(&self, j: usize) -> Vector {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product. Panics on shape mismatch.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        assert_eq!(self.cols, v.len(), "matvec shape mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Matrix–matrix product with the classic ikj loop order (cache
+    /// friendly for row-major data). Panics on shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True when `self` and `other` agree entry-wise within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// True when the matrix is symmetric within `tol`. Requires square.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Outer product `u vᵀ`.
+    pub fn outer(u: &Vector, v: &Vector) -> Matrix {
+        let mut m = Matrix::zeros(u.len(), v.len());
+        for i in 0..u.len() {
+            for j in 0..v.len() {
+                m[(i, j)] = u[i] * v[j];
+            }
+        }
+        m
+    }
+
+    /// Trace; panics if not square.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 0.0));
+        assert!(i.matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_hand_check() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0]]); // 1x3
+        let b = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]); // 3x1
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (1, 1));
+        assert_eq!(c[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.5]]);
+        let v = Vector::from_vec(vec![3.0, 4.0]);
+        let got = a.matvec(&v);
+        assert_eq!(got.as_slice(), &[-1.0, 8.0]);
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let u = Vector::from_vec(vec![1.0, 2.0]);
+        let v = Vector::from_vec(vec![3.0, 4.0, 5.0]);
+        let m = Matrix::outer(&u, &v);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let ns = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 3.0]]);
+        assert!(s.is_symmetric(0.0));
+        assert!(!ns.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn trace_and_frobenius() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(a.trace(), 7.0);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Dense real vectors.
+
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense `f64` vector with the arithmetic the ML and annealing crates need.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector from raw data.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of `n` ones.
+    pub fn ones(n: usize) -> Self {
+        Vector { data: vec![1.0; n] }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product. Panics on length mismatch.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist_sqr(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dist_sqr: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Returns a unit-norm copy; returns an unchanged copy if the norm is 0.
+    pub fn normalized(&self) -> Vector {
+        let n = self.norm();
+        if n == 0.0 {
+            self.clone()
+        } else {
+            self.scale(1.0 / n)
+        }
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scale(&self, k: f64) -> Vector {
+        Vector::from_vec(self.data.iter().map(|x| x * k).collect())
+    }
+
+    /// In-place `self += k * other` (axpy). Panics on length mismatch.
+    pub fn axpy(&mut self, k: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Entry-wise application of `f`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
+        Vector::from_vec(self.data.iter().map(|&x| f(x)).collect())
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean; 0 for the empty vector.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Index of the largest entry; panics on empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty vector");
+        let mut best = 0;
+        for i in 1..self.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "add: length mismatch");
+        Vector::from_vec(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
+        Vector::from_vec(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, k: f64) -> Vector {
+        self.scale(k)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scale(-1.0)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Vector {
+        Vector::from_vec(data)
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Vector {
+        Vector::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let v = Vector::from_vec(vec![3.0, 4.0]);
+        assert_eq!(v.dot(&v), 25.0);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vector::from_vec(vec![1.0, 2.0, -2.0]);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_unchanged() {
+        let z = Vector::zeros(3);
+        assert_eq!(z.normalized(), z);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![3.0, -1.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from_vec(vec![1.0, 1.0]);
+        a.axpy(2.0, &Vector::from_vec(vec![3.0, -1.0]));
+        assert_eq!(a.as_slice(), &[7.0, -1.0]);
+    }
+
+    #[test]
+    fn dist_sqr_matches_norm_of_difference() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![0.0, 0.0, 1.0]);
+        let d = &a - &b;
+        assert!((a.dist_sqr(&b) - d.dot(&d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_finds_largest() {
+        let v = Vector::from_vec(vec![0.5, 3.0, -1.0, 3.0]);
+        assert_eq!(v.argmax(), 1); // first maximum wins
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let v = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.sum(), 10.0);
+        assert_eq!(v.mean(), 2.5);
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

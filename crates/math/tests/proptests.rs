@@ -1,0 +1,129 @@
+//! Property-based tests for the numeric substrate: algebraic laws that must
+//! hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use qmldb_math::{decomp, C64, CMatrix, Matrix, Vector};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+fn c64() -> impl Strategy<Value = C64> {
+    (finite_f64(), finite_f64()).prop_map(|(re, im)| C64::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn complex_addition_commutes(a in c64(), b in c64()) {
+        prop_assert!((a + b).approx_eq(b + a, 1e-9));
+    }
+
+    #[test]
+    fn complex_multiplication_commutes(a in c64(), b in c64()) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-6));
+    }
+
+    #[test]
+    fn complex_distributivity(a in c64(), b in c64(), c in c64()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + lhs.abs())));
+    }
+
+    #[test]
+    fn conjugation_is_involution(a in c64()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in c64(), b in c64()) {
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn norm_sqr_equals_z_zconj(a in c64()) {
+        let p = a * a.conj();
+        prop_assert!((p.re - a.norm_sqr()).abs() <= 1e-6 * (1.0 + a.norm_sqr()));
+        prop_assert!(p.im.abs() <= 1e-9 * (1.0 + a.norm_sqr()));
+    }
+
+    #[test]
+    fn vector_dot_cauchy_schwarz(
+        xs in prop::collection::vec(finite_f64(), 1..16),
+        ys_seed in prop::collection::vec(finite_f64(), 1..16),
+    ) {
+        let n = xs.len().min(ys_seed.len());
+        let a = Vector::from_vec(xs[..n].to_vec());
+        let b = Vector::from_vec(ys_seed[..n].to_vec());
+        let lhs = a.dot(&b).abs();
+        let rhs = a.norm() * b.norm();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn matrix_transpose_of_product(
+        a_data in prop::collection::vec(finite_f64(), 9),
+        b_data in prop::collection::vec(finite_f64(), 9),
+    ) {
+        let a = Matrix::from_vec(3, 3, a_data);
+        let b = Matrix::from_vec(3, 3, b_data);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6 * (1.0 + lhs.frobenius_norm())));
+    }
+
+    #[test]
+    fn lu_solve_residual_small(
+        a_data in prop::collection::vec(-10.0..10.0f64, 16),
+        b_data in prop::collection::vec(-10.0..10.0f64, 4),
+    ) {
+        let a = Matrix::from_vec(4, 4, a_data);
+        let b = Vector::from_vec(b_data);
+        if let Ok(x) = decomp::solve(&a, &b) {
+            let r = &a.matvec(&x) - &b;
+            // Residual scaled by solution magnitude (ill-conditioned systems
+            // may have large x).
+            let scale = 1.0 + x.norm() * a.frobenius_norm();
+            prop_assert!(r.norm() <= 1e-6 * scale, "residual {} scale {}", r.norm(), scale);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_trace_preserved(
+        seed in prop::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        // Build a symmetric 4x4 from 10 free entries.
+        let mut a = Matrix::zeros(4, 4);
+        let mut it = seed.into_iter();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = it.next().unwrap();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let (vals, _) = decomp::symmetric_eigen(&a, 1e-12, 100).unwrap();
+        let sum: f64 = vals.as_slice().iter().sum();
+        prop_assert!((sum - a.trace()).abs() <= 1e-7 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn kron_is_multiplicative(
+        a_data in prop::collection::vec(c64(), 4),
+        b_data in prop::collection::vec(c64(), 4),
+        c_data in prop::collection::vec(c64(), 4),
+        d_data in prop::collection::vec(c64(), 4),
+    ) {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = CMatrix::from_vec(2, 2, a_data);
+        let b = CMatrix::from_vec(2, 2, b_data);
+        let c = CMatrix::from_vec(2, 2, c_data);
+        let d = CMatrix::from_vec(2, 2, d_data);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        let scale = 1.0 + lhs.as_slice().iter().map(|z| z.abs()).fold(0.0, f64::max);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-5 * scale));
+    }
+}

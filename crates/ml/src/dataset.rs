@@ -1,0 +1,310 @@
+//! Synthetic dataset generators for binary classification, mirroring the
+//! toy workloads QML tutorials evaluate on (two moons, circles, XOR/parity,
+//! blobs, linearly separable).
+
+use qmldb_math::Rng64;
+
+/// A labelled dataset: feature rows plus ±1 labels.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature rows; all rows share one dimensionality.
+    pub x: Vec<Vec<f64>>,
+    /// Labels in {-1.0, +1.0}.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating shapes and labels.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        let dim = x.first().map_or(0, Vec::len);
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
+        assert!(
+            y.iter().all(|&l| l == 1.0 || l == -1.0),
+            "labels must be ±1"
+        );
+        Dataset { x, y }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Shuffles and splits into `(train, test)` with `train_frac` of rows
+    /// in the training set.
+    pub fn split(&self, train_frac: f64, rng: &mut Rng64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "bad split fraction");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        let take = |ids: &[usize]| {
+            Dataset::new(
+                ids.iter().map(|&i| self.x[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+            )
+        };
+        (take(&idx[..cut]), take(&idx[cut..]))
+    }
+
+    /// Min-max scales every feature into `[lo, hi]` (constant features map
+    /// to the midpoint). Returns the scaled copy.
+    pub fn rescaled(&self, lo: f64, hi: f64) -> Dataset {
+        let dim = self.dim();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in &self.x {
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        let x = self
+            .x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(d, &v)| {
+                        if maxs[d] > mins[d] {
+                            lo + (hi - lo) * (v - mins[d]) / (maxs[d] - mins[d])
+                        } else {
+                            (lo + hi) / 2.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Dataset::new(x, self.y.clone())
+    }
+}
+
+/// Two interleaving half-moons with Gaussian noise — the classic nonlinear
+/// binary benchmark.
+pub fn two_moons(n: usize, noise: f64, rng: &mut Rng64) -> Dataset {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = std::f64::consts::PI * rng.uniform();
+        let (px, py, label) = if i % 2 == 0 {
+            (t.cos(), t.sin(), 1.0)
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin(), -1.0)
+        };
+        x.push(vec![
+            px + noise * rng.normal(),
+            py + noise * rng.normal(),
+        ]);
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+/// Two concentric circles; inner circle labelled +1.
+pub fn circles(n: usize, noise: f64, rng: &mut Rng64) -> Dataset {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = std::f64::consts::TAU * rng.uniform();
+        let (r, label) = if i % 2 == 0 { (0.5, 1.0) } else { (1.0, -1.0) };
+        x.push(vec![
+            r * t.cos() + noise * rng.normal(),
+            r * t.sin() + noise * rng.normal(),
+        ]);
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+/// The XOR problem in 2D: label = sign(x·y) with points in four Gaussian
+/// clusters around (±1, ±1).
+pub fn xor(n: usize, noise: f64, rng: &mut Rng64) -> Dataset {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let quadrant = i % 4;
+        let (cx, cy) = match quadrant {
+            0 => (1.0, 1.0),
+            1 => (-1.0, -1.0),
+            2 => (1.0, -1.0),
+            _ => (-1.0, 1.0),
+        };
+        let label = if quadrant < 2 { 1.0 } else { -1.0 };
+        x.push(vec![
+            cx + noise * rng.normal(),
+            cy + noise * rng.normal(),
+        ]);
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+/// Two Gaussian blobs with the given centers and spread.
+pub fn blobs(
+    n: usize,
+    center_pos: &[f64],
+    center_neg: &[f64],
+    spread: f64,
+    rng: &mut Rng64,
+) -> Dataset {
+    assert_eq!(center_pos.len(), center_neg.len(), "center dims differ");
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let (center, label) = if i % 2 == 0 {
+            (center_pos, 1.0)
+        } else {
+            (center_neg, -1.0)
+        };
+        x.push(
+            center
+                .iter()
+                .map(|&c| c + spread * rng.normal())
+                .collect(),
+        );
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+/// A linearly separable dataset with the given margin around a random
+/// hyperplane through the origin.
+pub fn linearly_separable(n: usize, dim: usize, margin: f64, rng: &mut Rng64) -> Dataset {
+    // Random unit normal.
+    let mut w: Vec<f64> = (0..dim).map(|_| rng.normal()).collect();
+    let norm = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for v in &mut w {
+        *v /= norm;
+    }
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    while x.len() < n {
+        let row: Vec<f64> = (0..dim).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let score: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum();
+        if score.abs() >= margin {
+            y.push(score.signum());
+            x.push(row);
+        }
+    }
+    Dataset::new(x, y)
+}
+
+/// `k`-bit parity: features in {-1, +1}^k, label = product of features.
+/// Enumerates all 2^k points (n is capped at 2^k).
+pub fn parity(bits: usize) -> Dataset {
+    assert!(bits <= 16, "parity dataset too large");
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..(1usize << bits) {
+        let row: Vec<f64> = (0..bits)
+            .map(|b| if i & (1 << b) != 0 { 1.0 } else { -1.0 })
+            .collect();
+        let label: f64 = row.iter().product();
+        x.push(row);
+        y.push(label);
+    }
+    Dataset::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moons_shape_and_balance() {
+        let mut rng = Rng64::new(1);
+        let d = two_moons(100, 0.05, &mut rng);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.dim(), 2);
+        let pos = d.y.iter().filter(|&&l| l == 1.0).count();
+        assert_eq!(pos, 50);
+    }
+
+    #[test]
+    fn circles_radii_separate_classes() {
+        let mut rng = Rng64::new(2);
+        let d = circles(200, 0.0, &mut rng);
+        for (row, &label) in d.x.iter().zip(&d.y) {
+            let r = (row[0] * row[0] + row[1] * row[1]).sqrt();
+            if label == 1.0 {
+                assert!((r - 0.5).abs() < 1e-9);
+            } else {
+                assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_labels_match_quadrants() {
+        let mut rng = Rng64::new(3);
+        let d = xor(400, 0.1, &mut rng);
+        let mut correct = 0;
+        for (row, &label) in d.x.iter().zip(&d.y) {
+            if (row[0] * row[1]).signum() == label {
+                correct += 1;
+            }
+        }
+        // Small noise: nearly all points stay in their quadrant.
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn linearly_separable_has_margin() {
+        let mut rng = Rng64::new(4);
+        let d = linearly_separable(50, 3, 0.2, &mut rng);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.dim(), 3);
+    }
+
+    #[test]
+    fn parity_is_exhaustive_and_correct() {
+        let d = parity(3);
+        assert_eq!(d.len(), 8);
+        for (row, &label) in d.x.iter().zip(&d.y) {
+            let prod: f64 = row.iter().product();
+            assert_eq!(prod, label);
+        }
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let mut rng = Rng64::new(5);
+        let d = blobs(100, &[1.0, 1.0], &[-1.0, -1.0], 0.3, &mut rng);
+        let (train, test) = d.split(0.8, &mut rng);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn rescale_bounds_features() {
+        let mut rng = Rng64::new(6);
+        let d = two_moons(64, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+        for row in &d.x {
+            for &v in row {
+                assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn bad_labels_rejected() {
+        Dataset::new(vec![vec![0.0]], vec![0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Dataset::new(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, -1.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Classical kernel functions and kernel-matrix utilities.
+
+/// A classical kernel function on feature vectors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Kernel {
+    /// Inner product ⟨x, y⟩.
+    Linear,
+    /// Gaussian RBF `exp(-γ‖x−y‖²)`.
+    Rbf {
+        /// Bandwidth parameter γ > 0.
+        gamma: f64,
+    },
+    /// Polynomial `(⟨x, y⟩ + c)^d`.
+    Polynomial {
+        /// Degree d ≥ 1.
+        degree: u32,
+        /// Offset c ≥ 0.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on a pair of feature vectors.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel dimension mismatch");
+        match *self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Polynomial { degree, coef0 } => (dot(a, b) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// Builds the Gram matrix `K[i][j] = k(x_i, x_j)` for a dataset.
+    pub fn gram(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = xs.len();
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&xs[i], &xs[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+        }
+        k
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Kernel–target alignment: `⟨K, yyᵀ⟩ / (‖K‖_F · ‖yyᵀ‖_F)` — a standard
+/// measure of how well a kernel matches a labelling (higher is better).
+pub fn kernel_target_alignment(k: &[Vec<f64>], y: &[f64]) -> f64 {
+    let n = y.len();
+    assert_eq!(k.len(), n, "gram size mismatch");
+    let mut inner = 0.0;
+    let mut k_norm = 0.0;
+    for i in 0..n {
+        assert_eq!(k[i].len(), n, "gram not square");
+        for j in 0..n {
+            inner += k[i][j] * y[i] * y[j];
+            k_norm += k[i][j] * k[i][j];
+        }
+    }
+    let yy_norm = n as f64; // ‖yyᵀ‖_F = n for ±1 labels
+    inner / (k_norm.sqrt() * yy_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // k(x, x) = 1
+        assert!((k.eval(&[0.3, -2.0], &[0.3, -2.0]) - 1.0).abs() < 1e-12);
+        // decays with distance
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[2.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn polynomial_kernel_hand_check() {
+        let k = Kernel::Polynomial {
+            degree: 2,
+            coef0: 1.0,
+        };
+        // (1*1 + 1)^2 = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
+        let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
+        let k = Kernel::Rbf { gamma: 1.0 }.gram(&xs);
+        for i in 0..3 {
+            assert!((k[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(k[i][j], k[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_is_one_for_ideal_kernel() {
+        // K = yy^T achieves alignment exactly 1.
+        let y = [1.0, -1.0, 1.0];
+        let k: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..3).map(|j| y[i] * y[j]).collect())
+            .collect();
+        assert!((kernel_target_alignment(&k, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_is_low_for_uninformative_kernel() {
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let k = vec![vec![1.0; 4]; 4]; // all-ones kernel: sees no structure
+        let a = kernel_target_alignment(&k, &y);
+        assert!(a.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Lloyd's k-means with k-means++ initialization — the classical baseline
+//! for quantum clustering comparisons.
+
+use qmldb_math::Rng64;
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Final centroids, one row per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn dist_sqr(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding: first centroid uniform, the rest proportional to
+/// squared distance from the nearest chosen centroid.
+fn init_plus_plus(x: &[Vec<f64>], k: usize, rng: &mut Rng64) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(x[rng.index(x.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = x
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist_sqr(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with chosen centroids; duplicate one.
+            centroids.push(x[rng.index(x.len())].clone());
+        } else {
+            centroids.push(x[rng.weighted(&weights)].clone());
+        }
+    }
+    centroids
+}
+
+/// Runs Lloyd's algorithm until assignments stabilize or `max_iters`.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of points.
+pub fn kmeans(x: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut Rng64) -> KMeans {
+    assert!(k >= 1 && k <= x.len(), "k out of range");
+    let dim = x[0].len();
+    let mut centroids = init_plus_plus(x, k, rng);
+    let mut assignments = vec![usize::MAX; x.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in x.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist_sqr(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in x.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // Empty cluster: keep old centroid.
+        }
+    }
+    let inertia = x
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sqr(p, &centroids[a]))
+        .sum();
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs(rng: &mut Rng64, per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut x = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                x.push(vec![c[0] + 0.3 * rng.normal(), c[1] + 0.3 * rng.normal()]);
+                truth.push(ci);
+            }
+        }
+        (x, truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = Rng64::new(51);
+        let (x, truth) = three_blobs(&mut rng, 40);
+        let km = kmeans(&x, 3, 100, &mut rng);
+        // Each true cluster should map to exactly one found cluster.
+        for chunk in 0..3 {
+            let members = &km.assignments[chunk * 40..(chunk + 1) * 40];
+            let first = members[0];
+            assert!(
+                members.iter().all(|&m| m == first),
+                "cluster {chunk} split"
+            );
+        }
+        let _ = truth;
+        assert!(km.inertia < 100.0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut rng = Rng64::new(53);
+        let (x, _) = three_blobs(&mut rng, 30);
+        let i1 = kmeans(&x, 1, 100, &mut rng).inertia;
+        let i3 = kmeans(&x, 3, 100, &mut rng).inertia;
+        assert!(i3 < i1 * 0.1, "i1 {i1}, i3 {i3}");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut rng = Rng64::new(55);
+        let x = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let km = kmeans(&x, 3, 100, &mut rng);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let mut rng = Rng64::new(57);
+        let (x, _) = three_blobs(&mut rng, 30);
+        let km = kmeans(&x, 3, 1000, &mut rng);
+        assert!(km.iterations < 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_zero_panics() {
+        let mut rng = Rng64::new(59);
+        kmeans(&[vec![0.0]], 0, 10, &mut rng);
+    }
+}

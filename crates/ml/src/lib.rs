@@ -1,0 +1,36 @@
+//! Classical machine-learning baselines for the `qmldb` workspace.
+//!
+//! Every "quantum vs. classical" comparison in the experiment suite needs a
+//! competent classical opponent: a kernel SVM trained by SMO, logistic
+//! regression, PCA, and k-means — plus the synthetic datasets and metrics
+//! shared by both sides.
+//!
+//! # Example
+//! ```
+//! use qmldb_ml::{dataset, Kernel, Svm, SvmParams};
+//! use qmldb_math::Rng64;
+//!
+//! let mut rng = Rng64::new(7);
+//! let d = dataset::two_moons(100, 0.1, &mut rng);
+//! let svm = Svm::train(d.x.clone(), d.y.clone(), Kernel::Rbf { gamma: 2.0 },
+//!                      &SvmParams::default(), &mut rng);
+//! assert!(svm.accuracy(&d.x, &d.y) > 0.9);
+//! ```
+
+pub mod dataset;
+pub mod kernels;
+pub mod kmeans;
+pub mod logreg;
+pub mod metrics;
+pub mod pca;
+pub mod ridge;
+pub mod svm;
+
+pub use dataset::Dataset;
+pub use kernels::Kernel;
+pub use kmeans::{kmeans, KMeans};
+pub use logreg::{LogReg, LogRegParams};
+pub use metrics::{accuracy, roc_auc, Confusion};
+pub use pca::Pca;
+pub use ridge::{KernelRidge, LinearRidge};
+pub use svm::{smo_solve, DualSolution, Svm, SvmParams};

@@ -1,0 +1,158 @@
+//! Binary logistic regression trained by full-batch gradient descent —
+//! the linear baseline every classifier comparison includes.
+
+/// Hyper-parameters for logistic regression training.
+#[derive(Clone, Copy, Debug)]
+pub struct LogRegParams {
+    /// Learning rate.
+    pub lr: f64,
+    /// Number of gradient steps.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogRegParams {
+    fn default() -> Self {
+        LogRegParams {
+            lr: 0.5,
+            epochs: 500,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A trained logistic-regression model (weights + bias).
+#[derive(Clone, Debug)]
+pub struct LogReg {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogReg {
+    /// Trains on features `x` and ±1 labels `y`.
+    pub fn train(x: &[Vec<f64>], y: &[f64], params: &LogRegParams) -> LogReg {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        let n = x.len() as f64;
+        let dim = x[0].len();
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        for _ in 0..params.epochs {
+            let mut gw = vec![0.0f64; dim];
+            let mut gb = 0.0f64;
+            for (xi, &yi) in x.iter().zip(y) {
+                let target = (yi + 1.0) / 2.0; // map ±1 → {0,1}
+                let z: f64 = xi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + b;
+                let err = sigmoid(z) - target;
+                for (g, &v) in gw.iter_mut().zip(xi) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= params.lr * (g / n + params.l2 * *wi);
+            }
+            b -= params.lr * gb / n;
+        }
+        LogReg { weights: w, bias: b }
+    }
+
+    /// Probability of the +1 class.
+    pub fn prob(&self, point: &[f64]) -> f64 {
+        let z: f64 = point
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    /// Predicted ±1 label.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        if self.prob(point) >= 0.5 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        x.iter()
+            .zip(y)
+            .filter(|(xi, &yi)| self.predict(xi) == yi)
+            .count() as f64
+            / y.len() as f64
+    }
+
+    /// Model weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Model bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use qmldb_math::Rng64;
+
+    #[test]
+    fn learns_linear_boundary() {
+        let mut rng = Rng64::new(21);
+        let d = dataset::linearly_separable(120, 2, 0.15, &mut rng);
+        let m = LogReg::train(&d.x, &d.y, &LogRegParams::default());
+        assert!(m.accuracy(&d.x, &d.y) >= 0.97);
+    }
+
+    #[test]
+    fn fails_on_xor() {
+        let mut rng = Rng64::new(23);
+        let d = dataset::xor(200, 0.1, &mut rng);
+        let m = LogReg::train(&d.x, &d.y, &LogRegParams::default());
+        assert!(m.accuracy(&d.x, &d.y) < 0.75, "linear model cannot do XOR");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_to_halves() {
+        let mut rng = Rng64::new(25);
+        let d = dataset::blobs(100, &[2.0, 2.0], &[-2.0, -2.0], 0.3, &mut rng);
+        let m = LogReg::train(&d.x, &d.y, &LogRegParams::default());
+        // Far from boundary: confident.
+        assert!(m.prob(&[2.0, 2.0]) > 0.9);
+        assert!(m.prob(&[-2.0, -2.0]) < 0.1);
+        // On the symmetry axis: uncertain.
+        let p = m.prob(&[0.0, 0.0]);
+        assert!((p - 0.5).abs() < 0.1, "p(0,0) = {p}");
+    }
+
+    #[test]
+    fn sigmoid_is_numerically_stable() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_panics() {
+        LogReg::train(&[], &[], &LogRegParams::default());
+    }
+}

@@ -1,0 +1,166 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the labels (±1).
+pub fn accuracy(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+}
+
+/// A 2×2 confusion matrix for ±1 labels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives (predicted +1, truth +1).
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    pub fn from_predictions(pred: &[f64], truth: &[f64]) -> Confusion {
+        assert_eq!(pred.len(), truth.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p > 0.0, t > 0.0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Area under the ROC curve from decision scores, computed by the
+/// Mann–Whitney statistic (ties contribute ½).
+pub fn roc_auc(scores: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(truth)
+        .filter(|(_, &t)| t > 0.0)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(truth)
+        .filter(|(_, &t)| t <= 0.0)
+        .map(|(&s, _)| s)
+        .collect();
+    assert!(
+        !pos.is_empty() && !neg.is_empty(),
+        "need both classes for AUC"
+    );
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() * neg.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1.0, -1.0, 1.0], &[1.0, 1.0, 1.0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn confusion_matrix_tallies() {
+        let pred = [1.0, 1.0, -1.0, -1.0];
+        let truth = [1.0, -1.0, -1.0, 1.0];
+        let c = Confusion::from_predictions(&pred, &truth);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn perfect_predictions_give_unit_metrics() {
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let c = Confusion::from_predictions(&y, &y);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_confusion_is_zero_not_nan() {
+        let c = Confusion::from_predictions(&[-1.0, -1.0], &[-1.0, -1.0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn auc_for_perfect_and_random_rankings() {
+        let truth = [1.0, 1.0, -1.0, -1.0];
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth), 1.0);
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth), 0.0);
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &truth), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn auc_requires_both_classes() {
+        roc_auc(&[0.1, 0.2], &[1.0, 1.0]);
+    }
+}

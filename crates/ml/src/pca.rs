@@ -1,0 +1,227 @@
+//! Principal component analysis via the symmetric Jacobi eigensolver —
+//! the classical counterpart of quantum PCA.
+
+use qmldb_math::decomp::symmetric_eigen;
+use qmldb_math::Matrix;
+
+/// A fitted PCA model.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal axes as rows, ordered by decreasing explained variance.
+    components: Vec<Vec<f64>>,
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components to the rows of `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty or `n_components` exceeds the feature
+    /// dimension.
+    pub fn fit(x: &[Vec<f64>], n_components: usize) -> Pca {
+        assert!(!x.is_empty(), "empty dataset");
+        let dim = x[0].len();
+        assert!(
+            n_components >= 1 && n_components <= dim,
+            "n_components out of range"
+        );
+        let n = x.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for row in x {
+            assert_eq!(row.len(), dim, "ragged rows");
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Covariance matrix.
+        let mut cov = Matrix::zeros(dim, dim);
+        for row in x {
+            for i in 0..dim {
+                let di = row[i] - mean[i];
+                for j in i..dim {
+                    let dj = row[j] - mean[j];
+                    cov[(i, j)] += di * dj;
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                let v = cov[(i, j)] / n;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let (vals, vecs) = symmetric_eigen(&cov, 1e-12, 100).expect("covariance is symmetric");
+        let components = (0..n_components)
+            .map(|c| (0..dim).map(|r| vecs[(r, c)]).collect())
+            .collect();
+        let explained_variance = (0..n_components).map(|c| vals[c].max(0.0)).collect();
+        Pca {
+            mean,
+            components,
+            explained_variance,
+        }
+    }
+
+    /// Projects one point onto the principal components.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(point)
+                    .zip(&self.mean)
+                    .map(|((&a, &p), &m)| a * (p - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch of points.
+    pub fn transform_all(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Reconstructs a point from its projection (inverse transform).
+    pub fn inverse_transform(&self, projected: &[f64]) -> Vec<f64> {
+        assert_eq!(projected.len(), self.components.len(), "component count");
+        let dim = self.mean.len();
+        let mut out = self.mean.clone();
+        for (coef, axis) in projected.iter().zip(&self.components) {
+            for d in 0..dim {
+                out[d] += coef * axis[d];
+            }
+        }
+        out
+    }
+
+    /// Variance captured by each retained component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// The principal axes (unit vectors), one row per component.
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
+/// Convenience: total variance of a dataset (trace of covariance).
+pub fn total_variance(x: &[Vec<f64>]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let dim = x[0].len();
+    let n = x.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for row in x {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = 0.0;
+    for row in x {
+        for (d, &v) in row.iter().enumerate() {
+            var += (v - mean[d]) * (v - mean[d]);
+        }
+    }
+    var / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_math::Rng64;
+
+    /// Data stretched along a known axis.
+    fn stretched(rng: &mut Rng64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                let t = rng.normal() * 3.0; // dominant direction (1,1)/√2
+                let s = rng.normal() * 0.2; // minor direction (1,-1)/√2
+                vec![t + s, t - s]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_finds_dominant_axis() {
+        let mut rng = Rng64::new(33);
+        let x = stretched(&mut rng, 500);
+        let pca = Pca::fit(&x, 2);
+        let c0 = &pca.components()[0];
+        // Expect (±1/√2, ±1/√2).
+        let ratio = (c0[0] / c0[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "axis ratio {ratio}");
+        assert!(pca.explained_variance()[0] > 10.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = Rng64::new(35);
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..4).map(|_| rng.normal()).collect())
+            .collect();
+        let pca = Pca::fit(&x, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = pca.components()[i]
+                    .iter()
+                    .zip(&pca.components()[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_projection_reconstructs_exactly() {
+        let mut rng = Rng64::new(37);
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|_| (0..3).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+            .collect();
+        let pca = Pca::fit(&x, 3);
+        for row in &x {
+            let rec = pca.inverse_transform(&pca.transform(row));
+            for (a, b) in rec.iter().zip(row) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_sums_to_total() {
+        let mut rng = Rng64::new(39);
+        let x = stretched(&mut rng, 300);
+        let pca = Pca::fit(&x, 2);
+        let sum: f64 = pca.explained_variance().iter().sum();
+        let total = total_variance(&x);
+        assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn reduction_keeps_most_variance_of_anisotropic_data() {
+        let mut rng = Rng64::new(41);
+        let x = stretched(&mut rng, 300);
+        let pca = Pca::fit(&x, 1);
+        let kept = pca.explained_variance()[0];
+        let total = total_variance(&x);
+        assert!(kept / total > 0.95, "kept {:.3}", kept / total);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_components_panics() {
+        Pca::fit(&[vec![1.0, 2.0]], 3);
+    }
+}

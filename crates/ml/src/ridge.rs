@@ -1,0 +1,196 @@
+//! Ridge regression: linear and kernelized — the classical baselines for
+//! quantum kernel ridge regression.
+
+use crate::kernels::Kernel;
+use qmldb_math::decomp;
+use qmldb_math::{Matrix, Vector};
+
+/// Linear ridge regression `min ‖Xw − y‖² + λ‖w‖²` with intercept.
+#[derive(Clone, Debug)]
+pub struct LinearRidge {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRidge {
+    /// Fits by solving the regularized normal equations.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], lambda: f64) -> LinearRidge {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        assert!(lambda >= 0.0, "negative regularization");
+        let n = x.len();
+        let d = x[0].len();
+        // Augment with a bias column; do not regularize the bias.
+        let mut xtx = Matrix::zeros(d + 1, d + 1);
+        let mut xty = Vector::zeros(d + 1);
+        for (row, &target) in x.iter().zip(y) {
+            let aug: Vec<f64> = row.iter().copied().chain(std::iter::once(1.0)).collect();
+            for i in 0..=d {
+                xty[i] += aug[i] * target;
+                for j in 0..=d {
+                    xtx[(i, j)] += aug[i] * aug[j];
+                }
+            }
+        }
+        for i in 0..d {
+            xtx[(i, i)] += lambda * n as f64 / n as f64; // λ per convention
+        }
+        let sol = decomp::solve(&xtx, &xty).expect("ridge system is SPD");
+        let sol = sol.into_vec();
+        LinearRidge {
+            weights: sol[..d].to_vec(),
+            bias: sol[d],
+        }
+    }
+
+    /// Predicted value for a point.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(point)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Mean squared error on a labelled set.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        mse_of(|p| self.predict(p), x, y)
+    }
+}
+
+/// Kernel ridge regression over a precomputed or callable kernel.
+#[derive(Clone, Debug)]
+pub struct KernelRidge {
+    x: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+    kernel: Kernel,
+}
+
+impl KernelRidge {
+    /// Fits `α = (K + λI)⁻¹ y`.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: Kernel, lambda: f64) -> KernelRidge {
+        let alphas = solve_dual(&kernel.gram(&x), y, lambda);
+        KernelRidge { x, alphas, kernel }
+    }
+
+    /// Predicted value for a point.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        self.x
+            .iter()
+            .zip(&self.alphas)
+            .map(|(xi, &a)| a * self.kernel.eval(xi, point))
+            .sum()
+    }
+
+    /// Mean squared error on a labelled set.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        mse_of(|p| self.predict(p), x, y)
+    }
+}
+
+/// Solves the kernel-ridge dual on any Gram matrix (shared with the
+/// quantum kernel in `qmldb-core`).
+pub fn solve_dual(gram: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
+    let n = y.len();
+    assert_eq!(gram.len(), n, "gram size mismatch");
+    assert!(lambda > 0.0, "ridge needs λ > 0");
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        assert_eq!(gram[i].len(), n, "gram not square");
+        for j in 0..n {
+            k[(i, j)] = gram[i][j];
+        }
+        k[(i, i)] += lambda;
+    }
+    decomp::solve(&k, &Vector::from_vec(y.to_vec()))
+        .expect("K + λI is positive definite")
+        .into_vec()
+}
+
+fn mse_of(predict: impl Fn(&[f64]) -> f64, x: &[Vec<f64>], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(xi, &yi)| {
+            let e = predict(xi) - yi;
+            e * e
+        })
+        .sum::<f64>()
+        / y.len() as f64
+}
+
+/// A noisy 1-D sine regression task on `[0, 2π]` (the standard QKRR demo).
+pub fn sine_dataset(n: usize, noise: f64, rng: &mut qmldb_math::Rng64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = std::f64::consts::TAU * i as f64 / n as f64;
+        x.push(vec![t]);
+        y.push(t.sin() + noise * rng.normal());
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_math::Rng64;
+
+    #[test]
+    fn linear_ridge_recovers_linear_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 3.0).collect();
+        let model = LinearRidge::fit(&x, &y, 1e-6);
+        assert!(model.mse(&x, &y) < 1e-10);
+        assert!((model.predict(&[1.0, 1.0]) - 4.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_weights() {
+        let mut rng = Rng64::new(2601);
+        let x: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.normal(), rng.normal()]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + rng.normal() * 0.1).collect();
+        let loose = LinearRidge::fit(&x, &y, 1e-6);
+        let tight = LinearRidge::fit(&x, &y, 100.0);
+        let norm = |m: &LinearRidge| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn kernel_ridge_fits_sine() {
+        let mut rng = Rng64::new(2603);
+        let (x, y) = sine_dataset(40, 0.02, &mut rng);
+        let model = KernelRidge::fit(x.clone(), &y, Kernel::Rbf { gamma: 1.0 }, 1e-3);
+        assert!(model.mse(&x, &y) < 0.01, "mse {}", model.mse(&x, &y));
+        // Interpolation between training points.
+        assert!((model.predict(&[1.55]) - 1.55f64.sin()).abs() < 0.1);
+    }
+
+    #[test]
+    fn linear_model_cannot_fit_sine() {
+        let mut rng = Rng64::new(2605);
+        let (x, y) = sine_dataset(40, 0.02, &mut rng);
+        let model = LinearRidge::fit(&x, &y, 1e-3);
+        let kernel = KernelRidge::fit(x.clone(), &y, Kernel::Rbf { gamma: 1.0 }, 1e-3);
+        assert!(model.mse(&x, &y) > 10.0 * kernel.mse(&x, &y));
+    }
+
+    #[test]
+    fn dual_solver_matches_identity_kernel_limit() {
+        // K = I: α = y / (1 + λ).
+        let gram = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
+        let alphas = solve_dual(&gram, &[2.0, -4.0], 1.0);
+        assert!((alphas[0] - 1.0).abs() < 1e-12);
+        assert!((alphas[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ > 0")]
+    fn zero_lambda_rejected_in_dual() {
+        solve_dual(&[vec![1.0]], &[1.0], 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Soft-margin kernel support vector machine trained with a simplified
+//! SMO (sequential minimal optimization) solver.
+//!
+//! The dual solver works on a precomputed Gram matrix, so the same code
+//! trains both classical SVMs (this crate) and quantum-kernel SVMs (the
+//! `qmldb-core` crate feeds it a fidelity-kernel Gram matrix).
+
+use crate::kernels::Kernel;
+use qmldb_math::Rng64;
+
+/// Hyper-parameters for the SMO solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SvmParams {
+    /// Soft-margin penalty C > 0.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Number of full passes without progress before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimization sweeps.
+    pub max_iters: usize,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// The result of solving the SVM dual on a Gram matrix.
+#[derive(Clone, Debug)]
+pub struct DualSolution {
+    /// Lagrange multipliers, one per training example.
+    pub alphas: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl DualSolution {
+    /// Indices of support vectors (α > threshold).
+    pub fn support_indices(&self, threshold: f64) -> Vec<usize> {
+        self.alphas
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Decision value for a point given its kernel row against the
+    /// training set: `Σ αᵢ yᵢ k(xᵢ, x) + b`.
+    pub fn decision(&self, kernel_row: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(kernel_row.len(), self.alphas.len(), "kernel row length");
+        self.alphas
+            .iter()
+            .zip(y)
+            .zip(kernel_row)
+            .map(|((&a, &yi), &k)| a * yi * k)
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+/// Solves the soft-margin SVM dual on a precomputed Gram matrix using
+/// simplified SMO (Platt's heuristic with random second choice).
+pub fn smo_solve(
+    gram: &[Vec<f64>],
+    y: &[f64],
+    params: &SvmParams,
+    rng: &mut Rng64,
+) -> DualSolution {
+    let n = y.len();
+    assert_eq!(gram.len(), n, "gram size mismatch");
+    assert!(n >= 2, "need at least two examples");
+    assert!(params.c > 0.0, "C must be positive");
+
+    let mut alphas = vec![0.0f64; n];
+    let mut b = 0.0f64;
+
+    let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+        let mut s = b;
+        for j in 0..n {
+            if alphas[j] != 0.0 {
+                s += alphas[j] * y[j] * gram[j][i];
+            }
+        }
+        s
+    };
+
+    let mut passes = 0usize;
+    let mut iters = 0usize;
+    while passes < params.max_passes && iters < params.max_iters {
+        iters += 1;
+        let mut changed = 0usize;
+        for i in 0..n {
+            let ei = f(&alphas, b, i) - y[i];
+            let violates = (y[i] * ei < -params.tol && alphas[i] < params.c)
+                || (y[i] * ei > params.tol && alphas[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            // Pick a random j ≠ i.
+            let mut j = rng.index(n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let ej = f(&alphas, b, j) - y[j];
+
+            let (ai_old, aj_old) = (alphas[i], alphas[j]);
+            let (lo, hi) = if y[i] != y[j] {
+                (
+                    (aj_old - ai_old).max(0.0),
+                    (params.c + aj_old - ai_old).min(params.c),
+                )
+            } else {
+                (
+                    (ai_old + aj_old - params.c).max(0.0),
+                    (ai_old + aj_old).min(params.c),
+                )
+            };
+            if lo >= hi {
+                continue;
+            }
+            let eta = 2.0 * gram[i][j] - gram[i][i] - gram[j][j];
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut aj = aj_old - y[j] * (ei - ej) / eta;
+            aj = aj.clamp(lo, hi);
+            if (aj - aj_old).abs() < 1e-7 {
+                continue;
+            }
+            let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+            alphas[i] = ai;
+            alphas[j] = aj;
+
+            let b1 = b - ei
+                - y[i] * (ai - ai_old) * gram[i][i]
+                - y[j] * (aj - aj_old) * gram[i][j];
+            let b2 = b - ej
+                - y[i] * (ai - ai_old) * gram[i][j]
+                - y[j] * (aj - aj_old) * gram[j][j];
+            b = if ai > 0.0 && ai < params.c {
+                b1
+            } else if aj > 0.0 && aj < params.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+    DualSolution { alphas, bias: b }
+}
+
+/// A trained kernel SVM retaining its training data for prediction.
+#[derive(Clone, Debug)]
+pub struct Svm {
+    kernel: Kernel,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    dual: DualSolution,
+}
+
+impl Svm {
+    /// Trains on features `x` and ±1 labels `y`.
+    pub fn train(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        kernel: Kernel,
+        params: &SvmParams,
+        rng: &mut Rng64,
+    ) -> Svm {
+        let gram = kernel.gram(&x);
+        let dual = smo_solve(&gram, &y, params, rng);
+        Svm { kernel, x, y, dual }
+    }
+
+    /// Raw decision value for one point.
+    pub fn decision(&self, point: &[f64]) -> f64 {
+        let row: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, point)).collect();
+        self.dual.decision(&row, &self.y)
+    }
+
+    /// Predicted ±1 label.
+    pub fn predict(&self, point: &[f64]) -> f64 {
+        if self.decision(point) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of correctly classified points.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "length mismatch");
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(xi, &yi)| self.predict(xi) == yi)
+            .count();
+        correct as f64 / y.len() as f64
+    }
+
+    /// The dual solution (α, b).
+    pub fn dual(&self) -> &DualSolution {
+        &self.dual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+
+    #[test]
+    fn separates_linear_data_with_linear_kernel() {
+        let mut rng = Rng64::new(42);
+        let d = dataset::linearly_separable(60, 2, 0.2, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Linear,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        assert!(svm.accuracy(&d.x, &d.y) >= 0.95);
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let mut rng = Rng64::new(7);
+        let d = dataset::xor(80, 0.15, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Rbf { gamma: 1.0 },
+            &SvmParams::default(),
+            &mut rng,
+        );
+        assert!(svm.accuracy(&d.x, &d.y) >= 0.95, "acc = {}", svm.accuracy(&d.x, &d.y));
+    }
+
+    #[test]
+    fn linear_kernel_fails_xor() {
+        let mut rng = Rng64::new(9);
+        let d = dataset::xor(80, 0.1, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Linear,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        // XOR is not linearly separable: training accuracy stays near chance.
+        assert!(svm.accuracy(&d.x, &d.y) < 0.8);
+    }
+
+    #[test]
+    fn rbf_generalizes_on_moons() {
+        let mut rng = Rng64::new(11);
+        let d = dataset::two_moons(200, 0.1, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let svm = Svm::train(
+            train.x.clone(),
+            train.y.clone(),
+            Kernel::Rbf { gamma: 2.0 },
+            &SvmParams::default(),
+            &mut rng,
+        );
+        assert!(svm.accuracy(&test.x, &test.y) >= 0.9);
+    }
+
+    #[test]
+    fn alphas_respect_box_constraints() {
+        let mut rng = Rng64::new(13);
+        let d = dataset::two_moons(80, 0.2, &mut rng);
+        let params = SvmParams {
+            c: 0.7,
+            ..SvmParams::default()
+        };
+        let svm = Svm::train(d.x.clone(), d.y.clone(), Kernel::Rbf { gamma: 1.0 }, &params, &mut rng);
+        for &a in &svm.dual().alphas {
+            assert!((-1e-9..=0.7 + 1e-9).contains(&a), "alpha {a}");
+        }
+    }
+
+    #[test]
+    fn dual_constraint_sum_alpha_y_is_zero() {
+        let mut rng = Rng64::new(17);
+        let d = dataset::circles(60, 0.05, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Rbf { gamma: 2.0 },
+            &SvmParams::default(),
+            &mut rng,
+        );
+        let s: f64 = svm
+            .dual()
+            .alphas
+            .iter()
+            .zip(&d.y)
+            .map(|(&a, &y)| a * y)
+            .sum();
+        assert!(s.abs() < 1e-6, "Σ αᵢyᵢ = {s}");
+    }
+
+    #[test]
+    fn support_vectors_are_subset() {
+        let mut rng = Rng64::new(19);
+        let d = dataset::linearly_separable(50, 2, 0.3, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Linear,
+            &SvmParams::default(),
+            &mut rng,
+        );
+        let sv = svm.dual().support_indices(1e-6);
+        assert!(!sv.is_empty());
+        assert!(sv.len() < d.len(), "margin data should have few SVs");
+    }
+}

@@ -1,0 +1,463 @@
+//! Circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Instr`]s over `n` qubits plus a
+//! count of free parameters. Builder methods cover the common gate set; the
+//! generic [`Circuit::push`] handles anything else (multi-controlled gates,
+//! arbitrary unitaries).
+
+use crate::gate::{Angle, Gate};
+
+/// One gate application: a gate on `targets`, conditioned on every qubit in
+/// `controls` being |1⟩.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instr {
+    /// The gate applied to the targets.
+    pub gate: Gate,
+    /// Control qubits (may be empty).
+    pub controls: Vec<usize>,
+    /// Target qubits; length must equal `gate.arity()`.
+    pub targets: Vec<usize>,
+}
+
+impl Instr {
+    /// All qubits the instruction touches.
+    pub fn qubits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.controls.iter().chain(self.targets.iter()).copied()
+    }
+}
+
+/// A quantum circuit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    n_params: usize,
+    instrs: Vec<Instr>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            n_params: 0,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of free parameters (`θ` entries referenced by gates).
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// The instruction list.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Allocates a fresh parameter and returns an [`Angle`] referencing it.
+    pub fn new_param(&mut self) -> Angle {
+        let a = Angle::param(self.n_params);
+        self.n_params += 1;
+        a
+    }
+
+    /// Allocates `k` fresh parameters.
+    pub fn new_params(&mut self, k: usize) -> Vec<Angle> {
+        (0..k).map(|_| self.new_param()).collect()
+    }
+
+    /// Appends an instruction after validating qubit indices.
+    ///
+    /// # Panics
+    /// Panics on out-of-range qubits, duplicated qubits within the
+    /// instruction, or a target count not matching the gate arity.
+    pub fn push(&mut self, gate: Gate, controls: Vec<usize>, targets: Vec<usize>) -> &mut Self {
+        assert_eq!(
+            targets.len(),
+            gate.arity(),
+            "gate {gate:?} expects {} targets, got {}",
+            gate.arity(),
+            targets.len()
+        );
+        let mut seen = vec![false; self.n_qubits];
+        for q in controls.iter().chain(targets.iter()) {
+            assert!(*q < self.n_qubits, "qubit {q} out of range (n = {})", self.n_qubits);
+            assert!(!seen[*q], "qubit {q} repeated within one instruction");
+            seen[*q] = true;
+        }
+        // Track parameters referenced by constant-folded angles.
+        for a in gate.angles() {
+            if let Some(idx) = a.param_idx() {
+                assert!(
+                    idx < self.n_params,
+                    "angle references parameter {idx} but circuit has {}",
+                    self.n_params
+                );
+            }
+        }
+        self.instrs.push(Instr {
+            gate,
+            controls,
+            targets,
+        });
+        self
+    }
+
+    // ------ single-qubit builders ------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H, vec![], vec![q])
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X, vec![], vec![q])
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y, vec![], vec![q])
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z, vec![], vec![q])
+    }
+
+    /// S gate on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S, vec![], vec![q])
+    }
+
+    /// S† on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg, vec![], vec![q])
+    }
+
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T, vec![], vec![q])
+    }
+
+    /// X rotation on `q`.
+    pub fn rx(&mut self, q: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RX(angle.into()), vec![], vec![q])
+    }
+
+    /// Y rotation on `q`.
+    pub fn ry(&mut self, q: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RY(angle.into()), vec![], vec![q])
+    }
+
+    /// Z rotation on `q`.
+    pub fn rz(&mut self, q: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RZ(angle.into()), vec![], vec![q])
+    }
+
+    /// Phase gate on `q`.
+    pub fn p(&mut self, q: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::P(angle.into()), vec![], vec![q])
+    }
+
+    /// U3 rotation on `q`.
+    pub fn u3(
+        &mut self,
+        q: usize,
+        theta: impl Into<Angle>,
+        phi: impl Into<Angle>,
+        lam: impl Into<Angle>,
+    ) -> &mut Self {
+        self.push(Gate::U3(theta.into(), phi.into(), lam.into()), vec![], vec![q])
+    }
+
+    // ------ two-qubit builders ------
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::X, vec![c], vec![t])
+    }
+
+    /// Controlled-Y.
+    pub fn cy(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Y, vec![c], vec![t])
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Z, vec![c], vec![t])
+    }
+
+    /// Controlled phase.
+    pub fn cp(&mut self, c: usize, t: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::P(angle.into()), vec![c], vec![t])
+    }
+
+    /// Controlled RX.
+    pub fn crx(&mut self, c: usize, t: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RX(angle.into()), vec![c], vec![t])
+    }
+
+    /// Controlled RY.
+    pub fn cry(&mut self, c: usize, t: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RY(angle.into()), vec![c], vec![t])
+    }
+
+    /// Controlled RZ.
+    pub fn crz(&mut self, c: usize, t: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RZ(angle.into()), vec![c], vec![t])
+    }
+
+    /// SWAP of two qubits.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap, vec![], vec![a, b])
+    }
+
+    /// ZZ interaction.
+    pub fn rzz(&mut self, a: usize, b: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RZZ(angle.into()), vec![], vec![a, b])
+    }
+
+    /// XX interaction.
+    pub fn rxx(&mut self, a: usize, b: usize, angle: impl Into<Angle>) -> &mut Self {
+        self.push(Gate::RXX(angle.into()), vec![], vec![a, b])
+    }
+
+    // ------ multi-controlled builders ------
+
+    /// Toffoli (CCX).
+    pub fn ccx(&mut self, c1: usize, c2: usize, t: usize) -> &mut Self {
+        self.push(Gate::X, vec![c1, c2], vec![t])
+    }
+
+    /// Fredkin (controlled SWAP).
+    pub fn cswap(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap, vec![c], vec![a, b])
+    }
+
+    /// Multi-controlled X.
+    pub fn mcx(&mut self, controls: &[usize], t: usize) -> &mut Self {
+        self.push(Gate::X, controls.to_vec(), vec![t])
+    }
+
+    /// Multi-controlled Z.
+    pub fn mcz(&mut self, controls: &[usize], t: usize) -> &mut Self {
+        self.push(Gate::Z, controls.to_vec(), vec![t])
+    }
+
+    // ------ composition ------
+
+    /// Appends all instructions of `other` (same qubit count required).
+    /// Parameters of `other` are re-based after this circuit's parameters.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "cannot extend: qubit counts differ"
+        );
+        let base = self.n_params;
+        for instr in &other.instrs {
+            let gate = rebase_gate(&instr.gate, base);
+            self.instrs.push(Instr {
+                gate,
+                controls: instr.controls.clone(),
+                targets: instr.targets.clone(),
+            });
+        }
+        self.n_params += other.n_params;
+        self
+    }
+
+    /// The inverse circuit: instructions reversed with each gate daggered.
+    /// Shares this circuit's parameter space.
+    pub fn inverse(&self) -> Circuit {
+        let instrs = self
+            .instrs
+            .iter()
+            .rev()
+            .map(|i| Instr {
+                gate: i.gate.dagger(),
+                controls: i.controls.clone(),
+                targets: i.targets.clone(),
+            })
+            .collect();
+        Circuit {
+            n_qubits: self.n_qubits,
+            n_params: self.n_params,
+            instrs,
+        }
+    }
+
+    /// Returns a copy with instruction `at` replaced by `gate` (same wires).
+    /// Used by the parameter-shift rule to shift a single gate occurrence.
+    pub fn with_gate_replaced(&self, at: usize, gate: Gate) -> Circuit {
+        let mut c = self.clone();
+        c.instrs[at].gate = gate;
+        c
+    }
+
+    /// Counts instructions touching each qubit; useful for depth heuristics.
+    pub fn gate_counts_per_qubit(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_qubits];
+        for instr in &self.instrs {
+            for q in instr.qubits() {
+                counts[q] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Circuit depth: longest chain of instructions per qubit timeline.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits];
+        for instr in &self.instrs {
+            let level = instr.qubits().map(|q| frontier[q]).max().unwrap_or(0) + 1;
+            for q in instr.qubits() {
+                frontier[q] = level;
+            }
+        }
+        frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// Replaces the instruction list (used by the optimizer).
+    pub(crate) fn set_instrs(&mut self, instrs: Vec<Instr>) {
+        self.instrs = instrs;
+    }
+}
+
+/// Shifts every parameter reference in a gate by `base`.
+fn rebase_gate(gate: &Gate, base: usize) -> Gate {
+    let shift = |a: Angle| match a {
+        Angle::Const(v) => Angle::Const(v),
+        Angle::Param { idx, mult, offset } => Angle::Param {
+            idx: idx + base,
+            mult,
+            offset,
+        },
+    };
+    match gate {
+        Gate::RX(t) => Gate::RX(shift(*t)),
+        Gate::RY(t) => Gate::RY(shift(*t)),
+        Gate::RZ(t) => Gate::RZ(shift(*t)),
+        Gate::P(t) => Gate::P(shift(*t)),
+        Gate::RZZ(t) => Gate::RZZ(shift(*t)),
+        Gate::RXX(t) => Gate::RXX(shift(*t)),
+        Gate::RYY(t) => Gate::RYY(shift(*t)),
+        Gate::U3(a, b, c) => Gate::U3(shift(*a), shift(*b), shift(*c)),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_instructions() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instrs()[1].controls, vec![0]);
+        assert_eq!(c.instrs()[2].controls, vec![0, 1]);
+    }
+
+    #[test]
+    fn params_are_allocated_sequentially() {
+        let mut c = Circuit::new(1);
+        let a = c.new_param();
+        let b = c.new_param();
+        assert_eq!(a.param_idx(), Some(0));
+        assert_eq!(b.param_idx(), Some(1));
+        assert_eq!(c.n_params(), 2);
+        c.rx(0, a).ry(0, b);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        Circuit::new(2).h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn duplicate_qubit_panics() {
+        Circuit::new(2).push(Gate::X, vec![0], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references parameter")]
+    fn unallocated_param_panics() {
+        Circuit::new(1).rx(0, Angle::param(0));
+    }
+
+    #[test]
+    fn extend_rebases_parameters() {
+        let mut a = Circuit::new(2);
+        let pa = a.new_param();
+        a.rx(0, pa);
+
+        let mut b = Circuit::new(2);
+        let pb = b.new_param();
+        b.ry(1, pb);
+
+        a.extend(&b);
+        assert_eq!(a.n_params(), 2);
+        match &a.instrs()[1].gate {
+            Gate::RY(Angle::Param { idx, .. }) => assert_eq!(*idx, 1),
+            g => panic!("unexpected gate {g:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_reverses_and_daggers() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.instrs()[0].gate, Gate::X); // cx stays X-with-control
+        assert_eq!(inv.instrs()[1].gate, Gate::Sdg);
+        assert_eq!(inv.instrs()[2].gate, Gate::H);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // depth 1 (all parallel)
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // depth 2
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn with_gate_replaced_swaps_one_instruction() {
+        let mut c = Circuit::new(1);
+        let p = c.new_param();
+        c.rx(0, p);
+        let shifted = c.with_gate_replaced(0, Gate::RX(p.shifted(0.5)));
+        assert_ne!(c, shifted);
+        assert_eq!(shifted.len(), 1);
+    }
+
+    #[test]
+    fn gate_counts_per_qubit_totals() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).z(1);
+        assert_eq!(c.gate_counts_per_qubit(), vec![2, 2]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Density-matrix simulation engine for noisy (mixed-state) circuits.
+//!
+//! Stores the full 2ⁿ×2ⁿ density matrix, so it is intended for the small
+//! qubit counts (≤ ~10) where NISQ noise studies live. Gates are applied as
+//! `ρ → UρU†` and noise as Kraus channels `ρ → Σ KᵢρKᵢ†`.
+
+use crate::circuit::{Circuit, Instr};
+use crate::pauli::{Pauli, PauliString, PauliSum};
+use crate::statevector::StateVector;
+use qmldb_math::{C64, CMatrix};
+
+/// A mixed quantum state on `n` qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    data: Vec<C64>, // row-major dim × dim
+}
+
+impl DensityMatrix {
+    /// The pure state |0…0⟩⟨0…0|.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 13, "density matrix for {n} qubits is too large");
+        let dim = 1usize << n;
+        let mut data = vec![C64::ZERO; dim * dim];
+        data[0] = C64::ONE;
+        DensityMatrix { n, dim, data }
+    }
+
+    /// The pure state |ψ⟩⟨ψ| of a state vector.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let n = state.n_qubits();
+        let dim = 1usize << n;
+        let amps = state.amplitudes();
+        let mut data = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                data[i * dim + j] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix { n, dim, data }
+    }
+
+    /// The maximally mixed state `I / 2ⁿ`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let dim = 1usize << n;
+        let mut dm = DensityMatrix::zero(n);
+        dm.data[0] = C64::ZERO;
+        let p = C64::real(1.0 / dim as f64);
+        for i in 0..dim {
+            dm.data[i * dim + i] = p;
+        }
+        dm
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix element `ρ[i, j]`.
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.dim + j]
+    }
+
+    /// The diagonal as measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.get(i, i).re).collect()
+    }
+
+    /// Trace (should always be 1).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.get(i, i).re).sum()
+    }
+
+    /// Purity `tr(ρ²)`; 1 for pure states, `1/2ⁿ` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` with a pure reference state.
+    pub fn fidelity_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.n, psi.n_qubits(), "qubit count mismatch");
+        let amps = psi.amplitudes();
+        let mut acc = C64::ZERO;
+        for i in 0..self.dim {
+            let mut row = C64::ZERO;
+            for j in 0..self.dim {
+                row += self.get(i, j) * amps[j];
+            }
+            acc += amps[i].conj() * row;
+        }
+        acc.re
+    }
+
+    /// Runs a circuit (gates only — attach noise via
+    /// [`crate::noise::NoiseModel`] and [`crate::exec::Simulator`]).
+    pub fn run(&mut self, circuit: &Circuit, params: &[f64]) {
+        assert_eq!(self.n, circuit.n_qubits(), "circuit qubit count mismatch");
+        for instr in circuit.instrs() {
+            self.apply(instr, params);
+        }
+    }
+
+    /// Applies a unitary instruction: `ρ → UρU†`.
+    pub fn apply(&mut self, instr: &Instr, params: &[f64]) {
+        let mat = instr.gate.matrix(params);
+        self.transform_rows(&mat, &instr.targets, &instr.controls);
+        self.transform_cols(&mat, &instr.targets, &instr.controls);
+    }
+
+    /// Applies a Kraus channel `ρ → Σ KᵢρKᵢ†` on the given target qubits.
+    pub fn apply_kraus(&mut self, kraus: &[CMatrix], targets: &[usize]) {
+        let mut acc = vec![C64::ZERO; self.data.len()];
+        for k in kraus {
+            let mut term = self.clone();
+            term.transform_rows(k, targets, &[]);
+            term.transform_cols(k, targets, &[]);
+            for (a, t) in acc.iter_mut().zip(&term.data) {
+                *a += *t;
+            }
+        }
+        self.data = acc;
+    }
+
+    /// `tr(Pρ)` for a Pauli string.
+    pub fn expectation_string(&self, p: &PauliString) -> f64 {
+        let mut flip = 0usize;
+        for &(q, op) in p.ops() {
+            if op != Pauli::Z {
+                flip |= 1 << q;
+            }
+        }
+        let mut acc = C64::ZERO;
+        for j in 0..self.dim {
+            let mut phase = C64::ONE;
+            for &(q, op) in p.ops() {
+                let bit = (j >> q) & 1;
+                match op {
+                    Pauli::X => {}
+                    Pauli::Y => phase *= if bit == 0 { C64::I } else { -C64::I },
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            acc += phase * self.get(j, j ^ flip);
+        }
+        acc.re
+    }
+
+    /// `tr(Hρ)` for a Pauli sum.
+    pub fn expectation(&self, h: &PauliSum) -> f64 {
+        h.terms()
+            .iter()
+            .map(|(c, p)| c * self.expectation_string(p))
+            .sum()
+    }
+
+    /// Left-multiplies by the (controlled) unitary: `ρ → Uρ`.
+    fn transform_rows(&mut self, mat: &CMatrix, targets: &[usize], controls: &[usize]) {
+        let k = targets.len();
+        let sub = 1usize << k;
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
+        let n_outer = self.dim >> k;
+        let mut gathered = vec![C64::ZERO; sub];
+        for col in 0..self.dim {
+            for outer in 0..n_outer {
+                let base = spread_bits(outer, tmask, self.n);
+                if base & cmask != cmask {
+                    continue;
+                }
+                for (b, g) in gathered.iter_mut().enumerate() {
+                    let row = base | spread_sub(b, targets);
+                    *g = self.data[row * self.dim + col];
+                }
+                for b in 0..sub {
+                    let row = base | spread_sub(b, targets);
+                    let mut acc = C64::ZERO;
+                    for (kk, g) in gathered.iter().enumerate() {
+                        acc += mat[(b, kk)] * *g;
+                    }
+                    self.data[row * self.dim + col] = acc;
+                }
+            }
+        }
+    }
+
+    /// Right-multiplies by the (controlled) unitary's dagger: `ρ → ρU†`.
+    fn transform_cols(&mut self, mat: &CMatrix, targets: &[usize], controls: &[usize]) {
+        let k = targets.len();
+        let sub = 1usize << k;
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
+        let n_outer = self.dim >> k;
+        let mut gathered = vec![C64::ZERO; sub];
+        for row in 0..self.dim {
+            let row_base = row * self.dim;
+            for outer in 0..n_outer {
+                let base = spread_bits(outer, tmask, self.n);
+                if base & cmask != cmask {
+                    continue;
+                }
+                for (b, g) in gathered.iter_mut().enumerate() {
+                    let col = base | spread_sub(b, targets);
+                    *g = self.data[row_base + col];
+                }
+                for b in 0..sub {
+                    let col = base | spread_sub(b, targets);
+                    let mut acc = C64::ZERO;
+                    for (kk, g) in gathered.iter().enumerate() {
+                        acc += mat[(b, kk)].conj() * *g;
+                    }
+                    self.data[row_base + col] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Spreads the bits of `value` into the positions of `0..n` *not* covered by
+/// `mask`.
+fn spread_bits(value: usize, mask: usize, n: usize) -> usize {
+    let mut out = 0usize;
+    let mut rem = value;
+    for pos in 0..n {
+        let b = 1usize << pos;
+        if mask & b == 0 {
+            if rem & 1 != 0 {
+                out |= b;
+            }
+            rem >>= 1;
+        }
+    }
+    out
+}
+
+/// Spreads a `k`-bit sub-index into the target qubit positions.
+fn spread_sub(b: usize, targets: &[usize]) -> usize {
+    let mut out = 0usize;
+    for (t, &tq) in targets.iter().enumerate() {
+        if b & (1 << t) != 0 {
+            out |= 1 << tq;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::noise::Channel;
+
+    #[test]
+    fn zero_state_has_unit_trace_and_purity() {
+        let dm = DensityMatrix::zero(3);
+        assert!((dm.trace() - 1.0).abs() < 1e-12);
+        assert!((dm.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.8).ccx(0, 1, 2).rzz(0, 2, 0.3);
+
+        let mut sv = StateVector::zero(3);
+        sv.run(&c, &[]);
+        let mut dm = DensityMatrix::zero(3);
+        dm.run(&c, &[]);
+
+        let expect = DensityMatrix::from_pure(&sv);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    dm.get(i, j).approx_eq(expect.get(i, j), 1e-10),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn purity_preserved_by_unitaries() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let mut dm = DensityMatrix::zero(2);
+        dm.run(&c, &[]);
+        assert!((dm.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_noise_reduces_purity() {
+        let mut dm = DensityMatrix::zero(1);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        dm.run(&c, &[]);
+        let before = dm.purity();
+        dm.apply_kraus(&Channel::Depolarizing(0.2).kraus(), &[0]);
+        assert!((dm.trace() - 1.0).abs() < 1e-10, "trace preserved");
+        assert!(dm.purity() < before, "purity must drop");
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed() {
+        let mut dm = DensityMatrix::zero(1);
+        // p = 0.75 sends a single qubit exactly to I/2 under the standard
+        // depolarizing parameterization.
+        dm.apply_kraus(&Channel::Depolarizing(0.75).kraus(), &[0]);
+        let mm = DensityMatrix::maximally_mixed(1);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(dm.get(i, j).approx_eq(mm.get(i, j), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut dm = DensityMatrix::zero(1);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        dm.run(&c, &[]);
+        dm.apply_kraus(&Channel::AmplitudeDamping(0.3).kraus(), &[0]);
+        let p = dm.probabilities();
+        assert!((p[1] - 0.7).abs() < 1e-10);
+        assert!((p[0] - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bit_flip_mixes_populations() {
+        let mut dm = DensityMatrix::zero(1);
+        dm.apply_kraus(&Channel::BitFlip(0.25).kraus(), &[0]);
+        let p = dm.probabilities();
+        assert!((p[0] - 0.75).abs() < 1e-10);
+        assert!((p[1] - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_matches_statevector_for_pure() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 0.9).cx(0, 1);
+        let mut sv = StateVector::zero(2);
+        sv.run(&c, &[]);
+        let dm = DensityMatrix::from_pure(&sv);
+        let h = PauliSum::from_terms(vec![
+            (0.7, PauliString::z(0)),
+            (-0.2, PauliString::zz(0, 1)),
+            (0.4, PauliString::x(1)),
+        ]);
+        assert!((dm.expectation(&h) - h.expectation(&sv)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_pure_detects_orthogonality() {
+        let dm = DensityMatrix::zero(1);
+        assert!((dm.fidelity_pure(&StateVector::zero(1)) - 1.0).abs() < 1e-12);
+        assert!(dm.fidelity_pure(&StateVector::basis(1, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_mixed_has_min_purity() {
+        let dm = DensityMatrix::maximally_mixed(2);
+        assert!((dm.purity() - 0.25).abs() < 1e-12);
+        assert!((dm.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_gate_on_density_matrix() {
+        // CX on |+0>: should produce the Bell state density matrix.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut dm = DensityMatrix::zero(2);
+        dm.run(&c, &[]);
+        let p = dm.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-10);
+        assert!((p[0b11] - 0.5).abs() < 1e-10);
+        // Off-diagonal coherence present (pure superposition).
+        assert!((dm.get(0, 3).re - 0.5).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text circuit rendering.
+//!
+//! `circuit.render()` draws the familiar one-wire-per-qubit diagram:
+//!
+//! ```text
+//! q0: ─H─●─────
+//! q1: ───X─RY──
+//! ```
+//!
+//! The renderer is column-per-instruction (no compaction), which keeps the
+//! output unambiguous for debugging and doc examples.
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate};
+
+fn gate_label(gate: &Gate) -> String {
+    let angle = |a: &Angle| match a {
+        Angle::Const(v) => format!("{v:.2}"),
+        Angle::Param { idx, mult, offset } => {
+            if *mult == 1.0 && *offset == 0.0 {
+                format!("θ{idx}")
+            } else {
+                format!("{mult:.1}·θ{idx}{offset:+.1}")
+            }
+        }
+    };
+    match gate {
+        Gate::I => "I".into(),
+        Gate::X => "X".into(),
+        Gate::Y => "Y".into(),
+        Gate::Z => "Z".into(),
+        Gate::H => "H".into(),
+        Gate::S => "S".into(),
+        Gate::Sdg => "S†".into(),
+        Gate::T => "T".into(),
+        Gate::Tdg => "T†".into(),
+        Gate::SX => "√X".into(),
+        Gate::RX(a) => format!("RX({})", angle(a)),
+        Gate::RY(a) => format!("RY({})", angle(a)),
+        Gate::RZ(a) => format!("RZ({})", angle(a)),
+        Gate::P(a) => format!("P({})", angle(a)),
+        Gate::U3(t, p, l) => format!("U3({},{},{})", angle(t), angle(p), angle(l)),
+        Gate::Swap => "×".into(),
+        Gate::RZZ(a) => format!("ZZ({})", angle(a)),
+        Gate::RXX(a) => format!("XX({})", angle(a)),
+        Gate::RYY(a) => format!("YY({})", angle(a)),
+        Gate::Unitary(u) => format!("U[{}]", u.rows()),
+    }
+}
+
+impl Circuit {
+    /// Renders the circuit as a text diagram, one row per qubit.
+    pub fn render(&self) -> String {
+        let n = self.n_qubits();
+        let mut rows: Vec<String> = (0..n).map(|q| format!("q{q}: ─")).collect();
+        // Pad row prefixes to equal width.
+        let prefix_w = rows.iter().map(String::len).max().unwrap_or(0);
+        for row in &mut rows {
+            while row.chars().count() < prefix_w {
+                row.insert(4, ' ');
+            }
+        }
+        for instr in self.instrs() {
+            let label = gate_label(&instr.gate);
+            // Column width: label + 1 dash padding.
+            let width = label.chars().count().max(1) + 1;
+            for q in 0..n {
+                let cell = if instr.controls.contains(&q) {
+                    "●".to_string()
+                } else if instr.targets.contains(&q) {
+                    if instr.targets.len() > 1 && matches!(instr.gate, Gate::Swap) {
+                        "×".to_string()
+                    } else if instr.targets.len() > 1 {
+                        // Multi-target gate: label on the first target,
+                        // box marker on the rest.
+                        if instr.targets[0] == q {
+                            label.clone()
+                        } else {
+                            "□".to_string()
+                        }
+                    } else {
+                        label.clone()
+                    }
+                } else {
+                    String::new()
+                };
+                let used = cell.chars().count();
+                rows[q].push_str(&cell);
+                for _ in used..width {
+                    rows[q].push('─');
+                }
+            }
+        }
+        rows.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_qubit_gates() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let s = c.render();
+        assert!(s.contains("q0:"));
+        assert!(s.contains('H'));
+        assert!(s.contains('T'));
+    }
+
+    #[test]
+    fn renders_controls_and_targets() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('X'));
+    }
+
+    #[test]
+    fn renders_parameterized_rotations() {
+        let mut c = Circuit::new(1);
+        let p = c.new_param();
+        c.ry(0, p);
+        assert!(c.render().contains("RY(θ0)"));
+    }
+
+    #[test]
+    fn renders_swap_on_both_wires() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let s = c.render();
+        let count = s.matches('×').count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn row_count_matches_qubits() {
+        let mut c = Circuit::new(4);
+        c.h(0).ccx(0, 1, 2).rzz(2, 3, 0.5);
+        assert_eq!(c.render().lines().count(), 4);
+    }
+}

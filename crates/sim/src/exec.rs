@@ -1,0 +1,260 @@
+//! The [`Simulator`] facade: one entry point for exact, sampled, and noisy
+//! execution, plus observable estimation.
+
+use crate::circuit::Circuit;
+use crate::density::DensityMatrix;
+use crate::noise::NoiseModel;
+use crate::pauli::{Pauli, PauliSum};
+use crate::statevector::StateVector;
+use qmldb_math::Rng64;
+use std::collections::HashMap;
+
+/// Execution facade over the state-vector and density-matrix engines.
+#[derive(Clone, Debug, Default)]
+pub struct Simulator {
+    noise: NoiseModel,
+}
+
+impl Simulator {
+    /// A noiseless simulator.
+    pub fn new() -> Self {
+        Simulator {
+            noise: NoiseModel::ideal(),
+        }
+    }
+
+    /// A simulator with the given noise model. Noisy paths use the
+    /// density-matrix engine.
+    pub fn with_noise(noise: NoiseModel) -> Self {
+        Simulator { noise }
+    }
+
+    /// The configured noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs the circuit exactly, returning the final pure state.
+    ///
+    /// # Panics
+    /// Panics if the simulator has a non-ideal noise model (noisy states
+    /// are mixed; use [`Simulator::run_density`]).
+    pub fn run(&self, circuit: &Circuit, params: &[f64]) -> StateVector {
+        assert!(
+            self.noise.is_ideal(),
+            "noisy simulation produces mixed states; use run_density"
+        );
+        let mut s = StateVector::zero(circuit.n_qubits());
+        s.run(circuit, params);
+        s
+    }
+
+    /// Runs the circuit on the density-matrix engine, applying the noise
+    /// model's channels after every instruction.
+    pub fn run_density(&self, circuit: &Circuit, params: &[f64]) -> DensityMatrix {
+        let mut rho = DensityMatrix::zero(circuit.n_qubits());
+        for instr in circuit.instrs() {
+            rho.apply(instr, params);
+            let touched: Vec<usize> = instr.qubits().collect();
+            let channels = if touched.len() == 1 {
+                &self.noise.after_1q
+            } else {
+                &self.noise.after_multi
+            };
+            for ch in channels {
+                let kraus = ch.kraus();
+                for &q in &touched {
+                    rho.apply_kraus(&kraus, &[q]);
+                }
+            }
+        }
+        rho
+    }
+
+    /// Exact expectation ⟨ψ|H|ψ⟩ (noiseless) or tr(Hρ) (noisy).
+    pub fn expectation(&self, circuit: &Circuit, params: &[f64], observable: &PauliSum) -> f64 {
+        if self.noise.is_ideal() {
+            observable.expectation(&self.run(circuit, params))
+        } else {
+            self.run_density(circuit, params).expectation(observable)
+        }
+    }
+
+    /// Samples `shots` measurement outcomes (all qubits, computational
+    /// basis), applying classical readout error if configured. Noise
+    /// channels are honored via the density-matrix path when present.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        shots: usize,
+        rng: &mut Rng64,
+    ) -> HashMap<usize, usize> {
+        let probs = if self.noise.is_ideal() {
+            self.run(circuit, params).probabilities()
+        } else {
+            self.run_density(circuit, params).probabilities()
+        };
+        let n = circuit.n_qubits();
+        let mut counts = HashMap::new();
+        // Cumulative sampling.
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        for _ in 0..shots {
+            let u = rng.uniform() * acc;
+            let mut idx = match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+                Ok(i) | Err(i) => i.min(probs.len() - 1),
+            };
+            if self.noise.readout_flip > 0.0 {
+                for q in 0..n {
+                    if rng.chance(self.noise.readout_flip) {
+                        idx ^= 1 << q;
+                    }
+                }
+            }
+            *counts.entry(idx).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Shot-based estimate of ⟨H⟩ by measuring each Pauli term in its own
+    /// rotated basis (`shots` per term). This is how real hardware
+    /// estimates observables; statistical error scales as 1/√shots.
+    pub fn expectation_sampled(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        observable: &PauliSum,
+        shots: usize,
+        rng: &mut Rng64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (coeff, string) in observable.terms() {
+            if string.is_identity() {
+                total += coeff;
+                continue;
+            }
+            // Rotate each non-Z factor into the Z basis.
+            let mut rotated = circuit.clone();
+            for &(q, p) in string.ops() {
+                match p {
+                    Pauli::X => {
+                        rotated.h(q);
+                    }
+                    Pauli::Y => {
+                        rotated.sdg(q).h(q);
+                    }
+                    Pauli::Z => {}
+                }
+            }
+            let mut zmask = 0usize;
+            for &(q, _) in string.ops() {
+                zmask |= 1 << q;
+            }
+            let counts = self.sample_counts(&rotated, params, shots, rng);
+            let mut sum = 0i64;
+            for (outcome, count) in counts {
+                let parity = (outcome & zmask).count_ones() & 1;
+                let sign = if parity == 0 { 1 } else { -1 };
+                sum += sign * count as i64;
+            }
+            total += coeff * sum as f64 / shots as f64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::Channel;
+    use crate::pauli::PauliString;
+
+    #[test]
+    fn exact_run_produces_bell_statistics() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sim = Simulator::new();
+        let s = sim.run(&c, &[]);
+        assert!((s.probabilities()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_exact_matches_pauli_module() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 0.8).cx(0, 1);
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
+        let sim = Simulator::new();
+        let s = sim.run(&c, &[]);
+        assert!((sim.expectation(&c, &[], &h) - h.expectation(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_expectation_converges_to_exact() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 1.1).cx(0, 1).rx(1, 0.4);
+        let h = PauliSum::from_terms(vec![
+            (0.5, PauliString::z(0)),
+            (0.3, PauliString::x(1)),
+            (0.2, PauliString::zz(0, 1)),
+            (1.0, PauliString::identity()),
+        ]);
+        let sim = Simulator::new();
+        let exact = sim.expectation(&c, &[], &h);
+        let mut rng = Rng64::new(31);
+        let sampled = sim.expectation_sampled(&c, &[], &h, 40_000, &mut rng);
+        assert!(
+            (exact - sampled).abs() < 0.02,
+            "exact {exact} vs sampled {sampled}"
+        );
+    }
+
+    #[test]
+    fn noisy_run_reduces_fidelity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let ideal = Simulator::new().run(&c, &[]);
+        let noisy = Simulator::with_noise(NoiseModel::depolarizing(0.02, 0.05));
+        let rho = noisy.run_density(&c, &[]);
+        let f = rho.fidelity_pure(&ideal);
+        assert!(f < 1.0 - 1e-4, "noise must lower fidelity, got {f}");
+        assert!(f > 0.7, "moderate noise should not destroy the state");
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn readout_error_biases_counts() {
+        let c = Circuit::new(1); // stays |0>
+        let mut noise = NoiseModel::ideal();
+        noise.readout_flip = 0.1;
+        let sim = Simulator::with_noise(noise);
+        let mut rng = Rng64::new(3);
+        let counts = sim.sample_counts(&c, &[], 50_000, &mut rng);
+        let ones = *counts.get(&1).unwrap_or(&0) as f64 / 50_000.0;
+        assert!((ones - 0.1).abs() < 0.01, "flip rate {ones}");
+    }
+
+    #[test]
+    fn noisy_expectation_damps_signal() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::z(0))]);
+        let exact = Simulator::new().expectation(&c, &[], &h);
+        assert!((exact + 1.0).abs() < 1e-12);
+        let mut noise = NoiseModel::ideal();
+        noise.after_1q = vec![Channel::Depolarizing(0.3)];
+        let noisy = Simulator::with_noise(noise).expectation(&c, &[], &h);
+        assert!(noisy > exact && noisy < 0.0, "damped toward 0, got {noisy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed states")]
+    fn pure_run_with_noise_panics() {
+        let sim = Simulator::with_noise(NoiseModel::depolarizing(0.01, 0.01));
+        sim.run(&Circuit::new(1), &[]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Gate library.
+//!
+//! A [`Gate`] names a unitary on one or more *target* qubits; controls are
+//! attached at the instruction level (see [`crate::circuit::Instr`]), so
+//! `CX` is simply `Gate::X` with one control and a Toffoli is `Gate::X`
+//! with two. Rotation angles are [`Angle`]s — either constants or affine
+//! functions of a circuit parameter, which is what makes parameter-shift
+//! differentiation and circuit inversion exact and mechanical.
+
+use qmldb_math::{C64, CMatrix};
+
+/// An angle appearing in a rotation gate: either a constant or the affine
+/// form `mult · θ[idx] + offset` over the circuit's parameter vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Angle {
+    /// A fixed angle in radians.
+    Const(f64),
+    /// `mult * params[idx] + offset`.
+    Param {
+        /// Index into the circuit's parameter vector.
+        idx: usize,
+        /// Multiplier applied to the parameter.
+        mult: f64,
+        /// Constant offset added after scaling (used by parameter-shift).
+        offset: f64,
+    },
+}
+
+impl Angle {
+    /// References parameter `idx` directly (`θ[idx]`).
+    pub fn param(idx: usize) -> Angle {
+        Angle::Param {
+            idx,
+            mult: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Resolves the angle against a parameter vector.
+    ///
+    /// # Panics
+    /// Panics if the angle references a parameter beyond `params.len()`.
+    pub fn resolve(self, params: &[f64]) -> f64 {
+        match self {
+            Angle::Const(v) => v,
+            Angle::Param { idx, mult, offset } => mult * params[idx] + offset,
+        }
+    }
+
+    /// The negated angle (used when inverting circuits).
+    pub fn neg(self) -> Angle {
+        match self {
+            Angle::Const(v) => Angle::Const(-v),
+            Angle::Param { idx, mult, offset } => Angle::Param {
+                idx,
+                mult: -mult,
+                offset: -offset,
+            },
+        }
+    }
+
+    /// The angle shifted by a constant (used by the parameter-shift rule).
+    pub fn shifted(self, delta: f64) -> Angle {
+        match self {
+            Angle::Const(v) => Angle::Const(v + delta),
+            Angle::Param { idx, mult, offset } => Angle::Param {
+                idx,
+                mult,
+                offset: offset + delta,
+            },
+        }
+    }
+
+    /// The parameter index this angle depends on, if any.
+    pub fn param_idx(self) -> Option<usize> {
+        match self {
+            Angle::Const(_) => None,
+            Angle::Param { idx, .. } => Some(idx),
+        }
+    }
+}
+
+impl From<f64> for Angle {
+    fn from(v: f64) -> Angle {
+        Angle::Const(v)
+    }
+}
+
+/// A quantum gate acting on one or two target qubits.
+///
+/// The gate's unitary is produced by [`Gate::matrix`]; controlled versions
+/// are handled uniformly by the simulator, not by enlarging the matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity (useful as a scheduling placeholder).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// √X.
+    SX,
+    /// Rotation about X by the angle.
+    RX(Angle),
+    /// Rotation about Y by the angle.
+    RY(Angle),
+    /// Rotation about Z by the angle.
+    RZ(Angle),
+    /// Phase gate diag(1, e^{iφ}).
+    P(Angle),
+    /// General single-qubit rotation U3(θ, φ, λ).
+    U3(Angle, Angle, Angle),
+    /// Two-qubit SWAP.
+    Swap,
+    /// Two-qubit ZZ interaction e^{-iθ/2·Z⊗Z}.
+    RZZ(Angle),
+    /// Two-qubit XX interaction e^{-iθ/2·X⊗X}.
+    RXX(Angle),
+    /// Two-qubit YY interaction e^{-iθ/2·Y⊗Y}.
+    RYY(Angle),
+    /// An arbitrary unitary on `log2(dim)` target qubits (e.g. `e^{iAt}`
+    /// blocks in phase estimation). Must be unitary; checked on use in
+    /// debug builds.
+    Unitary(CMatrix),
+}
+
+impl Gate {
+    /// Number of target qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::Swap | Gate::RZZ(_) | Gate::RXX(_) | Gate::RYY(_) => 2,
+            Gate::Unitary(u) => {
+                let n = u.rows();
+                debug_assert!(n.is_power_of_two());
+                n.trailing_zeros() as usize
+            }
+            _ => 1,
+        }
+    }
+
+    /// The unitary matrix of the gate with angles resolved against
+    /// `params`.
+    pub fn matrix(&self, params: &[f64]) -> CMatrix {
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let i = C64::I;
+        match self {
+            Gate::I => CMatrix::identity(2),
+            Gate::X => CMatrix::from_rows(&[vec![z, o], vec![o, z]]),
+            Gate::Y => CMatrix::from_rows(&[vec![z, -i], vec![i, z]]),
+            Gate::Z => CMatrix::from_rows(&[vec![o, z], vec![z, -o]]),
+            Gate::H => {
+                let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+                CMatrix::from_rows(&[vec![s, s], vec![s, -s]])
+            }
+            Gate::S => CMatrix::from_rows(&[vec![o, z], vec![z, i]]),
+            Gate::Sdg => CMatrix::from_rows(&[vec![o, z], vec![z, -i]]),
+            Gate::T => CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(std::f64::consts::FRAC_PI_4)]]),
+            Gate::Tdg => CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::SX => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                CMatrix::from_rows(&[vec![a, b], vec![b, a]])
+            }
+            Gate::RX(t) => {
+                let th = t.resolve(params) / 2.0;
+                let (c, s) = (C64::real(th.cos()), C64::new(0.0, -th.sin()));
+                CMatrix::from_rows(&[vec![c, s], vec![s, c]])
+            }
+            Gate::RY(t) => {
+                let th = t.resolve(params) / 2.0;
+                let (c, s) = (C64::real(th.cos()), C64::real(th.sin()));
+                CMatrix::from_rows(&[vec![c, -s], vec![s, c]])
+            }
+            Gate::RZ(t) => {
+                let th = t.resolve(params) / 2.0;
+                CMatrix::from_rows(&[vec![C64::cis(-th), z], vec![z, C64::cis(th)]])
+            }
+            Gate::P(t) => {
+                let phi = t.resolve(params);
+                CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(phi)]])
+            }
+            Gate::U3(theta, phi, lam) => {
+                let th = theta.resolve(params) / 2.0;
+                let (ph, lm) = (phi.resolve(params), lam.resolve(params));
+                CMatrix::from_rows(&[
+                    vec![C64::real(th.cos()), -(C64::cis(lm) * th.sin())],
+                    vec![C64::cis(ph) * th.sin(), C64::cis(ph + lm) * th.cos()],
+                ])
+            }
+            Gate::Swap => CMatrix::from_rows(&[
+                vec![o, z, z, z],
+                vec![z, z, o, z],
+                vec![z, o, z, z],
+                vec![z, z, z, o],
+            ]),
+            Gate::RZZ(t) => {
+                let th = t.resolve(params) / 2.0;
+                let (p, m) = (C64::cis(th), C64::cis(-th));
+                let mut u = CMatrix::zeros(4, 4);
+                u[(0, 0)] = m;
+                u[(1, 1)] = p;
+                u[(2, 2)] = p;
+                u[(3, 3)] = m;
+                u
+            }
+            Gate::RXX(t) => {
+                let th = t.resolve(params) / 2.0;
+                let (c, s) = (C64::real(th.cos()), C64::new(0.0, -th.sin()));
+                let mut u = CMatrix::zeros(4, 4);
+                for d in 0..4 {
+                    u[(d, d)] = c;
+                }
+                u[(0, 3)] = s;
+                u[(3, 0)] = s;
+                u[(1, 2)] = s;
+                u[(2, 1)] = s;
+                u
+            }
+            Gate::RYY(t) => {
+                let th = t.resolve(params) / 2.0;
+                let (c, s) = (C64::real(th.cos()), C64::new(0.0, th.sin()));
+                let mut u = CMatrix::zeros(4, 4);
+                for d in 0..4 {
+                    u[(d, d)] = c;
+                }
+                u[(0, 3)] = s;
+                u[(3, 0)] = s;
+                u[(1, 2)] = -s;
+                u[(2, 1)] = -s;
+                u
+            }
+            Gate::Unitary(u) => u.clone(),
+        }
+    }
+
+    /// The inverse gate (dagger). Parameterized rotations negate their
+    /// angle so inversion works symbolically for variational circuits.
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::I => Gate::I,
+            Gate::X => Gate::X,
+            Gate::Y => Gate::Y,
+            Gate::Z => Gate::Z,
+            Gate::H => Gate::H,
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::SX => Gate::Unitary(Gate::SX.matrix(&[]).dagger()),
+            Gate::RX(t) => Gate::RX(t.neg()),
+            Gate::RY(t) => Gate::RY(t.neg()),
+            Gate::RZ(t) => Gate::RZ(t.neg()),
+            Gate::P(t) => Gate::P(t.neg()),
+            Gate::U3(th, ph, lm) => Gate::U3(th.neg(), lm.neg(), ph.neg()),
+            Gate::Swap => Gate::Swap,
+            Gate::RZZ(t) => Gate::RZZ(t.neg()),
+            Gate::RXX(t) => Gate::RXX(t.neg()),
+            Gate::RYY(t) => Gate::RYY(t.neg()),
+            Gate::Unitary(u) => Gate::Unitary(u.dagger()),
+        }
+    }
+
+    /// True when `self` composed with `other` is the identity for all
+    /// parameter values (used by the peephole optimizer). Conservative:
+    /// may return false for pairs that do cancel.
+    pub fn cancels_with(&self, other: &Gate) -> bool {
+        match (self, other) {
+            (Gate::X, Gate::X)
+            | (Gate::Y, Gate::Y)
+            | (Gate::Z, Gate::Z)
+            | (Gate::H, Gate::H)
+            | (Gate::Swap, Gate::Swap)
+            | (Gate::S, Gate::Sdg)
+            | (Gate::Sdg, Gate::S)
+            | (Gate::T, Gate::Tdg)
+            | (Gate::Tdg, Gate::T) => true,
+            (Gate::RX(Angle::Const(a)), Gate::RX(Angle::Const(b)))
+            | (Gate::RY(Angle::Const(a)), Gate::RY(Angle::Const(b)))
+            | (Gate::RZ(Angle::Const(a)), Gate::RZ(Angle::Const(b)))
+            | (Gate::P(Angle::Const(a)), Gate::P(Angle::Const(b))) => (a + b).abs() < 1e-15,
+            _ => false,
+        }
+    }
+
+    /// The angles appearing in this gate.
+    pub fn angles(&self) -> Vec<Angle> {
+        match self {
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) | Gate::RZZ(t)
+            | Gate::RXX(t) | Gate::RYY(t) => vec![*t],
+            Gate::U3(a, b, c) => vec![*a, *b, *c],
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::Swap,
+        ] {
+            assert!(g.matrix(&[]).is_unitary(1e-12), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn rotations_are_unitary_for_various_angles() {
+        for k in 0..8 {
+            let t = Angle::Const(k as f64 * 0.9 - 3.0);
+            for g in [Gate::RX(t), Gate::RY(t), Gate::RZ(t), Gate::P(t), Gate::RZZ(t), Gate::RXX(t), Gate::RYY(t)] {
+                assert!(g.matrix(&[]).is_unitary(1e-12), "{g:?} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn rx_pi_equals_minus_i_x() {
+        let rx = Gate::RX(Angle::Const(PI)).matrix(&[]);
+        let x = Gate::X.matrix(&[]).scale(C64::new(0.0, -1.0));
+        assert!(rx.approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn u3_reduces_to_known_gates() {
+        // U3(π/2, 0, π) = H.
+        let u = Gate::U3(Angle::Const(PI / 2.0), Angle::Const(0.0), Angle::Const(PI)).matrix(&[]);
+        assert!(u.approx_eq(&Gate::H.matrix(&[]), 1e-12));
+    }
+
+    #[test]
+    fn dagger_gives_inverse_matrix() {
+        let gates = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::SX,
+            Gate::RX(Angle::Const(0.7)),
+            Gate::RY(Angle::Const(-1.3)),
+            Gate::U3(Angle::Const(0.3), Angle::Const(0.4), Angle::Const(0.5)),
+            Gate::RZZ(Angle::Const(0.9)),
+        ];
+        for g in gates {
+            let u = g.matrix(&[]);
+            let udg = g.dagger().matrix(&[]);
+            let prod = u.matmul(&udg);
+            assert!(
+                prod.approx_eq(&CMatrix::identity(u.rows()), 1e-12),
+                "{g:?} dagger is not inverse"
+            );
+        }
+    }
+
+    #[test]
+    fn angle_resolution_and_shift() {
+        let a = Angle::param(1);
+        assert_eq!(a.resolve(&[9.0, 2.5]), 2.5);
+        assert_eq!(a.shifted(0.5).resolve(&[9.0, 2.5]), 3.0);
+        assert_eq!(a.neg().resolve(&[9.0, 2.5]), -2.5);
+        assert_eq!(Angle::Const(1.0).shifted(-0.25).resolve(&[]), 0.75);
+    }
+
+    #[test]
+    fn parameterized_rotation_uses_param_vector() {
+        let g = Gate::RY(Angle::param(0));
+        let m1 = g.matrix(&[PI]);
+        let m2 = Gate::RY(Angle::Const(PI)).matrix(&[]);
+        assert!(m1.approx_eq(&m2, 1e-12));
+    }
+
+    #[test]
+    fn cancellation_detection() {
+        assert!(Gate::H.cancels_with(&Gate::H));
+        assert!(Gate::S.cancels_with(&Gate::Sdg));
+        assert!(!Gate::S.cancels_with(&Gate::S));
+        assert!(Gate::RX(Angle::Const(0.4)).cancels_with(&Gate::RX(Angle::Const(-0.4))));
+        assert!(!Gate::RX(Angle::param(0)).cancels_with(&Gate::RX(Angle::param(0))));
+    }
+
+    #[test]
+    fn arity_reports_targets() {
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::Swap.arity(), 2);
+        assert_eq!(Gate::Unitary(CMatrix::identity(8)).arity(), 3);
+    }
+
+    #[test]
+    fn rzz_is_diagonal_with_correct_phases() {
+        let th = 0.8;
+        let u = Gate::RZZ(Angle::Const(th)).matrix(&[]);
+        assert!(u[(0, 0)].approx_eq(C64::cis(-th / 2.0), 1e-12));
+        assert!(u[(1, 1)].approx_eq(C64::cis(th / 2.0), 1e-12));
+        assert!(u[(2, 2)].approx_eq(C64::cis(th / 2.0), 1e-12));
+        assert!(u[(3, 3)].approx_eq(C64::cis(-th / 2.0), 1e-12));
+    }
+}

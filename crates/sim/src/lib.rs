@@ -1,0 +1,36 @@
+//! Gate-model quantum circuit simulator.
+//!
+//! This crate is the "hardware" substrate of the workspace: a state-vector
+//! engine for exact pure-state simulation, a density-matrix engine with
+//! Kraus-channel noise for NISQ studies, a parameterizable circuit IR, a
+//! Pauli-observable layer, and a peephole circuit optimizer.
+//!
+//! # Quick start
+//! ```
+//! use qmldb_sim::{Circuit, Simulator};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let state = Simulator::new().run(&bell, &[]);
+//! let p = state.probabilities();
+//! assert!((p[0b00] - 0.5).abs() < 1e-12);
+//! assert!((p[0b11] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod circuit;
+pub mod density;
+pub mod display;
+pub mod exec;
+pub mod gate;
+pub mod noise;
+pub mod optimize;
+pub mod pauli;
+pub mod statevector;
+
+pub use circuit::{Circuit, Instr};
+pub use density::DensityMatrix;
+pub use exec::Simulator;
+pub use gate::{Angle, Gate};
+pub use noise::{Channel, NoiseModel};
+pub use pauli::{Pauli, PauliString, PauliSum};
+pub use statevector::StateVector;

@@ -1,0 +1,164 @@
+//! Noise channels and circuit-level noise models.
+//!
+//! Channels are specified by their Kraus operators and applied by the
+//! density-matrix engine. A [`NoiseModel`] attaches channels after each
+//! gate (per touched qubit) plus classical readout error, which is the
+//! standard coarse model of NISQ hardware.
+
+use qmldb_math::{C64, CMatrix};
+
+/// A single-qubit noise channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Channel {
+    /// Depolarizing channel: with probability `p` replace the qubit state
+    /// by a uniformly random Pauli error (p/3 each of X, Y, Z).
+    Depolarizing(f64),
+    /// Bit flip (X) with probability `p`.
+    BitFlip(f64),
+    /// Phase flip (Z) with probability `p`.
+    PhaseFlip(f64),
+    /// Amplitude damping with decay probability `γ`.
+    AmplitudeDamping(f64),
+    /// Phase damping with parameter `λ`.
+    PhaseDamping(f64),
+}
+
+impl Channel {
+    /// The channel's Kraus operators. They satisfy `Σ K†K = I`, which is
+    /// asserted by tests.
+    pub fn kraus(&self) -> Vec<CMatrix> {
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let m = |rows: &[Vec<C64>]| CMatrix::from_rows(rows);
+        match *self {
+            Channel::Depolarizing(p) => {
+                assert!((0.0..=1.0).contains(&p), "p out of range");
+                let k0 = (1.0 - p).sqrt();
+                let ke = (p / 3.0).sqrt();
+                vec![
+                    m(&[vec![o, z], vec![z, o]]).scale(C64::real(k0)),
+                    m(&[vec![z, o], vec![o, z]]).scale(C64::real(ke)), // X
+                    m(&[vec![z, -C64::I], vec![C64::I, z]]).scale(C64::real(ke)), // Y
+                    m(&[vec![o, z], vec![z, -o]]).scale(C64::real(ke)), // Z
+                ]
+            }
+            Channel::BitFlip(p) => {
+                assert!((0.0..=1.0).contains(&p), "p out of range");
+                vec![
+                    m(&[vec![o, z], vec![z, o]]).scale(C64::real((1.0 - p).sqrt())),
+                    m(&[vec![z, o], vec![o, z]]).scale(C64::real(p.sqrt())),
+                ]
+            }
+            Channel::PhaseFlip(p) => {
+                assert!((0.0..=1.0).contains(&p), "p out of range");
+                vec![
+                    m(&[vec![o, z], vec![z, o]]).scale(C64::real((1.0 - p).sqrt())),
+                    m(&[vec![o, z], vec![z, -o]]).scale(C64::real(p.sqrt())),
+                ]
+            }
+            Channel::AmplitudeDamping(g) => {
+                assert!((0.0..=1.0).contains(&g), "gamma out of range");
+                vec![
+                    m(&[vec![o, z], vec![z, C64::real((1.0 - g).sqrt())]]),
+                    m(&[vec![z, C64::real(g.sqrt())], vec![z, z]]),
+                ]
+            }
+            Channel::PhaseDamping(l) => {
+                assert!((0.0..=1.0).contains(&l), "lambda out of range");
+                vec![
+                    m(&[vec![o, z], vec![z, C64::real((1.0 - l).sqrt())]]),
+                    m(&[vec![z, z], vec![z, C64::real(l.sqrt())]]),
+                ]
+            }
+        }
+    }
+}
+
+/// A circuit-level noise model.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    /// Channels applied to the target qubit after each single-qubit gate.
+    pub after_1q: Vec<Channel>,
+    /// Channels applied to every touched qubit after each multi-qubit
+    /// instruction (controls included).
+    pub after_multi: Vec<Channel>,
+    /// Probability that a readout bit flips classically.
+    pub readout_flip: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel::default()
+    }
+
+    /// Uniform depolarizing noise: `p1` after single-qubit gates, `p2`
+    /// after multi-qubit instructions.
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            after_1q: vec![Channel::Depolarizing(p1)],
+            after_multi: vec![Channel::Depolarizing(p2)],
+            readout_flip: 0.0,
+        }
+    }
+
+    /// True when the model adds no noise at all.
+    pub fn is_ideal(&self) -> bool {
+        self.after_1q.is_empty() && self.after_multi.is_empty() && self.readout_flip == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kraus_complete(channel: Channel) {
+        let ks = channel.kraus();
+        let mut sum = CMatrix::zeros(2, 2);
+        for k in &ks {
+            sum = &sum + &k.dagger().matmul(k);
+        }
+        assert!(
+            sum.approx_eq(&CMatrix::identity(2), 1e-12),
+            "{channel:?}: Kraus completeness violated"
+        );
+    }
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for ch in [
+            Channel::Depolarizing(0.13),
+            Channel::BitFlip(0.4),
+            Channel::PhaseFlip(0.9),
+            Channel::AmplitudeDamping(0.35),
+            Channel::PhaseDamping(0.5),
+        ] {
+            kraus_complete(ch);
+        }
+    }
+
+    #[test]
+    fn edge_probabilities_are_valid() {
+        for ch in [
+            Channel::Depolarizing(0.0),
+            Channel::Depolarizing(1.0),
+            Channel::BitFlip(0.0),
+            Channel::BitFlip(1.0),
+            Channel::AmplitudeDamping(1.0),
+        ] {
+            kraus_complete(ch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        Channel::BitFlip(1.5).kraus();
+    }
+
+    #[test]
+    fn ideal_model_is_ideal() {
+        assert!(NoiseModel::ideal().is_ideal());
+        assert!(!NoiseModel::depolarizing(0.01, 0.02).is_ideal());
+    }
+}

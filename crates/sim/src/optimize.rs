@@ -1,0 +1,401 @@
+//! Peephole circuit optimizer.
+//!
+//! Three passes run to a fixed point:
+//! 1. drop identity gates and zero-angle constant rotations,
+//! 2. cancel adjacent inverse pairs acting on the same wires,
+//! 3. merge adjacent constant rotations of the same axis on the same wires.
+//!
+//! Two instructions are "adjacent" on a qubit timeline if no instruction
+//! touching any shared qubit sits between them.
+
+use crate::circuit::{Circuit, Instr};
+use crate::gate::{Angle, Gate};
+
+/// Statistics from one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates removed by identity/zero-rotation elimination.
+    pub removed_trivial: usize,
+    /// Gate pairs removed by inverse cancellation.
+    pub cancelled_pairs: usize,
+    /// Rotation pairs merged into one gate.
+    pub merged_rotations: usize,
+}
+
+/// Optimizes `circuit` in place and returns statistics.
+pub fn optimize(circuit: &mut Circuit) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        let before = stats;
+        stats.removed_trivial += remove_trivial(circuit);
+        stats.cancelled_pairs += cancel_inverses(circuit);
+        stats.merged_rotations += merge_rotations(circuit);
+        if stats == before {
+            break;
+        }
+    }
+    stats
+}
+
+/// Fuses runs of adjacent constant single-qubit gates on the same wire
+/// into one dense [`Gate::Unitary`]. Parameterized gates act as barriers.
+/// Returns the number of gates eliminated.
+///
+/// This is a separate pass from [`optimize`] because it trades gate count
+/// for opaque matrices — good for simulation throughput, bad for
+/// readability and parameter-shift differentiation.
+pub fn fuse_single_qubit(circuit: &mut Circuit) -> usize {
+    let instrs = circuit.instrs().to_vec();
+    let before = instrs.len();
+    let mut out: Vec<Instr> = Vec::with_capacity(before);
+    // For each qubit, the index in `out` of a fusable trailing 1q gate.
+    let mut tail: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+    for instr in instrs {
+        let fusable = instr.controls.is_empty()
+            && instr.targets.len() == 1
+            && instr.gate.angles().iter().all(|a| a.param_idx().is_none());
+        if fusable {
+            let q = instr.targets[0];
+            if let Some(prev_idx) = tail[q] {
+                // Compose: new = G · prev (prev applied first).
+                let prev_mat = out[prev_idx].gate.matrix(&[]);
+                let mat = instr.gate.matrix(&[]).matmul(&prev_mat);
+                out[prev_idx].gate = Gate::Unitary(mat);
+                continue;
+            }
+            tail[q] = Some(out.len());
+            out.push(instr);
+        } else {
+            // Any multi-qubit or parameterized gate breaks fusion on the
+            // wires it touches.
+            for q in instr.qubits() {
+                tail[q] = None;
+            }
+            out.push(instr);
+        }
+    }
+    let after = out.len();
+    circuit.set_instrs(out);
+    before - after
+}
+
+fn is_trivial(gate: &Gate) -> bool {
+    match gate {
+        Gate::I => true,
+        Gate::RX(Angle::Const(a))
+        | Gate::RY(Angle::Const(a))
+        | Gate::RZ(Angle::Const(a))
+        | Gate::P(Angle::Const(a))
+        | Gate::RZZ(Angle::Const(a))
+        | Gate::RXX(Angle::Const(a))
+        | Gate::RYY(Angle::Const(a)) => a.abs() < 1e-15,
+        _ => false,
+    }
+}
+
+fn remove_trivial(circuit: &mut Circuit) -> usize {
+    let before = circuit.len();
+    let kept: Vec<Instr> = circuit
+        .instrs()
+        .iter()
+        .filter(|i| !is_trivial(&i.gate))
+        .cloned()
+        .collect();
+    circuit.set_instrs(kept);
+    before - circuit.len()
+}
+
+/// Finds, for each instruction, the previous instruction adjacent on its
+/// wires, and removes pairs that cancel.
+fn cancel_inverses(circuit: &mut Circuit) -> usize {
+    let instrs = circuit.instrs().to_vec();
+    let mut removed = vec![false; instrs.len()];
+    let mut cancelled = 0usize;
+    // last_on[q] = index of the most recent surviving instruction touching q
+    let mut last_on: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+    for (idx, instr) in instrs.iter().enumerate() {
+        // The candidate predecessor must be the last instruction on *all*
+        // of this instruction's qubits.
+        let mut prev: Option<usize> = None;
+        let mut blocked = false;
+        for q in instr.qubits() {
+            match (prev, last_on[q]) {
+                (_, None) => {
+                    blocked = true;
+                }
+                (None, Some(p)) => prev = Some(p),
+                (Some(a), Some(b)) if a == b => {}
+                _ => {
+                    blocked = true;
+                }
+            }
+        }
+        let mut did_cancel = false;
+        if !blocked {
+            if let Some(p) = prev {
+                let cand = &instrs[p];
+                // Same wires (same controls/targets) and mutually inverse.
+                let same_wires = cand.controls == instr.controls && cand.targets == instr.targets;
+                // Also allow symmetric-wire gates (Swap/RZZ-family) with
+                // reversed target order.
+                let sym = matches!(
+                    instr.gate,
+                    Gate::Swap | Gate::RZZ(_) | Gate::RXX(_) | Gate::RYY(_)
+                ) && cand.controls == instr.controls
+                    && cand.targets.len() == 2
+                    && instr.targets.len() == 2
+                    && cand.targets[0] == instr.targets[1]
+                    && cand.targets[1] == instr.targets[0];
+                if (same_wires || sym) && cand.gate.cancels_with(&instr.gate) {
+                    removed[p] = true;
+                    removed[idx] = true;
+                    cancelled += 1;
+                    did_cancel = true;
+                    // Roll the frontier back for the wires of p: they now
+                    // point at whatever preceded p. Recomputing exactly is
+                    // O(n); for simplicity clear them (conservative: may
+                    // miss chained cancellations this pass, the fixed-point
+                    // loop catches them next pass).
+                    for q in instr.qubits() {
+                        last_on[q] = None;
+                    }
+                }
+            }
+        }
+        if !did_cancel {
+            for q in instr.qubits() {
+                last_on[q] = Some(idx);
+            }
+        }
+    }
+    let kept: Vec<Instr> = instrs
+        .into_iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(i, _)| i)
+        .collect();
+    circuit.set_instrs(kept);
+    cancelled
+}
+
+fn merge_axis(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::RX(Angle::Const(x)), Gate::RX(Angle::Const(y))) => {
+            Some(Gate::RX(Angle::Const(x + y)))
+        }
+        (Gate::RY(Angle::Const(x)), Gate::RY(Angle::Const(y))) => {
+            Some(Gate::RY(Angle::Const(x + y)))
+        }
+        (Gate::RZ(Angle::Const(x)), Gate::RZ(Angle::Const(y))) => {
+            Some(Gate::RZ(Angle::Const(x + y)))
+        }
+        (Gate::P(Angle::Const(x)), Gate::P(Angle::Const(y))) => Some(Gate::P(Angle::Const(x + y))),
+        (Gate::RZZ(Angle::Const(x)), Gate::RZZ(Angle::Const(y))) => {
+            Some(Gate::RZZ(Angle::Const(x + y)))
+        }
+        _ => None,
+    }
+}
+
+fn merge_rotations(circuit: &mut Circuit) -> usize {
+    let mut instrs = circuit.instrs().to_vec();
+    let mut merged = 0usize;
+    let mut last_on: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+    let mut removed = vec![false; instrs.len()];
+    for idx in 0..instrs.len() {
+        let qubits: Vec<usize> = instrs[idx].qubits().collect();
+        let mut prev: Option<usize> = None;
+        let mut blocked = false;
+        for &q in &qubits {
+            match (prev, last_on[q]) {
+                (_, None) => blocked = true,
+                (None, Some(p)) => prev = Some(p),
+                (Some(a), Some(b)) if a == b => {}
+                _ => blocked = true,
+            }
+        }
+        let mut did_merge = false;
+        if !blocked {
+            if let Some(p) = prev {
+                if instrs[p].controls == instrs[idx].controls
+                    && instrs[p].targets == instrs[idx].targets
+                {
+                    if let Some(g) = merge_axis(&instrs[p].gate, &instrs[idx].gate) {
+                        instrs[idx].gate = g;
+                        removed[p] = true;
+                        merged += 1;
+                        did_merge = true;
+                        for &q in &qubits {
+                            last_on[q] = Some(idx);
+                        }
+                    }
+                }
+            }
+        }
+        if !did_merge {
+            for &q in &qubits {
+                last_on[q] = Some(idx);
+            }
+        }
+    }
+    let kept: Vec<Instr> = instrs
+        .into_iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(i, _)| i)
+        .collect();
+    circuit.set_instrs(kept);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    fn equivalent(a: &Circuit, b: &Circuit) -> bool {
+        // Compare action on a handful of basis states.
+        for idx in 0..(1usize << a.n_qubits()) {
+            let mut sa = StateVector::basis(a.n_qubits(), idx);
+            let mut sb = StateVector::basis(b.n_qubits(), idx);
+            sa.run(a, &[0.3, 0.7, -0.4, 1.1]);
+            sb.run(b, &[0.3, 0.7, -0.4, 1.1]);
+            if sa.fidelity(&sb) < 1.0 - 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let stats = optimize(&mut c);
+        assert_eq!(c.len(), 0);
+        assert_eq!(stats.cancelled_pairs, 1);
+    }
+
+    #[test]
+    fn double_cx_cancels() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        optimize(&mut c);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let orig = c.clone();
+        optimize(&mut c);
+        assert_eq!(c.len(), 3, "CX touches qubit 0, blocking H·H");
+        assert!(equivalent(&orig, &c));
+    }
+
+    #[test]
+    fn gate_on_other_qubit_does_not_block() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).h(0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_rotations_removed() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.0).ry(0, 0.0).rz(0, 1.0);
+        let stats = optimize(&mut c);
+        assert_eq!(c.len(), 1);
+        assert_eq!(stats.removed_trivial, 2);
+    }
+
+    #[test]
+    fn rotations_merge_and_may_vanish() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.4).rz(0, 0.6).rz(0, -1.0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 0, "0.4+0.6-1.0 = 0 should fully cancel");
+    }
+
+    #[test]
+    fn parameterized_rotations_are_preserved() {
+        let mut c = Circuit::new(1);
+        let p = c.new_param();
+        c.rx(0, p).rx(0, p);
+        optimize(&mut c);
+        assert_eq!(c.len(), 2, "free parameters must not be merged");
+    }
+
+    #[test]
+    fn chained_cancellation_reaches_fixed_point() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn swap_with_reversed_targets_cancels() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).swap(1, 0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn fusion_collapses_single_qubit_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).rx(0, 0.4).x(1).h(1);
+        let removed = fuse_single_qubit(&mut c);
+        assert_eq!(removed, 3, "5 gates fuse into 2 dense unitaries");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).rx(1, 0.9).rz(1, -0.3).h(2).s(2).cx(1, 2).h(1);
+        let orig = c.clone();
+        fuse_single_qubit(&mut c);
+        assert!(c.len() < orig.len());
+        assert!(equivalent(&orig, &c));
+    }
+
+    #[test]
+    fn fusion_respects_parameterized_barriers() {
+        let mut c = Circuit::new(1);
+        let p = c.new_param();
+        c.h(0).ry(0, p).h(0);
+        fuse_single_qubit(&mut c);
+        assert_eq!(c.len(), 3, "free parameter must survive fusion");
+    }
+
+    #[test]
+    fn fusion_respects_entangling_barriers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        fuse_single_qubit(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        let q0 = c.new_param();
+        c.h(0)
+            .h(0)
+            .rx(1, 0.5)
+            .rx(1, -0.2)
+            .cx(0, 1)
+            .rz(2, q0)
+            .t(2)
+            .cx(0, 1)
+            .ry(1, 0.0);
+        let orig = c.clone();
+        optimize(&mut c);
+        assert!(c.len() < orig.len());
+        assert!(equivalent(&orig, &c));
+    }
+}

@@ -1,0 +1,386 @@
+//! Pauli-string observables.
+//!
+//! Observables are represented as real-weighted sums of tensor products of
+//! Pauli operators — the form every variational algorithm (VQE, QAOA,
+//! variational classifiers) consumes.
+
+use crate::statevector::StateVector;
+use qmldb_math::C64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pauli {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli operators on specific qubits (identity
+/// elsewhere). Stored sparsely and kept sorted by qubit.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    ops: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// The identity string.
+    pub fn identity() -> Self {
+        PauliString { ops: Vec::new() }
+    }
+
+    /// Builds a string from `(qubit, pauli)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a qubit appears twice.
+    pub fn new(mut ops: Vec<(usize, Pauli)>) -> Self {
+        ops.sort_by_key(|&(q, _)| q);
+        for w in ops.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "qubit {} appears twice", w[0].0);
+        }
+        PauliString { ops }
+    }
+
+    /// Single Z on `q`.
+    pub fn z(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::Z)])
+    }
+
+    /// Single X on `q`.
+    pub fn x(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::X)])
+    }
+
+    /// Single Y on `q`.
+    pub fn y(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::Y)])
+    }
+
+    /// `Z⊗Z` on a pair.
+    pub fn zz(a: usize, b: usize) -> Self {
+        PauliString::new(vec![(a, Pauli::Z), (b, Pauli::Z)])
+    }
+
+    /// The `(qubit, pauli)` factors, sorted by qubit.
+    pub fn ops(&self) -> &[(usize, Pauli)] {
+        &self.ops
+    }
+
+    /// True for the identity string.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True when every factor is Z (diagonal in the computational basis).
+    pub fn is_diagonal(&self) -> bool {
+        self.ops.iter().all(|&(_, p)| p == Pauli::Z)
+    }
+
+    /// Largest qubit index referenced, if any.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.ops.last().map(|&(q, _)| q)
+    }
+
+    /// Applies the string to a copy of `state` and returns `P|ψ⟩`.
+    pub fn apply(&self, state: &StateVector) -> StateVector {
+        let mut out = state.clone();
+        let amps = out.amplitudes_mut();
+        // X/Y flip bits; Y and Z contribute phases. Process amplitude-wise:
+        // for each basis index i, the string maps |i> to phase * |i ^ flip>.
+        let mut flip = 0usize;
+        for &(q, p) in &self.ops {
+            if p != Pauli::Z {
+                flip |= 1 << q;
+            }
+        }
+        let n = state.n_qubits();
+        debug_assert!(self.max_qubit().is_none_or(|q| q < n));
+        let src = state.amplitudes();
+        for (i, out_amp) in amps.iter_mut().enumerate() {
+            let j = i ^ flip; // source index mapping to i
+            let mut phase = C64::ONE;
+            for &(q, p) in &self.ops {
+                let bit = (j >> q) & 1;
+                match p {
+                    Pauli::X => {}
+                    Pauli::Y => {
+                        // Y|0> = i|1>, Y|1> = -i|0>
+                        phase *= if bit == 0 { C64::I } else { -C64::I };
+                    }
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            *out_amp = phase * src[j];
+        }
+        out
+    }
+
+    /// ⟨ψ|P|ψ⟩ — guaranteed real for Hermitian P; the imaginary residue is
+    /// discarded.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        if self.is_identity() {
+            return 1.0;
+        }
+        if self.is_diagonal() {
+            // Fast path: sum of ±|amp|².
+            let mut zmask = 0usize;
+            for &(q, _) in &self.ops {
+                zmask |= 1 << q;
+            }
+            return state
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let parity = ((i & zmask).count_ones() & 1) as i32;
+                    let sign = 1.0 - 2.0 * parity as f64;
+                    sign * a.norm_sqr()
+                })
+                .sum();
+        }
+        state.inner(&self.apply(state)).re
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return write!(f, "I");
+        }
+        for (i, &(q, p)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{p:?}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A real-weighted sum of Pauli strings: `H = Σ cᵢ Pᵢ`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PauliSum {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl PauliSum {
+    /// The zero observable.
+    pub fn new() -> Self {
+        PauliSum::default()
+    }
+
+    /// Builds from raw terms, merging duplicates.
+    pub fn from_terms(terms: Vec<(f64, PauliString)>) -> Self {
+        let mut merged: BTreeMap<Vec<(usize, Pauli)>, f64> = BTreeMap::new();
+        for (c, p) in terms {
+            *merged.entry(p.ops().to_vec()).or_insert(0.0) += c;
+        }
+        PauliSum {
+            terms: merged
+                .into_iter()
+                .filter(|&(_, c)| c != 0.0)
+                .map(|(ops, c)| (c, PauliString { ops }))
+                .collect(),
+        }
+    }
+
+    /// Adds a term (no merging; use [`PauliSum::from_terms`] for that).
+    pub fn push(&mut self, coeff: f64, string: PauliString) -> &mut Self {
+        self.terms.push((coeff, string));
+        self
+    }
+
+    /// The `(coefficient, string)` terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// ⟨ψ|H|ψ⟩.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms
+            .iter()
+            .map(|(c, p)| c * p.expectation(state))
+            .sum()
+    }
+
+    /// True when every term is diagonal (Z/identity only).
+    pub fn is_diagonal(&self) -> bool {
+        self.terms.iter().all(|(_, p)| p.is_diagonal())
+    }
+
+    /// For a diagonal observable, the classical energy of basis state
+    /// `index`.
+    ///
+    /// # Panics
+    /// Panics when the sum is not diagonal.
+    pub fn diagonal_energy(&self, index: usize) -> f64 {
+        assert!(self.is_diagonal(), "observable is not diagonal");
+        self.terms
+            .iter()
+            .map(|(c, p)| {
+                let mut zmask = 0usize;
+                for &(q, _) in p.ops() {
+                    zmask |= 1 << q;
+                }
+                let parity = ((index & zmask).count_ones() & 1) as i32;
+                c * (1.0 - 2.0 * parity as f64)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn prepared(c: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        s.run(c, &[]);
+        s
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let s0 = StateVector::zero(1);
+        assert!((PauliString::z(0).expectation(&s0) - 1.0).abs() < 1e-12);
+        let s1 = StateVector::basis(1, 1);
+        assert!((PauliString::z(0).expectation(&s1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = prepared(&c);
+        assert!((PauliString::x(0).expectation(&s) - 1.0).abs() < 1e-12);
+        assert!(PauliString::z(0).expectation(&s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_circular_state() {
+        let mut c = Circuit::new(1);
+        c.h(0).s(0); // |+i> state
+        let s = prepared(&c);
+        assert!((PauliString::y(0).expectation(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_correlation_in_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = prepared(&c);
+        assert!((PauliString::zz(0, 1).expectation(&s) - 1.0).abs() < 1e-12);
+        // Singlet-like anti-correlation after X on one side.
+        let mut c2 = Circuit::new(2);
+        c2.h(0).cx(0, 1).x(1);
+        let s2 = prepared(&c2);
+        assert!((PauliString::zz(0, 1).expectation(&s2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xx_correlation_in_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = prepared(&c);
+        let xx = PauliString::new(vec![(0, Pauli::X), (1, Pauli::X)]);
+        assert!((xx.expectation(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_is_involution_for_pauli_strings() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2).ry(2, 0.9);
+        let s = prepared(&c);
+        let p = PauliString::new(vec![(0, Pauli::X), (1, Pauli::Y), (2, Pauli::Z)]);
+        let twice = p.apply(&p.apply(&s));
+        assert!(twice.fidelity(&s) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn expectation_matches_apply_inner_product() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 0.7).cx(0, 1).rz(1, 0.4);
+        let s = prepared(&c);
+        let p = PauliString::new(vec![(0, Pauli::Z), (1, Pauli::Z)]);
+        let via_fast = p.expectation(&s);
+        let via_apply = s.inner(&p.apply(&s)).re;
+        assert!((via_fast - via_apply).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_sum_linear_combination() {
+        let s = StateVector::zero(2);
+        let h = PauliSum::from_terms(vec![
+            (0.5, PauliString::z(0)),
+            (-1.5, PauliString::z(1)),
+            (2.0, PauliString::identity()),
+        ]);
+        // <Z0> = <Z1> = 1 on |00>.
+        assert!((h.expectation(&s) - (0.5 - 1.5 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_terms_merges_duplicates() {
+        let h = PauliSum::from_terms(vec![
+            (1.0, PauliString::z(0)),
+            (2.0, PauliString::z(0)),
+            (-3.0, PauliString::z(0)),
+        ]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn diagonal_energy_matches_expectation_on_basis_states() {
+        let h = PauliSum::from_terms(vec![
+            (1.0, PauliString::z(0)),
+            (0.5, PauliString::zz(0, 1)),
+            (-0.25, PauliString::identity()),
+        ]);
+        for idx in 0..4 {
+            let s = StateVector::basis(2, idx);
+            assert!(
+                (h.diagonal_energy(idx) - h.expectation(&s)).abs() < 1e-12,
+                "index {idx}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not diagonal")]
+    fn diagonal_energy_rejects_x_terms() {
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::x(0))]);
+        h.diagonal_energy(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_qubit_in_string_panics() {
+        PauliString::new(vec![(0, Pauli::X), (0, Pauli::Z)]);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let p = PauliString::new(vec![(2, Pauli::Z), (0, Pauli::X)]);
+        assert_eq!(p.to_string(), "X0·Z2");
+        assert_eq!(PauliString::identity().to_string(), "I");
+    }
+}

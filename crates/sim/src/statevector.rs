@@ -1,0 +1,555 @@
+//! State-vector simulation engine.
+//!
+//! Amplitudes are stored with qubit 0 as the **least significant bit** of
+//! the basis index (the Qiskit convention). All gate application routines
+//! preserve the 2-norm up to floating-point rounding; this invariant is
+//! enforced by property tests.
+
+use crate::circuit::{Circuit, Instr};
+use qmldb_math::{C64, CMatrix, Rng64};
+
+/// A pure quantum state on `n` qubits as 2ⁿ complex amplitudes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state |0…0⟩.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 30, "refusing to allocate a state for {n} qubits");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// The computational basis state |index⟩.
+    pub fn basis(n: usize, index: usize) -> Self {
+        let mut s = StateVector::zero(n);
+        s.amps[0] = C64::ZERO;
+        s.amps[index] = C64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of two or the norm is zero.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(
+            amps.len().is_power_of_two() && !amps.is_empty(),
+            "amplitude count must be a power of two"
+        );
+        let n = amps.len().trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "cannot normalize the zero vector");
+        let amps = amps.into_iter().map(|a| a / norm).collect();
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable amplitudes (norm is the caller's responsibility).
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// ⟨self|other⟩.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n, other.n, "inner: qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity |⟨self|other⟩|².
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// 2-norm of the state (should always be 1).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Applies every instruction of `circuit` with angles resolved against
+    /// `params`.
+    pub fn run(&mut self, circuit: &Circuit, params: &[f64]) {
+        assert_eq!(self.n, circuit.n_qubits(), "circuit qubit count mismatch");
+        assert!(
+            params.len() >= circuit.n_params(),
+            "circuit needs {} params, got {}",
+            circuit.n_params(),
+            params.len()
+        );
+        for instr in circuit.instrs() {
+            self.apply(instr, params);
+        }
+    }
+
+    /// Applies a single instruction.
+    pub fn apply(&mut self, instr: &Instr, params: &[f64]) {
+        // Diagonal fast path: RZZ without controls is the workhorse of
+        // QAOA circuits; applying its four phases amplitude-wise avoids
+        // the generic gather/scatter kernel entirely.
+        if instr.controls.is_empty() {
+            if let crate::gate::Gate::RZZ(angle) = &instr.gate {
+                let th = angle.resolve(params) / 2.0;
+                let plus = C64::cis(th);
+                let minus = C64::cis(-th);
+                let ba = 1usize << instr.targets[0];
+                let bb = 1usize << instr.targets[1];
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    let parity = ((i & ba != 0) as u8) ^ ((i & bb != 0) as u8);
+                    *a *= if parity == 1 { plus } else { minus };
+                }
+                return;
+            }
+        }
+        let mat = instr.gate.matrix(params);
+        if instr.targets.len() == 1 {
+            let m = [
+                [mat[(0, 0)], mat[(0, 1)]],
+                [mat[(1, 0)], mat[(1, 1)]],
+            ];
+            self.apply_1q(instr.targets[0], &instr.controls, &m);
+        } else {
+            self.apply_kq(&mat, &instr.targets, &instr.controls);
+        }
+    }
+
+    /// Fast path: (controlled) single-qubit gate.
+    fn apply_1q(&mut self, target: usize, controls: &[usize], m: &[[C64; 2]; 2]) {
+        let bit = 1usize << target;
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let dim = self.amps.len();
+        // Iterate over pairs (i, i|bit) with the target bit of i clear.
+        let mut i = 0usize;
+        while i < dim {
+            if i & bit != 0 {
+                // Skip the whole block where the target bit is set.
+                i += bit;
+                continue;
+            }
+            if i & cmask == cmask {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            i += 1;
+        }
+    }
+
+    /// General path: a dense unitary on `k` target qubits with optional
+    /// controls.
+    fn apply_kq(&mut self, mat: &CMatrix, targets: &[usize], controls: &[usize]) {
+        let k = targets.len();
+        let dim = 1usize << k;
+        debug_assert_eq!(mat.rows(), dim);
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
+
+        // Precompute the scatter offsets of each sub-index once.
+        let mut offsets = vec![0usize; dim];
+        for (b, off) in offsets.iter_mut().enumerate() {
+            for (t, &tq) in targets.iter().enumerate() {
+                if b & (1 << t) != 0 {
+                    *off |= 1 << tq;
+                }
+            }
+        }
+        // Enumerate all indices with target bits clear by counting through
+        // the complement positions.
+        let n_outer = self.amps.len() >> k;
+        let mut scratch = vec![C64::ZERO; dim];
+        let mut transformed = vec![C64::ZERO; dim];
+        let mat_data = mat.as_slice();
+        for outer in 0..n_outer {
+            // Spread `outer` bits into the non-target positions.
+            let mut base = 0usize;
+            let mut rem = outer;
+            let mut pos = 0usize;
+            while rem != 0 || pos < self.n {
+                if pos >= self.n {
+                    break;
+                }
+                let b = 1usize << pos;
+                if tmask & b == 0 {
+                    if rem & 1 != 0 {
+                        base |= b;
+                    }
+                    rem >>= 1;
+                }
+                pos += 1;
+            }
+            if base & cmask != cmask {
+                continue;
+            }
+            // Gather, transform, scatter — no per-iteration allocation.
+            for (s, &off) in scratch.iter_mut().zip(&offsets) {
+                *s = self.amps[base | off];
+            }
+            for (row, out) in transformed.iter_mut().enumerate() {
+                let mut acc = C64::ZERO;
+                let mrow = &mat_data[row * dim..(row + 1) * dim];
+                for (m, s) in mrow.iter().zip(&scratch) {
+                    acc += *m * *s;
+                }
+                *out = acc;
+            }
+            for (v, &off) in transformed.iter().zip(&offsets) {
+                self.amps[base | off] = *v;
+            }
+        }
+    }
+
+    /// Samples `shots` measurement outcomes of all qubits without
+    /// collapsing the state. Returns raw basis indices.
+    pub fn sample(&self, shots: usize, rng: &mut Rng64) -> Vec<usize> {
+        // Cumulative distribution + binary search per shot.
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        let total = acc;
+        (0..shots)
+            .map(|_| {
+                let u = rng.uniform() * total;
+                match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+                    Ok(i) | Err(i) => i.min(self.amps.len() - 1),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples and histograms `shots` outcomes: map basis-index → count.
+    pub fn sample_counts(&self, shots: usize, rng: &mut Rng64) -> std::collections::HashMap<usize, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for outcome in self.sample(shots, rng) {
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state. Returns the
+    /// observed bit.
+    pub fn measure(&mut self, q: usize, rng: &mut Rng64) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.chance(p1);
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Forces qubit `q` into `outcome` (post-selection), renormalizing.
+    ///
+    /// # Panics
+    /// Panics if the requested outcome has (numerically) zero probability.
+    pub fn collapse(&mut self, q: usize, outcome: bool) {
+        let bit = 1usize << q;
+        let keep = if outcome { bit } else { 0 };
+        let mut norm_sqr = 0.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & bit == keep {
+                norm_sqr += a.norm_sqr();
+            } else {
+                *a = C64::ZERO;
+            }
+        }
+        assert!(
+            norm_sqr > 1e-300,
+            "collapse onto zero-probability outcome"
+        );
+        let scale = 1.0 / norm_sqr.sqrt();
+        for a in self.amps.iter_mut() {
+            *a = a.scale(scale);
+        }
+    }
+
+    /// The reduced probability distribution over a subset of qubits.
+    pub fn marginal(&self, qubits: &[usize]) -> Vec<f64> {
+        let k = qubits.len();
+        let mut probs = vec![0.0; 1usize << k];
+        for (i, a) in self.amps.iter().enumerate() {
+            let mut sub = 0usize;
+            for (b, &q) in qubits.iter().enumerate() {
+                if i & (1 << q) != 0 {
+                    sub |= 1 << b;
+                }
+            }
+            probs[sub] += a.norm_sqr();
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn run(c: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(c.n_qubits());
+        s.run(c, &[]);
+        s
+    }
+
+    #[test]
+    fn zero_state_is_deterministic() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.probabilities()[0], 1.0);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_flips_bit() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = run(&c);
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_makes_uniform_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = run(&c);
+        assert!(s.amplitudes()[0].approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(s.amplitudes()[1].approx_eq(C64::real(FRAC_1_SQRT_2), 1e-12));
+    }
+
+    #[test]
+    fn bell_state_has_correct_correlations() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = run(&c);
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01].abs() < 1e-12);
+        assert!(p[0b10].abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_on_four_qubits() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        for q in 0..3 {
+            c.cx(q, q + 1);
+        }
+        let s = run(&c);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[0b1111] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0..8usize {
+            let mut s = StateVector::basis(3, input);
+            let mut c = Circuit::new(3);
+            c.ccx(0, 1, 2);
+            s.run(&c, &[]);
+            let expected = if input & 0b011 == 0b011 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert!(
+                (s.probabilities()[expected] - 1.0).abs() < 1e-12,
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut s = StateVector::basis(2, 0b01);
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        s.run(&c, &[]);
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cswap_only_acts_when_control_set() {
+        let mut c = Circuit::new(3);
+        c.cswap(0, 1, 2);
+        // Control clear: |010> stays.
+        let mut s = StateVector::basis(3, 0b010);
+        s.run(&c, &[]);
+        assert!((s.probabilities()[0b010] - 1.0).abs() < 1e-12);
+        // Control set: |011> -> |101>.
+        let mut s = StateVector::basis(3, 0b011);
+        s.run(&c, &[]);
+        assert!((s.probabilities()[0b101] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2).rzz(1, 2, 0.7).ry(0, 1.2).ccx(0, 1, 2);
+        let mut s = StateVector::zero(3);
+        s.run(&c, &[]);
+        s.run(&c.inverse(), &[]);
+        let expect = StateVector::zero(3);
+        assert!(s.fidelity(&expect) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn norm_is_preserved_through_deep_circuit() {
+        let mut c = Circuit::new(4);
+        for layer in 0..10 {
+            for q in 0..4 {
+                c.ry(q, 0.3 * layer as f64 + q as f64);
+            }
+            for q in 0..3 {
+                c.cx(q, q + 1);
+            }
+        }
+        let s = run(&c);
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn prob_one_matches_probabilities() {
+        let mut c = Circuit::new(2);
+        c.ry(0, 1.0).cx(0, 1);
+        let s = run(&c);
+        let p = s.probabilities();
+        let expect = p[0b01] + p[0b11];
+        assert!((s.prob_one(0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.ry(0, 1.0); // p1 = sin^2(0.5) ≈ 0.2298
+        let s = run(&c);
+        let mut rng = Rng64::new(77);
+        let shots = 100_000;
+        let ones = s
+            .sample(shots, &mut rng)
+            .into_iter()
+            .filter(|&o| o == 1)
+            .count();
+        let freq = ones as f64 / shots as f64;
+        assert!((freq - 0.5f64.sin().powi(2)).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn measure_collapses_consistently() {
+        let mut rng = Rng64::new(5);
+        for _ in 0..20 {
+            let mut c = Circuit::new(2);
+            c.h(0).cx(0, 1);
+            let mut s = StateVector::zero(2);
+            s.run(&c, &[]);
+            let b0 = s.measure(0, &mut rng);
+            let b1 = s.measure(1, &mut rng);
+            assert_eq!(b0, b1, "Bell measurement must correlate");
+        }
+    }
+
+    #[test]
+    fn collapse_post_selects() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut s = StateVector::zero(2);
+        s.run(&c, &[]);
+        s.collapse(0, true);
+        assert!((s.probabilities()[0b11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_distribution() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1); // qubit 2 stays |0>
+        let s = run(&c);
+        let m = s.marginal(&[2]);
+        assert!((m[0] - 1.0).abs() < 1e-12);
+        let m01 = s.marginal(&[0, 1]);
+        assert!((m01[0b00] - 0.5).abs() < 1e-12);
+        assert!((m01[0b11] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameterized_run_uses_params() {
+        let mut c = Circuit::new(1);
+        let p = c.new_param();
+        c.ry(0, p);
+        let mut s = StateVector::zero(1);
+        s.run(&c, &[std::f64::consts::PI]);
+        assert!((s.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![
+            C64::real(3.0),
+            C64::real(0.0),
+            C64::real(4.0),
+            C64::real(0.0),
+        ]);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        assert!((s.probabilities()[0] - 0.36).abs() < 1e-12);
+        assert!((s.probabilities()[2] - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcz_applies_phase_only_on_all_ones() {
+        let mut c = Circuit::new(3);
+        c.mcz(&[0, 1], 2);
+        let mut s = StateVector::from_amplitudes(vec![C64::real(1.0); 8]);
+        s.run(&c, &[]);
+        for (i, a) in s.amplitudes().iter().enumerate() {
+            let expected = if i == 0b111 { -1.0 } else { 1.0 };
+            assert!(
+                a.approx_eq(C64::real(expected / 8f64.sqrt()), 1e-12),
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_unitary_gate_applies() {
+        use crate::gate::Gate;
+        // A 2-qubit unitary: the SWAP matrix via Gate::Unitary.
+        let swap = Gate::Swap.matrix(&[]);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Unitary(swap), vec![], vec![0, 1]);
+        let mut s = StateVector::basis(2, 0b01);
+        s.run(&c, &[]);
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+}

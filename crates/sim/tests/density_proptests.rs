@@ -1,0 +1,120 @@
+//! Property-based tests for the density-matrix engine: CPTP invariants
+//! that must hold for arbitrary circuits and channels.
+
+use proptest::prelude::*;
+use qmldb_sim::{Channel, Circuit, DensityMatrix, Simulator, StateVector};
+
+#[derive(Clone, Debug)]
+enum Op {
+    H(usize),
+    X(usize),
+    RY(usize, f64),
+    RZ(usize, f64),
+    CX(usize, usize),
+    CZ(usize, usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    let ang = -3.0..3.0f64;
+    prop_oneof![
+        (0..n).prop_map(Op::H),
+        (0..n).prop_map(Op::X),
+        (0..n, ang.clone()).prop_map(|(q, t)| Op::RY(q, t)),
+        (0..n, ang).prop_map(|(q, t)| Op::RZ(q, t)),
+        (0..n, 0..n - 1).prop_map(|(a, b)| Op::CX(a, if b >= a { b + 1 } else { b })),
+        (0..n, 0..n - 1).prop_map(|(a, b)| Op::CZ(a, if b >= a { b + 1 } else { b })),
+    ]
+}
+
+fn build(n: usize, ops: &[Op]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for op in ops {
+        match *op {
+            Op::H(q) => c.h(q),
+            Op::X(q) => c.x(q),
+            Op::RY(q, t) => c.ry(q, t),
+            Op::RZ(q, t) => c.rz(q, t),
+            Op::CX(a, b) => c.cx(a, b),
+            Op::CZ(a, b) => c.cz(a, b),
+        };
+    }
+    c
+}
+
+fn channel_strategy() -> impl Strategy<Value = Channel> {
+    prop_oneof![
+        (0.0..1.0f64).prop_map(Channel::Depolarizing),
+        (0.0..1.0f64).prop_map(Channel::BitFlip),
+        (0.0..1.0f64).prop_map(Channel::PhaseFlip),
+        (0.0..1.0f64).prop_map(Channel::AmplitudeDamping),
+        (0.0..1.0f64).prop_map(Channel::PhaseDamping),
+    ]
+}
+
+const N: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unitary_evolution_matches_statevector(
+        ops in prop::collection::vec(op_strategy(N), 0..20),
+    ) {
+        let c = build(N, &ops);
+        let mut sv = StateVector::zero(N);
+        sv.run(&c, &[]);
+        let mut dm = DensityMatrix::zero(N);
+        dm.run(&c, &[]);
+        prop_assert!((dm.fidelity_pure(&sv) - 1.0).abs() < 1e-8);
+        prop_assert!((dm.purity() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn channels_preserve_trace_and_bound_purity(
+        ops in prop::collection::vec(op_strategy(N), 0..12),
+        ch in channel_strategy(),
+        target in 0usize..N,
+    ) {
+        let c = build(N, &ops);
+        let mut dm = DensityMatrix::zero(N);
+        dm.run(&c, &[]);
+        dm.apply_kraus(&ch.kraus(), &[target]);
+        prop_assert!((dm.trace() - 1.0).abs() < 1e-8, "trace {}", dm.trace());
+        let p = dm.purity();
+        let floor = 1.0 / (1 << N) as f64;
+        prop_assert!(p <= 1.0 + 1e-8 && p >= floor - 1e-8, "purity {p}");
+        // Probabilities form a distribution.
+        let probs = dm.probabilities();
+        prop_assert!(probs.iter().all(|&v| v >= -1e-9));
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn noise_never_increases_purity(
+        ops in prop::collection::vec(op_strategy(N), 0..12),
+        p in 0.0..0.5f64,
+        target in 0usize..N,
+    ) {
+        let c = build(N, &ops);
+        let mut dm = DensityMatrix::zero(N);
+        dm.run(&c, &[]);
+        let before = dm.purity();
+        dm.apply_kraus(&Channel::Depolarizing(p).kraus(), &[target]);
+        prop_assert!(dm.purity() <= before + 1e-9);
+    }
+
+    #[test]
+    fn noisy_expectations_are_contracted_toward_zero(
+        ops in prop::collection::vec(op_strategy(N), 0..10),
+        q in 0usize..N,
+    ) {
+        use qmldb_sim::{NoiseModel, PauliString, PauliSum};
+        let c = build(N, &ops);
+        let h = PauliSum::from_terms(vec![(1.0, PauliString::z(q))]);
+        let clean = Simulator::new().expectation(&c, &[], &h);
+        let noisy = Simulator::with_noise(NoiseModel::depolarizing(0.1, 0.1))
+            .expectation(&c, &[], &h);
+        prop_assert!(noisy.abs() <= clean.abs() + 1e-8,
+            "noise amplified <Z{q}>: {clean} -> {noisy}");
+    }
+}

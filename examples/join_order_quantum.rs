@@ -1,0 +1,91 @@
+//! Join ordering with the full quantum toolbox.
+//!
+//! Encodes a join-ordering instance as a QUBO and attacks it four ways —
+//! exact DP (classical floor), greedy GOO, simulated annealing, and
+//! path-integral simulated *quantum* annealing — then shows the gate-model
+//! QAOA route on a 4-relation instance (16 qubits) and the Chimera
+//! embedding cost of deploying the same QUBO on annealer hardware.
+//!
+//! Run with: `cargo run --example join_order_quantum --release`
+
+use qmldb::anneal::embed::{clique_embedding, complete_graph_edges, Chimera};
+use qmldb::anneal::{
+    simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
+};
+use qmldb::db::joinorder::{goo, optimize_left_deep, CostModel};
+use qmldb::db::query::{generate, Topology};
+use qmldb::db::qubo_jo::JoinOrderQubo;
+use qmldb::math::Rng64;
+use qmldb::qml::qaoa::Qaoa;
+
+fn main() {
+    let mut rng = Rng64::new(7);
+    let n = 8;
+    let g = generate(Topology::Cycle, n, &mut rng);
+    println!("query: {n}-relation cycle, cardinalities {:?}", g.cardinalities());
+
+    let exact = optimize_left_deep(&g, CostModel::Cout);
+    println!("exact DP      : cost {:.3e}", exact.cost);
+
+    let (_, goo_cost) = goo(&g, CostModel::Cout);
+    println!("greedy GOO    : cost {goo_cost:.3e} ({:.2}x)", goo_cost / exact.cost);
+
+    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+    println!("QUBO encoding : {} binary variables", jo.n_vars());
+    let ising = jo.qubo().to_ising();
+
+    let sa = simulated_annealing(
+        &ising,
+        &SaParams { sweeps: 2500, restarts: 5, ..SaParams::default() },
+        &mut rng,
+    );
+    let sa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sa.spins)), &g, CostModel::Cout);
+    println!("SA on QUBO    : cost {sa_cost:.3e} ({:.2}x)", sa_cost / exact.cost);
+
+    let sqa = simulated_quantum_annealing(
+        &ising,
+        &SqaParams {
+            sweeps: 1200,
+            replicas: 16,
+            restarts: 3,
+            temperature_factor: 0.01,
+            ..SqaParams::default()
+        },
+        &mut rng,
+    );
+    let sqa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), &g, CostModel::Cout);
+    println!("SQA on QUBO   : cost {sqa_cost:.3e} ({:.2}x)", sqa_cost / exact.cost);
+
+    // Gate-model QAOA fits a 4-relation instance (16 qubits).
+    let g4 = generate(Topology::Chain, 4, &mut rng);
+    let exact4 = optimize_left_deep(&g4, CostModel::Cout);
+    let jo4 = JoinOrderQubo::encode(&g4, JoinOrderQubo::auto_penalty(&g4));
+    let ising4 = jo4.qubo().to_ising();
+    let qaoa = Qaoa::from_ising(
+        jo4.n_vars(),
+        ising4.fields(),
+        ising4.couplings(),
+        ising4.offset(),
+        2,
+    );
+    let r = qaoa.solve_spsa(150, 2, 1024, &mut rng);
+    let bits: Vec<bool> = (0..jo4.n_vars()).map(|i| r.best_bitstring & (1 << i) != 0).collect();
+    let qaoa_cost = jo4.true_cost(&jo4.decode(&bits), &g4, CostModel::Cout);
+    println!(
+        "QAOA p=2 (4 rels, 16 qubits): cost {qaoa_cost:.3e} ({:.2}x exact)",
+        qaoa_cost / exact4.cost
+    );
+
+    // What deploying the 8-relation QUBO on Chimera hardware costs.
+    let logical = jo.n_vars();
+    let m = logical.div_ceil(4);
+    let fabric = Chimera::new(m);
+    if let Some(e) = clique_embedding(logical, &fabric) {
+        e.validate(&fabric, &complete_graph_edges(logical)).unwrap();
+        println!(
+            "Chimera C({m}) deployment: {logical} logical -> {} physical qubits (max chain {})",
+            e.physical_qubits(),
+            e.max_chain_length()
+        );
+    }
+}

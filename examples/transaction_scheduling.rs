@@ -1,0 +1,58 @@
+//! Conflict-aware transaction scheduling on a simulated annealer.
+//!
+//! Generates a batch of transactions with read/write conflicts, schedules
+//! them onto parallel slots with greedy, exhaustive, and annealed-QUBO
+//! solvers, and prints the schedules side by side.
+//!
+//! Run with: `cargo run --example transaction_scheduling --release`
+
+use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
+use qmldb::db::txsched::{generate_instance, TxSchedule};
+use qmldb::math::Rng64;
+
+fn show(label: &str, schedule: &TxSchedule, assignment: &[usize]) {
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); schedule.n_slots];
+    for (t, &s) in assignment.iter().enumerate() {
+        slots[s].push(t);
+    }
+    println!(
+        "{label:<12} conflict cost {:>6.1}   slots {:?}",
+        schedule.conflict_cost(assignment),
+        slots
+    );
+}
+
+fn main() {
+    let mut rng = Rng64::new(13);
+    let schedule = generate_instance(9, 3, 0.45, &mut rng);
+    println!(
+        "{} transactions, {} slots, {} weighted conflicts\n",
+        schedule.n_tx,
+        schedule.n_slots,
+        schedule.conflicts.len()
+    );
+    for &(i, j, w) in &schedule.conflicts {
+        println!("  conflict T{i} <-> T{j} (weight {w})");
+    }
+    println!();
+
+    let (greedy, _) = schedule.solve_greedy();
+    show("greedy", &schedule, &greedy);
+
+    let (exact, _) = schedule.solve_exhaustive();
+    show("exhaustive", &schedule, &exact);
+
+    let q = schedule.to_qubo(schedule.auto_penalty());
+    let r = simulated_annealing(
+        &q.to_ising(),
+        &SaParams { sweeps: 3000, restarts: 6, ..SaParams::default() },
+        &mut rng,
+    );
+    let annealed = schedule.decode(&spins_to_bits(&r.spins));
+    show("annealed", &schedule, &annealed);
+
+    println!(
+        "\nannealed/exact conflict ratio: {:.2}",
+        (schedule.conflict_cost(&annealed) + 1e-9) / (schedule.conflict_cost(&exact) + 1e-9)
+    );
+}

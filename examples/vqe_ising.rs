@@ -1,0 +1,30 @@
+//! VQE on the transverse-field Ising chain.
+//!
+//! Estimates the ground-state energy variationally and compares it with
+//! exact diagonalization across the phase diagram (field strength sweep).
+//!
+//! Run with: `cargo run --example vqe_ising --release`
+
+use qmldb::math::Rng64;
+use qmldb::qml::ansatz::{hardware_efficient, Entanglement};
+use qmldb::qml::vqe::{exact_ground_energy, transverse_field_ising, Vqe};
+
+fn main() {
+    let n = 4;
+    let mut rng = Rng64::new(19);
+    println!("transverse-field Ising chain, {n} spins: H = -Σ ZZ - g Σ X\n");
+    println!("{:>6}  {:>12}  {:>12}  {:>10}", "g", "VQE energy", "exact", "rel err");
+    for &g in &[0.2, 0.5, 1.0, 1.5, 2.0] {
+        let h = transverse_field_ising(n, 1.0, g);
+        let exact = exact_ground_energy(&h, n);
+        let ansatz = hardware_efficient(n, 2, Entanglement::Linear);
+        let vqe = Vqe::new(h, ansatz);
+        let r = vqe.run(120, 2, &mut rng);
+        println!(
+            "{g:>6.2}  {:>12.6}  {exact:>12.6}  {:>9.2e}",
+            r.energy,
+            (r.energy - exact).abs() / exact.abs()
+        );
+    }
+    println!("\nVQE tracks the exact ground energy through the g=1 critical point.");
+}

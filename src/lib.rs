@@ -1,0 +1,8 @@
+//! qmldb facade crate: re-exports the whole workspace.
+
+pub use qmldb_anneal as anneal;
+pub use qmldb_core as qml;
+pub use qmldb_db as db;
+pub use qmldb_math as math;
+pub use qmldb_ml as ml;
+pub use qmldb_sim as sim;

@@ -1,0 +1,103 @@
+//! Cross-crate integration: algorithm outputs against closed-form theory.
+
+use qmldb::math::{Matrix, Rng64};
+use qmldb::qml::amplitude::{estimate_amplitude, exact_count};
+use qmldb::qml::grover::{grover_search, optimal_iterations};
+use qmldb::qml::linear::{classical_solution, hhl_solve, solution_fidelity, HhlConfig};
+use qmldb::qml::qft::qft;
+use qmldb::sim::{Simulator, StateVector};
+
+#[test]
+fn grover_success_matches_sin_formula() {
+    // After k iterations: P(success) = sin²((2k+1)θ), sinθ = √(M/N).
+    let n = 7usize;
+    let marked = 3usize;
+    let oracle = |x: usize| x < marked;
+    let theta = ((marked as f64 / (1 << n) as f64).sqrt()).asin();
+    let mut rng = Rng64::new(3301);
+    for k in [0usize, 1, 2, 4, 8] {
+        let r = grover_search(n, &oracle, k, &mut rng);
+        let predicted = ((2 * k + 1) as f64 * theta).sin().powi(2);
+        assert!(
+            (r.success_probability - predicted).abs() < 1e-9,
+            "k={k}: {} vs {predicted}",
+            r.success_probability
+        );
+    }
+    let _ = optimal_iterations(1 << n, marked);
+}
+
+#[test]
+fn amplitude_estimation_error_beats_direct_sampling_at_equal_oracle_budget() {
+    let n = 8usize;
+    let oracle = |x: usize| x % 16 == 1; // a = 1/16
+    let truth = exact_count(n, &oracle) as f64 / (1 << n) as f64;
+    let mut ae_err = 0.0;
+    let mut mc_err = 0.0;
+    let reps = 6;
+    for s in 0..reps {
+        let mut rng = Rng64::new(3303 + s);
+        let ae = estimate_amplitude(n, &oracle, 6, 64, &mut rng);
+        ae_err += (ae.amplitude - truth).abs() / reps as f64;
+        // Monte-Carlo with the same number of oracle evaluations.
+        let budget = ae.oracle_calls.max(ae.shots);
+        let hits = (0..budget).filter(|_| oracle(rng.index(1 << n))).count();
+        mc_err += (hits as f64 / budget as f64 - truth).abs() / reps as f64;
+    }
+    assert!(
+        ae_err < mc_err,
+        "AE mean error {ae_err} vs MC mean error {mc_err}"
+    );
+}
+
+#[test]
+fn qft_output_matches_classical_dft_of_input_amplitudes() {
+    // QFT on a superposition = DFT of the amplitude vector.
+    let k = 4usize;
+    let dim = 1usize << k;
+    let mut rng = Rng64::new(3305);
+    let amps: Vec<qmldb::math::C64> = (0..dim)
+        .map(|_| qmldb::math::C64::new(rng.normal(), rng.normal()))
+        .collect();
+    let mut s = StateVector::from_amplitudes(amps.clone());
+    let input = s.amplitudes().to_vec();
+    s.run(&qft(k), &[]);
+    for out_idx in 0..dim {
+        let mut expect = qmldb::math::C64::ZERO;
+        for (j, a) in input.iter().enumerate() {
+            expect += *a * qmldb::math::C64::cis(
+                std::f64::consts::TAU * (j * out_idx) as f64 / dim as f64,
+            );
+        }
+        expect = expect / (dim as f64).sqrt();
+        assert!(
+            s.amplitudes()[out_idx].approx_eq(expect, 1e-9),
+            "bin {out_idx}"
+        );
+    }
+}
+
+#[test]
+fn hhl_agrees_with_lu_solver_direction() {
+    let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+    let b = [1.0, -2.0];
+    let quantum = hhl_solve(&a, &b, &HhlConfig { clock_bits: 7, c_scale: 0.6 }).unwrap();
+    let classical = classical_solution(&a, &b).unwrap();
+    let f = solution_fidelity(&quantum.solution, &classical);
+    assert!(f > 0.999, "fidelity {f}");
+}
+
+#[test]
+fn noisy_simulation_interpolates_to_maximally_mixed() {
+    use qmldb::sim::{Circuit, NoiseModel};
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    for _ in 0..6 {
+        c.x(0).x(0); // pad circuit volume to accumulate noise
+    }
+    let heavy = Simulator::with_noise(NoiseModel::depolarizing(0.3, 0.3));
+    let rho = heavy.run_density(&c, &[]);
+    // Strong depolarization drives purity toward 1/4 (2 qubits).
+    assert!(rho.purity() < 0.4, "purity {}", rho.purity());
+    assert!((rho.trace() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,77 @@
+//! Cross-crate integration: the QML stack end to end through the `qmldb`
+//! facade.
+
+use qmldb::math::Rng64;
+use qmldb::ml::{dataset, Kernel, LogReg, LogRegParams, Svm, SvmParams};
+use qmldb::qml::kernel::{FeatureMap, QuantumKernel};
+use qmldb::qml::qsvm::{KernelMode, Qsvm};
+use qmldb::qml::vqc::{GradMethod, Vqc, VqcConfig};
+
+#[test]
+fn qsvm_pipeline_beats_chance_and_matches_classical_on_moons() {
+    let mut rng = Rng64::new(3001);
+    let d = dataset::two_moons(80, 0.12, &mut rng).rescaled(0.0, std::f64::consts::PI);
+    let (train, test) = d.split(0.6, &mut rng);
+    let params = SvmParams { c: 5.0, ..SvmParams::default() };
+
+    let q = Qsvm::train(
+        QuantumKernel::new(6, FeatureMap::MultiScale { copies: 3 }),
+        train.x.clone(),
+        train.y.clone(),
+        KernelMode::Exact,
+        &params,
+        &mut rng,
+    );
+    let rbf = Svm::train(
+        train.x.clone(),
+        train.y.clone(),
+        Kernel::Rbf { gamma: 2.0 },
+        &params,
+        &mut rng,
+    );
+    let qa = q.accuracy(&test.x, &test.y);
+    let ca = rbf.accuracy(&test.x, &test.y);
+    assert!(qa >= 0.85, "quantum kernel test accuracy {qa}");
+    assert!(qa >= ca - 0.15, "quantum {qa} should be near classical {ca}");
+}
+
+#[test]
+fn vqc_solves_xor_where_linear_model_fails() {
+    let mut rng = Rng64::new(3003);
+    let d = dataset::xor(48, 0.2, &mut rng).rescaled(0.0, std::f64::consts::PI);
+    let vqc = Vqc::train(
+        VqcConfig {
+            n_qubits: 2,
+            layers: 3,
+            feature_map: FeatureMap::Angle,
+            epochs: 60,
+            lr: 0.15,
+            grad: GradMethod::ParameterShift,
+            reupload: false,
+        },
+        &d.x,
+        &d.y,
+        &mut rng,
+    );
+    let logreg = LogReg::train(&d.x, &d.y, &LogRegParams::default());
+    let vqc_acc = vqc.accuracy(&d.x, &d.y);
+    let lin_acc = logreg.accuracy(&d.x, &d.y);
+    assert!(vqc_acc >= 0.8, "VQC accuracy {vqc_acc}");
+    assert!(lin_acc <= 0.75, "logreg should fail XOR, got {lin_acc}");
+}
+
+#[test]
+fn sampled_kernel_gram_is_close_to_exact() {
+    let mut rng = Rng64::new(3005);
+    let d = dataset::circles(16, 0.05, &mut rng).rescaled(0.0, std::f64::consts::PI);
+    let k = QuantumKernel::new(2, FeatureMap::ZZ { reps: 1 });
+    let exact = k.gram(&d.x);
+    let sampled = k.gram_sampled(&d.x, 4096, &mut rng);
+    let mut max_err = 0.0f64;
+    for i in 0..exact.len() {
+        for j in 0..exact.len() {
+            max_err = max_err.max((exact[i][j] - sampled[i][j]).abs());
+        }
+    }
+    assert!(max_err < 0.05, "max Gram deviation {max_err}");
+}

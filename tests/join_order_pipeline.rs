@@ -1,0 +1,102 @@
+//! Cross-crate integration: the full join-ordering pipeline — query
+//! generation → QUBO encoding → annealing → decoding → true-cost scoring —
+//! against the exact DP optimizer, including robustness to cardinality
+//! estimation error and the hardware-embedding step.
+
+use qmldb::anneal::embed::{clique_embedding, complete_graph_edges, Chimera};
+use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
+use qmldb::db::joinorder::{goo, optimize_bushy, optimize_left_deep, CostModel};
+use qmldb::db::query::{generate, tpch_like_query, Topology};
+use qmldb::db::qubo_jo::JoinOrderQubo;
+use qmldb::math::Rng64;
+
+fn anneal_order(g: &qmldb::db::query::JoinGraph, rng: &mut Rng64) -> (Vec<usize>, f64) {
+    let jo = JoinOrderQubo::encode(g, JoinOrderQubo::auto_penalty(g));
+    let r = simulated_annealing(
+        &jo.qubo().to_ising(),
+        &SaParams { sweeps: 2500, restarts: 5, ..SaParams::default() },
+        rng,
+    );
+    let order = jo.decode(&spins_to_bits(&r.spins));
+    let cost = jo.true_cost(&order, g, CostModel::Cout);
+    (order, cost)
+}
+
+#[test]
+fn annealed_orders_are_valid_permutations_and_near_optimal() {
+    let mut rng = Rng64::new(3201);
+    for topo in [Topology::Chain, Topology::Star, Topology::Cycle] {
+        let g = generate(topo, 7, &mut rng);
+        let exact = optimize_left_deep(&g, CostModel::Cout);
+        let (order, annealed_cost) = anneal_order(&g, &mut rng);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>(), "{topo:?}: not a permutation");
+        assert!(
+            annealed_cost >= exact.cost * (1.0 - 1e-9),
+            "{topo:?}: annealed below the exact floor"
+        );
+        assert!(
+            annealed_cost <= 100.0 * exact.cost,
+            "{topo:?}: annealed {annealed_cost} vs exact {}",
+            exact.cost
+        );
+    }
+}
+
+#[test]
+fn tpch_like_query_optimizes_through_all_paths() {
+    let g = tpch_like_query(0.01);
+    let ld = optimize_left_deep(&g, CostModel::Cout);
+    let bushy = optimize_bushy(&g, CostModel::Cout);
+    let (_, goo_cost) = goo(&g, CostModel::Cout);
+    assert!(bushy.cost <= ld.cost * (1.0 + 1e-9));
+    assert!(goo_cost >= bushy.cost * (1.0 - 1e-9));
+    let mut rng = Rng64::new(3203);
+    let (_, annealed) = anneal_order(&g, &mut rng);
+    assert!(annealed >= ld.cost * (1.0 - 1e-9));
+    assert!(annealed.is_finite());
+}
+
+#[test]
+fn optimizer_is_resilient_to_moderate_cardinality_error() {
+    // Optimize under noisy estimates, score under the truth: the plan
+    // found should stay within a bounded factor of the true optimum.
+    let mut rng = Rng64::new(3205);
+    let g = generate(Topology::Chain, 8, &mut rng);
+    let truth_cost = optimize_left_deep(&g, CostModel::Cout).cost;
+    let noisy = g.with_cardinality_noise(0.5, &mut rng);
+    let plan_under_noise = optimize_left_deep(&noisy, CostModel::Cout);
+    // Score the noisy-optimal order on the true graph.
+    let order = extract_left_deep_order(&plan_under_noise.plan);
+    let scored = qmldb::db::joinorder::left_deep_cost(&order, &g, CostModel::Cout);
+    assert!(
+        scored <= 1000.0 * truth_cost,
+        "noise-planned {scored} vs true optimum {truth_cost}"
+    );
+}
+
+fn extract_left_deep_order(tree: &qmldb::db::JoinTree) -> Vec<usize> {
+    match tree {
+        qmldb::db::JoinTree::Leaf(r) => vec![*r],
+        qmldb::db::JoinTree::Join(l, r) => {
+            let mut order = extract_left_deep_order(l);
+            order.extend(extract_left_deep_order(r));
+            order
+        }
+    }
+}
+
+#[test]
+fn join_order_qubo_deploys_onto_chimera() {
+    // The one-hot structure of an n-relation JO-QUBO couples nearly all
+    // variable pairs; the native clique embedding must absorb it.
+    let mut rng = Rng64::new(3207);
+    let g = generate(Topology::Clique, 4, &mut rng);
+    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+    let logical = jo.n_vars();
+    let fabric = Chimera::new(logical.div_ceil(4));
+    let e = clique_embedding(logical, &fabric).expect("fabric sized to fit");
+    e.validate(&fabric, &complete_graph_edges(logical)).unwrap();
+    assert!(e.physical_qubits() >= logical, "chains cost extra qubits");
+}

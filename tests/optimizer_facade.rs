@@ -1,0 +1,100 @@
+//! Cross-crate integration: the one-call optimizer facade against every
+//! strategy, including the simulated annealer device.
+
+use qmldb::anneal::device::DeviceConfig;
+use qmldb::anneal::{SaParams, SqaParams};
+use qmldb::db::joinorder::CostModel;
+use qmldb::db::optimizer::{optimize, Strategy};
+use qmldb::db::query::{generate, Topology};
+use qmldb::math::Rng64;
+
+#[test]
+fn facade_strategies_rank_sanely_on_a_chain_query() {
+    let mut rng = Rng64::new(4001);
+    let g = generate(Topology::Chain, 6, &mut rng);
+    let exact = optimize(&g, CostModel::Cout, &Strategy::ExactDpLeftDeep, &mut rng)
+        .unwrap()
+        .cost;
+    let ikkbz = optimize(&g, CostModel::Cout, &Strategy::Ikkbz, &mut rng)
+        .unwrap()
+        .cost;
+    // IKKBZ is optimal within connected-prefix left-deep plans; on chains
+    // with well-behaved selectivities it matches the unrestricted
+    // left-deep DP (cross products never pay here).
+    assert!(ikkbz >= exact * (1.0 - 1e-9));
+    assert!(ikkbz <= 10.0 * exact, "ikkbz {ikkbz} vs exact {exact}");
+
+    let annealed = optimize(
+        &g,
+        CostModel::Cout,
+        &Strategy::AnnealedQubo {
+            params: SaParams { sweeps: 2000, restarts: 4, ..SaParams::default() },
+        },
+        &mut rng,
+    )
+    .unwrap()
+    .cost;
+    assert!(annealed >= exact * (1.0 - 1e-9));
+
+    let sqa = optimize(
+        &g,
+        CostModel::Cout,
+        &Strategy::QuantumAnnealedQubo {
+            params: SqaParams {
+                sweeps: 800,
+                replicas: 12,
+                restarts: 2,
+                temperature_factor: 0.01,
+                ..SqaParams::default()
+            },
+        },
+        &mut rng,
+    )
+    .unwrap()
+    .cost;
+    assert!(sqa >= exact * (1.0 - 1e-9));
+}
+
+#[test]
+fn device_strategy_closes_the_loop_from_query_to_hardware() {
+    let mut rng = Rng64::new(4003);
+    let g = generate(Topology::Star, 4, &mut rng); // 16 QUBO variables
+    let exact = optimize(&g, CostModel::Cout, &Strategy::ExactDpLeftDeep, &mut rng)
+        .unwrap()
+        .cost;
+    let device = optimize(
+        &g,
+        CostModel::Cout,
+        &Strategy::Device {
+            config: DeviceConfig {
+                fabric_m: 4,
+                chain_strength_factor: 2.0,
+                reads: 6,
+                ..DeviceConfig::default()
+            },
+        },
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(device.plan.relation_mask(), (1 << 4) - 1);
+    assert!(device.cost >= exact * (1.0 - 1e-9));
+    assert!(
+        device.cost <= 100.0 * exact,
+        "device plan {} vs exact {exact}",
+        device.cost
+    );
+}
+
+#[test]
+fn strategies_expose_stable_names() {
+    let mut rng = Rng64::new(4005);
+    let g = generate(Topology::Chain, 4, &mut rng);
+    for (s, name) in [
+        (Strategy::ExactDpBushy, "dp-bushy"),
+        (Strategy::Goo, "goo"),
+        (Strategy::Random { k: 5 }, "random"),
+    ] {
+        let r = optimize(&g, CostModel::Cout, &s, &mut rng).unwrap();
+        assert_eq!(r.strategy_name, name);
+    }
+}

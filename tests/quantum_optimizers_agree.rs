@@ -1,0 +1,93 @@
+//! Cross-crate integration: gate-model QAOA, annealers, and exact solvers
+//! must agree on the same QUBO instances.
+
+use qmldb::anneal::{
+    simulated_annealing, simulated_quantum_annealing, solve_exact, tabu_search,
+    Qubo, SaParams, SqaParams, TabuParams,
+};
+use qmldb::math::Rng64;
+use qmldb::qml::qaoa::Qaoa;
+
+/// A random QUBO small enough for every solver in the house.
+fn random_qubo(n: usize, seed: u64) -> Qubo {
+    let mut rng = Rng64::new(seed);
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+        for j in (i + 1)..n {
+            if rng.chance(0.6) {
+                q.add(i, j, rng.uniform_range(-1.0, 1.0));
+            }
+        }
+    }
+    q
+}
+
+#[test]
+fn all_annealers_find_the_exact_ground_state() {
+    let q = random_qubo(10, 3101);
+    let exact = solve_exact(&q);
+    let ising = q.to_ising();
+    let mut rng = Rng64::new(3102);
+
+    let sa = simulated_annealing(&ising, &SaParams::default(), &mut rng);
+    assert!((sa.energy - exact.energy).abs() < 1e-9, "SA {}", sa.energy);
+
+    let sqa = simulated_quantum_annealing(&ising, &SqaParams::default(), &mut rng);
+    assert!(
+        (sqa.energy - exact.energy).abs() < 1e-9,
+        "SQA {}",
+        sqa.energy
+    );
+
+    let tabu = tabu_search(&q, &TabuParams::default(), &mut rng);
+    assert!(
+        (tabu.energy - exact.energy).abs() < 1e-9,
+        "tabu {}",
+        tabu.energy
+    );
+}
+
+#[test]
+fn qaoa_samples_reach_the_exact_ground_state_on_small_qubos() {
+    let q = random_qubo(6, 3103);
+    let exact = solve_exact(&q);
+    let ising = q.to_ising();
+    let qaoa = Qaoa::from_ising(
+        6,
+        ising.fields(),
+        ising.couplings(),
+        ising.offset(),
+        3,
+    );
+    let mut rng = Rng64::new(3104);
+    let r = qaoa.solve(60, 2, 1024, &mut rng);
+    // QUBO energies and diagonal Hamiltonian energies agree by
+    // construction; sampling the optimized state should reach the ground
+    // state on 6 variables.
+    assert!(
+        (r.best_energy - exact.energy).abs() < 1e-9,
+        "QAOA best {} vs exact {}",
+        r.best_energy,
+        exact.energy
+    );
+}
+
+#[test]
+fn qubo_ising_pauli_energies_are_consistent() {
+    // The same assignment must get the same energy through all three
+    // representations: QUBO bits, Ising spins, and the diagonal PauliSum
+    // inside QAOA.
+    let q = random_qubo(5, 3105);
+    let ising = q.to_ising();
+    let qaoa = Qaoa::from_ising(5, ising.fields(), ising.couplings(), ising.offset(), 1);
+    for idx in 0..32usize {
+        let bits: Vec<bool> = (0..5).map(|i| idx & (1 << i) != 0).collect();
+        let spins: Vec<i8> = bits.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        let e_qubo = q.energy(&bits);
+        let e_ising = ising.energy(&spins);
+        let e_pauli = qaoa.cost().diagonal_energy(idx);
+        assert!((e_qubo - e_ising).abs() < 1e-9, "idx {idx}");
+        assert!((e_qubo - e_pauli).abs() < 1e-9, "idx {idx}");
+    }
+}
