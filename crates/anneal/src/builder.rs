@@ -16,9 +16,7 @@ pub struct QuboBuilder {
 impl QuboBuilder {
     /// Starts a builder over `n` binary variables.
     pub fn new(n: usize) -> Self {
-        QuboBuilder {
-            qubo: Qubo::new(n),
-        }
+        QuboBuilder { qubo: Qubo::new(n) }
     }
 
     /// Number of variables.

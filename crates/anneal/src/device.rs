@@ -100,11 +100,8 @@ impl AnnealerDevice {
     /// Embeds the logical interaction graph of `ising`, preferring the
     /// greedy embedder and falling back to the native clique embedding.
     pub fn embed(&self, ising: &Ising, rng: &mut Rng64) -> Result<Embedding, DeviceError> {
-        let edges: Vec<(usize, usize)> = ising
-            .couplings()
-            .iter()
-            .map(|&(a, b, _)| (a, b))
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            ising.couplings().iter().map(|&(a, b, _)| (a, b)).collect();
         embed_with_retries(ising.n(), &edges, &self.fabric, 25, rng)
             .or_else(|| clique_embedding(ising.n(), &self.fabric))
             .ok_or(DeviceError::EmbeddingFailed)
@@ -328,7 +325,10 @@ mod tests {
             .chains
             .iter()
             .map(|chain| {
-                let ups = chain.iter().filter(|&&qq| r.spins[phys_index[&qq]] > 0).count();
+                let ups = chain
+                    .iter()
+                    .filter(|&&qq| r.spins[phys_index[&qq]] > 0)
+                    .count();
                 if 2 * ups >= chain.len() {
                     1
                 } else {

@@ -110,7 +110,11 @@ impl Embedding {
     /// Validates the embedding against a target and the logical edges:
     /// chains are disjoint and connected, and every logical edge has at
     /// least one physical coupler between its chains.
-    pub fn validate(&self, target: &Chimera, logical_edges: &[(usize, usize)]) -> Result<(), String> {
+    pub fn validate(
+        &self,
+        target: &Chimera,
+        logical_edges: &[(usize, usize)],
+    ) -> Result<(), String> {
         let mut seen = HashSet::new();
         for (v, chain) in self.chains.iter().enumerate() {
             if chain.is_empty() {

@@ -201,11 +201,7 @@ mod tests {
 
     #[test]
     fn qubo_roundtrip_preserves_energy() {
-        let m = Ising::new(
-            vec![0.3, -0.7, 1.1],
-            vec![(0, 1, 0.9), (1, 2, -1.4)],
-            0.6,
-        );
+        let m = Ising::new(vec![0.3, -0.7, 1.1], vec![(0, 1, 0.9), (1, 2, -1.4)], 0.6);
         let q = m.to_qubo();
         let back = q.to_ising();
         for idx in 0..8usize {
@@ -228,7 +224,11 @@ mod tests {
 
     #[test]
     fn ferromagnet_ground_is_aligned() {
-        let m = Ising::new(vec![0.0; 4], vec![(0, 1, -1.0), (1, 2, -1.0), (2, 3, -1.0)], 0.0);
+        let m = Ising::new(
+            vec![0.0; 4],
+            vec![(0, 1, -1.0), (1, 2, -1.0), (2, 3, -1.0)],
+            0.0,
+        );
         let (s, e) = m.brute_force_ground();
         assert!((e + 3.0).abs() < 1e-12);
         assert!(s.iter().all(|&v| v == s[0]));

@@ -5,7 +5,7 @@
 //! path-integral emulation in [`crate::sqa`]) is compared against.
 
 use crate::ising::Ising;
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
 
 /// Annealing schedule and effort parameters.
 #[derive(Clone, Copy, Debug)]
@@ -45,7 +45,43 @@ pub struct AnnealResult {
     pub proposals: u64,
 }
 
+/// One restart's outcome, merged across restarts by the public entry
+/// points. Shared by the annealers in this crate.
+pub(crate) struct RestartOutcome {
+    pub spins: Vec<i8>,
+    pub energy: f64,
+    pub trace: Vec<f64>,
+    pub proposals: u64,
+}
+
+/// Merges independent restart outcomes in restart order (first strict
+/// improvement wins, matching the serial loop's semantics).
+pub(crate) fn merge_restarts(runs: Vec<RestartOutcome>) -> AnnealResult {
+    let mut best_spins = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut best_trace = Vec::new();
+    let mut proposals = 0u64;
+    for run in runs {
+        proposals += run.proposals;
+        if run.energy < best_energy {
+            best_energy = run.energy;
+            best_spins = run.spins;
+            best_trace = run.trace;
+        }
+    }
+    AnnealResult {
+        spins: best_spins,
+        energy: best_energy,
+        trace: best_trace,
+        proposals,
+    }
+}
+
 /// Runs simulated annealing and returns the best configuration seen.
+///
+/// Restarts are independent: each runs on its own random stream forked
+/// from `rng` and they execute in parallel on up to `QMLDB_THREADS`
+/// workers, with results bit-identical for any thread count.
 pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) -> AnnealResult {
     assert!(model.n() > 0, "empty model");
     assert!(params.sweeps > 0, "need at least one sweep");
@@ -54,12 +90,8 @@ pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) ->
     let t_end = params.t_end_factor * scale;
     let cooling = (t_end / t_start).powf(1.0 / params.sweeps.max(2) as f64);
 
-    let mut best_spins = Vec::new();
-    let mut best_energy = f64::INFINITY;
-    let mut best_trace = Vec::new();
-    let mut proposals = 0u64;
-
-    for _ in 0..params.restarts.max(1) {
+    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
+        let mut proposals = 0u64;
         let mut s: Vec<i8> = (0..model.n())
             .map(|_| if rng.chance(0.5) { 1 } else { -1 })
             .collect();
@@ -84,18 +116,14 @@ pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) ->
             trace.push(run_best);
             temp *= cooling;
         }
-        if run_best < best_energy {
-            best_energy = run_best;
-            best_spins = run_best_spins;
-            best_trace = trace;
+        RestartOutcome {
+            spins: run_best_spins,
+            energy: run_best,
+            trace,
+            proposals,
         }
-    }
-    AnnealResult {
-        spins: best_spins,
-        energy: best_energy,
-        trace: best_trace,
-        proposals,
-    }
+    });
+    merge_restarts(runs)
 }
 
 #[cfg(test)]

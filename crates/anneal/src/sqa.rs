@@ -10,8 +10,8 @@
 //! physics behind Fig. 2 of the tutorial's source material.
 
 use crate::ising::Ising;
-use crate::sa::AnnealResult;
-use qmldb_math::Rng64;
+use crate::sa::{merge_restarts, AnnealResult, RestartOutcome};
+use qmldb_math::{par, Rng64};
 
 /// SQA schedule parameters.
 #[derive(Clone, Copy, Debug)]
@@ -60,12 +60,11 @@ pub fn simulated_quantum_annealing(
     let gamma_end = params.gamma_end_factor * scale;
     let gamma_decay = (gamma_end / gamma_start).powf(1.0 / params.sweeps.max(2) as f64);
 
-    let mut best_spins = Vec::new();
-    let mut best_energy = f64::INFINITY;
-    let mut best_trace = Vec::new();
-    let mut proposals = 0u64;
-
-    for _ in 0..params.restarts.max(1) {
+    // Restarts are independent Trotter-replica stacks; each runs on its
+    // own stream forked from `rng`, in parallel across `QMLDB_THREADS`
+    // workers, bit-identical for any thread count.
+    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
+        let mut proposals = 0u64;
         // replicas[k][i] = spin i of slice k.
         let mut reps: Vec<Vec<i8>> = (0..p)
             .map(|_| {
@@ -111,18 +110,14 @@ pub fn simulated_quantum_annealing(
             trace.push(run_best);
             gamma *= gamma_decay;
         }
-        if run_best < best_energy {
-            best_energy = run_best;
-            best_spins = run_best_spins;
-            best_trace = trace;
+        RestartOutcome {
+            spins: run_best_spins,
+            energy: run_best,
+            trace,
+            proposals,
         }
-    }
-    AnnealResult {
-        spins: best_spins,
-        energy: best_energy,
-        trace: best_trace,
-        proposals,
-    }
+    });
+    merge_restarts(runs)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! aspiration).
 
 use crate::qubo::Qubo;
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
 
 /// Tabu-search parameters.
 #[derive(Clone, Copy, Debug)]
@@ -38,14 +38,17 @@ pub struct TabuResult {
 }
 
 /// Runs tabu search on a QUBO.
+///
+/// Restarts only consume randomness for their initial assignment; each
+/// gets an independent stream forked from `rng` and the restarts run in
+/// parallel (`QMLDB_THREADS` workers), bit-identical for any thread
+/// count.
 pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuResult {
     let n = qubo.n();
     assert!(n > 0, "empty model");
-    let mut best_bits = Vec::new();
-    let mut best_energy = f64::INFINITY;
-    let mut flips = 0u64;
 
-    for _ in 0..params.restarts.max(1) {
+    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
+        let mut flips = 0u64;
         let mut x: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut energy = qubo.energy(&x);
         let mut run_best = energy;
@@ -78,9 +81,17 @@ pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuRes
                 run_best_bits = x.clone();
             }
         }
-        if run_best < best_energy {
-            best_energy = run_best;
-            best_bits = run_best_bits;
+        (run_best_bits, run_best, flips)
+    });
+
+    let mut best_bits = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut flips = 0u64;
+    for (bits, energy, run_flips) in runs {
+        flips += run_flips;
+        if energy < best_energy {
+            best_energy = energy;
+            best_bits = bits;
         }
     }
     TabuResult {

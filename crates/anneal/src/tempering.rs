@@ -3,7 +3,7 @@
 
 use crate::ising::Ising;
 use crate::sa::AnnealResult;
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
 
 /// Parallel-tempering parameters.
 #[derive(Clone, Copy, Debug)]
@@ -62,19 +62,36 @@ pub fn parallel_tempering(
     let mut proposals = 0u64;
 
     for _ in 0..params.sweeps {
-        // Metropolis pass per chain.
-        for c in 0..k {
+        // Metropolis pass per chain. Chains are independent within a
+        // sweep, so each runs on its own stream forked from `rng` and the
+        // pass is parallel across `QMLDB_THREADS` workers — bit-identical
+        // for any thread count. Only the swap round couples chains, and it
+        // stays serial on the caller's stream.
+        let stepped = par::map_indices_rng(k, rng, |c, chain_rng| {
+            let mut s = states[c].clone();
+            let mut e = energies[c];
+            let mut local_best_energy = f64::INFINITY;
+            let mut local_best: Option<Vec<i8>> = None;
             for i in 0..n {
-                proposals += 1;
-                let d = model.delta_flip(&states[c], i);
-                if d <= 0.0 || rng.chance((-d / temps[c]).exp()) {
-                    states[c][i] = -states[c][i];
-                    energies[c] += d;
-                    if energies[c] < best_energy {
-                        best_energy = energies[c];
-                        best = states[c].clone();
+                let d = model.delta_flip(&s, i);
+                if d <= 0.0 || chain_rng.chance((-d / temps[c]).exp()) {
+                    s[i] = -s[i];
+                    e += d;
+                    if e < local_best_energy {
+                        local_best_energy = e;
+                        local_best = Some(s.clone());
                     }
                 }
+            }
+            (s, e, local_best_energy, local_best)
+        });
+        for (c, (s, e, local_best_energy, local_best)) in stepped.into_iter().enumerate() {
+            proposals += n as u64;
+            states[c] = s;
+            energies[c] = e;
+            if local_best_energy < best_energy {
+                best_energy = local_best_energy;
+                best = local_best.expect("finite local best implies a stored state");
             }
         }
         // Swap round: adjacent temperature pairs.
@@ -114,7 +131,11 @@ mod tests {
         let m = Ising::new(vec![0.0; n], couplings, 0.0);
         let (_, exact) = m.brute_force_ground();
         let r = parallel_tempering(&m, &TemperingParams::default(), &mut rng);
-        assert!((r.energy - exact).abs() < 1e-9, "PT {} vs {exact}", r.energy);
+        assert!(
+            (r.energy - exact).abs() < 1e-9,
+            "PT {} vs {exact}",
+            r.energy
+        );
     }
 
     #[test]
@@ -128,7 +149,11 @@ mod tests {
     #[test]
     fn trace_is_monotone() {
         let mut rng = Rng64::new(1105);
-        let m = Ising::new(vec![0.0; 6], vec![(0, 1, 1.0), (2, 3, -1.0), (4, 5, 1.0)], 0.0);
+        let m = Ising::new(
+            vec![0.0; 6],
+            vec![(0, 1, 1.0), (2, 3, -1.0), (4, 5, 1.0)],
+            0.0,
+        );
         let r = parallel_tempering(&m, &TemperingParams::default(), &mut rng);
         for w in r.trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);

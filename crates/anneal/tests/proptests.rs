@@ -1,100 +1,106 @@
-//! Property-based tests for QUBO/Ising models and solvers.
+//! Property-based tests for QUBO/Ising models and solvers. Runs on the
+//! in-repo `check` harness.
 
-use proptest::prelude::*;
 use qmldb_anneal::{
     bits_to_spins, simulated_annealing, solve_exact, spins_to_bits, Qubo, QuboBuilder, SaParams,
 };
-use qmldb_math::Rng64;
+use qmldb_math::{check, Rng64};
 
-/// Strategy: a random QUBO on `n` variables from a coefficient list.
-fn qubo_strategy(n: usize) -> impl Strategy<Value = Qubo> {
-    let n_terms = n * (n + 1) / 2;
-    prop::collection::vec(-5.0..5.0f64, n_terms).prop_map(move |coeffs| {
-        let mut q = Qubo::new(n);
-        let mut it = coeffs.into_iter();
-        for i in 0..n {
-            for j in i..n {
-                q.add(i, j, it.next().unwrap());
-            }
+/// A random QUBO on `n` variables with uniform coefficients in [-5, 5).
+fn random_qubo(n: usize, rng: &mut Rng64) -> Qubo {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        for j in i..n {
+            q.add(i, j, rng.uniform_range(-5.0, 5.0));
         }
-        q
-    })
+    }
+    q
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn delta_energy_matches_full_recomputation(
-        q in qubo_strategy(8),
-        start in 0usize..256,
-        flip in 0usize..8,
-    ) {
+#[test]
+fn delta_energy_matches_full_recomputation() {
+    check::cases("delta_energy_matches_full_recomputation", 48, |rng| {
+        let q = random_qubo(8, rng);
+        let start = rng.index(256);
+        let flip = rng.index(8);
         let mut x: Vec<bool> = (0..8).map(|i| start & (1 << i) != 0).collect();
         let before = q.energy(&x);
         let delta = q.delta_energy(&x, flip);
         x[flip] = !x[flip];
         let after = q.energy(&x);
-        prop_assert!((after - before - delta).abs() < 1e-9);
-    }
+        assert!((after - before - delta).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn qubo_ising_roundtrip_preserves_all_energies(
-        q in qubo_strategy(6),
-        idx in 0usize..64,
-    ) {
+#[test]
+fn qubo_ising_roundtrip_preserves_all_energies() {
+    check::cases("qubo_ising_roundtrip_preserves_all_energies", 48, |rng| {
+        let q = random_qubo(6, rng);
+        let idx = rng.index(64);
         let ising = q.to_ising();
         let back = ising.to_qubo();
         let x: Vec<bool> = (0..6).map(|i| idx & (1 << i) != 0).collect();
         let s = bits_to_spins(&x);
-        prop_assert!((q.energy(&x) - ising.energy(&s)).abs() < 1e-9);
-        prop_assert!((q.energy(&x) - back.energy(&x)).abs() < 1e-9);
-    }
+        assert!((q.energy(&x) - ising.energy(&s)).abs() < 1e-9);
+        assert!((q.energy(&x) - back.energy(&x)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn ising_delta_flip_matches_energy_difference(
-        q in qubo_strategy(7),
-        start in 0usize..128,
-        flip in 0usize..7,
-    ) {
+#[test]
+fn ising_delta_flip_matches_energy_difference() {
+    check::cases("ising_delta_flip_matches_energy_difference", 48, |rng| {
+        let q = random_qubo(7, rng);
+        let start = rng.index(128);
+        let flip = rng.index(7);
         let ising = q.to_ising();
-        let mut s: Vec<i8> = (0..7).map(|i| if start & (1 << i) != 0 { 1 } else { -1 }).collect();
+        let mut s: Vec<i8> = (0..7)
+            .map(|i| if start & (1 << i) != 0 { 1 } else { -1 })
+            .collect();
         let before = ising.energy(&s);
         let d = ising.delta_flip(&s, flip);
         s[flip] = -s[flip];
-        prop_assert!((ising.energy(&s) - before - d).abs() < 1e-9);
-    }
+        assert!((ising.energy(&s) - before - d).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn exact_solver_energy_is_a_global_lower_bound(
-        q in qubo_strategy(7),
-        idx in 0usize..128,
-    ) {
+#[test]
+fn exact_solver_energy_is_a_global_lower_bound() {
+    check::cases("exact_solver_energy_is_a_global_lower_bound", 48, |rng| {
+        let q = random_qubo(7, rng);
+        let idx = rng.index(128);
         let sol = solve_exact(&q);
-        prop_assert!(sol.energy <= q.energy_of_index(idx) + 1e-9);
-        prop_assert!((q.energy(&sol.bits) - sol.energy).abs() < 1e-9);
-    }
+        assert!(sol.energy <= q.energy_of_index(idx) + 1e-9);
+        assert!((q.energy(&sol.bits) - sol.energy).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn sa_never_reports_energy_below_exact(q in qubo_strategy(7)) {
+#[test]
+fn sa_never_reports_energy_below_exact() {
+    check::cases("sa_never_reports_energy_below_exact", 48, |rng| {
+        let q = random_qubo(7, rng);
         let exact = solve_exact(&q);
-        let mut rng = Rng64::new(4242);
+        let mut sa_rng = Rng64::new(4242);
         let r = simulated_annealing(
             &q.to_ising(),
-            &SaParams { sweeps: 200, restarts: 2, ..SaParams::default() },
-            &mut rng,
+            &SaParams {
+                sweeps: 200,
+                restarts: 2,
+                ..SaParams::default()
+            },
+            &mut sa_rng,
         );
-        prop_assert!(r.energy >= exact.energy - 1e-9);
+        assert!(r.energy >= exact.energy - 1e-9);
         // And the reported energy is the energy of the reported spins.
-        prop_assert!((q.to_ising().energy(&r.spins) - r.energy).abs() < 1e-9);
-        prop_assert!((q.energy(&spins_to_bits(&r.spins)) - r.energy).abs() < 1e-9);
-    }
+        assert!((q.to_ising().energy(&r.spins) - r.energy).abs() < 1e-9);
+        assert!((q.energy(&spins_to_bits(&r.spins)) - r.energy).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn one_hot_penalty_zero_iff_exactly_one(
-        mask in 0usize..32,
-        penalty in 0.5..10.0f64,
-    ) {
+#[test]
+fn one_hot_penalty_zero_iff_exactly_one() {
+    check::cases("one_hot_penalty_zero_iff_exactly_one", 48, |rng| {
+        let mask = rng.index(32);
+        let penalty = rng.uniform_range(0.5, 10.0);
         let mut b = QuboBuilder::new(5);
         b.one_hot(&[0, 1, 2, 3, 4], penalty);
         let q = b.build();
@@ -102,9 +108,9 @@ proptest! {
         let ones = x.iter().filter(|&&v| v).count();
         let e = q.energy(&x);
         if ones == 1 {
-            prop_assert!(e.abs() < 1e-9);
+            assert!(e.abs() < 1e-9);
         } else {
-            prop_assert!(e >= penalty - 1e-9);
+            assert!(e >= penalty - 1e-9);
         }
-    }
+    });
 }

@@ -2,8 +2,8 @@
 //! circuit peephole optimization, single-qubit gate fusion, and the SQA
 //! replica count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qmldb_anneal::{simulated_quantum_annealing, Ising, SqaParams};
+use qmldb_bench::timing::{bench, group};
 use qmldb_math::Rng64;
 use qmldb_sim::{optimize, Circuit, StateVector};
 
@@ -41,63 +41,39 @@ fn rotation_heavy_circuit(n: usize, layers: usize, rng: &mut Rng64) -> Circuit {
     c
 }
 
-fn bench_peephole_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_peephole");
-    group.sample_size(10);
+fn run_norm(n: usize, circ: &Circuit) -> f64 {
+    let mut s = StateVector::zero(n);
+    s.run(circ, &[]);
+    s.norm()
+}
+
+fn main() {
+    group("ablation_peephole");
     let n = 14;
     let mut rng = Rng64::new(1);
     let raw = redundant_circuit(n, 10, &mut rng);
     let mut opt = raw.clone();
     optimize::optimize(&mut opt);
-    group.bench_with_input(BenchmarkId::new("raw", raw.len()), &raw, |b, circ| {
-        b.iter(|| {
-            let mut s = StateVector::zero(n);
-            s.run(circ, &[]);
-            std::hint::black_box(s.norm())
-        })
+    bench(&format!("raw/{}_gates", raw.len()), 10, || {
+        run_norm(n, &raw)
     });
-    group.bench_with_input(BenchmarkId::new("optimized", opt.len()), &opt, |b, circ| {
-        b.iter(|| {
-            let mut s = StateVector::zero(n);
-            s.run(circ, &[]);
-            std::hint::black_box(s.norm())
-        })
+    bench(&format!("optimized/{}_gates", opt.len()), 10, || {
+        run_norm(n, &opt)
     });
-    group.finish();
-}
 
-fn bench_fusion_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_fusion");
-    group.sample_size(10);
-    let n = 14;
+    group("ablation_fusion");
     let mut rng = Rng64::new(2);
     let raw = rotation_heavy_circuit(n, 8, &mut rng);
     let mut fused = raw.clone();
     optimize::fuse_single_qubit(&mut fused);
-    group.bench_with_input(BenchmarkId::new("unfused", raw.len()), &raw, |b, circ| {
-        b.iter(|| {
-            let mut s = StateVector::zero(n);
-            s.run(circ, &[]);
-            std::hint::black_box(s.norm())
-        })
+    bench(&format!("unfused/{}_gates", raw.len()), 10, || {
+        run_norm(n, &raw)
     });
-    group.bench_with_input(
-        BenchmarkId::new("fused", fused.len()),
-        &fused,
-        |b, circ| {
-            b.iter(|| {
-                let mut s = StateVector::zero(n);
-                s.run(circ, &[]);
-                std::hint::black_box(s.norm())
-            })
-        },
-    );
-    group.finish();
-}
+    bench(&format!("fused/{}_gates", fused.len()), 10, || {
+        run_norm(n, &fused)
+    });
 
-fn bench_sqa_replica_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sqa_replicas");
-    group.sample_size(10);
+    group("ablation_sqa_replicas");
     let mut rng = Rng64::new(3);
     let mut couplings = Vec::new();
     for i in 0..48usize {
@@ -109,36 +85,19 @@ fn bench_sqa_replica_ablation(c: &mut Criterion) {
     }
     let model = Ising::new(vec![0.0; 48], couplings, 0.0);
     for replicas in [4usize, 16, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(replicas),
-            &replicas,
-            |b, &replicas| {
-                let mut rng = Rng64::new(4);
-                b.iter(|| {
-                    std::hint::black_box(
-                        simulated_quantum_annealing(
-                            &model,
-                            &SqaParams {
-                                sweeps: 100,
-                                replicas,
-                                restarts: 1,
-                                ..SqaParams::default()
-                            },
-                            &mut rng,
-                        )
-                        .energy,
-                    )
-                })
-            },
-        );
+        let mut rng = Rng64::new(4);
+        bench(&format!("{replicas}_replicas"), 10, || {
+            simulated_quantum_annealing(
+                &model,
+                &SqaParams {
+                    sweeps: 100,
+                    replicas,
+                    restarts: 1,
+                    ..SqaParams::default()
+                },
+                &mut rng,
+            )
+            .energy
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_peephole_ablation,
-    bench_fusion_ablation,
-    bench_sqa_replica_ablation
-);
-criterion_main!(benches);

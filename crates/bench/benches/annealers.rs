@@ -1,11 +1,11 @@
-//! Criterion bench for E10-adjacent timing: cost per sweep of SA, SQA and
-//! parallel tempering on a 64-spin glass.
+//! Bench for E10-adjacent timing: cost per sweep of SA, SQA and parallel
+//! tempering on a 64-spin glass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use qmldb_anneal::{
     parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, SaParams,
     SqaParams, TemperingParams,
 };
+use qmldb_bench::timing::{bench, group};
 use qmldb_math::Rng64;
 
 fn spin_glass(n: usize, seed: u64) -> Ising {
@@ -21,51 +21,47 @@ fn spin_glass(n: usize, seed: u64) -> Ising {
     Ising::new(vec![0.0; n], couplings, 0.0)
 }
 
-fn bench_annealers(c: &mut Criterion) {
+fn main() {
     let model = spin_glass(64, 1);
-    let mut group = c.benchmark_group("annealers_64spin_200sweeps");
-    group.sample_size(10);
-    group.bench_function("sa", |b| {
-        let mut rng = Rng64::new(2);
-        b.iter(|| {
-            std::hint::black_box(
-                simulated_annealing(
-                    &model,
-                    &SaParams { sweeps: 200, restarts: 1, ..SaParams::default() },
-                    &mut rng,
-                )
-                .energy,
-            )
-        })
+    group("annealers_64spin_200sweeps");
+    let mut rng = Rng64::new(2);
+    bench("sa", 10, || {
+        simulated_annealing(
+            &model,
+            &SaParams {
+                sweeps: 200,
+                restarts: 1,
+                ..SaParams::default()
+            },
+            &mut rng,
+        )
+        .energy
     });
-    group.bench_function("sqa_16replicas", |b| {
-        let mut rng = Rng64::new(2);
-        b.iter(|| {
-            std::hint::black_box(
-                simulated_quantum_annealing(
-                    &model,
-                    &SqaParams { sweeps: 200, replicas: 16, restarts: 1, ..SqaParams::default() },
-                    &mut rng,
-                )
-                .energy,
-            )
-        })
+    let mut rng = Rng64::new(2);
+    bench("sqa_16replicas", 10, || {
+        simulated_quantum_annealing(
+            &model,
+            &SqaParams {
+                sweeps: 200,
+                replicas: 16,
+                restarts: 1,
+                ..SqaParams::default()
+            },
+            &mut rng,
+        )
+        .energy
     });
-    group.bench_function("parallel_tempering_8chains", |b| {
-        let mut rng = Rng64::new(2);
-        b.iter(|| {
-            std::hint::black_box(
-                parallel_tempering(
-                    &model,
-                    &TemperingParams { sweeps: 200, chains: 8, ..TemperingParams::default() },
-                    &mut rng,
-                )
-                .energy,
-            )
-        })
+    let mut rng = Rng64::new(2);
+    bench("parallel_tempering_8chains", 10, || {
+        parallel_tempering(
+            &model,
+            &TemperingParams {
+                sweeps: 200,
+                chains: 8,
+                ..TemperingParams::default()
+            },
+            &mut rng,
+        )
+        .energy
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_annealers);
-criterion_main!(benches);

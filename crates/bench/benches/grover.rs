@@ -1,28 +1,22 @@
-//! Criterion bench for E8: Grover search vs a classical scan at matched
-//! table sizes.
+//! Bench for E8: Grover search vs a classical scan at matched table sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmldb_bench::timing::{bench, group};
 use qmldb_core::grover::{classical_search, grover_search_known};
 use qmldb_math::Rng64;
 
-fn bench_grover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lookup");
-    group.sample_size(10);
+fn main() {
+    group("lookup");
     for k in [8usize, 10, 12] {
         let n = 1usize << k;
         let target = n / 3;
         let oracle = move |x: usize| x == target;
-        group.bench_with_input(BenchmarkId::new("grover", n), &k, |b, &k| {
-            let mut rng = Rng64::new(7);
-            b.iter(|| std::hint::black_box(grover_search_known(k, &oracle, 1, &mut rng).success))
+        let mut rng = Rng64::new(7);
+        bench(&format!("grover/{n}"), 10, || {
+            grover_search_known(k, &oracle, 1, &mut rng).success
         });
-        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, &n| {
-            let mut rng = Rng64::new(7);
-            b.iter(|| std::hint::black_box(classical_search(n, &oracle, &mut rng)))
+        let mut rng = Rng64::new(7);
+        bench(&format!("classical/{n}"), 10, || {
+            classical_search(n, &oracle, &mut rng)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_grover);
-criterion_main!(benches);

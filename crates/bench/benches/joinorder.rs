@@ -1,45 +1,36 @@
-//! Criterion bench for E9: optimizer wall-time — exact DP vs GOO vs the
-//! annealed QUBO pipeline.
+//! Bench for E9: optimizer wall-time — exact DP vs GOO vs the annealed
+//! QUBO pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+use qmldb_bench::timing::{bench, group};
 use qmldb_db::joinorder::{goo, optimize_left_deep, CostModel};
-use qmldb_db::query::{generate, Topology};
 use qmldb_db::qubo_jo::JoinOrderQubo;
+use qmldb_db::query::{generate, Topology};
 use qmldb_math::Rng64;
 
-fn bench_joinorder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join_ordering");
-    group.sample_size(10);
+fn main() {
+    group("join_ordering");
     for n in [8usize, 12] {
         let mut rng = Rng64::new(3);
         let g = generate(Topology::Cycle, n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("dp_left_deep", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(optimize_left_deep(g, CostModel::Cout).cost))
+        bench(&format!("dp_left_deep/{n}"), 10, || {
+            optimize_left_deep(&g, CostModel::Cout).cost
         });
-        group.bench_with_input(BenchmarkId::new("goo", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(goo(g, CostModel::Cout).1))
-        });
-        group.bench_with_input(BenchmarkId::new("sa_qubo", n), &g, |b, g| {
-            let jo = JoinOrderQubo::encode(g, JoinOrderQubo::auto_penalty(g));
-            let ising = jo.qubo().to_ising();
-            let mut rng = Rng64::new(11);
-            b.iter(|| {
-                let r = simulated_annealing(
-                    &ising,
-                    &SaParams { sweeps: 500, restarts: 1, ..SaParams::default() },
-                    &mut rng,
-                );
-                std::hint::black_box(jo.true_cost(
-                    &jo.decode(&spins_to_bits(&r.spins)),
-                    g,
-                    CostModel::Cout,
-                ))
-            })
+        bench(&format!("goo/{n}"), 10, || goo(&g, CostModel::Cout).1);
+        let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+        let ising = jo.qubo().to_ising();
+        let mut rng = Rng64::new(11);
+        bench(&format!("sa_qubo/{n}"), 10, || {
+            let r = simulated_annealing(
+                &ising,
+                &SaParams {
+                    sweeps: 500,
+                    restarts: 1,
+                    ..SaParams::default()
+                },
+                &mut rng,
+            );
+            jo.true_cost(&jo.decode(&spins_to_bits(&r.spins)), &g, CostModel::Cout)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_joinorder);
-criterion_main!(benches);

@@ -1,32 +1,72 @@
-//! Criterion bench for E15: Gram-matrix construction, exact vs shots, and
-//! the classical RBF reference.
+//! Bench for E15: Gram-matrix construction, exact vs shots, and the
+//! classical RBF reference — plus the parallel-scaling check for the
+//! deterministic fork-join layer (serial vs `QMLDB_THREADS`-wide).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmldb_bench::timing::{bench, group};
 use qmldb_core::kernel::{FeatureMap, QuantumKernel};
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
 use qmldb_ml::{dataset, Kernel};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gram_matrix");
-    group.sample_size(10);
+fn main() {
+    group("gram_matrix");
     for n in [10usize, 20] {
         let mut rng = Rng64::new(5);
         let d = dataset::two_moons(n, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
         let qk = QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 });
-        group.bench_with_input(BenchmarkId::new("quantum_exact", n), &d, |b, d| {
-            b.iter(|| std::hint::black_box(qk.gram(&d.x)))
-        });
-        group.bench_with_input(BenchmarkId::new("quantum_512shots", n), &d, |b, d| {
+        bench(&format!("quantum_exact/{n}"), 10, || qk.gram(&d.x));
+        bench(&format!("quantum_512shots/{n}"), 10, || {
             let mut rng = Rng64::new(9);
-            b.iter(|| std::hint::black_box(qk.gram_sampled(&d.x, 512, &mut rng)))
+            qk.gram_sampled(&d.x, 512, &mut rng)
         });
         let rbf = Kernel::Rbf { gamma: 2.0 };
-        group.bench_with_input(BenchmarkId::new("classical_rbf", n), &d, |b, d| {
-            b.iter(|| std::hint::black_box(rbf.gram(&d.x)))
-        });
+        bench(&format!("classical_rbf/{n}"), 10, || rbf.gram(&d.x));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+    // Parallel scaling on a production-shaped instance: an 8-qubit ZZ
+    // feature map over 64 points, where per-pair work is large enough for
+    // the fork-join layer to pay. Prints the 4-thread speedup and checks
+    // bit-identical results across thread counts.
+    group("gram_matrix_parallel_scaling");
+    let mut rng = Rng64::new(7);
+    let d = dataset::two_moons(64, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
+    let xs: Vec<Vec<f64>> =
+        d.x.iter()
+            .map(|p| {
+                // Lift 2-d points to 8 features so the ZZ map spans 8 qubits.
+                (0..8).map(|k| p[k % 2] * (1.0 + 0.1 * k as f64)).collect()
+            })
+            .collect();
+    let qk = QuantumKernel::new(8, FeatureMap::ZZ { reps: 2 });
+    par::set_threads(1);
+    let serial = bench("quantum_exact_64pts_8q/1thread", 10, || qk.gram(&xs));
+    let reference = qk.gram(&xs);
+    par::set_threads(4);
+    let wide = bench("quantum_exact_64pts_8q/4threads", 10, || qk.gram(&xs));
+    assert_eq!(
+        reference,
+        qk.gram(&xs),
+        "thread count changed the Gram matrix"
+    );
+    println!(
+        "speedup (median, 4 threads vs 1): {:.2}x",
+        serial.median / wide.median
+    );
+
+    par::set_threads(1);
+    let mut rng = Rng64::new(11);
+    let serial_shots = bench("quantum_4096shots_64pts_8q/1thread", 5, || {
+        let mut r = rng.fork();
+        qk.gram_sampled(&xs, 4096, &mut r)
+    });
+    par::set_threads(4);
+    let mut rng = Rng64::new(11);
+    let wide_shots = bench("quantum_4096shots_64pts_8q/4threads", 5, || {
+        let mut r = rng.fork();
+        qk.gram_sampled(&xs, 4096, &mut r)
+    });
+    println!(
+        "speedup (median, 4 threads vs 1): {:.2}x",
+        serial_shots.median / wide_shots.median
+    );
+    par::reset_threads();
+}

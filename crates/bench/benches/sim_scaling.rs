@@ -1,26 +1,19 @@
-//! Criterion bench for E1: state-vector simulation cost vs qubit count.
+//! Bench for E1: state-vector simulation cost vs qubit count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qmldb_bench::experiments::e01_sim_scaling::random_layered_circuit;
+use qmldb_bench::timing::{bench, group};
 use qmldb_math::Rng64;
 use qmldb_sim::StateVector;
 
-fn bench_sim_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("statevector_depth20");
-    group.sample_size(10);
+fn main() {
+    group("statevector_depth20");
     for n in [8usize, 12, 16] {
         let mut rng = Rng64::new(1);
         let circuit = random_layered_circuit(n, 20, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = StateVector::zero(n);
-                s.run(&circuit, &[]);
-                std::hint::black_box(s.norm())
-            })
+        bench(&format!("{n}_qubits"), 10, || {
+            let mut s = StateVector::zero(n);
+            s.run(&circuit, &[]);
+            s.norm()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim_scaling);
-criterion_main!(benches);

@@ -16,10 +16,19 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E3 classifier accuracy: VQC vs logistic regression vs RBF-SVM",
-        &["dataset", "vqc_train", "vqc_test", "logreg_test", "rbf_svm_test"],
+        &[
+            "dataset",
+            "vqc_train",
+            "vqc_test",
+            "logreg_test",
+            "rbf_svm_test",
+        ],
     );
     let sets: Vec<(&str, dataset::Dataset)> = vec![
-        ("blobs", dataset::blobs(60, &[0.5, 0.5], &[2.4, 2.4], 0.25, &mut rng)),
+        (
+            "blobs",
+            dataset::blobs(60, &[0.5, 0.5], &[2.4, 2.4], 0.25, &mut rng),
+        ),
         ("moons", dataset::two_moons(60, 0.15, &mut rng)),
         ("xor", dataset::xor(60, 0.25, &mut rng)),
     ];
@@ -41,7 +50,10 @@ pub fn run(seed: u64) -> Report {
             train.x.clone(),
             train.y.clone(),
             Kernel::Rbf { gamma: 2.0 },
-            &SvmParams { c: 5.0, ..SvmParams::default() },
+            &SvmParams {
+                c: 5.0,
+                ..SvmParams::default()
+            },
             &mut rng,
         );
         report.row(&[
@@ -71,6 +83,9 @@ mod tests {
         let logreg_xor: f64 = xor[3].parse().unwrap();
         assert!(logreg_xor <= 0.75, "logreg must fail XOR, got {logreg_xor}");
         let vqc_xor: f64 = xor[1].parse().unwrap();
-        assert!(vqc_xor >= 0.7, "entangling VQC should learn XOR train set, got {vqc_xor}");
+        assert!(
+            vqc_xor >= 0.7,
+            "entangling VQC should learn XOR train set, got {vqc_xor}"
+        );
     }
 }

@@ -23,7 +23,10 @@ pub fn run(seed: u64) -> Report {
         ("moons", dataset::two_moons(70, 0.12, &mut rng)),
         ("circles", dataset::circles(70, 0.08, &mut rng)),
     ];
-    let params = SvmParams { c: 5.0, ..SvmParams::default() };
+    let params = SvmParams {
+        c: 5.0,
+        ..SvmParams::default()
+    };
     for (name, d) in sets {
         let d = d.rescaled(0.0, std::f64::consts::PI);
         let (train, test) = d.split(0.6, &mut rng);
@@ -80,7 +83,8 @@ pub fn run(seed: u64) -> Report {
             &params,
             &mut rng,
         );
-        let rbf_align = kernel_target_alignment(&Kernel::Rbf { gamma: 2.0 }.gram(&train.x), &train.y);
+        let rbf_align =
+            kernel_target_alignment(&Kernel::Rbf { gamma: 2.0 }.gram(&train.x), &train.y);
         report.row(&[
             name.to_string(),
             "rbf-classical".into(),

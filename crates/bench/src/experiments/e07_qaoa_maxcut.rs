@@ -44,7 +44,14 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E7 QAOA approximation ratio on random 3-regular MaxCut",
-        &["n", "p", "ratio_expect", "ratio_best_sample", "opt_cut", "found_cut"],
+        &[
+            "n",
+            "p",
+            "ratio_expect",
+            "ratio_best_sample",
+            "opt_cut",
+            "found_cut",
+        ],
     );
     for n in [6usize, 8, 10] {
         let edges = random_3_regular(n, &mut rng);

@@ -15,7 +15,13 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E8 Grover vs classical lookup (unique match)",
-        &["rows", "grover_calls", "grover_succ", "classical_calls_avg", "speedup"],
+        &[
+            "rows",
+            "grover_calls",
+            "grover_succ",
+            "classical_calls_avg",
+            "speedup",
+        ],
     );
     for k in 4..=12usize {
         let n = 1usize << k;

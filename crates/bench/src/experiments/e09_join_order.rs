@@ -12,8 +12,8 @@ use qmldb_anneal::{
 };
 use qmldb_core::qaoa::Qaoa;
 use qmldb_db::joinorder::{goo, optimize_left_deep, random_orders, CostModel};
-use qmldb_db::query::{generate, Topology};
 use qmldb_db::qubo_jo::JoinOrderQubo;
+use qmldb_db::query::{generate, Topology};
 use qmldb_math::Rng64;
 
 fn geo_mean(xs: &[f64]) -> f64 {
@@ -25,9 +25,21 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E9 join-order cost ratio vs exact left-deep optimum (geo-mean of 5 queries)",
-        &["topology", "rels", "goo", "random100", "sa_qubo", "sqa_qubo"],
+        &[
+            "topology",
+            "rels",
+            "goo",
+            "random100",
+            "sa_qubo",
+            "sqa_qubo",
+        ],
     );
-    for topo in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique] {
+    for topo in [
+        Topology::Chain,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Clique,
+    ] {
         for n in [6usize, 8, 10] {
             let mut ratios = vec![Vec::new(); 4];
             for _ in 0..5 {
@@ -40,7 +52,11 @@ pub fn run(seed: u64) -> Report {
                 let ising = jo.qubo().to_ising();
                 let sa = simulated_annealing(
                     &ising,
-                    &SaParams { sweeps: 3000, restarts: 6, ..SaParams::default() },
+                    &SaParams {
+                        sweeps: 3000,
+                        restarts: 6,
+                        ..SaParams::default()
+                    },
                     &mut rng,
                 );
                 let sa_cost =
@@ -62,7 +78,10 @@ pub fn run(seed: u64) -> Report {
                 let sqa_cost =
                     jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), &g, CostModel::Cout);
 
-                for (slot, c) in [goo_cost, rand_cost, sa_cost, sqa_cost].into_iter().enumerate() {
+                for (slot, c) in [goo_cost, rand_cost, sa_cost, sqa_cost]
+                    .into_iter()
+                    .enumerate()
+                {
                     ratios[slot].push((c / exact).max(1.0));
                 }
             }

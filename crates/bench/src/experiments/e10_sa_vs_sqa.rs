@@ -8,9 +8,7 @@
 //! Fig. 2 source).
 
 use crate::report::{fmt_f, Report};
-use qmldb_anneal::{
-    simulated_annealing, simulated_quantum_annealing, Ising, SaParams, SqaParams,
-};
+use qmldb_anneal::{simulated_annealing, simulated_quantum_annealing, Ising, SaParams, SqaParams};
 use qmldb_math::Rng64;
 
 /// Two tight ferromagnetic clusters with a weak antiferromagnetic link and
@@ -40,18 +38,27 @@ pub fn run(seed: u64) -> Report {
     );
     let m = tall_barrier(6, 2.0);
     let (_, exact) = m.brute_force_ground();
-    let trials = 20;
+    let trials = 40;
     for sweeps in [30usize, 60, 120, 300] {
         let mut sa_hits = 0;
         let mut sqa_hits = 0;
         for t in 0..trials {
-            let mut rng = Rng64::new(seed + 1000 * sweeps as u64 + t);
+            // Common random numbers: every sweep budget replays the same
+            // trial seeds, so all budgets start from the same initial
+            // states and the hit-rate comparison across budgets is not
+            // swamped by which basins the initial states happen to land
+            // in.
+            let mut rng = Rng64::new(seed + t);
+            // SA starts hot enough (2× the energy scale) that slow cooling
+            // can cross the cluster barrier: its hit rate then genuinely
+            // grows with the sweep budget instead of freezing into
+            // whichever basin the initial state landed in.
             let sa = simulated_annealing(
                 &m,
                 &SaParams {
                     sweeps,
                     restarts: 1,
-                    t_start_factor: 0.6,
+                    t_start_factor: 2.0,
                     t_end_factor: 0.01,
                 },
                 &mut rng,

@@ -27,13 +27,20 @@ pub fn run(seed: u64) -> Report {
             let q = m.to_qubo(m.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
-                &SaParams { sweeps: 1500, restarts: 4, ..SaParams::default() },
+                &SaParams {
+                    sweeps: 1500,
+                    restarts: 4,
+                    ..SaParams::default()
+                },
                 &mut rng,
             );
             let sa_cost = m.cost(&m.decode(&spins_to_bits(&sa.spins)));
             let tabu = tabu_search(
                 &q,
-                &TabuParams { iters: 1500, ..TabuParams::default() },
+                &TabuParams {
+                    iters: 1500,
+                    ..TabuParams::default()
+                },
                 &mut rng,
             );
             let tabu_cost = m.cost(&m.decode(&tabu.bits));
@@ -78,6 +85,9 @@ mod tests {
         let low = gap(&r.rows[0]);
         let high = gap(&r.rows[2]);
         assert!(high >= low, "gap low {low} vs high {high}");
-        assert!(high > 0.0, "at 0.9 sharing greedy must leave money on the table");
+        assert!(
+            high > 0.0,
+            "at 0.9 sharing greedy must leave money on the table"
+        );
     }
 }

@@ -15,7 +15,14 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E12 index selection net benefit (12 candidates, mean of 5 instances)",
-        &["budget_frac", "exact", "greedy", "sa_qubo", "greedy/exact", "sa/exact"],
+        &[
+            "budget_frac",
+            "exact",
+            "greedy",
+            "sa_qubo",
+            "greedy/exact",
+            "sa/exact",
+        ],
     );
     for budget_frac in [0.25f64, 0.4, 0.6] {
         let instances = 5;
@@ -27,7 +34,11 @@ pub fn run(seed: u64) -> Report {
             let (q, _) = s.to_qubo(s.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
-                &SaParams { sweeps: 2500, restarts: 6, ..SaParams::default() },
+                &SaParams {
+                    sweeps: 2500,
+                    restarts: 6,
+                    ..SaParams::default()
+                },
                 &mut rng,
             );
             let sel = s.decode(&spins_to_bits(&sa.spins));

@@ -27,7 +27,11 @@ pub fn run(seed: u64) -> Report {
             let q = s.to_qubo(s.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
-                &SaParams { sweeps: 2000, restarts: 5, ..SaParams::default() },
+                &SaParams {
+                    sweeps: 2000,
+                    restarts: 5,
+                    ..SaParams::default()
+                },
                 &mut rng,
             );
             let a = s.decode(&spins_to_bits(&sa.spins));

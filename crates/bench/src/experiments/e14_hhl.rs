@@ -16,7 +16,14 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E14 HHL linear solver: fidelity vs dimension and condition number",
-        &["dim", "kappa", "clock_bits", "fidelity", "success_prob", "qubits"],
+        &[
+            "dim",
+            "kappa",
+            "clock_bits",
+            "fidelity",
+            "success_prob",
+            "qubits",
+        ],
     );
     let cfg = HhlConfig {
         clock_bits: 6,

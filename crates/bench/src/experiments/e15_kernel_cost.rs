@@ -7,7 +7,7 @@
 
 use crate::report::{fmt_f, Report};
 use qmldb_core::kernel::{FeatureMap, QuantumKernel};
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
 use qmldb_ml::dataset;
 use std::time::Instant;
 
@@ -18,6 +18,12 @@ pub fn run(seed: u64) -> Report {
         "E15 Gram-matrix build time (ZZ feature map, 2 qubits)",
         &["points", "entries", "exact_ms", "sampled512_ms"],
     );
+    // This experiment measures how the *algorithmic* cost grows with
+    // dataset size; pin one worker so per-call thread-spawn overhead
+    // cannot mask the quadratic growth at small sizes. Parallel scaling
+    // has its own artifact (the `kernels` bench). Thread count never
+    // changes results, so the override is observationally safe.
+    par::set_threads(1);
     let kernel = QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 });
     for n in [16usize, 32, 64] {
         let d = dataset::two_moons(n, 0.1, &mut rng).rescaled(0.0, std::f64::consts::PI);
@@ -34,6 +40,7 @@ pub fn run(seed: u64) -> Report {
             fmt_f(sampled_ms),
         ]);
     }
+    par::reset_threads();
     report.note("cost grows quadratically with dataset size — the practical QML bottleneck");
     report
 }

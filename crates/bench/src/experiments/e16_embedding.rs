@@ -15,7 +15,14 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E16 Chimera minor-embedding overhead",
-        &["logical", "graph", "fabric", "physical_qubits", "max_chain", "inflation"],
+        &[
+            "logical",
+            "graph",
+            "fabric",
+            "physical_qubits",
+            "max_chain",
+            "inflation",
+        ],
     );
     // Cliques via the deterministic native embedding.
     for n in [4usize, 8, 12, 16] {
@@ -37,8 +44,7 @@ pub fn run(seed: u64) -> Report {
         let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let m = 3.max(n / 8);
         let target = Chimera::new(m);
-        let e = embed_with_retries(n, &edges, &target, 50, &mut rng)
-            .expect("chain embedding fits");
+        let e = embed_with_retries(n, &edges, &target, 50, &mut rng).expect("chain embedding fits");
         report.row(&[
             n.to_string(),
             format!("path{n}"),

@@ -30,7 +30,13 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E17 annealer-device deployment (10-var QUBOs, mean of 5 instances)",
-        &["chain_strength", "hit_rate_device", "hit_rate_logical", "chain_breaks", "phys_qubits"],
+        &[
+            "chain_strength",
+            "hit_rate_device",
+            "hit_rate_logical",
+            "chain_breaks",
+            "phys_qubits",
+        ],
     );
     let instances = 5;
     for &cs in &[0.1f64, 0.5, 1.5, 3.0] {
@@ -44,7 +50,12 @@ pub fn run(seed: u64) -> Report {
             // Idealized logical annealer.
             let logical = simulated_quantum_annealing(
                 &q.to_ising(),
-                &SqaParams { sweeps: 300, replicas: 12, restarts: 1, ..SqaParams::default() },
+                &SqaParams {
+                    sweeps: 300,
+                    replicas: 12,
+                    restarts: 1,
+                    ..SqaParams::default()
+                },
                 &mut rng,
             );
             if (logical.energy - exact.energy).abs() < 1e-9 {
@@ -86,7 +97,10 @@ mod tests {
         let strong = r.rows.last().unwrap();
         let device: f64 = strong[1].parse().unwrap();
         let logical: f64 = strong[2].parse().unwrap();
-        assert!(device >= logical - 0.21, "device {device} vs logical {logical}");
+        assert!(
+            device >= logical - 0.21,
+            "device {device} vs logical {logical}"
+        );
     }
 
     #[test]
@@ -94,6 +108,9 @@ mod tests {
         let r = run(131);
         let weak_breaks: f64 = r.rows[0][3].parse().unwrap();
         let strong_breaks: f64 = r.rows.last().unwrap()[3].parse().unwrap();
-        assert!(weak_breaks >= strong_breaks, "{weak_breaks} vs {strong_breaks}");
+        assert!(
+            weak_breaks >= strong_breaks,
+            "{weak_breaks} vs {strong_breaks}"
+        );
     }
 }

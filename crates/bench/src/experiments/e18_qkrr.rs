@@ -97,10 +97,7 @@ mod tests {
     fn qkrr_beats_linear_and_tracks_classical() {
         let r = run(141);
         let test_mse = |name: &str| -> f64 {
-            r.rows
-                .iter()
-                .find(|row| row[0].starts_with(name))
-                .unwrap()[2]
+            r.rows.iter().find(|row| row[0].starts_with(name)).unwrap()[2]
                 .parse()
                 .unwrap()
         };

@@ -14,7 +14,13 @@ pub fn run(seed: u64) -> Report {
     let mut rng = Rng64::new(seed);
     let mut report = Report::new(
         "E20 walk spreading on a 512-node cycle",
-        &["steps", "quantum_sigma", "classical_sigma", "q_sigma/t", "c_sigma/sqrt_t"],
+        &[
+            "steps",
+            "quantum_sigma",
+            "classical_sigma",
+            "q_sigma/t",
+            "c_sigma/sqrt_t",
+        ],
     );
     let bits = 9usize;
     let origin = 1usize << (bits - 1);
@@ -31,7 +37,8 @@ pub fn run(seed: u64) -> Report {
             fmt_f(c / (t as f64).sqrt()),
         ]);
     }
-    report.note("quantum σ/t and classical σ/√t both flatten to constants — ballistic vs diffusive");
+    report
+        .note("quantum σ/t and classical σ/√t both flatten to constants — ballistic vs diffusive");
     report
 }
 

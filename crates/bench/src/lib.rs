@@ -1,10 +1,12 @@
 //! Benchmark harness and experiment runner for the `qmldb` workspace.
 //!
 //! Every table/figure in `EXPERIMENTS.md` is regenerated either by a
-//! criterion bench (`cargo bench -p qmldb-bench`) or by the `experiments`
-//! binary (`cargo run -p qmldb-bench --bin experiments --release -- all`).
+//! wall-clock bench (`cargo bench -p qmldb-bench`, timed by the in-repo
+//! [`timing`] harness) or by the `experiments` binary
+//! (`cargo run -p qmldb-bench --bin experiments --release -- all`).
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use report::Report;

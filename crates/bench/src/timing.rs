@@ -1,0 +1,83 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the benches
+//! under `benches/` (all `harness = false`) time themselves with this
+//! module instead of criterion: a warm-up run, `iters` timed runs, and a
+//! one-line report of min / median / mean per iteration.
+
+use std::time::Instant;
+
+/// Timing summary for one benchmark case, all in seconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Fastest observed iteration.
+    pub min: f64,
+    /// Median iteration.
+    pub median: f64,
+    /// Mean iteration.
+    pub mean: f64,
+}
+
+impl Timing {
+    /// Formats a duration in adaptive units.
+    fn fmt(secs: f64) -> String {
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.3} µs", secs * 1e6)
+        } else {
+            format!("{:.1} ns", secs * 1e9)
+        }
+    }
+}
+
+/// Times `f` over `iters` iterations (after one warm-up call), prints a
+/// criterion-style report line, and returns the summary.
+pub fn bench<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) -> Timing {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f()); // warm-up: page in code and data
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let t = Timing { min, median, mean };
+    println!(
+        "{label:<44} {iters:>4} iters   min {:>11}   median {:>11}   mean {:>11}",
+        Timing::fmt(min),
+        Timing::fmt(median),
+        Timing::fmt(mean),
+    );
+    t
+}
+
+/// Prints a section header so multi-group bench binaries read like
+/// criterion output.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_ordered_stats() {
+        let t = bench("noop", 8, || 1 + 1);
+        assert!(t.min <= t.median);
+        assert!(t.min > 0.0 || t.median >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iters_rejected() {
+        bench("bad", 0, || ());
+    }
+}

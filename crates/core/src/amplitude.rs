@@ -99,7 +99,10 @@ pub fn estimate_amplitude(
         let theta = std::f64::consts::FRAC_PI_2 * g as f64 / grid as f64;
         let mut ll = 0.0;
         for (&k, &h) in schedule.iter().zip(&hits) {
-            let p = ((2 * k + 1) as f64 * theta).sin().powi(2).clamp(1e-12, 1.0 - 1e-12);
+            let p = ((2 * k + 1) as f64 * theta)
+                .sin()
+                .powi(2)
+                .clamp(1e-12, 1.0 - 1e-12);
             ll += h as f64 * p.ln() + (shots - h) as f64 * (1.0 - p).ln();
         }
         if ll > best_ll {
@@ -137,9 +140,7 @@ pub fn classical_count(
     rng: &mut Rng64,
 ) -> f64 {
     let dim = 1usize << n_qubits;
-    let hits = (0..samples)
-        .filter(|_| oracle(rng.index(dim)))
-        .count();
+    let hits = (0..samples).filter(|_| oracle(rng.index(dim))).count();
     hits as f64 / samples as f64 * dim as f64
 }
 

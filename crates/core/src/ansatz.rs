@@ -97,17 +97,10 @@ pub fn qaoa_ansatz(n_qubits: usize, cost: &PauliSum, p: usize) -> Circuit {
             match qubits.len() {
                 0 => {} // global phase
                 1 => {
-                    c.rz(
-                        qubits[0],
-                        scale_angle(gamma, 2.0 * coeff),
-                    );
+                    c.rz(qubits[0], scale_angle(gamma, 2.0 * coeff));
                 }
                 2 => {
-                    c.rzz(
-                        qubits[0],
-                        qubits[1],
-                        scale_angle(gamma, 2.0 * coeff),
-                    );
+                    c.rzz(qubits[0], qubits[1], scale_angle(gamma, 2.0 * coeff));
                 }
                 k => panic!("QAOA cost term on {k} qubits unsupported"),
             }

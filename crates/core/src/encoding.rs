@@ -73,7 +73,10 @@ pub fn zz_feature_map(n_qubits: usize, features: &[f64], reps: usize) -> Circuit
 /// Panics on negative features or an all-zero vector.
 pub fn amplitude_encode(n_qubits: usize, features: &[f64]) -> Circuit {
     let dim = 1usize << n_qubits;
-    assert!(features.len() <= dim, "too many features for {n_qubits} qubits");
+    assert!(
+        features.len() <= dim,
+        "too many features for {n_qubits} qubits"
+    );
     assert!(
         features.iter().all(|&f| f >= 0.0),
         "amplitude encoding requires non-negative features"

@@ -34,10 +34,7 @@ fn apply_oracle(state: &mut StateVector, oracle: &dyn Fn(usize) -> bool) {
 fn apply_diffusion(state: &mut StateVector) {
     let amps = state.amplitudes_mut();
     let n = amps.len() as f64;
-    let mean = amps
-        .iter()
-        .fold(qmldb_math::C64::ZERO, |acc, &a| acc + a)
-        / n;
+    let mean = amps.iter().fold(qmldb_math::C64::ZERO, |acc, &a| acc + a) / n;
     for a in amps.iter_mut() {
         *a = mean.scale(2.0) - *a;
     }
@@ -134,11 +131,7 @@ pub fn grover_search_unknown(
 /// Classical baseline: uniformly random probing without replacement;
 /// returns the number of oracle calls needed to find a marked item
 /// (or `total` if none exists).
-pub fn classical_search(
-    total: usize,
-    oracle: &dyn Fn(usize) -> bool,
-    rng: &mut Rng64,
-) -> usize {
+pub fn classical_search(total: usize, oracle: &dyn Fn(usize) -> bool, rng: &mut Rng64) -> usize {
     let mut order: Vec<usize> = (0..total).collect();
     rng.shuffle(&mut order);
     for (calls, idx) in order.into_iter().enumerate() {
@@ -160,7 +153,11 @@ mod tests {
         let oracle = move |x: usize| x == target;
         let mut rng = Rng64::new(501);
         let r = grover_search_known(n, &oracle, 1, &mut rng);
-        assert!(r.success_probability > 0.99, "p = {}", r.success_probability);
+        assert!(
+            r.success_probability > 0.99,
+            "p = {}",
+            r.success_probability
+        );
         assert_eq!(r.outcome, target);
         // π/4·√256 = 12.57 → 12 iterations.
         assert_eq!(r.oracle_calls, 12);

@@ -102,44 +102,69 @@ impl QuantumKernel {
         zeros as f64 / shots as f64
     }
 
+    /// The strict upper-triangle pairs `(i, j)` with `i < j` — the
+    /// independent work items of a Gram matrix.
+    fn upper_pairs(n: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::with_capacity(n * (n.max(1) - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j));
+            }
+        }
+        pairs
+    }
+
     /// Exact Gram matrix over a dataset (symmetric, unit diagonal).
+    ///
+    /// Feature states are prepared as one batched circuit execution and the
+    /// upper-triangle fidelities computed in parallel (`QMLDB_THREADS`
+    /// workers); results are bit-identical for any thread count.
     pub fn gram(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let states: Vec<StateVector> = xs.iter().map(|x| self.feature_state(x)).collect();
+        let circuits: Vec<Circuit> = xs
+            .iter()
+            .map(|x| self.map.circuit(self.n_qubits, x))
+            .collect();
+        let states = Simulator::new().run_batch(&circuits, &[]);
         let n = xs.len();
+        let pairs = Self::upper_pairs(n);
+        let vals = qmldb_math::par::map(&pairs, |_, &(i, j)| states[i].fidelity(&states[j]));
         let mut k = vec![vec![0.0; n]; n];
         for i in 0..n {
             k[i][i] = 1.0;
-            for j in (i + 1)..n {
-                let v = states[i].fidelity(&states[j]);
-                k[i][j] = v;
-                k[j][i] = v;
-            }
+        }
+        for (&(i, j), v) in pairs.iter().zip(vals) {
+            k[i][j] = v;
+            k[j][i] = v;
         }
         k
     }
 
-    /// Shot-sampled Gram matrix (diagonal fixed at 1).
+    /// Shot-sampled Gram matrix (diagonal fixed at 1). Each pair is
+    /// estimated on its own random stream forked from `rng` and the pairs
+    /// run in parallel, so the matrix is bit-identical for any
+    /// `QMLDB_THREADS` setting.
     pub fn gram_sampled(&self, xs: &[Vec<f64>], shots: usize, rng: &mut Rng64) -> Vec<Vec<f64>> {
         let n = xs.len();
+        let pairs = Self::upper_pairs(n);
+        let vals = qmldb_math::par::map_rng(&pairs, rng, |_, &(i, j), pair_rng| {
+            self.eval_sampled(&xs[i], &xs[j], shots, pair_rng)
+        });
         let mut k = vec![vec![0.0; n]; n];
         for i in 0..n {
             k[i][i] = 1.0;
-            for j in (i + 1)..n {
-                let v = self.eval_sampled(&xs[i], &xs[j], shots, rng);
-                k[i][j] = v;
-                k[j][i] = v;
-            }
+        }
+        for (&(i, j), v) in pairs.iter().zip(vals) {
+            k[i][j] = v;
+            k[j][i] = v;
         }
         k
     }
 
     /// Kernel row of a new point against a training set — what prediction
-    /// needs.
+    /// needs. Training-set states are evaluated in parallel.
     pub fn row(&self, xs: &[Vec<f64>], point: &[f64]) -> Vec<f64> {
         let sp = self.feature_state(point);
-        xs.iter()
-            .map(|x| self.feature_state(x).fidelity(&sp))
-            .collect()
+        qmldb_math::par::map(xs, |_, x| self.feature_state(x).fidelity(&sp))
     }
 }
 

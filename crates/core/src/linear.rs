@@ -9,7 +9,7 @@
 
 use crate::qft::append_phase_estimation;
 use qmldb_math::decomp::{self, symmetric_eigen};
-use qmldb_math::{C64, CMatrix, Matrix, Rng64, Vector};
+use qmldb_math::{CMatrix, Matrix, Rng64, Vector, C64};
 use qmldb_sim::{Circuit, Gate, StateVector};
 
 /// HHL configuration.
@@ -269,7 +269,11 @@ pub fn random_spd_with_condition(dim: usize, kappa: f64, rng: &mut Rng64) -> Mat
     // Eigenvalues log-spaced in [1/κ, 1].
     let mut m = Matrix::zeros(dim, dim);
     for (k, u) in basis.iter().enumerate() {
-        let frac = if dim == 1 { 0.0 } else { k as f64 / (dim - 1) as f64 };
+        let frac = if dim == 1 {
+            0.0
+        } else {
+            k as f64 / (dim - 1) as f64
+        };
         let lam = kappa.powf(-frac); // from 1 down to 1/κ
         for i in 0..dim {
             for j in 0..dim {
@@ -309,8 +313,24 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
         let b = [1.0, 1.0];
         let x = classical_solution(&a, &b).unwrap();
-        let coarse = hhl_solve(&a, &b, &HhlConfig { clock_bits: 3, c_scale: 0.9 }).unwrap();
-        let fine = hhl_solve(&a, &b, &HhlConfig { clock_bits: 8, c_scale: 0.9 }).unwrap();
+        let coarse = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 3,
+                c_scale: 0.9,
+            },
+        )
+        .unwrap();
+        let fine = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 8,
+                c_scale: 0.9,
+            },
+        )
+        .unwrap();
         let f_coarse = solution_fidelity(&coarse.solution, &x);
         let f_fine = solution_fidelity(&fine.solution, &x);
         assert!(
@@ -324,7 +344,15 @@ mod tests {
     fn hhl_solves_coupled_system() {
         let a = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
         let b = [0.8, -0.6];
-        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.7 }).unwrap();
+        let r = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 6,
+                c_scale: 0.7,
+            },
+        )
+        .unwrap();
         let x = classical_solution(&a, &b).unwrap();
         let f = solution_fidelity(&r.solution, &x);
         assert!(f > 0.99, "fidelity {f}");
@@ -335,7 +363,15 @@ mod tests {
         // One positive and one negative eigenvalue.
         let a = Matrix::from_rows(&[vec![0.5, 1.0], vec![1.0, 0.5]]); // eig 1.5, -0.5
         let b = [1.0, 0.3];
-        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 7, c_scale: 0.5 }).unwrap();
+        let r = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 7,
+                c_scale: 0.5,
+            },
+        )
+        .unwrap();
         let x = classical_solution(&a, &b).unwrap();
         let f = solution_fidelity(&r.solution, &x);
         assert!(f > 0.98, "fidelity {f}");
@@ -346,7 +382,15 @@ mod tests {
         let mut rng = Rng64::new(701);
         let a = random_spd_with_condition(4, 4.0, &mut rng);
         let b = [0.3, -0.5, 0.8, 0.1];
-        let r = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.6 }).unwrap();
+        let r = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 6,
+                c_scale: 0.6,
+            },
+        )
+        .unwrap();
         let x = classical_solution(&a, &b).unwrap();
         let f = solution_fidelity(&r.solution, &x);
         assert!(f > 0.97, "fidelity {f}");
@@ -358,12 +402,26 @@ mod tests {
         // p_success = Σ|β_j|²(C/λ_j)², so halving C quarters it.
         let a = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
         let b = [0.8, -0.6];
-        let p_full = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.8 })
-            .unwrap()
-            .success_probability;
-        let p_half = hhl_solve(&a, &b, &HhlConfig { clock_bits: 6, c_scale: 0.4 })
-            .unwrap()
-            .success_probability;
+        let p_full = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 6,
+                c_scale: 0.8,
+            },
+        )
+        .unwrap()
+        .success_probability;
+        let p_half = hhl_solve(
+            &a,
+            &b,
+            &HhlConfig {
+                clock_bits: 6,
+                c_scale: 0.4,
+            },
+        )
+        .unwrap()
+        .success_probability;
         let ratio = p_full / p_half;
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
     }
@@ -376,7 +434,10 @@ mod tests {
         let a_easy = random_spd_with_condition(2, 1.5, &mut rng);
         let a_hard = random_spd_with_condition(2, 24.0, &mut rng);
         let b = [0.6, 0.8];
-        let cfg = HhlConfig { clock_bits: 5, c_scale: 0.5 };
+        let cfg = HhlConfig {
+            clock_bits: 5,
+            c_scale: 0.5,
+        };
         let f_easy = solution_fidelity(
             &hhl_solve(&a_easy, &b, &cfg).unwrap().solution,
             &classical_solution(&a_easy, &b).unwrap(),

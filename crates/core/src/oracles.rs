@@ -6,7 +6,7 @@
 //! concrete before the heavier machinery (Grover, QAE) arrives.
 
 use crate::qft::append_phase_estimation;
-use qmldb_math::{C64, CMatrix, Rng64};
+use qmldb_math::{CMatrix, Rng64, C64};
 use qmldb_sim::{Circuit, Simulator, StateVector};
 
 /// A promise function for Deutsch–Jozsa: constant or balanced on `n` bits.

@@ -102,7 +102,9 @@ mod tests {
         let circuit = hardware_efficient(3, 2, Entanglement::Linear);
         let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
         let sim = Simulator::new();
-        let params: Vec<f64> = (0..circuit.n_params()).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let params: Vec<f64> = (0..circuit.n_params())
+            .map(|i| 0.3 + 0.1 * i as f64)
+            .collect();
         let fast = first_component_gradient(&sim, &circuit, &params, &obs);
         let full = parameter_shift(&sim, &circuit, &params, &obs);
         assert!((fast - full[0]).abs() < 1e-10);

@@ -119,7 +119,13 @@ impl Qaoa {
     /// Optimizes parameters with Adam + parameter-shift from `restarts`
     /// random initializations, then samples `shots` bitstrings from the
     /// best circuit and returns the lowest-energy one.
-    pub fn solve(&self, iters: usize, restarts: usize, shots: usize, rng: &mut Rng64) -> QaoaResult {
+    pub fn solve(
+        &self,
+        iters: usize,
+        restarts: usize,
+        shots: usize,
+        rng: &mut Rng64,
+    ) -> QaoaResult {
         let sim = Simulator::new();
         let mut best_params: Vec<f64> = Vec::new();
         let mut best_exp = f64::INFINITY;

@@ -138,8 +138,14 @@ mod tests {
         );
         let c = KernelRidge::fit(x.clone(), &y, Kernel::Rbf { gamma: 1.0 }, 1e-3);
         let lin = LinearRidge::fit(&x, &y, 1e-3);
-        assert!(q.mse(&x, &y) < lin.mse(&x, &y) / 5.0, "beats the linear model");
-        assert!(q.mse(&x, &y) < 10.0 * c.mse(&x, &y) + 0.01, "near classical KRR");
+        assert!(
+            q.mse(&x, &y) < lin.mse(&x, &y) / 5.0,
+            "beats the linear model"
+        );
+        assert!(
+            q.mse(&x, &y) < 10.0 * c.mse(&x, &y) + 0.01,
+            "near classical KRR"
+        );
     }
 
     #[test]
@@ -160,7 +166,10 @@ mod tests {
         let exact = kernel.eval(&x, &y);
         let mut rng = Rng64::new(2707);
         let est = swap_test_kernel(&kernel, &x, &y, 60_000, &mut rng);
-        assert!((est - exact).abs() < 0.02, "swap test {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.02,
+            "swap test {est} vs exact {exact}"
+        );
     }
 
     #[test]

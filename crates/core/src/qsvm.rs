@@ -118,7 +118,10 @@ mod tests {
             d.x.clone(),
             d.y.clone(),
             KernelMode::Exact,
-            &SvmParams { c: 5.0, ..SvmParams::default() },
+            &SvmParams {
+                c: 5.0,
+                ..SvmParams::default()
+            },
             &mut rng,
         );
         let acc = model.accuracy(&d.x, &d.y);

@@ -308,7 +308,13 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|xi| if (3.0 * xi[0]).sin() >= 0.0 { 1.0 } else { -1.0 })
+            .map(|xi| {
+                if (3.0 * xi[0]).sin() >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let base = VqcConfig {
             n_qubits: 1,

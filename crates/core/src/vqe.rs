@@ -69,8 +69,7 @@ impl Vqe {
                 .collect();
             let mut adam = Adam::new(0.1);
             let mut obj = |p: &[f64]| self.energy(p);
-            let mut grad =
-                |p: &[f64]| parameter_shift(&sim, &self.ansatz, p, &self.hamiltonian);
+            let mut grad = |p: &[f64]| parameter_shift(&sim, &self.ansatz, p, &self.hamiltonian);
             let r = minimize(&mut obj, &mut grad, &init, &mut adam, iters);
             if r.best_value < best.energy {
                 best = VqeResult {

@@ -7,7 +7,7 @@
 //! walk-based search and the reason walks appear in the tutorial's
 //! foundation toolbox.
 
-use qmldb_math::{C64, Rng64};
+use qmldb_math::{Rng64, C64};
 use qmldb_sim::StateVector;
 
 /// A coined quantum walk on a cycle of `2ⁿ` positions.

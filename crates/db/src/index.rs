@@ -220,8 +220,8 @@ pub fn generate_instance(n_candidates: usize, budget_frac: f64, rng: &mut Rng64)
     for i in 0..n_candidates {
         for j in (i + 1)..n_candidates {
             if i % tables.len() == j % tables.len() {
-                let o = candidates[i].benefit.min(candidates[j].benefit)
-                    * rng.uniform_range(0.2, 0.6);
+                let o =
+                    candidates[i].benefit.min(candidates[j].benefit) * rng.uniform_range(0.2, 0.6);
                 interactions.push((i, j, o.round()));
             }
         }
@@ -238,9 +238,21 @@ mod tests {
     fn small() -> IndexSelection {
         IndexSelection::new(
             vec![
-                IndexCandidate { name: "a".into(), size: 10.0, benefit: 30.0 },
-                IndexCandidate { name: "b".into(), size: 10.0, benefit: 28.0 },
-                IndexCandidate { name: "c".into(), size: 12.0, benefit: 25.0 },
+                IndexCandidate {
+                    name: "a".into(),
+                    size: 10.0,
+                    benefit: 30.0,
+                },
+                IndexCandidate {
+                    name: "b".into(),
+                    size: 10.0,
+                    benefit: 28.0,
+                },
+                IndexCandidate {
+                    name: "c".into(),
+                    size: 12.0,
+                    benefit: 25.0,
+                },
             ],
             vec![(0, 1, 20.0)], // a and b overlap heavily
             20.0,
@@ -301,10 +313,7 @@ mod tests {
         let sel = s.decode(&spins_to_bits(&r.spins));
         let val = s.evaluate(&sel).expect("decode must repair to feasible");
         let (_, exact) = s.solve_exhaustive();
-        assert!(
-            val >= 0.85 * exact,
-            "annealed {val} vs exhaustive {exact}"
-        );
+        assert!(val >= 0.85 * exact, "annealed {val} vs exhaustive {exact}");
     }
 
     #[test]
@@ -318,7 +327,11 @@ mod tests {
     #[should_panic(expected = "budget")]
     fn zero_budget_rejected() {
         IndexSelection::new(
-            vec![IndexCandidate { name: "a".into(), size: 1.0, benefit: 1.0 }],
+            vec![IndexCandidate {
+                name: "a".into(),
+                size: 1.0,
+                benefit: 1.0,
+            }],
             vec![],
             0.0,
         );

@@ -60,13 +60,10 @@ pub fn optimize_bushy_with(graph: &JoinGraph, model: CostModel, allow_cross: boo
                     // Require both sides present; for no-cross-product
                     // plans also require a connecting edge.
                     let connected = allow_cross
-                        || graph
-                            .edges()
-                            .iter()
-                            .any(|&(a, b, _)| {
-                                (sub & (1 << a) != 0 && other & (1 << b) != 0)
-                                    || (sub & (1 << b) != 0 && other & (1 << a) != 0)
-                            });
+                        || graph.edges().iter().any(|&(a, b, _)| {
+                            (sub & (1 << a) != 0 && other & (1 << b) != 0)
+                                || (sub & (1 << b) != 0 && other & (1 << a) != 0)
+                        });
                     if connected {
                         let card = graph.result_cardinality(mask);
                         let step = match model {
@@ -132,9 +129,7 @@ pub fn optimize_left_deep(graph: &JoinGraph, model: CostModel) -> DpResult {
             let card = graph.result_cardinality(mask as u64);
             let step = match model {
                 CostModel::Cout => card,
-                CostModel::Cmm => {
-                    graph.result_cardinality(prev as u64) * graph.cardinality(last)
-                }
+                CostModel::Cmm => graph.result_cardinality(prev as u64) * graph.cardinality(last),
             };
             let total = pc + step;
             if found.as_ref().is_none_or(|(c, _)| total < *c) {
@@ -193,7 +188,12 @@ mod tests {
     #[test]
     fn left_deep_dp_matches_brute_force() {
         let mut rng = Rng64::new(1701);
-        for topo in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique] {
+        for topo in [
+            Topology::Chain,
+            Topology::Star,
+            Topology::Cycle,
+            Topology::Clique,
+        ] {
             let g = generate(topo, 6, &mut rng);
             let dp = optimize_left_deep(&g, CostModel::Cout);
             let (_, bf) = brute_force_left_deep(&g, CostModel::Cout);

@@ -106,11 +106,7 @@ fn ikkbz_for_root(graph: &JoinGraph, root: usize) -> Vec<usize> {
 
     // Bottom-up: chain(v) = the optimal normalized chain of v's subtree
     // *below* v (sequence of Seq nodes in non-decreasing rank).
-    fn build_chain(
-        v: usize,
-        graph: &JoinGraph,
-        children: &[Vec<usize>],
-    ) -> Vec<Seq> {
+    fn build_chain(v: usize, graph: &JoinGraph, children: &[Vec<usize>]) -> Vec<Seq> {
         // Gather each child's own chain prefixed by the child node itself.
         let mut merged: Vec<Seq> = Vec::new();
         for &c in &children[v] {

@@ -6,7 +6,9 @@ pub mod greedy;
 pub mod ikkbz;
 pub mod tree;
 
-pub use dp::{brute_force_left_deep, optimize_bushy, optimize_bushy_with, optimize_left_deep, DpResult};
+pub use dp::{
+    brute_force_left_deep, optimize_bushy, optimize_bushy_with, optimize_left_deep, DpResult,
+};
 pub use greedy::{goo, random_orders};
 pub use ikkbz::{ikkbz, IkkbzResult};
 pub use tree::{cost, left_deep_cost, CostModel, JoinTree};

@@ -89,10 +89,7 @@ mod tests {
 
     fn chain3() -> JoinGraph {
         // card 1000, 10, 1000; joining through the small middle is cheap.
-        JoinGraph::new(
-            vec![1000.0, 10.0, 1000.0],
-            vec![(0, 1, 0.01), (1, 2, 0.01)],
-        )
+        JoinGraph::new(vec![1000.0, 10.0, 1000.0], vec![(0, 1, 0.01), (1, 2, 0.01)])
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod index;
 pub mod joinorder;
 pub mod mqo;
 pub mod optimizer;
-pub mod query;
 pub mod qubo_jo;
+pub mod query;
 pub mod search;
 pub mod txsched;
 
@@ -39,7 +39,7 @@ pub use index::{IndexCandidate, IndexSelection};
 pub use joinorder::{CostModel, JoinTree};
 pub use mqo::MqoInstance;
 pub use optimizer::{optimize, OptimizedPlan, Strategy};
-pub use query::{JoinGraph, Topology};
 pub use qubo_jo::JoinOrderQubo;
+pub use query::{JoinGraph, Topology};
 pub use search::Relation;
 pub use txsched::TxSchedule;

@@ -106,9 +106,7 @@ impl MqoInstance {
         assert_eq!(bits.len(), self.n_vars(), "assignment length");
         let mut selection = Vec::with_capacity(self.n_queries());
         for (q, plans) in self.plan_costs.iter().enumerate() {
-            let chosen: Vec<usize> = (0..plans.len())
-                .filter(|&p| bits[self.var(q, p)])
-                .collect();
+            let chosen: Vec<usize> = (0..plans.len()).filter(|&p| bits[self.var(q, p)]).collect();
             if chosen.len() == 1 {
                 selection.push(chosen[0]);
             } else {
@@ -302,9 +300,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "savings must order")]
     fn misordered_savings_rejected() {
-        MqoInstance::new(
-            vec![vec![1.0], vec![1.0]],
-            vec![((1, 0), (0, 0), 5.0)],
-        );
+        MqoInstance::new(vec![vec![1.0], vec![1.0]], vec![((1, 0), (0, 0), 5.0)]);
     }
 }

@@ -9,8 +9,8 @@ use crate::joinorder::{
     goo, ikkbz, left_deep_cost, optimize_bushy, optimize_left_deep, random_orders, CostModel,
     JoinTree,
 };
-use crate::query::JoinGraph;
 use crate::qubo_jo::JoinOrderQubo;
+use crate::query::JoinGraph;
 use qmldb_anneal::device::{AnnealerDevice, DeviceConfig};
 use qmldb_anneal::{
     simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
@@ -189,10 +189,18 @@ mod tests {
             Strategy::Goo,
             Strategy::Random { k: 50 },
             Strategy::AnnealedQubo {
-                params: SaParams { sweeps: 500, restarts: 2, ..SaParams::default() },
+                params: SaParams {
+                    sweeps: 500,
+                    restarts: 2,
+                    ..SaParams::default()
+                },
             },
             Strategy::QuantumAnnealedQubo {
-                params: SqaParams { sweeps: 200, restarts: 1, ..SqaParams::default() },
+                params: SqaParams {
+                    sweeps: 200,
+                    restarts: 1,
+                    ..SqaParams::default()
+                },
             },
         ];
         for s in &strategies {
@@ -213,7 +221,11 @@ mod tests {
             Strategy::Goo,
             Strategy::Random { k: 20 },
             Strategy::AnnealedQubo {
-                params: SaParams { sweeps: 500, restarts: 2, ..SaParams::default() },
+                params: SaParams {
+                    sweeps: 500,
+                    restarts: 2,
+                    ..SaParams::default()
+                },
             },
         ] {
             let r = optimize(&g, CostModel::Cout, &s, &mut rng).unwrap();

@@ -217,12 +217,7 @@ impl TxSchedule {
 
 /// Generates a random instance: conflicts appear with `density` and
 /// weights uniform in `[1, 10]`.
-pub fn generate_instance(
-    n_tx: usize,
-    n_slots: usize,
-    density: f64,
-    rng: &mut Rng64,
-) -> TxSchedule {
+pub fn generate_instance(n_tx: usize, n_slots: usize, density: f64, rng: &mut Rng64) -> TxSchedule {
     let mut conflicts = Vec::new();
     for i in 0..n_tx {
         for j in (i + 1)..n_tx {
@@ -242,12 +237,7 @@ mod tests {
     #[test]
     fn bipartite_conflicts_schedule_cleanly_on_two_slots() {
         // Conflict graph = path 0-1-2-3: 2-colorable → zero conflict cost.
-        let s = TxSchedule::new(
-            4,
-            2,
-            vec![(0, 1, 5.0), (1, 2, 5.0), (2, 3, 5.0)],
-            0.0,
-        );
+        let s = TxSchedule::new(4, 2, vec![(0, 1, 5.0), (1, 2, 5.0), (2, 3, 5.0)], 0.0);
         let (_, cost) = s.solve_exhaustive();
         assert_eq!(cost, 0.0);
     }

@@ -1,130 +1,114 @@
 //! Property-based tests for the database layer: cost-model and encoding
-//! invariants over random join graphs.
+//! invariants over random join graphs. Runs on the in-repo `check` harness.
 
-use proptest::prelude::*;
 use qmldb_db::joinorder::{
     brute_force_left_deep, left_deep_cost, optimize_left_deep, CostModel, JoinTree,
 };
-use qmldb_db::query::JoinGraph;
 use qmldb_db::qubo_jo::JoinOrderQubo;
+use qmldb_db::query::JoinGraph;
+use qmldb_math::{check, Rng64};
 
-/// Strategy: a connected random join graph on `n` relations (random
-/// spanning tree + extra edges).
-fn graph_strategy(n: usize) -> impl Strategy<Value = JoinGraph> {
-    let n_extra = n * (n - 1) / 2;
-    (
-        prop::collection::vec(1.0..5.0f64, n),          // log10 cardinalities
-        prop::collection::vec(0.0..1.0f64, n.max(2) - 1), // tree selectivity seeds
-        prop::collection::vec(prop::bool::ANY, n_extra),  // extra-edge mask
-        prop::collection::vec(0.0..1.0f64, n_extra),      // extra selectivity seeds
-    )
-        .prop_map(move |(logc, tree_sel, extra_mask, extra_sel)| {
-            let cards: Vec<f64> = logc.iter().map(|l| 10f64.powf(*l).round()).collect();
-            let mut edges = Vec::new();
-            let mut used = vec![vec![false; n]; n];
-            for i in 0..n - 1 {
-                let s = (0.001 + 0.999 * tree_sel[i]).min(1.0);
-                edges.push((i, i + 1, s));
-                used[i][i + 1] = true;
+/// A connected random join graph on `n` relations (chain spanning tree +
+/// random extra edges).
+fn random_graph(n: usize, rng: &mut Rng64) -> JoinGraph {
+    let cards: Vec<f64> = (0..n)
+        .map(|_| 10f64.powf(rng.uniform_range(1.0, 5.0)).round())
+        .collect();
+    let mut edges = Vec::new();
+    for i in 0..n - 1 {
+        let s = (0.001 + 0.999 * rng.uniform()).min(1.0);
+        edges.push((i, i + 1, s));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if j != i + 1 && rng.chance(0.5) {
+                let s = (0.001 + 0.999 * rng.uniform()).min(1.0);
+                edges.push((i, j, s));
             }
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if !used[i][j] && extra_mask[k] {
-                        let s = (0.001 + 0.999 * extra_sel[k]).min(1.0);
-                        edges.push((i, j, s));
-                    }
-                    if !used[i][j] {
-                        k += 1;
-                    }
-                }
-            }
-            JoinGraph::new(cards, edges)
-        })
+        }
+    }
+    JoinGraph::new(cards, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_perm(n: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    order
+}
 
-    #[test]
-    fn final_cardinality_is_permutation_invariant(
-        g in graph_strategy(5),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = qmldb_math::Rng64::new(seed);
-        let mut order: Vec<usize> = (0..5).collect();
-        rng.shuffle(&mut order);
+#[test]
+fn final_cardinality_is_permutation_invariant() {
+    check::cases("final_cardinality_is_permutation_invariant", 32, |rng| {
+        let g = random_graph(5, rng);
+        let order = random_perm(5, rng);
         let full = (1u64 << 5) - 1;
         let expect = g.result_cardinality(full);
         // Build through the left-deep tree and check the root cardinality.
         let tree = JoinTree::left_deep(&order);
         let (_, card) = qmldb_db::joinorder::cost(&tree, &g, CostModel::Cout);
-        prop_assert!((card - expect).abs() <= 1e-6 * expect.max(1.0));
-    }
+        assert!((card - expect).abs() <= 1e-6 * expect.max(1.0));
+    });
+}
 
-    #[test]
-    fn dp_left_deep_is_a_lower_bound_for_all_permutations(
-        g in graph_strategy(5),
-        seed in 0u64..1000,
-    ) {
-        let dp = optimize_left_deep(&g, CostModel::Cout);
-        let mut rng = qmldb_math::Rng64::new(seed);
-        let mut order: Vec<usize> = (0..5).collect();
-        rng.shuffle(&mut order);
-        let c = left_deep_cost(&order, &g, CostModel::Cout);
-        prop_assert!(dp.cost <= c + 1e-6 * c.max(1.0));
-    }
+#[test]
+fn dp_left_deep_is_a_lower_bound_for_all_permutations() {
+    check::cases(
+        "dp_left_deep_is_a_lower_bound_for_all_permutations",
+        32,
+        |rng| {
+            let g = random_graph(5, rng);
+            let dp = optimize_left_deep(&g, CostModel::Cout);
+            let order = random_perm(5, rng);
+            let c = left_deep_cost(&order, &g, CostModel::Cout);
+            assert!(dp.cost <= c + 1e-6 * c.max(1.0));
+        },
+    );
+}
 
-    #[test]
-    fn dp_matches_brute_force(g in graph_strategy(5)) {
+#[test]
+fn dp_matches_brute_force() {
+    check::cases("dp_matches_brute_force", 32, |rng| {
+        let g = random_graph(5, rng);
         let dp = optimize_left_deep(&g, CostModel::Cout);
         let (_, bf) = brute_force_left_deep(&g, CostModel::Cout);
-        prop_assert!((dp.cost - bf).abs() <= 1e-6 * bf.max(1.0));
-    }
+        assert!((dp.cost - bf).abs() <= 1e-6 * bf.max(1.0));
+    });
+}
 
-    #[test]
-    fn qubo_encode_decode_roundtrips_permutations(
-        g in graph_strategy(5),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn qubo_encode_decode_roundtrips_permutations() {
+    check::cases("qubo_encode_decode_roundtrips_permutations", 32, |rng| {
+        let g = random_graph(5, rng);
         let jo = JoinOrderQubo::encode(&g, 1.0);
-        let mut rng = qmldb_math::Rng64::new(seed);
-        let mut order: Vec<usize> = (0..5).collect();
-        rng.shuffle(&mut order);
+        let order = random_perm(5, rng);
         let bits = jo.encode_order(&order);
-        prop_assert!(jo.is_feasible(&bits));
-        prop_assert_eq!(jo.decode(&bits), order);
-    }
+        assert!(jo.is_feasible(&bits));
+        assert_eq!(jo.decode(&bits), order);
+    });
+}
 
-    #[test]
-    fn qubo_decode_always_yields_a_permutation(
-        g in graph_strategy(5),
-        raw in 0usize..(1 << 25),
-    ) {
+#[test]
+fn qubo_decode_always_yields_a_permutation() {
+    check::cases("qubo_decode_always_yields_a_permutation", 32, |rng| {
+        let g = random_graph(5, rng);
+        let raw = rng.index(1 << 25);
         let jo = JoinOrderQubo::encode(&g, 1.0);
         let bits: Vec<bool> = (0..25).map(|i| raw & (1 << i) != 0).collect();
         let order = jo.decode(&bits);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..5).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn qubo_objective_order_agrees_with_log_cout(
-        g in graph_strategy(5),
-        s1 in 0u64..1000,
-        s2 in 1000u64..2000,
-    ) {
+#[test]
+fn qubo_objective_order_agrees_with_log_cout() {
+    check::cases("qubo_objective_order_agrees_with_log_cout", 32, |rng| {
         // The penalty-free QUBO objective must rank permutations exactly
         // like the sum of log intermediate sizes.
+        let g = random_graph(5, rng);
         let jo = JoinOrderQubo::encode(&g, 0.0);
-        let perm = |seed: u64| {
-            let mut rng = qmldb_math::Rng64::new(seed);
-            let mut o: Vec<usize> = (0..5).collect();
-            rng.shuffle(&mut o);
-            o
-        };
-        let (a, b) = (perm(s1), perm(s2));
+        let (a, b) = (random_perm(5, rng), random_perm(5, rng));
         let log_cout = |order: &[usize]| -> f64 {
             let mut mask = 0u64;
             let mut total = 0.0;
@@ -138,9 +122,9 @@ proptest! {
         };
         let diff_qubo = jo.log_objective(&a) - jo.log_objective(&b);
         let diff_true = log_cout(&a) - log_cout(&b);
-        prop_assert!(
+        assert!(
             (diff_qubo - diff_true).abs() < 1e-6 * (1.0 + diff_true.abs()),
             "qubo diff {diff_qubo} vs true diff {diff_true}"
         );
-    }
+    });
 }

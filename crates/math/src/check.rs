@@ -1,0 +1,114 @@
+//! Minimal deterministic property-testing harness.
+//!
+//! The workspace is hermetic (no external crates), so randomized property
+//! tests run on this harness instead of `proptest`. A property is a closure
+//! over an [`Rng64`]; [`cases`] drives it through a fixed number of
+//! pseudo-random cases, each on its own seeded stream, and reports the
+//! failing case's name, index, and seed so it can be replayed exactly with
+//! [`replay`].
+//!
+//! ```
+//! use qmldb_math::check;
+//!
+//! check::cases("addition_commutes", 64, |rng| {
+//!     let (a, b) = (rng.uniform(), rng.uniform());
+//!     assert!((a + b - (b + a)).abs() < 1e-15);
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng64};
+
+/// Default number of cases per property, matching the budget the previous
+/// proptest suites ran with.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Derives a stable 64-bit seed from a property name (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` for `n` deterministic pseudo-random cases. Each case gets an
+/// independent [`Rng64`] stream derived from the property name and case
+/// index, so failures are reproducible and independent of execution order.
+///
+/// # Panics
+/// Re-panics with the case index and seed attached when `body` panics.
+pub fn cases(name: &str, n: usize, mut body: impl FnMut(&mut Rng64)) {
+    let base = name_seed(name);
+    for case in 0..n {
+        let mut s = base.wrapping_add(case as u64);
+        let seed = splitmix64(&mut s);
+        let mut rng = Rng64::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("property '{name}' failed at case {case}/{n} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Re-runs a single failing case by its reported seed.
+pub fn replay(seed: u64, body: impl FnOnce(&mut Rng64)) {
+    let mut rng = Rng64::new(seed);
+    body(&mut rng);
+}
+
+/// A uniform `Vec<f64>` with entries in `[lo, hi)` — the workhorse input
+/// generator of the property suites.
+pub fn vec_f64(rng: &mut Rng64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
+}
+
+/// A length in `[lo, hi)` followed by that many uniform entries — the
+/// analogue of `prop::collection::vec(strategy, lo..hi)`.
+pub fn sized_vec_f64(rng: &mut Rng64, len_lo: usize, len_hi: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let len = len_lo + rng.index(len_hi - len_lo);
+    vec_f64(rng, len, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        cases("determinism_probe", 8, |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        cases("determinism_probe", 8, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let mut a = Vec::new();
+        cases("stream_a", 4, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        cases("stream_b", 4, |rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_reports_case_and_seed() {
+        cases("always_fails", 4, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn sized_vec_respects_bounds() {
+        cases("sized_vec_bounds", 32, |rng| {
+            let v = sized_vec_f64(rng, 1, 16, -2.0, 3.0);
+            assert!((1..16).contains(&v.len()));
+            assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+        });
+    }
+}

@@ -46,7 +46,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a real matrix (imaginary parts zero).

@@ -154,7 +154,11 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, DecompError> {
 /// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted descending
 /// and eigenvectors as the *columns* of the returned matrix, matching
 /// `A = V diag(λ) Vᵀ`.
-pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<(Vector, Matrix), DecompError> {
+pub fn symmetric_eigen(
+    a: &Matrix,
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<(Vector, Matrix), DecompError> {
     if a.rows() != a.cols() {
         return Err(DecompError::ShapeMismatch);
     }

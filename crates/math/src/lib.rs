@@ -17,10 +17,12 @@
 //! assert!(h.is_unitary(1e-12));
 //! ```
 
+pub mod check;
 pub mod cmatrix;
 pub mod complex;
 pub mod decomp;
 pub mod matrix;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod vector;

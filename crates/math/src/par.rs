@@ -1,0 +1,229 @@
+//! Deterministic fork-join parallelism.
+//!
+//! Every hot loop in the workspace — Gram matrices, annealer restarts,
+//! Trotter-replica sweeps, shot estimation — is an index-addressed map over
+//! independent work items. This module runs such maps on scoped threads
+//! (`std::thread::scope`; the workspace forbids `unsafe`, and scoped
+//! borrows make shared inputs free) while keeping the one contract the rest
+//! of the workspace is built on: **results are bit-identical for 1 and N
+//! threads**.
+//!
+//! Two rules make that hold:
+//!
+//! 1. Work item `i` writes only slot `i` of the output, so assembly order
+//!    is fixed regardless of which thread ran it.
+//! 2. Stochastic work items never share a generator. [`map_rng`] forks one
+//!    child [`Rng64`] per item from the caller's generator *serially,
+//!    before any thread starts*, so the parent stream advances identically
+//!    however many threads execute the map.
+//!
+//! The pool width comes from the `QMLDB_THREADS` environment variable
+//! (default: the machine's available parallelism), read once per process;
+//! [`set_threads`] overrides it at runtime, which is what the determinism
+//! tests and benchmark baselines use.
+
+use crate::Rng64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override installed by [`set_threads`]; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread count resolved from the environment, computed once.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        match std::env::var("QMLDB_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => 1, // unparsable or zero: fail safe, stay serial
+            },
+            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
+/// The number of worker threads parallel maps will use.
+pub fn thread_count() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count process-wide (clamped to ≥ 1). Intended for
+/// tests and benchmarks that compare 1-thread vs N-thread execution;
+/// production code should configure `QMLDB_THREADS` instead.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Clears a [`set_threads`] override, returning to the environment default.
+pub fn reset_threads() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// returning outputs in item order. `f(i, &items[i])` must depend only on
+/// its arguments for the determinism contract to hold (the compiler cannot
+/// check that `f` ignores ambient mutable state, but `Fn + Sync` rules out
+/// the easy mistakes).
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (k, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + k, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .collect()
+}
+
+/// Like [`map`], but each work item also receives its own independent
+/// random stream forked from `rng`. The forks happen serially up front, so
+/// the caller's generator — and every per-item stream — is identical for
+/// any thread count.
+pub fn map_rng<T, R, F>(items: &[T], rng: &mut Rng64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut Rng64) -> R + Sync,
+{
+    let mut streams: Vec<Rng64> = items.iter().map(|_| rng.fork()).collect();
+    let threads = thread_count().min(items.len()).max(1);
+    if threads == 1 {
+        return items
+            .iter()
+            .zip(streams.iter_mut())
+            .enumerate()
+            .map(|(i, (x, r))| f(i, x, r))
+            .collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (ci, ((in_chunk, rng_chunk), out_chunk)) in items
+            .chunks(chunk)
+            .zip(streams.chunks_mut(chunk))
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (k, ((item, r), slot)) in in_chunk
+                    .iter()
+                    .zip(rng_chunk.iter_mut())
+                    .zip(out_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = Some(f(base + k, item, r));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .collect()
+}
+
+/// Maps `f` over the index range `0..n` — the shape restart loops take.
+pub fn map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    map(&idx, |_, &i| f(i))
+}
+
+/// [`map_indices`] with a forked random stream per index.
+pub fn map_indices_rng<R, F>(n: usize, rng: &mut Rng64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Rng64) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    map_rng(&idx, rng, |_, &i, r| f(i, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `body` under an explicit thread-count override, restoring the
+    /// previous override afterwards. Serialized so concurrent unit tests
+    /// don't fight over the process-wide setting.
+    fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        let prev = OVERRIDE.load(Ordering::Relaxed);
+        set_threads(n);
+        let out = body();
+        OVERRIDE.store(prev, Ordering::Relaxed);
+        out
+    }
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = with_threads(1, || map(&items, |i, &x| x * 3 + i as u64));
+        let parallel = with_threads(4, || map(&items, |i, &x| x * 3 + i as u64));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[10], 40);
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, |_, &x| x).is_empty());
+        assert_eq!(with_threads(8, || map(&[7u32], |_, &x| x + 1)), vec![8]);
+    }
+
+    #[test]
+    fn map_rng_streams_are_thread_count_invariant() {
+        let items: Vec<usize> = (0..37).collect();
+        let mut rng1 = Rng64::new(99);
+        let mut rng4 = Rng64::new(99);
+        let digest = |r: &mut Rng64| (0..16).fold(0u64, |acc, _| acc ^ r.next_u64());
+        let a = with_threads(1, || map_rng(&items, &mut rng1, |_, _, r| digest(r)));
+        let b = with_threads(4, || map_rng(&items, &mut rng4, |_, _, r| digest(r)));
+        assert_eq!(a, b);
+        // Parent streams advanced identically too.
+        assert_eq!(rng1.next_u64(), rng4.next_u64());
+    }
+
+    #[test]
+    fn map_indices_matches_manual_loop() {
+        let expect: Vec<usize> = (0..25).map(|i| i * i).collect();
+        assert_eq!(with_threads(3, || map_indices(25, |i| i * i)), expect);
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        with_threads(1, || {
+            set_threads(0);
+            assert_eq!(thread_count(), 1);
+        });
+    }
+}

@@ -52,11 +52,7 @@ impl Vector {
     /// Dot product. Panics on length mismatch.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean norm.

@@ -1,129 +1,141 @@
 //! Property-based tests for the numeric substrate: algebraic laws that must
-//! hold for arbitrary inputs.
+//! hold for arbitrary inputs. Runs on the in-repo `check` harness.
 
-use proptest::prelude::*;
-use qmldb_math::{decomp, C64, CMatrix, Matrix, Vector};
+use qmldb_math::check::{self, vec_f64};
+use qmldb_math::{decomp, CMatrix, Matrix, Rng64, Vector, C64};
 
-fn finite_f64() -> impl Strategy<Value = f64> {
-    -1e3..1e3f64
+fn finite_f64(rng: &mut Rng64) -> f64 {
+    rng.uniform_range(-1e3, 1e3)
 }
 
-fn c64() -> impl Strategy<Value = C64> {
-    (finite_f64(), finite_f64()).prop_map(|(re, im)| C64::new(re, im))
+fn c64(rng: &mut Rng64) -> C64 {
+    C64::new(finite_f64(rng), finite_f64(rng))
 }
 
-proptest! {
-    #[test]
-    fn complex_addition_commutes(a in c64(), b in c64()) {
-        prop_assert!((a + b).approx_eq(b + a, 1e-9));
-    }
+#[test]
+fn complex_addition_commutes() {
+    check::cases("complex_addition_commutes", 64, |rng| {
+        let (a, b) = (c64(rng), c64(rng));
+        assert!((a + b).approx_eq(b + a, 1e-9));
+    });
+}
 
-    #[test]
-    fn complex_multiplication_commutes(a in c64(), b in c64()) {
-        prop_assert!((a * b).approx_eq(b * a, 1e-6));
-    }
+#[test]
+fn complex_multiplication_commutes() {
+    check::cases("complex_multiplication_commutes", 64, |rng| {
+        let (a, b) = (c64(rng), c64(rng));
+        assert!((a * b).approx_eq(b * a, 1e-6));
+    });
+}
 
-    #[test]
-    fn complex_distributivity(a in c64(), b in c64(), c in c64()) {
+#[test]
+fn complex_distributivity() {
+    check::cases("complex_distributivity", 64, |rng| {
+        let (a, b, c) = (c64(rng), c64(rng), c64(rng));
         let lhs = a * (b + c);
         let rhs = a * b + a * c;
-        prop_assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + lhs.abs())));
-    }
+        assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + lhs.abs())));
+    });
+}
 
-    #[test]
-    fn conjugation_is_involution(a in c64()) {
-        prop_assert_eq!(a.conj().conj(), a);
-    }
+#[test]
+fn conjugation_is_involution() {
+    check::cases("conjugation_is_involution", 64, |rng| {
+        let a = c64(rng);
+        assert_eq!(a.conj().conj(), a);
+    });
+}
 
-    #[test]
-    fn modulus_is_multiplicative(a in c64(), b in c64()) {
+#[test]
+fn modulus_is_multiplicative() {
+    check::cases("modulus_is_multiplicative", 64, |rng| {
+        let (a, b) = (c64(rng), c64(rng));
         let lhs = (a * b).abs();
         let rhs = a.abs() * b.abs();
-        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs));
-    }
+        assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs));
+    });
+}
 
-    #[test]
-    fn norm_sqr_equals_z_zconj(a in c64()) {
+#[test]
+fn norm_sqr_equals_z_zconj() {
+    check::cases("norm_sqr_equals_z_zconj", 64, |rng| {
+        let a = c64(rng);
         let p = a * a.conj();
-        prop_assert!((p.re - a.norm_sqr()).abs() <= 1e-6 * (1.0 + a.norm_sqr()));
-        prop_assert!(p.im.abs() <= 1e-9 * (1.0 + a.norm_sqr()));
-    }
+        assert!((p.re - a.norm_sqr()).abs() <= 1e-6 * (1.0 + a.norm_sqr()));
+        assert!(p.im.abs() <= 1e-9 * (1.0 + a.norm_sqr()));
+    });
+}
 
-    #[test]
-    fn vector_dot_cauchy_schwarz(
-        xs in prop::collection::vec(finite_f64(), 1..16),
-        ys_seed in prop::collection::vec(finite_f64(), 1..16),
-    ) {
-        let n = xs.len().min(ys_seed.len());
-        let a = Vector::from_vec(xs[..n].to_vec());
-        let b = Vector::from_vec(ys_seed[..n].to_vec());
+#[test]
+fn vector_dot_cauchy_schwarz() {
+    check::cases("vector_dot_cauchy_schwarz", 64, |rng| {
+        let n = 1 + rng.index(15);
+        let a = Vector::from_vec(vec_f64(rng, n, -1e3, 1e3));
+        let b = Vector::from_vec(vec_f64(rng, n, -1e3, 1e3));
         let lhs = a.dot(&b).abs();
         let rhs = a.norm() * b.norm();
-        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
-    }
+        assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+    });
+}
 
-    #[test]
-    fn matrix_transpose_of_product(
-        a_data in prop::collection::vec(finite_f64(), 9),
-        b_data in prop::collection::vec(finite_f64(), 9),
-    ) {
-        let a = Matrix::from_vec(3, 3, a_data);
-        let b = Matrix::from_vec(3, 3, b_data);
+#[test]
+fn matrix_transpose_of_product() {
+    check::cases("matrix_transpose_of_product", 64, |rng| {
+        let a = Matrix::from_vec(3, 3, vec_f64(rng, 9, -1e3, 1e3));
+        let b = Matrix::from_vec(3, 3, vec_f64(rng, 9, -1e3, 1e3));
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(lhs.approx_eq(&rhs, 1e-6 * (1.0 + lhs.frobenius_norm())));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-6 * (1.0 + lhs.frobenius_norm())));
+    });
+}
 
-    #[test]
-    fn lu_solve_residual_small(
-        a_data in prop::collection::vec(-10.0..10.0f64, 16),
-        b_data in prop::collection::vec(-10.0..10.0f64, 4),
-    ) {
-        let a = Matrix::from_vec(4, 4, a_data);
-        let b = Vector::from_vec(b_data);
+#[test]
+fn lu_solve_residual_small() {
+    check::cases("lu_solve_residual_small", 64, |rng| {
+        let a = Matrix::from_vec(4, 4, vec_f64(rng, 16, -10.0, 10.0));
+        let b = Vector::from_vec(vec_f64(rng, 4, -10.0, 10.0));
         if let Ok(x) = decomp::solve(&a, &b) {
             let r = &a.matvec(&x) - &b;
             // Residual scaled by solution magnitude (ill-conditioned systems
             // may have large x).
             let scale = 1.0 + x.norm() * a.frobenius_norm();
-            prop_assert!(r.norm() <= 1e-6 * scale, "residual {} scale {}", r.norm(), scale);
+            assert!(
+                r.norm() <= 1e-6 * scale,
+                "residual {} scale {}",
+                r.norm(),
+                scale
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn jacobi_eigen_trace_preserved(
-        seed in prop::collection::vec(-5.0..5.0f64, 10),
-    ) {
+#[test]
+fn jacobi_eigen_trace_preserved() {
+    check::cases("jacobi_eigen_trace_preserved", 64, |rng| {
         // Build a symmetric 4x4 from 10 free entries.
         let mut a = Matrix::zeros(4, 4);
-        let mut it = seed.into_iter();
         for i in 0..4 {
             for j in i..4 {
-                let v = it.next().unwrap();
+                let v = rng.uniform_range(-5.0, 5.0);
                 a[(i, j)] = v;
                 a[(j, i)] = v;
             }
         }
         let (vals, _) = decomp::symmetric_eigen(&a, 1e-12, 100).unwrap();
         let sum: f64 = vals.as_slice().iter().sum();
-        prop_assert!((sum - a.trace()).abs() <= 1e-7 * (1.0 + a.trace().abs()));
-    }
+        assert!((sum - a.trace()).abs() <= 1e-7 * (1.0 + a.trace().abs()));
+    });
+}
 
-    #[test]
-    fn kron_is_multiplicative(
-        a_data in prop::collection::vec(c64(), 4),
-        b_data in prop::collection::vec(c64(), 4),
-        c_data in prop::collection::vec(c64(), 4),
-        d_data in prop::collection::vec(c64(), 4),
-    ) {
+#[test]
+fn kron_is_multiplicative() {
+    check::cases("kron_is_multiplicative", 64, |rng| {
         // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
-        let a = CMatrix::from_vec(2, 2, a_data);
-        let b = CMatrix::from_vec(2, 2, b_data);
-        let c = CMatrix::from_vec(2, 2, c_data);
-        let d = CMatrix::from_vec(2, 2, d_data);
+        let m = |rng: &mut Rng64| CMatrix::from_vec(2, 2, (0..4).map(|_| c64(rng)).collect());
+        let (a, b, c, d) = (m(rng), m(rng), m(rng), m(rng));
         let lhs = a.kron(&b).matmul(&c.kron(&d));
         let rhs = a.matmul(&c).kron(&b.matmul(&d));
         let scale = 1.0 + lhs.as_slice().iter().map(|z| z.abs()).fold(0.0, f64::max);
-        prop_assert!(lhs.approx_eq(&rhs, 1e-5 * scale));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-5 * scale));
+    });
 }

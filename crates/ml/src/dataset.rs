@@ -101,10 +101,7 @@ pub fn two_moons(n: usize, noise: f64, rng: &mut Rng64) -> Dataset {
         } else {
             (1.0 - t.cos(), 0.5 - t.sin(), -1.0)
         };
-        x.push(vec![
-            px + noise * rng.normal(),
-            py + noise * rng.normal(),
-        ]);
+        x.push(vec![px + noise * rng.normal(), py + noise * rng.normal()]);
         y.push(label);
     }
     Dataset::new(x, y)
@@ -140,10 +137,7 @@ pub fn xor(n: usize, noise: f64, rng: &mut Rng64) -> Dataset {
             _ => (-1.0, 1.0),
         };
         let label = if quadrant < 2 { 1.0 } else { -1.0 };
-        x.push(vec![
-            cx + noise * rng.normal(),
-            cy + noise * rng.normal(),
-        ]);
+        x.push(vec![cx + noise * rng.normal(), cy + noise * rng.normal()]);
         y.push(label);
     }
     Dataset::new(x, y)
@@ -166,12 +160,7 @@ pub fn blobs(
         } else {
             (center_neg, -1.0)
         };
-        x.push(
-            center
-                .iter()
-                .map(|&c| c + spread * rng.normal())
-                .collect(),
-        );
+        x.push(center.iter().map(|&c| c + spread * rng.normal()).collect());
         y.push(label);
     }
     Dataset::new(x, y)

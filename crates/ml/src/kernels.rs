@@ -29,11 +29,7 @@ impl Kernel {
         match *self {
             Kernel::Linear => dot(a, b),
             Kernel::Rbf { gamma } => {
-                let d2: f64 = a
-                    .iter()
-                    .zip(b)
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
                 (-gamma * d2).exp()
             }
             Kernel::Polynomial { degree, coef0 } => (dot(a, b) + coef0).powi(degree as i32),
@@ -41,12 +37,21 @@ impl Kernel {
     }
 
     /// Builds the Gram matrix `K[i][j] = k(x_i, x_j)` for a dataset.
+    ///
+    /// Rows of the upper triangle are computed in parallel
+    /// (`QMLDB_THREADS` workers); the kernel is pure, so the matrix is
+    /// identical for any thread count.
     pub fn gram(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let n = xs.len();
+        let rows = qmldb_math::par::map_indices(n, |i| {
+            (i..n)
+                .map(|j| self.eval(&xs[i], &xs[j]))
+                .collect::<Vec<f64>>()
+        });
         let mut k = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in i..n {
-                let v = self.eval(&xs[i], &xs[j]);
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 k[i][j] = v;
                 k[j][i] = v;
             }

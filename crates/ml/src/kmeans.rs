@@ -136,10 +136,7 @@ mod tests {
         for chunk in 0..3 {
             let members = &km.assignments[chunk * 40..(chunk + 1) * 40];
             let first = members[0];
-            assert!(
-                members.iter().all(|&m| m == first),
-                "cluster {chunk} split"
-            );
+            assert!(members.iter().all(|&m| m == first), "cluster {chunk} split");
         }
         let _ = truth;
         assert!(km.inertia < 100.0);

@@ -64,7 +64,10 @@ impl LogReg {
             }
             b -= params.lr * gb / n;
         }
-        LogReg { weights: w, bias: b }
+        LogReg {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Probability of the +1 class.

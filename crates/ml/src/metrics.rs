@@ -125,7 +125,15 @@ mod tests {
         let pred = [1.0, 1.0, -1.0, -1.0];
         let truth = [1.0, -1.0, -1.0, 1.0];
         let c = Confusion::from_predictions(&pred, &truth);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
         assert_eq!(c.f1(), 0.5);

@@ -121,7 +121,11 @@ fn mse_of(predict: impl Fn(&[f64]) -> f64, x: &[Vec<f64>], y: &[f64]) -> f64 {
 }
 
 /// A noisy 1-D sine regression task on `[0, 2π]` (the standard QKRR demo).
-pub fn sine_dataset(n: usize, noise: f64, rng: &mut qmldb_math::Rng64) -> (Vec<Vec<f64>>, Vec<f64>) {
+pub fn sine_dataset(
+    n: usize,
+    noise: f64,
+    rng: &mut qmldb_math::Rng64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut x = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);
     for i in 0..n {
@@ -139,7 +143,9 @@ mod tests {
 
     #[test]
     fn linear_ridge_recovers_linear_function() {
-        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 3.0).collect();
         let model = LinearRidge::fit(&x, &y, 1e-6);
         assert!(model.mse(&x, &y) < 1e-10);
@@ -179,10 +185,7 @@ mod tests {
     #[test]
     fn dual_solver_matches_identity_kernel_limit() {
         // K = I: α = y / (1 + λ).
-        let gram = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ];
+        let gram = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let alphas = solve_dual(&gram, &[2.0, -4.0], 1.0);
         assert!((alphas[0] - 1.0).abs() < 1e-12);
         assert!((alphas[1] + 2.0).abs() < 1e-12);

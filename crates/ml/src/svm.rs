@@ -139,12 +139,8 @@ pub fn smo_solve(
             alphas[i] = ai;
             alphas[j] = aj;
 
-            let b1 = b - ei
-                - y[i] * (ai - ai_old) * gram[i][i]
-                - y[j] * (aj - aj_old) * gram[i][j];
-            let b2 = b - ej
-                - y[i] * (ai - ai_old) * gram[i][j]
-                - y[j] * (aj - aj_old) * gram[j][j];
+            let b1 = b - ei - y[i] * (ai - ai_old) * gram[i][i] - y[j] * (aj - aj_old) * gram[i][j];
+            let b2 = b - ej - y[i] * (ai - ai_old) * gram[i][j] - y[j] * (aj - aj_old) * gram[j][j];
             b = if ai > 0.0 && ai < params.c {
                 b1
             } else if aj > 0.0 && aj < params.c {
@@ -188,7 +184,11 @@ impl Svm {
 
     /// Raw decision value for one point.
     pub fn decision(&self, point: &[f64]) -> f64 {
-        let row: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, point)).collect();
+        let row: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| self.kernel.eval(xi, point))
+            .collect();
         self.dual.decision(&row, &self.y)
     }
 
@@ -248,7 +248,11 @@ mod tests {
             &SvmParams::default(),
             &mut rng,
         );
-        assert!(svm.accuracy(&d.x, &d.y) >= 0.95, "acc = {}", svm.accuracy(&d.x, &d.y));
+        assert!(
+            svm.accuracy(&d.x, &d.y) >= 0.95,
+            "acc = {}",
+            svm.accuracy(&d.x, &d.y)
+        );
     }
 
     #[test]
@@ -289,7 +293,13 @@ mod tests {
             c: 0.7,
             ..SvmParams::default()
         };
-        let svm = Svm::train(d.x.clone(), d.y.clone(), Kernel::Rbf { gamma: 1.0 }, &params, &mut rng);
+        let svm = Svm::train(
+            d.x.clone(),
+            d.y.clone(),
+            Kernel::Rbf { gamma: 1.0 },
+            &params,
+            &mut rng,
+        );
         for &a in &svm.dual().alphas {
             assert!((-1e-9..=0.7 + 1e-9).contains(&a), "alpha {a}");
         }

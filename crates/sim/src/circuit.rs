@@ -96,7 +96,11 @@ impl Circuit {
         );
         let mut seen = vec![false; self.n_qubits];
         for q in controls.iter().chain(targets.iter()) {
-            assert!(*q < self.n_qubits, "qubit {q} out of range (n = {})", self.n_qubits);
+            assert!(
+                *q < self.n_qubits,
+                "qubit {q} out of range (n = {})",
+                self.n_qubits
+            );
             assert!(!seen[*q], "qubit {q} repeated within one instruction");
             seen[*q] = true;
         }
@@ -183,7 +187,11 @@ impl Circuit {
         phi: impl Into<Angle>,
         lam: impl Into<Angle>,
     ) -> &mut Self {
-        self.push(Gate::U3(theta.into(), phi.into(), lam.into()), vec![], vec![q])
+        self.push(
+            Gate::U3(theta.into(), phi.into(), lam.into()),
+            vec![],
+            vec![q],
+        )
     }
 
     // ------ two-qubit builders ------

@@ -7,7 +7,7 @@
 use crate::circuit::{Circuit, Instr};
 use crate::pauli::{Pauli, PauliString, PauliSum};
 use crate::statevector::StateVector;
-use qmldb_math::{C64, CMatrix};
+use qmldb_math::{CMatrix, C64};
 
 /// A mixed quantum state on `n` qubits.
 #[derive(Clone, Debug, PartialEq)]

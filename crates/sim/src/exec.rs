@@ -106,9 +106,9 @@ impl Simulator {
         }
         for _ in 0..shots {
             let u = rng.uniform() * acc;
-            let mut idx = match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
-                Ok(i) | Err(i) => i.min(probs.len() - 1),
-            };
+            // First index with cdf > u (an exact boundary hit must not
+            // select the zero-probability outcome to its left).
+            let mut idx = cdf.partition_point(|&p| p <= u).min(probs.len() - 1);
             if self.noise.readout_flip > 0.0 {
                 for q in 0..n {
                     if rng.chance(self.noise.readout_flip) {
@@ -121,9 +121,25 @@ impl Simulator {
         counts
     }
 
+    /// Runs a batch of circuits exactly, one scoped worker per chunk (see
+    /// [`qmldb_math::par`]), returning final states in input order. The
+    /// workhorse of Gram-matrix feature-state preparation and sweep-style
+    /// experiment drivers.
+    ///
+    /// # Panics
+    /// Panics if the simulator has a non-ideal noise model, like
+    /// [`Simulator::run`].
+    pub fn run_batch(&self, circuits: &[Circuit], params: &[f64]) -> Vec<StateVector> {
+        qmldb_math::par::map(circuits, |_, c| self.run(c, params))
+    }
+
     /// Shot-based estimate of ⟨H⟩ by measuring each Pauli term in its own
     /// rotated basis (`shots` per term). This is how real hardware
     /// estimates observables; statistical error scales as 1/√shots.
+    ///
+    /// Terms are estimated in parallel, each on its own random stream
+    /// forked from `rng`, so the result is bit-identical for any
+    /// `QMLDB_THREADS` setting.
     pub fn expectation_sampled(
         &self,
         circuit: &Circuit,
@@ -132,39 +148,40 @@ impl Simulator {
         shots: usize,
         rng: &mut Rng64,
     ) -> f64 {
-        let mut total = 0.0;
-        for (coeff, string) in observable.terms() {
-            if string.is_identity() {
-                total += coeff;
-                continue;
-            }
-            // Rotate each non-Z factor into the Z basis.
-            let mut rotated = circuit.clone();
-            for &(q, p) in string.ops() {
-                match p {
-                    Pauli::X => {
-                        rotated.h(q);
-                    }
-                    Pauli::Y => {
-                        rotated.sdg(q).h(q);
-                    }
-                    Pauli::Z => {}
+        let contributions =
+            qmldb_math::par::map_rng(observable.terms(), rng, |_, (coeff, string), term_rng| {
+                if string.is_identity() {
+                    return *coeff;
                 }
-            }
-            let mut zmask = 0usize;
-            for &(q, _) in string.ops() {
-                zmask |= 1 << q;
-            }
-            let counts = self.sample_counts(&rotated, params, shots, rng);
-            let mut sum = 0i64;
-            for (outcome, count) in counts {
-                let parity = (outcome & zmask).count_ones() & 1;
-                let sign = if parity == 0 { 1 } else { -1 };
-                sum += sign * count as i64;
-            }
-            total += coeff * sum as f64 / shots as f64;
-        }
-        total
+                // Rotate each non-Z factor into the Z basis.
+                let mut rotated = circuit.clone();
+                for &(q, p) in string.ops() {
+                    match p {
+                        Pauli::X => {
+                            rotated.h(q);
+                        }
+                        Pauli::Y => {
+                            rotated.sdg(q).h(q);
+                        }
+                        Pauli::Z => {}
+                    }
+                }
+                let mut zmask = 0usize;
+                for &(q, _) in string.ops() {
+                    zmask |= 1 << q;
+                }
+                let counts = self.sample_counts(&rotated, params, shots, term_rng);
+                let mut sum = 0i64;
+                for (outcome, count) in counts {
+                    let parity = (outcome & zmask).count_ones() & 1;
+                    let sign = if parity == 0 { 1 } else { -1 };
+                    sum += sign * count as i64;
+                }
+                coeff * sum as f64 / shots as f64
+            });
+        // Summed in term order: floating-point addition is not associative,
+        // and a thread-dependent order would break reproducibility.
+        contributions.iter().sum()
     }
 }
 
@@ -249,6 +266,23 @@ mod tests {
         noise.after_1q = vec![Channel::Depolarizing(0.3)];
         let noisy = Simulator::with_noise(noise).expectation(&c, &[], &h);
         assert!(noisy > exact && noisy < 0.0, "damped toward 0, got {noisy}");
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let sim = Simulator::new();
+        let circuits: Vec<Circuit> = (0..9)
+            .map(|i| {
+                let mut c = Circuit::new(3);
+                c.ry(i % 3, 0.3 * i as f64).cx(0, 1).rzz(1, 2, 0.5);
+                c
+            })
+            .collect();
+        let batch = sim.run_batch(&circuits, &[]);
+        assert_eq!(batch.len(), circuits.len());
+        for (c, s) in circuits.iter().zip(&batch) {
+            assert_eq!(*s, sim.run(c, &[]));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! functions of a circuit parameter, which is what makes parameter-shift
 //! differentiation and circuit inversion exact and mechanical.
 
-use qmldb_math::{C64, CMatrix};
+use qmldb_math::{CMatrix, C64};
 
 /// An angle appearing in a rotation gate: either a constant or the affine
 /// form `mult · θ[idx] + offset` over the circuit's parameter vector.
@@ -167,8 +167,12 @@ impl Gate {
             }
             Gate::S => CMatrix::from_rows(&[vec![o, z], vec![z, i]]),
             Gate::Sdg => CMatrix::from_rows(&[vec![o, z], vec![z, -i]]),
-            Gate::T => CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(std::f64::consts::FRAC_PI_4)]]),
-            Gate::Tdg => CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::T => {
+                CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(std::f64::consts::FRAC_PI_4)]])
+            }
+            Gate::Tdg => {
+                CMatrix::from_rows(&[vec![o, z], vec![z, C64::cis(-std::f64::consts::FRAC_PI_4)]])
+            }
             Gate::SX => {
                 let a = C64::new(0.5, 0.5);
                 let b = C64::new(0.5, -0.5);
@@ -298,8 +302,13 @@ impl Gate {
     /// The angles appearing in this gate.
     pub fn angles(&self) -> Vec<Angle> {
         match self {
-            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) | Gate::RZZ(t)
-            | Gate::RXX(t) | Gate::RYY(t) => vec![*t],
+            Gate::RX(t)
+            | Gate::RY(t)
+            | Gate::RZ(t)
+            | Gate::P(t)
+            | Gate::RZZ(t)
+            | Gate::RXX(t)
+            | Gate::RYY(t) => vec![*t],
             Gate::U3(a, b, c) => vec![*a, *b, *c],
             _ => vec![],
         }
@@ -334,7 +343,15 @@ mod tests {
     fn rotations_are_unitary_for_various_angles() {
         for k in 0..8 {
             let t = Angle::Const(k as f64 * 0.9 - 3.0);
-            for g in [Gate::RX(t), Gate::RY(t), Gate::RZ(t), Gate::P(t), Gate::RZZ(t), Gate::RXX(t), Gate::RYY(t)] {
+            for g in [
+                Gate::RX(t),
+                Gate::RY(t),
+                Gate::RZ(t),
+                Gate::P(t),
+                Gate::RZZ(t),
+                Gate::RXX(t),
+                Gate::RYY(t),
+            ] {
                 assert!(g.matrix(&[]).is_unitary(1e-12), "{g:?} not unitary");
             }
         }

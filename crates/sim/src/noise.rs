@@ -5,7 +5,7 @@
 //! gate (per touched qubit) plus classical readout error, which is the
 //! standard coarse model of NISQ hardware.
 
-use qmldb_math::{C64, CMatrix};
+use qmldb_math::{CMatrix, C64};
 
 /// A single-qubit noise channel.
 #[derive(Clone, Copy, Debug, PartialEq)]

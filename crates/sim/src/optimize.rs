@@ -356,7 +356,15 @@ mod tests {
     #[test]
     fn fusion_preserves_semantics() {
         let mut c = Circuit::new(3);
-        c.h(0).t(0).cx(0, 1).rx(1, 0.9).rz(1, -0.3).h(2).s(2).cx(1, 2).h(1);
+        c.h(0)
+            .t(0)
+            .cx(0, 1)
+            .rx(1, 0.9)
+            .rz(1, -0.3)
+            .h(2)
+            .s(2)
+            .cx(1, 2)
+            .h(1);
         let orig = c.clone();
         fuse_single_qubit(&mut c);
         assert!(c.len() < orig.len());

@@ -6,7 +6,7 @@
 //! enforced by property tests.
 
 use crate::circuit::{Circuit, Instr};
-use qmldb_math::{C64, CMatrix, Rng64};
+use qmldb_math::{CMatrix, Rng64, C64};
 
 /// A pure quantum state on `n` qubits as 2ⁿ complex amplitudes.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +26,11 @@ impl StateVector {
 
     /// The computational basis state |index⟩.
     pub fn basis(n: usize, index: usize) -> Self {
+        assert!(
+            index < 1usize << n,
+            "basis index {index} out of range for {n} qubits (< {})",
+            1usize << n
+        );
         let mut s = StateVector::zero(n);
         s.amps[0] = C64::ZERO;
         s.amps[index] = C64::ONE;
@@ -134,10 +139,7 @@ impl StateVector {
         }
         let mat = instr.gate.matrix(params);
         if instr.targets.len() == 1 {
-            let m = [
-                [mat[(0, 0)], mat[(0, 1)]],
-                [mat[(1, 0)], mat[(1, 1)]],
-            ];
+            let m = [[mat[(0, 0)], mat[(0, 1)]], [mat[(1, 0)], mat[(1, 1)]]];
             self.apply_1q(instr.targets[0], &instr.controls, &m);
         } else {
             self.apply_kq(&mat, &instr.targets, &instr.controls);
@@ -245,15 +247,21 @@ impl StateVector {
         (0..shots)
             .map(|_| {
                 let u = rng.uniform() * total;
-                match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
-                    Ok(i) | Err(i) => i.min(self.amps.len() - 1),
-                }
+                // First index with cdf > u. A plain binary search can land
+                // on an exact boundary hit (u == cdf[i], common when
+                // amplitudes are exactly 0 or 1) and select an outcome of
+                // zero probability.
+                cdf.partition_point(|&p| p <= u).min(self.amps.len() - 1)
             })
             .collect()
     }
 
     /// Samples and histograms `shots` outcomes: map basis-index → count.
-    pub fn sample_counts(&self, shots: usize, rng: &mut Rng64) -> std::collections::HashMap<usize, usize> {
+    pub fn sample_counts(
+        &self,
+        shots: usize,
+        rng: &mut Rng64,
+    ) -> std::collections::HashMap<usize, usize> {
         let mut counts = std::collections::HashMap::new();
         for outcome in self.sample(shots, rng) {
             *counts.entry(outcome).or_insert(0) += 1;
@@ -285,10 +293,7 @@ impl StateVector {
                 *a = C64::ZERO;
             }
         }
-        assert!(
-            norm_sqr > 1e-300,
-            "collapse onto zero-probability outcome"
-        );
+        assert!(norm_sqr > 1e-300, "collapse onto zero-probability outcome");
         let scale = 1.0 / norm_sqr.sqrt();
         for a in self.amps.iter_mut() {
             *a = a.scale(scale);
@@ -465,6 +470,24 @@ mod tests {
             .count();
         let freq = ones as f64 / shots as f64;
         assert!((freq - 0.5f64.sin().powi(2)).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn sampling_basis_state_never_selects_zero_probability_outcome() {
+        // Regression: a CDF with exact 0/1 boundaries (|10⟩ here) used to
+        // let binary search land on an Ok(i) boundary hit and return a
+        // zero-probability outcome.
+        let s = StateVector::basis(2, 0b10);
+        let mut rng = Rng64::new(123);
+        for outcome in s.sample(10_000, &mut rng) {
+            assert_eq!(outcome, 0b10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index 4 out of range for 2 qubits")]
+    fn basis_index_out_of_range_panics_with_message() {
+        StateVector::basis(2, 4);
     }
 
     #[test]

@@ -1,120 +1,126 @@
 //! Property-based tests for the density-matrix engine: CPTP invariants
-//! that must hold for arbitrary circuits and channels.
+//! that must hold for arbitrary circuits and channels. Runs on the in-repo
+//! `check` harness.
 
-use proptest::prelude::*;
+use qmldb_math::{check, Rng64};
 use qmldb_sim::{Channel, Circuit, DensityMatrix, Simulator, StateVector};
 
-#[derive(Clone, Debug)]
-enum Op {
-    H(usize),
-    X(usize),
-    RY(usize, f64),
-    RZ(usize, f64),
-    CX(usize, usize),
-    CZ(usize, usize),
+const N: usize = 3;
+
+/// Appends one random instruction from the unitary alphabet these tests
+/// exercise.
+fn random_instr(c: &mut Circuit, n: usize, rng: &mut Rng64) {
+    let other = |rng: &mut Rng64, a: usize| {
+        let b = rng.index(n - 1);
+        if b >= a {
+            b + 1
+        } else {
+            b
+        }
+    };
+    match rng.index(6) {
+        0 => c.h(rng.index(n)),
+        1 => c.x(rng.index(n)),
+        2 => {
+            let t = rng.uniform_range(-3.0, 3.0);
+            c.ry(rng.index(n), t)
+        }
+        3 => {
+            let t = rng.uniform_range(-3.0, 3.0);
+            c.rz(rng.index(n), t)
+        }
+        4 => {
+            let a = rng.index(n);
+            let b = other(rng, a);
+            c.cx(a, b)
+        }
+        _ => {
+            let a = rng.index(n);
+            let b = other(rng, a);
+            c.cz(a, b)
+        }
+    };
 }
 
-fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
-    let ang = -3.0..3.0f64;
-    prop_oneof![
-        (0..n).prop_map(Op::H),
-        (0..n).prop_map(Op::X),
-        (0..n, ang.clone()).prop_map(|(q, t)| Op::RY(q, t)),
-        (0..n, ang).prop_map(|(q, t)| Op::RZ(q, t)),
-        (0..n, 0..n - 1).prop_map(|(a, b)| Op::CX(a, if b >= a { b + 1 } else { b })),
-        (0..n, 0..n - 1).prop_map(|(a, b)| Op::CZ(a, if b >= a { b + 1 } else { b })),
-    ]
-}
-
-fn build(n: usize, ops: &[Op]) -> Circuit {
+fn random_circuit(n: usize, max_len: usize, rng: &mut Rng64) -> Circuit {
     let mut c = Circuit::new(n);
-    for op in ops {
-        match *op {
-            Op::H(q) => c.h(q),
-            Op::X(q) => c.x(q),
-            Op::RY(q, t) => c.ry(q, t),
-            Op::RZ(q, t) => c.rz(q, t),
-            Op::CX(a, b) => c.cx(a, b),
-            Op::CZ(a, b) => c.cz(a, b),
-        };
+    for _ in 0..rng.index(max_len + 1) {
+        random_instr(&mut c, n, rng);
     }
     c
 }
 
-fn channel_strategy() -> impl Strategy<Value = Channel> {
-    prop_oneof![
-        (0.0..1.0f64).prop_map(Channel::Depolarizing),
-        (0.0..1.0f64).prop_map(Channel::BitFlip),
-        (0.0..1.0f64).prop_map(Channel::PhaseFlip),
-        (0.0..1.0f64).prop_map(Channel::AmplitudeDamping),
-        (0.0..1.0f64).prop_map(Channel::PhaseDamping),
-    ]
+fn random_channel(rng: &mut Rng64) -> Channel {
+    let p = rng.uniform();
+    match rng.index(5) {
+        0 => Channel::Depolarizing(p),
+        1 => Channel::BitFlip(p),
+        2 => Channel::PhaseFlip(p),
+        3 => Channel::AmplitudeDamping(p),
+        _ => Channel::PhaseDamping(p),
+    }
 }
 
-const N: usize = 3;
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn unitary_evolution_matches_statevector(
-        ops in prop::collection::vec(op_strategy(N), 0..20),
-    ) {
-        let c = build(N, &ops);
+#[test]
+fn unitary_evolution_matches_statevector() {
+    check::cases("unitary_evolution_matches_statevector", 48, |rng| {
+        let c = random_circuit(N, 20, rng);
         let mut sv = StateVector::zero(N);
         sv.run(&c, &[]);
         let mut dm = DensityMatrix::zero(N);
         dm.run(&c, &[]);
-        prop_assert!((dm.fidelity_pure(&sv) - 1.0).abs() < 1e-8);
-        prop_assert!((dm.purity() - 1.0).abs() < 1e-8);
-    }
+        assert!((dm.fidelity_pure(&sv) - 1.0).abs() < 1e-8);
+        assert!((dm.purity() - 1.0).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn channels_preserve_trace_and_bound_purity(
-        ops in prop::collection::vec(op_strategy(N), 0..12),
-        ch in channel_strategy(),
-        target in 0usize..N,
-    ) {
-        let c = build(N, &ops);
+#[test]
+fn channels_preserve_trace_and_bound_purity() {
+    check::cases("channels_preserve_trace_and_bound_purity", 48, |rng| {
+        let c = random_circuit(N, 12, rng);
+        let ch = random_channel(rng);
+        let target = rng.index(N);
         let mut dm = DensityMatrix::zero(N);
         dm.run(&c, &[]);
         dm.apply_kraus(&ch.kraus(), &[target]);
-        prop_assert!((dm.trace() - 1.0).abs() < 1e-8, "trace {}", dm.trace());
+        assert!((dm.trace() - 1.0).abs() < 1e-8, "trace {}", dm.trace());
         let p = dm.purity();
         let floor = 1.0 / (1 << N) as f64;
-        prop_assert!(p <= 1.0 + 1e-8 && p >= floor - 1e-8, "purity {p}");
+        assert!(p <= 1.0 + 1e-8 && p >= floor - 1e-8, "purity {p}");
         // Probabilities form a distribution.
         let probs = dm.probabilities();
-        prop_assert!(probs.iter().all(|&v| v >= -1e-9));
-        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-8);
-    }
+        assert!(probs.iter().all(|&v| v >= -1e-9));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn noise_never_increases_purity(
-        ops in prop::collection::vec(op_strategy(N), 0..12),
-        p in 0.0..0.5f64,
-        target in 0usize..N,
-    ) {
-        let c = build(N, &ops);
+#[test]
+fn noise_never_increases_purity() {
+    check::cases("noise_never_increases_purity", 48, |rng| {
+        let c = random_circuit(N, 12, rng);
+        let p = rng.uniform_range(0.0, 0.5);
+        let target = rng.index(N);
         let mut dm = DensityMatrix::zero(N);
         dm.run(&c, &[]);
         let before = dm.purity();
         dm.apply_kraus(&Channel::Depolarizing(p).kraus(), &[target]);
-        prop_assert!(dm.purity() <= before + 1e-9);
-    }
+        assert!(dm.purity() <= before + 1e-9);
+    });
+}
 
-    #[test]
-    fn noisy_expectations_are_contracted_toward_zero(
-        ops in prop::collection::vec(op_strategy(N), 0..10),
-        q in 0usize..N,
-    ) {
-        use qmldb_sim::{NoiseModel, PauliString, PauliSum};
-        let c = build(N, &ops);
+#[test]
+fn noisy_expectations_are_contracted_toward_zero() {
+    use qmldb_sim::{NoiseModel, PauliString, PauliSum};
+    check::cases("noisy_expectations_are_contracted_toward_zero", 48, |rng| {
+        let c = random_circuit(N, 10, rng);
+        let q = rng.index(N);
         let h = PauliSum::from_terms(vec![(1.0, PauliString::z(q))]);
         let clean = Simulator::new().expectation(&c, &[], &h);
-        let noisy = Simulator::with_noise(NoiseModel::depolarizing(0.1, 0.1))
-            .expectation(&c, &[], &h);
-        prop_assert!(noisy.abs() <= clean.abs() + 1e-8,
-            "noise amplified <Z{q}>: {clean} -> {noisy}");
-    }
+        let noisy =
+            Simulator::with_noise(NoiseModel::depolarizing(0.1, 0.1)).expectation(&c, &[], &h);
+        assert!(
+            noisy.abs() <= clean.abs() + 1e-8,
+            "noise amplified <Z{q}>: {clean} -> {noisy}"
+        );
+    });
 }

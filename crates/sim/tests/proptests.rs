@@ -1,166 +1,160 @@
 //! Property-based tests: physical invariants the simulator must uphold for
-//! arbitrary circuits.
+//! arbitrary circuits. Runs on the in-repo `check` harness.
 
-use proptest::prelude::*;
+use qmldb_math::{check, Rng64};
 use qmldb_sim::{optimize, Circuit, Pauli, PauliString, StateVector};
 
-/// A random instruction spec we can replay onto a `Circuit`.
-#[derive(Clone, Debug)]
-enum Spec {
-    H(usize),
-    X(usize),
-    T(usize),
-    RX(usize, f64),
-    RY(usize, f64),
-    RZ(usize, f64),
-    CX(usize, usize),
-    CZ(usize, usize),
-    RZZ(usize, usize, f64),
-    CCX(usize, usize, usize),
+const N: usize = 4;
+
+/// Picks a qubit distinct from the ones already `taken`.
+fn distinct_qubit(rng: &mut Rng64, n: usize, taken: &[usize]) -> usize {
+    loop {
+        let q = rng.index(n);
+        if !taken.contains(&q) {
+            return q;
+        }
+    }
 }
 
-fn spec_strategy(n: usize) -> impl Strategy<Value = Spec> {
-    let q = 0..n;
-    let ang = -3.2..3.2f64;
-    prop_oneof![
-        q.clone().prop_map(Spec::H),
-        q.clone().prop_map(Spec::X),
-        q.clone().prop_map(Spec::T),
-        (0..n, ang.clone()).prop_map(|(a, t)| Spec::RX(a, t)),
-        (0..n, ang.clone()).prop_map(|(a, t)| Spec::RY(a, t)),
-        (0..n, ang.clone()).prop_map(|(a, t)| Spec::RZ(a, t)),
-        (0..n, 0..n - 1).prop_map(|(a, b)| Spec::CX(a, if b >= a { b + 1 } else { b })),
-        (0..n, 0..n - 1).prop_map(|(a, b)| Spec::CZ(a, if b >= a { b + 1 } else { b })),
-        (0..n, 0..n - 1, ang).prop_map(|(a, b, t)| Spec::RZZ(a, if b >= a { b + 1 } else { b }, t)),
-        (0..n, 0..n - 1, 0..n - 2).prop_map(|(a, b, c)| {
-            let b = if b >= a { b + 1 } else { b };
-            let mut c = c;
-            for taken in {
-                let mut v = [a, b];
-                v.sort_unstable();
-                v
-            } {
-                if c >= taken {
-                    c += 1;
-                }
-            }
-            Spec::CCX(a, b, c)
-        }),
-    ]
+/// Appends one random instruction drawn from the full gate alphabet.
+fn random_instr(c: &mut Circuit, n: usize, rng: &mut Rng64) {
+    let ang = rng.uniform_range(-3.2, 3.2);
+    match rng.index(10) {
+        0 => c.h(rng.index(n)),
+        1 => c.x(rng.index(n)),
+        2 => c.t(rng.index(n)),
+        3 => c.rx(rng.index(n), ang),
+        4 => c.ry(rng.index(n), ang),
+        5 => c.rz(rng.index(n), ang),
+        6 => {
+            let a = rng.index(n);
+            c.cx(a, distinct_qubit(rng, n, &[a]))
+        }
+        7 => {
+            let a = rng.index(n);
+            c.cz(a, distinct_qubit(rng, n, &[a]))
+        }
+        8 => {
+            let a = rng.index(n);
+            let b = distinct_qubit(rng, n, &[a]);
+            c.rzz(a, b, ang)
+        }
+        _ => {
+            let a = rng.index(n);
+            let b = distinct_qubit(rng, n, &[a]);
+            let t = distinct_qubit(rng, n, &[a, b]);
+            c.ccx(a, b, t)
+        }
+    };
 }
 
-fn build(n: usize, specs: &[Spec]) -> Circuit {
+/// A random circuit with up to `max_len` instructions.
+fn random_circuit(n: usize, max_len: usize, rng: &mut Rng64) -> Circuit {
     let mut c = Circuit::new(n);
-    for s in specs {
-        match *s {
-            Spec::H(q) => c.h(q),
-            Spec::X(q) => c.x(q),
-            Spec::T(q) => c.t(q),
-            Spec::RX(q, t) => c.rx(q, t),
-            Spec::RY(q, t) => c.ry(q, t),
-            Spec::RZ(q, t) => c.rz(q, t),
-            Spec::CX(a, b) => c.cx(a, b),
-            Spec::CZ(a, b) => c.cz(a, b),
-            Spec::RZZ(a, b, t) => c.rzz(a, b, t),
-            Spec::CCX(a, b, t) => c.ccx(a, b, t),
-        };
+    let len = rng.index(max_len + 1);
+    for _ in 0..len {
+        random_instr(&mut c, n, rng);
     }
     c
 }
 
-const N: usize = 4;
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn norm_is_preserved(specs in prop::collection::vec(spec_strategy(N), 0..40)) {
-        let c = build(N, &specs);
+#[test]
+fn norm_is_preserved() {
+    check::cases("norm_is_preserved", 64, |rng| {
+        let c = random_circuit(N, 40, rng);
         let mut s = StateVector::zero(N);
         s.run(&c, &[]);
-        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
-    }
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn circuit_inverse_restores_initial_state(
-        specs in prop::collection::vec(spec_strategy(N), 0..30),
-        start in 0usize..(1 << N),
-    ) {
-        let c = build(N, &specs);
+#[test]
+fn circuit_inverse_restores_initial_state() {
+    check::cases("circuit_inverse_restores_initial_state", 64, |rng| {
+        let c = random_circuit(N, 30, rng);
+        let start = rng.index(1 << N);
         let mut s = StateVector::basis(N, start);
         s.run(&c, &[]);
         s.run(&c.inverse(), &[]);
-        prop_assert!(s.fidelity(&StateVector::basis(N, start)) > 1.0 - 1e-9);
-    }
+        assert!(s.fidelity(&StateVector::basis(N, start)) > 1.0 - 1e-9);
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_semantics(
-        specs in prop::collection::vec(spec_strategy(N), 0..30),
-        start in 0usize..(1 << N),
-    ) {
-        let orig = build(N, &specs);
+#[test]
+fn optimizer_preserves_semantics() {
+    check::cases("optimizer_preserves_semantics", 64, |rng| {
+        let orig = random_circuit(N, 30, rng);
+        let start = rng.index(1 << N);
         let mut opt = orig.clone();
         optimize::optimize(&mut opt);
-        prop_assert!(opt.len() <= orig.len());
+        assert!(opt.len() <= orig.len());
         let mut a = StateVector::basis(N, start);
         let mut b = StateVector::basis(N, start);
         a.run(&orig, &[]);
         b.run(&opt, &[]);
-        prop_assert!(a.fidelity(&b) > 1.0 - 1e-9);
-    }
+        assert!(a.fidelity(&b) > 1.0 - 1e-9);
+    });
+}
 
-    #[test]
-    fn pauli_expectations_bounded(
-        specs in prop::collection::vec(spec_strategy(N), 0..25),
-        q in 0usize..N,
-    ) {
-        let c = build(N, &specs);
+#[test]
+fn pauli_expectations_bounded() {
+    check::cases("pauli_expectations_bounded", 64, |rng| {
+        let c = random_circuit(N, 25, rng);
+        let q = rng.index(N);
         let mut s = StateVector::zero(N);
         s.run(&c, &[]);
         for p in [PauliString::x(q), PauliString::y(q), PauliString::z(q)] {
             let e = p.expectation(&s);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "{p}: {e}");
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "{p}: {e}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn single_qubit_bloch_vector_length_at_most_one(
-        specs in prop::collection::vec(spec_strategy(N), 0..25),
-        q in 0usize..N,
-    ) {
-        let c = build(N, &specs);
+#[test]
+fn single_qubit_bloch_vector_length_at_most_one() {
+    check::cases("single_qubit_bloch_vector_length_at_most_one", 64, |rng| {
+        let c = random_circuit(N, 25, rng);
+        let q = rng.index(N);
         let mut s = StateVector::zero(N);
         s.run(&c, &[]);
         let x = PauliString::x(q).expectation(&s);
         let y = PauliString::y(q).expectation(&s);
         let z = PauliString::z(q).expectation(&s);
-        prop_assert!(x * x + y * y + z * z <= 1.0 + 1e-9);
-    }
+        assert!(x * x + y * y + z * z <= 1.0 + 1e-9);
+    });
+}
 
-    #[test]
-    fn probabilities_sum_to_one(specs in prop::collection::vec(spec_strategy(N), 0..30)) {
-        let c = build(N, &specs);
+#[test]
+fn probabilities_sum_to_one() {
+    check::cases("probabilities_sum_to_one", 64, |rng| {
+        let c = random_circuit(N, 30, rng);
         let mut s = StateVector::zero(N);
         s.run(&c, &[]);
         let total: f64 = s.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn pauli_string_apply_twice_is_identity(
-        specs in prop::collection::vec(spec_strategy(N), 0..20),
-        mask in 1usize..(1 << N),
-        kinds in prop::collection::vec(0u8..3, N),
-    ) {
-        let c = build(N, &specs);
+#[test]
+fn pauli_string_apply_twice_is_identity() {
+    check::cases("pauli_string_apply_twice_is_identity", 64, |rng| {
+        let c = random_circuit(N, 20, rng);
+        let mask = 1 + rng.index((1 << N) - 1);
         let mut s = StateVector::zero(N);
         s.run(&c, &[]);
         let ops: Vec<(usize, Pauli)> = (0..N)
             .filter(|q| mask & (1 << q) != 0)
-            .map(|q| (q, match kinds[q] { 0 => Pauli::X, 1 => Pauli::Y, _ => Pauli::Z }))
+            .map(|q| {
+                let p = match rng.index(3) {
+                    0 => Pauli::X,
+                    1 => Pauli::Y,
+                    _ => Pauli::Z,
+                };
+                (q, p)
+            })
             .collect();
         let p = PauliString::new(ops);
         let twice = p.apply(&p.apply(&s));
-        prop_assert!(twice.fidelity(&s) > 1.0 - 1e-9);
-    }
+        assert!(twice.fidelity(&s) > 1.0 - 1e-9);
+    });
 }

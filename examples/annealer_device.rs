@@ -65,5 +65,7 @@ fn main() {
             Err(e) => println!("{cs:>14.1}  failed: {e}"),
         }
     }
-    println!("\nweak chains break (majority vote repairs some); the embedding itself costs 2-3x qubits");
+    println!(
+        "\nweak chains break (majority vote repairs some); the embedding itself costs 2-3x qubits"
+    );
 }

@@ -13,8 +13,8 @@ use qmldb::anneal::{
     simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
 };
 use qmldb::db::joinorder::{goo, optimize_left_deep, CostModel};
-use qmldb::db::query::{generate, Topology};
 use qmldb::db::qubo_jo::JoinOrderQubo;
+use qmldb::db::query::{generate, Topology};
 use qmldb::math::Rng64;
 use qmldb::qml::qaoa::Qaoa;
 
@@ -22,13 +22,19 @@ fn main() {
     let mut rng = Rng64::new(7);
     let n = 8;
     let g = generate(Topology::Cycle, n, &mut rng);
-    println!("query: {n}-relation cycle, cardinalities {:?}", g.cardinalities());
+    println!(
+        "query: {n}-relation cycle, cardinalities {:?}",
+        g.cardinalities()
+    );
 
     let exact = optimize_left_deep(&g, CostModel::Cout);
     println!("exact DP      : cost {:.3e}", exact.cost);
 
     let (_, goo_cost) = goo(&g, CostModel::Cout);
-    println!("greedy GOO    : cost {goo_cost:.3e} ({:.2}x)", goo_cost / exact.cost);
+    println!(
+        "greedy GOO    : cost {goo_cost:.3e} ({:.2}x)",
+        goo_cost / exact.cost
+    );
 
     let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
     println!("QUBO encoding : {} binary variables", jo.n_vars());
@@ -36,11 +42,18 @@ fn main() {
 
     let sa = simulated_annealing(
         &ising,
-        &SaParams { sweeps: 2500, restarts: 5, ..SaParams::default() },
+        &SaParams {
+            sweeps: 2500,
+            restarts: 5,
+            ..SaParams::default()
+        },
         &mut rng,
     );
     let sa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sa.spins)), &g, CostModel::Cout);
-    println!("SA on QUBO    : cost {sa_cost:.3e} ({:.2}x)", sa_cost / exact.cost);
+    println!(
+        "SA on QUBO    : cost {sa_cost:.3e} ({:.2}x)",
+        sa_cost / exact.cost
+    );
 
     let sqa = simulated_quantum_annealing(
         &ising,
@@ -54,7 +67,10 @@ fn main() {
         &mut rng,
     );
     let sqa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), &g, CostModel::Cout);
-    println!("SQA on QUBO   : cost {sqa_cost:.3e} ({:.2}x)", sqa_cost / exact.cost);
+    println!(
+        "SQA on QUBO   : cost {sqa_cost:.3e} ({:.2}x)",
+        sqa_cost / exact.cost
+    );
 
     // Gate-model QAOA fits a 4-relation instance (16 qubits).
     let g4 = generate(Topology::Chain, 4, &mut rng);
@@ -69,7 +85,9 @@ fn main() {
         2,
     );
     let r = qaoa.solve_spsa(150, 2, 1024, &mut rng);
-    let bits: Vec<bool> = (0..jo4.n_vars()).map(|i| r.best_bitstring & (1 << i) != 0).collect();
+    let bits: Vec<bool> = (0..jo4.n_vars())
+        .map(|i| r.best_bitstring & (1 << i) != 0)
+        .collect();
     let qaoa_cost = jo4.true_cost(&jo4.decode(&bits), &g4, CostModel::Cout);
     println!(
         "QAOA p=2 (4 rels, 16 qubits): cost {qaoa_cost:.3e} ({:.2}x exact)",

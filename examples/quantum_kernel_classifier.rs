@@ -17,15 +17,28 @@ fn main() {
     let mut rng = Rng64::new(11);
     let d = dataset::two_moons(80, 0.15, &mut rng).rescaled(0.0, std::f64::consts::PI);
     let (train, test) = d.split(0.6, &mut rng);
-    let params = SvmParams { c: 5.0, ..SvmParams::default() };
+    let params = SvmParams {
+        c: 5.0,
+        ..SvmParams::default()
+    };
 
-    println!("two moons: {} train / {} test points\n", train.len(), test.len());
+    println!(
+        "two moons: {} train / {} test points\n",
+        train.len(),
+        test.len()
+    );
 
     // Quantum fidelity kernels.
     for (name, kernel) in [
         ("angle (2 qubits)", QuantumKernel::new(2, FeatureMap::Angle)),
-        ("multiscale (6 qubits)", QuantumKernel::new(6, FeatureMap::MultiScale { copies: 3 })),
-        ("zz reps=2 (2 qubits)", QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 })),
+        (
+            "multiscale (6 qubits)",
+            QuantumKernel::new(6, FeatureMap::MultiScale { copies: 3 }),
+        ),
+        (
+            "zz reps=2 (2 qubits)",
+            QuantumKernel::new(2, FeatureMap::ZZ { reps: 2 }),
+        ),
     ] {
         let align = kernel_target_alignment(&kernel.gram(&train.x), &train.y);
         let exact = Qsvm::train(

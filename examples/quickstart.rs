@@ -8,8 +8,8 @@
 
 use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb::db::joinorder::{optimize_left_deep, CostModel};
-use qmldb::db::query::{generate, Topology};
 use qmldb::db::qubo_jo::JoinOrderQubo;
+use qmldb::db::query::{generate, Topology};
 use qmldb::math::Rng64;
 use qmldb::ml::{dataset, SvmParams};
 use qmldb::qml::kernel::{FeatureMap, QuantumKernel};
@@ -34,7 +34,10 @@ fn main() {
         train.x.clone(),
         train.y.clone(),
         KernelMode::Exact,
-        &SvmParams { c: 5.0, ..SvmParams::default() },
+        &SvmParams {
+            c: 5.0,
+            ..SvmParams::default()
+        },
         &mut rng,
     );
     println!(
@@ -49,7 +52,11 @@ fn main() {
     let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
     let r = simulated_annealing(
         &jo.qubo().to_ising(),
-        &SaParams { sweeps: 2000, restarts: 4, ..SaParams::default() },
+        &SaParams {
+            sweeps: 2000,
+            restarts: 4,
+            ..SaParams::default()
+        },
         &mut rng,
     );
     let order = jo.decode(&spins_to_bits(&r.spins));

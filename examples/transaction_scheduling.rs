@@ -45,7 +45,11 @@ fn main() {
     let q = schedule.to_qubo(schedule.auto_penalty());
     let r = simulated_annealing(
         &q.to_ising(),
-        &SaParams { sweeps: 3000, restarts: 6, ..SaParams::default() },
+        &SaParams {
+            sweeps: 3000,
+            restarts: 6,
+            ..SaParams::default()
+        },
         &mut rng,
     );
     let annealed = schedule.decode(&spins_to_bits(&r.spins));

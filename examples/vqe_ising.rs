@@ -13,7 +13,10 @@ fn main() {
     let n = 4;
     let mut rng = Rng64::new(19);
     println!("transverse-field Ising chain, {n} spins: H = -Σ ZZ - g Σ X\n");
-    println!("{:>6}  {:>12}  {:>12}  {:>10}", "g", "VQE energy", "exact", "rel err");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}",
+        "g", "VQE energy", "exact", "rel err"
+    );
     for &g in &[0.2, 0.5, 1.0, 1.5, 2.0] {
         let h = transverse_field_ising(n, 1.0, g);
         let exact = exact_ground_energy(&h, n);

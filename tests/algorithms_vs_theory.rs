@@ -65,9 +65,8 @@ fn qft_output_matches_classical_dft_of_input_amplitudes() {
     for out_idx in 0..dim {
         let mut expect = qmldb::math::C64::ZERO;
         for (j, a) in input.iter().enumerate() {
-            expect += *a * qmldb::math::C64::cis(
-                std::f64::consts::TAU * (j * out_idx) as f64 / dim as f64,
-            );
+            expect += *a
+                * qmldb::math::C64::cis(std::f64::consts::TAU * (j * out_idx) as f64 / dim as f64);
         }
         expect = expect / (dim as f64).sqrt();
         assert!(
@@ -81,7 +80,15 @@ fn qft_output_matches_classical_dft_of_input_amplitudes() {
 fn hhl_agrees_with_lu_solver_direction() {
     let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
     let b = [1.0, -2.0];
-    let quantum = hhl_solve(&a, &b, &HhlConfig { clock_bits: 7, c_scale: 0.6 }).unwrap();
+    let quantum = hhl_solve(
+        &a,
+        &b,
+        &HhlConfig {
+            clock_bits: 7,
+            c_scale: 0.6,
+        },
+    )
+    .unwrap();
     let classical = classical_solution(&a, &b).unwrap();
     let f = solution_fidelity(&quantum.solution, &classical);
     assert!(f > 0.999, "fidelity {f}");

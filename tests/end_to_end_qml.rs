@@ -12,7 +12,10 @@ fn qsvm_pipeline_beats_chance_and_matches_classical_on_moons() {
     let mut rng = Rng64::new(3001);
     let d = dataset::two_moons(80, 0.12, &mut rng).rescaled(0.0, std::f64::consts::PI);
     let (train, test) = d.split(0.6, &mut rng);
-    let params = SvmParams { c: 5.0, ..SvmParams::default() };
+    let params = SvmParams {
+        c: 5.0,
+        ..SvmParams::default()
+    };
 
     let q = Qsvm::train(
         QuantumKernel::new(6, FeatureMap::MultiScale { copies: 3 }),
@@ -32,7 +35,10 @@ fn qsvm_pipeline_beats_chance_and_matches_classical_on_moons() {
     let qa = q.accuracy(&test.x, &test.y);
     let ca = rbf.accuracy(&test.x, &test.y);
     assert!(qa >= 0.85, "quantum kernel test accuracy {qa}");
-    assert!(qa >= ca - 0.15, "quantum {qa} should be near classical {ca}");
+    assert!(
+        qa >= ca - 0.15,
+        "quantum {qa} should be near classical {ca}"
+    );
 }
 
 #[test]

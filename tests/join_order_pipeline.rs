@@ -6,15 +6,19 @@
 use qmldb::anneal::embed::{clique_embedding, complete_graph_edges, Chimera};
 use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb::db::joinorder::{goo, optimize_bushy, optimize_left_deep, CostModel};
-use qmldb::db::query::{generate, tpch_like_query, Topology};
 use qmldb::db::qubo_jo::JoinOrderQubo;
+use qmldb::db::query::{generate, tpch_like_query, Topology};
 use qmldb::math::Rng64;
 
 fn anneal_order(g: &qmldb::db::query::JoinGraph, rng: &mut Rng64) -> (Vec<usize>, f64) {
     let jo = JoinOrderQubo::encode(g, JoinOrderQubo::auto_penalty(g));
     let r = simulated_annealing(
         &jo.qubo().to_ising(),
-        &SaParams { sweeps: 2500, restarts: 5, ..SaParams::default() },
+        &SaParams {
+            sweeps: 2500,
+            restarts: 5,
+            ..SaParams::default()
+        },
         rng,
     );
     let order = jo.decode(&spins_to_bits(&r.spins));
@@ -31,7 +35,11 @@ fn annealed_orders_are_valid_permutations_and_near_optimal() {
         let (order, annealed_cost) = anneal_order(&g, &mut rng);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..7).collect::<Vec<_>>(), "{topo:?}: not a permutation");
+        assert_eq!(
+            sorted,
+            (0..7).collect::<Vec<_>>(),
+            "{topo:?}: not a permutation"
+        );
         assert!(
             annealed_cost >= exact.cost * (1.0 - 1e-9),
             "{topo:?}: annealed below the exact floor"

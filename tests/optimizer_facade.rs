@@ -28,7 +28,11 @@ fn facade_strategies_rank_sanely_on_a_chain_query() {
         &g,
         CostModel::Cout,
         &Strategy::AnnealedQubo {
-            params: SaParams { sweeps: 2000, restarts: 4, ..SaParams::default() },
+            params: SaParams {
+                sweeps: 2000,
+                restarts: 4,
+                ..SaParams::default()
+            },
         },
         &mut rng,
     )

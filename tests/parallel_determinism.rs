@@ -1,0 +1,108 @@
+//! Determinism contract of the parallel execution layer: every parallel
+//! API must produce bit-identical results regardless of the worker count.
+//!
+//! The contract holds because (a) random streams are forked from the
+//! caller's generator serially, before any worker starts, and (b) each
+//! work item writes only its own output slot, with any reduction done
+//! serially in item order. These tests pin both halves by comparing
+//! one-worker and four-worker runs of every parallel entry point.
+//!
+//! All tests share one process, and the thread-count override is global,
+//! so each case serialises on a lock and restores the default when done.
+
+use qmldb::anneal::{simulated_annealing, Ising, SaParams};
+use qmldb::math::{par, Rng64};
+use qmldb::qml::{FeatureMap, QuantumKernel};
+use qmldb::sim::{Circuit, Simulator};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` twice — once on 1 worker, once on 4 — and returns both
+/// results for comparison. Restores the default thread count afterwards.
+fn on_1_and_4_threads<R>(mut body: impl FnMut() -> R) -> (R, R) {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    par::set_threads(1);
+    let serial = body();
+    par::set_threads(4);
+    let parallel = body();
+    par::reset_threads();
+    (serial, parallel)
+}
+
+fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng64::new(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.uniform_range(0.0, 2.0)).collect())
+        .collect()
+}
+
+#[test]
+fn gram_matrix_is_identical_on_1_and_4_threads() {
+    let xs = dataset(10, 3, 41);
+    let qk = QuantumKernel::new(3, FeatureMap::ZZ { reps: 2 });
+    let (serial, parallel) = on_1_and_4_threads(|| qk.gram(&xs));
+    // Bit-identical, not approximately equal: the parallel layer may not
+    // change even the floating-point summation order.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn sampled_gram_matrix_is_identical_on_1_and_4_threads() {
+    let xs = dataset(6, 2, 43);
+    let qk = QuantumKernel::new(2, FeatureMap::Angle);
+    let (serial, parallel) = on_1_and_4_threads(|| qk.gram_sampled(&xs, 256, &mut Rng64::new(7)));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn simulated_annealing_is_identical_on_1_and_4_threads() {
+    let mut rng = Rng64::new(45);
+    let n = 12;
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(0.5) {
+                couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+            }
+        }
+    }
+    let model = Ising::new(vec![0.0; n], couplings, 0.0);
+    let params = SaParams {
+        sweeps: 50,
+        restarts: 4,
+        ..SaParams::default()
+    };
+    let (serial, parallel) =
+        on_1_and_4_threads(|| simulated_annealing(&model, &params, &mut Rng64::new(9)));
+    assert_eq!(serial.spins, parallel.spins);
+    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.proposals, parallel.proposals);
+}
+
+#[test]
+fn sample_counts_are_identical_on_1_and_4_threads() {
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).ry(2, 0.7);
+    let sim = Simulator::new();
+    let (serial, parallel): (HashMap<usize, usize>, HashMap<usize, usize>) =
+        on_1_and_4_threads(|| sim.sample_counts(&c, &[], 4096, &mut Rng64::new(11)));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn caller_rng_stream_advances_identically_for_any_thread_count() {
+    // The caller's generator must be in the same state after a parallel
+    // call no matter how many workers ran, or everything downstream of
+    // the call would diverge between machines.
+    let xs = dataset(5, 2, 47);
+    let qk = QuantumKernel::new(2, FeatureMap::Angle);
+    let (serial, parallel) = on_1_and_4_threads(|| {
+        let mut rng = Rng64::new(13);
+        qk.gram_sampled(&xs, 64, &mut rng);
+        rng.next_u64()
+    });
+    assert_eq!(serial, parallel);
+}

@@ -2,8 +2,8 @@
 //! must agree on the same QUBO instances.
 
 use qmldb::anneal::{
-    simulated_annealing, simulated_quantum_annealing, solve_exact, tabu_search,
-    Qubo, SaParams, SqaParams, TabuParams,
+    simulated_annealing, simulated_quantum_annealing, solve_exact, tabu_search, Qubo, SaParams,
+    SqaParams, TabuParams,
 };
 use qmldb::math::Rng64;
 use qmldb::qml::qaoa::Qaoa;
@@ -53,13 +53,7 @@ fn qaoa_samples_reach_the_exact_ground_state_on_small_qubos() {
     let q = random_qubo(6, 3103);
     let exact = solve_exact(&q);
     let ising = q.to_ising();
-    let qaoa = Qaoa::from_ising(
-        6,
-        ising.fields(),
-        ising.couplings(),
-        ising.offset(),
-        3,
-    );
+    let qaoa = Qaoa::from_ising(6, ising.fields(), ising.couplings(), ising.offset(), 3);
     let mut rng = Rng64::new(3104);
     let r = qaoa.solve(60, 2, 1024, &mut rng);
     // QUBO energies and diagonal Hamiltonian energies agree by
