@@ -6,6 +6,7 @@
 //! (`cargo run -p qmldb-bench --bin experiments --release -- all`).
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod timing;
 

@@ -116,9 +116,11 @@ impl QuantumKernel {
 
     /// Exact Gram matrix over a dataset (symmetric, unit diagonal).
     ///
-    /// Feature states are prepared as one batched circuit execution and the
-    /// upper-triangle fidelities computed in parallel (`QMLDB_THREADS`
-    /// workers); results are bit-identical for any thread count.
+    /// Feature states are prepared as one batched circuit execution — each
+    /// encoding circuit is lowered once through the compiled kernel path
+    /// (`qmldb_sim::CompiledCircuit`) — and the upper-triangle fidelities
+    /// computed in parallel (`QMLDB_THREADS` workers); results are
+    /// bit-identical for any thread count.
     pub fn gram(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let circuits: Vec<Circuit> = xs
             .iter()

@@ -33,6 +33,7 @@ pub fn gradient_variance(
 ) -> VarianceSample {
     assert!(n_qubits >= 2, "observable needs at least 2 qubits");
     let circuit = hardware_efficient(n_qubits, layers, Entanglement::Linear);
+    let compiled = circuit.compile();
     let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
     let sim = Simulator::new();
     let mut grads = Vec::with_capacity(samples);
@@ -42,7 +43,7 @@ pub fn gradient_variance(
             .collect();
         // Only the first component is needed; parameter_shift computes all,
         // so restrict the cost by probing θ₀ alone via a two-point rule.
-        let g = first_component_gradient(&sim, &circuit, &params, &obs);
+        let g = first_component_gradient(&sim, &compiled, &params, &obs);
         grads.push(g);
     }
     VarianceSample {
@@ -53,10 +54,12 @@ pub fn gradient_variance(
     }
 }
 
-/// ∂E/∂θ₀ only (cheaper than the full gradient for the scan).
+/// ∂E/∂θ₀ only (cheaper than the full gradient for the scan). Takes the
+/// pre-compiled circuit: the scan evaluates thousands of parameter draws
+/// against one ansatz, so lowering happens once in the caller.
 fn first_component_gradient(
     sim: &Simulator,
-    circuit: &qmldb_sim::Circuit,
+    compiled: &qmldb_sim::CompiledCircuit,
     params: &[f64],
     obs: &PauliSum,
 ) -> f64 {
@@ -67,7 +70,9 @@ fn first_component_gradient(
     let mut minus = params.to_vec();
     plus[0] += std::f64::consts::FRAC_PI_2;
     minus[0] -= std::f64::consts::FRAC_PI_2;
-    (sim.expectation(circuit, &plus, obs) - sim.expectation(circuit, &minus, obs)) / 2.0
+    (sim.expectation_compiled(compiled, &plus, obs)
+        - sim.expectation_compiled(compiled, &minus, obs))
+        / 2.0
 }
 
 /// Runs the scan across qubit counts, returning one row per size.
@@ -105,7 +110,7 @@ mod tests {
         let params: Vec<f64> = (0..circuit.n_params())
             .map(|i| 0.3 + 0.1 * i as f64)
             .collect();
-        let fast = first_component_gradient(&sim, &circuit, &params, &obs);
+        let fast = first_component_gradient(&sim, &circuit.compile(), &params, &obs);
         let full = parameter_shift(&sim, &circuit, &params, &obs);
         assert!((fast - full[0]).abs() < 1e-10);
     }

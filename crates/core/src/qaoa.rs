@@ -7,10 +7,10 @@
 //! hardware.
 
 use crate::ansatz::qaoa_ansatz;
-use crate::gradient::parameter_shift;
+use crate::gradient::ShiftGradient;
 use crate::optimizer::{minimize, Adam};
 use qmldb_math::Rng64;
-use qmldb_sim::{Circuit, PauliString, PauliSum, Simulator};
+use qmldb_sim::{Circuit, CompiledCircuit, PauliString, PauliSum, Simulator};
 
 /// A configured QAOA instance.
 #[derive(Clone, Debug)]
@@ -19,6 +19,10 @@ pub struct Qaoa {
     cost: PauliSum,
     p: usize,
     circuit: Circuit,
+    /// Kernel program compiled once at construction; every expectation and
+    /// sampling run reuses it. The cost layer's RZZ/RZ chain collapses into
+    /// one diagonal pass per QAOA layer (see `qmldb_sim::compile`).
+    compiled: CompiledCircuit,
     /// Diagonal energies per basis state, precomputed once: turns each
     /// expectation evaluation into a single pass over the probabilities.
     energy_table: Vec<f64>,
@@ -50,11 +54,13 @@ impl Qaoa {
         let energy_table = (0..(1usize << n_qubits))
             .map(|idx| cost.diagonal_energy(idx))
             .collect();
+        let compiled = circuit.compile();
         Qaoa {
             n_qubits,
             cost,
             p,
             circuit,
+            compiled,
             energy_table,
         }
     }
@@ -107,7 +113,7 @@ impl Qaoa {
 
     /// ⟨H_C⟩ at the given `[γ, β, …]` parameters.
     pub fn expectation(&self, params: &[f64]) -> f64 {
-        let state = Simulator::new().run(&self.circuit, params);
+        let state = Simulator::new().run_compiled(&self.compiled, params);
         state
             .amplitudes()
             .iter()
@@ -127,6 +133,7 @@ impl Qaoa {
         rng: &mut Rng64,
     ) -> QaoaResult {
         let sim = Simulator::new();
+        let sg = ShiftGradient::new(&self.circuit);
         let mut best_params: Vec<f64> = Vec::new();
         let mut best_exp = f64::INFINITY;
         let mut best_history = Vec::new();
@@ -136,7 +143,7 @@ impl Qaoa {
                 .collect();
             let mut adam = Adam::new(0.1);
             let mut obj = |p: &[f64]| self.expectation(p);
-            let mut grad = |p: &[f64]| parameter_shift(&sim, &self.circuit, p, &self.cost);
+            let mut grad = |p: &[f64]| sg.gradient(&sim, p, &self.cost);
             let r = minimize(&mut obj, &mut grad, &init, &mut adam, iters);
             if r.best_value < best_exp {
                 best_exp = r.best_value;
@@ -146,7 +153,7 @@ impl Qaoa {
         }
 
         // Sample candidate solutions from the optimized state.
-        let state = sim.run(&self.circuit, &best_params);
+        let state = sim.run_compiled(&self.compiled, &best_params);
         let samples = state.sample(shots, rng);
         let mut best_bitstring = 0usize;
         let mut best_energy = f64::INFINITY;
@@ -202,7 +209,7 @@ impl Qaoa {
                 best_history = r.history;
             }
         }
-        let state = Simulator::new().run(&self.circuit, &best_params);
+        let state = Simulator::new().run_compiled(&self.compiled, &best_params);
         let samples = state.sample(shots, rng);
         let mut best_bitstring = 0usize;
         let mut best_energy = f64::INFINITY;

@@ -5,7 +5,7 @@
 //! gradients from the parameter-shift rule or SPSA.
 
 use crate::ansatz::{hardware_efficient, Entanglement};
-use crate::gradient::parameter_shift;
+use crate::gradient::ShiftGradient;
 use crate::kernel::FeatureMap;
 use crate::optimizer::{spsa_minimize, Adam, Optimizer, SpsaConfig};
 use qmldb_math::Rng64;
@@ -142,15 +142,21 @@ impl Vqc {
             GradMethod::ParameterShift => {
                 let sim = Simulator::new();
                 let obs = Self::observable();
+                // Each sample's circuit depends only on the data point, so
+                // its shift evaluator is compiled once here and reused by
+                // every epoch (the epoch loop only changes parameters).
+                let evals: Vec<ShiftGradient> = x
+                    .iter()
+                    .map(|xi| ShiftGradient::new(&Self::model_circuit(&config, &ansatz, xi)))
+                    .collect();
                 let mut params = init;
                 let mut adam = Adam::new(config.lr);
                 let mut history = Vec::with_capacity(config.epochs);
                 for _ in 0..config.epochs {
                     let mut grad = vec![0.0; n_params];
-                    for (xi, &yi) in x.iter().zip(y) {
-                        let c = Self::model_circuit(&config, &ansatz, xi);
-                        let out = sim.expectation(&c, &params, &obs);
-                        let g = parameter_shift(&sim, &c, &params, &obs);
+                    for (sg, &yi) in evals.iter().zip(y) {
+                        let out = sg.expectation(&sim, &params, &obs);
+                        let g = sg.gradient(&sim, &params, &obs);
                         let scale = 2.0 * (out - yi) / x.len() as f64;
                         for (gi, gv) in grad.iter_mut().zip(&g) {
                             *gi += scale * gv;

@@ -147,6 +147,46 @@ where
         .collect()
 }
 
+/// Runs `f` over disjoint contiguous slabs of `data` on up to
+/// [`thread_count`] scoped threads. Each slab's length is a multiple of
+/// `align` (except possibly the trailing slab), and `f` receives the
+/// slab's starting offset into `data` alongside the slab itself, so
+/// kernels can reconstruct global indices.
+///
+/// This is the amplitude-slab primitive behind compiled gate kernels: a
+/// gate on target bit `b` maps amplitude pairs `(i, i | b)` that both live
+/// inside any slab aligned to `2b` elements, so slabs can be transformed
+/// independently. When the alignment forces a single slab (top-bit gates
+/// on small states) or the pool is one thread wide, `f` runs serially on
+/// the whole buffer — the per-element arithmetic is identical either way,
+/// which is what keeps slab execution bit-identical for any thread count.
+pub fn for_slabs<T, F>(data: &mut [T], align: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(align > 0, "slab alignment must be positive");
+    let len = data.len();
+    let threads = thread_count();
+    if threads <= 1 || len <= align {
+        f(0, data);
+        return;
+    }
+    // Smallest align-multiple slab that covers the buffer in ≤ `threads`
+    // pieces.
+    let slab = len.div_ceil(threads).next_multiple_of(align);
+    if slab >= len {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (ci, chunk) in data.chunks_mut(slab).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(ci * slab, chunk));
+        }
+    });
+}
+
 /// Maps `f` over the index range `0..n` — the shape restart loops take.
 pub fn map_indices<R, F>(n: usize, f: F) -> Vec<R>
 where
@@ -217,6 +257,69 @@ mod tests {
     fn map_indices_matches_manual_loop() {
         let expect: Vec<usize> = (0..25).map(|i| i * i).collect();
         assert_eq!(with_threads(3, || map_indices(25, |i| i * i)), expect);
+    }
+
+    #[test]
+    fn for_slabs_covers_every_element_once() {
+        let mut data: Vec<u64> = vec![0; 4096];
+        with_threads(4, || {
+            for_slabs(&mut data, 8, |base, slab| {
+                for (k, x) in slab.iter_mut().enumerate() {
+                    *x += (base + k) as u64 + 1;
+                }
+            });
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(
+                *x,
+                i as u64 + 1,
+                "element {i} touched wrong number of times"
+            );
+        }
+    }
+
+    #[test]
+    fn for_slabs_alignment_is_respected() {
+        let mut data = vec![0u8; 4096];
+        with_threads(5, || {
+            for_slabs(&mut data, 64, |base, slab| {
+                assert_eq!(base % 64, 0, "slab base {base} misaligned");
+                // Every slab except the trailing one is a multiple of align.
+                if base + slab.len() != 4096 {
+                    assert_eq!(slab.len() % 64, 0);
+                }
+                slab[0] = 1;
+            });
+        });
+    }
+
+    #[test]
+    fn for_slabs_serial_when_alignment_forces_one_slab() {
+        let mut data = vec![0u32; 128];
+        with_threads(8, || {
+            for_slabs(&mut data, 128, |base, slab| {
+                assert_eq!(base, 0);
+                assert_eq!(slab.len(), 128);
+                slab.iter_mut().for_each(|x| *x += 1);
+            });
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_slabs_matches_across_thread_counts() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut data: Vec<f64> = (0..2048).map(|i| i as f64 * 0.5).collect();
+                for_slabs(&mut data, 2, |base, slab| {
+                    for (k, x) in slab.iter_mut().enumerate() {
+                        *x = x.sin() + (base + k) as f64;
+                    }
+                });
+                data
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! `ρ → UρU†` and noise as Kraus channels `ρ → Σ KᵢρKᵢ†`.
 
 use crate::circuit::{Circuit, Instr};
+use crate::compile::slabbed;
+use crate::gate::Gate;
 use crate::pauli::{Pauli, PauliString, PauliSum};
 use crate::statevector::StateVector;
 use qmldb_math::{CMatrix, C64};
@@ -103,20 +105,53 @@ impl DensityMatrix {
     }
 
     /// Applies a unitary instruction: `ρ → UρU†`.
+    ///
+    /// Diagonal gates (Z/S/T/P/RZ/RZZ and their controlled forms) take a
+    /// single elementwise pass `ρ[r,c] ← d(r)·ρ[r,c]·d̄(c)`; other 1q
+    /// gates use specialized row-pair/column-pair kernels; only genuine
+    /// multi-qubit unitaries fall back to the generic gather/scatter
+    /// transforms.
     pub fn apply(&mut self, instr: &Instr, params: &[f64]) {
+        let cmask: usize = instr.controls.iter().map(|&c| 1usize << c).sum();
+        if let Some((sa, sb, even, odd)) = diag_phases(&instr.gate, params, &instr.targets, self.n)
+        {
+            apply_diag(&mut self.data, self.dim, cmask, sa, sb, even, odd);
+            return;
+        }
         let mat = instr.gate.matrix(params);
-        self.transform_rows(&mat, &instr.targets, &instr.controls);
-        self.transform_cols(&mat, &instr.targets, &instr.controls);
+        transform_rows_buf(
+            &mut self.data,
+            self.n,
+            self.dim,
+            &mat,
+            &instr.targets,
+            cmask,
+        );
+        transform_cols_buf(
+            &mut self.data,
+            self.n,
+            self.dim,
+            &mat,
+            &instr.targets,
+            cmask,
+        );
     }
 
     /// Applies a Kraus channel `ρ → Σ KᵢρKᵢ†` on the given target qubits.
+    ///
+    /// Uses one reusable scratch buffer: each Kraus term copies ρ into the
+    /// scratch, transforms it in place, and accumulates — instead of
+    /// cloning the whole density matrix once per operator.
     pub fn apply_kraus(&mut self, kraus: &[CMatrix], targets: &[usize]) {
         let mut acc = vec![C64::ZERO; self.data.len()];
-        for k in kraus {
-            let mut term = self.clone();
-            term.transform_rows(k, targets, &[]);
-            term.transform_cols(k, targets, &[]);
-            for (a, t) in acc.iter_mut().zip(&term.data) {
+        let mut scratch = self.data.clone();
+        for (ki, k) in kraus.iter().enumerate() {
+            if ki > 0 {
+                scratch.copy_from_slice(&self.data);
+            }
+            transform_rows_buf(&mut scratch, self.n, self.dim, k, targets, 0);
+            transform_cols_buf(&mut scratch, self.n, self.dim, k, targets, 0);
+            for (a, t) in acc.iter_mut().zip(&scratch) {
                 *a += *t;
             }
         }
@@ -158,64 +193,181 @@ impl DensityMatrix {
             .map(|(c, p)| c * self.expectation_string(p))
             .sum()
     }
+}
 
-    /// Left-multiplies by the (controlled) unitary: `ρ → Uρ`.
-    fn transform_rows(&mut self, mat: &CMatrix, targets: &[usize], controls: &[usize]) {
-        let k = targets.len();
-        let sub = 1usize << k;
-        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
-        let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
-        let n_outer = self.dim >> k;
-        let mut gathered = vec![C64::ZERO; sub];
-        for col in 0..self.dim {
-            for outer in 0..n_outer {
-                let base = spread_bits(outer, tmask, self.n);
-                if base & cmask != cmask {
-                    continue;
-                }
-                for (b, g) in gathered.iter_mut().enumerate() {
-                    let row = base | spread_sub(b, targets);
-                    *g = self.data[row * self.dim + col];
-                }
-                for b in 0..sub {
-                    let row = base | spread_sub(b, targets);
-                    let mut acc = C64::ZERO;
-                    for (kk, g) in gathered.iter().enumerate() {
-                        acc += mat[(b, kk)] * *g;
+/// Diagonal phases of a gate, if it is diagonal in the computational
+/// basis: `(sa, sb, even, odd)` with parity = `((i>>sa)^(i>>sb)) & 1`
+/// (single-bit gates set `sb = n`, a bit that is always clear).
+fn diag_phases(
+    gate: &Gate,
+    params: &[f64],
+    targets: &[usize],
+    n: usize,
+) -> Option<(u32, u32, C64, C64)> {
+    let one = C64::ONE;
+    let q = targets[0] as u32;
+    let sn = n as u32;
+    match gate {
+        Gate::Z => Some((q, sn, one, -one)),
+        Gate::S => Some((q, sn, one, C64::I)),
+        Gate::Sdg => Some((q, sn, one, -C64::I)),
+        Gate::T => Some((q, sn, one, C64::cis(std::f64::consts::FRAC_PI_4))),
+        Gate::Tdg => Some((q, sn, one, C64::cis(-std::f64::consts::FRAC_PI_4))),
+        Gate::P(a) => Some((q, sn, one, C64::cis(a.resolve(params)))),
+        Gate::RZ(a) => {
+            let th = a.resolve(params) / 2.0;
+            Some((q, sn, C64::cis(-th), C64::cis(th)))
+        }
+        Gate::RZZ(a) => {
+            let th = a.resolve(params) / 2.0;
+            Some((q, targets[1] as u32, C64::cis(-th), C64::cis(th)))
+        }
+        _ => None,
+    }
+}
+
+/// One elementwise pass for a diagonal gate: `ρ[r,c] ← d(r)·ρ[r,c]·d̄(c)`.
+fn apply_diag(data: &mut [C64], dim: usize, cmask: usize, sa: u32, sb: u32, even: C64, odd: C64) {
+    let phase = |i: usize| -> C64 {
+        if i & cmask == cmask {
+            if ((i >> sa) ^ (i >> sb)) & 1 == 1 {
+                odd
+            } else {
+                even
+            }
+        } else {
+            C64::ONE
+        }
+    };
+    slabbed(data, dim, |base, slab| {
+        for (ri, row) in slab.chunks_mut(dim).enumerate() {
+            let dr = phase(base / dim + ri);
+            for (c, a) in row.iter_mut().enumerate() {
+                *a *= dr * phase(c).conj();
+            }
+        }
+    });
+}
+
+/// Left-multiplies by the (controlled) unitary: `ρ → Uρ`. Single-qubit
+/// gates use a row-pair kernel over contiguous rows (parallel over row
+/// slabs); larger unitaries take the generic gather/scatter path with
+/// base indices hoisted out of the column loop.
+fn transform_rows_buf(
+    data: &mut [C64],
+    n: usize,
+    dim: usize,
+    mat: &CMatrix,
+    targets: &[usize],
+    cmask: usize,
+) {
+    if targets.len() == 1 {
+        let bit = 1usize << targets[0];
+        let m = [mat[(0, 0)], mat[(0, 1)], mat[(1, 0)], mat[(1, 1)]];
+        let stride = 2 * bit * dim;
+        slabbed(data, stride, |base, slab| {
+            let mut blk = 0;
+            while blk + stride <= slab.len() {
+                let (lo, hi) = slab[blk..blk + stride].split_at_mut(bit * dim);
+                let r0 = (base + blk) / dim;
+                for (ri, (row0, row1)) in lo.chunks_mut(dim).zip(hi.chunks_mut(dim)).enumerate() {
+                    if (r0 + ri) & cmask == cmask {
+                        for (a0, a1) in row0.iter_mut().zip(row1.iter_mut()) {
+                            let (x0, x1) = (*a0, *a1);
+                            *a0 = m[0] * x0 + m[1] * x1;
+                            *a1 = m[2] * x0 + m[3] * x1;
+                        }
                     }
-                    self.data[row * self.dim + col] = acc;
                 }
+                blk += stride;
+            }
+        });
+        return;
+    }
+    let k = targets.len();
+    let sub = 1usize << k;
+    let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
+    let bases: Vec<usize> = (0..dim >> k)
+        .map(|outer| spread_bits(outer, tmask, n))
+        .filter(|b| b & cmask == cmask)
+        .collect();
+    let offs: Vec<usize> = (0..sub).map(|b| spread_sub(b, targets)).collect();
+    let mut gathered = vec![C64::ZERO; sub];
+    for col in 0..dim {
+        for &base in &bases {
+            for (g, &off) in gathered.iter_mut().zip(&offs) {
+                *g = data[(base | off) * dim + col];
+            }
+            for (b, &off) in offs.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (kk, g) in gathered.iter().enumerate() {
+                    acc += mat[(b, kk)] * *g;
+                }
+                data[(base | off) * dim + col] = acc;
             }
         }
     }
+}
 
-    /// Right-multiplies by the (controlled) unitary's dagger: `ρ → ρU†`.
-    fn transform_cols(&mut self, mat: &CMatrix, targets: &[usize], controls: &[usize]) {
-        let k = targets.len();
-        let sub = 1usize << k;
-        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
-        let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
-        let n_outer = self.dim >> k;
-        let mut gathered = vec![C64::ZERO; sub];
-        for row in 0..self.dim {
-            let row_base = row * self.dim;
-            for outer in 0..n_outer {
-                let base = spread_bits(outer, tmask, self.n);
-                if base & cmask != cmask {
-                    continue;
-                }
-                for (b, g) in gathered.iter_mut().enumerate() {
-                    let col = base | spread_sub(b, targets);
-                    *g = self.data[row_base + col];
-                }
-                for b in 0..sub {
-                    let col = base | spread_sub(b, targets);
-                    let mut acc = C64::ZERO;
-                    for (kk, g) in gathered.iter().enumerate() {
-                        acc += mat[(b, kk)].conj() * *g;
+/// Right-multiplies by the (controlled) unitary's dagger: `ρ → ρU†`.
+/// Single-qubit gates use a column-pair kernel applied row by row
+/// (parallel over row slabs); larger unitaries take the generic path with
+/// hoisted base indices.
+fn transform_cols_buf(
+    data: &mut [C64],
+    n: usize,
+    dim: usize,
+    mat: &CMatrix,
+    targets: &[usize],
+    cmask: usize,
+) {
+    if targets.len() == 1 {
+        let bit = 1usize << targets[0];
+        let m = [
+            mat[(0, 0)].conj(),
+            mat[(0, 1)].conj(),
+            mat[(1, 0)].conj(),
+            mat[(1, 1)].conj(),
+        ];
+        slabbed(data, dim, |_base, slab| {
+            for row in slab.chunks_mut(dim) {
+                let mut lo = 0;
+                while lo + 2 * bit <= dim {
+                    let (h0, h1) = row[lo..lo + 2 * bit].split_at_mut(bit);
+                    for (kk, (a0, a1)) in h0.iter_mut().zip(h1.iter_mut()).enumerate() {
+                        if (lo + kk) & cmask == cmask {
+                            let (x0, x1) = (*a0, *a1);
+                            *a0 = m[0] * x0 + m[1] * x1;
+                            *a1 = m[2] * x0 + m[3] * x1;
+                        }
                     }
-                    self.data[row_base + col] = acc;
+                    lo += 2 * bit;
                 }
+            }
+        });
+        return;
+    }
+    let k = targets.len();
+    let sub = 1usize << k;
+    let tmask: usize = targets.iter().map(|&t| 1usize << t).sum();
+    let bases: Vec<usize> = (0..dim >> k)
+        .map(|outer| spread_bits(outer, tmask, n))
+        .filter(|b| b & cmask == cmask)
+        .collect();
+    let offs: Vec<usize> = (0..sub).map(|b| spread_sub(b, targets)).collect();
+    let mut gathered = vec![C64::ZERO; sub];
+    for row in 0..dim {
+        let row_base = row * dim;
+        for &base in &bases {
+            for (g, &off) in gathered.iter_mut().zip(&offs) {
+                *g = data[row_base + (base | off)];
+            }
+            for (b, &off) in offs.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (kk, g) in gathered.iter().enumerate() {
+                    acc += mat[(b, kk)].conj() * *g;
+                }
+                data[row_base + (base | off)] = acc;
             }
         }
     }
@@ -366,6 +518,57 @@ mod tests {
         let dm = DensityMatrix::maximally_mixed(2);
         assert!((dm.purity() - 0.25).abs() < 1e-12);
         assert!((dm.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_statevector() {
+        // Every diagonal kind, controlled and not, against the pure-state
+        // reference.
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        c.z(0).s(1).t(2).p(0, 0.6).rz(1, -0.9).rzz(0, 2, 1.3);
+        c.cz(0, 1).cp(1, 2, 0.4).crz(2, 0, 0.8);
+        let mut sv = StateVector::zero(3);
+        sv.run(&c, &[]);
+        let mut dm = DensityMatrix::zero(3);
+        dm.run(&c, &[]);
+        let expect = DensityMatrix::from_pure(&sv);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    dm.get(i, j).approx_eq(expect.get(i, j), 1e-10),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_kraus_operator_uses_generic_path() {
+        // A unitary "channel" with a single 4×4 Kraus operator must act
+        // exactly like the gate it wraps.
+        let mut c = Circuit::new(3);
+        c.h(0).ry(1, 0.7).cx(1, 2);
+        let mut dm = DensityMatrix::zero(3);
+        dm.run(&c, &[]);
+        let mut expect = dm.clone();
+        let u = crate::gate::Gate::RXX(crate::gate::Angle::Const(0.9)).matrix(&[]);
+        let instr = crate::circuit::Instr {
+            gate: crate::gate::Gate::Unitary(u.clone()),
+            controls: vec![],
+            targets: vec![0, 2],
+        };
+        expect.apply(&instr, &[]);
+        dm.apply_kraus(&[u], &[0, 2]);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(
+                    dm.get(i, j).approx_eq(expect.get(i, j), 1e-10),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
     }
 
     #[test]

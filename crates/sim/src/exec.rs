@@ -2,6 +2,7 @@
 //! execution, plus observable estimation.
 
 use crate::circuit::Circuit;
+use crate::compile::CompiledCircuit;
 use crate::density::DensityMatrix;
 use crate::noise::NoiseModel;
 use crate::pauli::{Pauli, PauliSum};
@@ -47,6 +48,36 @@ impl Simulator {
         let mut s = StateVector::zero(circuit.n_qubits());
         s.run(circuit, params);
         s
+    }
+
+    /// Runs a pre-compiled circuit exactly, returning the final pure
+    /// state. This is the compile-once/run-many entry point for training
+    /// loops and parameter sweeps that execute one circuit thousands of
+    /// times; semantics match [`Simulator::run`].
+    ///
+    /// # Panics
+    /// Panics if the simulator has a non-ideal noise model.
+    pub fn run_compiled(&self, compiled: &CompiledCircuit, params: &[f64]) -> StateVector {
+        assert!(
+            self.noise.is_ideal(),
+            "noisy simulation produces mixed states; use run_density"
+        );
+        compiled.execute(params)
+    }
+
+    /// Exact expectation ⟨ψ|H|ψ⟩ of a pre-compiled circuit.
+    ///
+    /// # Panics
+    /// Panics if the simulator has a non-ideal noise model (compiled
+    /// execution is pure-state only; noisy callers keep the [`Circuit`]
+    /// and use [`Simulator::expectation`]).
+    pub fn expectation_compiled(
+        &self,
+        compiled: &CompiledCircuit,
+        params: &[f64],
+        observable: &PauliSum,
+    ) -> f64 {
+        observable.expectation(&self.run_compiled(compiled, params))
     }
 
     /// Runs the circuit on the density-matrix engine, applying the noise
@@ -283,6 +314,39 @@ mod tests {
         for (c, s) in circuits.iter().zip(&batch) {
             assert_eq!(*s, sim.run(c, &[]));
         }
+    }
+
+    #[test]
+    fn compiled_entry_points_match_circuit_paths() {
+        // At least COMPILE_MIN_QUBITS qubits, so `Simulator::run` takes
+        // the compiled path too and bit-equality is the right assertion.
+        let mut c = Circuit::new(StateVector::COMPILE_MIN_QUBITS);
+        let p = c.new_param();
+        c.h(0)
+            .ry(1, p)
+            .cx(0, 1)
+            .rzz(1, 2, p)
+            .rx(2, 0.3)
+            .cx(3, 4)
+            .rzz(4, 5, p);
+        let sim = Simulator::new();
+        let cc = c.compile();
+        let h = PauliSum::from_terms(vec![(0.7, PauliString::zz(0, 2)), (0.2, PauliString::z(1))]);
+        for k in 0..4 {
+            let params = [0.5 * k as f64 - 1.0];
+            assert_eq!(sim.run_compiled(&cc, &params), sim.run(&c, &params));
+            assert_eq!(
+                sim.expectation_compiled(&cc, &params, &h),
+                sim.expectation(&c, &params, &h)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed states")]
+    fn compiled_run_with_noise_panics() {
+        let sim = Simulator::with_noise(NoiseModel::depolarizing(0.01, 0.01));
+        sim.run_compiled(&Circuit::new(1).compile(), &[]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! ```
 
 pub mod circuit;
+pub mod compile;
 pub mod density;
 pub mod display;
 pub mod exec;
@@ -28,6 +29,7 @@ pub mod pauli;
 pub mod statevector;
 
 pub use circuit::{Circuit, Instr};
+pub use compile::CompiledCircuit;
 pub use density::DensityMatrix;
 pub use exec::Simulator;
 pub use gate::{Angle, Gate};

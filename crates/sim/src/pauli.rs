@@ -85,68 +85,99 @@ impl PauliString {
         self.ops.last().map(|&(q, _)| q)
     }
 
+    /// The bit masks that characterize the string's action: `(flip,
+    /// pmask, global)`. `P|j⟩ = global · (−1)^popcount(j & pmask) ·
+    /// |j ^ flip⟩`, where `flip` collects X/Y qubits, `pmask` collects
+    /// Y/Z qubits, and `global = i^{#Y}`.
+    fn masks(&self) -> (usize, usize, C64) {
+        let (mut flip, mut pmask, mut n_y) = (0usize, 0usize, 0u32);
+        for &(q, p) in &self.ops {
+            match p {
+                Pauli::X => flip |= 1 << q,
+                Pauli::Y => {
+                    flip |= 1 << q;
+                    pmask |= 1 << q;
+                    n_y += 1;
+                }
+                Pauli::Z => pmask |= 1 << q,
+            }
+        }
+        let global = match n_y % 4 {
+            0 => C64::ONE,
+            1 => C64::I,
+            2 => -C64::ONE,
+            _ => -C64::I,
+        };
+        (flip, pmask, global)
+    }
+
+    /// Applies the string to `state` in place: `|ψ⟩ ← P|ψ⟩`.
+    ///
+    /// Pure phase strings (Z-only) take one sign pass; strings with X/Y
+    /// factors exchange amplitude pairs `(i, i ^ flip)` by bit-stride
+    /// iteration — no temporary state and no per-amplitude factor loop
+    /// (phases come from one popcount against precomputed masks).
+    pub fn apply_inplace(&self, state: &mut StateVector) {
+        debug_assert!(self.max_qubit().is_none_or(|q| q < state.n_qubits()));
+        let (flip, pmask, global) = self.masks();
+        let sign = |x: usize| 1.0 - 2.0 * ((x & pmask).count_ones() & 1) as f64;
+        let amps = state.amplitudes_mut();
+        if flip == 0 {
+            for (i, a) in amps.iter_mut().enumerate() {
+                *a *= global.scale(sign(i));
+            }
+            return;
+        }
+        // Visit each pair {i, i^flip} once from the side where the top
+        // flip bit is clear: blocks of 2·hbit, then hbit contiguous pairs.
+        let hbit = 1usize << (usize::BITS - 1 - flip.leading_zeros());
+        let mut base = 0usize;
+        while base < amps.len() {
+            for k in base..base + hbit {
+                let j = k ^ flip;
+                let t = amps[k];
+                amps[k] = global.scale(sign(j)) * amps[j];
+                amps[j] = global.scale(sign(k)) * t;
+            }
+            base += 2 * hbit;
+        }
+    }
+
     /// Applies the string to a copy of `state` and returns `P|ψ⟩`.
     pub fn apply(&self, state: &StateVector) -> StateVector {
         let mut out = state.clone();
-        let amps = out.amplitudes_mut();
-        // X/Y flip bits; Y and Z contribute phases. Process amplitude-wise:
-        // for each basis index i, the string maps |i> to phase * |i ^ flip>.
-        let mut flip = 0usize;
-        for &(q, p) in &self.ops {
-            if p != Pauli::Z {
-                flip |= 1 << q;
-            }
-        }
-        let n = state.n_qubits();
-        debug_assert!(self.max_qubit().is_none_or(|q| q < n));
-        let src = state.amplitudes();
-        for (i, out_amp) in amps.iter_mut().enumerate() {
-            let j = i ^ flip; // source index mapping to i
-            let mut phase = C64::ONE;
-            for &(q, p) in &self.ops {
-                let bit = (j >> q) & 1;
-                match p {
-                    Pauli::X => {}
-                    Pauli::Y => {
-                        // Y|0> = i|1>, Y|1> = -i|0>
-                        phase *= if bit == 0 { C64::I } else { -C64::I };
-                    }
-                    Pauli::Z => {
-                        if bit == 1 {
-                            phase = -phase;
-                        }
-                    }
-                }
-            }
-            *out_amp = phase * src[j];
-        }
+        self.apply_inplace(&mut out);
         out
     }
 
     /// ⟨ψ|P|ψ⟩ — guaranteed real for Hermitian P; the imaginary residue is
-    /// discarded.
+    /// discarded. Computed as a direct sum over amplitudes; no temporary
+    /// state is allocated.
     pub fn expectation(&self, state: &StateVector) -> f64 {
         if self.is_identity() {
             return 1.0;
         }
-        if self.is_diagonal() {
-            // Fast path: sum of ±|amp|².
-            let mut zmask = 0usize;
-            for &(q, _) in &self.ops {
-                zmask |= 1 << q;
-            }
-            return state
-                .amplitudes()
+        let (flip, pmask, global) = self.masks();
+        let amps = state.amplitudes();
+        if flip == 0 {
+            // Diagonal fast path: sum of ±|amp|².
+            return amps
                 .iter()
                 .enumerate()
                 .map(|(i, a)| {
-                    let parity = ((i & zmask).count_ones() & 1) as i32;
-                    let sign = 1.0 - 2.0 * parity as f64;
+                    let sign = 1.0 - 2.0 * ((i & pmask).count_ones() & 1) as f64;
                     sign * a.norm_sqr()
                 })
                 .sum();
         }
-        state.inner(&self.apply(state)).re
+        // ⟨ψ|P|ψ⟩ = Σᵢ ψ̄ᵢ · phase(i^flip) · ψ_{i^flip}.
+        let mut acc = C64::ZERO;
+        for (i, a) in amps.iter().enumerate() {
+            let j = i ^ flip;
+            let sign = 1.0 - 2.0 * ((j & pmask).count_ones() & 1) as f64;
+            acc += a.conj() * amps[j].scale(sign);
+        }
+        (acc * global).re
     }
 }
 
@@ -324,6 +355,71 @@ mod tests {
         let via_fast = p.expectation(&s);
         let via_apply = s.inner(&p.apply(&s)).re;
         assert!((via_fast - via_apply).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_based_apply_matches_per_factor_reference() {
+        use qmldb_math::Rng64;
+        // Brute force: apply each factor's 2×2 action index-wise.
+        fn reference(p: &PauliString, s: &StateVector) -> Vec<C64> {
+            let src = s.amplitudes();
+            let mut flip = 0usize;
+            for &(q, op) in p.ops() {
+                if op != Pauli::Z {
+                    flip |= 1 << q;
+                }
+            }
+            (0..src.len())
+                .map(|i| {
+                    let j = i ^ flip;
+                    let mut phase = C64::ONE;
+                    for &(q, op) in p.ops() {
+                        let bit = (j >> q) & 1;
+                        match op {
+                            Pauli::X => {}
+                            Pauli::Y => phase *= if bit == 0 { C64::I } else { -C64::I },
+                            Pauli::Z => {
+                                if bit == 1 {
+                                    phase = -phase;
+                                }
+                            }
+                        }
+                    }
+                    phase * src[j]
+                })
+                .collect()
+        }
+        let mut rng = Rng64::new(17);
+        let paulis = [Pauli::X, Pauli::Y, Pauli::Z];
+        for case in 0..40 {
+            let n = 1 + case % 5;
+            let amps: Vec<C64> = (0..1usize << n)
+                .map(|_| C64::new(rng.uniform() - 0.5, rng.uniform() - 0.5))
+                .collect();
+            let s = StateVector::from_amplitudes(amps);
+            let mut ops: Vec<(usize, Pauli)> = Vec::new();
+            for q in 0..n {
+                if rng.chance(0.6) {
+                    ops.push((q, paulis[rng.below(3) as usize]));
+                }
+            }
+            if ops.is_empty() {
+                continue;
+            }
+            let p = PauliString::new(ops);
+            let expect = reference(&p, &s);
+            let got = p.apply(&s);
+            for (i, (a, b)) in got.amplitudes().iter().zip(&expect).enumerate() {
+                assert!(
+                    a.approx_eq(*b, 1e-12),
+                    "case {case} amp {i}: {a:?} vs {b:?}"
+                );
+            }
+            // expectation agrees with the inner-product definition.
+            let direct = p.expectation(&s);
+            let via_apply = s.inner(&got).re;
+            assert!((direct - via_apply).abs() < 1e-12, "case {case}");
+        }
     }
 
     #[test]

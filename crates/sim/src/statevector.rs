@@ -92,20 +92,61 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
     }
 
-    /// Probability that qubit `q` reads 1.
+    /// Probability that qubit `q` reads 1. Sums the contiguous
+    /// `bit`-length blocks where the target bit is set (stride `2·bit`)
+    /// instead of filtering every index.
     pub fn prob_one(&self, q: usize) -> f64 {
         let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let mut sum = 0.0;
+        let mut base = bit;
+        while base < self.amps.len() {
+            for a in &self.amps[base..base + bit] {
+                sum += a.norm_sqr();
+            }
+            base += 2 * bit;
+        }
+        sum
     }
 
     /// Applies every instruction of `circuit` with angles resolved against
     /// `params`.
+    ///
+    /// On [`Self::COMPILE_MIN_QUBITS`] qubits or more, the circuit is
+    /// lowered through [`crate::compile::CompiledCircuit`] (specialized
+    /// kernels, gate fusion, slab parallelism) before executing; below
+    /// that, lowering costs more than the handful of amplitudes it saves
+    /// (one-shot encoding circuits in Gram matrices are the hot case), so
+    /// instructions run through the generic path directly. Callers that
+    /// run the same circuit many times should compile once with
+    /// [`Circuit::compile`] and reuse the result.
     pub fn run(&mut self, circuit: &Circuit, params: &[f64]) {
+        assert_eq!(self.n, circuit.n_qubits(), "circuit qubit count mismatch");
+        assert!(
+            params.len() >= circuit.n_params(),
+            "circuit needs {} params, got {}",
+            circuit.n_params(),
+            params.len()
+        );
+        if self.n >= Self::COMPILE_MIN_QUBITS {
+            circuit.compile().run(self, params);
+        } else {
+            for instr in circuit.instrs() {
+                self.apply(instr, params);
+            }
+        }
+    }
+
+    /// Qubit count at which a one-shot [`StateVector::run`] compiles the
+    /// circuit before executing. Measured crossover: at 6+ qubits the
+    /// fused kernels win even including the lowering cost; below, the
+    /// per-gate interpreter is cheaper.
+    pub const COMPILE_MIN_QUBITS: usize = 6;
+
+    /// Applies every instruction of `circuit` one at a time through the
+    /// generic [`StateVector::apply`] path, without compilation or fusion.
+    /// This is the reference semantics the compiled kernels are verified
+    /// against (property tests and benchmark baselines).
+    pub fn run_generic(&mut self, circuit: &Circuit, params: &[f64]) {
         assert_eq!(self.n, circuit.n_qubits(), "circuit qubit count mismatch");
         assert!(
             params.len() >= circuit.n_params(),

@@ -1,0 +1,303 @@
+//! Equivalence properties of the circuit compiler: for arbitrary circuits
+//! over the full gate alphabet — controls, shared/affine parameters, and
+//! dense multi-qubit unitaries — the compiled kernel program must produce
+//! the same state as the generic dense gate path
+//! ([`StateVector::run_generic`]), and compilation must commute with
+//! parameter substitution. Runs on the in-repo `check` harness.
+//!
+//! Fusion reorders floating-point products (HH → I, adjacent rotations →
+//! one 2×2, diagonal runs → one pass), so comparisons use a tight
+//! tolerance rather than bit equality; the bit-identical guarantee is
+//! about thread counts (see `tests/parallel_determinism.rs` at the
+//! workspace root), not about compiled-vs-generic.
+
+use qmldb_math::{check, CMatrix, Rng64, C64};
+use qmldb_sim::{Angle, Circuit, Gate, StateVector};
+
+/// Picks a qubit distinct from the ones already `taken`.
+fn distinct_qubit(rng: &mut Rng64, n: usize, taken: &[usize]) -> usize {
+    loop {
+        let q = rng.index(n);
+        if !taken.contains(&q) {
+            return q;
+        }
+    }
+}
+
+/// Up to `max` random control qubits disjoint from `taken`.
+fn random_controls(rng: &mut Rng64, n: usize, taken: &mut Vec<usize>, max: usize) -> Vec<usize> {
+    let mut controls = Vec::new();
+    for _ in 0..max {
+        if taken.len() < n && rng.chance(0.3) {
+            let c = distinct_qubit(rng, n, taken);
+            taken.push(c);
+            controls.push(c);
+        }
+    }
+    controls
+}
+
+/// A random angle: constant, or an affine map of one of `n_params`
+/// parameters (exercising `mult`/`offset` resolution inside kernels).
+fn random_angle(rng: &mut Rng64, n_params: usize) -> Angle {
+    if n_params == 0 || rng.chance(0.5) {
+        Angle::Const(rng.uniform_range(-3.2, 3.2))
+    } else {
+        Angle::Param {
+            idx: rng.index(n_params),
+            mult: rng.uniform_range(-2.0, 2.0),
+            offset: rng.uniform_range(-1.0, 1.0),
+        }
+    }
+}
+
+/// A random `dim × dim` unitary built as a phased permutation:
+/// `U e_j = e^{iφ_j} e_{π(j)}`. Unitary by construction and dense enough
+/// to exercise the gather/scatter k-qubit kernel.
+fn random_phased_permutation(rng: &mut Rng64, dim: usize) -> CMatrix {
+    let mut perm: Vec<usize> = (0..dim).collect();
+    rng.shuffle(&mut perm);
+    let mut m = CMatrix::zeros(dim, dim);
+    for (j, &pj) in perm.iter().enumerate() {
+        m[(pj, j)] = C64::cis(rng.uniform_range(-3.0, 3.0));
+    }
+    m
+}
+
+/// Appends one random instruction drawn from every kernel class the
+/// compiler emits: diagonal, flip, dense/rotation 1q, swap, dense/rotation
+/// 2q, and generic k-qubit unitaries — each optionally controlled.
+fn random_instr(c: &mut Circuit, n: usize, n_params: usize, rng: &mut Rng64) {
+    let t = rng.index(n);
+    let mut taken = vec![t];
+    match rng.index(12) {
+        // Constant 1q gates (feed single-qubit fusion).
+        0 => {
+            let gate = match rng.index(9) {
+                0 => Gate::X,
+                1 => Gate::Y,
+                2 => Gate::Z,
+                3 => Gate::H,
+                4 => Gate::S,
+                5 => Gate::Sdg,
+                6 => Gate::T,
+                7 => Gate::Tdg,
+                _ => Gate::SX,
+            };
+            let controls = random_controls(rng, n, &mut taken, 2);
+            c.push(gate, controls, vec![t]);
+        }
+        // Parameterized 1q rotations.
+        1 | 2 => {
+            let a = random_angle(rng, n_params);
+            let gate = match rng.index(4) {
+                0 => Gate::RX(a),
+                1 => Gate::RY(a),
+                2 => Gate::RZ(a),
+                _ => Gate::P(a),
+            };
+            let controls = random_controls(rng, n, &mut taken, 2);
+            c.push(gate, controls, vec![t]);
+        }
+        // U3 with three independent random angles.
+        3 => {
+            let gate = Gate::U3(
+                random_angle(rng, n_params),
+                random_angle(rng, n_params),
+                random_angle(rng, n_params),
+            );
+            let controls = random_controls(rng, n, &mut taken, 1);
+            c.push(gate, controls, vec![t]);
+        }
+        // Two-qubit interactions.
+        4 | 5 => {
+            let u = distinct_qubit(rng, n, &taken);
+            taken.push(u);
+            let a = random_angle(rng, n_params);
+            let gate = match rng.index(3) {
+                0 => Gate::RZZ(a),
+                1 => Gate::RXX(a),
+                _ => Gate::RYY(a),
+            };
+            let controls = random_controls(rng, n, &mut taken, 1);
+            c.push(gate, controls, vec![t, u]);
+        }
+        // SWAP, optionally controlled (Fredkin).
+        6 => {
+            let u = distinct_qubit(rng, n, &taken);
+            taken.push(u);
+            let controls = random_controls(rng, n, &mut taken, 1);
+            c.push(Gate::Swap, controls, vec![t, u]);
+        }
+        // Multi-controlled X / Z (flip and diagonal kernels with masks).
+        7 => {
+            let controls = {
+                let mut ctl = vec![distinct_qubit(rng, n, &taken)];
+                taken.push(ctl[0]);
+                ctl.extend(random_controls(rng, n, &mut taken, 1));
+                ctl
+            };
+            let gate = if rng.chance(0.5) { Gate::X } else { Gate::Z };
+            c.push(gate, controls, vec![t]);
+        }
+        // Dense unitary on 1–3 qubits: the generic k-qubit kernel.
+        8 => {
+            let arity = 1 + rng.index(3.min(n));
+            let mut targets = vec![t];
+            while targets.len() < arity {
+                let q = distinct_qubit(rng, n, &taken);
+                taken.push(q);
+                targets.push(q);
+            }
+            let mat = random_phased_permutation(rng, 1 << arity);
+            let controls = random_controls(rng, n, &mut taken, 1);
+            c.push(Gate::Unitary(mat), controls, targets);
+        }
+        // A burst of constant 1q gates on one qubit: exercises fusion,
+        // identity elimination, and diagonal reclassification.
+        9 => {
+            for _ in 0..2 + rng.index(4) {
+                let gate = match rng.index(4) {
+                    0 => Gate::H,
+                    1 => Gate::X,
+                    2 => Gate::S,
+                    _ => Gate::T,
+                };
+                c.push(gate, vec![], vec![t]);
+            }
+        }
+        // A burst of diagonal gates across qubits: exercises diag-run
+        // grouping into a single amplitude pass.
+        10 => {
+            for _ in 0..2 + rng.index(5) {
+                let q = rng.index(n);
+                match rng.index(4) {
+                    0 => {
+                        c.rz(q, random_angle(rng, n_params));
+                    }
+                    1 => {
+                        let u = distinct_qubit(rng, n, &[q]);
+                        c.rzz(q, u, random_angle(rng, n_params));
+                    }
+                    2 => {
+                        let u = distinct_qubit(rng, n, &[q]);
+                        c.cp(q, u, random_angle(rng, n_params));
+                    }
+                    _ => {
+                        c.t(q);
+                    }
+                }
+            }
+        }
+        // Identity gate: must be dropped by compilation.
+        _ => {
+            c.push(Gate::I, vec![], vec![t]);
+        }
+    }
+}
+
+/// A random circuit plus a matching random parameter vector.
+fn random_circuit(n: usize, max_len: usize, rng: &mut Rng64) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n);
+    let n_params = rng.index(4);
+    c.new_params(n_params);
+    let len = rng.index(max_len + 1);
+    for _ in 0..len {
+        random_instr(&mut c, n, n_params, rng);
+    }
+    let params = (0..n_params)
+        .map(|_| rng.uniform_range(-3.0, 3.0))
+        .collect();
+    (c, params)
+}
+
+fn assert_states_close(a: &StateVector, b: &StateVector, tol: f64, what: &str) {
+    assert_eq!(a.n_qubits(), b.n_qubits());
+    for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+        assert!(
+            x.approx_eq(*y, tol),
+            "{what}: amplitude {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn compiled_matches_generic_on_random_circuits() {
+    check::cases("compiled_matches_generic_on_random_circuits", 96, |rng| {
+        let n = 2 + rng.index(4); // 2–5 qubits
+        let (c, params) = random_circuit(n, 30, rng);
+        let start = rng.index(1 << n);
+        let mut reference = StateVector::basis(n, start);
+        reference.run_generic(&c, &params);
+        let compiled = c.compile();
+        let mut fast = StateVector::basis(n, start);
+        compiled.run(&mut fast, &params);
+        assert_states_close(&fast, &reference, 1e-10, "compiled vs generic");
+    });
+}
+
+#[test]
+fn statevector_run_agrees_with_generic_path() {
+    // `StateVector::run` routes through compilation (from
+    // COMPILE_MIN_QUBITS qubits up — sample at and above the cutoff so
+    // the compiled route is actually exercised); it must stay
+    // observationally identical to the documented reference semantics.
+    check::cases("statevector_run_agrees_with_generic_path", 64, |rng| {
+        let n = StateVector::COMPILE_MIN_QUBITS + rng.index(3);
+        let (c, params) = random_circuit(n, 25, rng);
+        let mut via_run = StateVector::zero(n);
+        via_run.run(&c, &params);
+        let mut reference = StateVector::zero(n);
+        reference.run_generic(&c, &params);
+        assert_states_close(&via_run, &reference, 1e-10, "run vs generic");
+    });
+}
+
+#[test]
+fn one_compilation_serves_many_parameter_vectors() {
+    // Compile-once/run-many must equal compile-per-point: kernels resolve
+    // parameters at run time, never bake them in.
+    check::cases("one_compilation_serves_many_parameter_vectors", 32, |rng| {
+        let n = 2 + rng.index(3);
+        let (c, _) = random_circuit(n, 20, rng);
+        let compiled = c.compile();
+        for _ in 0..4 {
+            let params: Vec<f64> = (0..c.n_params())
+                .map(|_| rng.uniform_range(-3.0, 3.0))
+                .collect();
+            let mut reference = StateVector::zero(n);
+            reference.run_generic(&c, &params);
+            let reused = compiled.execute(&params);
+            assert_states_close(&reused, &reference, 1e-10, "reused compilation");
+        }
+    });
+}
+
+#[test]
+fn compiled_preserves_norm() {
+    check::cases("compiled_preserves_norm", 64, |rng| {
+        let n = 2 + rng.index(4);
+        let (c, params) = random_circuit(n, 30, rng);
+        let s = c.compile().execute(&params);
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    });
+}
+
+#[test]
+fn compiled_inverse_restores_initial_state() {
+    // Compile both the circuit and its inverse independently; running one
+    // after the other must return to the start basis state.
+    check::cases("compiled_inverse_restores_initial_state", 48, |rng| {
+        let n = 2 + rng.index(3);
+        let (c, params) = random_circuit(n, 20, rng);
+        let start = rng.index(1 << n);
+        let mut s = StateVector::basis(n, start);
+        c.compile().run(&mut s, &params);
+        c.inverse().compile().run(&mut s, &params);
+        assert!(
+            s.fidelity(&StateVector::basis(n, start)) > 1.0 - 1e-9,
+            "fidelity {}",
+            s.fidelity(&StateVector::basis(n, start))
+        );
+    });
+}

@@ -93,6 +93,32 @@ fn sample_counts_are_identical_on_1_and_4_threads() {
 }
 
 #[test]
+fn compiled_circuit_run_is_identical_on_1_and_4_threads() {
+    // 14 qubits = 2^14 amplitudes — exactly the compiled kernels' parallel
+    // dispatch threshold, so the 4-worker run actually exercises the slab
+    // partitioning (smaller states would fall back to the serial path and
+    // the comparison would be vacuous).
+    let n = 14;
+    let mut rng = Rng64::new(17);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        c.rzz(q, (q + 1) % n, rng.uniform_range(-1.0, 1.0));
+    }
+    for q in 0..n {
+        c.rx(q, rng.uniform_range(-1.0, 1.0));
+    }
+    c.cx(0, n / 2).swap(1, n - 1).ccx(2, 3, 4);
+    let compiled = c.compile();
+    let sim = Simulator::new();
+    let (serial, parallel) = on_1_and_4_threads(|| sim.run_compiled(&compiled, &[]));
+    // Bit-identical: slab partitioning must not change a single rounding.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn caller_rng_stream_advances_identically_for_any_thread_count() {
     // The caller's generator must be in the same state after a parallel
     // call no matter how many workers ran, or everything downstream of
