@@ -1,0 +1,156 @@
+//! Compressed sparse row (CSR) adjacency shared by the QUBO/Ising models.
+//!
+//! Every annealer sweep is a stream of neighbor scans, so the adjacency
+//! layout decides the hot loop's memory behavior. The per-spin
+//! `Vec<Vec<(usize, f64)>>` the models used to carry scatters each
+//! neighborhood across the heap; this module flattens the whole graph into
+//! three contiguous arrays — `offsets` (row starts), `targets` (neighbor
+//! indices, `u32` so twice as many fit per cache line), and `weights`
+//! (coupling strengths) — so a scan over spin `i`'s neighborhood is one
+//! linear walk over `targets[offsets[i]..offsets[i+1]]`.
+
+/// Symmetric weighted adjacency in CSR form. Rows are sorted by target
+/// index, and every undirected edge appears in both endpoint rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrAdjacency {
+    /// Row start offsets; `offsets[n]` is the total entry count.
+    offsets: Vec<usize>,
+    /// Neighbor indices, row-major.
+    targets: Vec<u32>,
+    /// Coupling strengths, parallel to `targets`.
+    weights: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    /// Builds the symmetric CSR adjacency of `n` nodes from undirected
+    /// `(i, j, w)` edges. Each edge lands in both row `i` and row `j`;
+    /// rows come out sorted by target. Duplicate edges are kept as-is —
+    /// callers merge them first (the models already do).
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 targets");
+        let mut degree = vec![0usize; n];
+        for &(a, b, _) in edges {
+            assert!(a < n && b < n, "edge out of range");
+            assert_ne!(a, b, "self-edge");
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        let mut targets = vec![0u32; total];
+        let mut weights = vec![0.0f64; total];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(a, b, w) in edges {
+            targets[cursor[a]] = b as u32;
+            weights[cursor[a]] = w;
+            cursor[a] += 1;
+            targets[cursor[b]] = a as u32;
+            weights[cursor[b]] = w;
+            cursor[b] += 1;
+        }
+        // Sort each row by target so scans are monotone in memory and the
+        // layout is a deterministic function of the edge *set*.
+        let mut csr = CsrAdjacency {
+            offsets,
+            targets,
+            weights,
+        };
+        for i in 0..n {
+            let lo = csr.offsets[i];
+            let hi = csr.offsets[i + 1];
+            let mut row: Vec<(u32, f64)> = csr.targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(csr.weights[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(t, _)| t);
+            for (k, (t, w)) in row.into_iter().enumerate() {
+                csr.targets[lo + k] = t;
+                csr.weights[lo + k] = w;
+            }
+        }
+        csr
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed entries (twice the undirected edge count).
+    pub fn nnz(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of node `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Largest degree in the graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|i| self.degree(i)).max().unwrap_or(0)
+    }
+
+    /// Node `i`'s neighborhood as parallel target/weight slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterates node `i`'s neighbors as `(index, weight)` pairs.
+    #[inline]
+    pub fn iter_row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (t, w) = self.row(i);
+        t.iter().map(|&j| j as usize).zip(w.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_symmetric_sorted_rows() {
+        let csr = CsrAdjacency::from_edges(4, &[(2, 0, 1.5), (0, 1, -0.5), (1, 3, 2.0)]);
+        assert_eq!(csr.n(), 4);
+        assert_eq!(csr.nnz(), 6);
+        let row0: Vec<(usize, f64)> = csr.iter_row(0).collect();
+        assert_eq!(row0, vec![(1, -0.5), (2, 1.5)]);
+        let row3: Vec<(usize, f64)> = csr.iter_row(3).collect();
+        assert_eq!(row3, vec![(1, 2.0)]);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.max_degree(), 2);
+    }
+
+    #[test]
+    fn handles_isolated_nodes_and_empty_graphs() {
+        let csr = CsrAdjacency::from_edges(3, &[]);
+        assert_eq!(csr.nnz(), 0);
+        for i in 0..3 {
+            assert_eq!(csr.degree(i), 0);
+            assert_eq!(csr.iter_row(i).count(), 0);
+        }
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edge")]
+    fn rejects_self_edges() {
+        CsrAdjacency::from_edges(2, &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        CsrAdjacency::from_edges(2, &[(0, 2, 1.0)]);
+    }
+}

@@ -1,8 +1,11 @@
 //! Ising spin models: `E(s) = Σ hᵢsᵢ + Σ Jᵢⱼsᵢsⱼ + offset`, `s ∈ {−1,+1}ⁿ`.
 //!
-//! The solver-facing representation: adjacency lists make single-spin-flip
-//! energy deltas `O(degree)`, which is what every annealer sweep hammers.
+//! The solver-facing representation: a flat CSR adjacency
+//! ([`CsrAdjacency`]) makes single-spin-flip neighbor scans cache-linear,
+//! and the [`crate::field::IsingFields`] cache built on top of it makes
+//! the proposals every annealer sweep hammers O(1).
 
+use crate::csr::CsrAdjacency;
 use crate::qubo::Qubo;
 
 /// An Ising model with sparse couplings.
@@ -11,8 +14,8 @@ pub struct Ising {
     n: usize,
     h: Vec<f64>,
     couplings: Vec<(usize, usize, f64)>,
-    /// neighbors[i] = (j, J_ij) pairs.
-    neighbors: Vec<Vec<(usize, f64)>>,
+    /// Symmetric CSR adjacency over the couplings.
+    adj: CsrAdjacency,
     offset: f64,
 }
 
@@ -21,7 +24,6 @@ impl Ising {
     /// summed; self-couplings are rejected.
     pub fn new(h: Vec<f64>, couplings: Vec<(usize, usize, f64)>, offset: f64) -> Self {
         let n = h.len();
-        let mut neighbors = vec![Vec::new(); n];
         let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
             std::collections::BTreeMap::new();
         for (a, b, j) in couplings {
@@ -35,15 +37,12 @@ impl Ising {
             .filter(|&(_, j)| j != 0.0)
             .map(|((a, b), j)| (a, b, j))
             .collect();
-        for &(a, b, j) in &couplings {
-            neighbors[a].push((b, j));
-            neighbors[b].push((a, j));
-        }
+        let adj = CsrAdjacency::from_edges(n, &couplings);
         Ising {
             n,
             h,
             couplings,
-            neighbors,
+            adj,
             offset,
         }
     }
@@ -68,9 +67,15 @@ impl Ising {
         self.offset
     }
 
-    /// Neighbors of spin `i` with coupling strengths.
-    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
-        &self.neighbors[i]
+    /// Neighbors of spin `i` as `(index, J)` pairs, in ascending index
+    /// order (a view over the CSR row).
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj.iter_row(i)
+    }
+
+    /// The flat CSR adjacency over all couplings.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adj
     }
 
     /// Energy of a spin configuration (`sᵢ ∈ {−1, +1}`).
@@ -88,11 +93,14 @@ impl Ising {
     }
 
     /// Energy change from flipping spin `i`: `ΔE = −2sᵢ(hᵢ + Σⱼ Jᵢⱼsⱼ)`.
+    /// O(degree) — the per-proposal rescan the field caches replace; kept
+    /// as the reference implementation the property tests compare against.
     #[inline]
     pub fn delta_flip(&self, s: &[i8], i: usize) -> f64 {
         let mut local = self.h[i];
-        for &(j, jij) in &self.neighbors[i] {
-            local += jij * s[j] as f64;
+        let (targets, weights) = self.adj.row(i);
+        for (&j, &jij) in targets.iter().zip(weights) {
+            local += jij * s[j as usize] as f64;
         }
         -2.0 * s[i] as f64 * local
     }

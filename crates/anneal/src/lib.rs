@@ -25,9 +25,11 @@
 //! ```
 
 pub mod builder;
+pub mod csr;
 pub mod device;
 pub mod embed;
 pub mod exact;
+pub mod field;
 pub mod ising;
 pub mod qubo;
 pub mod sa;
@@ -36,9 +38,11 @@ pub mod tabu;
 pub mod tempering;
 
 pub use builder::QuboBuilder;
+pub use csr::CsrAdjacency;
 pub use device::{AnnealerDevice, DeviceConfig, DeviceResult};
 pub use embed::{Chimera, Embedding};
 pub use exact::{solve_exact, ExactSolution};
+pub use field::{IsingFields, QuboFields};
 pub use ising::{bits_to_spins, spins_to_bits, Ising};
 pub use qubo::Qubo;
 pub use sa::{simulated_annealing, AnnealResult, SaParams};

@@ -4,6 +4,7 @@
 //! native input format of quantum annealers and the target every database
 //! optimization problem in `qmldb-db` compiles to.
 
+use crate::csr::CsrAdjacency;
 use crate::ising::Ising;
 
 /// A QUBO instance with dense upper-triangular coefficients.
@@ -117,6 +118,22 @@ impl Qubo {
             }
         }
         Ising::new(h, couplings, offset)
+    }
+
+    /// Snapshots the off-diagonal structure as a flat CSR adjacency —
+    /// the layout [`crate::field::QuboFields`] scans. Built on demand
+    /// (the QUBO itself stays mutable); solvers call this once per solve.
+    pub fn adjacency(&self) -> CsrAdjacency {
+        let mut edges = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let w = self.coeff[i * self.n + j];
+                if w != 0.0 {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        CsrAdjacency::from_edges(self.n, &edges)
     }
 
     /// Interprets the low `n` bits of an integer as an assignment

@@ -1,6 +1,12 @@
 //! Parallel tempering (replica exchange) — the strongest general-purpose
 //! classical baseline in the solver lineup.
+//!
+//! Each chain owns its configuration, its local-field cache, and its
+//! running energy as one unit; a replica swap exchanges the units (three
+//! pointer-sized header swaps), so the fields always travel with the
+//! configuration they describe — swap by index, never by copying state.
 
+use crate::field::IsingFields;
 use crate::ising::Ising;
 use crate::sa::AnnealResult;
 use qmldb_math::{par, Rng64};
@@ -47,17 +53,28 @@ pub fn parallel_tempering(
         })
         .collect();
 
-    let mut states: Vec<Vec<i8>> = (0..k)
+    // A chain bundles its configuration with the local-field cache and
+    // running energy that describe it, so replica swaps move all three
+    // together.
+    struct Chain {
+        s: Vec<i8>,
+        fields: IsingFields,
+        energy: f64,
+    }
+
+    let mut chains: Vec<Chain> = (0..k)
         .map(|_| {
-            (0..n)
+            let s: Vec<i8> = (0..n)
                 .map(|_| if rng.chance(0.5) { 1 } else { -1 })
-                .collect()
+                .collect();
+            let fields = IsingFields::new(model, &s);
+            let energy = model.energy(&s);
+            Chain { s, fields, energy }
         })
         .collect();
-    let mut energies: Vec<f64> = states.iter().map(|s| model.energy(s)).collect();
 
-    let mut best = states[0].clone();
-    let mut best_energy = energies[0];
+    let mut best = chains[0].s.clone();
+    let mut best_energy = chains[0].energy;
     let mut trace = Vec::with_capacity(params.sweeps);
     let mut proposals = 0u64;
 
@@ -65,50 +82,50 @@ pub fn parallel_tempering(
         // Metropolis pass per chain. Chains are independent within a
         // sweep, so each runs on its own stream forked from `rng` and the
         // pass is parallel across `QMLDB_THREADS` workers — bit-identical
-        // for any thread count. Only the swap round couples chains, and it
-        // stays serial on the caller's stream.
-        let stepped = par::map_indices_rng(k, rng, |c, chain_rng| {
-            let mut s = states[c].clone();
-            let mut e = energies[c];
+        // for any thread count. Each chain mutates only itself (no
+        // per-sweep state clone); only the swap round couples chains, and
+        // it stays serial on the caller's stream.
+        let temps_ref = &temps;
+        let stepped = par::map_mut_rng(&mut chains, rng, |c, chain, chain_rng| {
             let mut local_best_energy = f64::INFINITY;
             let mut local_best: Option<Vec<i8>> = None;
             for i in 0..n {
-                let d = model.delta_flip(&s, i);
-                if d <= 0.0 || chain_rng.chance((-d / temps[c]).exp()) {
-                    s[i] = -s[i];
-                    e += d;
-                    if e < local_best_energy {
-                        local_best_energy = e;
-                        local_best = Some(s.clone());
+                let d = chain.fields.delta_flip(&chain.s, i);
+                if d <= 0.0 || chain_rng.chance((-d / temps_ref[c]).exp()) {
+                    chain.fields.apply_flip(model, &mut chain.s, i);
+                    chain.energy += d;
+                    if chain.energy < local_best_energy {
+                        local_best_energy = chain.energy;
+                        local_best = Some(chain.s.clone());
                     }
                 }
             }
-            (s, e, local_best_energy, local_best)
+            (local_best_energy, local_best)
         });
-        for (c, (s, e, local_best_energy, local_best)) in stepped.into_iter().enumerate() {
+        for (local_best_energy, local_best) in stepped {
             proposals += n as u64;
-            states[c] = s;
-            energies[c] = e;
             if local_best_energy < best_energy {
                 best_energy = local_best_energy;
                 best = local_best.expect("finite local best implies a stored state");
             }
         }
-        // Swap round: adjacent temperature pairs.
+        // Swap round: adjacent temperature pairs exchange whole chains —
+        // configuration, field cache, and energy move as one.
         for c in 0..k - 1 {
             let d_beta = 1.0 / temps[c] - 1.0 / temps[c + 1];
-            let d_e = energies[c + 1] - energies[c];
+            let d_e = chains[c + 1].energy - chains[c].energy;
             let accept = (d_beta * d_e).exp().min(1.0);
             if rng.chance(accept) {
-                states.swap(c, c + 1);
-                energies.swap(c, c + 1);
+                chains.swap(c, c + 1);
             }
         }
         trace.push(best_energy);
     }
+    // Re-anchor the reported optimum to the exact energy of its spins
+    // (running energies accumulate one rounding per accepted flip).
     AnnealResult {
+        energy: model.energy(&best),
         spins: best,
-        energy: best_energy,
         trace,
         proposals,
     }

@@ -1,0 +1,214 @@
+//! Property tests for the incremental local-field engine: after long
+//! random accept/reject flip sequences, every cached field and the
+//! running energy must agree with a full recomputation, on dense and
+//! sparse models alike — the invariant all four solvers (SA, SQA, tabu,
+//! tempering) now stand on. Runs on the in-repo `check` harness.
+
+use qmldb_anneal::{CsrAdjacency, Ising, IsingFields, Qubo, QuboFields};
+use qmldb_math::{check, Rng64};
+
+/// A random Ising glass with edge density `p`.
+fn random_ising(n: usize, p: f64, rng: &mut Rng64) -> Ising {
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(p) {
+                couplings.push((i, j, rng.uniform_range(-2.0, 2.0)));
+            }
+        }
+    }
+    let h: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+    Ising::new(h, couplings, rng.uniform_range(-1.0, 1.0))
+}
+
+/// A random QUBO with off-diagonal density `p`.
+fn random_qubo(n: usize, p: f64, rng: &mut Rng64) -> Qubo {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.uniform_range(-2.0, 2.0));
+        for j in (i + 1)..n {
+            if rng.chance(p) {
+                q.add(i, j, rng.uniform_range(-2.0, 2.0));
+            }
+        }
+    }
+    q.add_offset(rng.uniform_range(-1.0, 1.0));
+    q
+}
+
+/// Drives `flips` random accept/reject proposals through an Ising field
+/// cache, then checks every cached field and the running energy against
+/// full recomputation.
+fn exercise_ising(model: &Ising, flips: usize, rng: &mut Rng64) {
+    let n = model.n();
+    let mut s: Vec<i8> = (0..n)
+        .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+        .collect();
+    let mut fields = IsingFields::new(model, &s);
+    let mut energy = model.energy(&s);
+    for step in 0..flips {
+        let i = rng.index(n);
+        let d = fields.delta_flip(&s, i);
+        // Spot-check the O(1) delta against the O(deg) rescan mid-run.
+        if step % 997 == 0 {
+            assert!(
+                (d - model.delta_flip(&s, i)).abs() < 1e-9,
+                "delta drift at step {step}"
+            );
+        }
+        // Accept-or-reject at random: rejected proposals must leave the
+        // cache untouched, accepted ones must repair it.
+        if rng.chance(0.5) {
+            fields.apply_flip(model, &mut s, i);
+            energy += d;
+        }
+    }
+    let fresh = IsingFields::new(model, &s);
+    for i in 0..n {
+        assert!(
+            (fields.field(i) - fresh.field(i)).abs() < 1e-9,
+            "field {i} drifted: cached {} vs fresh {}",
+            fields.field(i),
+            fresh.field(i)
+        );
+    }
+    assert!(
+        (energy - model.energy(&s)).abs() < 1e-9,
+        "running energy drifted: {energy} vs {}",
+        model.energy(&s)
+    );
+}
+
+/// QUBO analogue of [`exercise_ising`].
+fn exercise_qubo(qubo: &Qubo, flips: usize, rng: &mut Rng64) {
+    let n = qubo.n();
+    let adj = qubo.adjacency();
+    let mut x: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+    let mut fields = QuboFields::new(qubo, &adj, &x);
+    let mut energy = qubo.energy(&x);
+    for step in 0..flips {
+        let i = rng.index(n);
+        let d = fields.delta_flip(&x, i);
+        if step % 997 == 0 {
+            assert!(
+                (d - qubo.delta_energy(&x, i)).abs() < 1e-9,
+                "delta drift at step {step}"
+            );
+        }
+        if rng.chance(0.5) {
+            fields.apply_flip(&adj, &mut x, i);
+            energy += d;
+        }
+    }
+    let fresh = QuboFields::new(qubo, &adj, &x);
+    for i in 0..n {
+        assert!(
+            (fields.field(i) - fresh.field(i)).abs() < 1e-9,
+            "field {i} drifted"
+        );
+    }
+    assert!(
+        (energy - qubo.energy(&x)).abs() < 1e-9,
+        "running energy drifted: {energy} vs {}",
+        qubo.energy(&x)
+    );
+}
+
+#[test]
+fn ising_fields_survive_long_flip_sequences_dense() {
+    check::cases("ising_fields_survive_long_flip_sequences_dense", 8, |rng| {
+        let model = random_ising(24, 1.0, rng);
+        exercise_ising(&model, 12_000, rng);
+    });
+}
+
+#[test]
+fn ising_fields_survive_long_flip_sequences_sparse() {
+    check::cases(
+        "ising_fields_survive_long_flip_sequences_sparse",
+        8,
+        |rng| {
+            let model = random_ising(48, 0.1, rng);
+            exercise_ising(&model, 12_000, rng);
+        },
+    );
+}
+
+#[test]
+fn qubo_fields_survive_long_flip_sequences_dense() {
+    check::cases("qubo_fields_survive_long_flip_sequences_dense", 8, |rng| {
+        let qubo = random_qubo(24, 1.0, rng);
+        exercise_qubo(&qubo, 12_000, rng);
+    });
+}
+
+#[test]
+fn qubo_fields_survive_long_flip_sequences_sparse() {
+    check::cases("qubo_fields_survive_long_flip_sequences_sparse", 8, |rng| {
+        let qubo = random_qubo(48, 0.1, rng);
+        exercise_qubo(&qubo, 12_000, rng);
+    });
+}
+
+#[test]
+fn ising_csr_rows_match_the_triple_list() {
+    check::cases("ising_csr_rows_match_the_triple_list", 32, |rng| {
+        let n = 3 + rng.index(20);
+        let model = random_ising(n, 0.4, rng);
+        // Reconstruct per-node neighborhoods from the (i, j, J) triples.
+        let mut expected: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, b, j) in model.couplings() {
+            expected[a].push((b, j));
+            expected[b].push((a, j));
+        }
+        for row in &mut expected {
+            row.sort_by_key(|&(t, _)| t);
+        }
+        let adj = model.adjacency();
+        assert_eq!(adj.n(), n);
+        assert_eq!(adj.nnz(), 2 * model.couplings().len());
+        for i in 0..n {
+            let got: Vec<(usize, f64)> = adj.iter_row(i).collect();
+            assert_eq!(got, expected[i], "row {i}");
+            let through_model: Vec<(usize, f64)> = model.neighbors(i).collect();
+            assert_eq!(got, through_model, "neighbors accessor row {i}");
+        }
+    });
+}
+
+#[test]
+fn qubo_csr_matches_coefficient_matrix() {
+    check::cases("qubo_csr_matches_coefficient_matrix", 32, |rng| {
+        let n = 3 + rng.index(16);
+        let qubo = random_qubo(n, 0.5, rng);
+        let adj = qubo.adjacency();
+        for i in 0..n {
+            let row: Vec<(usize, f64)> = adj.iter_row(i).collect();
+            let expected: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i && qubo.get(i, j) != 0.0)
+                .map(|j| (j, qubo.get(i, j)))
+                .collect();
+            assert_eq!(row, expected, "row {i}");
+        }
+    });
+}
+
+#[test]
+fn csr_from_edges_is_order_insensitive() {
+    check::cases("csr_from_edges_is_order_insensitive", 16, |rng| {
+        let n = 4 + rng.index(12);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.chance(0.5) {
+                    edges.push((i, j, rng.uniform_range(-1.0, 1.0)));
+                }
+            }
+        }
+        let a = CsrAdjacency::from_edges(n, &edges);
+        let mut shuffled = edges.clone();
+        rng.shuffle(&mut shuffled);
+        let b = CsrAdjacency::from_edges(n, &shuffled);
+        assert_eq!(a, b, "CSR layout must not depend on edge order");
+    });
+}

@@ -1,19 +1,27 @@
 //! Bench for E10-adjacent timing: cost per sweep of SA, SQA and parallel
-//! tempering on a 64-spin glass.
+//! tempering on a 64-spin glass, plus the acceptance measurement of the
+//! incremental local-field engine — field-cache SA vs the seed's
+//! `delta_flip`-per-proposal loop, and incremental vs naive tabu, on a
+//! 256-spin/-variable dense instance, all single-threaded.
+//!
+//! Emits the `annealers` and `naive_vs_field_cache` sections of
+//! `BENCH_anneal.json` alongside the human-readable report lines.
 
 use qmldb_anneal::{
-    parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, SaParams,
-    SqaParams, TemperingParams,
+    parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, Qubo, SaParams,
+    SqaParams, TabuParams, TemperingParams,
 };
+use qmldb_bench::json::{merge_section, timing_record, Json};
 use qmldb_bench::timing::{bench, group};
-use qmldb_math::Rng64;
+use qmldb_math::{par, Rng64};
+use std::path::Path;
 
-fn spin_glass(n: usize, seed: u64) -> Ising {
+fn spin_glass(n: usize, density: f64, seed: u64) -> Ising {
     let mut rng = Rng64::new(seed);
     let mut couplings = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            if rng.chance(0.2) {
+            if rng.chance(density) {
                 couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
             }
         }
@@ -21,11 +29,89 @@ fn spin_glass(n: usize, seed: u64) -> Ising {
     Ising::new(vec![0.0; n], couplings, 0.0)
 }
 
+fn dense_qubo(n: usize, seed: u64) -> Qubo {
+    let mut rng = Rng64::new(seed);
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+        for j in (i + 1)..n {
+            q.add(i, j, rng.uniform_range(-1.0, 1.0));
+        }
+    }
+    q
+}
+
+/// The seed's SA sweep loop verbatim: every Metropolis proposal rescans
+/// the neighbor list through `Ising::delta_flip` (O(degree) per
+/// proposal). This is the baseline the field-cache engine is judged
+/// against.
+fn naive_sa_best(model: &Ising, sweeps: usize, rng: &mut Rng64) -> f64 {
+    let scale = model.energy_scale();
+    let t_start = SaParams::default().t_start_factor * scale;
+    let t_end = SaParams::default().t_end_factor * scale;
+    let cooling = (t_end / t_start).powf(1.0 / sweeps.max(2) as f64);
+    let mut s: Vec<i8> = (0..model.n())
+        .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+        .collect();
+    let mut energy = model.energy(&s);
+    let mut best = energy;
+    let mut temp = t_start;
+    for _ in 0..sweeps {
+        for i in 0..model.n() {
+            let d = model.delta_flip(&s, i);
+            if d <= 0.0 || rng.chance((-d / temp).exp()) {
+                s[i] = -s[i];
+                energy += d;
+                if energy < best {
+                    best = energy;
+                }
+            }
+        }
+        temp *= cooling;
+    }
+    best
+}
+
+/// The seed's tabu iteration verbatim: all `n` candidate deltas are
+/// recomputed per iteration through `Qubo::delta_energy` (O(n) each, so
+/// O(n²) per flip on a dense instance).
+fn naive_tabu_best(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> f64 {
+    let n = qubo.n();
+    let mut x: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+    let mut energy = qubo.energy(&x);
+    let mut run_best = energy;
+    let mut tabu_until = vec![0usize; n];
+    for it in 1..=params.iters {
+        let mut chosen: Option<(usize, f64)> = None;
+        for i in 0..n {
+            let d = qubo.delta_energy(&x, i);
+            let is_tabu = tabu_until[i] > it;
+            if is_tabu && energy + d >= run_best - 1e-15 {
+                continue;
+            }
+            match chosen {
+                Some((_, dbest)) if d >= dbest => {}
+                _ => chosen = Some((i, d)),
+            }
+        }
+        let Some((i, d)) = chosen else { break };
+        x[i] = !x[i];
+        energy += d;
+        tabu_until[i] = it + params.tenure;
+        if energy < run_best {
+            run_best = energy;
+        }
+    }
+    run_best
+}
+
 fn main() {
-    let model = spin_glass(64, 1);
+    let mut records = Vec::new();
+
     group("annealers_64spin_200sweeps");
+    let model = spin_glass(64, 0.2, 1);
     let mut rng = Rng64::new(2);
-    bench("sa", 10, || {
+    let t = bench("sa", 10, || {
         simulated_annealing(
             &model,
             &SaParams {
@@ -37,8 +123,9 @@ fn main() {
         )
         .energy
     });
+    records.push(timing_record("64spin/sa_200sweeps", &t, Some(200.0)));
     let mut rng = Rng64::new(2);
-    bench("sqa_16replicas", 10, || {
+    let t = bench("sqa_16replicas", 10, || {
         simulated_quantum_annealing(
             &model,
             &SqaParams {
@@ -51,8 +138,13 @@ fn main() {
         )
         .energy
     });
+    records.push(timing_record(
+        "64spin/sqa_16replicas_200sweeps",
+        &t,
+        Some(200.0),
+    ));
     let mut rng = Rng64::new(2);
-    bench("parallel_tempering_8chains", 10, || {
+    let t = bench("parallel_tempering_8chains", 10, || {
         parallel_tempering(
             &model,
             &TemperingParams {
@@ -64,4 +156,110 @@ fn main() {
         )
         .energy
     });
+    records.push(timing_record(
+        "64spin/tempering_8chains_200sweeps",
+        &t,
+        Some(200.0),
+    ));
+
+    // The acceptance measurement: a 256-spin dense instance, 200 sweeps,
+    // single-threaded, seed loop vs field-cache engine. Pinned to one
+    // worker so restart-level parallelism cannot flatter either side.
+    let mut fc_records = Vec::new();
+    group("sa_naive_vs_field_cache_256spin_dense");
+    par::set_threads(1);
+    let sweeps = 200usize;
+    let dense = spin_glass(256, 1.0, 7);
+
+    let mut rng = Rng64::new(8);
+    let naive = bench("naive_delta_flip_loop", 10, || {
+        naive_sa_best(&dense, sweeps, &mut rng)
+    });
+    fc_records.push(timing_record(
+        "sa256_dense/naive_delta_flip",
+        &naive,
+        Some(sweeps as f64),
+    ));
+
+    let mut rng = Rng64::new(8);
+    let cached = bench("field_cache_engine", 10, || {
+        simulated_annealing(
+            &dense,
+            &SaParams {
+                sweeps,
+                restarts: 1,
+                ..SaParams::default()
+            },
+            &mut rng,
+        )
+        .energy
+    });
+    fc_records.push(timing_record(
+        "sa256_dense/field_cache",
+        &cached,
+        Some(sweeps as f64),
+    ));
+
+    let sa_speedup = naive.median / cached.median;
+    println!(
+        "field-cache SA speedup over naive loop (median): {sa_speedup:.2}x  \
+         ({:.0} vs {:.0} sweeps/s)",
+        sweeps as f64 / cached.median,
+        sweeps as f64 / naive.median,
+    );
+    fc_records.push(Json::Obj(vec![
+        ("name".to_string(), Json::Str("sa256_dense/speedup".into())),
+        ("speedup_median".to_string(), Json::Num(sa_speedup)),
+        ("spins".to_string(), Json::Num(256.0)),
+        ("density".to_string(), Json::Num(1.0)),
+        ("sweeps".to_string(), Json::Num(sweeps as f64)),
+    ]));
+
+    // Tabu: naive O(n·deg) candidate recomputation vs incremental
+    // best-delta maintenance (O(n + deg) per iteration).
+    group("tabu_naive_vs_incremental_256var_dense");
+    let qubo = dense_qubo(256, 9);
+    let tabu_params = TabuParams {
+        iters: 400,
+        tenure: 10,
+        restarts: 1,
+    };
+
+    let mut rng = Rng64::new(10);
+    let naive_t = bench("naive_delta_energy_scan", 10, || {
+        naive_tabu_best(&qubo, &tabu_params, &mut rng)
+    });
+    fc_records.push(timing_record(
+        "tabu256_dense/naive_scan",
+        &naive_t,
+        Some(tabu_params.iters as f64),
+    ));
+
+    let mut rng = Rng64::new(10);
+    let inc_t = bench("incremental_deltas", 10, || {
+        qmldb_anneal::tabu_search(&qubo, &tabu_params, &mut rng).energy
+    });
+    fc_records.push(timing_record(
+        "tabu256_dense/incremental",
+        &inc_t,
+        Some(tabu_params.iters as f64),
+    ));
+
+    let tabu_speedup = naive_t.median / inc_t.median;
+    println!("incremental tabu speedup over naive scan (median): {tabu_speedup:.2}x");
+    fc_records.push(Json::Obj(vec![
+        (
+            "name".to_string(),
+            Json::Str("tabu256_dense/speedup".into()),
+        ),
+        ("speedup_median".to_string(), Json::Num(tabu_speedup)),
+        ("vars".to_string(), Json::Num(256.0)),
+        ("iters".to_string(), Json::Num(tabu_params.iters as f64)),
+    ]));
+    par::reset_threads();
+
+    // Anchored to the workspace root, like BENCH_sim.json.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anneal.json");
+    merge_section(Path::new(out), "annealers", records);
+    merge_section(Path::new(out), "naive_vs_field_cache", fc_records);
 }

@@ -1,30 +1,40 @@
 //! Bench for E9: optimizer wall-time — exact DP vs GOO vs the annealed
-//! QUBO pipeline.
+//! QUBO pipeline (whose SA sweeps now run on the incremental local-field
+//! engine).
+//!
+//! Emits the `join_ordering` section of `BENCH_anneal.json` alongside the
+//! human-readable report lines.
 
 use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+use qmldb_bench::json::{merge_section, timing_record};
 use qmldb_bench::timing::{bench, group};
 use qmldb_db::joinorder::{goo, optimize_left_deep, CostModel};
 use qmldb_db::qubo_jo::JoinOrderQubo;
 use qmldb_db::query::{generate, Topology};
 use qmldb_math::Rng64;
+use std::path::Path;
 
 fn main() {
+    let mut records = Vec::new();
     group("join_ordering");
     for n in [8usize, 12] {
         let mut rng = Rng64::new(3);
         let g = generate(Topology::Cycle, n, &mut rng);
-        bench(&format!("dp_left_deep/{n}"), 10, || {
+        let t = bench(&format!("dp_left_deep/{n}"), 10, || {
             optimize_left_deep(&g, CostModel::Cout).cost
         });
-        bench(&format!("goo/{n}"), 10, || goo(&g, CostModel::Cout).1);
+        records.push(timing_record(&format!("dp_left_deep/{n}rels"), &t, None));
+        let t = bench(&format!("goo/{n}"), 10, || goo(&g, CostModel::Cout).1);
+        records.push(timing_record(&format!("goo/{n}rels"), &t, None));
         let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
         let ising = jo.qubo().to_ising();
         let mut rng = Rng64::new(11);
-        bench(&format!("sa_qubo/{n}"), 10, || {
+        let sweeps = 500usize;
+        let t = bench(&format!("sa_qubo/{n}"), 10, || {
             let r = simulated_annealing(
                 &ising,
                 &SaParams {
-                    sweeps: 500,
+                    sweeps,
                     restarts: 1,
                     ..SaParams::default()
                 },
@@ -32,5 +42,12 @@ fn main() {
             );
             jo.true_cost(&jo.decode(&spins_to_bits(&r.spins)), &g, CostModel::Cout)
         });
+        records.push(timing_record(
+            &format!("sa_qubo/{n}rels_500sweeps"),
+            &t,
+            Some(sweeps as f64),
+        ));
     }
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anneal.json");
+    merge_section(Path::new(out), "join_ordering", records);
 }

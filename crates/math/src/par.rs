@@ -147,6 +147,57 @@ where
         .collect()
 }
 
+/// Like [`map_rng`], but each work item is mutated in place (receiving
+/// `&mut T`) while also producing a result. This is the shape of
+/// replica-exchange sweeps: every chain advances its own state and fields
+/// without cloning, then a serial reduction inspects the per-chain
+/// results. The determinism contract is the same as [`map_rng`]'s —
+/// streams fork serially up front, and item `i` writes only itself and
+/// slot `i`.
+pub fn map_mut_rng<T, R, F>(items: &mut [T], rng: &mut Rng64, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T, &mut Rng64) -> R + Sync,
+{
+    let mut streams: Vec<Rng64> = items.iter().map(|_| rng.fork()).collect();
+    let threads = thread_count().min(items.len()).max(1);
+    if threads == 1 {
+        return items
+            .iter_mut()
+            .zip(streams.iter_mut())
+            .enumerate()
+            .map(|(i, (x, r))| f(i, x, r))
+            .collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (ci, ((in_chunk, rng_chunk), out_chunk)) in items
+            .chunks_mut(chunk)
+            .zip(streams.chunks_mut(chunk))
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (k, ((item, r), slot)) in in_chunk
+                    .iter_mut()
+                    .zip(rng_chunk.iter_mut())
+                    .zip(out_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = Some(f(base + k, item, r));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .collect()
+}
+
 /// Runs `f` over disjoint contiguous slabs of `data` on up to
 /// [`thread_count`] scoped threads. Each slab's length is a multiple of
 /// `align` (except possibly the trailing slab), and `f` receives the
@@ -251,6 +302,22 @@ mod tests {
         assert_eq!(a, b);
         // Parent streams advanced identically too.
         assert_eq!(rng1.next_u64(), rng4.next_u64());
+    }
+
+    #[test]
+    fn map_mut_rng_is_thread_count_invariant_and_mutates_in_place() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut items: Vec<u64> = (0..23).collect();
+                let mut rng = Rng64::new(77);
+                let results = map_mut_rng(&mut items, &mut rng, |i, x, r| {
+                    *x = x.wrapping_mul(3).wrapping_add(r.next_u64() ^ i as u64);
+                    *x >> 7
+                });
+                (items, results, rng.next_u64())
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! All tests share one process, and the thread-count override is global,
 //! so each case serialises on a lock and restores the default when done.
 
-use qmldb::anneal::{simulated_annealing, Ising, SaParams};
+use qmldb::anneal::{
+    parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, SaParams,
+    SqaParams, TemperingParams,
+};
 use qmldb::math::{par, Rng64};
 use qmldb::qml::{FeatureMap, QuantumKernel};
 use qmldb::sim::{Circuit, Simulator};
@@ -76,6 +79,58 @@ fn simulated_annealing_is_identical_on_1_and_4_threads() {
     };
     let (serial, parallel) =
         on_1_and_4_threads(|| simulated_annealing(&model, &params, &mut Rng64::new(9)));
+    assert_eq!(serial.spins, parallel.spins);
+    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.proposals, parallel.proposals);
+}
+
+/// A random spin glass shared by the annealer determinism cases.
+fn spin_glass(n: usize, seed: u64) -> Ising {
+    let mut rng = Rng64::new(seed);
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(0.5) {
+                couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+            }
+        }
+    }
+    Ising::new(vec![0.0; n], couplings, 0.0)
+}
+
+#[test]
+fn simulated_quantum_annealing_is_identical_on_1_and_4_threads() {
+    // SQA parallelises over restarts; every restart's Trotter stack and
+    // field caches must evolve identically whichever worker runs it.
+    let model = spin_glass(10, 51);
+    let params = SqaParams {
+        replicas: 8,
+        sweeps: 40,
+        restarts: 4,
+        ..SqaParams::default()
+    };
+    let (serial, parallel) =
+        on_1_and_4_threads(|| simulated_quantum_annealing(&model, &params, &mut Rng64::new(19)));
+    assert_eq!(serial.spins, parallel.spins);
+    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+    assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.proposals, parallel.proposals);
+}
+
+#[test]
+fn parallel_tempering_is_identical_on_1_and_4_threads() {
+    // Tempering parallelises the per-sweep chain pass; chains mutate in
+    // place (state + field cache + energy), and the swap round must see
+    // the same chains in the same order for any worker count.
+    let model = spin_glass(10, 53);
+    let params = TemperingParams {
+        chains: 6,
+        sweeps: 40,
+        ..TemperingParams::default()
+    };
+    let (serial, parallel) =
+        on_1_and_4_threads(|| parallel_tempering(&model, &params, &mut Rng64::new(23)));
     assert_eq!(serial.spins, parallel.spins);
     assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
     assert_eq!(serial.trace, parallel.trace);
