@@ -163,10 +163,18 @@ impl QuantumKernel {
     }
 
     /// Kernel row of a new point against a training set — what prediction
-    /// needs. Training-set states are evaluated in parallel.
+    /// needs. Training-set states are prepared through the same batched
+    /// compiled path as [`QuantumKernel::gram`] (one compiled kernel
+    /// program per encoding circuit, executed over the parallel layer)
+    /// and overlapped against the query point's state serially.
     pub fn row(&self, xs: &[Vec<f64>], point: &[f64]) -> Vec<f64> {
         let sp = self.feature_state(point);
-        qmldb_math::par::map(xs, |_, x| self.feature_state(x).fidelity(&sp))
+        let circuits: Vec<Circuit> = xs
+            .iter()
+            .map(|x| self.map.circuit(self.n_qubits, x))
+            .collect();
+        let states = Simulator::new().run_batch(&circuits, &[]);
+        states.iter().map(|s| s.fidelity(&sp)).collect()
     }
 }
 

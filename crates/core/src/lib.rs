@@ -7,8 +7,8 @@
 //! * **Foundation** — data encodings ([`encoding`]), the QFT and phase
 //!   estimation ([`qft`]), Grover search ([`grover`]) and amplitude
 //!   estimation ([`amplitude`]);
-//! * **New techniques** — variational ansätze ([`ansatz`]), parameter-shift
-//!   gradients ([`gradient`]), optimizers ([`optimizer`]), the variational
+//! * **New techniques** — variational ansätze ([`ansatz`]), adjoint and
+//!   parameter-shift gradients ([`gradient`]), optimizers ([`optimizer`]), the variational
 //!   classifier ([`vqc`]), quantum kernels ([`kernel`]) and the QSVM
 //!   ([`qsvm`]), QAOA ([`qaoa`]), VQE ([`vqe`]) and the HHL linear solver
 //!   ([`linear`]);
@@ -48,6 +48,7 @@ pub mod vqe;
 pub mod walk;
 
 pub use ansatz::Entanglement;
+pub use gradient::{GradientEngine, ShiftGradient};
 pub use kernel::{FeatureMap, QuantumKernel};
 pub use qaoa::{Qaoa, QaoaResult};
 pub use qkrr::Qkrr;

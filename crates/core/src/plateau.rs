@@ -7,6 +7,7 @@
 //! variance-vs-qubits figure.
 
 use crate::ansatz::{hardware_efficient, Entanglement};
+use crate::gradient::GradientEngine;
 use qmldb_math::{stats, Rng64};
 use qmldb_sim::{PauliString, PauliSum, Simulator};
 
@@ -33,18 +34,20 @@ pub fn gradient_variance(
 ) -> VarianceSample {
     assert!(n_qubits >= 2, "observable needs at least 2 qubits");
     let circuit = hardware_efficient(n_qubits, layers, Entanglement::Linear);
-    let compiled = circuit.compile();
     let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
     let sim = Simulator::new();
+    // The ansatz is scanned once but evaluated at thousands of parameter
+    // draws, so the engine (compilation + adjoint sweep) is built once
+    // here. The adjoint pass returns every component for the cost the old
+    // two-point probe paid for component 0 alone; the scan still records
+    // only ∂E/∂θ₀, keeping the published variance definition.
+    let engine = GradientEngine::new(&circuit, &sim);
     let mut grads = Vec::with_capacity(samples);
     for _ in 0..samples {
         let params: Vec<f64> = (0..circuit.n_params())
             .map(|_| rng.uniform_range(0.0, std::f64::consts::TAU))
             .collect();
-        // Only the first component is needed; parameter_shift computes all,
-        // so restrict the cost by probing θ₀ alone via a two-point rule.
-        let g = first_component_gradient(&sim, &compiled, &params, &obs);
-        grads.push(g);
+        grads.push(engine.gradient(&sim, &params, &obs)[0]);
     }
     VarianceSample {
         n_qubits,
@@ -52,27 +55,6 @@ pub fn gradient_variance(
         variance: stats::variance(&grads),
         mean: stats::mean(&grads),
     }
-}
-
-/// ∂E/∂θ₀ only (cheaper than the full gradient for the scan). Takes the
-/// pre-compiled circuit: the scan evaluates thousands of parameter draws
-/// against one ansatz, so lowering happens once in the caller.
-fn first_component_gradient(
-    sim: &Simulator,
-    compiled: &qmldb_sim::CompiledCircuit,
-    params: &[f64],
-    obs: &PauliSum,
-) -> f64 {
-    // The shift rule on parameter 0: shift the parameter vector directly —
-    // valid because each parameter appears in exactly one gate in the
-    // hardware-efficient ansatz.
-    let mut plus = params.to_vec();
-    let mut minus = params.to_vec();
-    plus[0] += std::f64::consts::FRAC_PI_2;
-    minus[0] -= std::f64::consts::FRAC_PI_2;
-    (sim.expectation_compiled(compiled, &plus, obs)
-        - sim.expectation_compiled(compiled, &minus, obs))
-        / 2.0
 }
 
 /// Runs the scan across qubit counts, returning one row per size.
@@ -103,14 +85,15 @@ mod tests {
     use crate::gradient::parameter_shift;
 
     #[test]
-    fn single_sample_gradient_is_consistent_with_full_shift_rule() {
+    fn scan_gradient_is_consistent_with_full_shift_rule() {
         let circuit = hardware_efficient(3, 2, Entanglement::Linear);
         let obs = PauliSum::from_terms(vec![(1.0, PauliString::zz(0, 1))]);
         let sim = Simulator::new();
         let params: Vec<f64> = (0..circuit.n_params())
             .map(|i| 0.3 + 0.1 * i as f64)
             .collect();
-        let fast = first_component_gradient(&sim, &circuit.compile(), &params, &obs);
+        let engine = GradientEngine::new(&circuit, &sim);
+        let fast = engine.gradient(&sim, &params, &obs)[0];
         let full = parameter_shift(&sim, &circuit, &params, &obs);
         assert!((fast - full[0]).abs() < 1e-10);
     }

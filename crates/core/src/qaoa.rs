@@ -7,7 +7,7 @@
 //! hardware.
 
 use crate::ansatz::qaoa_ansatz;
-use crate::gradient::ShiftGradient;
+use crate::gradient::GradientEngine;
 use crate::optimizer::{minimize, Adam};
 use qmldb_math::Rng64;
 use qmldb_sim::{Circuit, CompiledCircuit, PauliString, PauliSum, Simulator};
@@ -122,9 +122,11 @@ impl Qaoa {
             .sum()
     }
 
-    /// Optimizes parameters with Adam + parameter-shift from `restarts`
-    /// random initializations, then samples `shots` bitstrings from the
-    /// best circuit and returns the lowest-energy one.
+    /// Optimizes parameters with Adam + exact adjoint gradients from
+    /// `restarts` random initializations, then samples `shots` bitstrings
+    /// from the best circuit and returns the lowest-energy one. The
+    /// objective keeps the precomputed-energy-table path (one compiled
+    /// run + a probability sweep); only gradients go through the engine.
     pub fn solve(
         &self,
         iters: usize,
@@ -133,7 +135,7 @@ impl Qaoa {
         rng: &mut Rng64,
     ) -> QaoaResult {
         let sim = Simulator::new();
-        let sg = ShiftGradient::new(&self.circuit);
+        let engine = GradientEngine::new(&self.circuit, &sim);
         let mut best_params: Vec<f64> = Vec::new();
         let mut best_exp = f64::INFINITY;
         let mut best_history = Vec::new();
@@ -143,7 +145,7 @@ impl Qaoa {
                 .collect();
             let mut adam = Adam::new(0.1);
             let mut obj = |p: &[f64]| self.expectation(p);
-            let mut grad = |p: &[f64]| sg.gradient(&sim, p, &self.cost);
+            let mut grad = |p: &[f64]| engine.gradient(&sim, p, &self.cost);
             let r = minimize(&mut obj, &mut grad, &init, &mut adam, iters);
             if r.best_value < best_exp {
                 best_exp = r.best_value;

@@ -2,14 +2,16 @@
 //!
 //! The model is `⟨Z₀⟩` of `Ansatz(θ) · Encode(x) |0⟩`; training minimizes
 //! the mean squared error between that expectation and the ±1 label, with
-//! gradients from the parameter-shift rule or SPSA.
+//! gradients from the adjoint/parameter-shift engine or SPSA. Per-sample
+//! evaluation is batched over the deterministic parallel layer, so
+//! training results are bit-identical for any `QMLDB_THREADS`.
 
 use crate::ansatz::{hardware_efficient, Entanglement};
-use crate::gradient::ShiftGradient;
+use crate::gradient::GradientEngine;
 use crate::kernel::FeatureMap;
 use crate::optimizer::{spsa_minimize, Adam, Optimizer, SpsaConfig};
-use qmldb_math::Rng64;
-use qmldb_sim::{Circuit, PauliString, PauliSum, Simulator};
+use qmldb_math::{par, Rng64};
+use qmldb_sim::{Circuit, CompiledCircuit, PauliString, PauliSum, Simulator};
 
 /// Gradient strategy for VQC training.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +64,12 @@ pub struct Vqc {
     config: VqcConfig,
     ansatz: Circuit,
     params: Vec<f64>,
-    /// Training loss after each epoch.
+    /// Training loss after each epoch: entry `e` is the full-batch MSE at
+    /// the parameters produced by epoch `e`'s optimizer step. Each entry
+    /// is taken from per-sample outputs the training loop computes
+    /// anyway — entry `e` falls out of epoch `e+1`'s batched gradient
+    /// pass, and the final entry from one extra expectation-only pass —
+    /// so recording it costs no additional circuit executions.
     pub loss_history: Vec<f64>,
 }
 
@@ -129,46 +136,73 @@ impl Vqc {
             .map(|_| rng.uniform_range(-0.1, 0.1))
             .collect();
 
-        let loss = |p: &[f64]| -> f64 {
-            let mut total = 0.0;
-            for (xi, &yi) in x.iter().zip(y) {
-                let out = Self::raw_output(&config, &ansatz, p, xi);
-                total += (out - yi) * (out - yi);
-            }
-            total / x.len() as f64
+        let sim = Simulator::new();
+        let obs = Self::observable();
+        let mse = |outs: &[f64]| -> f64 {
+            outs.iter()
+                .zip(y)
+                .map(|(o, &yi)| (o - yi) * (o - yi))
+                .sum::<f64>()
+                / x.len() as f64
         };
 
         let (params, loss_history) = match config.grad {
             GradMethod::ParameterShift => {
-                let sim = Simulator::new();
-                let obs = Self::observable();
                 // Each sample's circuit depends only on the data point, so
-                // its shift evaluator is compiled once here and reused by
-                // every epoch (the epoch loop only changes parameters).
-                let evals: Vec<ShiftGradient> = x
+                // its gradient engine (adjoint differentiation on the
+                // ideal simulator) is built once here and reused by every
+                // epoch (the epoch loop only changes parameters).
+                let engines: Vec<GradientEngine> = x
                     .iter()
-                    .map(|xi| ShiftGradient::new(&Self::model_circuit(&config, &ansatz, xi)))
+                    .map(|xi| GradientEngine::new(&Self::model_circuit(&config, &ansatz, xi), &sim))
                     .collect();
                 let mut params = init;
                 let mut adam = Adam::new(config.lr);
                 let mut history = Vec::with_capacity(config.epochs);
-                for _ in 0..config.epochs {
+                for epoch in 0..config.epochs {
+                    // One fused (output, gradient) evaluation per sample,
+                    // fanned out over the deterministic parallel layer.
+                    let evals: Vec<(f64, Vec<f64>)> =
+                        par::map(&engines, |_, e| e.value_and_gradient(&sim, &params, &obs));
+                    if epoch > 0 {
+                        // These outputs sit at the parameters the previous
+                        // epoch's step produced — exactly that epoch's
+                        // loss-history entry, for free.
+                        let outs: Vec<f64> = evals.iter().map(|(out, _)| *out).collect();
+                        history.push(mse(&outs));
+                    }
+                    // Serial reduction in sample order keeps the gradient
+                    // bit-identical for any thread count.
                     let mut grad = vec![0.0; n_params];
-                    for (sg, &yi) in evals.iter().zip(y) {
-                        let out = sg.expectation(&sim, &params, &obs);
-                        let g = sg.gradient(&sim, &params, &obs);
+                    for ((out, g), &yi) in evals.iter().zip(y) {
                         let scale = 2.0 * (out - yi) / x.len() as f64;
-                        for (gi, gv) in grad.iter_mut().zip(&g) {
+                        for (gi, gv) in grad.iter_mut().zip(g) {
                             *gi += scale * gv;
                         }
                     }
                     adam.step(&mut params, &grad);
-                    history.push(loss(&params));
+                }
+                if config.epochs > 0 {
+                    // The last step's loss has no following epoch to ride
+                    // on — one expectation-only batched pass closes it out.
+                    let outs = par::map(&engines, |_, e| e.expectation(&sim, &params, &obs));
+                    history.push(mse(&outs));
                 }
                 (params, history)
             }
             GradMethod::Spsa => {
-                let mut objective = |p: &[f64]| loss(p);
+                // SPSA only ever asks for the objective, but it asks twice
+                // per step — precompile every sample's circuit once and
+                // batch the evaluations, instead of re-lowering each
+                // interpreter circuit on every call.
+                let compiled: Vec<CompiledCircuit> = x
+                    .iter()
+                    .map(|xi| Self::model_circuit(&config, &ansatz, xi).compile())
+                    .collect();
+                let mut objective = |p: &[f64]| {
+                    let outs = par::map(&compiled, |_, c| sim.expectation_compiled(c, p, &obs));
+                    mse(&outs)
+                };
                 let r = spsa_minimize(
                     &mut objective,
                     &init,

@@ -4,7 +4,7 @@
 //! the ground-state energy of a Pauli-sum Hamiltonian — the prototypical
 //! near-term algorithm the tutorial's "new techniques" section builds on.
 
-use crate::gradient::ShiftGradient;
+use crate::gradient::GradientEngine;
 use crate::optimizer::{minimize, Adam};
 use qmldb_math::decomp::symmetric_eigen;
 use qmldb_math::{Matrix, Rng64};
@@ -55,12 +55,13 @@ impl Vqe {
         Simulator::new().expectation(&self.ansatz, params, &self.hamiltonian)
     }
 
-    /// Runs Adam + parameter-shift from `restarts` random starts. The
-    /// ansatz is compiled once (see [`ShiftGradient`]); every objective and
-    /// shift evaluation across all restarts reuses the same kernel program.
+    /// Runs Adam + exact gradients from `restarts` random starts. The
+    /// ansatz is compiled once (see [`GradientEngine`]); objectives go
+    /// through the compiled kernel program and gradients through the
+    /// adjoint sweep, shared across all restarts.
     pub fn run(&self, iters: usize, restarts: usize, rng: &mut Rng64) -> VqeResult {
         let sim = Simulator::new();
-        let sg = ShiftGradient::new(&self.ansatz);
+        let engine = GradientEngine::new(&self.ansatz, &sim);
         let mut best = VqeResult {
             params: vec![],
             energy: f64::INFINITY,
@@ -71,8 +72,8 @@ impl Vqe {
                 .map(|_| rng.uniform_range(-0.8, 0.8))
                 .collect();
             let mut adam = Adam::new(0.1);
-            let mut obj = |p: &[f64]| sg.expectation(&sim, p, &self.hamiltonian);
-            let mut grad = |p: &[f64]| sg.gradient(&sim, p, &self.hamiltonian);
+            let mut obj = |p: &[f64]| engine.expectation(&sim, p, &self.hamiltonian);
+            let mut grad = |p: &[f64]| engine.gradient(&sim, p, &self.hamiltonian);
             let r = minimize(&mut obj, &mut grad, &init, &mut adam, iters);
             if r.best_value < best.energy {
                 best = VqeResult {

@@ -17,6 +17,7 @@
 //! assert!((p[0b11] - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod adjoint;
 pub mod circuit;
 pub mod compile;
 pub mod density;
@@ -28,6 +29,7 @@ pub mod optimize;
 pub mod pauli;
 pub mod statevector;
 
+pub use adjoint::AdjointGradient;
 pub use circuit::{Circuit, Instr};
 pub use compile::CompiledCircuit;
 pub use density::DensityMatrix;

@@ -88,8 +88,10 @@ impl PauliString {
     /// The bit masks that characterize the string's action: `(flip,
     /// pmask, global)`. `P|j⟩ = global · (−1)^popcount(j & pmask) ·
     /// |j ^ flip⟩`, where `flip` collects X/Y qubits, `pmask` collects
-    /// Y/Z qubits, and `global = i^{#Y}`.
-    fn masks(&self) -> (usize, usize, C64) {
+    /// Y/Z qubits, and `global = i^{#Y}`. Shared with the adjoint
+    /// gradient engine, which brackets rotation generators through the
+    /// same action formula.
+    pub(crate) fn masks(&self) -> (usize, usize, C64) {
         let (mut flip, mut pmask, mut n_y) = (0usize, 0usize, 0u32);
         for &(q, p) in &self.ops {
             match p {
@@ -250,6 +252,32 @@ impl PauliSum {
             .iter()
             .map(|(c, p)| c * p.expectation(state))
             .sum()
+    }
+
+    /// `H|ψ⟩` — the observable applied to a state.
+    ///
+    /// The result is generally **not** normalized: `H` is Hermitian, not
+    /// unitary. It is the co-state `λ` that adjoint differentiation
+    /// back-propagates through the inverse circuit (`crate::adjoint`);
+    /// use [`PauliSum::expectation`] when only `⟨ψ|H|ψ⟩` is needed.
+    /// Terms accumulate serially in storage order, so the result is
+    /// reproducible bit for bit.
+    pub fn apply_to(&self, state: &StateVector) -> StateVector {
+        let mut out = state.clone();
+        out.amplitudes_mut().fill(C64::ZERO);
+        let src = state.amplitudes();
+        for (c, p) in &self.terms {
+            // (Pψ)ᵢ = global · (−1)^popcount((i^flip) & pmask) · ψ_{i^flip};
+            // accumulating via the masks avoids a temporary state per term.
+            let (flip, pmask, global) = p.masks();
+            let w = global.scale(*c);
+            for (i, d) in out.amplitudes_mut().iter_mut().enumerate() {
+                let j = i ^ flip;
+                let sign = 1.0 - 2.0 * ((j & pmask).count_ones() & 1) as f64;
+                *d += (w * src[j]).scale(sign);
+            }
+        }
+        out
     }
 
     /// True when every term is diagonal (Z/identity only).
@@ -442,6 +470,45 @@ mod tests {
             (-3.0, PauliString::z(0)),
         ]);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn apply_to_matches_termwise_accumulation() {
+        use qmldb_math::Rng64;
+        let mut rng = Rng64::new(29);
+        let n = 3;
+        let amps: Vec<C64> = (0..1usize << n)
+            .map(|_| C64::new(rng.uniform() - 0.5, rng.uniform() - 0.5))
+            .collect();
+        let s = StateVector::from_amplitudes(amps);
+        let h = PauliSum::from_terms(vec![
+            (0.8, PauliString::z(0)),
+            (-0.4, PauliString::new(vec![(0, Pauli::X), (2, Pauli::Y)])),
+            (1.3, PauliString::zz(1, 2)),
+            (0.2, PauliString::identity()),
+        ]);
+        let got = h.apply_to(&s);
+        // Reference: c·(P|ψ⟩) accumulated per term through PauliString::apply.
+        let mut expect = vec![C64::ZERO; 1 << n];
+        for (c, p) in h.terms() {
+            for (e, a) in expect.iter_mut().zip(p.apply(&s).amplitudes()) {
+                *e += a.scale(*c);
+            }
+        }
+        for (i, (a, b)) in got.amplitudes().iter().zip(&expect).enumerate() {
+            assert!(a.approx_eq(*b, 1e-12), "amp {i}: {a:?} vs {b:?}");
+        }
+        // ⟨ψ|H|ψ⟩ through the co-state equals the direct expectation.
+        assert!((s.inner(&got).re - h.expectation(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_to_is_unnormalized_for_scaled_observables() {
+        let s = StateVector::zero(1);
+        let h = PauliSum::from_terms(vec![(3.0, PauliString::z(0))]);
+        let lam = h.apply_to(&s);
+        // H|0⟩ = 3|0⟩ — the norm carries the coefficient.
+        assert!((lam.norm() - 3.0).abs() < 1e-12);
     }
 
     #[test]

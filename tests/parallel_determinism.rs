@@ -15,8 +15,10 @@ use qmldb::anneal::{
     SqaParams, TemperingParams,
 };
 use qmldb::math::{par, Rng64};
-use qmldb::qml::{FeatureMap, QuantumKernel};
-use qmldb::sim::{Circuit, Simulator};
+use qmldb::qml::ansatz::{hardware_efficient, Entanglement};
+use qmldb::qml::vqc::{GradMethod, VqcConfig};
+use qmldb::qml::{FeatureMap, QuantumKernel, ShiftGradient, Vqc};
+use qmldb::sim::{Circuit, PauliString, PauliSum, Simulator};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -171,6 +173,48 @@ fn compiled_circuit_run_is_identical_on_1_and_4_threads() {
     let (serial, parallel) = on_1_and_4_threads(|| sim.run_compiled(&compiled, &[]));
     // Bit-identical: slab partitioning must not change a single rounding.
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn vqc_training_is_identical_on_1_and_4_threads() {
+    // Vqc::train fans per-sample (output, gradient) evaluation out over
+    // the parallel layer and reduces serially in sample order: trained
+    // parameters and the loss history must be bit-identical whichever
+    // worker count ran the batch.
+    let mut data_rng = Rng64::new(57);
+    let xs = dataset(8, 2, 59);
+    let ys: Vec<f64> = (0..8)
+        .map(|_| if data_rng.chance(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    let cfg = VqcConfig {
+        epochs: 4,
+        grad: GradMethod::ParameterShift,
+        ..VqcConfig::default()
+    };
+    let (serial, parallel) =
+        on_1_and_4_threads(|| Vqc::train(cfg.clone(), &xs, &ys, &mut Rng64::new(61)));
+    assert_eq!(serial.params(), parallel.params());
+    let bits = |m: &Vqc| -> Vec<u64> { m.loss_history.iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(bits(&serial), bits(&parallel));
+}
+
+#[test]
+fn parameter_shift_gradient_is_identical_on_1_and_4_threads() {
+    // The shift rule's 2k evaluations fan out over par::map with a serial
+    // chain-rule reduction — the noisy-simulator fallback path of the
+    // gradient engine, exercised here directly on the ideal simulator.
+    let c = hardware_efficient(3, 2, Entanglement::Linear);
+    let sg = ShiftGradient::new(&c);
+    let obs = PauliSum::from_terms(vec![
+        (1.0, PauliString::z(0)),
+        (0.5, PauliString::zz(1, 2)),
+        (-0.3, PauliString::x(1)),
+    ]);
+    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.21 * i as f64 - 1.1).collect();
+    let sim = Simulator::new();
+    let (serial, parallel) = on_1_and_4_threads(|| sg.gradient(&sim, &params, &obs));
+    let bits = |g: &[f64]| -> Vec<u64> { g.iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(bits(&serial), bits(&parallel));
 }
 
 #[test]
