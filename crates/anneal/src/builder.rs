@@ -4,19 +4,174 @@
 //! scheduling) become QUBOs by adding squared-penalty terms for each
 //! constraint. The builder keeps the bookkeeping — variable allocation and
 //! penalty expansion — in one audited place.
+//!
+//! Besides emitting penalty terms, the builder **records** every
+//! constraint it expands as a [`ConstraintGroup`]. [`QuboBuilder::build_parts`]
+//! returns the recorded [`Constraints`] next to the [`Qubo`], so downstream
+//! code (feasibility checks, greedy repair, penalty escalation) can report
+//! *which* constraint a candidate assignment violates and by how much,
+//! instead of staring at an opaque energy number.
 
 use crate::qubo::Qubo;
+
+/// The kind of a recorded constraint group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstraintKind {
+    /// Exactly `k` of the group's variables are 1.
+    ExactlyK(usize),
+    /// At most `k` of the group's variables are 1 (slack-encoded).
+    AtMostK(usize),
+    /// The weighted sum of the group's variables equals `target`.
+    WeightedEquality(f64),
+}
+
+/// One constraint as recorded by the builder: the kind, the decision
+/// variables it ranges over, and (for weighted equalities) their weights.
+/// Slack variables introduced by inequality reductions are *not* listed —
+/// violation is always measured on the decision variables, which is what
+/// repair and feasibility care about.
+#[derive(Clone, Debug)]
+pub struct ConstraintGroup {
+    /// What the constraint demands.
+    pub kind: ConstraintKind,
+    /// The decision variables it constrains.
+    pub vars: Vec<usize>,
+    /// Per-variable weights (empty ⇒ unit weights).
+    pub weights: Vec<f64>,
+}
+
+impl ConstraintGroup {
+    /// Violation magnitude of `bits` against this group: 0 when satisfied,
+    /// otherwise how far the count / weighted sum is from the demanded
+    /// value (in counts for cardinality constraints, in weight units for
+    /// weighted equalities).
+    pub fn violation(&self, bits: &[bool]) -> f64 {
+        match self.kind {
+            ConstraintKind::ExactlyK(k) => {
+                let ones = self.vars.iter().filter(|&&v| bits[v]).count();
+                (ones as f64 - k as f64).abs()
+            }
+            ConstraintKind::AtMostK(k) => {
+                let ones = self.vars.iter().filter(|&&v| bits[v]).count();
+                (ones as f64 - k as f64).max(0.0)
+            }
+            ConstraintKind::WeightedEquality(target) => {
+                let total: f64 = self
+                    .vars
+                    .iter()
+                    .zip(&self.weights)
+                    .filter(|(&v, _)| bits[v])
+                    .map(|(_, &w)| w)
+                    .sum();
+                let residual = (total - target).abs();
+                let tol = 1e-6 * (1.0 + target.abs());
+                if residual <= tol {
+                    0.0
+                } else {
+                    residual
+                }
+            }
+        }
+    }
+
+    /// True when `bits` satisfies this group.
+    pub fn is_satisfied(&self, bits: &[bool]) -> bool {
+        self.violation(bits) == 0.0
+    }
+}
+
+/// All constraint groups recorded during a build, in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct Constraints {
+    groups: Vec<ConstraintGroup>,
+}
+
+impl Constraints {
+    /// The recorded groups.
+    pub fn groups(&self) -> &[ConstraintGroup] {
+        &self.groups
+    }
+
+    /// Number of recorded groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// `(group index, violation magnitude)` for every violated group.
+    pub fn violations(&self, bits: &[bool]) -> Vec<(usize, f64)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| {
+                let v = g.violation(bits);
+                (v > 0.0).then_some((i, v))
+            })
+            .collect()
+    }
+
+    /// Number of violated groups.
+    pub fn n_violated(&self, bits: &[bool]) -> usize {
+        self.groups.iter().filter(|g| !g.is_satisfied(bits)).count()
+    }
+
+    /// True when every group is satisfied.
+    pub fn all_satisfied(&self, bits: &[bool]) -> bool {
+        self.groups.iter().all(|g| g.is_satisfied(bits))
+    }
+}
+
+/// Slack weights for the `count ≤ k` reduction: bounded binary
+/// coefficients `1, 2, 4, …, 2^{m−2}, k+1−2^{m−1}` whose subset sums cover
+/// exactly `0..=k`. Returns the empty vector for `k = 0` (the constraint
+/// degenerates to "all zero", which needs no slack).
+pub fn at_most_k_slack_weights(k: usize) -> Vec<f64> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let m = (usize::BITS - k.leading_zeros()) as usize; // floor(log2 k) + 1
+    let mut weights: Vec<f64> = (0..m - 1).map(|j| (1u64 << j) as f64).collect();
+    weights.push((k + 1 - (1usize << (m - 1))) as f64);
+    weights
+}
+
+/// Greedy subset-sum encoding of an integer `value` over slack `weights`
+/// (largest weight first). Exact for plain binary weights and for the
+/// bounded coefficients of [`at_most_k_slack_weights`] whenever
+/// `value ≤ Σ weights`; used to set slack bits when encoding a known
+/// feasible solution.
+pub fn slack_assignment(weights: &[f64], value: f64) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap().then(b.cmp(&a)));
+    let mut bits = vec![false; weights.len()];
+    let mut remaining = value.max(0.0);
+    for &i in &order {
+        if weights[i] <= remaining + 1e-9 {
+            bits[i] = true;
+            remaining -= weights[i];
+        }
+    }
+    bits
+}
 
 /// Incrementally builds a QUBO with named penalty helpers.
 #[derive(Clone, Debug)]
 pub struct QuboBuilder {
     qubo: Qubo,
+    constraints: Constraints,
 }
 
 impl QuboBuilder {
     /// Starts a builder over `n` binary variables.
     pub fn new(n: usize) -> Self {
-        QuboBuilder { qubo: Qubo::new(n) }
+        QuboBuilder {
+            qubo: Qubo::new(n),
+            constraints: Constraints::default(),
+        }
     }
 
     /// Number of variables.
@@ -58,12 +213,50 @@ impl QuboBuilder {
             }
         }
         self.qubo.add_offset(penalty * kf * kf);
+        self.constraints.groups.push(ConstraintGroup {
+            kind: ConstraintKind::ExactlyK(k),
+            vars: vars.to_vec(),
+            weights: Vec::new(),
+        });
         self
     }
 
     /// One-hot constraint: exactly one of `vars` is 1.
     pub fn one_hot(&mut self, vars: &[usize], penalty: f64) -> &mut Self {
         self.exactly_k(vars, 1, penalty)
+    }
+
+    /// Penalty `P·(Σ xᵢ + Σ wⱼsⱼ − k)²` enforcing that at most `k` of
+    /// `vars` are 1, via caller-allocated slack variables `slack_vars`
+    /// whose weights ([`at_most_k_slack_weights`]) let the slack absorb
+    /// any count in `0..=k`. `slack_vars.len()` must equal the weight
+    /// count for `k`.
+    pub fn at_most_k(
+        &mut self,
+        vars: &[usize],
+        slack_vars: &[usize],
+        k: usize,
+        penalty: f64,
+    ) -> &mut Self {
+        let slack_weights = at_most_k_slack_weights(k);
+        assert_eq!(
+            slack_vars.len(),
+            slack_weights.len(),
+            "at_most_k({k}) needs exactly {} slack variables",
+            slack_weights.len()
+        );
+        let all_vars: Vec<usize> = vars.iter().chain(slack_vars).copied().collect();
+        let mut weights: Vec<f64> = vec![1.0; vars.len()];
+        weights.extend_from_slice(&slack_weights);
+        // Reuse the weighted-equality expansion, but record an AtMostK
+        // group over the decision variables only (the slack is plumbing).
+        self.weighted_equality_terms(&all_vars, &weights, k as f64, penalty);
+        self.constraints.groups.push(ConstraintGroup {
+            kind: ConstraintKind::AtMostK(k),
+            vars: vars.to_vec(),
+            weights: Vec::new(),
+        });
+        self
     }
 
     /// Penalty `P·xᵢ·xⱼ` forbidding both variables being 1 together.
@@ -88,6 +281,24 @@ impl QuboBuilder {
         target: f64,
         penalty: f64,
     ) -> &mut Self {
+        self.weighted_equality_terms(vars, weights, target, penalty);
+        self.constraints.groups.push(ConstraintGroup {
+            kind: ConstraintKind::WeightedEquality(target),
+            vars: vars.to_vec(),
+            weights: weights.to_vec(),
+        });
+        self
+    }
+
+    /// The term expansion shared by `weighted_equality` and `at_most_k`;
+    /// records nothing.
+    fn weighted_equality_terms(
+        &mut self,
+        vars: &[usize],
+        weights: &[f64],
+        target: f64,
+        penalty: f64,
+    ) {
         assert_eq!(vars.len(), weights.len(), "weights length");
         for (a, (&i, &wi)) in vars.iter().zip(weights).enumerate() {
             // wᵢ²xᵢ² − 2·target·wᵢxᵢ  (xᵢ² = xᵢ)
@@ -98,12 +309,17 @@ impl QuboBuilder {
             }
         }
         self.qubo.add_offset(penalty * target * target);
-        self
     }
 
-    /// Finishes the build.
+    /// Finishes the build, discarding the constraint record.
     pub fn build(self) -> Qubo {
         self.qubo
+    }
+
+    /// Finishes the build, returning the QUBO together with every
+    /// constraint recorded along the way.
+    pub fn build_parts(self) -> (Qubo, Constraints) {
+        (self.qubo, self.constraints)
     }
 }
 
@@ -189,5 +405,97 @@ mod tests {
             .min_by(|a, b| q.energy(a).partial_cmp(&q.energy(b)).unwrap())
             .unwrap();
         assert_eq!(best, vec![false, true]);
+    }
+
+    #[test]
+    fn slack_weight_subset_sums_cover_zero_to_k() {
+        for k in 1..=17usize {
+            let w = at_most_k_slack_weights(k);
+            let mut reachable = vec![false; k + 1];
+            for mask in 0..(1usize << w.len()) {
+                let total: f64 = (0..w.len())
+                    .filter(|&j| mask & (1 << j) != 0)
+                    .map(|j| w[j])
+                    .sum();
+                let t = total.round() as usize;
+                assert!((total - t as f64).abs() < 1e-12);
+                assert!(t <= k, "k={k}: subset sum {t} exceeds k");
+                reachable[t] = true;
+            }
+            assert!(reachable.iter().all(|&r| r), "k={k}: gap in coverage");
+        }
+    }
+
+    #[test]
+    fn slack_assignment_encodes_every_value_exactly() {
+        for k in 1..=17usize {
+            let w = at_most_k_slack_weights(k);
+            for v in 0..=k {
+                let bits = slack_assignment(&w, v as f64);
+                let total: f64 = bits
+                    .iter()
+                    .zip(&w)
+                    .filter(|(&b, _)| b)
+                    .map(|(_, &wj)| wj)
+                    .sum();
+                assert!((total - v as f64).abs() < 1e-12, "k={k} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_zero_energy_iff_count_within_bound() {
+        // 4 decision vars, k = 2 → 2 slack vars; total 6 variables. The
+        // ground set must be exactly {assignments with ≤ 2 ones and slack
+        // absorbing the residual}.
+        let k = 2;
+        let sw = at_most_k_slack_weights(k);
+        let mut b = QuboBuilder::new(4 + sw.len());
+        b.at_most_k(&[0, 1, 2, 3], &[4, 5], k, 9.0);
+        let (q, cons) = b.build_parts();
+        for x in assignments(4 + sw.len()) {
+            let ones = x[..4].iter().filter(|&&v| v).count();
+            let e = q.energy(&x);
+            if ones > k {
+                assert!(e >= 9.0 - 1e-9, "{x:?} energy {e}");
+                assert_eq!(cons.n_violated(&x), 1, "{x:?}");
+            } else {
+                assert!(cons.all_satisfied(&x), "{x:?}");
+                // With the right slack setting the penalty vanishes.
+                let slack = slack_assignment(&sw, (k - ones) as f64);
+                let mut y = x.clone();
+                y[4..].copy_from_slice(&slack);
+                assert!(q.energy(&y).abs() < 1e-9, "{y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_parts_reports_violations_per_group() {
+        let mut b = QuboBuilder::new(5);
+        b.one_hot(&[0, 1], 5.0);
+        b.exactly_k(&[2, 3, 4], 2, 5.0);
+        let (_, cons) = b.build_parts();
+        assert_eq!(cons.len(), 2);
+        // Group 0 satisfied, group 1 short by one.
+        let bits = [true, false, true, false, false];
+        let v = cons.violations(&bits);
+        assert_eq!(v, vec![(1, 1.0)]);
+        assert!(!cons.all_satisfied(&bits));
+        // Both satisfied.
+        let good = [false, true, true, true, false];
+        assert!(cons.all_satisfied(&good));
+        assert_eq!(cons.n_violated(&good), 0);
+    }
+
+    #[test]
+    fn weighted_equality_violation_uses_weight_units() {
+        let mut b = QuboBuilder::new(2);
+        b.weighted_equality(&[0, 1], &[3.0, 4.0], 3.0, 1.0);
+        let (_, cons) = b.build_parts();
+        assert!(cons.all_satisfied(&[true, false]));
+        let v = cons.violations(&[true, true]);
+        assert_eq!(v.len(), 1);
+        assert!((v[0].1 - 4.0).abs() < 1e-9);
     }
 }

@@ -37,7 +37,10 @@ pub mod sqa;
 pub mod tabu;
 pub mod tempering;
 
-pub use builder::QuboBuilder;
+pub use builder::{
+    at_most_k_slack_weights, slack_assignment, ConstraintGroup, ConstraintKind, Constraints,
+    QuboBuilder,
+};
 pub use csr::CsrAdjacency;
 pub use device::{AnnealerDevice, DeviceConfig, DeviceResult};
 pub use embed::{Chimera, Embedding};

@@ -9,6 +9,7 @@ use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb_bench::json::{merge_section, timing_record};
 use qmldb_bench::timing::{bench, group};
 use qmldb_db::joinorder::{goo, optimize_left_deep, CostModel};
+use qmldb_db::problem::QuboProblem;
 use qmldb_db::qubo_jo::JoinOrderQubo;
 use qmldb_db::query::{generate, Topology};
 use qmldb_math::Rng64;
@@ -26,8 +27,8 @@ fn main() {
         records.push(timing_record(&format!("dp_left_deep/{n}rels"), &t, None));
         let t = bench(&format!("goo/{n}"), 10, || goo(&g, CostModel::Cout).1);
         records.push(timing_record(&format!("goo/{n}rels"), &t, None));
-        let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-        let ising = jo.qubo().to_ising();
+        let jo = JoinOrderQubo::new(&g);
+        let ising = jo.encode(jo.auto_penalty()).to_ising();
         let mut rng = Rng64::new(11);
         let sweeps = 500usize;
         let t = bench(&format!("sa_qubo/{n}"), 10, || {
@@ -40,7 +41,7 @@ fn main() {
                 },
                 &mut rng,
             );
-            jo.true_cost(&jo.decode(&spins_to_bits(&r.spins)), &g, CostModel::Cout)
+            jo.true_cost(&jo.decode(&spins_to_bits(&r.spins)), CostModel::Cout)
         });
         records.push(timing_record(
             &format!("sa_qubo/{n}rels_500sweeps"),

@@ -12,6 +12,7 @@ use qmldb_anneal::{
 };
 use qmldb_core::qaoa::Qaoa;
 use qmldb_db::joinorder::{goo, optimize_left_deep, random_orders, CostModel};
+use qmldb_db::problem::QuboProblem;
 use qmldb_db::qubo_jo::JoinOrderQubo;
 use qmldb_db::query::{generate, Topology};
 use qmldb_math::Rng64;
@@ -48,8 +49,8 @@ pub fn run(seed: u64) -> Report {
                 let (_, goo_cost) = goo(&g, CostModel::Cout);
                 let (_, rand_cost) = random_orders(&g, CostModel::Cout, 100, &mut rng);
 
-                let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-                let ising = jo.qubo().to_ising();
+                let jo = JoinOrderQubo::new(&g);
+                let ising = jo.encode(jo.auto_penalty()).to_ising();
                 let sa = simulated_annealing(
                     &ising,
                     &SaParams {
@@ -59,8 +60,7 @@ pub fn run(seed: u64) -> Report {
                     },
                     &mut rng,
                 );
-                let sa_cost =
-                    jo.true_cost(&jo.decode(&spins_to_bits(&sa.spins)), &g, CostModel::Cout);
+                let sa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sa.spins)), CostModel::Cout);
                 // Penalty-dominated QUBOs need a colder, longer SQA
                 // schedule than bare spin glasses: the effective classical
                 // temperature is P·T, so T is divided down accordingly.
@@ -76,7 +76,7 @@ pub fn run(seed: u64) -> Report {
                     &mut rng,
                 );
                 let sqa_cost =
-                    jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), &g, CostModel::Cout);
+                    jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), CostModel::Cout);
 
                 for (slot, c) in [goo_cost, rand_cost, sa_cost, sqa_cost]
                     .into_iter()
@@ -109,8 +109,8 @@ pub fn run_qaoa_small(seed: u64) -> Report {
     );
     let g = generate(Topology::Chain, 4, &mut rng);
     let exact = optimize_left_deep(&g, CostModel::Cout).cost.max(1e-9);
-    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-    let ising = jo.qubo().to_ising();
+    let jo = JoinOrderQubo::new(&g);
+    let ising = jo.encode(jo.auto_penalty()).to_ising();
     let h: Vec<f64> = ising.fields().to_vec();
     let j: Vec<(usize, usize, f64)> = ising.couplings().to_vec();
     for p in [1usize, 2] {
@@ -123,7 +123,7 @@ pub fn run_qaoa_small(seed: u64) -> Report {
             .map(|i| r.best_bitstring & (1 << i) != 0)
             .collect();
         let feasible = jo.is_feasible(&bits);
-        let cost = jo.true_cost(&jo.decode(&bits), &g, CostModel::Cout);
+        let cost = jo.true_cost(&jo.decode(&bits), CostModel::Cout);
         report.row(&[
             p.to_string(),
             fmt_f((cost / exact).max(1.0)),

@@ -7,7 +7,8 @@
 
 use crate::report::{fmt_f, Report};
 use qmldb_anneal::{simulated_annealing, spins_to_bits, tabu_search, SaParams, TabuParams};
-use qmldb_db::mqo::generate_instance;
+use qmldb_db::instances::{InstanceGenerator, MqoParams};
+use qmldb_db::problem::QuboProblem;
 use qmldb_math::Rng64;
 
 /// Runs the density sweep.
@@ -21,10 +22,15 @@ pub fn run(seed: u64) -> Report {
         let mut sums = [0.0f64; 4];
         let instances = 5;
         for _ in 0..instances {
-            let m = generate_instance(6, 3, density, &mut rng);
-            let (_, exact) = m.solve_exhaustive();
-            let (_, greedy) = m.solve_greedy();
-            let q = m.to_qubo(m.auto_penalty());
+            let m = MqoParams {
+                n_queries: 6,
+                plans_per: 3,
+                sharing_density: density,
+            }
+            .generate(&mut rng);
+            let (_, exact) = m.exhaustive_baseline();
+            let (_, greedy) = m.greedy_baseline();
+            let q = m.encode(m.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
                 &SaParams {

@@ -7,7 +7,8 @@
 
 use crate::report::{fmt_f, Report};
 use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
-use qmldb_db::index::generate_instance;
+use qmldb_db::instances::{IndexParams, InstanceGenerator};
+use qmldb_db::problem::QuboProblem;
 use qmldb_math::Rng64;
 
 /// Runs the budget sweep.
@@ -28,10 +29,18 @@ pub fn run(seed: u64) -> Report {
         let instances = 5;
         let mut sums = [0.0f64; 3];
         for _ in 0..instances {
-            let s = generate_instance(12, budget_frac, &mut rng);
-            let (_, exact) = s.solve_exhaustive();
-            let (_, greedy) = s.solve_greedy();
-            let (q, _) = s.to_qubo(s.auto_penalty());
+            let s = IndexParams {
+                n_candidates: 12,
+                budget_frac,
+            }
+            .generate(&mut rng);
+            // Baselines minimize the negated benefit; negate back to report
+            // the benefit the sweep has always shown.
+            let (_, exact) = s.exhaustive_baseline();
+            let exact = -exact;
+            let (_, greedy) = s.greedy_baseline();
+            let greedy = -greedy;
+            let q = s.encode(s.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
                 &SaParams {
@@ -41,7 +50,7 @@ pub fn run(seed: u64) -> Report {
                 },
                 &mut rng,
             );
-            let sel = s.decode(&spins_to_bits(&sa.spins));
+            let sel = QuboProblem::decode(&s, &spins_to_bits(&sa.spins));
             let sa_val = s.evaluate(&sel).unwrap_or(0.0);
             for (acc, v) in sums.iter_mut().zip([exact, greedy, sa_val]) {
                 *acc += v / instances as f64;

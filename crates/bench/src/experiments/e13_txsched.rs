@@ -7,7 +7,8 @@
 
 use crate::report::{fmt_f, Report};
 use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
-use qmldb_db::txsched::generate_instance;
+use qmldb_db::instances::{InstanceGenerator, TxParams};
+use qmldb_db::problem::QuboProblem;
 use qmldb_math::Rng64;
 
 /// Runs the density sweep.
@@ -21,10 +22,15 @@ pub fn run(seed: u64) -> Report {
         let instances = 5;
         let mut sums = [0.0f64; 3];
         for _ in 0..instances {
-            let s = generate_instance(8, 3, density, &mut rng);
-            let (_, exact) = s.solve_exhaustive();
-            let (_, greedy) = s.solve_greedy();
-            let q = s.to_qubo(s.auto_penalty());
+            let s = TxParams {
+                n_tx: 8,
+                n_slots: 3,
+                density,
+            }
+            .generate(&mut rng);
+            let (_, exact) = s.exhaustive_baseline();
+            let (_, greedy) = s.greedy_baseline();
+            let q = s.encode(s.auto_penalty());
             let sa = simulated_annealing(
                 &q.to_ising(),
                 &SaParams {

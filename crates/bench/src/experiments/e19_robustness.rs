@@ -10,6 +10,7 @@
 use crate::report::{fmt_f, Report};
 use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb_db::joinorder::{goo, left_deep_cost, optimize_left_deep, CostModel, JoinTree};
+use qmldb_db::problem::QuboProblem;
 use qmldb_db::qubo_jo::JoinOrderQubo;
 use qmldb_db::query::{generate, JoinGraph, Topology};
 use qmldb_math::Rng64;
@@ -26,9 +27,9 @@ fn leaves(tree: &JoinTree) -> Vec<usize> {
 }
 
 fn anneal_under(g: &JoinGraph, rng: &mut Rng64) -> Vec<usize> {
-    let jo = JoinOrderQubo::encode(g, JoinOrderQubo::auto_penalty(g));
+    let jo = JoinOrderQubo::new(g);
     let r = simulated_annealing(
-        &jo.qubo().to_ising(),
+        &jo.encode(jo.auto_penalty()).to_ising(),
         &SaParams {
             sweeps: 2000,
             restarts: 4,

@@ -21,6 +21,7 @@ pub mod e17_device;
 pub mod e18_qkrr;
 pub mod e19_robustness;
 pub mod e20_walks;
+pub mod e21_portfolio;
 
 use crate::report::Report;
 
@@ -48,5 +49,6 @@ pub fn all() -> Vec<(&'static str, fn(u64) -> Report)> {
         ("e18", e18_qkrr::run),
         ("e19", e19_robustness::run),
         ("e20", e20_walks::run),
+        ("e21", e21_portfolio::run),
     ]
 }

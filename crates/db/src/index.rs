@@ -4,9 +4,12 @@
 //! the same table can overlap (diminishing returns), modelled as pairwise
 //! interaction penalties. The storage budget becomes an equality over
 //! binary slack variables — the textbook inequality-to-QUBO reduction.
+//! The encode/decode/repair pipeline lives in the [`QuboProblem`]
+//! implementation; note this is a **maximization** problem, so the trait
+//! objective is the *negated* net benefit.
 
-use qmldb_anneal::{Qubo, QuboBuilder};
-use qmldb_math::Rng64;
+use crate::problem::QuboProblem;
+use qmldb_anneal::{slack_assignment, Constraints, Qubo, QuboBuilder};
 
 /// A candidate index.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,9 +57,15 @@ impl IndexSelection {
         }
     }
 
-    /// Number of candidates.
+    /// Number of candidates (decision variables).
     pub fn n(&self) -> usize {
         self.candidates.len()
+    }
+
+    /// Number of binary slack variables in the budget equality: enough
+    /// bits to cover the budget with unit granularity.
+    pub fn slack_bits(&self) -> usize {
+        (self.budget.max(1.0)).log2().ceil() as usize + 1
     }
 
     /// Net benefit of a selection; `None` when it violates the budget.
@@ -84,15 +93,26 @@ impl IndexSelection {
         }
         Some(benefit)
     }
+}
 
-    /// Encodes as a QUBO: minimize `−benefit + overlaps` with a slack-bit
-    /// budget penalty `P·(Σ sizeᵢxᵢ + Σ 2ᵏsₖ − budget)²`.
-    ///
-    /// Returns `(qubo, n_slack_bits)`; decision variables come first.
-    pub fn to_qubo(&self, penalty: f64) -> (Qubo, usize) {
+impl QuboProblem for IndexSelection {
+    /// Decision bits only (one per candidate); slack bits are internal.
+    type Solution = Vec<bool>;
+
+    fn name(&self) -> &'static str {
+        "index-selection"
+    }
+
+    /// Decision variables followed by budget slack bits.
+    fn n_vars(&self) -> usize {
+        self.n() + self.slack_bits()
+    }
+
+    /// Minimize `−benefit + overlaps` with a slack-bit budget penalty
+    /// `P·(Σ sizeᵢxᵢ + Σ 2ᵏsₖ − budget)²`; decision variables come first.
+    fn encode_with_constraints(&self, penalty: f64) -> (Qubo, Constraints) {
         let n = self.n();
-        // Slack range must cover the budget with unit granularity.
-        let slack_bits = (self.budget.max(1.0)).log2().ceil() as usize + 1;
+        let slack_bits = self.slack_bits();
         let mut b = QuboBuilder::new(n + slack_bits);
         for (i, c) in self.candidates.iter().enumerate() {
             b.linear(i, -c.benefit);
@@ -107,18 +127,20 @@ impl IndexSelection {
             weights.push((1u64 << k) as f64);
         }
         b.weighted_equality(&vars, &weights, self.budget, penalty);
-        (b.build(), slack_bits)
+        b.build_parts()
     }
 
-    /// A penalty that dominates the largest possible benefit swing.
-    pub fn auto_penalty(&self) -> f64 {
+    /// `2·Σ benefits + 10` — see [`crate::problem`].
+    fn auto_penalty(&self) -> f64 {
         let total: f64 = self.candidates.iter().map(|c| c.benefit).sum();
         2.0 * total + 10.0
     }
 
     /// Decodes a QUBO assignment: takes the decision bits, then drops
-    /// lowest benefit-density indexes until the budget holds.
-    pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
+    /// lowest benefit-density indexes until the budget holds. Slack bits
+    /// (anything past the first `n` entries) are ignored.
+    fn decode(&self, bits: &[bool]) -> Vec<bool> {
+        assert!(bits.len() >= self.n(), "assignment length");
         let mut selected: Vec<bool> = bits[..self.n()].to_vec();
         loop {
             let size: f64 = selected
@@ -146,9 +168,51 @@ impl IndexSelection {
         }
     }
 
+    /// Decision bits plus slack bits set to the unused budget, so a
+    /// feasible selection's penalty term vanishes (up to fractional-size
+    /// rounding).
+    fn encode_solution(&self, selected: &Self::Solution) -> Vec<bool> {
+        assert_eq!(selected.len(), self.n(), "selection length");
+        let size: f64 = selected
+            .iter()
+            .zip(&self.candidates)
+            .filter(|(&s, _)| s)
+            .map(|(_, c)| c.size)
+            .sum();
+        let weights: Vec<f64> = (0..self.slack_bits()).map(|k| (1u64 << k) as f64).collect();
+        let slack = slack_assignment(&weights, (self.budget - size).max(0.0));
+        let mut bits = selected.clone();
+        bits.extend(slack);
+        bits
+    }
+
+    /// Negated net benefit (the portfolio minimizes).
+    fn objective(&self, selected: &Self::Solution) -> f64 {
+        -self
+            .evaluate(selected)
+            .expect("objective requires a budget-feasible selection")
+    }
+
+    /// Feasibility is defined on the decision bits alone: the selected
+    /// sizes must fit the budget. Slack bits are auxiliary — the sampler
+    /// aligns them with the residual on its own (the penalty forces it),
+    /// and decode ignores them.
+    fn is_feasible(&self, bits: &[bool]) -> bool {
+        if bits.len() != self.n_vars() {
+            return false;
+        }
+        let size: f64 = bits[..self.n()]
+            .iter()
+            .zip(&self.candidates)
+            .filter(|(&s, _)| s)
+            .map(|(_, c)| c.size)
+            .sum();
+        size <= self.budget + 1e-9
+    }
+
     /// Greedy baseline: add candidates by benefit/size density while the
     /// budget allows (re-evaluating interactions en route).
-    pub fn solve_greedy(&self) -> (Vec<bool>, f64) {
+    fn greedy_baseline(&self) -> (Self::Solution, f64) {
         let n = self.n();
         let mut selected = vec![false; n];
         let mut remaining = self.budget;
@@ -175,11 +239,11 @@ impl IndexSelection {
             remaining -= self.candidates[i].size;
         }
         let value = self.evaluate(&selected).expect("greedy stays in budget");
-        (selected, value)
+        (selected, -value)
     }
 
     /// Exhaustive optimum (`n ≤ 20`).
-    pub fn solve_exhaustive(&self) -> (Vec<bool>, f64) {
+    fn exhaustive_baseline(&self) -> (Self::Solution, f64) {
         let n = self.n();
         assert!(n <= 20, "exhaustive index selection too large");
         let mut best_sel = vec![false; n];
@@ -193,47 +257,16 @@ impl IndexSelection {
                 }
             }
         }
-        (best_sel, best_val)
+        (best_sel, -best_val)
     }
-}
-
-/// Generates a TPC-H-flavoured instance: candidate indexes over a
-/// workload with per-table interaction overlaps.
-pub fn generate_instance(n_candidates: usize, budget_frac: f64, rng: &mut Rng64) -> IndexSelection {
-    assert!(n_candidates >= 2, "too few candidates");
-    let tables = ["lineitem", "orders", "customer", "part", "supplier"];
-    let mut candidates = Vec::with_capacity(n_candidates);
-    let mut total_size = 0.0;
-    for i in 0..n_candidates {
-        let table = tables[i % tables.len()];
-        let size = rng.uniform_range(50.0, 400.0).round();
-        let benefit = size * rng.uniform_range(0.3, 2.0);
-        total_size += size;
-        candidates.push(IndexCandidate {
-            name: format!("{table}.c{i}"),
-            size,
-            benefit: benefit.round(),
-        });
-    }
-    // Same-table candidates overlap.
-    let mut interactions = Vec::new();
-    for i in 0..n_candidates {
-        for j in (i + 1)..n_candidates {
-            if i % tables.len() == j % tables.len() {
-                let o =
-                    candidates[i].benefit.min(candidates[j].benefit) * rng.uniform_range(0.2, 0.6);
-                interactions.push((i, j, o.round()));
-            }
-        }
-    }
-    let budget = (total_size * budget_frac).round().max(1.0);
-    IndexSelection::new(candidates, interactions, budget)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::{IndexParams, InstanceGenerator};
     use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+    use qmldb_math::Rng64;
 
     fn small() -> IndexSelection {
         IndexSelection::new(
@@ -270,18 +303,22 @@ mod tests {
     #[test]
     fn exhaustive_avoids_overlapping_pair() {
         let s = small();
-        let (sel, val) = s.solve_exhaustive();
+        let (sel, obj) = s.exhaustive_baseline();
         // a + c (benefit 55, size 22 > budget) is infeasible; a + b gives
         // 38; a alone 30... best feasible pair is a+b = 38? size 20 ≤ 20 ✓.
-        assert_eq!(val, 38.0);
+        assert_eq!(-obj, 38.0);
         assert_eq!(sel, vec![true, true, false]);
     }
 
     #[test]
     fn greedy_respects_budget() {
         let mut rng = Rng64::new(2101);
-        let s = generate_instance(12, 0.4, &mut rng);
-        let (sel, _) = s.solve_greedy();
+        let s = IndexParams {
+            n_candidates: 12,
+            budget_frac: 0.4,
+        }
+        .generate(&mut rng);
+        let (sel, _) = s.greedy_baseline();
         assert!(s.evaluate(&sel).is_some());
     }
 
@@ -289,18 +326,26 @@ mod tests {
     fn greedy_never_beats_exhaustive() {
         let mut rng = Rng64::new(2103);
         for _ in 0..5 {
-            let s = generate_instance(10, 0.35, &mut rng);
-            let (_, greedy) = s.solve_greedy();
-            let (_, exact) = s.solve_exhaustive();
-            assert!(greedy <= exact + 1e-9);
+            let s = IndexParams {
+                n_candidates: 10,
+                budget_frac: 0.35,
+            }
+            .generate(&mut rng);
+            let (_, greedy) = s.greedy_baseline();
+            let (_, exact) = s.exhaustive_baseline();
+            assert!(greedy >= exact - 1e-9, "minimized objectives");
         }
     }
 
     #[test]
     fn annealed_qubo_is_competitive_with_exhaustive() {
         let mut rng = Rng64::new(2105);
-        let s = generate_instance(10, 0.4, &mut rng);
-        let (q, _slack) = s.to_qubo(s.auto_penalty());
+        let s = IndexParams {
+            n_candidates: 10,
+            budget_frac: 0.4,
+        }
+        .generate(&mut rng);
+        let q = s.encode(s.auto_penalty());
         let r = simulated_annealing(
             &q.to_ising(),
             &SaParams {
@@ -312,7 +357,8 @@ mod tests {
         );
         let sel = s.decode(&spins_to_bits(&r.spins));
         let val = s.evaluate(&sel).expect("decode must repair to feasible");
-        let (_, exact) = s.solve_exhaustive();
+        let (_, exact_obj) = s.exhaustive_baseline();
+        let exact = -exact_obj;
         assert!(val >= 0.85 * exact, "annealed {val} vs exhaustive {exact}");
     }
 
@@ -321,6 +367,19 @@ mod tests {
         let s = small();
         let sel = s.decode(&[true, true, true]);
         assert!(s.evaluate(&sel).is_some(), "repair must be feasible");
+    }
+
+    #[test]
+    fn encode_solution_zeroes_the_budget_penalty() {
+        let s = small();
+        let sel = vec![true, false, false]; // size 10, residual 10
+        let bits = s.encode_solution(&sel);
+        assert_eq!(bits.len(), s.n_vars());
+        assert!(s.is_feasible(&bits));
+        // With slack = residual the penalized energy equals the objective.
+        let q = s.encode(s.auto_penalty());
+        assert!((q.energy(&bits) - s.objective(&sel)).abs() < 1e-9);
+        assert_eq!(s.decode(&bits), sel);
     }
 
     #[test]

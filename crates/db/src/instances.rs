@@ -1,0 +1,241 @@
+//! Seeded instance generators for every QUBO workload.
+//!
+//! The four problems used to carry near-identical free-function
+//! `generate_instance` helpers; they now live behind one
+//! [`InstanceGenerator`] trait with per-problem parameter structs, so
+//! experiments, benches, and tests build instances the same way:
+//!
+//! ```
+//! use qmldb_db::instances::{InstanceGenerator, MqoParams};
+//! use qmldb_math::Rng64;
+//!
+//! let mut rng = Rng64::new(7);
+//! let m = MqoParams { n_queries: 4, plans_per: 3, sharing_density: 0.5 }.generate(&mut rng);
+//! assert_eq!(m.n_queries(), 4);
+//! ```
+//!
+//! The generator bodies are unchanged from the per-module originals —
+//! same RNG call order, so seeded experiment values carry over.
+
+use crate::index::{IndexCandidate, IndexSelection};
+use crate::mqo::MqoInstance;
+use crate::qubo_jo::JoinOrderQubo;
+use crate::query::{generate, Topology};
+use crate::txsched::TxSchedule;
+use qmldb_math::Rng64;
+
+/// A seeded random-instance generator for one problem family.
+pub trait InstanceGenerator {
+    /// The problem type produced.
+    type Problem;
+
+    /// Draws one instance from the parameterized distribution.
+    fn generate(&self, rng: &mut Rng64) -> Self::Problem;
+}
+
+/// Join-order instances: a random join graph of `n_rels` relations with
+/// the given topology (Steinbrunn-style cardinalities and selectivities).
+#[derive(Clone, Copy, Debug)]
+pub struct JoinOrderParams {
+    /// Join-graph shape.
+    pub topology: Topology,
+    /// Number of relations.
+    pub n_rels: usize,
+}
+
+impl InstanceGenerator for JoinOrderParams {
+    type Problem = JoinOrderQubo;
+
+    fn generate(&self, rng: &mut Rng64) -> JoinOrderQubo {
+        JoinOrderQubo::new(&generate(self.topology, self.n_rels, rng))
+    }
+}
+
+/// MQO instances with sharing-heavy structure: plan 0 of each query is
+/// slightly more expensive standalone but shares a common subexpression
+/// with plan 0 of other queries.
+#[derive(Clone, Copy, Debug)]
+pub struct MqoParams {
+    /// Number of queries in the batch.
+    pub n_queries: usize,
+    /// Alternative plans per query.
+    pub plans_per: usize,
+    /// Probability that a query pair shares a subexpression.
+    pub sharing_density: f64,
+}
+
+impl InstanceGenerator for MqoParams {
+    type Problem = MqoInstance;
+
+    fn generate(&self, rng: &mut Rng64) -> MqoInstance {
+        let (n_queries, plans_per) = (self.n_queries, self.plans_per);
+        assert!(n_queries >= 2 && plans_per >= 2, "instance too small");
+        let mut plan_costs = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            let base = rng.uniform_range(50.0, 150.0);
+            let mut plans: Vec<f64> = (0..plans_per)
+                .map(|_| base * rng.uniform_range(0.9, 1.4))
+                .collect();
+            // Plan 0 is the "sharing-friendly" plan: a bit pricier standalone.
+            plans[0] *= 1.15;
+            plan_costs.push(plans);
+        }
+        let mut savings = Vec::new();
+        for q1 in 0..n_queries {
+            for q2 in (q1 + 1)..n_queries {
+                if rng.chance(self.sharing_density) {
+                    let s = rng.uniform_range(20.0, 60.0);
+                    savings.push(((q1, 0), (q2, 0), s));
+                }
+            }
+        }
+        MqoInstance::new(plan_costs, savings)
+    }
+}
+
+/// TPC-H-flavoured index-selection instances: candidate indexes over a
+/// workload with per-table interaction overlaps.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexParams {
+    /// Number of candidate indexes.
+    pub n_candidates: usize,
+    /// Budget as a fraction of the total candidate size.
+    pub budget_frac: f64,
+}
+
+impl InstanceGenerator for IndexParams {
+    type Problem = IndexSelection;
+
+    fn generate(&self, rng: &mut Rng64) -> IndexSelection {
+        let n_candidates = self.n_candidates;
+        assert!(n_candidates >= 2, "too few candidates");
+        let tables = ["lineitem", "orders", "customer", "part", "supplier"];
+        let mut candidates = Vec::with_capacity(n_candidates);
+        let mut total_size = 0.0;
+        for i in 0..n_candidates {
+            let table = tables[i % tables.len()];
+            let size = rng.uniform_range(50.0, 400.0).round();
+            let benefit = size * rng.uniform_range(0.3, 2.0);
+            total_size += size;
+            candidates.push(IndexCandidate {
+                name: format!("{table}.c{i}"),
+                size,
+                benefit: benefit.round(),
+            });
+        }
+        // Same-table candidates overlap.
+        let mut interactions = Vec::new();
+        for i in 0..n_candidates {
+            for j in (i + 1)..n_candidates {
+                if i % tables.len() == j % tables.len() {
+                    let o = candidates[i].benefit.min(candidates[j].benefit)
+                        * rng.uniform_range(0.2, 0.6);
+                    interactions.push((i, j, o.round()));
+                }
+            }
+        }
+        let budget = (total_size * self.budget_frac).round().max(1.0);
+        IndexSelection::new(candidates, interactions, budget)
+    }
+}
+
+/// Transaction-scheduling instances: conflicts appear with `density` and
+/// weights uniform in `[1, 10]` (no balance term, no capacity).
+#[derive(Clone, Copy, Debug)]
+pub struct TxParams {
+    /// Number of transactions.
+    pub n_tx: usize,
+    /// Number of execution slots.
+    pub n_slots: usize,
+    /// Probability of a conflict between a transaction pair.
+    pub density: f64,
+}
+
+impl InstanceGenerator for TxParams {
+    type Problem = TxSchedule;
+
+    fn generate(&self, rng: &mut Rng64) -> TxSchedule {
+        let mut conflicts = Vec::new();
+        for i in 0..self.n_tx {
+            for j in (i + 1)..self.n_tx {
+                if rng.chance(self.density) {
+                    conflicts.push((i, j, rng.uniform_range(1.0, 10.0).round()));
+                }
+            }
+        }
+        TxSchedule::new(self.n_tx, self.n_slots, conflicts, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QuboProblem;
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let mk = || {
+            let mut rng = Rng64::new(99);
+            let jo = JoinOrderParams {
+                topology: Topology::Chain,
+                n_rels: 5,
+            }
+            .generate(&mut rng);
+            let m = MqoParams {
+                n_queries: 3,
+                plans_per: 2,
+                sharing_density: 0.5,
+            }
+            .generate(&mut rng);
+            let s = IndexParams {
+                n_candidates: 6,
+                budget_frac: 0.4,
+            }
+            .generate(&mut rng);
+            let t = TxParams {
+                n_tx: 5,
+                n_slots: 2,
+                density: 0.5,
+            }
+            .generate(&mut rng);
+            (jo, m, s, t)
+        };
+        let (jo1, m1, s1, t1) = mk();
+        let (jo2, m2, s2, t2) = mk();
+        assert_eq!(jo1.graph().cardinalities(), jo2.graph().cardinalities());
+        assert_eq!(m1.plan_costs, m2.plan_costs);
+        assert_eq!(s1.candidates, s2.candidates);
+        assert_eq!(t1.conflicts, t2.conflicts);
+    }
+
+    #[test]
+    fn generated_instances_expose_consistent_var_counts() {
+        let mut rng = Rng64::new(101);
+        let jo = JoinOrderParams {
+            topology: Topology::Star,
+            n_rels: 4,
+        }
+        .generate(&mut rng);
+        assert_eq!(jo.n_vars(), 16);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.5,
+        }
+        .generate(&mut rng);
+        assert_eq!(m.n_vars(), 12);
+        let s = IndexParams {
+            n_candidates: 8,
+            budget_frac: 0.4,
+        }
+        .generate(&mut rng);
+        assert_eq!(s.n_vars(), 8 + s.slack_bits());
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.4,
+        }
+        .generate(&mut rng);
+        assert_eq!(t.n_vars(), 18);
+    }
+}

@@ -5,10 +5,12 @@
 //! subexpressions, so the cost of executing two sharing plans together is
 //! less than the sum of their standalone costs. Choosing one plan per
 //! query to minimize total cost is NP-hard and maps naturally onto
-//! one-hot QUBO variables with negative quadratic "sharing" terms.
+//! one-hot QUBO variables with negative quadratic "sharing" terms. The
+//! encode/decode/repair pipeline lives in the [`QuboProblem`]
+//! implementation.
 
-use qmldb_anneal::{Qubo, QuboBuilder};
-use qmldb_math::Rng64;
+use crate::problem::QuboProblem;
+use qmldb_anneal::{Constraints, Qubo, QuboBuilder};
 
 /// An MQO problem instance.
 #[derive(Clone, Debug)]
@@ -47,11 +49,6 @@ impl MqoInstance {
         self.plan_costs.len()
     }
 
-    /// Total binary variables in the QUBO encoding.
-    pub fn n_vars(&self) -> usize {
-        self.plan_costs.iter().map(Vec::len).sum()
-    }
-
     /// Flat variable index of `(query, plan)`.
     pub fn var(&self, q: usize, p: usize) -> usize {
         self.plan_costs[..q].iter().map(Vec::len).sum::<usize>() + p
@@ -72,9 +69,23 @@ impl MqoInstance {
         }
         total
     }
+}
 
-    /// Encodes the instance as a QUBO with one-hot penalties.
-    pub fn to_qubo(&self, penalty: f64) -> Qubo {
+impl QuboProblem for MqoInstance {
+    type Solution = Vec<usize>;
+
+    fn name(&self) -> &'static str {
+        "mqo"
+    }
+
+    /// One variable per `(query, plan)` pair (no slack bits).
+    fn n_vars(&self) -> usize {
+        self.plan_costs.iter().map(Vec::len).sum()
+    }
+
+    /// One-hot plan choice per query; sharing savings become negative
+    /// quadratic couplings between co-selected plans.
+    fn encode_with_constraints(&self, penalty: f64) -> (Qubo, Constraints) {
         let mut b = QuboBuilder::new(self.n_vars());
         for (q, plans) in self.plan_costs.iter().enumerate() {
             for (p, &c) in plans.iter().enumerate() {
@@ -86,11 +97,11 @@ impl MqoInstance {
         for &((q1, p1), (q2, p2), s) in &self.savings {
             b.quadratic(self.var(q1, p1), self.var(q2, p2), -s);
         }
-        b.build()
+        b.build_parts()
     }
 
-    /// A penalty that safely dominates the objective.
-    pub fn auto_penalty(&self) -> f64 {
+    /// `2(Σ max plan cost + Σ savings) + 10` — see [`crate::problem`].
+    fn auto_penalty(&self) -> f64 {
         let max_cost: f64 = self
             .plan_costs
             .iter()
@@ -102,7 +113,7 @@ impl MqoInstance {
 
     /// Decodes a QUBO assignment into a plan selection, repairing broken
     /// one-hot groups by picking the cheapest plan.
-    pub fn decode(&self, bits: &[bool]) -> Vec<usize> {
+    fn decode(&self, bits: &[bool]) -> Vec<usize> {
         assert_eq!(bits.len(), self.n_vars(), "assignment length");
         let mut selection = Vec::with_capacity(self.n_queries());
         for (q, plans) in self.plan_costs.iter().enumerate() {
@@ -123,9 +134,51 @@ impl MqoInstance {
         selection
     }
 
+    fn encode_solution(&self, selection: &Self::Solution) -> Vec<bool> {
+        assert_eq!(selection.len(), self.n_queries(), "selection length");
+        let mut bits = vec![false; self.n_vars()];
+        for (q, &p) in selection.iter().enumerate() {
+            bits[self.var(q, p)] = true;
+        }
+        bits
+    }
+
+    fn objective(&self, selection: &Self::Solution) -> f64 {
+        self.cost(selection)
+    }
+
+    fn is_feasible(&self, bits: &[bool]) -> bool {
+        if bits.len() != self.n_vars() {
+            return false;
+        }
+        self.plan_costs
+            .iter()
+            .enumerate()
+            .all(|(q, plans)| (0..plans.len()).filter(|&p| bits[self.var(q, p)]).count() == 1)
+    }
+
+    /// Greedy baseline: each query independently picks its cheapest
+    /// standalone plan (ignores sharing entirely).
+    fn greedy_baseline(&self) -> (Self::Solution, f64) {
+        let sel: Vec<usize> = self
+            .plan_costs
+            .iter()
+            .map(|plans| {
+                plans
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        let c = self.cost(&sel);
+        (sel, c)
+    }
+
     /// Exhaustive optimum over all plan combinations (product of plan
     /// counts must stay ≤ ~1e6).
-    pub fn solve_exhaustive(&self) -> (Vec<usize>, f64) {
+    fn exhaustive_baseline(&self) -> (Self::Solution, f64) {
         let combos: usize = self.plan_costs.iter().map(Vec::len).product();
         assert!(combos <= 1_000_000, "exhaustive MQO too large");
         let mut best = vec![0usize; self.n_queries()];
@@ -149,64 +202,14 @@ impl MqoInstance {
         }
         (best, best_cost)
     }
-
-    /// Greedy baseline: each query independently picks its cheapest
-    /// standalone plan (ignores sharing entirely).
-    pub fn solve_greedy(&self) -> (Vec<usize>, f64) {
-        let sel: Vec<usize> = self
-            .plan_costs
-            .iter()
-            .map(|plans| {
-                plans
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap()
-                    .0
-            })
-            .collect();
-        let c = self.cost(&sel);
-        (sel, c)
-    }
-}
-
-/// Generates a random MQO instance with `n_queries` queries, `plans_per`
-/// alternatives each, and sharing-heavy structure: plan 0 of each query is
-/// slightly more expensive standalone but shares a common subexpression
-/// with plan 0 of other queries.
-pub fn generate_instance(
-    n_queries: usize,
-    plans_per: usize,
-    sharing_density: f64,
-    rng: &mut Rng64,
-) -> MqoInstance {
-    assert!(n_queries >= 2 && plans_per >= 2, "instance too small");
-    let mut plan_costs = Vec::with_capacity(n_queries);
-    for _ in 0..n_queries {
-        let base = rng.uniform_range(50.0, 150.0);
-        let mut plans: Vec<f64> = (0..plans_per)
-            .map(|_| base * rng.uniform_range(0.9, 1.4))
-            .collect();
-        // Plan 0 is the "sharing-friendly" plan: a bit pricier standalone.
-        plans[0] *= 1.15;
-        plan_costs.push(plans);
-    }
-    let mut savings = Vec::new();
-    for q1 in 0..n_queries {
-        for q2 in (q1 + 1)..n_queries {
-            if rng.chance(sharing_density) {
-                let s = rng.uniform_range(20.0, 60.0);
-                savings.push(((q1, 0), (q2, 0), s));
-            }
-        }
-    }
-    MqoInstance::new(plan_costs, savings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::{InstanceGenerator, MqoParams};
     use qmldb_anneal::{simulated_annealing, solve_exact, spins_to_bits, SaParams};
+    use qmldb_math::Rng64;
 
     fn sharing_pays() -> MqoInstance {
         // Two queries; plan 0 costs 110 vs plan 1's 100, but co-selecting
@@ -228,10 +231,10 @@ mod tests {
     #[test]
     fn exhaustive_finds_sharing_optimum_greedy_misses() {
         let m = sharing_pays();
-        let (exact_sel, exact_cost) = m.solve_exhaustive();
+        let (exact_sel, exact_cost) = m.exhaustive_baseline();
         assert_eq!(exact_sel, vec![0, 0]);
         assert_eq!(exact_cost, 170.0);
-        let (greedy_sel, greedy_cost) = m.solve_greedy();
+        let (greedy_sel, greedy_cost) = m.greedy_baseline();
         assert_eq!(greedy_sel, vec![1, 1]);
         assert!(greedy_cost > exact_cost);
     }
@@ -239,11 +242,16 @@ mod tests {
     #[test]
     fn qubo_ground_state_matches_exhaustive() {
         let mut rng = Rng64::new(2001);
-        let m = generate_instance(4, 3, 0.7, &mut rng);
-        let q = m.to_qubo(m.auto_penalty());
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.7,
+        }
+        .generate(&mut rng);
+        let q = m.encode(m.auto_penalty());
         let sol = solve_exact(&q);
         let decoded = m.decode(&sol.bits);
-        let (_, exact_cost) = m.solve_exhaustive();
+        let (_, exact_cost) = m.exhaustive_baseline();
         assert!(
             (m.cost(&decoded) - exact_cost).abs() < 1e-9,
             "qubo {} vs exact {exact_cost}",
@@ -254,21 +262,29 @@ mod tests {
     #[test]
     fn qubo_energy_of_feasible_selection_equals_cost() {
         let mut rng = Rng64::new(2003);
-        let m = generate_instance(3, 2, 0.9, &mut rng);
-        let q = m.to_qubo(m.auto_penalty());
-        let sel = vec![0, 1, 0];
-        let mut bits = vec![false; m.n_vars()];
-        for (qq, &p) in sel.iter().enumerate() {
-            bits[m.var(qq, p)] = true;
+        let m = MqoParams {
+            n_queries: 3,
+            plans_per: 2,
+            sharing_density: 0.9,
         }
+        .generate(&mut rng);
+        let q = m.encode(m.auto_penalty());
+        let sel = vec![0, 1, 0];
+        let bits = m.encode_solution(&sel);
+        assert!(m.is_feasible(&bits));
         assert!((q.energy(&bits) - m.cost(&sel)).abs() < 1e-9);
     }
 
     #[test]
     fn annealer_matches_exhaustive_on_medium_instance() {
         let mut rng = Rng64::new(2005);
-        let m = generate_instance(6, 3, 0.5, &mut rng);
-        let q = m.to_qubo(m.auto_penalty());
+        let m = MqoParams {
+            n_queries: 6,
+            plans_per: 3,
+            sharing_density: 0.5,
+        }
+        .generate(&mut rng);
+        let q = m.encode(m.auto_penalty());
         let r = simulated_annealing(
             &q.to_ising(),
             &SaParams {
@@ -279,7 +295,7 @@ mod tests {
             &mut rng,
         );
         let decoded = m.decode(&spins_to_bits(&r.spins));
-        let (_, exact_cost) = m.solve_exhaustive();
+        let (_, exact_cost) = m.exhaustive_baseline();
         assert!(
             m.cost(&decoded) <= exact_cost * 1.05 + 1e-9,
             "annealed {} vs exact {exact_cost}",

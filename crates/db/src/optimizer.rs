@@ -1,20 +1,27 @@
-//! One-call join-order optimization facade.
+//! One-call optimization facade for every QUBO workload.
 //!
 //! Downstream code picks a [`Strategy`] and gets back a scored plan; the
-//! quantum strategies run the full QUBO pipeline internally. This is the
-//! adoption surface: swap `Strategy::ExactDp` for
-//! `Strategy::AnnealedQubo` without touching anything else.
+//! quantum strategies run the full QUBO pipeline internally through the
+//! solver [`Portfolio`]. This is the adoption surface: swap
+//! `Strategy::ExactDp` for `Strategy::AnnealedQubo` without touching
+//! anything else. The non-join workloads — MQO, index selection,
+//! transaction scheduling — are first-class here too via
+//! [`optimize_mqo`], [`optimize_index_selection`], and
+//! [`optimize_tx_schedule`].
 
+use crate::index::IndexSelection;
 use crate::joinorder::{
     goo, ikkbz, left_deep_cost, optimize_bushy, optimize_left_deep, random_orders, CostModel,
     JoinTree,
 };
+use crate::mqo::MqoInstance;
+use crate::portfolio::{Portfolio, PortfolioOutcome, Solver};
+use crate::problem::QuboProblem;
 use crate::qubo_jo::JoinOrderQubo;
 use crate::query::JoinGraph;
+use crate::txsched::TxSchedule;
 use qmldb_anneal::device::{AnnealerDevice, DeviceConfig};
-use qmldb_anneal::{
-    simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
-};
+use qmldb_anneal::{SaParams, SqaParams};
 use qmldb_math::Rng64;
 
 /// Available optimization strategies.
@@ -33,15 +40,21 @@ pub enum Strategy {
         /// Sample count.
         k: usize,
     },
-    /// QUBO + simulated annealing.
+    /// QUBO + simulated annealing (a single-member portfolio).
     AnnealedQubo {
         /// Annealing schedule.
         params: SaParams,
     },
-    /// QUBO + path-integral simulated quantum annealing.
+    /// QUBO + path-integral simulated quantum annealing (a single-member
+    /// portfolio).
     QuantumAnnealedQubo {
         /// Annealing schedule.
         params: SqaParams,
+    },
+    /// QUBO through an arbitrary solver portfolio.
+    Portfolio {
+        /// The lineup to run.
+        portfolio: Portfolio,
     },
     /// QUBO on the full simulated annealer device (Chimera embedding,
     /// chains, unembedding).
@@ -81,6 +94,24 @@ impl std::fmt::Display for OptimizeError {
 }
 
 impl std::error::Error for OptimizeError {}
+
+/// Runs a portfolio on the join-order QUBO and scores the decoded order
+/// under the requested cost model.
+fn portfolio_plan(
+    graph: &JoinGraph,
+    model: CostModel,
+    portfolio: &Portfolio,
+    strategy_name: &'static str,
+    rng: &mut Rng64,
+) -> OptimizedPlan {
+    let jo = JoinOrderQubo::new(graph);
+    let out = portfolio.solve(&jo, rng);
+    OptimizedPlan {
+        plan: JoinTree::left_deep(&out.solution),
+        cost: left_deep_cost(&out.solution, graph, model),
+        strategy_name,
+    }
+}
 
 /// Optimizes a join graph with the chosen strategy.
 pub fn optimize(
@@ -137,30 +168,22 @@ pub fn optimize(
             }
         }
         Strategy::AnnealedQubo { params } => {
-            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
-            let r = simulated_annealing(&jo.qubo().to_ising(), params, rng);
-            let order = jo.decode(&spins_to_bits(&r.spins));
-            OptimizedPlan {
-                plan: JoinTree::left_deep(&order),
-                cost: left_deep_cost(&order, graph, model),
-                strategy_name: "sa-qubo",
-            }
+            let p = Portfolio::single(Solver::Sa(*params));
+            portfolio_plan(graph, model, &p, "sa-qubo", rng)
         }
         Strategy::QuantumAnnealedQubo { params } => {
-            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
-            let r = simulated_quantum_annealing(&jo.qubo().to_ising(), params, rng);
-            let order = jo.decode(&spins_to_bits(&r.spins));
-            OptimizedPlan {
-                plan: JoinTree::left_deep(&order),
-                cost: left_deep_cost(&order, graph, model),
-                strategy_name: "sqa-qubo",
-            }
+            let p = Portfolio::single(Solver::Sqa(*params));
+            portfolio_plan(graph, model, &p, "sqa-qubo", rng)
+        }
+        Strategy::Portfolio { portfolio } => {
+            portfolio_plan(graph, model, portfolio, "portfolio", rng)
         }
         Strategy::Device { config } => {
-            let jo = JoinOrderQubo::encode(graph, JoinOrderQubo::auto_penalty(graph));
+            let jo = JoinOrderQubo::new(graph);
+            let qubo = jo.encode(jo.auto_penalty());
             let device = AnnealerDevice::new(config.clone());
             let r = device
-                .solve(jo.qubo(), rng)
+                .solve(&qubo, rng)
                 .map_err(|_| OptimizeError::DeviceFailed)?;
             let order = jo.decode(&r.bits);
             OptimizedPlan {
@@ -173,10 +196,43 @@ pub fn optimize(
     Ok(plan)
 }
 
+/// Optimizes a multiple-query-optimization instance through the portfolio:
+/// returns the chosen plan per query and the total cost after sharing.
+pub fn optimize_mqo(
+    instance: &MqoInstance,
+    portfolio: &Portfolio,
+    rng: &mut Rng64,
+) -> PortfolioOutcome<Vec<usize>> {
+    portfolio.solve(instance, rng)
+}
+
+/// Optimizes an index-selection instance through the portfolio: returns the
+/// selected candidate set; `objective` is the *negated* benefit (the
+/// portfolio minimizes), so negate it back for the benefit value.
+pub fn optimize_index_selection(
+    instance: &IndexSelection,
+    portfolio: &Portfolio,
+    rng: &mut Rng64,
+) -> PortfolioOutcome<Vec<bool>> {
+    portfolio.solve(instance, rng)
+}
+
+/// Optimizes a transaction schedule through the portfolio: returns the
+/// slot assignment per transaction and its conflict cost.
+pub fn optimize_tx_schedule(
+    instance: &TxSchedule,
+    portfolio: &Portfolio,
+    rng: &mut Rng64,
+) -> PortfolioOutcome<Vec<usize>> {
+    portfolio.solve(instance, rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::{IndexParams, InstanceGenerator, MqoParams, TxParams};
     use crate::query::{generate, Topology};
+    use qmldb_anneal::TabuParams;
 
     #[test]
     fn every_strategy_produces_a_complete_plan() {
@@ -201,6 +257,19 @@ mod tests {
                     restarts: 1,
                     ..SqaParams::default()
                 },
+            },
+            Strategy::Portfolio {
+                portfolio: Portfolio::new(vec![
+                    Solver::Sa(SaParams {
+                        sweeps: 400,
+                        restarts: 2,
+                        ..SaParams::default()
+                    }),
+                    Solver::Tabu(TabuParams {
+                        iters: 400,
+                        ..TabuParams::default()
+                    }),
+                ]),
             },
         ];
         for s in &strategies {
@@ -264,5 +333,42 @@ mod tests {
         .unwrap();
         assert_eq!(r.plan.relation_mask(), (1 << 4) - 1);
         assert_eq!(r.strategy_name, "annealer-device");
+    }
+
+    #[test]
+    fn workload_entry_points_return_feasible_solutions() {
+        let mut rng = Rng64::new(2909);
+        let p = Portfolio::single(Solver::Sa(SaParams {
+            sweeps: 400,
+            restarts: 2,
+            ..SaParams::default()
+        }));
+
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.5,
+        }
+        .generate(&mut rng);
+        let out = optimize_mqo(&m, &p, &mut rng);
+        assert!(m.is_feasible(&m.encode_solution(&out.solution)));
+
+        let s = IndexParams {
+            n_candidates: 8,
+            budget_frac: 0.4,
+        }
+        .generate(&mut rng);
+        let out = optimize_index_selection(&s, &p, &mut rng);
+        assert!(s.is_feasible(&s.encode_solution(&out.solution)));
+        assert!(-out.objective >= 0.0, "benefit must be non-negative");
+
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(&mut rng);
+        let out = optimize_tx_schedule(&t, &p, &mut rng);
+        assert!(t.is_feasible(&t.encode_solution(&out.solution)));
     }
 }

@@ -1,0 +1,479 @@
+//! The solver portfolio: one entry point from any [`QuboProblem`] to a
+//! feasible domain solution.
+//!
+//! Quantum-DB papers evaluate annealing formulations by running a
+//! *portfolio* of samplers under a common harness; this module is that
+//! harness. [`Portfolio::solve`] runs every applicable [`Solver`] —
+//! classical annealers, exact enumeration, and the gate-model bridges
+//! (QAOA, Grover minimum-finding) — under common random numbers, wraps
+//! each in the penalty-escalation loop, and returns the best feasible
+//! solution plus a per-solver report.
+//!
+//! # Feasibility guarantee
+//!
+//! Each solver attempt encodes at [`QuboProblem::auto_penalty`]; if the
+//! sample is infeasible the penalty doubles, up to
+//! `max_penalty_doublings` retries; if still infeasible the assignment is
+//! projected onto the feasible set with [`QuboProblem::repair`]. Every
+//! [`SolverRun`] therefore carries a feasible solution — callers never
+//! tune penalties by hand and never see an infeasible answer.
+//!
+//! # Determinism
+//!
+//! Independent solver runs fan out over [`qmldb_math::par`]; one RNG
+//! stream is forked per portfolio member *serially, before dispatch*
+//! (including members inapplicable at this size, so streams don't shift
+//! when the problem grows), keeping results bit-identical for any
+//! `QMLDB_THREADS`.
+
+use crate::problem::QuboProblem;
+use crate::search::grover_minimum;
+use qmldb_anneal::{
+    parallel_tempering, simulated_annealing, simulated_quantum_annealing, solve_exact,
+    spins_to_bits, tabu_search, Qubo, SaParams, SqaParams, TabuParams, TemperingParams,
+};
+use qmldb_core::qaoa::Qaoa;
+use qmldb_math::{par, Rng64};
+
+/// One member of the solver portfolio.
+#[derive(Clone, Debug)]
+pub enum Solver {
+    /// Simulated annealing.
+    Sa(SaParams),
+    /// Path-integral simulated quantum annealing.
+    Sqa(SqaParams),
+    /// Tabu search (operates on the QUBO directly).
+    Tabu(TabuParams),
+    /// Parallel tempering.
+    Tempering(TemperingParams),
+    /// Exact Gray-code enumeration (`n ≤ 26`) — ground truth.
+    ExactSpectrum,
+    /// Gate-model QAOA via the `core::qaoa` bridge (`n ≤ 14`).
+    Qaoa {
+        /// Circuit layers `p`.
+        layers: usize,
+        /// SPSA iterations.
+        iters: usize,
+        /// SPSA restarts.
+        restarts: usize,
+        /// Measurement shots for the final sample.
+        shots: usize,
+    },
+    /// Dürr–Høyer Grover minimum-finding (`n ≤ 14`).
+    GroverMin {
+        /// Threshold-descent rounds.
+        rounds: usize,
+    },
+}
+
+impl Solver {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Solver::Sa(_) => "sa",
+            Solver::Sqa(_) => "sqa",
+            Solver::Tabu(_) => "tabu",
+            Solver::Tempering(_) => "tempering",
+            Solver::ExactSpectrum => "exact",
+            Solver::Qaoa { .. } => "qaoa",
+            Solver::GroverMin { .. } => "grover",
+        }
+    }
+
+    /// Whether this solver can handle `n_vars` variables. The gate-model
+    /// members simulate `2^n` amplitudes and the exact member enumerates
+    /// `2^n` assignments, so both are capped.
+    pub fn applicable(&self, n_vars: usize) -> bool {
+        match self {
+            Solver::Sa(_) | Solver::Sqa(_) | Solver::Tabu(_) | Solver::Tempering(_) => true,
+            Solver::ExactSpectrum => n_vars <= 26,
+            Solver::Qaoa { .. } | Solver::GroverMin { .. } => n_vars <= 14,
+        }
+    }
+
+    /// Default QAOA member configuration.
+    pub fn default_qaoa() -> Solver {
+        Solver::Qaoa {
+            layers: 2,
+            iters: 60,
+            restarts: 2,
+            shots: 256,
+        }
+    }
+
+    /// Default Grover member configuration.
+    pub fn default_grover() -> Solver {
+        Solver::GroverMin { rounds: 20 }
+    }
+
+    /// Runs this solver on a QUBO and returns the sampled assignment.
+    fn sample(&self, qubo: &Qubo, rng: &mut Rng64) -> Vec<bool> {
+        match self {
+            Solver::Sa(p) => spins_to_bits(&simulated_annealing(&qubo.to_ising(), p, rng).spins),
+            Solver::Sqa(p) => {
+                spins_to_bits(&simulated_quantum_annealing(&qubo.to_ising(), p, rng).spins)
+            }
+            Solver::Tabu(p) => tabu_search(qubo, p, rng).bits,
+            Solver::Tempering(p) => {
+                spins_to_bits(&parallel_tempering(&qubo.to_ising(), p, rng).spins)
+            }
+            Solver::ExactSpectrum => solve_exact(qubo).bits,
+            Solver::Qaoa {
+                layers,
+                iters,
+                restarts,
+                shots,
+            } => {
+                let ising = qubo.to_ising();
+                let q = Qaoa::from_ising(
+                    qubo.n(),
+                    ising.fields(),
+                    ising.couplings(),
+                    ising.offset(),
+                    *layers,
+                );
+                let r = q.solve_spsa(*iters, *restarts, *shots, rng);
+                (0..qubo.n())
+                    .map(|i| r.best_bitstring & (1 << i) != 0)
+                    .collect()
+            }
+            Solver::GroverMin { rounds } => grover_minimum(qubo, *rounds, rng).bits,
+        }
+    }
+}
+
+/// One solver's outcome on one problem.
+#[derive(Clone, Debug)]
+pub struct SolverRun<S> {
+    /// Which solver produced it.
+    pub solver: &'static str,
+    /// The decoded (always feasible) solution.
+    pub solution: S,
+    /// Its domain objective (minimized).
+    pub objective: f64,
+    /// Penalty doublings beyond `auto_penalty` before the sample became
+    /// feasible (0 = first try).
+    pub penalty_doublings: usize,
+    /// True when the raw sample never became feasible and the greedy
+    /// repair projection produced the solution.
+    pub repaired: bool,
+    /// Constraint groups the final raw sample violated (0 unless
+    /// `repaired`).
+    pub violated_groups: usize,
+}
+
+/// The portfolio's best answer plus the per-solver report.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome<S> {
+    /// Best feasible solution across all runs.
+    pub solution: S,
+    /// Its domain objective (minimized).
+    pub objective: f64,
+    /// The solver that found it (first on ties, in portfolio order).
+    pub solver: &'static str,
+    /// Every solver's run, in portfolio order (inapplicable members are
+    /// skipped).
+    pub runs: Vec<SolverRun<S>>,
+}
+
+/// A lineup of solvers with a shared feasibility policy.
+#[derive(Clone, Debug)]
+pub struct Portfolio {
+    /// The members, in priority order (ties go to earlier members).
+    pub solvers: Vec<Solver>,
+    /// Penalty doublings to attempt before falling back to repair.
+    pub max_penalty_doublings: usize,
+}
+
+impl Portfolio {
+    /// A portfolio over the given members.
+    pub fn new(solvers: Vec<Solver>) -> Self {
+        assert!(!solvers.is_empty(), "empty portfolio");
+        Portfolio {
+            solvers,
+            max_penalty_doublings: 3,
+        }
+    }
+
+    /// A single-member portfolio.
+    pub fn single(solver: Solver) -> Self {
+        Portfolio::new(vec![solver])
+    }
+
+    /// The classical lineup: SA, SQA, tabu, tempering (any size).
+    pub fn classical() -> Self {
+        Portfolio::new(vec![
+            Solver::Sa(SaParams::default()),
+            Solver::Sqa(SqaParams::default()),
+            Solver::Tabu(TabuParams::default()),
+            Solver::Tempering(TemperingParams::default()),
+        ])
+    }
+
+    /// The full lineup: classical plus exact enumeration and the
+    /// gate-model bridges (which only engage on small instances).
+    pub fn full() -> Self {
+        let mut p = Portfolio::classical();
+        p.solvers.push(Solver::ExactSpectrum);
+        p.solvers.push(Solver::default_qaoa());
+        p.solvers.push(Solver::default_grover());
+        p
+    }
+
+    /// Overrides the penalty-escalation budget.
+    pub fn with_max_penalty_doublings(mut self, n: usize) -> Self {
+        self.max_penalty_doublings = n;
+        self
+    }
+
+    /// Runs every applicable solver on `problem` under common random
+    /// numbers and returns the best feasible solution. Solver runs fan
+    /// out over the parallel layer; results are bit-identical for any
+    /// `QMLDB_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// When no portfolio member can handle the problem size.
+    pub fn solve<P>(&self, problem: &P, rng: &mut Rng64) -> PortfolioOutcome<P::Solution>
+    where
+        P: QuboProblem + Sync,
+        P::Solution: Send,
+    {
+        let n = problem.n_vars();
+        assert!(
+            self.solvers.iter().any(|s| s.applicable(n)),
+            "no portfolio member can handle {n} variables"
+        );
+        // One stream per member — applicable or not, so adding variables
+        // never shifts a neighbour's stream.
+        let runs: Vec<Option<SolverRun<P::Solution>>> =
+            par::map_rng(&self.solvers, rng, |_, solver, stream| {
+                solver
+                    .applicable(n)
+                    .then(|| run_one(problem, solver, self.max_penalty_doublings, stream))
+            });
+        let runs: Vec<SolverRun<P::Solution>> = runs.into_iter().flatten().collect();
+        let best = runs
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| {
+                a.objective
+                    .partial_cmp(&b.objective)
+                    .unwrap()
+                    .then(ai.cmp(bi))
+            })
+            .map(|(i, _)| i)
+            .expect("at least one applicable solver ran");
+        PortfolioOutcome {
+            solution: runs[best].solution.clone(),
+            objective: runs[best].objective,
+            solver: runs[best].solver,
+            runs,
+        }
+    }
+}
+
+/// One solver through the penalty-escalation + repair loop.
+fn run_one<P: QuboProblem>(
+    problem: &P,
+    solver: &Solver,
+    max_doublings: usize,
+    rng: &mut Rng64,
+) -> SolverRun<P::Solution> {
+    let mut penalty = problem.auto_penalty();
+    let mut last_bits: Option<Vec<bool>> = None;
+    let mut last_constraints = None;
+    for doubling in 0..=max_doublings {
+        let (qubo, constraints) = problem.encode_with_constraints(penalty);
+        let bits = solver.sample(&qubo, rng);
+        if problem.is_feasible(&bits) {
+            let solution = problem.decode(&bits);
+            let objective = problem.objective(&solution);
+            return SolverRun {
+                solver: solver.name(),
+                solution,
+                objective,
+                penalty_doublings: doubling,
+                repaired: false,
+                violated_groups: 0,
+            };
+        }
+        last_bits = Some(bits);
+        last_constraints = Some(constraints);
+        penalty *= 2.0;
+    }
+    // Last resort: project the final sample onto the feasible set.
+    let raw = last_bits.expect("at least one attempt ran");
+    let violated_groups = last_constraints
+        .expect("constraints recorded")
+        .n_violated(&raw);
+    let repaired_bits = problem.repair(&raw);
+    debug_assert!(problem.is_feasible(&repaired_bits), "repair contract");
+    let solution = problem.decode(&repaired_bits);
+    let objective = problem.objective(&solution);
+    SolverRun {
+        solver: solver.name(),
+        solution,
+        objective,
+        penalty_doublings: max_doublings,
+        repaired: true,
+        violated_groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{InstanceGenerator, MqoParams, TxParams};
+    use crate::qubo_jo::JoinOrderQubo;
+    use crate::query::JoinGraph;
+
+    fn quick_classical() -> Portfolio {
+        Portfolio::new(vec![
+            Solver::Sa(SaParams {
+                sweeps: 400,
+                restarts: 2,
+                ..SaParams::default()
+            }),
+            Solver::Tabu(TabuParams {
+                iters: 400,
+                ..TabuParams::default()
+            }),
+        ])
+    }
+
+    #[test]
+    fn portfolio_solves_all_four_problems_feasibly() {
+        let mut rng = Rng64::new(3001);
+        let p = quick_classical();
+
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut rng);
+        let out = p.solve(&m, &mut rng);
+        assert!(m.is_feasible(&m.encode_solution(&out.solution)));
+        let (_, exact) = m.exhaustive_baseline();
+        assert!(out.objective >= exact - 1e-9);
+
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(&mut rng);
+        let out = p.solve(&t, &mut rng);
+        assert!(t.is_feasible(&t.encode_solution(&out.solution)));
+
+        let g = JoinGraph::new(
+            vec![1000.0, 10.0, 500.0, 2000.0],
+            vec![(0, 1, 0.01), (1, 2, 0.02), (2, 3, 0.001)],
+        );
+        let jo = JoinOrderQubo::new(&g);
+        let out = p.solve(&jo, &mut rng);
+        assert!(jo.is_feasible(&jo.encode_solution(&out.solution)));
+        assert_eq!(out.runs.len(), 2);
+    }
+
+    #[test]
+    fn exact_member_reaches_the_ground_objective() {
+        let mut rng = Rng64::new(3003);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.7,
+        }
+        .generate(&mut rng);
+        let p = Portfolio::single(Solver::ExactSpectrum);
+        let out = p.solve(&m, &mut rng);
+        let (_, exact) = m.exhaustive_baseline();
+        assert!(
+            (out.objective - exact).abs() < 1e-9,
+            "exact member {} vs exhaustive {exact}",
+            out.objective
+        );
+        assert_eq!(out.solver, "exact");
+        assert!(!out.runs[0].repaired);
+    }
+
+    #[test]
+    fn gate_model_members_engage_only_on_small_instances() {
+        let mut rng = Rng64::new(3005);
+        // 3 relations → 9 vars: QAOA and Grover applicable.
+        let g = JoinGraph::new(vec![100.0, 10.0, 50.0], vec![(0, 1, 0.1), (1, 2, 0.05)]);
+        let jo = JoinOrderQubo::new(&g);
+        let p = Portfolio::new(vec![
+            Solver::Qaoa {
+                layers: 1,
+                iters: 25,
+                restarts: 1,
+                shots: 128,
+            },
+            Solver::GroverMin { rounds: 12 },
+        ]);
+        let out = p.solve(&jo, &mut rng);
+        assert_eq!(out.runs.len(), 2);
+        assert!(jo.is_feasible(&jo.encode_solution(&out.solution)));
+
+        // 6 relations → 36 vars: both skipped, portfolio must panic.
+        let mut big_rng = Rng64::new(3007);
+        let big = crate::instances::JoinOrderParams {
+            topology: crate::query::Topology::Chain,
+            n_rels: 6,
+        }
+        .generate(&mut big_rng);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.solve(&big, &mut big_rng)));
+        assert!(result.is_err(), "oversized gate-model-only portfolio");
+    }
+
+    #[test]
+    fn escalation_recovers_from_a_hopeless_starting_penalty() {
+        // A problem whose auto_penalty we undercut on purpose by wrapping:
+        // run with zero doublings and force repair, then with doublings
+        // and observe a feasible-unrepaired result. Tempering with almost
+        // no sweeps on a hard instance gives infeasible raw samples often
+        // enough; instead, test the repair path deterministically via an
+        // adversarial solver budget.
+        let mut rng = Rng64::new(3009);
+        let t = TxParams {
+            n_tx: 5,
+            n_slots: 3,
+            density: 0.7,
+        }
+        .generate(&mut rng);
+        // One SA sweep at frozen temperature: the sample is essentially
+        // random, so across the escalation loop feasibility may need the
+        // repair fallback — either way the outcome must be feasible.
+        let p = Portfolio::single(Solver::Sa(SaParams {
+            sweeps: 1,
+            restarts: 1,
+            t_start_factor: 1e-6,
+            t_end_factor: 1e-9,
+        }))
+        .with_max_penalty_doublings(1);
+        let out = p.solve(&t, &mut rng);
+        assert!(t.is_feasible(&t.encode_solution(&out.solution)));
+        let run = &out.runs[0];
+        assert!(run.repaired || run.penalty_doublings <= 1);
+    }
+
+    #[test]
+    fn ties_go_to_the_earlier_member() {
+        let mut rng = Rng64::new(3011);
+        let m = MqoParams {
+            n_queries: 3,
+            plans_per: 2,
+            sharing_density: 0.8,
+        }
+        .generate(&mut rng);
+        // Two exact members: identical objectives, first one must win.
+        let p = Portfolio::new(vec![Solver::ExactSpectrum, Solver::ExactSpectrum]);
+        let out = p.solve(&m, &mut rng);
+        assert_eq!(out.runs.len(), 2);
+        assert_eq!(out.objective, out.runs[0].objective);
+        assert_eq!(out.solver, "exact");
+    }
+}

@@ -1,0 +1,116 @@
+//! The unified QUBO problem abstraction.
+//!
+//! The tutorial's "opportunities" thesis is that join ordering, MQO, index
+//! selection, and transaction scheduling all reduce to the *same*
+//! QUBO/Ising pipeline: encode with penalties, hand to a sampler, decode
+//! with repair, re-score in the original domain. [`QuboProblem`] is that
+//! pipeline as a trait; every db workload implements it, and the solver
+//! portfolio ([`crate::portfolio`]) runs any implementor end to end.
+//!
+//! # Penalty bounds
+//!
+//! `auto_penalty` must return a weight `P` such that violating any single
+//! constraint by one unit costs more than the largest achievable objective
+//! improvement — otherwise the sampler trades feasibility for objective.
+//! Every implementation uses a `2·(max objective swing) + 10` bound, where
+//! the swing is a per-problem upper bound on `|objective|` over feasible
+//! points (the `+10` keeps degenerate all-zero instances safely
+//! constrained):
+//!
+//! * **join order** — `2n(n·max log-cardinality + Σ|log selectivity|) + 10`:
+//!   each of the `n²` position terms is at most `n·max(log card)` and every
+//!   edge term is bounded by its log-selectivity magnitude times the prefix
+//!   count.
+//! * **MQO** — `2(Σ max plan cost + Σ savings) + 10`: the cost of any
+//!   selection is below the sum of per-query maxima; savings only subtract.
+//! * **index selection** — `2·Σ benefits + 10`: net benefit can never
+//!   exceed the sum of all candidate benefits.
+//! * **tx scheduling** — `2(Σ conflict weights + balance·n_tx²) + 10`: all
+//!   conflicts co-scheduled plus the worst-case balance term.
+
+use qmldb_anneal::{solve_exact, Constraints, Qubo};
+
+/// A combinatorial problem with a QUBO encoding, a domain decoder, and a
+/// feasibility structure. Implementors get the whole solver portfolio
+/// ([`crate::portfolio::Portfolio`]) for free.
+///
+/// # Contract
+///
+/// * `decode` accepts **any** `n_vars`-bit assignment and must return a
+///   feasible domain solution (greedy repair is part of decoding).
+/// * `encode_solution ∘ decode` is the canonical repair: the default
+///   [`QuboProblem::repair`] is exactly that round trip, and must satisfy
+///   [`QuboProblem::is_feasible`].
+/// * On feasible encoded points the QUBO energy at zero penalty equals the
+///   objective (up to slack-residual rounding), so energy ordering and
+///   objective ordering agree — property-tested in
+///   `crates/db/tests/problem_pipeline.rs`.
+pub trait QuboProblem {
+    /// The domain solution type (a permutation, a plan selection, …).
+    type Solution: Clone;
+
+    /// Short stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Total binary variables in the encoding, including any slack bits.
+    fn n_vars(&self) -> usize;
+
+    /// Encodes the problem with constraint penalty weight `penalty`,
+    /// returning the QUBO together with the recorded constraint groups
+    /// (consumed by feasibility reporting and repair diagnostics).
+    fn encode_with_constraints(&self, penalty: f64) -> (Qubo, Constraints);
+
+    /// Encodes the problem as a QUBO with the given penalty weight.
+    fn encode(&self, penalty: f64) -> Qubo {
+        self.encode_with_constraints(penalty).0
+    }
+
+    /// A penalty weight that safely dominates the objective (see the
+    /// module docs for the bound each implementation uses).
+    fn auto_penalty(&self) -> f64;
+
+    /// Decodes an assignment into a domain solution, greedily repairing
+    /// any constraint violations.
+    fn decode(&self, bits: &[bool]) -> Self::Solution;
+
+    /// Encodes a domain solution back into an assignment (setting slack
+    /// bits so that a feasible solution's penalty terms vanish).
+    fn encode_solution(&self, solution: &Self::Solution) -> Vec<bool>;
+
+    /// The domain objective, **minimized**. For benefit-maximization
+    /// problems this is the negated benefit.
+    fn objective(&self, solution: &Self::Solution) -> f64;
+
+    /// True when the assignment satisfies every constraint on the decision
+    /// variables (slack bits are auxiliary and not checked).
+    fn is_feasible(&self, bits: &[bool]) -> bool {
+        bits.len() == self.n_vars() && self.encode_with_constraints(1.0).1.all_satisfied(bits)
+    }
+
+    /// Projects an arbitrary assignment onto the feasible set by decoding
+    /// (with repair) and re-encoding. The result always satisfies
+    /// [`QuboProblem::is_feasible`].
+    fn repair(&self, bits: &[bool]) -> Vec<bool> {
+        self.encode_solution(&self.decode(bits))
+    }
+
+    /// A cheap feasible baseline: by default, decode the all-zero
+    /// assignment (pure repair). Implementations override this with their
+    /// domain greedy heuristic. Returns `(solution, objective)`.
+    fn greedy_baseline(&self) -> (Self::Solution, f64) {
+        let sol = self.decode(&vec![false; self.n_vars()]);
+        let obj = self.objective(&sol);
+        (sol, obj)
+    }
+
+    /// The exact optimum by enumeration; ground truth for gap reporting on
+    /// small instances. The default enumerates the penalized QUBO
+    /// (`n_vars ≤ 26`); implementations override with their (much smaller)
+    /// domain solution spaces. Returns `(solution, objective)`.
+    fn exhaustive_baseline(&self) -> (Self::Solution, f64) {
+        let sol = solve_exact(&self.encode(self.auto_penalty()));
+        let decoded = self.decode(&sol.bits);
+        let obj = self.objective(&decoded);
+        (decoded, obj)
+    }
+}

@@ -12,28 +12,81 @@
 //!
 //! Minimizing the sum of log-sizes instead of sizes is the standard
 //! QUBO-compatible surrogate (products become sums); decoded orders are
-//! always re-scored with the true cost model before any comparison.
+//! always re-scored with the true cost model before any comparison. The
+//! full pipeline (encode → solve → decode → repair) lives in the
+//! [`QuboProblem`] implementation, so join ordering runs through the same
+//! solver portfolio as every other workload.
 
 use crate::joinorder::tree::{left_deep_cost, CostModel};
+use crate::problem::QuboProblem;
 use crate::query::JoinGraph;
-use qmldb_anneal::{Qubo, QuboBuilder};
+use qmldb_anneal::{Constraints, Qubo, QuboBuilder};
 
-/// A QUBO encoding of a left-deep join-ordering instance.
+/// Left-deep join ordering as a [`QuboProblem`]: holds the join graph and
+/// derives the `n²`-variable position encoding from it on demand.
 #[derive(Clone, Debug)]
 pub struct JoinOrderQubo {
+    graph: JoinGraph,
     n: usize,
-    qubo: Qubo,
-    penalty: f64,
 }
 
 impl JoinOrderQubo {
-    /// Encodes `graph` with the given constraint penalty weight. The
-    /// penalty must dominate objective differences; [`Self::auto_penalty`]
-    /// computes a safe value.
-    pub fn encode(graph: &JoinGraph, penalty: f64) -> Self {
+    /// Wraps a join graph (≥ 2 relations) as a QUBO problem.
+    pub fn new(graph: &JoinGraph) -> Self {
         let n = graph.n_rels();
         assert!(n >= 2, "need at least 2 relations");
-        let var = |r: usize, p: usize| r * n + p;
+        JoinOrderQubo {
+            graph: graph.clone(),
+            n,
+        }
+    }
+
+    /// The underlying join graph.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+
+    /// Number of relations.
+    pub fn n_rels(&self) -> usize {
+        self.n
+    }
+
+    fn var(&self, r: usize, p: usize) -> usize {
+        r * self.n + p
+    }
+
+    /// Encodes a permutation as an assignment (the inverse of
+    /// [`QuboProblem::decode`] on feasible points).
+    pub fn encode_order(&self, order: &[usize]) -> Vec<bool> {
+        let n = self.n;
+        assert_eq!(order.len(), n);
+        let mut bits = vec![false; n * n];
+        for (p, &r) in order.iter().enumerate() {
+            bits[r * n + p] = true;
+        }
+        bits
+    }
+
+    /// Re-scores a decoded order with the true cost model.
+    pub fn true_cost(&self, order: &[usize], model: CostModel) -> f64 {
+        left_deep_cost(order, &self.graph, model)
+    }
+}
+
+impl QuboProblem for JoinOrderQubo {
+    type Solution = Vec<usize>;
+
+    fn name(&self) -> &'static str {
+        "join-order"
+    }
+
+    /// `n²` position variables (no slack bits).
+    fn n_vars(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn encode_with_constraints(&self, penalty: f64) -> (Qubo, Constraints) {
+        let n = self.n;
         let mut b = QuboBuilder::new(n * n);
 
         // Prefix-weight: number of prefixes T_p (p = 1..n-1) containing a
@@ -42,69 +95,57 @@ impl JoinOrderQubo {
 
         // Linear objective: relation cardinalities.
         for r in 0..n {
-            let lr = graph.cardinality(r).ln();
+            let lr = self.graph.cardinality(r).ln();
             for a in 0..n {
-                b.linear(var(r, a), w(a) * lr);
+                b.linear(self.var(r, a), w(a) * lr);
             }
         }
         // Quadratic objective: edge selectivities.
-        for &(u, v, s) in graph.edges() {
+        for &(u, v, s) in self.graph.edges() {
             let ls = s.ln(); // negative
             for a in 0..n {
                 for bb in 0..n {
                     let m = a.max(bb);
-                    b.quadratic(var(u, a), var(v, bb), w(m) * ls);
+                    b.quadratic(self.var(u, a), self.var(v, bb), w(m) * ls);
                 }
             }
         }
         // One-hot constraints: each relation gets one position, each
         // position one relation.
         for r in 0..n {
-            let row: Vec<usize> = (0..n).map(|p| var(r, p)).collect();
+            let row: Vec<usize> = (0..n).map(|p| self.var(r, p)).collect();
             b.one_hot(&row, penalty);
         }
         for p in 0..n {
-            let col: Vec<usize> = (0..n).map(|r| var(r, p)).collect();
+            let col: Vec<usize> = (0..n).map(|r| self.var(r, p)).collect();
             b.one_hot(&col, penalty);
         }
-        JoinOrderQubo {
-            n,
-            qubo: b.build(),
-            penalty,
-        }
+        b.build_parts()
     }
 
-    /// A safe penalty: exceeds the largest possible objective magnitude.
-    pub fn auto_penalty(graph: &JoinGraph) -> f64 {
-        let n = graph.n_rels() as f64;
-        let max_lr: f64 = graph
+    /// `2n(n·max log-cardinality + Σ|log selectivity|) + 10` — see the
+    /// [`crate::problem`] docs for the derivation.
+    fn auto_penalty(&self) -> f64 {
+        let n = self.n as f64;
+        let max_lr: f64 = self
+            .graph
             .cardinalities()
             .iter()
             .map(|c| c.ln())
             .fold(0.0, f64::max);
-        let sum_abs_ls: f64 = graph.edges().iter().map(|&(_, _, s)| s.ln().abs()).sum();
+        let sum_abs_ls: f64 = self
+            .graph
+            .edges()
+            .iter()
+            .map(|&(_, _, s)| s.ln().abs())
+            .sum();
         2.0 * n * (n * max_lr + sum_abs_ls) + 10.0
-    }
-
-    /// Number of binary variables (`n²`).
-    pub fn n_vars(&self) -> usize {
-        self.n * self.n
-    }
-
-    /// The underlying QUBO.
-    pub fn qubo(&self) -> &Qubo {
-        &self.qubo
-    }
-
-    /// The penalty weight used.
-    pub fn penalty(&self) -> f64 {
-        self.penalty
     }
 
     /// Decodes an assignment into a permutation, repairing constraint
     /// violations greedily (unassigned positions are filled with the
-    /// remaining relations in index order). Returns the permutation.
-    pub fn decode(&self, bits: &[bool]) -> Vec<usize> {
+    /// remaining relations in index order).
+    fn decode(&self, bits: &[bool]) -> Vec<usize> {
         assert_eq!(bits.len(), self.n * self.n, "assignment length");
         let n = self.n;
         let mut order: Vec<Option<usize>> = vec![None; n];
@@ -140,9 +181,39 @@ impl JoinOrderQubo {
         out
     }
 
+    fn encode_solution(&self, order: &Self::Solution) -> Vec<bool> {
+        self.encode_order(order)
+    }
+
+    /// The log-space objective `Σ_{p≥1} log|T_p|` computed directly on the
+    /// permutation — exactly the penalty-free QUBO energy of the encoded
+    /// order (property-tested), without building the QUBO.
+    fn objective(&self, order: &Self::Solution) -> f64 {
+        assert_eq!(order.len(), self.n);
+        let mut in_prefix = vec![false; self.n];
+        let mut log_size = 0.0;
+        let mut total = 0.0;
+        for (pos, &r) in order.iter().enumerate() {
+            log_size += self.graph.cardinality(r).ln();
+            for &(u, v, s) in self.graph.edges() {
+                if (u == r && in_prefix[v]) || (v == r && in_prefix[u]) {
+                    log_size += s.ln();
+                }
+            }
+            in_prefix[r] = true;
+            if pos >= 1 {
+                total += log_size;
+            }
+        }
+        total
+    }
+
     /// True when the assignment satisfies both one-hot families exactly.
-    pub fn is_feasible(&self, bits: &[bool]) -> bool {
+    fn is_feasible(&self, bits: &[bool]) -> bool {
         let n = self.n;
+        if bits.len() != n * n {
+            return false;
+        }
         for r in 0..n {
             if (0..n).filter(|&p| bits[r * n + p]).count() != 1 {
                 return false;
@@ -156,26 +227,49 @@ impl JoinOrderQubo {
         true
     }
 
-    /// Encodes a permutation as an assignment (for round-trip testing).
-    pub fn encode_order(&self, order: &[usize]) -> Vec<bool> {
-        let n = self.n;
-        assert_eq!(order.len(), n);
-        let mut bits = vec![false; n * n];
-        for (p, &r) in order.iter().enumerate() {
-            bits[r * n + p] = true;
+    /// Classic heuristic: join relations in ascending cardinality order.
+    fn greedy_baseline(&self) -> (Self::Solution, f64) {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by(|&a, &b| {
+            self.graph
+                .cardinality(a)
+                .partial_cmp(&self.graph.cardinality(b))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let obj = self.objective(&order);
+        (order, obj)
+    }
+
+    /// All `n!` permutations (`n ≤ 10`), minimizing the log-space proxy.
+    fn exhaustive_baseline(&self) -> (Self::Solution, f64) {
+        assert!(self.n <= 10, "exhaustive join ordering too large");
+        let mut order: Vec<usize> = (0..self.n).collect();
+        let mut best = order.clone();
+        let mut best_obj = self.objective(&order);
+        // Heap's algorithm, iterative.
+        let mut c = vec![0usize; self.n];
+        let mut i = 0;
+        while i < self.n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    order.swap(0, i);
+                } else {
+                    order.swap(c[i], i);
+                }
+                let obj = self.objective(&order);
+                if obj < best_obj {
+                    best_obj = obj;
+                    best = order.clone();
+                }
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
         }
-        bits
-    }
-
-    /// The log-space objective of a permutation (what the QUBO minimizes,
-    /// minus penalties).
-    pub fn log_objective(&self, order: &[usize]) -> f64 {
-        self.qubo.energy(&self.encode_order(order))
-    }
-
-    /// Re-scores a decoded order with the true cost model.
-    pub fn true_cost(&self, order: &[usize], graph: &JoinGraph, model: CostModel) -> f64 {
-        left_deep_cost(order, graph, model)
+        (best, best_obj)
     }
 }
 
@@ -191,7 +285,7 @@ mod tests {
     fn qubo_size_is_n_squared() {
         let mut rng = Rng64::new(1901);
         let g = generate(Topology::Chain, 5, &mut rng);
-        let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+        let jo = JoinOrderQubo::new(&g);
         assert_eq!(jo.n_vars(), 25);
     }
 
@@ -199,31 +293,48 @@ mod tests {
     fn feasible_assignments_have_lower_energy_than_infeasible() {
         let mut rng = Rng64::new(1903);
         let g = generate(Topology::Chain, 4, &mut rng);
-        let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+        let jo = JoinOrderQubo::new(&g);
+        let q = jo.encode(jo.auto_penalty());
         let feasible = jo.encode_order(&[0, 1, 2, 3]);
         let mut infeasible = feasible.clone();
         infeasible[0] = false; // drop relation 0 entirely
-        assert!(jo.qubo().energy(&feasible) < jo.qubo().energy(&infeasible));
+        assert!(q.energy(&feasible) < q.energy(&infeasible));
     }
 
     #[test]
-    fn log_objective_ranks_orders_like_log_cout() {
-        // The QUBO objective should prefer the same order as Σ log|T_p|.
+    fn objective_ranks_orders_like_log_cout() {
+        // The direct objective should prefer the same order as Σ log|T_p|.
         let g = crate::query::JoinGraph::new(
             vec![10_000.0, 5.0, 8_000.0],
             vec![(0, 1, 0.001), (1, 2, 0.001)],
         );
-        let jo = JoinOrderQubo::encode(&g, 0.0); // no penalty: pure objective
-        let good = jo.log_objective(&[1, 0, 2]);
-        let bad = jo.log_objective(&[0, 2, 1]);
+        let jo = JoinOrderQubo::new(&g);
+        let good = jo.objective(&vec![1, 0, 2]);
+        let bad = jo.objective(&vec![0, 2, 1]);
         assert!(good < bad, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn objective_equals_penalty_free_qubo_energy() {
+        let mut rng = Rng64::new(1911);
+        let g = generate(Topology::Cycle, 5, &mut rng);
+        let jo = JoinOrderQubo::new(&g);
+        let q = jo.encode(0.0); // no penalty: pure objective
+        for order in [vec![0, 1, 2, 3, 4], vec![4, 2, 0, 1, 3]] {
+            let direct = jo.objective(&order);
+            let via_qubo = q.energy(&jo.encode_order(&order));
+            assert!(
+                (direct - via_qubo).abs() < 1e-9,
+                "direct {direct} vs qubo {via_qubo}"
+            );
+        }
     }
 
     #[test]
     fn decode_round_trips_valid_orders() {
         let mut rng = Rng64::new(1905);
         let g = generate(Topology::Cycle, 6, &mut rng);
-        let jo = JoinOrderQubo::encode(&g, 1.0);
+        let jo = JoinOrderQubo::new(&g);
         let order = vec![3, 1, 5, 0, 2, 4];
         let bits = jo.encode_order(&order);
         assert!(jo.is_feasible(&bits));
@@ -234,7 +345,7 @@ mod tests {
     fn decode_repairs_broken_assignments() {
         let mut rng = Rng64::new(1907);
         let g = generate(Topology::Chain, 4, &mut rng);
-        let jo = JoinOrderQubo::encode(&g, 1.0);
+        let jo = JoinOrderQubo::new(&g);
         let bits = vec![false; 16]; // nothing assigned
         let order = jo.decode(&bits);
         let mut sorted = order.clone();
@@ -247,8 +358,8 @@ mod tests {
         let mut rng = Rng64::new(1909);
         for topo in [Topology::Chain, Topology::Star] {
             let g = generate(topo, 6, &mut rng);
-            let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-            let ising = jo.qubo().to_ising();
+            let jo = JoinOrderQubo::new(&g);
+            let ising = jo.encode(jo.auto_penalty()).to_ising();
             let r = simulated_annealing(
                 &ising,
                 &SaParams {
@@ -259,7 +370,7 @@ mod tests {
                 &mut rng,
             );
             let order = jo.decode(&spins_to_bits(&r.spins));
-            let annealed = jo.true_cost(&order, &g, CostModel::Cout);
+            let annealed = jo.true_cost(&order, CostModel::Cout);
             let (_, exact) = brute_force_left_deep(&g, CostModel::Cout);
             assert!(
                 annealed <= 5.0 * exact,
@@ -275,14 +386,37 @@ mod tests {
             vec![1000.0, 10.0, 500.0, 2000.0],
             vec![(0, 1, 0.01), (1, 2, 0.02), (2, 3, 0.001)],
         );
-        let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-        let sol = qmldb_anneal::solve_exact(jo.qubo());
+        let jo = JoinOrderQubo::new(&g);
+        let sol = qmldb_anneal::solve_exact(&jo.encode(jo.auto_penalty()));
         assert!(jo.is_feasible(&sol.bits), "ground state must be feasible");
         let order = jo.decode(&sol.bits);
         // The QUBO optimum minimizes the log-proxy; check it is close to
         // the true optimum (within a small factor on this easy instance).
         let (_, exact) = brute_force_left_deep(&g, CostModel::Cout);
-        let got = jo.true_cost(&order, &g, CostModel::Cout);
+        let got = jo.true_cost(&order, CostModel::Cout);
         assert!(got <= 3.0 * exact, "qubo order {got} vs exact {exact}");
+    }
+
+    #[test]
+    fn exhaustive_baseline_matches_encoded_ground_state() {
+        let mut rng = Rng64::new(1913);
+        let g = generate(Topology::Chain, 4, &mut rng);
+        let jo = JoinOrderQubo::new(&g);
+        let (order, obj) = jo.exhaustive_baseline();
+        let sol = qmldb_anneal::solve_exact(&jo.encode(jo.auto_penalty()));
+        let ground = jo.objective(&jo.decode(&sol.bits));
+        assert!((obj - ground).abs() < 1e-9);
+        assert!((jo.objective(&order) - obj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_baseline_orders_by_cardinality() {
+        let g = crate::query::JoinGraph::new(
+            vec![1000.0, 10.0, 500.0],
+            vec![(0, 1, 0.01), (1, 2, 0.02)],
+        );
+        let jo = JoinOrderQubo::new(&g);
+        let (order, _) = jo.greedy_baseline();
+        assert_eq!(order, vec![1, 2, 0]);
     }
 }

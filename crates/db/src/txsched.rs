@@ -5,9 +5,15 @@
 //! forces serialization penalties. Minimizing total conflict weight within
 //! slots — optionally with a load-balance term — is weighted graph
 //! coloring, a natural annealer workload (Bittner & Groppe style).
+//!
+//! Slots can optionally carry a hard capacity (`max_per_slot`), encoded
+//! with the builder's slack-based `at_most_k` reduction; decode repairs
+//! capacity overflows by migrating transactions to the least-conflicting
+//! slot with room. The full pipeline lives in the [`QuboProblem`]
+//! implementation.
 
-use qmldb_anneal::{Qubo, QuboBuilder};
-use qmldb_math::Rng64;
+use crate::problem::QuboProblem;
+use qmldb_anneal::{at_most_k_slack_weights, slack_assignment, Constraints, Qubo, QuboBuilder};
 
 /// A transaction-scheduling instance.
 #[derive(Clone, Debug)]
@@ -20,10 +26,12 @@ pub struct TxSchedule {
     pub conflicts: Vec<(usize, usize, f64)>,
     /// Weight of the load-balancing penalty (0 disables it).
     pub balance_weight: f64,
+    /// Optional hard cap on transactions per slot (`None` = uncapped).
+    pub max_per_slot: Option<usize>,
 }
 
 impl TxSchedule {
-    /// Validates and wraps an instance.
+    /// Validates and wraps an instance (no slot capacity).
     pub fn new(
         n_tx: usize,
         n_slots: usize,
@@ -40,7 +48,28 @@ impl TxSchedule {
             n_slots,
             conflicts,
             balance_weight,
+            max_per_slot: None,
         }
+    }
+
+    /// Adds a hard per-slot capacity. Must leave enough total room for
+    /// every transaction.
+    pub fn with_max_per_slot(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "capacity must be positive");
+        assert!(
+            cap * self.n_slots >= self.n_tx,
+            "capacity {cap} × {} slots cannot hold {} transactions",
+            self.n_slots,
+            self.n_tx
+        );
+        self.max_per_slot = Some(cap);
+        self
+    }
+
+    /// The capacity when it actually binds (`cap < n_tx`); a cap of
+    /// `n_tx` or more can never be violated and is treated as absent.
+    fn binding_capacity(&self) -> Option<usize> {
+        self.max_per_slot.filter(|&cap| cap < self.n_tx)
     }
 
     /// Flat variable index of `(transaction, slot)`.
@@ -48,13 +77,26 @@ impl TxSchedule {
         t * self.n_slots + s
     }
 
-    /// Total QUBO variables.
-    pub fn n_vars(&self) -> usize {
-        self.n_tx * self.n_slots
+    /// Slack variables per slot for the capacity constraint (0 when
+    /// uncapped).
+    fn capacity_slack_per_slot(&self) -> usize {
+        self.binding_capacity()
+            .map(|cap| at_most_k_slack_weights(cap).len())
+            .unwrap_or(0)
+    }
+
+    /// Slot loads of an assignment.
+    fn loads(&self, assignment: &[usize]) -> Vec<usize> {
+        let mut loads = vec![0usize; self.n_slots];
+        for &s in assignment {
+            loads[s] += 1;
+        }
+        loads
     }
 
     /// Conflict cost of an assignment (slot id per transaction), plus the
-    /// balance term if enabled.
+    /// balance term if enabled. Capacity is a hard constraint, not a cost
+    /// term.
     pub fn cost(&self, assignment: &[usize]) -> f64 {
         assert_eq!(assignment.len(), self.n_tx, "assignment length");
         assert!(assignment.iter().all(|&s| s < self.n_slots));
@@ -83,8 +125,34 @@ impl TxSchedule {
             .sum()
     }
 
-    /// Encodes as a QUBO with one-hot slot assignment per transaction.
-    pub fn to_qubo(&self, penalty: f64) -> Qubo {
+    /// Marginal conflict of placing `t` on slot `s` given `assignment`
+    /// (entries of `usize::MAX` mean unassigned).
+    fn marginal_conflict(&self, assignment: &[usize], t: usize, s: usize) -> f64 {
+        self.conflicts
+            .iter()
+            .filter(|&&(i, j, _)| (i == t && assignment[j] == s) || (j == t && assignment[i] == s))
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+}
+
+impl QuboProblem for TxSchedule {
+    type Solution = Vec<usize>;
+
+    fn name(&self) -> &'static str {
+        "tx-schedule"
+    }
+
+    /// `n_tx·n_slots` decision variables, plus per-slot capacity slack
+    /// bits when a binding `max_per_slot` is set.
+    fn n_vars(&self) -> usize {
+        self.n_tx * self.n_slots + self.n_slots * self.capacity_slack_per_slot()
+    }
+
+    /// One-hot slot choice per transaction; same-slot conflict couplings;
+    /// optional balance equality per slot; optional `at_most_k` capacity
+    /// per slot (slack-encoded).
+    fn encode_with_constraints(&self, penalty: f64) -> (Qubo, Constraints) {
         let mut b = QuboBuilder::new(self.n_vars());
         for t in 0..self.n_tx {
             let vars: Vec<usize> = (0..self.n_slots).map(|s| self.var(t, s)).collect();
@@ -103,20 +171,32 @@ impl TxSchedule {
                 b.weighted_equality(&vars, &weights, target, self.balance_weight);
             }
         }
-        b.build()
+        if let Some(cap) = self.binding_capacity() {
+            let sw = self.capacity_slack_per_slot();
+            let base = self.n_tx * self.n_slots;
+            for s in 0..self.n_slots {
+                let vars: Vec<usize> = (0..self.n_tx).map(|t| self.var(t, s)).collect();
+                let slack: Vec<usize> = (0..sw).map(|j| base + s * sw + j).collect();
+                b.at_most_k(&vars, &slack, cap, penalty);
+            }
+        }
+        b.build_parts()
     }
 
-    /// A penalty dominating all conflict + balance terms.
-    pub fn auto_penalty(&self) -> f64 {
+    /// `2(Σ conflict weights + balance·n_tx²) + 10` — see
+    /// [`crate::problem`].
+    fn auto_penalty(&self) -> f64 {
         let conflict_total: f64 = self.conflicts.iter().map(|&(_, _, w)| w).sum();
         let balance_max = self.balance_weight * (self.n_tx * self.n_tx) as f64;
         2.0 * (conflict_total + balance_max) + 10.0
     }
 
     /// Decodes an assignment, repairing broken one-hot groups by putting
-    /// the transaction on its least-conflicting slot.
-    pub fn decode(&self, bits: &[bool]) -> Vec<usize> {
+    /// the transaction on its least-conflicting slot (with room, when
+    /// capacity binds) and migrating transactions off overfull slots.
+    fn decode(&self, bits: &[bool]) -> Vec<usize> {
         assert_eq!(bits.len(), self.n_vars(), "assignment length");
+        let cap = self.binding_capacity();
         let mut assignment = vec![usize::MAX; self.n_tx];
         for t in 0..self.n_tx {
             let chosen: Vec<usize> = (0..self.n_slots)
@@ -126,36 +206,126 @@ impl TxSchedule {
                 assignment[t] = chosen[0];
             }
         }
-        // Repair pass.
+        // Fill pass: unassigned transactions go to the least-conflicting
+        // slot, preferring slots with room when capacity binds.
         for t in 0..self.n_tx {
             if assignment[t] != usize::MAX {
                 continue;
             }
+            let loads = self.loads(
+                &assignment
+                    .iter()
+                    .filter(|&&a| a != usize::MAX)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            );
             let mut best_slot = 0usize;
             let mut best_pen = f64::INFINITY;
             for s in 0..self.n_slots {
-                let pen: f64 = self
-                    .conflicts
-                    .iter()
-                    .filter(|&&(i, j, _)| {
-                        (i == t && assignment[j] == s) || (j == t && assignment[i] == s)
-                    })
-                    .map(|&(_, _, w)| w)
-                    .sum();
+                if let Some(cap) = cap {
+                    if loads[s] >= cap {
+                        continue;
+                    }
+                }
+                let pen = self.marginal_conflict(&assignment, t, s);
                 if pen < best_pen {
                     best_pen = pen;
                     best_slot = s;
                 }
             }
+            if best_pen.is_infinite() {
+                // Every slot full (only possible mid-repair): fall back to
+                // the least-conflicting slot; the overflow pass fixes it.
+                for s in 0..self.n_slots {
+                    let pen = self.marginal_conflict(&assignment, t, s);
+                    if pen < best_pen {
+                        best_pen = pen;
+                        best_slot = s;
+                    }
+                }
+            }
             assignment[t] = best_slot;
+        }
+        // Overflow pass: migrate transactions off overfull slots onto the
+        // cheapest slot with room. Each move shrinks the total overflow by
+        // one, so this terminates.
+        if let Some(cap) = cap {
+            loop {
+                let loads = self.loads(&assignment);
+                let Some(over) = (0..self.n_slots).find(|&s| loads[s] > cap) else {
+                    break;
+                };
+                let mut best: Option<(usize, usize, f64)> = None; // (t, to, added)
+                for t in (0..self.n_tx).filter(|&t| assignment[t] == over) {
+                    for to in (0..self.n_slots).filter(|&s| loads[s] < cap) {
+                        let added = self.marginal_conflict(&assignment, t, to);
+                        if best.is_none_or(|(_, _, b)| added < b) {
+                            best = Some((t, to, added));
+                        }
+                    }
+                }
+                let (t, to, _) = best.expect("total capacity covers all transactions");
+                assignment[t] = to;
+            }
         }
         assignment
     }
 
+    /// One-hot decision bits plus per-slot capacity slack set to the
+    /// remaining room, so a feasible schedule's penalty terms vanish.
+    fn encode_solution(&self, assignment: &Self::Solution) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.n_tx, "assignment length");
+        let mut bits = vec![false; self.n_vars()];
+        for (t, &s) in assignment.iter().enumerate() {
+            bits[self.var(t, s)] = true;
+        }
+        if let Some(cap) = self.binding_capacity() {
+            let weights = at_most_k_slack_weights(cap);
+            let sw = weights.len();
+            let base = self.n_tx * self.n_slots;
+            let loads = self.loads(assignment);
+            for s in 0..self.n_slots {
+                let room = cap.saturating_sub(loads[s]) as f64;
+                for (j, &on) in slack_assignment(&weights, room).iter().enumerate() {
+                    bits[base + s * sw + j] = on;
+                }
+            }
+        }
+        bits
+    }
+
+    fn objective(&self, assignment: &Self::Solution) -> f64 {
+        self.cost(assignment)
+    }
+
+    /// One-hot per transaction on the decision bits, and slot loads within
+    /// capacity when it binds (capacity slack bits are auxiliary and not
+    /// checked).
+    fn is_feasible(&self, bits: &[bool]) -> bool {
+        if bits.len() != self.n_vars() {
+            return false;
+        }
+        let mut loads = vec![0usize; self.n_slots];
+        for t in 0..self.n_tx {
+            let chosen: Vec<usize> = (0..self.n_slots)
+                .filter(|&s| bits[self.var(t, s)])
+                .collect();
+            if chosen.len() != 1 {
+                return false;
+            }
+            loads[chosen[0]] += 1;
+        }
+        match self.binding_capacity() {
+            Some(cap) => loads.iter().all(|&l| l <= cap),
+            None => true,
+        }
+    }
+
     /// Greedy baseline: order transactions by conflict degree, place each
     /// on the slot with the smallest marginal conflict (first-fit
-    /// descending).
-    pub fn solve_greedy(&self) -> (Vec<usize>, f64) {
+    /// descending), skipping full slots when capacity binds.
+    fn greedy_baseline(&self) -> (Self::Solution, f64) {
+        let cap = self.binding_capacity();
         let mut degree = vec![0.0f64; self.n_tx];
         for &(i, j, w) in &self.conflicts {
             degree[i] += w;
@@ -164,46 +334,52 @@ impl TxSchedule {
         let mut order: Vec<usize> = (0..self.n_tx).collect();
         order.sort_by(|&a, &b| degree[b].partial_cmp(&degree[a]).unwrap());
         let mut assignment = vec![usize::MAX; self.n_tx];
+        let mut loads = vec![0usize; self.n_slots];
         for &t in &order {
             let mut best_slot = 0usize;
             let mut best_pen = f64::INFINITY;
             for s in 0..self.n_slots {
-                let conflict_pen: f64 = self
-                    .conflicts
-                    .iter()
-                    .filter(|&&(i, j, _)| {
-                        (i == t && assignment[j] == s) || (j == t && assignment[i] == s)
-                    })
-                    .map(|&(_, _, w)| w)
-                    .sum();
-                let load = assignment.iter().filter(|&&a| a == s).count() as f64;
-                let pen = conflict_pen + 1e-6 * load; // tie-break on load
+                if let Some(cap) = cap {
+                    if loads[s] >= cap {
+                        continue;
+                    }
+                }
+                let conflict_pen = self.marginal_conflict(&assignment, t, s);
+                let pen = conflict_pen + 1e-6 * loads[s] as f64; // tie-break on load
                 if pen < best_pen {
                     best_pen = pen;
                     best_slot = s;
                 }
             }
             assignment[t] = best_slot;
+            loads[best_slot] += 1;
         }
         let c = self.cost(&assignment);
         (assignment, c)
     }
 
-    /// Exhaustive optimum (`n_slots^n_tx ≤ ~1e6`).
-    pub fn solve_exhaustive(&self) -> (Vec<usize>, f64) {
+    /// Exhaustive optimum (`n_slots^n_tx ≤ ~1e6`), skipping
+    /// capacity-violating assignments when capacity binds.
+    fn exhaustive_baseline(&self) -> (Self::Solution, f64) {
         let combos = (self.n_slots as f64).powi(self.n_tx as i32);
         assert!(combos <= 1e6, "exhaustive scheduling too large");
+        let cap = self.binding_capacity();
+        let admissible = |a: &[usize]| match cap {
+            Some(cap) => self.loads(a).iter().all(|&l| l <= cap),
+            None => true,
+        };
         let mut assignment = vec![0usize; self.n_tx];
-        let mut best = assignment.clone();
-        let mut best_cost = self.cost(&assignment);
+        let mut best: Option<(Vec<usize>, f64)> =
+            admissible(&assignment).then(|| (assignment.clone(), self.cost(&assignment)));
         'outer: loop {
             for t in 0..self.n_tx {
                 assignment[t] += 1;
                 if assignment[t] < self.n_slots {
-                    let c = self.cost(&assignment);
-                    if c < best_cost {
-                        best_cost = c;
-                        best = assignment.clone();
+                    if admissible(&assignment) {
+                        let c = self.cost(&assignment);
+                        if best.as_ref().is_none_or(|(_, b)| c < *b) {
+                            best = Some((assignment.clone(), c));
+                        }
                     }
                     continue 'outer;
                 }
@@ -211,62 +387,58 @@ impl TxSchedule {
             }
             break;
         }
-        (best, best_cost)
+        best.expect("capacity admits at least one assignment")
     }
-}
-
-/// Generates a random instance: conflicts appear with `density` and
-/// weights uniform in `[1, 10]`.
-pub fn generate_instance(n_tx: usize, n_slots: usize, density: f64, rng: &mut Rng64) -> TxSchedule {
-    let mut conflicts = Vec::new();
-    for i in 0..n_tx {
-        for j in (i + 1)..n_tx {
-            if rng.chance(density) {
-                conflicts.push((i, j, rng.uniform_range(1.0, 10.0).round()));
-            }
-        }
-    }
-    TxSchedule::new(n_tx, n_slots, conflicts, 0.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instances::{InstanceGenerator, TxParams};
     use qmldb_anneal::{simulated_annealing, spins_to_bits, SaParams};
+    use qmldb_math::Rng64;
 
     #[test]
     fn bipartite_conflicts_schedule_cleanly_on_two_slots() {
         // Conflict graph = path 0-1-2-3: 2-colorable → zero conflict cost.
         let s = TxSchedule::new(4, 2, vec![(0, 1, 5.0), (1, 2, 5.0), (2, 3, 5.0)], 0.0);
-        let (_, cost) = s.solve_exhaustive();
+        let (_, cost) = s.exhaustive_baseline();
         assert_eq!(cost, 0.0);
     }
 
     #[test]
     fn triangle_on_two_slots_pays_cheapest_edge() {
         let s = TxSchedule::new(3, 2, vec![(0, 1, 3.0), (1, 2, 5.0), (0, 2, 7.0)], 0.0);
-        let (_, cost) = s.solve_exhaustive();
+        let (_, cost) = s.exhaustive_baseline();
         assert_eq!(cost, 3.0, "must co-schedule the cheapest conflict");
     }
 
     #[test]
     fn qubo_energy_matches_cost_for_feasible_assignments() {
         let mut rng = Rng64::new(2201);
-        let s = generate_instance(5, 3, 0.6, &mut rng);
-        let q = s.to_qubo(s.auto_penalty());
-        let assignment = vec![0, 1, 2, 0, 1];
-        let mut bits = vec![false; s.n_vars()];
-        for (t, &slot) in assignment.iter().enumerate() {
-            bits[s.var(t, slot)] = true;
+        let s = TxParams {
+            n_tx: 5,
+            n_slots: 3,
+            density: 0.6,
         }
+        .generate(&mut rng);
+        let q = s.encode(s.auto_penalty());
+        let assignment = vec![0, 1, 2, 0, 1];
+        let bits = s.encode_solution(&assignment);
+        assert!(s.is_feasible(&bits));
         assert!((q.energy(&bits) - s.cost(&assignment)).abs() < 1e-9);
     }
 
     #[test]
     fn annealed_schedule_matches_exhaustive() {
         let mut rng = Rng64::new(2203);
-        let s = generate_instance(8, 3, 0.5, &mut rng);
-        let q = s.to_qubo(s.auto_penalty());
+        let s = TxParams {
+            n_tx: 8,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(&mut rng);
+        let q = s.encode(s.auto_penalty());
         let r = simulated_annealing(
             &q.to_ising(),
             &SaParams {
@@ -277,7 +449,7 @@ mod tests {
             &mut rng,
         );
         let a = s.decode(&spins_to_bits(&r.spins));
-        let (_, exact) = s.solve_exhaustive();
+        let (_, exact) = s.exhaustive_baseline();
         assert!(
             s.cost(&a) <= exact + 1e-9 + 0.1 * exact.abs(),
             "annealed {} vs exact {exact}",
@@ -288,11 +460,16 @@ mod tests {
     #[test]
     fn greedy_is_feasible_and_bounded() {
         let mut rng = Rng64::new(2205);
-        let s = generate_instance(9, 3, 0.4, &mut rng);
-        let (a, c) = s.solve_greedy();
+        let s = TxParams {
+            n_tx: 9,
+            n_slots: 3,
+            density: 0.4,
+        }
+        .generate(&mut rng);
+        let (a, c) = s.greedy_baseline();
         assert_eq!(a.len(), 9);
         assert!(a.iter().all(|&slot| slot < 3));
-        let (_, exact) = s.solve_exhaustive();
+        let (_, exact) = s.exhaustive_baseline();
         assert!(c >= exact - 1e-9);
     }
 
@@ -300,7 +477,7 @@ mod tests {
     fn balance_term_spreads_load() {
         // No conflicts: balance alone should split 4 transactions 2/2.
         let s = TxSchedule::new(4, 2, vec![], 1.0);
-        let (a, _) = s.solve_exhaustive();
+        let (a, _) = s.exhaustive_baseline();
         let load0 = a.iter().filter(|&&x| x == 0).count();
         assert_eq!(load0, 2);
     }
@@ -313,5 +490,48 @@ mod tests {
         assert!(a.iter().all(|&slot| slot < 2));
         // Repair avoids the known conflict.
         assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn capacity_adds_slack_variables_and_binds() {
+        let s = TxSchedule::new(4, 2, vec![], 0.0).with_max_per_slot(2);
+        assert!(s.n_vars() > 8, "capacity must add slack bits");
+        // All four on slot 0 violates the cap; decode must rebalance.
+        let a = s.decode(&s.encode_solution(&vec![0, 0, 0, 0]));
+        let load0 = a.iter().filter(|&&x| x == 0).count();
+        assert_eq!(load0, 2, "decode must respect the capacity");
+        assert!(s.is_feasible(&s.encode_solution(&a)));
+        // But the raw all-on-slot-0 encoding is infeasible.
+        assert!(!s.is_feasible(&s.encode_solution(&vec![0, 0, 0, 0])));
+    }
+
+    #[test]
+    fn capacity_encoding_zeroes_penalty_on_feasible_schedules() {
+        let s = TxSchedule::new(4, 2, vec![(0, 1, 3.0)], 0.0).with_max_per_slot(3);
+        let a = vec![0, 1, 0, 1];
+        let bits = s.encode_solution(&a);
+        assert!(s.is_feasible(&bits));
+        let q = s.encode(s.auto_penalty());
+        assert!((q.energy(&bits) - s.cost(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_respects_capacity() {
+        // Heavy conflict between 0 and 1 — uncapped optimum puts 2,3
+        // wherever; with cap 1 per slot on 4 slots, all spread out.
+        let s = TxSchedule::new(4, 4, vec![(0, 1, 9.0)], 0.0).with_max_per_slot(1);
+        let (a, cost) = s.exhaustive_baseline();
+        assert_eq!(cost, 0.0);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn vacuous_capacity_adds_no_variables() {
+        let base = TxSchedule::new(3, 2, vec![], 0.0);
+        let n = base.n_vars();
+        let capped = base.with_max_per_slot(3); // cap ≥ n_tx: never binds
+        assert_eq!(capped.n_vars(), n);
     }
 }

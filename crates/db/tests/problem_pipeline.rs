@@ -1,0 +1,176 @@
+//! Property suite for the unified QUBO problem pipeline: every workload
+//! behind [`QuboProblem`] must satisfy the same three contracts.
+//!
+//! 1. `decode ∘ encode_solution` is the identity on feasible solutions.
+//! 2. `repair` maps *any* bitstring to a feasible one.
+//! 3. The QUBO energy of an encoded feasible solution equals the domain
+//!    objective exactly (penalty terms vanish on the feasible set), so
+//!    QUBO-energy ordering and objective ordering agree on feasible
+//!    bitstrings.
+
+use qmldb_db::instances::{IndexParams, InstanceGenerator, JoinOrderParams, MqoParams, TxParams};
+use qmldb_db::problem::QuboProblem;
+use qmldb_db::query::Topology;
+use qmldb_math::{check, Rng64};
+
+fn random_bits(n: usize, rng: &mut Rng64) -> Vec<bool> {
+    (0..n).map(|_| rng.chance(0.5)).collect()
+}
+
+/// Checks contracts 2 and 3 plus the roundtrip for one problem and one
+/// feasible solution, where `Solution: PartialEq`.
+fn check_contracts<P>(problem: &P, feasible: &P::Solution, rng: &mut Rng64)
+where
+    P: QuboProblem,
+    P::Solution: PartialEq + std::fmt::Debug,
+{
+    let name = problem.name();
+
+    // 1. Roundtrip identity on the feasible point.
+    let bits = problem.encode_solution(feasible);
+    assert!(
+        problem.is_feasible(&bits),
+        "{name}: encoded feasible solution must be feasible"
+    );
+    assert_eq!(
+        &problem.decode(&bits),
+        feasible,
+        "{name}: decode ∘ encode_solution must be the identity"
+    );
+
+    // 2. Repair of arbitrary bits is feasible.
+    let raw = random_bits(problem.n_vars(), rng);
+    let repaired = problem.repair(&raw);
+    assert!(
+        problem.is_feasible(&repaired),
+        "{name}: repair must land on the feasible set"
+    );
+
+    // 3. Energy equals objective on the feasible set, at any penalty.
+    for penalty in [0.0, problem.auto_penalty()] {
+        let qubo = problem.encode(penalty);
+        let energy = qubo.energy(&bits);
+        let objective = problem.objective(feasible);
+        assert!(
+            (energy - objective).abs() <= 1e-6 * (1.0 + objective.abs()),
+            "{name}: energy {energy} vs objective {objective} at penalty {penalty}"
+        );
+    }
+}
+
+#[test]
+fn join_order_satisfies_the_pipeline_contracts() {
+    check::cases("join_order_pipeline_contracts", 24, |rng| {
+        let topo = [Topology::Chain, Topology::Star, Topology::Cycle][rng.index(3)];
+        let jo = JoinOrderParams {
+            topology: topo,
+            n_rels: 5,
+        }
+        .generate(rng);
+        let mut order: Vec<usize> = (0..5).collect();
+        rng.shuffle(&mut order);
+        check_contracts(&jo, &order, rng);
+    });
+}
+
+#[test]
+fn mqo_satisfies_the_pipeline_contracts() {
+    check::cases("mqo_pipeline_contracts", 24, |rng| {
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(rng);
+        let selection: Vec<usize> = (0..4).map(|_| rng.index(3)).collect();
+        check_contracts(&m, &selection, rng);
+    });
+}
+
+#[test]
+fn index_selection_satisfies_the_pipeline_contracts() {
+    check::cases("index_pipeline_contracts", 24, |rng| {
+        let s = IndexParams {
+            n_candidates: 8,
+            budget_frac: 0.4,
+        }
+        .generate(rng);
+        // A random feasible subset: admit candidates in random order while
+        // the budget holds. (Instance sizes and budgets are integers, so
+        // the slack residual is exactly representable and contract 3 is
+        // exact.)
+        let mut idx: Vec<usize> = (0..s.n()).collect();
+        rng.shuffle(&mut idx);
+        let mut selected = vec![false; s.n()];
+        for &i in &idx {
+            selected[i] = true;
+            if s.evaluate(&selected).is_none() {
+                selected[i] = false;
+            }
+        }
+        check_contracts(&s, &selected, rng);
+    });
+}
+
+#[test]
+fn tx_scheduling_satisfies_the_pipeline_contracts() {
+    check::cases("txsched_pipeline_contracts", 24, |rng| {
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(rng);
+        let assignment: Vec<usize> = (0..6).map(|_| rng.index(3)).collect();
+        check_contracts(&t, &assignment, rng);
+    });
+}
+
+#[test]
+fn capacitated_tx_scheduling_satisfies_the_pipeline_contracts() {
+    check::cases("capacitated_txsched_pipeline_contracts", 24, |rng| {
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(rng)
+        .with_max_per_slot(3);
+        // Round-robin over a random transaction order: loads are 2/2/2,
+        // within the capacity of 3.
+        let mut txs: Vec<usize> = (0..6).collect();
+        rng.shuffle(&mut txs);
+        let mut assignment = vec![0usize; 6];
+        for (k, &t_id) in txs.iter().enumerate() {
+            assignment[t_id] = k % 3;
+        }
+        check_contracts(&t, &assignment, rng);
+    });
+}
+
+#[test]
+fn energy_ordering_agrees_with_objective_ordering_on_feasible_points() {
+    // Contract 3 implies ordering agreement; spot-check it directly on
+    // pairs of feasible MQO selections under the auto penalty.
+    check::cases("energy_objective_ordering", 24, |rng| {
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.7,
+        }
+        .generate(rng);
+        let qubo = m.encode(m.auto_penalty());
+        let pick = |rng: &mut Rng64| -> Vec<usize> { (0..4).map(|_| rng.index(3)).collect() };
+        let (a, b) = (pick(rng), pick(rng));
+        let (ea, eb) = (
+            qubo.energy(&m.encode_solution(&a)),
+            qubo.energy(&m.encode_solution(&b)),
+        );
+        let (oa, ob) = (m.objective(&a), m.objective(&b));
+        assert_eq!(
+            ea.partial_cmp(&eb),
+            oa.partial_cmp(&ob),
+            "energy ordering ({ea} vs {eb}) must match objective ordering ({oa} vs {ob})"
+        );
+    });
+}

@@ -4,6 +4,7 @@
 use qmldb_db::joinorder::{
     brute_force_left_deep, left_deep_cost, optimize_left_deep, CostModel, JoinTree,
 };
+use qmldb_db::problem::QuboProblem;
 use qmldb_db::qubo_jo::JoinOrderQubo;
 use qmldb_db::query::JoinGraph;
 use qmldb_math::{check, Rng64};
@@ -79,7 +80,7 @@ fn dp_matches_brute_force() {
 fn qubo_encode_decode_roundtrips_permutations() {
     check::cases("qubo_encode_decode_roundtrips_permutations", 32, |rng| {
         let g = random_graph(5, rng);
-        let jo = JoinOrderQubo::encode(&g, 1.0);
+        let jo = JoinOrderQubo::new(&g);
         let order = random_perm(5, rng);
         let bits = jo.encode_order(&order);
         assert!(jo.is_feasible(&bits));
@@ -92,7 +93,7 @@ fn qubo_decode_always_yields_a_permutation() {
     check::cases("qubo_decode_always_yields_a_permutation", 32, |rng| {
         let g = random_graph(5, rng);
         let raw = rng.index(1 << 25);
-        let jo = JoinOrderQubo::encode(&g, 1.0);
+        let jo = JoinOrderQubo::new(&g);
         let bits: Vec<bool> = (0..25).map(|i| raw & (1 << i) != 0).collect();
         let order = jo.decode(&bits);
         let mut sorted = order.clone();
@@ -104,10 +105,10 @@ fn qubo_decode_always_yields_a_permutation() {
 #[test]
 fn qubo_objective_order_agrees_with_log_cout() {
     check::cases("qubo_objective_order_agrees_with_log_cout", 32, |rng| {
-        // The penalty-free QUBO objective must rank permutations exactly
-        // like the sum of log intermediate sizes.
+        // The trait objective (= penalty-free QUBO energy) must rank
+        // permutations exactly like the sum of log intermediate sizes.
         let g = random_graph(5, rng);
-        let jo = JoinOrderQubo::encode(&g, 0.0);
+        let jo = JoinOrderQubo::new(&g);
         let (a, b) = (random_perm(5, rng), random_perm(5, rng));
         let log_cout = |order: &[usize]| -> f64 {
             let mut mask = 0u64;
@@ -120,7 +121,7 @@ fn qubo_objective_order_agrees_with_log_cout() {
             }
             total
         };
-        let diff_qubo = jo.log_objective(&a) - jo.log_objective(&b);
+        let diff_qubo = jo.objective(&a) - jo.objective(&b);
         let diff_true = log_cout(&a) - log_cout(&b);
         assert!(
             (diff_qubo - diff_true).abs() < 1e-6 * (1.0 + diff_true.abs()),

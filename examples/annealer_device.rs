@@ -9,13 +9,19 @@
 
 use qmldb::anneal::device::{AnnealerDevice, DeviceConfig};
 use qmldb::anneal::{simulated_quantum_annealing, solve_exact, SqaParams};
-use qmldb::db::mqo::generate_instance;
+use qmldb::db::instances::{InstanceGenerator, MqoParams};
+use qmldb::db::problem::QuboProblem;
 use qmldb::math::Rng64;
 
 fn main() {
     let mut rng = Rng64::new(23);
-    let problem = generate_instance(6, 3, 0.6, &mut rng);
-    let q = problem.to_qubo(problem.auto_penalty());
+    let problem = MqoParams {
+        n_queries: 6,
+        plans_per: 3,
+        sharing_density: 0.6,
+    }
+    .generate(&mut rng);
+    let q = problem.encode(problem.auto_penalty());
     println!(
         "multiple-query optimization: {} queries x 3 plans = {} QUBO variables",
         problem.n_queries(),

@@ -1,22 +1,23 @@
-//! Join ordering with the full quantum toolbox.
+//! Join ordering through the unified QUBO pipeline.
 //!
-//! Encodes a join-ordering instance as a QUBO and attacks it four ways —
-//! exact DP (classical floor), greedy GOO, simulated annealing, and
-//! path-integral simulated *quantum* annealing — then shows the gate-model
-//! QAOA route on a 4-relation instance (16 qubits) and the Chimera
-//! embedding cost of deploying the same QUBO on annealer hardware.
+//! Encodes a join-ordering instance behind the `QuboProblem` trait and
+//! attacks it with the solver portfolio — simulated annealing, simulated
+//! *quantum* annealing, tabu search, and parallel tempering under common
+//! random numbers, with automatic penalty escalation and feasibility
+//! repair. A small 3-relation instance then runs the *full* portfolio,
+//! where the gate-model members (QAOA, Grover minimum-finding) and exact
+//! enumeration engage too. Finally: the Chimera embedding cost of
+//! deploying the 8-relation QUBO on annealer hardware.
 //!
 //! Run with: `cargo run --example join_order_quantum --release`
 
 use qmldb::anneal::embed::{clique_embedding, complete_graph_edges, Chimera};
-use qmldb::anneal::{
-    simulated_annealing, simulated_quantum_annealing, spins_to_bits, SaParams, SqaParams,
-};
-use qmldb::db::joinorder::{goo, optimize_left_deep, CostModel};
+use qmldb::db::joinorder::{left_deep_cost, optimize_left_deep, CostModel};
+use qmldb::db::portfolio::Portfolio;
+use qmldb::db::problem::QuboProblem;
 use qmldb::db::qubo_jo::JoinOrderQubo;
 use qmldb::db::query::{generate, Topology};
 use qmldb::math::Rng64;
-use qmldb::qml::qaoa::Qaoa;
 
 fn main() {
     let mut rng = Rng64::new(7);
@@ -30,69 +31,57 @@ fn main() {
     let exact = optimize_left_deep(&g, CostModel::Cout);
     println!("exact DP      : cost {:.3e}", exact.cost);
 
-    let (_, goo_cost) = goo(&g, CostModel::Cout);
+    let jo = JoinOrderQubo::new(&g);
     println!(
-        "greedy GOO    : cost {goo_cost:.3e} ({:.2}x)",
-        goo_cost / exact.cost
+        "QUBO encoding : {} binary variables, auto penalty {:.1}",
+        jo.n_vars(),
+        jo.auto_penalty()
     );
 
-    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-    println!("QUBO encoding : {} binary variables", jo.n_vars());
-    let ising = jo.qubo().to_ising();
-
-    let sa = simulated_annealing(
-        &ising,
-        &SaParams {
-            sweeps: 2500,
-            restarts: 5,
-            ..SaParams::default()
-        },
-        &mut rng,
-    );
-    let sa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sa.spins)), &g, CostModel::Cout);
+    // The classical portfolio: SA, SQA, tabu, tempering — one call, every
+    // solver on the same encoding, best feasible plan back.
+    let out = Portfolio::classical().solve(&jo, &mut rng);
+    for run in &out.runs {
+        let cost = left_deep_cost(&run.solution, &g, CostModel::Cout);
+        println!(
+            "  {:>9}    : cost {cost:.3e} ({:.2}x){}{}",
+            run.solver,
+            cost / exact.cost,
+            if run.penalty_doublings > 0 {
+                format!(", {} penalty doublings", run.penalty_doublings)
+            } else {
+                String::new()
+            },
+            if run.repaired { ", repaired" } else { "" },
+        );
+    }
+    let best_cost = left_deep_cost(&out.solution, &g, CostModel::Cout);
     println!(
-        "SA on QUBO    : cost {sa_cost:.3e} ({:.2}x)",
-        sa_cost / exact.cost
-    );
-
-    let sqa = simulated_quantum_annealing(
-        &ising,
-        &SqaParams {
-            sweeps: 1200,
-            replicas: 16,
-            restarts: 3,
-            temperature_factor: 0.01,
-            ..SqaParams::default()
-        },
-        &mut rng,
-    );
-    let sqa_cost = jo.true_cost(&jo.decode(&spins_to_bits(&sqa.spins)), &g, CostModel::Cout);
-    println!(
-        "SQA on QUBO   : cost {sqa_cost:.3e} ({:.2}x)",
-        sqa_cost / exact.cost
+        "portfolio best: {} at cost {best_cost:.3e} ({:.2}x exact)",
+        out.solver,
+        best_cost / exact.cost
     );
 
-    // Gate-model QAOA fits a 4-relation instance (16 qubits).
-    let g4 = generate(Topology::Chain, 4, &mut rng);
-    let exact4 = optimize_left_deep(&g4, CostModel::Cout);
-    let jo4 = JoinOrderQubo::encode(&g4, JoinOrderQubo::auto_penalty(&g4));
-    let ising4 = jo4.qubo().to_ising();
-    let qaoa = Qaoa::from_ising(
-        jo4.n_vars(),
-        ising4.fields(),
-        ising4.couplings(),
-        ising4.offset(),
-        2,
-    );
-    let r = qaoa.solve_spsa(150, 2, 1024, &mut rng);
-    let bits: Vec<bool> = (0..jo4.n_vars())
-        .map(|i| r.best_bitstring & (1 << i) != 0)
-        .collect();
-    let qaoa_cost = jo4.true_cost(&jo4.decode(&bits), &g4, CostModel::Cout);
+    // A 3-relation instance (9 QUBO vars) is small enough for the full
+    // lineup: exact enumeration, gate-model QAOA, and Grover
+    // minimum-finding join the classical solvers.
+    let g3 = generate(Topology::Chain, 3, &mut rng);
+    let exact3 = optimize_left_deep(&g3, CostModel::Cout);
+    let jo3 = JoinOrderQubo::new(&g3);
+    let out3 = Portfolio::full().solve(&jo3, &mut rng);
     println!(
-        "QAOA p=2 (4 rels, 16 qubits): cost {qaoa_cost:.3e} ({:.2}x exact)",
-        qaoa_cost / exact4.cost
+        "\nfull portfolio on 3 relations ({} qubits), exact DP cost {:.3e}:",
+        jo3.n_vars(),
+        exact3.cost
     );
+    for run in &out3.runs {
+        let cost = left_deep_cost(&run.solution, &g3, CostModel::Cout);
+        println!(
+            "  {:>9}    : cost {cost:.3e} ({:.2}x)",
+            run.solver,
+            cost / exact3.cost
+        );
+    }
 
     // What deploying the 8-relation QUBO on Chimera hardware costs.
     let logical = jo.n_vars();
@@ -101,7 +90,7 @@ fn main() {
     if let Some(e) = clique_embedding(logical, &fabric) {
         e.validate(&fabric, &complete_graph_edges(logical)).unwrap();
         println!(
-            "Chimera C({m}) deployment: {logical} logical -> {} physical qubits (max chain {})",
+            "\nChimera C({m}) deployment: {logical} logical -> {} physical qubits (max chain {})",
             e.physical_qubits(),
             e.max_chain_length()
         );

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb::db::joinorder::{optimize_left_deep, CostModel};
+use qmldb::db::portfolio::Portfolio;
 use qmldb::db::qubo_jo::JoinOrderQubo;
 use qmldb::db::query::{generate, Topology};
 use qmldb::math::Rng64;
@@ -46,23 +46,16 @@ fn main() {
         model.accuracy(&test.x, &test.y)
     );
 
-    // 3. Database opportunity: join ordering as an annealed QUBO.
+    // 3. Database opportunity: join ordering through the QUBO solver
+    //    portfolio (penalty escalation + repair guarantee feasibility).
     let g = generate(Topology::Chain, 6, &mut rng);
     let exact = optimize_left_deep(&g, CostModel::Cout);
-    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
-    let r = simulated_annealing(
-        &jo.qubo().to_ising(),
-        &SaParams {
-            sweeps: 2000,
-            restarts: 4,
-            ..SaParams::default()
-        },
-        &mut rng,
-    );
-    let order = jo.decode(&spins_to_bits(&r.spins));
-    let annealed = jo.true_cost(&order, &g, CostModel::Cout);
+    let jo = JoinOrderQubo::new(&g);
+    let out = Portfolio::classical().solve(&jo, &mut rng);
+    let annealed = jo.true_cost(&out.solution, CostModel::Cout);
     println!(
-        "join ordering: annealed QUBO cost {annealed:.1} vs exact DP {:.1} (ratio {:.2})",
+        "join ordering: portfolio ({}) cost {annealed:.1} vs exact DP {:.1} (ratio {:.2})",
+        out.solver,
         exact.cost,
         annealed / exact.cost
     );

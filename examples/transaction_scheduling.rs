@@ -1,13 +1,17 @@
-//! Conflict-aware transaction scheduling on a simulated annealer.
+//! Conflict-aware transaction scheduling through the solver portfolio.
 //!
 //! Generates a batch of transactions with read/write conflicts, schedules
-//! them onto parallel slots with greedy, exhaustive, and annealed-QUBO
-//! solvers, and prints the schedules side by side.
+//! them onto parallel slots with greedy and exhaustive baselines and the
+//! full QUBO solver portfolio, and prints the schedules side by side —
+//! including a capacity-constrained variant where each slot admits at most
+//! four transactions (encoded with bounded-coefficient slack bits).
 //!
 //! Run with: `cargo run --example transaction_scheduling --release`
 
-use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
-use qmldb::db::txsched::{generate_instance, TxSchedule};
+use qmldb::db::instances::{InstanceGenerator, TxParams};
+use qmldb::db::portfolio::Portfolio;
+use qmldb::db::problem::QuboProblem;
+use qmldb::db::txsched::TxSchedule;
 use qmldb::math::Rng64;
 
 fn show(label: &str, schedule: &TxSchedule, assignment: &[usize]) {
@@ -24,7 +28,12 @@ fn show(label: &str, schedule: &TxSchedule, assignment: &[usize]) {
 
 fn main() {
     let mut rng = Rng64::new(13);
-    let schedule = generate_instance(9, 3, 0.45, &mut rng);
+    let schedule = TxParams {
+        n_tx: 9,
+        n_slots: 3,
+        density: 0.45,
+    }
+    .generate(&mut rng);
     println!(
         "{} transactions, {} slots, {} weighted conflicts\n",
         schedule.n_tx,
@@ -36,27 +45,47 @@ fn main() {
     }
     println!();
 
-    let (greedy, _) = schedule.solve_greedy();
+    let (greedy, _) = schedule.greedy_baseline();
     show("greedy", &schedule, &greedy);
 
-    let (exact, _) = schedule.solve_exhaustive();
+    let (exact, _) = schedule.exhaustive_baseline();
     show("exhaustive", &schedule, &exact);
 
-    let q = schedule.to_qubo(schedule.auto_penalty());
-    let r = simulated_annealing(
-        &q.to_ising(),
-        &SaParams {
-            sweeps: 3000,
-            restarts: 6,
-            ..SaParams::default()
-        },
-        &mut rng,
-    );
-    let annealed = schedule.decode(&spins_to_bits(&r.spins));
-    show("annealed", &schedule, &annealed);
-
+    // One call: every classical solver on the same QUBO, penalty
+    // escalation + repair guaranteeing a feasible schedule back.
+    let out = Portfolio::classical().solve(&schedule, &mut rng);
+    for run in &out.runs {
+        show(run.solver, &schedule, &run.solution);
+    }
     println!(
-        "\nannealed/exact conflict ratio: {:.2}",
-        (schedule.conflict_cost(&annealed) + 1e-9) / (schedule.conflict_cost(&exact) + 1e-9)
+        "\nportfolio best ({}) / exact conflict ratio: {:.2}",
+        out.solver,
+        (schedule.conflict_cost(&out.solution) + 1e-9) / (schedule.conflict_cost(&exact) + 1e-9)
+    );
+
+    // Capacity-constrained variant: at most 4 transactions per slot,
+    // enforced in the encoding via slack bits (an `at_most_k` constraint
+    // group per slot).
+    let capped = TxSchedule::new(
+        schedule.n_tx,
+        schedule.n_slots,
+        schedule.conflicts.clone(),
+        0.0,
+    )
+    .with_max_per_slot(4);
+    println!(
+        "\nwith max 4 tx/slot ({} vars incl. capacity slack):",
+        capped.n_vars()
+    );
+    let out = Portfolio::classical().solve(&capped, &mut rng);
+    for run in &out.runs {
+        show(run.solver, &capped, &run.solution);
+    }
+    let loads: Vec<usize> = (0..capped.n_slots)
+        .map(|s| out.solution.iter().filter(|&&a| a == s).count())
+        .collect();
+    println!(
+        "best ({}) slot loads {loads:?} — all within capacity",
+        out.solver
     );
 }

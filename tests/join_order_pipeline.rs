@@ -6,14 +6,15 @@
 use qmldb::anneal::embed::{clique_embedding, complete_graph_edges, Chimera};
 use qmldb::anneal::{simulated_annealing, spins_to_bits, SaParams};
 use qmldb::db::joinorder::{goo, optimize_bushy, optimize_left_deep, CostModel};
+use qmldb::db::problem::QuboProblem;
 use qmldb::db::qubo_jo::JoinOrderQubo;
 use qmldb::db::query::{generate, tpch_like_query, Topology};
 use qmldb::math::Rng64;
 
 fn anneal_order(g: &qmldb::db::query::JoinGraph, rng: &mut Rng64) -> (Vec<usize>, f64) {
-    let jo = JoinOrderQubo::encode(g, JoinOrderQubo::auto_penalty(g));
+    let jo = JoinOrderQubo::new(g);
     let r = simulated_annealing(
-        &jo.qubo().to_ising(),
+        &jo.encode(jo.auto_penalty()).to_ising(),
         &SaParams {
             sweeps: 2500,
             restarts: 5,
@@ -22,7 +23,7 @@ fn anneal_order(g: &qmldb::db::query::JoinGraph, rng: &mut Rng64) -> (Vec<usize>
         rng,
     );
     let order = jo.decode(&spins_to_bits(&r.spins));
-    let cost = jo.true_cost(&order, g, CostModel::Cout);
+    let cost = jo.true_cost(&order, CostModel::Cout);
     (order, cost)
 }
 
@@ -101,7 +102,7 @@ fn join_order_qubo_deploys_onto_chimera() {
     // variable pairs; the native clique embedding must absorb it.
     let mut rng = Rng64::new(3207);
     let g = generate(Topology::Clique, 4, &mut rng);
-    let jo = JoinOrderQubo::encode(&g, JoinOrderQubo::auto_penalty(&g));
+    let jo = JoinOrderQubo::new(&g);
     let logical = jo.n_vars();
     let fabric = Chimera::new(logical.div_ceil(4));
     let e = clique_embedding(logical, &fabric).expect("fabric sized to fit");

@@ -12,8 +12,10 @@
 
 use qmldb::anneal::{
     parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, SaParams,
-    SqaParams, TemperingParams,
+    SqaParams, TabuParams, TemperingParams,
 };
+use qmldb::db::instances::{InstanceGenerator, MqoParams};
+use qmldb::db::portfolio::{Portfolio, Solver};
 use qmldb::math::{par, Rng64};
 use qmldb::qml::ansatz::{hardware_efficient, Entanglement};
 use qmldb::qml::vqc::{GradMethod, VqcConfig};
@@ -215,6 +217,58 @@ fn parameter_shift_gradient_is_identical_on_1_and_4_threads() {
     let (serial, parallel) = on_1_and_4_threads(|| sg.gradient(&sim, &params, &obs));
     let bits = |g: &[f64]| -> Vec<u64> { g.iter().map(|v| v.to_bits()).collect() };
     assert_eq!(bits(&serial), bits(&parallel));
+}
+
+#[test]
+fn solver_portfolio_is_identical_on_1_and_4_threads() {
+    // Portfolio::solve forks one RNG stream per member serially, then fans
+    // the runs out over the parallel layer: the winning solution, every
+    // per-solver run, and the caller's stream must be bit-identical for
+    // any worker count.
+    let mut inst_rng = Rng64::new(67);
+    let m = MqoParams {
+        n_queries: 5,
+        plans_per: 3,
+        sharing_density: 0.6,
+    }
+    .generate(&mut inst_rng);
+    let portfolio = Portfolio::new(vec![
+        Solver::Sa(SaParams {
+            sweeps: 300,
+            restarts: 2,
+            ..SaParams::default()
+        }),
+        Solver::Sqa(SqaParams {
+            sweeps: 100,
+            restarts: 1,
+            ..SqaParams::default()
+        }),
+        Solver::Tabu(TabuParams {
+            iters: 300,
+            ..TabuParams::default()
+        }),
+        Solver::ExactSpectrum,
+    ]);
+    let (serial, parallel) = on_1_and_4_threads(|| {
+        let mut rng = Rng64::new(71);
+        let out = portfolio.solve(&m, &mut rng);
+        (out, rng.next_u64())
+    });
+    assert_eq!(serial.0.solution, parallel.0.solution);
+    assert_eq!(serial.0.objective.to_bits(), parallel.0.objective.to_bits());
+    assert_eq!(serial.0.solver, parallel.0.solver);
+    assert_eq!(serial.0.runs.len(), parallel.0.runs.len());
+    for (a, b) in serial.0.runs.iter().zip(&parallel.0.runs) {
+        assert_eq!(a.solver, b.solver);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.penalty_doublings, b.penalty_doublings);
+        assert_eq!(a.repaired, b.repaired);
+    }
+    assert_eq!(
+        serial.1, parallel.1,
+        "caller stream must advance identically"
+    );
 }
 
 #[test]
