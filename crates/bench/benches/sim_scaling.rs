@@ -106,4 +106,38 @@ fn main() {
     // directory as cwd, and the report belongs next to EXPERIMENTS.md.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     merge_section(Path::new(out), "sim_scaling", records);
+
+    // The amplitude-parallelism acceptance grid: one compiled gate stream
+    // per qubit count, timed at each worker count. On a multi-core host
+    // the 4-thread row must show the ≥4×-class scaling the intra-kernel
+    // splits buy; on a single-core container the timings collapse but the
+    // bit-identity assertion below still pins correctness.
+    group("threads_x_qubits");
+    let mut grid = Vec::new();
+    for n in [14usize, 16, 18] {
+        let mut rng = Rng64::new(3);
+        let circuit = qaoa_style_circuit(n, 1, &mut rng);
+        let gates = circuit.len() as f64;
+        let compiled = circuit.compile();
+        let mut states = Vec::new();
+        for threads in [1usize, 2, 4] {
+            par::set_threads(threads);
+            let t = bench(&format!("{n}q_{threads}t"), 5, || {
+                compiled.execute(&[]).norm()
+            });
+            states.push(compiled.execute(&[]));
+            par::reset_threads();
+            let mut rec = timing_record(&format!("qaoa/{n}q/{threads}threads"), &t, Some(gates));
+            rec.set("qubits", Json::Num(n as f64));
+            rec.set("threads", Json::Num(threads as f64));
+            grid.push(rec);
+        }
+        // Determinism across the whole grid row: amplitude-level splits
+        // must not change a single bit, whatever the worker count.
+        assert!(
+            states.windows(2).all(|w| w[0] == w[1]),
+            "{n}q: thread counts diverged bitwise"
+        );
+    }
+    merge_section(Path::new(out), "threads_x_qubits", grid);
 }

@@ -327,6 +327,12 @@ pub fn timing_record(name: &str, t: &Timing, ops_per_iter: Option<f64>) -> Json 
 /// Merges `records` into `path` under `sections.<section>`, creating the
 /// file if absent and replacing only that section otherwise — so each
 /// bench binary owns one section of the shared artifact.
+///
+/// The merged document is written to a sibling temp file and renamed into
+/// place, never rewritten in place: several bench binaries append to one
+/// shared `BENCH_*.json`, and an in-place write that dies mid-stream
+/// (panic, ^C, full disk) would truncate every section already collected.
+/// With the rename, a failed merge leaves the previous contents intact.
 pub fn merge_section(path: &Path, section: &str, records: Vec<Json>) {
     let mut doc = std::fs::read_to_string(path)
         .ok()
@@ -339,9 +345,30 @@ pub fn merge_section(path: &Path, section: &str, records: Vec<Json>) {
     };
     sections.set(section, Json::Arr(records));
     doc.set("sections", sections);
-    std::fs::write(path, doc.pretty()).unwrap_or_else(|e| {
+    if let Err(e) = write_atomic(path, &doc.pretty()) {
         eprintln!("warning: could not write {}: {e}", path.display());
-    });
+    }
+}
+
+/// Writes `text` to `path` via a temp file in the same directory plus an
+/// atomic rename. The temp name folds in the process id so concurrent
+/// writers of different artifacts in one directory never collide; the
+/// temp file is removed on a failed rename.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("artifact path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -428,5 +455,35 @@ mod tests {
         assert_eq!(sections.get("a"), Some(&Json::Arr(vec![Json::Num(3.0)])));
         assert_eq!(sections.get("b"), Some(&Json::Arr(vec![Json::Num(2.0)])));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_merge_leaves_previous_contents_intact() {
+        let dir = std::env::temp_dir().join("qmldb_json_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        let _ = std::fs::remove_file(&path);
+        merge_section(&path, "good", vec![Json::Num(7.0)]);
+        let before = std::fs::read_to_string(&path).unwrap();
+
+        // Sabotage the staging step: a directory squats on the exact temp
+        // path `write_atomic` will use, so the temp write fails before the
+        // rename. The artifact itself must never be touched — with the old
+        // in-place `fs::write`, this scenario (or any mid-write death)
+        // truncated it instead.
+        let tmp = dir.join(format!("artifact.json.tmp.{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        merge_section(&path, "bad", vec![Json::Num(8.0)]);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+
+        std::fs::remove_dir(&tmp).unwrap();
+        // And once the obstruction clears, merging works again.
+        merge_section(&path, "bad", vec![Json::Num(8.0)]);
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let sections = doc.get("sections").unwrap();
+        assert_eq!(sections.get("good"), Some(&Json::Arr(vec![Json::Num(7.0)])));
+        assert_eq!(sections.get("bad"), Some(&Json::Arr(vec![Json::Num(8.0)])));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -114,12 +114,17 @@ impl C64 {
         (self - other).abs() <= tol
     }
 
-    /// Fused multiply-add: `self * b + c`, used by simulator inner loops.
+    /// Multiply-accumulate `self * b + c` as one flat expression — the
+    /// shared inner-loop primitive of the simulator kernels, whose
+    /// thread-count determinism rests on every code path evaluating the
+    /// *same* expression. Deliberately NOT built on `f64::mul_add`: the
+    /// baseline x86-64 target lacks the FMA feature, so the intrinsic
+    /// lowers to a libm call and costs ~4× in the hottest loops.
     #[inline]
     pub fn mul_add(self, b: C64, c: C64) -> Self {
         C64::new(
-            self.re.mul_add(b.re, -(self.im * b.im)) + c.re,
-            self.re.mul_add(b.im, self.im * b.re) + c.im,
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
         )
     }
 }

@@ -219,23 +219,118 @@ where
     assert!(align > 0, "slab alignment must be positive");
     let len = data.len();
     let threads = thread_count();
+    // Buffers shorter than one aligned block (states under 2·align
+    // amplitudes, e.g. circuits below 8 qubits against a 256 block) must
+    // degrade to a single serial slab: a parallel split would either be
+    // empty or break the alignment contract.
     if threads <= 1 || len <= align {
         f(0, data);
         return;
     }
-    // Smallest align-multiple slab that covers the buffer in ≤ `threads`
-    // pieces.
+    match slab_size(len, align, threads) {
+        None => f(0, data),
+        Some(slab) => {
+            std::thread::scope(|scope| {
+                for (ci, chunk) in data.chunks_mut(slab).enumerate() {
+                    let f = &f;
+                    scope.spawn(move || f(ci * slab, chunk));
+                }
+            });
+        }
+    }
+}
+
+/// Smallest align-multiple slab that covers a `len`-element buffer in
+/// ≤ `threads` pieces, or `None` when the alignment forces a single slab.
+/// The boundary grid depends only on `(len, align, threads)` — never on
+/// scheduling — so a given configuration always splits identically.
+fn slab_size(len: usize, align: usize, threads: usize) -> Option<usize> {
     let slab = len.div_ceil(threads).next_multiple_of(align);
-    if slab >= len {
-        f(0, data);
+    (slab < len).then_some(slab)
+}
+
+/// Runs `f` over matched aligned chunk pairs of two equal-length slices:
+/// `f(offset, &mut a[offset..], &mut b[offset..])` with both chunks the
+/// same length, a multiple of `align` except possibly the trailing pair.
+///
+/// This is the intra-kernel split for gates on *high* target bits: a gate
+/// on bit `b ≥ slab size` couples `amps[i]` with `amps[i|b]`, which can
+/// never share a contiguous slab — but the bit-clear half and bit-set
+/// half of a `2b` super-block are element-wise partners, so chunking the
+/// two halves in lockstep yields independent pair ranges. Chunk `k` of
+/// `a` is transformed only with chunk `k` of `b`, with per-element
+/// arithmetic identical for any partition, so results stay bit-identical
+/// for any thread count.
+pub fn for_slab_pairs<T, F>(a: &mut [T], b: &mut [T], align: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T]) + Sync,
+{
+    assert!(align > 0, "slab alignment must be positive");
+    assert_eq!(a.len(), b.len(), "pair slices must have equal length");
+    let len = a.len();
+    let threads = thread_count();
+    if threads <= 1 || len <= align {
+        f(0, a, b);
         return;
     }
-    std::thread::scope(|scope| {
-        for (ci, chunk) in data.chunks_mut(slab).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(ci * slab, chunk));
+    match slab_size(len, align, threads) {
+        None => f(0, a, b),
+        Some(slab) => {
+            std::thread::scope(|scope| {
+                for (ci, (ca, cb)) in a.chunks_mut(slab).zip(b.chunks_mut(slab)).enumerate() {
+                    let f = &f;
+                    scope.spawn(move || f(ci * slab, ca, cb));
+                }
+            });
         }
-    });
+    }
+}
+
+/// Four-way [`for_slab_pairs`]: matched aligned chunks of four
+/// equal-length slices, `f(offset, c0, c1, c2, c3)`. The quad split
+/// behind two-qubit kernels whose target bits are both above the slab
+/// size — the four basis-bit combinations of a super-block are
+/// element-wise partners, exactly as the two halves are for one high bit.
+pub fn for_slab_quads<T, F>(
+    s0: &mut [T],
+    s1: &mut [T],
+    s2: &mut [T],
+    s3: &mut [T],
+    align: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T], &mut [T], &mut [T]) + Sync,
+{
+    assert!(align > 0, "slab alignment must be positive");
+    assert!(
+        s0.len() == s1.len() && s1.len() == s2.len() && s2.len() == s3.len(),
+        "quad slices must have equal length"
+    );
+    let len = s0.len();
+    let threads = thread_count();
+    if threads <= 1 || len <= align {
+        f(0, s0, s1, s2, s3);
+        return;
+    }
+    match slab_size(len, align, threads) {
+        None => f(0, s0, s1, s2, s3),
+        Some(slab) => {
+            std::thread::scope(|scope| {
+                for (ci, (((c0, c1), c2), c3)) in s0
+                    .chunks_mut(slab)
+                    .zip(s1.chunks_mut(slab))
+                    .zip(s2.chunks_mut(slab))
+                    .zip(s3.chunks_mut(slab))
+                    .enumerate()
+                {
+                    let f = &f;
+                    scope.spawn(move || f(ci * slab, c0, c1, c2, c3));
+                }
+            });
+        }
+    }
 }
 
 /// Maps `f` over the index range `0..n` — the shape restart loops take.
@@ -387,6 +482,117 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn for_slabs_degrades_to_one_serial_slab_at_and_below_one_block() {
+        // Boundary cases for the 256-amplitude kernel block: a buffer of
+        // exactly one block, and one just below it, must both run as a
+        // single serial slab covering everything — never an empty or
+        // misaligned split.
+        for len in [256usize, 255, 1, 0] {
+            let mut data = vec![0u32; len];
+            with_threads(4, || {
+                let calls = std::sync::atomic::AtomicUsize::new(0);
+                for_slabs(&mut data, 256, |base, slab| {
+                    assert_eq!(base, 0, "len {len}: slab must start at 0");
+                    assert_eq!(slab.len(), len, "len {len}: slab must cover all");
+                    slab.iter_mut().for_each(|x| *x += 1);
+                    calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+                let calls = calls.into_inner();
+                assert_eq!(calls, 1, "len {len}: exactly one serial slab");
+            });
+            assert!(data.iter().all(|&x| x == 1));
+        }
+    }
+
+    #[test]
+    fn for_slabs_splits_just_above_one_block() {
+        // Two blocks is the smallest splittable buffer: every slab must
+        // land on the 256 grid and the union must cover exactly once.
+        let mut data = vec![0u8; 512];
+        with_threads(4, || {
+            for_slabs(&mut data, 256, |base, slab| {
+                assert_eq!(base % 256, 0);
+                assert_eq!(slab.len() % 256, 0);
+                slab.iter_mut().for_each(|x| *x += 1);
+            });
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_slab_pairs_covers_matched_chunks_once() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut a: Vec<f64> = (0..2048).map(|i| i as f64 * 0.25).collect();
+                let mut b: Vec<f64> = (0..2048).map(|i| i as f64 - 7.0).collect();
+                for_slab_pairs(&mut a, &mut b, 256, |base, ca, cb| {
+                    assert_eq!(base % 256, 0, "chunk base {base} off the grid");
+                    assert_eq!(ca.len(), cb.len());
+                    for (k, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                        let (x0, y0) = (*x, *y);
+                        *x = x0.sin() + y0 + (base + k) as f64;
+                        *y = y0.cos() - x0;
+                    }
+                });
+                (a, b)
+            })
+        };
+        assert_eq!(run(1), run(4), "pair split must be thread-count invariant");
+    }
+
+    #[test]
+    fn for_slab_pairs_serial_at_and_below_one_block() {
+        for len in [256usize, 255] {
+            let mut a = vec![1u64; len];
+            let mut b = vec![2u64; len];
+            with_threads(8, || {
+                let calls = std::sync::atomic::AtomicUsize::new(0);
+                for_slab_pairs(&mut a, &mut b, 256, |base, ca, cb| {
+                    assert_eq!(base, 0);
+                    assert_eq!(ca.len(), len);
+                    assert_eq!(cb.len(), len);
+                    calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+                let calls = calls.into_inner();
+                assert_eq!(calls, 1, "len {len}: exactly one serial slab pair");
+            });
+        }
+    }
+
+    #[test]
+    fn for_slab_quads_covers_matched_chunks_once() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut s: Vec<Vec<u64>> = (0..4)
+                    .map(|j| (0..1024).map(|i| (j * 1024 + i) as u64).collect())
+                    .collect();
+                let (first, rest) = s.split_at_mut(1);
+                let (second, rest) = rest.split_at_mut(1);
+                let (third, fourth) = rest.split_at_mut(1);
+                for_slab_quads(
+                    &mut first[0],
+                    &mut second[0],
+                    &mut third[0],
+                    &mut fourth[0],
+                    256,
+                    |base, c0, c1, c2, c3| {
+                        assert_eq!(base % 256, 0);
+                        for k in 0..c0.len() {
+                            let sum = c0[k] + c1[k] + c2[k] + c3[k];
+                            c0[k] = sum + (base + k) as u64;
+                            c3[k] = sum ^ c1[k];
+                            c1[k] += 1;
+                            c2[k] = c2[k].rotate_left(3);
+                        }
+                    },
+                );
+                s
+            })
+        };
+        assert_eq!(run(1), run(4), "quad split must be thread-count invariant");
     }
 
     #[test]

@@ -39,6 +39,18 @@ use qmldb_math::{par, CMatrix, C64};
 /// more than the pass itself on small states (< 2¹⁴ amplitudes).
 const PAR_MIN: usize = 1 << 14;
 
+/// The kernel cache block: every parallel split lands on 256-amplitude
+/// (4 KiB) boundaries, matching the diagonal kernel's low-field table
+/// ([`DIAG_LO`]) so all kernels share one deterministic block grid.
+const BLOCK: usize = 256;
+
+/// Number of `2b` super-blocks above which a gate on a high target bit
+/// keeps the contiguous slab path: with at least this many independent
+/// super-blocks, slabs aligned to `2b` already feed every worker, and an
+/// intra-block pair split would only add dispatch overhead. Below it
+/// (top-bit gates), the pair split is the only source of parallelism.
+const PAR_SUPER: usize = 16;
+
 /// Number of low index bits the diagonal kernel factors into pass-wide
 /// tables (the "low field"). 2⁸ complex entries keep every table in L1.
 const DIAG_LO_BITS: usize = 8;
@@ -897,7 +909,10 @@ fn apply_diag(amps: &mut [C64], terms: &[ResolvedDiag], n_plain: usize) {
     });
 
     if !ctrl.is_empty() {
-        slabbed(amps, 1, |base, slab| {
+        // Same 256-aligned grid as every other kernel (per-amplitude work,
+        // so any partition is exact — the alignment just keeps splits on
+        // cache-block boundaries).
+        slabbed(amps, lo_dim, |base, slab| {
             for (k, a) in slab.iter_mut().enumerate() {
                 let i = base + k;
                 let mut w = 0.0f64;
@@ -915,83 +930,226 @@ fn apply_diag(amps: &mut [C64], terms: &[ResolvedDiag], n_plain: usize) {
     }
 }
 
-/// (Controlled) dense 1q kernel over pairs `(i, i|bit)`.
-fn apply_1q(amps: &mut [C64], bit: usize, cmask: usize, m: &[C64; 4]) {
-    slabbed(amps, 2 * bit, |base, slab| {
-        if cmask == 0 {
-            let mut lo = 0;
-            while lo + 2 * bit <= slab.len() {
-                let (h0, h1) = slab[lo..lo + 2 * bit].split_at_mut(bit);
-                for (a0r, a1r) in h0.iter_mut().zip(h1.iter_mut()) {
-                    let (a0, a1) = (*a0r, *a1r);
-                    *a0r = m[0] * a0 + m[1] * a1;
-                    *a1r = m[2] * a0 + m[3] * a1;
-                }
-                lo += 2 * bit;
+/// Runs `f` over every matched (bit-clear, bit-set) half-block pair of a
+/// gate on target `bit`: `f(base, h0, h1)` where `h0[k]` (global index
+/// `base + k`, bit clear) is the amplitude-pair partner of `h1[k]`.
+///
+/// The decomposition adapts to where the target bit sits, but the
+/// per-pair arithmetic `f` performs is identical either way, so the
+/// choice never changes a single rounding:
+///
+/// * **Low bits / many super-blocks** — contiguous slabs aligned to the
+///   block grid, each slab's `2·bit` blocks split at `bit` in place. This
+///   is the classic slab path, now with [`BLOCK`]-aligned boundaries.
+/// * **High bits, few super-blocks** (top-bit gates, where an aligned
+///   contiguous split degenerates to one serial slab) — the two halves
+///   of each `2·bit` super-block are chunked in lockstep via
+///   [`par::for_slab_pairs`], splitting the *amplitude range of a single
+///   gate* across workers.
+fn for_pair_halves<F>(amps: &mut [C64], bit: usize, f: F)
+where
+    F: Fn(usize, &mut [C64], &mut [C64]) + Sync,
+{
+    let sb = 2 * bit;
+    let pair_split = bit >= BLOCK
+        && amps.len() >= PAR_MIN
+        && amps.len() / sb < PAR_SUPER
+        && par::thread_count() > 1;
+    if pair_split {
+        for (sbi, block) in amps.chunks_mut(sb).enumerate() {
+            let (h0, h1) = block.split_at_mut(bit);
+            par::for_slab_pairs(h0, h1, BLOCK, |off, a, b| f(sbi * sb + off, a, b));
+        }
+    } else {
+        slabbed(amps, sb.max(BLOCK), |slab_base, slab| {
+            for (bi, block) in slab.chunks_mut(sb).enumerate() {
+                let (h0, h1) = block.split_at_mut(bit);
+                f(slab_base + bi * sb, h0, h1);
             }
-        } else {
-            for k in 0..slab.len() {
-                let i = base + k;
-                if i & bit == 0 && i & cmask == cmask {
-                    let (a0, a1) = (slab[k], slab[k + bit]);
-                    slab[k] = m[0] * a0 + m[1] * a1;
-                    slab[k + bit] = m[2] * a0 + m[3] * a1;
-                }
+        });
+    }
+}
+
+/// Runs `f` over every matched quadruple chunk of a two-qubit op on
+/// target bits `ba`/`bb`: `f(base, c00, c01, c10, c11)` where, with
+/// `lo`/`hi` the smaller/larger bit, `c00[k]` (global index `base + k`,
+/// both bits clear) partners `c01[k]` (`+lo`), `c10[k]` (`+hi`) and
+/// `c11[k]` (`+lo+hi`).
+///
+/// When both strides exceed the cache block and the super-blocks are too
+/// few to feed the pool, the four bit-combination stripes of each
+/// super-block are chunked in lockstep ([`par::for_slab_quads`]);
+/// otherwise the `lo` interleave is peeled inside [`for_pair_halves`]'s
+/// chunk pairs. Every path hands `f` four contiguous streams on the same
+/// 256-aligned grid — the cache-blocked form of the 2q gather/scatter —
+/// and `f`'s per-quad arithmetic is identical across paths.
+fn quad_slabbed<F>(amps: &mut [C64], ba: usize, bb: usize, f: F)
+where
+    F: Fn(usize, &mut [C64], &mut [C64], &mut [C64], &mut [C64]) + Sync,
+{
+    let (lo, hi) = (ba.min(bb), ba.max(bb));
+    let quad_split = lo >= BLOCK
+        && amps.len() >= PAR_MIN
+        && amps.len() / (2 * hi) < PAR_SUPER
+        && par::thread_count() > 1;
+    if quad_split {
+        for (sbi, block) in amps.chunks_mut(2 * hi).enumerate() {
+            let (l, h) = block.split_at_mut(hi);
+            for (si, (lsub, hsub)) in l.chunks_mut(2 * lo).zip(h.chunks_mut(2 * lo)).enumerate() {
+                let (c00, c01) = lsub.split_at_mut(lo);
+                let (c10, c11) = hsub.split_at_mut(lo);
+                let base = sbi * 2 * hi + si * 2 * lo;
+                par::for_slab_quads(c00, c01, c10, c11, BLOCK, |off, a, b, c, d| {
+                    f(base + off, a, b, c, d)
+                });
             }
         }
-    });
+    } else {
+        for_pair_halves(amps, hi, |base, l, h| {
+            for (si, (lsub, hsub)) in l.chunks_mut(2 * lo).zip(h.chunks_mut(2 * lo)).enumerate() {
+                let (c00, c01) = lsub.split_at_mut(lo);
+                let (c10, c11) = hsub.split_at_mut(lo);
+                f(base + si * 2 * lo, c00, c01, c10, c11);
+            }
+        });
+    }
+}
+
+/// One 2×2 application to an amplitude pair as fused multiply-adds — the
+/// single arithmetic expression shared by every dense-1q path (serial,
+/// slab, pair-split, controlled), which is what keeps compiled results
+/// bit-identical however the state is partitioned.
+#[inline(always)]
+fn mat2_apply(m: &[C64; 4], a0: C64, a1: C64) -> (C64, C64) {
+    (m[0].mul_add(a0, m[1] * a1), m[2].mul_add(a0, m[3] * a1))
+}
+
+/// One 4×4 application to an amplitude quadruple as a fused multiply-add
+/// chain per row; shared by every dense-2q path like [`mat2_apply`].
+#[inline(always)]
+fn mat4_apply(m: &[C64; 16], a0: C64, a1: C64, a2: C64, a3: C64) -> (C64, C64, C64, C64) {
+    (
+        m[0].mul_add(a0, m[1].mul_add(a1, m[2].mul_add(a2, m[3] * a3))),
+        m[4].mul_add(a0, m[5].mul_add(a1, m[6].mul_add(a2, m[7] * a3))),
+        m[8].mul_add(a0, m[9].mul_add(a1, m[10].mul_add(a2, m[11] * a3))),
+        m[12].mul_add(a0, m[13].mul_add(a1, m[14].mul_add(a2, m[15] * a3))),
+    )
+}
+
+/// The hottest loop in the engine: an uncontrolled dense 1q gate over
+/// matched half-blocks, manually unrolled four pairs deep so the four
+/// complex-FMA chains pipeline independently. The remainder loop reuses
+/// [`mat2_apply`] verbatim, so unrolling never changes a result.
+fn kernel_1q(h0: &mut [C64], h1: &mut [C64], m: &[C64; 4]) {
+    let n = h0.len();
+    debug_assert_eq!(n, h1.len());
+    let mut k = 0;
+    while k + 4 <= n {
+        let (a, b) = (
+            mat2_apply(m, h0[k], h1[k]),
+            mat2_apply(m, h0[k + 1], h1[k + 1]),
+        );
+        let (c, d) = (
+            mat2_apply(m, h0[k + 2], h1[k + 2]),
+            mat2_apply(m, h0[k + 3], h1[k + 3]),
+        );
+        h0[k] = a.0;
+        h1[k] = a.1;
+        h0[k + 1] = b.0;
+        h1[k + 1] = b.1;
+        h0[k + 2] = c.0;
+        h1[k + 2] = c.1;
+        h0[k + 3] = d.0;
+        h1[k + 3] = d.1;
+        k += 4;
+    }
+    while k < n {
+        let r = mat2_apply(m, h0[k], h1[k]);
+        h0[k] = r.0;
+        h1[k] = r.1;
+        k += 1;
+    }
+}
+
+/// (Controlled) dense 1q kernel over pairs `(i, i|bit)`.
+fn apply_1q(amps: &mut [C64], bit: usize, cmask: usize, m: &[C64; 4]) {
+    if cmask == 0 {
+        for_pair_halves(amps, bit, |_, h0, h1| kernel_1q(h0, h1, m));
+    } else {
+        for_pair_halves(amps, bit, |base, h0, h1| {
+            for k in 0..h0.len() {
+                if (base + k) & cmask == cmask {
+                    let r = mat2_apply(m, h0[k], h1[k]);
+                    h0[k] = r.0;
+                    h1[k] = r.1;
+                }
+            }
+        });
+    }
 }
 
 /// (Multi-controlled) X kernel: swaps pairs `(i, i|bit)`.
 fn apply_flip(amps: &mut [C64], bit: usize, cmask: usize) {
-    slabbed(amps, 2 * bit, |base, slab| {
-        if cmask == 0 {
-            let mut lo = 0;
-            while lo + 2 * bit <= slab.len() {
-                let (h0, h1) = slab[lo..lo + 2 * bit].split_at_mut(bit);
-                for (a0r, a1r) in h0.iter_mut().zip(h1.iter_mut()) {
-                    std::mem::swap(a0r, a1r);
-                }
-                lo += 2 * bit;
+    if cmask == 0 {
+        for_pair_halves(amps, bit, |_, h0, h1| {
+            for (a, b) in h0.iter_mut().zip(h1.iter_mut()) {
+                std::mem::swap(a, b);
             }
-        } else {
-            for k in 0..slab.len() {
-                let i = base + k;
-                if i & bit == 0 && i & cmask == cmask {
-                    slab.swap(k, k + bit);
+        });
+    } else {
+        for_pair_halves(amps, bit, |base, h0, h1| {
+            for k in 0..h0.len() {
+                if (base + k) & cmask == cmask {
+                    std::mem::swap(&mut h0[k], &mut h1[k]);
                 }
             }
-        }
-    });
+        });
+    }
 }
 
 /// (Controlled) SWAP kernel: exchanges `i` (ta set, tb clear) with
-/// `i ^ ta ^ tb`.
+/// `i ^ ta ^ tb` — elementwise `c01[k] ↔ c10[k]` in quadruple form.
+/// `cmask` is disjoint from both targets, so the control test reads the
+/// shared non-target bits `base + k`.
 fn apply_swap(amps: &mut [C64], ta: usize, tb: usize, cmask: usize) {
-    slabbed(amps, 2 * ta.max(tb), |base, slab| {
-        for k in 0..slab.len() {
-            let i = base + k;
-            if i & ta != 0 && i & tb == 0 && i & cmask == cmask {
-                let j = i ^ ta ^ tb;
-                slab.swap(k, j - base);
+    quad_slabbed(amps, ta, tb, |base, _c00, c01, c10, _c11| {
+        if cmask == 0 {
+            for (a, b) in c01.iter_mut().zip(c10.iter_mut()) {
+                std::mem::swap(a, b);
+            }
+        } else {
+            for k in 0..c01.len() {
+                if (base + k) & cmask == cmask {
+                    std::mem::swap(&mut c01[k], &mut c10[k]);
+                }
             }
         }
     });
 }
 
 /// (Controlled) dense 2q kernel over quadruples; sub-index bit 0 is `ta`.
+/// [`quad_slabbed`] delivers chunks in lo/hi stride order, so the middle
+/// two are swapped into `ta`/`tb` order before the 4×4 rows apply.
 fn apply_2q(amps: &mut [C64], ta: usize, tb: usize, cmask: usize, m: &[C64; 16]) {
-    let tmask = ta | tb;
-    slabbed(amps, 2 * ta.max(tb), |base, slab| {
-        for k in 0..slab.len() {
-            let i = base + k;
-            if i & tmask == 0 && i & cmask == cmask {
-                let (i0, i1, i2, i3) = (k, k + ta, k + tb, k + ta + tb);
-                let (a0, a1, a2, a3) = (slab[i0], slab[i1], slab[i2], slab[i3]);
-                slab[i0] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-                slab[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-                slab[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-                slab[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    quad_slabbed(amps, ta, tb, |base, c00, clo, chi, c11| {
+        let (c01, c10) = if ta < tb { (clo, chi) } else { (chi, clo) };
+        if cmask == 0 {
+            for k in 0..c00.len() {
+                let r = mat4_apply(m, c00[k], c01[k], c10[k], c11[k]);
+                c00[k] = r.0;
+                c01[k] = r.1;
+                c10[k] = r.2;
+                c11[k] = r.3;
+            }
+        } else {
+            for k in 0..c00.len() {
+                if (base + k) & cmask == cmask {
+                    let r = mat4_apply(m, c00[k], c01[k], c10[k], c11[k]);
+                    c00[k] = r.0;
+                    c01[k] = r.1;
+                    c10[k] = r.2;
+                    c11[k] = r.3;
+                }
             }
         }
     });

@@ -157,11 +157,44 @@ impl Simulator {
     /// workhorse of Gram-matrix feature-state preparation and sweep-style
     /// experiment drivers.
     ///
+    /// Batched execution always takes the compiled path, regardless of
+    /// circuit size: the interpreter-vs-compiled crossover in
+    /// [`StateVector::run`] is a *one-shot* heuristic, and routing batch
+    /// members through it made small circuits re-enter the interpreter on
+    /// every element (and drift bitwise from compiled single runs of the
+    /// same circuit).
+    ///
     /// # Panics
     /// Panics if the simulator has a non-ideal noise model, like
     /// [`Simulator::run`].
     pub fn run_batch(&self, circuits: &[Circuit], params: &[f64]) -> Vec<StateVector> {
-        qmldb_math::par::map(circuits, |_, c| self.run(c, params))
+        assert!(
+            self.noise.is_ideal(),
+            "noisy simulation produces mixed states; use run_density"
+        );
+        qmldb_math::par::map(circuits, |_, c| c.compile().execute(params))
+    }
+
+    /// Runs one pre-compiled circuit against many parameter vectors,
+    /// returning final states in input order — the batched form of
+    /// [`Simulator::run_compiled`]. Compilation and parameter-shape
+    /// resolution are paid once for the whole batch, which is the shape of
+    /// every shot loop, parameter sweep, and gradient stencil in the
+    /// workspace.
+    ///
+    /// # Panics
+    /// Panics if the simulator has a non-ideal noise model, like
+    /// [`Simulator::run`].
+    pub fn run_batch_params(
+        &self,
+        compiled: &CompiledCircuit,
+        param_sets: &[Vec<f64>],
+    ) -> Vec<StateVector> {
+        assert!(
+            self.noise.is_ideal(),
+            "noisy simulation produces mixed states; use run_density"
+        );
+        qmldb_math::par::map(param_sets, |_, params| compiled.execute(params))
     }
 
     /// Shot-based estimate of ⟨H⟩ by measuring each Pauli term in its own
@@ -300,7 +333,7 @@ mod tests {
     }
 
     #[test]
-    fn run_batch_matches_individual_runs() {
+    fn run_batch_matches_individual_compiled_runs() {
         let sim = Simulator::new();
         let circuits: Vec<Circuit> = (0..9)
             .map(|i| {
@@ -312,7 +345,40 @@ mod tests {
         let batch = sim.run_batch(&circuits, &[]);
         assert_eq!(batch.len(), circuits.len());
         for (c, s) in circuits.iter().zip(&batch) {
-            assert_eq!(*s, sim.run(c, &[]));
+            assert_eq!(*s, sim.run_compiled(&c.compile(), &[]));
+        }
+    }
+
+    #[test]
+    fn run_batch_takes_the_compiled_path_below_the_one_shot_crossover() {
+        // Regression: `run_batch` used to route members through the
+        // one-shot `StateVector::run` crossover, so circuits under
+        // COMPILE_MIN_QUBITS interpreted on every batch element. The
+        // compiled path fuses H·H to identity and returns |00⟩ *exactly*;
+        // the interpreter applies H twice and lands on
+        // 2·(1/√2)² = 0.9999999999999998. Bit-exactness of the amplitude
+        // is therefore a path witness, not a tolerance choice.
+        let mut c = Circuit::new(2);
+        c.h(0).h(0);
+        assert!(c.n_qubits() < StateVector::COMPILE_MIN_QUBITS);
+        let sim = Simulator::new();
+        let batch = sim.run_batch(std::slice::from_ref(&c), &[]);
+        assert_eq!(batch[0].amplitudes()[0], qmldb_math::C64::ONE);
+        assert_eq!(batch[0], sim.run_compiled(&c.compile(), &[]));
+    }
+
+    #[test]
+    fn run_batch_params_matches_per_params_compiled_runs() {
+        let mut c = Circuit::new(3);
+        let p = c.new_param();
+        c.h(0).ry(1, p).rzz(0, 2, p).cx(1, 2);
+        let cc = c.compile();
+        let sim = Simulator::new();
+        let param_sets: Vec<Vec<f64>> = (0..7).map(|k| vec![0.4 * k as f64 - 1.2]).collect();
+        let batch = sim.run_batch_params(&cc, &param_sets);
+        assert_eq!(batch.len(), param_sets.len());
+        for (ps, s) in param_sets.iter().zip(&batch) {
+            assert_eq!(*s, sim.run_compiled(&cc, ps));
         }
     }
 

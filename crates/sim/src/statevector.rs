@@ -114,11 +114,19 @@ impl StateVector {
     /// On [`Self::COMPILE_MIN_QUBITS`] qubits or more, the circuit is
     /// lowered through [`crate::compile::CompiledCircuit`] (specialized
     /// kernels, gate fusion, slab parallelism) before executing; below
-    /// that, lowering costs more than the handful of amplitudes it saves
-    /// (one-shot encoding circuits in Gram matrices are the hot case), so
-    /// instructions run through the generic path directly. Callers that
-    /// run the same circuit many times should compile once with
-    /// [`Circuit::compile`] and reuse the result.
+    /// that, lowering costs more than the handful of amplitudes it saves,
+    /// so instructions run through the generic path directly.
+    ///
+    /// This crossover is a **one-shot** heuristic and this method is its
+    /// only user: every compile-once/run-many entry point
+    /// ([`crate::Simulator::run_batch`],
+    /// [`crate::Simulator::run_batch_params`],
+    /// [`crate::Simulator::run_compiled`], kernel Gram rows) takes the
+    /// compiled path unconditionally, because over a batch the lowering
+    /// cost amortizes to nothing while the interpreter's per-gate taxes
+    /// recur on every element. Callers that run the same circuit many
+    /// times should likewise compile once with [`Circuit::compile`] and
+    /// reuse the result.
     pub fn run(&mut self, circuit: &Circuit, params: &[f64]) {
         assert_eq!(self.n, circuit.n_qubits(), "circuit qubit count mismatch");
         assert!(

@@ -178,6 +178,58 @@ fn compiled_circuit_run_is_identical_on_1_and_4_threads() {
 }
 
 #[test]
+fn intra_kernel_amplitude_split_is_identical_on_1_and_4_threads() {
+    // Gates on the *top* qubits are the ones whose aligned contiguous
+    // slabs degenerate to a single span, so the 4-worker run goes through
+    // the intra-kernel pair/quad splits (one gate's amplitude range shared
+    // across workers) rather than whole-slab fan-out. Every split path is
+    // pinned: dense 1q on the top bit, dense 2q with both targets high,
+    // mixed high/low 2q, SWAP and controlled forms across the boundary.
+    let n = 15;
+    let mut rng = Rng64::new(83);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.ry(n - 1, rng.uniform_range(-3.0, 3.0));
+    c.rx(n - 2, rng.uniform_range(-3.0, 3.0));
+    c.rxx(n - 2, n - 1, rng.uniform_range(-3.0, 3.0));
+    c.rxx(1, n - 1, rng.uniform_range(-3.0, 3.0));
+    c.swap(0, n - 1).cx(2, n - 1).cswap(1, 3, n - 1);
+    c.x(n - 1).rzz(0, n - 1, rng.uniform_range(-1.0, 1.0));
+    let compiled = c.compile();
+    let sim = Simulator::new();
+    let (serial, parallel) = on_1_and_4_threads(|| sim.run_compiled(&compiled, &[]));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn run_batch_is_identical_on_1_and_4_threads() {
+    let circuits: Vec<Circuit> = (0..6)
+        .map(|i| {
+            let mut c = Circuit::new(4);
+            c.h(0).ry(1, 0.3 * i as f64).cx(0, 2).rzz(2, 3, 0.7);
+            c
+        })
+        .collect();
+    let sim = Simulator::new();
+    let (serial, parallel) = on_1_and_4_threads(|| sim.run_batch(&circuits, &[]));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn run_batch_params_is_identical_on_1_and_4_threads() {
+    let mut c = Circuit::new(5);
+    let p = c.new_param();
+    c.h(0).ry(2, p).cx(0, 3).rzz(3, 4, p).rx(4, 0.4);
+    let compiled = c.compile();
+    let param_sets: Vec<Vec<f64>> = (0..10).map(|k| vec![0.31 * k as f64 - 1.4]).collect();
+    let sim = Simulator::new();
+    let (serial, parallel) = on_1_and_4_threads(|| sim.run_batch_params(&compiled, &param_sets));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn vqc_training_is_identical_on_1_and_4_threads() {
     // Vqc::train fans per-sample (output, gradient) evaluation out over
     // the parallel layer and reduces serially in sample order: trained
