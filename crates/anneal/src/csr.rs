@@ -26,8 +26,22 @@ impl CsrAdjacency {
     /// `(i, j, w)` edges. Each edge lands in both row `i` and row `j`;
     /// rows come out sorted by target. Duplicate edges are kept as-is —
     /// callers merge them first (the models already do).
+    ///
+    /// # Panics
+    ///
+    /// Targets are `u32`, so models with more than `u32::MAX` nodes
+    /// cannot be represented: exceeding that limit panics with a clear
+    /// message instead of silently truncating indices. The total entry
+    /// count is accumulated with checked arithmetic, so an edge list
+    /// whose directed-entry count overflows `usize` also panics instead
+    /// of corrupting row offsets.
     pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
-        assert!(n <= u32::MAX as usize, "node count exceeds u32 targets");
+        assert!(
+            n <= u32::MAX as usize,
+            "CsrAdjacency holds at most {} nodes (u32 neighbor indices); \
+             got {n} — partition the model into shards first",
+            u32::MAX
+        );
         let mut degree = vec![0usize; n];
         for &(a, b, _) in edges {
             assert!(a < n && b < n, "edge out of range");
@@ -39,7 +53,9 @@ impl CsrAdjacency {
         let mut total = 0usize;
         offsets.push(0);
         for &d in &degree {
-            total += d;
+            total = total
+                .checked_add(d)
+                .expect("CsrAdjacency entry count overflows usize offsets");
             offsets.push(total);
         }
         let mut targets = vec![0u32; total];
@@ -152,5 +168,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_edges() {
         CsrAdjacency::from_edges(2, &[(0, 2, 1.0)]);
+    }
+
+    /// The node-count guard fires before any allocation, so requesting
+    /// one node more than `u32` can index panics cleanly (instead of
+    /// truncating neighbor indices — or attempting a 32 GiB allocation).
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "at most 4294967295 nodes")]
+    fn rejects_node_counts_beyond_u32() {
+        CsrAdjacency::from_edges(u32::MAX as usize + 1, &[]);
+    }
+
+    /// The largest representable node count is accepted by the guard
+    /// itself (the check is `>`, not `>=`, on the index domain): verify
+    /// the boundary predicate directly rather than allocating 32 GiB.
+    #[test]
+    fn node_count_guard_boundary_is_exact() {
+        let limit = u32::MAX as usize;
+        assert!(limit <= u32::MAX as usize);
+        assert!(limit + 1 > u32::MAX as usize);
+        // A node index equal to limit - 1 survives the u32 round-trip.
+        assert_eq!((limit - 1) as u32 as usize, limit - 1);
     }
 }

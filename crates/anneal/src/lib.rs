@@ -31,8 +31,10 @@ pub mod embed;
 pub mod exact;
 pub mod field;
 pub mod ising;
+pub mod partition;
 pub mod qubo;
 pub mod sa;
+pub mod sparse;
 pub mod sqa;
 pub mod tabu;
 pub mod tempering;
@@ -47,8 +49,13 @@ pub use embed::{Chimera, Embedding};
 pub use exact::{solve_exact, ExactSolution};
 pub use field::{IsingFields, QuboFields};
 pub use ising::{bits_to_spins, spins_to_bits, Ising};
+pub use partition::{
+    embedding_shard_budget, partition_graph, sharded_anneal, sharded_anneal_qubo, Partition,
+    ShardedParams, ShardedResult,
+};
 pub use qubo::Qubo;
 pub use sa::{simulated_annealing, AnnealResult, SaParams};
+pub use sparse::SparseQubo;
 pub use sqa::{simulated_quantum_annealing, SqaParams};
 pub use tabu::{tabu_search, TabuParams, TabuResult};
 pub use tempering::{parallel_tempering, TemperingParams};

@@ -6,14 +6,43 @@
 
 use crate::csr::CsrAdjacency;
 use crate::ising::Ising;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A QUBO instance with dense upper-triangular coefficients.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Qubo {
     n: usize,
     /// Upper-triangular coefficients, row-major: `coeff[i*n + j]` for i ≤ j.
     coeff: Vec<f64>,
     offset: f64,
+    /// Lazily built CSR snapshot of the off-diagonal structure, shared by
+    /// every solver restart/shard that asks for it. Invalidated whenever
+    /// an off-diagonal coefficient changes.
+    adj: OnceLock<Arc<CsrAdjacency>>,
+    /// How many times the CSR snapshot has actually been rebuilt — the
+    /// regression counter pinning the build-once contract.
+    adj_builds: AtomicUsize,
+}
+
+impl Clone for Qubo {
+    fn clone(&self) -> Self {
+        Qubo {
+            n: self.n,
+            coeff: self.coeff.clone(),
+            offset: self.offset,
+            // The snapshot is immutable and refcounted: the clone shares it.
+            adj: self.adj.clone(),
+            adj_builds: AtomicUsize::new(self.adj_builds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Qubo {
+    fn eq(&self, other: &Self) -> bool {
+        // The adjacency cache is derived state; equality is the model.
+        self.n == other.n && self.coeff == other.coeff && self.offset == other.offset
+    }
 }
 
 impl Qubo {
@@ -23,6 +52,8 @@ impl Qubo {
             n,
             coeff: vec![0.0; n * n],
             offset: 0.0,
+            adj: OnceLock::new(),
+            adj_builds: AtomicUsize::new(0),
         }
     }
 
@@ -52,6 +83,12 @@ impl Qubo {
         assert!(i < self.n && j < self.n, "variable out of range");
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
         self.coeff[a * self.n + b] += w;
+        if a != b {
+            // Off-diagonal structure changed: drop the CSR snapshot so the
+            // next `adjacency()` call rebuilds it. Diagonal (linear) edits
+            // leave the adjacency untouched.
+            self.adj = OnceLock::new();
+        }
     }
 
     /// Adds `w·xᵢ` (linear term).
@@ -120,20 +157,33 @@ impl Qubo {
         Ising::new(h, couplings, offset)
     }
 
-    /// Snapshots the off-diagonal structure as a flat CSR adjacency —
-    /// the layout [`crate::field::QuboFields`] scans. Built on demand
-    /// (the QUBO itself stays mutable); solvers call this once per solve.
-    pub fn adjacency(&self) -> CsrAdjacency {
-        let mut edges = Vec::new();
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let w = self.coeff[i * self.n + j];
-                if w != 0.0 {
-                    edges.push((i, j, w));
+    /// The off-diagonal structure as a flat CSR adjacency — the layout
+    /// [`crate::field::QuboFields`] scans. Built at most once per
+    /// structural state and shared: repeated calls (solver restarts,
+    /// shards, clones) hand out the same refcounted snapshot, and only a
+    /// subsequent off-diagonal [`Qubo::add`] forces a rebuild. The O(n²)
+    /// scan that used to run once *per solve* now runs once per model.
+    pub fn adjacency(&self) -> Arc<CsrAdjacency> {
+        Arc::clone(self.adj.get_or_init(|| {
+            self.adj_builds.fetch_add(1, Ordering::Relaxed);
+            let mut edges = Vec::new();
+            for i in 0..self.n {
+                for j in (i + 1)..self.n {
+                    let w = self.coeff[i * self.n + j];
+                    if w != 0.0 {
+                        edges.push((i, j, w));
+                    }
                 }
             }
-        }
-        CsrAdjacency::from_edges(self.n, &edges)
+            Arc::new(CsrAdjacency::from_edges(self.n, &edges))
+        }))
+    }
+
+    /// How many times the CSR adjacency has been rebuilt on this
+    /// instance — the regression counter for the build-once contract
+    /// (clones inherit the count at clone time).
+    pub fn adjacency_builds(&self) -> usize {
+        self.adj_builds.load(Ordering::Relaxed)
     }
 
     /// Interprets the low `n` bits of an integer as an assignment
@@ -224,5 +274,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_add_panics() {
         Qubo::new(2).add(0, 2, 1.0);
+    }
+
+    #[test]
+    fn adjacency_is_built_once_and_shared() {
+        let q = toy();
+        assert_eq!(q.adjacency_builds(), 0);
+        let a = q.adjacency();
+        let b = q.adjacency();
+        assert!(Arc::ptr_eq(&a, &b), "snapshot must be shared, not rebuilt");
+        assert_eq!(q.adjacency_builds(), 1);
+        // Clones share the snapshot too — no rebuild on the clone.
+        let c = q.clone();
+        assert!(Arc::ptr_eq(&a, &c.adjacency()));
+        assert_eq!(c.adjacency_builds(), 1);
+    }
+
+    #[test]
+    fn adjacency_rebuilds_only_on_structural_edits() {
+        let mut q = toy();
+        let before = q.adjacency();
+        // Linear (diagonal) and offset edits keep the snapshot.
+        q.add_linear(0, 0.5);
+        q.add_offset(1.0);
+        assert!(Arc::ptr_eq(&before, &q.adjacency()));
+        assert_eq!(q.adjacency_builds(), 1);
+        // An off-diagonal edit invalidates it.
+        q.add(0, 1, -1.0);
+        let after = q.adjacency();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(q.adjacency_builds(), 2);
+        let row0: Vec<(usize, f64)> = after.iter_row(0).collect();
+        assert_eq!(row0, vec![(1, 1.0)]);
     }
 }

@@ -1,0 +1,231 @@
+//! Sparse QUBO models for production-scale instances.
+//!
+//! The dense [`crate::qubo::Qubo`] stores all `n²` upper-triangular
+//! coefficients — perfect for the ≤ few-hundred-variable workloads the
+//! small experiments use, impossible at the 10⁵–10⁶ variables the
+//! partitioned annealer ([`crate::partition`]) targets (10⁵ variables
+//! would already be an 80 GB coefficient matrix). `SparseQubo` keeps only
+//! the nonzero terms: a linear vector, merged `(i, j, w)` quadratic
+//! terms, and the same flat [`CsrAdjacency`] every solver hot loop scans.
+
+use crate::csr::CsrAdjacency;
+use crate::ising::Ising;
+use crate::qubo::Qubo;
+
+/// A QUBO with sparse quadratic terms:
+/// `E(x) = Σᵢ lᵢxᵢ + Σ_{i<j} wᵢⱼxᵢxⱼ + offset`.
+#[derive(Clone, Debug)]
+pub struct SparseQubo {
+    n: usize,
+    linear: Vec<f64>,
+    /// Quadratic terms with `i < j`, duplicates merged, zeros dropped.
+    quad: Vec<(usize, usize, f64)>,
+    /// Symmetric CSR adjacency over the quadratic terms.
+    adj: CsrAdjacency,
+    offset: f64,
+}
+
+impl SparseQubo {
+    /// Builds a model from linear and quadratic terms. Duplicate
+    /// quadratic terms are summed; diagonal terms are rejected (fold them
+    /// into `linear` — `x² = x` for binaries).
+    pub fn from_terms(linear: Vec<f64>, quad: Vec<(usize, usize, f64)>, offset: f64) -> Self {
+        let n = linear.len();
+        let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for (a, b, w) in quad {
+            assert!(a < n && b < n, "quadratic term out of range");
+            assert_ne!(a, b, "diagonal quadratic term (fold into linear)");
+            let key = if a < b { (a, b) } else { (b, a) };
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        let quad: Vec<(usize, usize, f64)> = merged
+            .into_iter()
+            .filter(|&(_, w)| w != 0.0)
+            .map(|((a, b), w)| (a, b, w))
+            .collect();
+        let adj = CsrAdjacency::from_edges(n, &quad);
+        SparseQubo {
+            n,
+            linear,
+            quad,
+            adj,
+            offset,
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzero quadratic terms.
+    pub fn nnz(&self) -> usize {
+        self.quad.len()
+    }
+
+    /// Linear coefficients.
+    pub fn linear(&self) -> &[f64] {
+        &self.linear
+    }
+
+    /// Quadratic terms as `(i, j, w)` with `i < j`.
+    pub fn quadratic(&self) -> &[(usize, usize, f64)] {
+        &self.quad
+    }
+
+    /// Constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The flat CSR adjacency over the quadratic terms (borrowed — built
+    /// once at construction, never rebuilt).
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adj
+    }
+
+    /// Energy of an assignment, O(n + nnz).
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length");
+        let mut e = self.offset;
+        for (i, &l) in self.linear.iter().enumerate() {
+            if x[i] {
+                e += l;
+            }
+        }
+        for &(a, b, w) in &self.quad {
+            if x[a] && x[b] {
+                e += w;
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping variable `i`, O(degree).
+    pub fn delta_energy(&self, x: &[bool], i: usize) -> f64 {
+        let mut contrib = self.linear[i];
+        for (j, w) in self.adj.iter_row(i) {
+            if x[j] {
+                contrib += w;
+            }
+        }
+        if x[i] {
+            -contrib
+        } else {
+            contrib
+        }
+    }
+
+    /// Converts to the equivalent Ising model via `xᵢ = (1 + sᵢ)/2`,
+    /// preserving energies exactly — the sparse analogue of
+    /// [`Qubo::to_ising`], O(n + nnz) instead of O(n²).
+    pub fn to_ising(&self) -> Ising {
+        let n = self.n;
+        let mut h = vec![0.0f64; n];
+        let mut couplings = Vec::with_capacity(self.quad.len());
+        let mut offset = self.offset;
+        for (i, &l) in self.linear.iter().enumerate() {
+            h[i] += l / 2.0;
+            offset += l / 2.0;
+        }
+        for &(a, b, w) in &self.quad {
+            couplings.push((a, b, w / 4.0));
+            h[a] += w / 4.0;
+            h[b] += w / 4.0;
+            offset += w / 4.0;
+        }
+        Ising::new(h, couplings, offset)
+    }
+
+    /// Expands to the dense representation — only for small cross-checks.
+    pub fn to_dense(&self) -> Qubo {
+        let mut q = Qubo::new(self.n);
+        for (i, &l) in self.linear.iter().enumerate() {
+            q.add_linear(i, l);
+        }
+        for &(a, b, w) in &self.quad {
+            q.add(a, b, w);
+        }
+        q.add_offset(self.offset);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmldb_math::Rng64;
+
+    fn random_sparse(n: usize, degree: usize, rng: &mut Rng64) -> SparseQubo {
+        let linear: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let mut quad = Vec::new();
+        for i in 0..n {
+            for _ in 0..degree {
+                let j = rng.index(n);
+                if j != i {
+                    quad.push((i, j, rng.uniform_range(-1.0, 1.0)));
+                }
+            }
+        }
+        SparseQubo::from_terms(linear, quad, rng.uniform_range(-2.0, 2.0))
+    }
+
+    #[test]
+    fn energy_matches_dense_expansion() {
+        let mut rng = Rng64::new(41);
+        let q = random_sparse(12, 3, &mut rng);
+        let dense = q.to_dense();
+        for _ in 0..50 {
+            let x: Vec<bool> = (0..12).map(|_| rng.chance(0.5)).collect();
+            assert!((q.energy(&x) - dense.energy(&x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_energy_matches_recomputation() {
+        let mut rng = Rng64::new(43);
+        let q = random_sparse(10, 3, &mut rng);
+        let mut x: Vec<bool> = (0..10).map(|_| rng.chance(0.5)).collect();
+        for i in 0..10 {
+            let before = q.energy(&x);
+            let d = q.delta_energy(&x, i);
+            x[i] = !x[i];
+            let after = q.energy(&x);
+            x[i] = !x[i];
+            assert!((after - before - d).abs() < 1e-9, "flip {i}");
+        }
+    }
+
+    #[test]
+    fn ising_conversion_preserves_energy() {
+        let mut rng = Rng64::new(47);
+        let q = random_sparse(8, 2, &mut rng);
+        let ising = q.to_ising();
+        for idx in 0..256usize {
+            let x: Vec<bool> = (0..8).map(|i| idx & (1 << i) != 0).collect();
+            let s: Vec<i8> = x.iter().map(|&b| if b { 1 } else { -1 }).collect();
+            assert!(
+                (q.energy(&x) - ising.energy(&s)).abs() < 1e-9,
+                "assignment {idx:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let q = SparseQubo::from_terms(
+            vec![0.0; 3],
+            vec![(0, 1, 1.0), (1, 0, 0.5), (1, 2, -0.5), (2, 1, 0.5)],
+            0.0,
+        );
+        assert_eq!(q.nnz(), 1);
+        assert_eq!(q.quadratic(), &[(0, 1, 1.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal quadratic term")]
+    fn diagonal_terms_rejected() {
+        SparseQubo::from_terms(vec![0.0; 2], vec![(1, 1, 1.0)], 0.0);
+    }
+}

@@ -167,6 +167,28 @@ mod tests {
     }
 
     #[test]
+    fn adjacency_is_built_once_across_restarts_and_solves() {
+        let mut q = Qubo::new(32);
+        let mut rng = Rng64::new(1207);
+        for i in 0..32 {
+            q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+        }
+        for i in 0..31 {
+            q.add(i, i + 1, rng.uniform_range(-1.0, 1.0));
+        }
+        assert_eq!(q.adjacency_builds(), 0);
+        let p = TabuParams {
+            iters: 50,
+            tenure: 5,
+            restarts: 4,
+        };
+        tabu_search(&q, &p, &mut rng);
+        tabu_search(&q, &p, &mut rng);
+        // Two solves × four restarts each: still exactly one CSR build.
+        assert_eq!(q.adjacency_builds(), 1);
+    }
+
+    #[test]
     fn result_energy_matches_bits() {
         let mut q = Qubo::new(4);
         q.add_linear(0, 1.0);

@@ -1,0 +1,175 @@
+//! Property-based tests for the domain-decomposition layer
+//! (`qmldb_anneal::partition`). Runs on the in-repo `check` harness.
+//!
+//! The invariants the sharded annealer leans on:
+//!  1. a partition is a true partition — every variable in exactly one
+//!     shard, no shard above the requested budget;
+//!  2. per-shard internal energies plus the cut boundary term reconstruct
+//!     the exact global energy, so the outer exchange rounds can re-anchor
+//!     without a drift term.
+
+use qmldb_anneal::{partition_graph, Ising, Qubo, SparseQubo};
+use qmldb_math::{check, Rng64};
+
+/// A random sparse Ising model: `degree` random couplings per spin plus a
+/// field on every spin, coefficients uniform in [-2, 2).
+fn random_sparse_ising(n: usize, degree: usize, rng: &mut Rng64) -> Ising {
+    let h: Vec<f64> = (0..n).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        for _ in 0..degree {
+            let j = rng.index(n);
+            if j != i {
+                couplings.push((i, j, rng.uniform_range(-2.0, 2.0)));
+            }
+        }
+    }
+    Ising::new(h, couplings, rng.uniform_range(-3.0, 3.0))
+}
+
+/// A fully dense QUBO on `n` variables, converted to Ising form.
+fn random_dense_ising(n: usize, rng: &mut Rng64) -> Ising {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        for j in i..n {
+            q.add(i, j, rng.uniform_range(-3.0, 3.0));
+        }
+    }
+    q.to_ising()
+}
+
+/// A random sparse QUBO in Ising form, exercising the `SparseQubo`
+/// conversion path the large-instance pipeline uses.
+fn random_sparse_qubo_ising(n: usize, degree: usize, rng: &mut Rng64) -> Ising {
+    let linear: Vec<f64> = (0..n).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+    let mut quad = Vec::new();
+    for i in 0..n {
+        for _ in 0..degree {
+            let j = rng.index(n);
+            if j != i {
+                quad.push((i, j, rng.uniform_range(-2.0, 2.0)));
+            }
+        }
+    }
+    SparseQubo::from_terms(linear, quad, rng.uniform_range(-3.0, 3.0)).to_ising()
+}
+
+fn random_spins(n: usize, rng: &mut Rng64) -> Vec<i8> {
+    (0..n)
+        .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+        .collect()
+}
+
+#[test]
+fn every_variable_is_in_exactly_one_shard() {
+    check::cases("every_variable_is_in_exactly_one_shard", 24, |rng| {
+        let n = 20 + rng.index(180);
+        let degree = 1 + rng.index(4);
+        let cap = 8 + rng.index(40);
+        let model = random_sparse_ising(n, degree, rng);
+        let p = partition_graph(model.adjacency(), cap, 2, rng);
+        let mut seen = vec![0usize; n];
+        for (shard, members) in p.shards().iter().enumerate() {
+            for &v in members {
+                assert_eq!(p.assignment()[v as usize], shard as u32);
+                seen[v as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "n={n} cap={cap}");
+    });
+}
+
+#[test]
+fn shards_respect_the_requested_budget() {
+    check::cases("shards_respect_the_requested_budget", 24, |rng| {
+        let n = 20 + rng.index(180);
+        let degree = 1 + rng.index(4);
+        let cap = 8 + rng.index(40);
+        let model = random_sparse_ising(n, degree, rng);
+        let p = partition_graph(model.adjacency(), cap, 2, rng);
+        assert!(
+            p.max_shard_size() <= cap,
+            "n={n} cap={cap} got {}",
+            p.max_shard_size()
+        );
+        assert!(p.n_shards() >= 1);
+    });
+}
+
+#[test]
+fn shard_energies_reconstruct_sparse_ising_energy() {
+    check::cases(
+        "shard_energies_reconstruct_sparse_ising_energy",
+        24,
+        |rng| {
+            let n = 20 + rng.index(120);
+            let model = random_sparse_ising(n, 1 + rng.index(4), rng);
+            let p = partition_graph(model.adjacency(), 8 + rng.index(24), 2, rng);
+            let s = random_spins(n, rng);
+            let (internal, cut) = p.shard_energies(&model, &s);
+            let rebuilt: f64 = internal.iter().sum::<f64>() + cut + model.offset();
+            assert!(
+                (rebuilt - model.energy(&s)).abs() < 1e-9,
+                "n={n} rebuilt={rebuilt} exact={}",
+                model.energy(&s)
+            );
+        },
+    );
+}
+
+#[test]
+fn shard_energies_reconstruct_dense_qubo_energy() {
+    check::cases("shard_energies_reconstruct_dense_qubo_energy", 16, |rng| {
+        let n = 12 + rng.index(28);
+        let model = random_dense_ising(n, rng);
+        let p = partition_graph(model.adjacency(), 6 + rng.index(10), 2, rng);
+        let s = random_spins(n, rng);
+        let (internal, cut) = p.shard_energies(&model, &s);
+        let rebuilt: f64 = internal.iter().sum::<f64>() + cut + model.offset();
+        assert!(
+            (rebuilt - model.energy(&s)).abs() < 1e-9,
+            "n={n} rebuilt={rebuilt} exact={}",
+            model.energy(&s)
+        );
+    });
+}
+
+#[test]
+fn shard_energies_reconstruct_sparse_qubo_energy() {
+    check::cases("shard_energies_reconstruct_sparse_qubo_energy", 24, |rng| {
+        let n = 20 + rng.index(120);
+        let model = random_sparse_qubo_ising(n, 1 + rng.index(4), rng);
+        let p = partition_graph(model.adjacency(), 8 + rng.index(24), 2, rng);
+        let s = random_spins(n, rng);
+        let (internal, cut) = p.shard_energies(&model, &s);
+        let rebuilt: f64 = internal.iter().sum::<f64>() + cut + model.offset();
+        assert!(
+            (rebuilt - model.energy(&s)).abs() < 1e-9,
+            "n={n} rebuilt={rebuilt} exact={}",
+            model.energy(&s)
+        );
+    });
+}
+
+#[test]
+fn cut_edges_connect_distinct_shards_and_sum_to_cut_weight() {
+    check::cases(
+        "cut_edges_connect_distinct_shards_and_sum_to_cut_weight",
+        24,
+        |rng| {
+            let n = 20 + rng.index(120);
+            let model = random_sparse_ising(n, 1 + rng.index(4), rng);
+            let p = partition_graph(model.adjacency(), 8 + rng.index(24), 2, rng);
+            let mut total = 0.0;
+            for &(a, b, w) in p.cut_edges() {
+                assert_ne!(
+                    p.assignment()[a as usize],
+                    p.assignment()[b as usize],
+                    "cut edge ({a},{b}) is internal"
+                );
+                total += w.abs();
+            }
+            assert!((total - p.cut_weight()).abs() < 1e-9);
+        },
+    );
+}

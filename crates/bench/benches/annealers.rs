@@ -8,8 +8,8 @@
 //! `BENCH_anneal.json` alongside the human-readable report lines.
 
 use qmldb_anneal::{
-    parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, Qubo, SaParams,
-    SqaParams, TabuParams, TemperingParams,
+    parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing, Ising,
+    Qubo, SaParams, ShardedParams, SparseQubo, SqaParams, TabuParams, TemperingParams,
 };
 use qmldb_bench::json::{merge_section, timing_record, Json};
 use qmldb_bench::timing::{bench, group};
@@ -103,6 +103,43 @@ fn naive_tabu_best(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> f64 {
         }
     }
     run_best
+}
+
+/// A community-structured sparse QUBO with scattered variable indices:
+/// ~`size`-variable communities with a handful of random internal
+/// couplings per variable, weak links between neighbouring communities,
+/// and a random global permutation of the variable names. The permutation
+/// matters: production QUBOs (join graphs, conflict graphs) have cluster
+/// structure but no reason to number each cluster contiguously, so a flat
+/// solver pays scattered memory traffic the partitioner removes by
+/// relabelling each shard into a compact local model.
+fn community_qubo(communities: usize, size: usize, seed: u64) -> SparseQubo {
+    let mut rng = Rng64::new(seed);
+    let n = communities * size;
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    let mut linear = vec![0.0; n];
+    let mut quad = Vec::new();
+    for c in 0..communities {
+        let base = c * size;
+        for v in 0..size {
+            linear[perm[base + v]] = rng.uniform_range(-1.0, 1.0);
+            for _ in 0..4 {
+                let u = rng.index(size);
+                if u != v {
+                    quad.push((perm[base + v], perm[base + u], rng.uniform_range(-1.0, 1.0)));
+                }
+            }
+        }
+        if c + 1 < communities {
+            for _ in 0..4 {
+                let a = perm[base + rng.index(size)];
+                let b = perm[base + size + rng.index(size)];
+                quad.push((a, b, rng.uniform_range(-0.25, 0.25)));
+            }
+        }
+    }
+    SparseQubo::from_terms(linear, quad, 0.0)
 }
 
 fn main() {
@@ -256,10 +293,102 @@ fn main() {
         ("vars".to_string(), Json::Num(256.0)),
         ("iters".to_string(), Json::Num(tabu_params.iters as f64)),
     ]));
+
+    // The tentpole acceptance measurement: a 480 000-variable
+    // community-structured QUBO, graph-partitioned shard annealing vs the
+    // flat field-cache engine at an equal proposal budget, still pinned
+    // to one worker so the partitioner's win is locality, not threads.
+    let mut large_records = Vec::new();
+    group("large_instances_sharded_vs_flat_480k");
+    let big = community_qubo(8000, 60, 21);
+    let model = big.to_ising();
+    println!(
+        "instance: {} vars, {} couplings",
+        model.n(),
+        model.couplings().len()
+    );
+    let sharded_params = ShardedParams {
+        rounds: 10,
+        sweeps_per_round: 12,
+        ..ShardedParams::default()
+    };
+    let mut sharded_energy = 0.0;
+    let mut sharded_proposals = 0u64;
+    let mut n_shards = 0usize;
+    let t_sharded = bench("sharded_anneal_2048var_shards", 3, || {
+        let r = sharded_anneal(&model, &sharded_params, &mut Rng64::new(22));
+        sharded_energy = r.energy;
+        sharded_proposals = r.proposals;
+        n_shards = r.n_shards;
+        r.energy
+    });
+    large_records.push(timing_record(
+        "large480k/sharded",
+        &t_sharded,
+        Some(sharded_proposals as f64),
+    ));
+
+    // Equal flip budget for the flat baseline: the same total number of
+    // Metropolis proposals, spent as full-model sweeps.
+    let flat_sweeps = (sharded_proposals as usize).div_ceil(model.n());
+    let mut flat_energy = 0.0;
+    let t_flat = bench("flat_field_cache_sa", 3, || {
+        let r = simulated_annealing(
+            &model,
+            &SaParams {
+                sweeps: flat_sweeps,
+                restarts: 1,
+                ..SaParams::default()
+            },
+            &mut Rng64::new(22),
+        );
+        flat_energy = r.energy;
+        r.energy
+    });
+    let flat_proposals = (flat_sweeps * model.n()) as f64;
+    large_records.push(timing_record(
+        "large480k/flat_sa",
+        &t_flat,
+        Some(flat_proposals),
+    ));
+
+    let vars_per_sec_sharded = sharded_proposals as f64 / t_sharded.median;
+    let vars_per_sec_flat = flat_proposals / t_flat.median;
+    let large_speedup = vars_per_sec_sharded / vars_per_sec_flat;
+    println!(
+        "sharded vars/sec {:.3e} vs flat {:.3e}: {large_speedup:.2}x  \
+         (energy {sharded_energy:.1} vs {flat_energy:.1}, {n_shards} shards)",
+        vars_per_sec_sharded, vars_per_sec_flat,
+    );
+    large_records.push(Json::Obj(vec![
+        (
+            "name".to_string(),
+            Json::Str("large480k/sharded_vs_flat".into()),
+        ),
+        ("vars".to_string(), Json::Num(model.n() as f64)),
+        (
+            "couplings".to_string(),
+            Json::Num(model.couplings().len() as f64),
+        ),
+        ("n_shards".to_string(), Json::Num(n_shards as f64)),
+        ("proposals".to_string(), Json::Num(sharded_proposals as f64)),
+        (
+            "vars_per_sec_sharded".to_string(),
+            Json::Num(vars_per_sec_sharded),
+        ),
+        (
+            "vars_per_sec_flat".to_string(),
+            Json::Num(vars_per_sec_flat),
+        ),
+        ("speedup_median".to_string(), Json::Num(large_speedup)),
+        ("energy_sharded".to_string(), Json::Num(sharded_energy)),
+        ("energy_flat".to_string(), Json::Num(flat_energy)),
+    ]));
     par::reset_threads();
 
     // Anchored to the workspace root, like BENCH_sim.json.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anneal.json");
     merge_section(Path::new(out), "annealers", records);
     merge_section(Path::new(out), "naive_vs_field_cache", fc_records);
+    merge_section(Path::new(out), "large_instances", large_records);
 }

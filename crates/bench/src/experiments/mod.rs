@@ -22,6 +22,7 @@ pub mod e18_qkrr;
 pub mod e19_robustness;
 pub mod e20_walks;
 pub mod e21_portfolio;
+pub mod e22_partitioned;
 
 use crate::report::Report;
 
@@ -50,5 +51,6 @@ pub fn all() -> Vec<(&'static str, fn(u64) -> Report)> {
         ("e19", e19_robustness::run),
         ("e20", e20_walks::run),
         ("e21", e21_portfolio::run),
+        ("e22", e22_partitioned::run),
     ]
 }

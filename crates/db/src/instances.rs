@@ -22,6 +22,7 @@ use crate::mqo::MqoInstance;
 use crate::qubo_jo::JoinOrderQubo;
 use crate::query::{generate, Topology};
 use crate::txsched::TxSchedule;
+use qmldb_anneal::SparseQubo;
 use qmldb_math::Rng64;
 
 /// A seeded random-instance generator for one problem family.
@@ -167,6 +168,133 @@ impl InstanceGenerator for TxParams {
     }
 }
 
+/// Production-scale transaction-scheduling instances, emitted directly
+/// as a [`SparseQubo`] (`n_tx × n_slots` variables — the dense
+/// [`TxSchedule`] path would materialize an `n²` coefficient matrix).
+///
+/// Conflict partners are drawn within `±hot_span` transaction ids,
+/// modeling the hot-key/temporal locality of OLTP streams: transactions
+/// arriving close together contend for the same hot rows. The resulting
+/// QUBO adjacency is banded, which is exactly the structure the
+/// partitioned annealer exploits (small cuts between id ranges).
+#[derive(Clone, Copy, Debug)]
+pub struct GiantTxParams {
+    /// Number of transactions (10⁵⁺ is the intended regime).
+    pub n_tx: usize,
+    /// Number of execution slots.
+    pub n_slots: usize,
+    /// Conflict partners drawn per transaction.
+    pub avg_conflicts: usize,
+    /// Partners land within `±hot_span` transaction ids.
+    pub hot_span: usize,
+}
+
+impl GiantTxParams {
+    /// One-hot penalty weight: safely above any sum of conflict weights
+    /// a single assignment decision can trade against.
+    pub fn penalty(&self) -> f64 {
+        10.0 * 2.0 * (self.avg_conflicts as f64).max(1.0)
+    }
+}
+
+impl InstanceGenerator for GiantTxParams {
+    type Problem = SparseQubo;
+
+    fn generate(&self, rng: &mut Rng64) -> SparseQubo {
+        assert!(self.n_tx >= 2 && self.n_slots >= 2, "instance too small");
+        assert!(self.hot_span >= 1, "hot span must be positive");
+        let (n_tx, n_slots) = (self.n_tx, self.n_slots);
+        let var = |t: usize, s: usize| t * n_slots + s;
+        let p = self.penalty();
+        let mut linear = vec![0.0f64; n_tx * n_slots];
+        let mut quad = Vec::new();
+        let mut offset = 0.0;
+        // Exactly-one-slot penalty per transaction:
+        // P·(1 − Σ_s x_ts)² = P − P·Σ x + 2P·Σ_{s<s'} x x'.
+        for t in 0..n_tx {
+            offset += p;
+            for s in 0..n_slots {
+                linear[var(t, s)] -= p;
+                for s2 in (s + 1)..n_slots {
+                    quad.push((var(t, s), var(t, s2), 2.0 * p));
+                }
+            }
+        }
+        // Conflicts between id-local transactions: co-scheduling costs w.
+        for t in 0..n_tx {
+            let lo = t.saturating_sub(self.hot_span);
+            let hi = (t + self.hot_span).min(n_tx - 1);
+            for _ in 0..self.avg_conflicts {
+                let u = lo + rng.index(hi - lo + 1);
+                if u == t {
+                    continue;
+                }
+                let w = rng.uniform_range(1.0, 10.0).round();
+                for s in 0..n_slots {
+                    quad.push((var(t, s), var(u, s), w));
+                }
+            }
+        }
+        SparseQubo::from_terms(linear, quad, offset)
+    }
+}
+
+/// Distributed join placement over a giant schema: assign each relation
+/// to one of two sites, minimizing cross-site data shipping. Emitted as
+/// a [`SparseQubo`] with one variable per relation (site 0/1).
+///
+/// The join graph is windowed — relations join others within `±window`
+/// schema positions (star/snowflake neighborhoods cluster in schema
+/// order), plus occasional long-range foreign-key edges. A join of
+/// weight `w` (estimated transfer volume) between relations on
+/// different sites costs `w`: `w·(xᵢ + xⱼ − 2xᵢxⱼ)`. Per-relation
+/// linear terms model data gravity (affinity to one site).
+#[derive(Clone, Copy, Debug)]
+pub struct JoinPlacementParams {
+    /// Number of relations (1000+ is the intended regime).
+    pub n_rels: usize,
+    /// Join partners live within `±window` schema positions.
+    pub window: usize,
+    /// Probability of a join edge within the window.
+    pub density: f64,
+    /// Probability of one extra long-range foreign-key edge per relation.
+    pub long_range: f64,
+}
+
+impl InstanceGenerator for JoinPlacementParams {
+    type Problem = SparseQubo;
+
+    fn generate(&self, rng: &mut Rng64) -> SparseQubo {
+        assert!(self.n_rels >= 2, "too few relations");
+        assert!(self.window >= 1, "window must be positive");
+        let n = self.n_rels;
+        let mut linear = vec![0.0f64; n];
+        let mut quad = Vec::new();
+        for i in 0..n {
+            // Data gravity: where the relation's hot partitions live.
+            linear[i] += rng.uniform_range(-1.0, 1.0);
+            for d in 1..=self.window {
+                if i + d < n && rng.chance(self.density) {
+                    let w = rng.uniform_range(0.5, 5.0);
+                    linear[i] += w;
+                    linear[i + d] += w;
+                    quad.push((i, i + d, -2.0 * w));
+                }
+            }
+            if rng.chance(self.long_range) {
+                let j = rng.index(n);
+                if j != i {
+                    let w = rng.uniform_range(0.5, 2.0);
+                    linear[i] += w;
+                    linear[j] += w;
+                    quad.push((i, j, -2.0 * w));
+                }
+            }
+        }
+        SparseQubo::from_terms(linear, quad, 0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +334,86 @@ mod tests {
         assert_eq!(m1.plan_costs, m2.plan_costs);
         assert_eq!(s1.candidates, s2.candidates);
         assert_eq!(t1.conflicts, t2.conflicts);
+    }
+
+    #[test]
+    fn giant_tx_encodes_one_hot_and_conflicts() {
+        let params = GiantTxParams {
+            n_tx: 4,
+            n_slots: 2,
+            avg_conflicts: 2,
+            hot_span: 2,
+        };
+        let mut rng = Rng64::new(301);
+        let q = params.generate(&mut rng);
+        assert_eq!(q.n(), 8);
+        // A feasible schedule (every tx in slot 0) pays only conflicts.
+        let feasible: Vec<bool> = (0..8).map(|v| v % 2 == 0).collect();
+        // Dropping one transaction's assignment entirely costs the
+        // penalty minus at worst that tx's conflict weights; assigning a
+        // tx to both slots costs the penalty plus more conflicts. Both
+        // must be strictly worse than staying feasible.
+        let mut unassigned = feasible.clone();
+        unassigned[0] = false;
+        let mut doubled = feasible.clone();
+        doubled[1] = true;
+        let p = params.penalty();
+        assert!(q.energy(&unassigned) > q.energy(&feasible) + p / 2.0);
+        assert!(q.energy(&doubled) > q.energy(&feasible) + p / 2.0);
+    }
+
+    #[test]
+    fn join_placement_charges_for_cross_site_edges() {
+        let params = JoinPlacementParams {
+            n_rels: 6,
+            window: 1,
+            density: 1.0,
+            long_range: 0.0,
+        };
+        let mut rng = Rng64::new(303);
+        let q = params.generate(&mut rng);
+        assert_eq!(q.n(), 6);
+        assert_eq!(q.nnz(), 5); // a chain of windowed join edges
+                                // Co-locating everything pays no shipping: splitting any single
+                                // relation to the other site adds its incident join weights
+                                // (minus its own data-gravity term).
+        let together = vec![true; 6];
+        let mut split = together.clone();
+        split[3] = false;
+        let shipping: f64 = q
+            .quadratic()
+            .iter()
+            .filter(|&&(a, b, _)| a == 3 || b == 3)
+            .map(|&(_, _, w)| -w / 2.0)
+            .sum();
+        assert!(shipping > 0.0);
+        let affinity = q.linear()[3] - shipping;
+        let diff = q.energy(&split) - q.energy(&together);
+        assert!((diff - (shipping - affinity)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn giant_generators_scale_and_stay_sparse() {
+        let mut rng = Rng64::new(305);
+        let tx = GiantTxParams {
+            n_tx: 2000,
+            n_slots: 3,
+            avg_conflicts: 3,
+            hot_span: 16,
+        }
+        .generate(&mut rng);
+        assert_eq!(tx.n(), 6000);
+        // Sparse: nnz grows linearly, nowhere near the n² dense count.
+        assert!(tx.nnz() < 40 * tx.n());
+        let jp = JoinPlacementParams {
+            n_rels: 1200,
+            window: 4,
+            density: 0.6,
+            long_range: 0.05,
+        }
+        .generate(&mut rng);
+        assert_eq!(jp.n(), 1200);
+        assert!(jp.nnz() > 1200 && jp.nnz() < 10 * 1200);
     }
 
     #[test]

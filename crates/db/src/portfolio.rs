@@ -29,8 +29,9 @@
 use crate::problem::QuboProblem;
 use crate::search::grover_minimum;
 use qmldb_anneal::{
-    parallel_tempering, simulated_annealing, simulated_quantum_annealing, solve_exact,
-    spins_to_bits, tabu_search, Qubo, SaParams, SqaParams, TabuParams, TemperingParams,
+    parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing,
+    solve_exact, spins_to_bits, tabu_search, Qubo, SaParams, ShardedParams, SqaParams, TabuParams,
+    TemperingParams,
 };
 use qmldb_core::qaoa::Qaoa;
 use qmldb_math::{par, Rng64};
@@ -64,6 +65,15 @@ pub enum Solver {
         /// Threshold-descent rounds.
         rounds: usize,
     },
+    /// Graph-partitioned annealing with boundary-term exchange —
+    /// size-triggered: only engages at `min_vars` variables and above,
+    /// where decomposition locality beats a single global sweep.
+    Sharded {
+        /// Partitioned-annealer configuration.
+        params: ShardedParams,
+        /// Smallest problem (variables) this member engages on.
+        min_vars: usize,
+    },
 }
 
 impl Solver {
@@ -77,6 +87,7 @@ impl Solver {
             Solver::ExactSpectrum => "exact",
             Solver::Qaoa { .. } => "qaoa",
             Solver::GroverMin { .. } => "grover",
+            Solver::Sharded { .. } => "sharded",
         }
     }
 
@@ -88,6 +99,7 @@ impl Solver {
             Solver::Sa(_) | Solver::Sqa(_) | Solver::Tabu(_) | Solver::Tempering(_) => true,
             Solver::ExactSpectrum => n_vars <= 26,
             Solver::Qaoa { .. } | Solver::GroverMin { .. } => n_vars <= 14,
+            Solver::Sharded { min_vars, .. } => n_vars >= *min_vars,
         }
     }
 
@@ -104,6 +116,15 @@ impl Solver {
     /// Default Grover member configuration.
     pub fn default_grover() -> Solver {
         Solver::GroverMin { rounds: 20 }
+    }
+
+    /// Default partitioned-annealer member: engages from 512 variables,
+    /// where the single-sweep solvers start losing cache locality.
+    pub fn default_sharded() -> Solver {
+        Solver::Sharded {
+            params: ShardedParams::default(),
+            min_vars: 512,
+        }
     }
 
     /// Runs this solver on a QUBO and returns the sampled assignment.
@@ -138,6 +159,9 @@ impl Solver {
                     .collect()
             }
             Solver::GroverMin { rounds } => grover_minimum(qubo, *rounds, rng).bits,
+            Solver::Sharded { params, .. } => {
+                spins_to_bits(&sharded_anneal(&qubo.to_ising(), params, rng).spins)
+            }
         }
     }
 }
@@ -218,6 +242,20 @@ impl Portfolio {
         p.solvers.push(Solver::default_qaoa());
         p.solvers.push(Solver::default_grover());
         p
+    }
+
+    /// The production lineup for big models: the workhorse classical
+    /// members plus the partitioned annealer, which engages once the
+    /// problem crosses its size trigger. (A separate constructor on
+    /// purpose: extending [`Portfolio::classical`]/[`Portfolio::full`]
+    /// would shift every member's forked RNG stream and silently change
+    /// all seeded experiment values.)
+    pub fn large_scale() -> Self {
+        Portfolio::new(vec![
+            Solver::Sa(SaParams::default()),
+            Solver::Tabu(TabuParams::default()),
+            Solver::default_sharded(),
+        ])
     }
 
     /// Overrides the penalty-escalation budget.
@@ -458,6 +496,76 @@ mod tests {
         assert!(t.is_feasible(&t.encode_solution(&out.solution)));
         let run = &out.runs[0];
         assert!(run.repaired || run.penalty_doublings <= 1);
+    }
+
+    #[test]
+    fn sharded_member_is_size_triggered_and_feasible() {
+        let sharded = Solver::Sharded {
+            params: ShardedParams {
+                max_shard_vars: 24,
+                rounds: 40,
+                sweeps_per_round: 4,
+                ..ShardedParams::default()
+            },
+            min_vars: 40,
+        };
+        assert_eq!(sharded.name(), "sharded");
+        assert!(!sharded.applicable(39));
+        assert!(sharded.applicable(40));
+
+        // 20 tx × 3 slots = 60 vars: above the trigger, the member runs
+        // the full partition/exchange path and must return a feasible
+        // schedule no worse than a lone quick-SA baseline member.
+        let mut rng = Rng64::new(3013);
+        let t = TxParams {
+            n_tx: 20,
+            n_slots: 3,
+            density: 0.2,
+        }
+        .generate(&mut rng);
+        let p = Portfolio::new(vec![
+            Solver::Sa(SaParams {
+                sweeps: 160,
+                restarts: 1,
+                ..SaParams::default()
+            }),
+            sharded,
+        ]);
+        let out = p.solve(&t, &mut rng);
+        assert_eq!(out.runs.len(), 2);
+        assert!(t.is_feasible(&t.encode_solution(&out.solution)));
+        // The sharded member's own sample decodes to a feasible schedule
+        // with a sane objective (no more than the total conflict weight).
+        let sharded_run = out.runs.iter().find(|r| r.solver == "sharded").unwrap();
+        let total_conflict: f64 = t.conflicts.iter().map(|&(_, _, w)| w).sum();
+        assert!(sharded_run.objective >= 0.0 && sharded_run.objective <= total_conflict);
+
+        // Below the trigger the member skips and only SA reports.
+        let small = TxParams {
+            n_tx: 4,
+            n_slots: 2,
+            density: 0.4,
+        }
+        .generate(&mut rng);
+        let out = p.solve(&small, &mut rng);
+        assert_eq!(out.runs.len(), 1);
+        assert_eq!(out.runs[0].solver, "sa");
+    }
+
+    #[test]
+    fn large_scale_lineup_includes_the_sharded_member() {
+        let p = Portfolio::large_scale();
+        assert!(p.solvers.iter().any(|s| s.name() == "sharded"));
+        // The seeded classical/full lineups must stay untouched — adding
+        // members there would shift every forked RNG stream.
+        assert!(Portfolio::classical()
+            .solvers
+            .iter()
+            .all(|s| s.name() != "sharded"));
+        assert!(Portfolio::full()
+            .solvers
+            .iter()
+            .all(|s| s.name() != "sharded"));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! so each case serialises on a lock and restores the default when done.
 
 use qmldb::anneal::{
-    parallel_tempering, simulated_annealing, simulated_quantum_annealing, Ising, SaParams,
-    SqaParams, TabuParams, TemperingParams,
+    parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing, Ising,
+    SaParams, ShardedParams, SqaParams, TabuParams, TemperingParams,
 };
 use qmldb::db::instances::{InstanceGenerator, MqoParams};
 use qmldb::db::portfolio::{Portfolio, Solver};
@@ -86,6 +86,49 @@ fn simulated_annealing_is_identical_on_1_and_4_threads() {
     assert_eq!(serial.spins, parallel.spins);
     assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
     assert_eq!(serial.trace, parallel.trace);
+    assert_eq!(serial.proposals, parallel.proposals);
+}
+
+#[test]
+fn sharded_anneal_is_identical_on_1_and_4_threads() {
+    // A banded spin glass: locality gives the partitioner several shards
+    // and the quotient graph more than one color class, so the test
+    // exercises the full chromatic schedule, not a degenerate one-shard
+    // run. Streams are forked per shard in shard order before each color
+    // group dispatches; commits and the quench machinery are serial.
+    let mut rng = Rng64::new(51);
+    let n = 240;
+    let h: Vec<f64> = (0..n).map(|_| rng.uniform_range(-0.5, 0.5)).collect();
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        for d in 1..=3usize {
+            let j = i + d;
+            if j < n && rng.chance(0.6) {
+                couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+            }
+        }
+    }
+    let model = Ising::new(h, couplings, 0.25);
+    let params = ShardedParams {
+        max_shard_vars: 32,
+        rounds: 12,
+        sweeps_per_round: 4,
+        ..ShardedParams::default()
+    };
+    let (serial, parallel) =
+        on_1_and_4_threads(|| sharded_anneal(&model, &params, &mut Rng64::new(13)));
+    assert!(serial.n_shards > 1, "partition degenerated to one shard");
+    assert_eq!(serial.spins, parallel.spins);
+    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+    assert_eq!(serial.cut_weight.to_bits(), parallel.cut_weight.to_bits());
+    assert_eq!(
+        serial.trace.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+        parallel
+            .trace
+            .iter()
+            .map(|e| e.to_bits())
+            .collect::<Vec<_>>()
+    );
     assert_eq!(serial.proposals, parallel.proposals);
 }
 
