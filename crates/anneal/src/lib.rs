@@ -34,6 +34,7 @@ pub mod ising;
 pub mod partition;
 pub mod qubo;
 pub mod sa;
+pub mod sig;
 pub mod sparse;
 pub mod sqa;
 pub mod tabu;
@@ -55,6 +56,7 @@ pub use partition::{
 };
 pub use qubo::Qubo;
 pub use sa::{simulated_annealing, AnnealResult, SaParams};
+pub use sig::{fnv1a, qubo_signature, sparse_signature, split_signature, FNV_OFFSET};
 pub use sparse::SparseQubo;
 pub use sqa::{simulated_quantum_annealing, SqaParams};
 pub use tabu::{tabu_search, TabuParams, TabuResult};

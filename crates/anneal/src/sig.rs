@@ -1,0 +1,265 @@
+//! Canonical signatures of QUBO models.
+//!
+//! The optimizer service (`qmldb-serve`) answers repeated traffic from a
+//! solution cache keyed by the *model*, not by whatever object the caller
+//! happened to build. Two callers that assemble the same QUBO with terms
+//! in a different insertion order, with explicit zero coefficients, or
+//! with every coefficient scaled by a common positive factor (which does
+//! not move the argmin) must land on the same cache line. The signature
+//! here delivers that: an FNV-1a 64-bit hash over the model's canonical
+//! form —
+//!
+//! 1. merge duplicate terms, fold `xᵢ²` into the linear part, drop exact
+//!    zeros;
+//! 2. sort the surviving `(i, j, w)` triples by `(i, j)` with `i ≤ j`
+//!    (diagonal entries are the linear terms);
+//! 3. divide every coefficient (and the offset) by the largest absolute
+//!    coefficient, then quantize to 32 fractional bits.
+//!
+//! Step 3 makes the signature scale-insensitive: `2·Q` and `Q` hash the
+//! same, as any QUBO differing only by a positive global rescale has the
+//! same optimum assignment. Quantization at 2⁻³² absorbs the one ulp of
+//! rounding a non-power-of-two rescale can introduce while keeping far
+//! more resolution than any penalty-weight distinction needs. Distinct
+//! models can collide only by hash accident (~2⁻⁶⁴ per pair).
+
+use crate::qubo::Qubo;
+use crate::sparse::SparseQubo;
+
+/// FNV-1a 64-bit offset basis — the starting `hash` for [`fnv1a`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice, continuing from `hash`. Public so callers
+/// (the `QuboProblem::signature` hook, the serve cache) can fold extra
+/// context — problem family, variable count, seed — into one key with
+/// the same hash the model signature uses.
+#[inline]
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Quantizes a rescaled coefficient to 32 fractional bits. `w / scale`
+/// lies in `[-1, 1]`, so the product fits an i64 with room to spare.
+#[inline]
+fn quantize(w: f64, scale: f64) -> i64 {
+    ((w / scale) * (1u64 << 32) as f64).round() as i64
+}
+
+/// Hashes the canonical triple stream. `triples` must already be merged
+/// (one entry per `(i, j)`), zero-free, and sorted by `(i, j)` with
+/// `i ≤ j`.
+fn hash_canonical(n: usize, triples: &[(usize, usize, f64)], offset: f64) -> u64 {
+    let scale = triples
+        .iter()
+        .map(|&(_, _, w)| w.abs())
+        .fold(0.0f64, f64::max);
+    let scale = if scale > 0.0 { scale } else { 1.0 };
+    let mut h = fnv1a(FNV_OFFSET, &(n as u64).to_le_bytes());
+    for &(i, j, w) in triples {
+        h = fnv1a(h, &(i as u64).to_le_bytes());
+        h = fnv1a(h, &(j as u64).to_le_bytes());
+        h = fnv1a(h, &quantize(w, scale).to_le_bytes());
+    }
+    fnv1a(h, &quantize(offset, scale).to_le_bytes())
+}
+
+/// Canonical signature of a dense [`Qubo`].
+///
+/// Insensitive to term insertion order (dense storage already merges),
+/// to explicit zero coefficients, and to a positive global rescale of
+/// all coefficients and the offset. A dense model and its sparse
+/// equivalent produce the same signature.
+pub fn qubo_signature(q: &Qubo) -> u64 {
+    let n = q.n();
+    let mut triples = Vec::new();
+    for i in 0..n {
+        for j in i..n {
+            let w = q.get(i, j);
+            if w != 0.0 {
+                triples.push((i, j, w));
+            }
+        }
+    }
+    hash_canonical(n, &triples, q.offset())
+}
+
+/// Canonical signature of a penalty-encoded model, hashing the pure
+/// objective and the penalty part separately.
+///
+/// `objective` is the model encoded at penalty 0, `full` the same model
+/// at the working penalty weight. Each part is normalized by its own
+/// largest coefficient before hashing, so the combined signature is
+/// insensitive to a positive rescale of the objective *and*,
+/// independently, of the penalty weight. That is what makes a uniformly
+/// rescaled *model* hit the same cache line even when the penalty
+/// heuristic is affine rather than linear in the model scale (e.g.
+/// `2·swing + 10`): the objective part rescales cleanly, and the
+/// penalty part — penalty weight × fixed constraint structure — has its
+/// weight cancelled by the normalization. A plain
+/// [`qubo_signature`] of the full encoding would mix the two scales and
+/// miss.
+pub fn split_signature(objective: &Qubo, full: &Qubo) -> u64 {
+    assert_eq!(
+        objective.n(),
+        full.n(),
+        "objective and full must encode the same model"
+    );
+    let n = full.n();
+    let mut penalty = Vec::new();
+    for i in 0..n {
+        for j in i..n {
+            let w = full.get(i, j) - objective.get(i, j);
+            if w != 0.0 {
+                penalty.push((i, j, w));
+            }
+        }
+    }
+    let obj_sig = qubo_signature(objective);
+    let pen_sig = hash_canonical(n, &penalty, full.offset() - objective.offset());
+    fnv1a(
+        fnv1a(FNV_OFFSET, &obj_sig.to_le_bytes()),
+        &pen_sig.to_le_bytes(),
+    )
+}
+
+/// Canonical signature of a [`SparseQubo`]. Agrees with
+/// [`qubo_signature`] on the dense equivalent of the same model.
+pub fn sparse_signature(q: &SparseQubo) -> u64 {
+    // Interleave linear (diagonal) and quadratic terms in (i, j) order:
+    // for each row i, the diagonal (i, i) sorts before every (i, j), j > i,
+    // and SparseQubo keeps quadratic terms sorted by (i, j) already.
+    let n = q.n();
+    let linear = q.linear();
+    let quad = q.quadratic();
+    let mut triples = Vec::with_capacity(n + quad.len());
+    let mut at = 0usize;
+    for (i, &l) in linear.iter().enumerate() {
+        if l != 0.0 {
+            triples.push((i, i, l));
+        }
+        while at < quad.len() && quad[at].0 == i {
+            triples.push(quad[at]);
+            at += 1;
+        }
+    }
+    hash_canonical(n, &triples, q.offset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_qubo() -> Qubo {
+        let mut q = Qubo::new(4);
+        q.add_linear(0, -1.5);
+        q.add_linear(2, 0.75);
+        q.add(0, 1, 2.0);
+        q.add(1, 3, -0.5);
+        q.add_offset(3.0);
+        q
+    }
+
+    #[test]
+    fn dense_and_sparse_signatures_agree() {
+        let q = sample_qubo();
+        let s = SparseQubo::from_terms(
+            vec![-1.5, 0.0, 0.75, 0.0],
+            vec![(0, 1, 2.0), (1, 3, -0.5)],
+            3.0,
+        );
+        assert_eq!(qubo_signature(&q), sparse_signature(&s));
+    }
+
+    #[test]
+    fn scale_insensitive() {
+        let q = sample_qubo();
+        let mut doubled = Qubo::new(4);
+        doubled.add_linear(0, -3.0);
+        doubled.add_linear(2, 1.5);
+        doubled.add(0, 1, 4.0);
+        doubled.add(1, 3, -1.0);
+        doubled.add_offset(6.0);
+        assert_eq!(qubo_signature(&q), qubo_signature(&doubled));
+    }
+
+    #[test]
+    fn distinct_models_differ() {
+        let q = sample_qubo();
+        let mut other = sample_qubo();
+        other.add(2, 3, 0.25);
+        assert_ne!(qubo_signature(&q), qubo_signature(&other));
+        // Different n, same (empty) terms.
+        assert_ne!(qubo_signature(&Qubo::new(3)), qubo_signature(&Qubo::new(4)));
+    }
+
+    #[test]
+    fn offset_scales_with_coefficients() {
+        // Scaling coefficients but not the offset is a *different* model
+        // family (the offset no longer matches), and must not collide with
+        // the uniformly scaled one... unless all terms are zero.
+        let mut a = Qubo::new(2);
+        a.add_linear(0, 1.0);
+        a.add_offset(5.0);
+        let mut b = Qubo::new(2);
+        b.add_linear(0, 2.0);
+        b.add_offset(5.0);
+        assert_ne!(qubo_signature(&a), qubo_signature(&b));
+    }
+
+    #[test]
+    fn all_zero_model_is_stable() {
+        assert_eq!(qubo_signature(&Qubo::new(5)), qubo_signature(&Qubo::new(5)));
+    }
+
+    /// `c·objective + p·constraints` for a fixed constraint structure.
+    fn encoded(c: f64, p: f64) -> (Qubo, Qubo) {
+        let mut obj = Qubo::new(3);
+        obj.add_linear(0, -2.0 * c);
+        obj.add_linear(1, 1.25 * c);
+        obj.add(0, 2, 0.5 * c);
+        let mut full = obj.clone();
+        // One-hot-style penalty: p·(x0 + x1 + x2 − 1)².
+        for i in 0..3 {
+            full.add_linear(i, -p);
+            for j in (i + 1)..3 {
+                full.add(i, j, 2.0 * p);
+            }
+        }
+        full.add_offset(p);
+        (obj, full)
+    }
+
+    #[test]
+    fn split_signature_is_invariant_to_model_and_penalty_scale() {
+        // Scaling the model by 2 while the penalty heuristic moves
+        // affinely (2·swing + 10 style: NOT by the same factor) must
+        // still hit: the two parts normalize independently.
+        let (obj_a, full_a) = encoded(1.0, 17.0);
+        let (obj_b, full_b) = encoded(2.0, 24.0);
+        assert_eq!(
+            split_signature(&obj_a, &full_a),
+            split_signature(&obj_b, &full_b)
+        );
+        // The mixed hash of the full encoding alone would differ.
+        assert_ne!(qubo_signature(&full_a), qubo_signature(&full_b));
+    }
+
+    #[test]
+    fn split_signature_discriminates_objective_and_penalty_structure() {
+        let (obj, full) = encoded(1.0, 17.0);
+        // Different objective, same constraints.
+        let (mut obj2, mut full2) = encoded(1.0, 17.0);
+        obj2.add_linear(2, 0.4);
+        full2.add_linear(2, 0.4);
+        assert_ne!(split_signature(&obj, &full), split_signature(&obj2, &full2));
+        // Same objective, different constraint structure.
+        let (obj3, mut full3) = encoded(1.0, 17.0);
+        full3.add(1, 2, 5.0);
+        assert_ne!(split_signature(&obj, &full), split_signature(&obj3, &full3));
+    }
+}

@@ -384,6 +384,53 @@ fn main() {
         ("energy_sharded".to_string(), Json::Num(sharded_energy)),
         ("energy_flat".to_string(), Json::Num(flat_energy)),
     ]));
+
+    // Multi-threaded shard fan-out: the color classes inside each
+    // exchange round dispatch through `par::map_rng`, so the same run at
+    // 4 workers must land on the bit-identical energy (the repo-wide
+    // determinism invariant) while spreading shard sweeps across
+    // threads. On multi-core hosts the wall-clock column shows the
+    // fan-out win; on the single-core CI runner the row still pins the
+    // 1-vs-4-thread identity.
+    group("large_instances_sharded_4threads");
+    par::set_threads(4);
+    let mut sharded_energy_t4 = 0.0;
+    let t_sharded_t4 = bench("sharded_anneal_4threads", 3, || {
+        let r = sharded_anneal(&model, &sharded_params, &mut Rng64::new(22));
+        sharded_energy_t4 = r.energy;
+        r.energy
+    });
+    par::set_threads(1);
+    assert_eq!(
+        sharded_energy.to_bits(),
+        sharded_energy_t4.to_bits(),
+        "sharded annealing must be bit-identical at 1 and 4 threads"
+    );
+    large_records.push(timing_record(
+        "large480k/sharded_t4",
+        &t_sharded_t4,
+        Some(sharded_proposals as f64),
+    ));
+    let thread_scaling = t_sharded.median / t_sharded_t4.median;
+    println!(
+        "sharded 4-thread wall-clock ratio vs 1-thread: {thread_scaling:.2}x  \
+         (energy bit-identical: {sharded_energy:.1})"
+    );
+    large_records.push(Json::Obj(vec![
+        (
+            "name".to_string(),
+            Json::Str("large480k/sharded_thread_scaling".into()),
+        ),
+        ("threads_baseline".to_string(), Json::Num(1.0)),
+        ("threads".to_string(), Json::Num(4.0)),
+        ("median_s_t1".to_string(), Json::Num(t_sharded.median)),
+        ("median_s_t4".to_string(), Json::Num(t_sharded_t4.median)),
+        ("speedup_median".to_string(), Json::Num(thread_scaling)),
+        (
+            "energy_bit_identical".to_string(),
+            Json::Bool(sharded_energy.to_bits() == sharded_energy_t4.to_bits()),
+        ),
+    ]));
     par::reset_threads();
 
     // Anchored to the workspace root, like BENCH_sim.json.

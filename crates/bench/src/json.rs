@@ -1,9 +1,10 @@
-//! Minimal JSON for machine-readable bench artifacts.
+//! Machine-readable bench artifacts.
 //!
-//! The workspace is hermetic (no external crates), so the benches emit
-//! `BENCH_sim.json` through this hand-rolled value type: a printer, a
-//! recursive-descent parser (needed because several bench binaries merge
-//! their sections into one file), and helpers for timing records.
+//! The JSON value type, printer, and parser live in
+//! [`qmldb_math::json`] (shared with the `qmldb-serve` wire protocol);
+//! this module re-exports [`Json`] and keeps the bench-specific pieces:
+//! timing records and the section merger that lets several bench binaries
+//! share one `BENCH_*.json` file.
 //!
 //! The artifact schema is
 //! `{"sections": {"<bench>": [{"name": …, "median_s": …, …}, …]}}` —
@@ -11,303 +12,9 @@
 //! in seconds plus an optional throughput figure.
 
 use crate::timing::Timing;
-use std::fmt::Write as _;
 use std::path::Path;
 
-/// A JSON value. Objects preserve insertion order (`Vec`, not a map) so
-/// emitted artifacts are deterministic.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (always an f64; serialized via shortest roundtrip).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object as ordered key/value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Sets (or replaces) an object field, preserving field order.
-    ///
-    /// # Panics
-    /// Panics when `self` is not an object.
-    pub fn set(&mut self, key: &str, value: Json) {
-        let Json::Obj(fields) = self else {
-            panic!("Json::set on a non-object");
-        };
-        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
-            slot.1 = value;
-        } else {
-            fields.push((key.to_string(), value));
-        }
-    }
-
-    /// Serializes with two-space indentation and a trailing newline.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` prints the shortest string that parses back to
-                    // the same f64 — lossless roundtrip.
-                    let _ = write!(out, "{x:?}");
-                } else {
-                    out.push_str("null"); // JSON has no Inf/NaN
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    item.write(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}]");
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}}}");
-            }
-        }
-    }
-
-    /// Parses a JSON document (object, array, or scalar). Rejects trailing
-    /// garbage.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            at: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.at != p.bytes.len() {
-            return Err(format!("trailing characters at byte {}", p.at));
-        }
-        Ok(v)
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.at)
-            .is_some_and(|b| b" \t\n\r".contains(b))
-        {
-            self.at += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.at) == Some(&b) {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.at))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.at..].starts_with(word.as_bytes()) {
-            self.at += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.at))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.bytes.get(self.at) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.at) == Some(&b'}') {
-            self.at += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.bytes.get(self.at) {
-                Some(b',') => self.at += 1,
-                Some(b'}') => {
-                    self.at += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.at) == Some(&b']') {
-            self.at += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.at) {
-                Some(b',') => self.at += 1,
-                Some(b']') => {
-                    self.at += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.at) {
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.bytes.get(self.at) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.at + 1..self.at + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                            self.at += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.at)),
-                    }
-                    self.at += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (bytes are valid UTF-8: the
-                    // input came from &str).
-                    let rest = std::str::from_utf8(&self.bytes[self.at..]).unwrap();
-                    let ch = rest.chars().next().unwrap();
-                    out.push(ch);
-                    self.at += ch.len_utf8();
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.at;
-        while self
-            .bytes
-            .get(self.at)
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
-        {
-            self.at += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.at])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-}
+pub use qmldb_math::json::{write_atomic, Json};
 
 /// A bench record: wall times from one [`Timing`], plus throughput when
 /// the bench has a natural op count (`ops_per_iter / median`).
@@ -350,82 +57,9 @@ pub fn merge_section(path: &Path, section: &str, records: Vec<Json>) {
     }
 }
 
-/// Writes `text` to `path` via a temp file in the same directory plus an
-/// atomic rename. The temp name folds in the process id so concurrent
-/// writers of different artifacts in one directory never collide; the
-/// temp file is removed on a failed rename.
-fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
-    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other("artifact path has no file name"))?;
-    let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = match dir {
-        Some(d) => d.join(&tmp_name),
-        None => std::path::PathBuf::from(&tmp_name),
-    };
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn roundtrip_preserves_structure() {
-        let v = Json::Obj(vec![
-            ("name".into(), Json::Str("qaoa 16q \"dense\"".into())),
-            ("median_s".into(), Json::Num(0.001234567890123)),
-            ("count".into(), Json::Num(-42.0)),
-            ("ok".into(), Json::Bool(true)),
-            ("none".into(), Json::Null),
-            (
-                "arr".into(),
-                Json::Arr(vec![Json::Num(1.5e-9), Json::Str("x\ny".into())]),
-            ),
-        ]);
-        let text = v.pretty();
-        assert_eq!(Json::parse(&text).unwrap(), v);
-    }
-
-    #[test]
-    fn numbers_roundtrip_exactly() {
-        for x in [0.0, 1.0 / 3.0, 6.02e23, 2.220446049250313e-16, -0.1] {
-            let text = Json::Num(x).pretty();
-            match Json::parse(&text).unwrap() {
-                Json::Num(y) => assert_eq!(x.to_bits(), y.to_bits(), "{x}"),
-                other => panic!("parsed {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn parse_rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1, 2,]").is_err());
-        assert!(Json::parse("{\"a\": 1} extra").is_err());
-        assert!(Json::parse("nulL").is_err());
-        assert!(Json::parse("\"open").is_err());
-    }
-
-    #[test]
-    fn get_and_set_behave_like_a_map() {
-        let mut v = Json::Obj(vec![]);
-        v.set("a", Json::Num(1.0));
-        v.set("b", Json::Num(2.0));
-        v.set("a", Json::Num(3.0)); // replace keeps position
-        assert_eq!(v.get("a"), Some(&Json::Num(3.0)));
-        assert_eq!(v.get("b"), Some(&Json::Num(2.0)));
-        assert_eq!(v.get("missing"), None);
-        match v {
-            Json::Obj(ref fields) => assert_eq!(fields[0].0, "a"),
-            _ => unreachable!(),
-        }
-    }
 
     #[test]
     fn timing_record_computes_throughput() {

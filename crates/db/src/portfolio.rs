@@ -30,8 +30,8 @@ use crate::problem::QuboProblem;
 use crate::search::grover_minimum;
 use qmldb_anneal::{
     parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing,
-    solve_exact, spins_to_bits, tabu_search, Qubo, SaParams, ShardedParams, SqaParams, TabuParams,
-    TemperingParams,
+    solve_exact, spins_to_bits, tabu_search, Constraints, Qubo, SaParams, ShardedParams, SqaParams,
+    TabuParams, TemperingParams,
 };
 use qmldb_core::qaoa::Qaoa;
 use qmldb_math::{par, Rng64};
@@ -277,6 +277,45 @@ impl Portfolio {
         P: QuboProblem + Sync,
         P::Solution: Send,
     {
+        self.solve_inner(problem, None, rng)
+    }
+
+    /// Like [`Portfolio::solve`], but reuses an `(encoded QUBO,
+    /// constraints)` pair the caller already holds — the pair **must** be
+    /// `problem.encode_with_constraints(problem.auto_penalty())`
+    /// (debug-asserted). The first attempt of every solver skips the
+    /// redundant re-encode; escalation retries (which change the penalty)
+    /// re-encode as usual. Since encoding consumes no randomness, the
+    /// outcome is bit-identical to [`Portfolio::solve`] on the same RNG
+    /// state. The serve cache layer calls this so a cache miss pays for
+    /// exactly one encoding, shared between signature and solve.
+    pub fn solve_encoded<P>(
+        &self,
+        problem: &P,
+        encoded: &(Qubo, Constraints),
+        rng: &mut Rng64,
+    ) -> PortfolioOutcome<P::Solution>
+    where
+        P: QuboProblem + Sync,
+        P::Solution: Send,
+    {
+        debug_assert!(
+            encoded.0 == problem.encode(problem.auto_penalty()),
+            "solve_encoded: pair must be the auto_penalty encoding of the problem"
+        );
+        self.solve_inner(problem, Some(encoded), rng)
+    }
+
+    fn solve_inner<P>(
+        &self,
+        problem: &P,
+        pre: Option<&(Qubo, Constraints)>,
+        rng: &mut Rng64,
+    ) -> PortfolioOutcome<P::Solution>
+    where
+        P: QuboProblem + Sync,
+        P::Solution: Send,
+    {
         let n = problem.n_vars();
         assert!(
             self.solvers.iter().any(|s| s.applicable(n)),
@@ -288,7 +327,7 @@ impl Portfolio {
             par::map_rng(&self.solvers, rng, |_, solver, stream| {
                 solver
                     .applicable(n)
-                    .then(|| run_one(problem, solver, self.max_penalty_doublings, stream))
+                    .then(|| run_one(problem, solver, self.max_penalty_doublings, pre, stream))
             });
         let runs: Vec<SolverRun<P::Solution>> = runs.into_iter().flatten().collect();
         let best = runs
@@ -311,19 +350,30 @@ impl Portfolio {
     }
 }
 
-/// One solver through the penalty-escalation + repair loop.
+/// One solver through the penalty-escalation + repair loop. When `pre`
+/// holds the caller's `auto_penalty` encoding, the first attempt borrows
+/// it instead of re-encoding; retries at doubled penalties always encode
+/// fresh.
 fn run_one<P: QuboProblem>(
     problem: &P,
     solver: &Solver,
     max_doublings: usize,
+    pre: Option<&(Qubo, Constraints)>,
     rng: &mut Rng64,
 ) -> SolverRun<P::Solution> {
     let mut penalty = problem.auto_penalty();
     let mut last_bits: Option<Vec<bool>> = None;
-    let mut last_constraints = None;
+    let mut last_constraints: Option<Constraints> = None;
     for doubling in 0..=max_doublings {
-        let (qubo, constraints) = problem.encode_with_constraints(penalty);
-        let bits = solver.sample(&qubo, rng);
+        let owned;
+        let (qubo, constraints): (&Qubo, &Constraints) = match pre {
+            Some(pair) if doubling == 0 => (&pair.0, &pair.1),
+            _ => {
+                owned = problem.encode_with_constraints(penalty);
+                (&owned.0, &owned.1)
+            }
+        };
+        let bits = solver.sample(qubo, rng);
         if problem.is_feasible(&bits) {
             let solution = problem.decode(&bits);
             let objective = problem.objective(&solution);
@@ -337,7 +387,7 @@ fn run_one<P: QuboProblem>(
             };
         }
         last_bits = Some(bits);
-        last_constraints = Some(constraints);
+        last_constraints = Some(constraints.clone());
         penalty *= 2.0;
     }
     // Last resort: project the final sample onto the feasible set.
@@ -566,6 +616,67 @@ mod tests {
             .solvers
             .iter()
             .all(|s| s.name() != "sharded"));
+    }
+
+    #[test]
+    fn solve_encoded_is_bit_identical_to_solve() {
+        let mut gen_rng = Rng64::new(3017);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut gen_rng);
+        let p = quick_classical();
+
+        let mut rng_a = Rng64::new(99);
+        let plain = p.solve(&m, &mut rng_a);
+        let encoded = m.encode_with_constraints(m.auto_penalty());
+        let mut rng_b = Rng64::new(99);
+        let reused = p.solve_encoded(&m, &encoded, &mut rng_b);
+
+        assert_eq!(plain.objective.to_bits(), reused.objective.to_bits());
+        assert_eq!(plain.solution, reused.solution);
+        assert_eq!(plain.solver, reused.solver);
+        assert_eq!(plain.runs.len(), reused.runs.len());
+        for (a, b) in plain.runs.iter().zip(&reused.runs) {
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.penalty_doublings, b.penalty_doublings);
+            assert_eq!(a.repaired, b.repaired);
+        }
+        // Both paths leave the caller's stream in the same state.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn problem_signature_is_stable_and_discriminating() {
+        let mut rng = Rng64::new(3019);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut rng);
+        assert_eq!(m.signature(), m.signature());
+
+        let other = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut rng);
+        assert_ne!(m.signature(), other.signature());
+
+        // Same encoded size, different family ⇒ different signature (the
+        // family name is folded in).
+        let t = TxParams {
+            n_tx: 4,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(&mut rng);
+        assert_ne!(m.signature(), t.signature());
     }
 
     #[test]

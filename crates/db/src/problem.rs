@@ -28,7 +28,7 @@
 //! * **tx scheduling** — `2(Σ conflict weights + balance·n_tx²) + 10`: all
 //!   conflicts co-scheduled plus the worst-case balance term.
 
-use qmldb_anneal::{solve_exact, Constraints, Qubo};
+use qmldb_anneal::{fnv1a, solve_exact, split_signature, Constraints, Qubo, FNV_OFFSET};
 
 /// A combinatorial problem with a QUBO encoding, a domain decoder, and a
 /// feasibility structure. Implementors get the whole solver portfolio
@@ -92,6 +92,27 @@ pub trait QuboProblem {
     /// [`QuboProblem::is_feasible`].
     fn repair(&self, bits: &[bool]) -> Vec<bool> {
         self.encode_solution(&self.decode(bits))
+    }
+
+    /// A canonical content signature of this problem instance: the
+    /// term-order- and scale-insensitive split signature of its QUBO
+    /// encoding ([`qmldb_anneal::split_signature`] over the objective
+    /// part, encoded at penalty 0, and the penalty part) mixed with the
+    /// problem family name and variable count. Hashing the parts
+    /// separately keeps a uniformly rescaled instance on the same
+    /// signature even though [`QuboProblem::auto_penalty`] is affine
+    /// (`2·swing + 10`) rather than linear in the model scale. Two
+    /// instances with equal signatures encode the same model up to hash
+    /// accident (~2⁻⁶⁴ per pair) — the optimizer service keys its
+    /// solution cache on this.
+    ///
+    /// Costs two `encode` calls.
+    fn signature(&self) -> u64 {
+        let objective = self.encode(0.0);
+        let full = self.encode(self.auto_penalty());
+        let mut h = fnv1a(FNV_OFFSET, self.name().as_bytes());
+        h = fnv1a(h, &(self.n_vars() as u64).to_le_bytes());
+        fnv1a(h, &split_signature(&objective, &full).to_le_bytes())
     }
 
     /// A cheap feasible baseline: by default, decode the all-zero

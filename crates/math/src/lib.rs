@@ -21,6 +21,7 @@ pub mod check;
 pub mod cmatrix;
 pub mod complex;
 pub mod decomp;
+pub mod json;
 pub mod matrix;
 pub mod par;
 pub mod rng;

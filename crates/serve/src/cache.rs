@@ -1,0 +1,250 @@
+//! A bounded LRU cache with hit/miss/eviction counters.
+//!
+//! Intrusive doubly-linked list over `Vec` slots (indices, not pointers —
+//! the workspace forbids `unsafe`), plus a `HashMap` from key to slot.
+//! `get` promotes to the front; `insert` evicts the back slot when full.
+//! All operations are O(1) amortized.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters the service surfaces in its stats report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Entries pushed out by a full insert.
+    pub evictions: u64,
+}
+
+/// A bounded least-recently-used map from `u64` keys to values.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    slots: Vec<Node<V>>,
+    free: Vec<usize>,
+    map: HashMap<u64, usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        LruCache {
+            slots: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            map: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The accumulated hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used and counting a
+    /// hit or a miss.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        match self.map.get(&key).copied() {
+            Some(at) => {
+                self.counters.hits += 1;
+                self.detach(at);
+                self.push_front(at);
+                Some(&self.slots[at].value)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at `key` without touching recency or counters.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        self.map.get(&key).map(|&at| &self.slots[at].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry when at capacity. The entry becomes most-recently-used.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if let Some(&at) = self.map.get(&key) {
+            self.slots[at].value = value;
+            self.detach(at);
+            self.push_front(at);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            self.counters.evictions += 1;
+        }
+        let at = match self.free.pop() {
+            Some(at) => {
+                self.slots[at].key = key;
+                self.slots[at].value = value;
+                at
+            }
+            None => {
+                self.slots.push(Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, at);
+        self.push_front(at);
+    }
+
+    fn detach(&mut self, at: usize) {
+        let (prev, next) = (self.slots[at].prev, self.slots[at].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == at {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == at {
+            self.tail = prev;
+        }
+        self.slots[at].prev = NIL;
+        self.slots[at].next = NIL;
+    }
+
+    fn push_front(&mut self, at: usize) {
+        self.slots[at].prev = NIL;
+        self.slots[at].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = at;
+        }
+        self.head = at;
+        if self.tail == NIL {
+            self.tail = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        assert!(c.get(1).is_none());
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(1), Some(&10));
+        c.insert(3, 30); // evicts 2 (LRU after the get promoted 1)
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(3), Some(&30));
+        let n = c.counters();
+        assert_eq!(n.hits, 3);
+        assert_eq!(n.misses, 2);
+        assert_eq!(n.evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        c.insert(2, 20);
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.peek(1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_used() {
+        let mut c: LruCache<&str> = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        c.get(1); // order now (mru) 1, 3, 2
+        c.insert(4, "d"); // evicts 2
+        c.insert(5, "e"); // evicts 3
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(3).is_none());
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(4).is_some());
+        assert!(c.peek(5).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency_or_counters() {
+        let mut c: LruCache<i32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.peek(1);
+        c.insert(3, 30); // 1 is still LRU: peek did not promote it
+        assert!(c.peek(1).is_none());
+        assert_eq!(c.counters().hits, 0);
+        assert_eq!(c.counters().misses, 0);
+    }
+
+    #[test]
+    fn slot_reuse_after_many_evictions() {
+        let mut c: LruCache<u64> = LruCache::new(4);
+        for k in 0..100u64 {
+            c.insert(k, k * k);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.counters().evictions, 96);
+        // The backing vec never grew past capacity.
+        assert!(c.slots.len() <= 4);
+        for k in 96..100u64 {
+            assert_eq!(c.peek(k), Some(&(k * k)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<i32>::new(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The std-only TCP front end.
+//!
+//! One line-delimited JSON op per request ([`crate::wire`]), one JSON
+//! line back. Connections are handled thread-per-connection; every
+//! handler shares the one [`Service`] behind a mutex, so the cache and
+//! counters are global across connections. A `{"op":"shutdown"}` line
+//! (or [`ServerHandle::shutdown`]) stops the accept loop.
+
+use crate::request::Reply;
+use crate::service::Service;
+use crate::wire::{batch_json, parse_line, reply_json, stats_json, Op};
+use qmldb_math::json::Json;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running server: its bound address and the accept-loop handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and waits for it to exit. In-flight
+    /// connection handlers finish their current line first.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept_loop.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `service` until shutdown. Returns once the
+/// listener is accepting, so clients may connect immediately.
+pub fn spawn(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let service = Arc::new(Mutex::new(service));
+
+    let loop_stop = Arc::clone(&stop);
+    let accept_loop = std::thread::spawn(move || {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for conn in listener.incoming() {
+            if loop_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&loop_stop);
+            let addr = addr;
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &service, &stop, addr);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_loop: Some(accept_loop),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Mutex<Service>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) {
+    // Poll with a short read timeout so the handler observes the stop
+    // flag even while its client holds the connection open but idle —
+    // otherwise shutdown would deadlock: the accept loop joins handlers,
+    // and a handler blocked in `read` waits for a client that may itself
+    // be waiting on the shutdown to complete.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut writer = peer;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed the connection
+            Ok(_) => {
+                if !line.trim().is_empty() && !dispatch(&line, &mut writer, service, stop, addr) {
+                    break;
+                }
+                line.clear();
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Timeout: keep any partial line accumulated so far and retry.
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one complete request line; returns false when the connection
+/// should close (shutdown op or a dead peer).
+fn dispatch(
+    line: &str,
+    writer: &mut TcpStream,
+    service: &Mutex<Service>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> bool {
+    let response = match parse_line(line) {
+        Ok(Op::Solve(req)) => {
+            let reply = service.lock().expect("service lock").submit(&req);
+            reply_json(&reply)
+        }
+        Ok(Op::Batch(reqs)) => {
+            let replies = service.lock().expect("service lock").submit_batch(&reqs);
+            batch_json(&replies)
+        }
+        Ok(Op::Stats) => stats_json(&service.lock().expect("service lock").stats()),
+        Ok(Op::Shutdown) => {
+            stop.store(true, Ordering::SeqCst);
+            // Poke the accept loop so it re-checks the flag.
+            let _ = TcpStream::connect(addr);
+            let ack = Json::Obj(vec![("status".into(), Json::Str("shutting-down".into()))]);
+            let _ = writeln!(writer, "{}", ack.compact());
+            return false;
+        }
+        Err(e) => reply_json(&Reply::Error(e)),
+    };
+    writeln!(writer, "{}", response.compact()).is_ok()
+}

@@ -1,0 +1,234 @@
+//! The in-process optimizer service: batching, caching, admission.
+//!
+//! [`Service::submit_batch`] runs in four phases:
+//!
+//! 1. **Prepare** (parallel, pure): validate each request, build its
+//!    problem, compute the `auto_penalty` encoding once, and derive the
+//!    canonical cache key from `(model signature, seed)`.
+//! 2. **Admit** (serial): probe the solution cache in request order,
+//!    coalesce duplicate in-batch misses onto one solve, and reject
+//!    misses beyond the `max_pending` admission depth with a retryable
+//!    status.
+//! 3. **Solve** (parallel): fan the admitted distinct misses over the
+//!    deterministic `par` layer. Each solve draws its randomness from
+//!    [`Rng64::for_stream`]`(seed, signature)` — a stream derived from
+//!    request *content*, not arrival position — so every admitted
+//!    request's answer is bit-identical for any `QMLDB_THREADS` and any
+//!    batch order.
+//! 4. **Publish** (serial): insert results into the LRU in miss order
+//!    (deterministic eviction) and assemble replies in request order.
+//!
+//! Only *which* requests get rejected depends on batch order (admission
+//! is positional by construction — earlier requests claim solver slots
+//! first); the answers of admitted requests never do.
+
+use crate::cache::LruCache;
+use crate::request::{BuiltProblem, Reply, Request, RunSummary, ServeOutcome};
+use qmldb_anneal::{fnv1a, Constraints, Qubo, FNV_OFFSET};
+use qmldb_db::Portfolio;
+use qmldb_math::{par, Rng64};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The solver lineup every request runs through.
+    pub portfolio: Portfolio,
+    /// Solution-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Admission depth: distinct uncached solves a single batch may
+    /// commit before further misses are rejected as retryable.
+    pub max_pending: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            portfolio: Portfolio::classical(),
+            cache_capacity: 256,
+            max_pending: 64,
+        }
+    }
+}
+
+/// Cumulative service counters, surfaced over the wire `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests received (including rejected and malformed).
+    pub requests: u64,
+    /// Answers served from the solution cache.
+    pub hits: u64,
+    /// Cache probes that missed (coalesced or solved or rejected).
+    pub misses: u64,
+    /// Cache entries displaced by inserts.
+    pub evictions: u64,
+    /// Requests rejected by admission control.
+    pub rejections: u64,
+    /// In-batch duplicates coalesced onto another request's solve.
+    pub coalesced: u64,
+    /// Malformed requests answered with a permanent error.
+    pub errors: u64,
+    /// Entries currently resident in the cache.
+    pub cache_entries: usize,
+}
+
+/// Outcome of phase 2 for one request.
+enum Plan {
+    Invalid(String),
+    Hit(RunSummary),
+    /// Index into the distinct-miss list; the answer is filled in during
+    /// phase 4 (coalesced duplicates share the index of the first miss).
+    Pending(usize),
+    Reject,
+}
+
+/// A long-lived batched optimizer with a canonicalized solution cache.
+#[derive(Debug)]
+pub struct Service {
+    portfolio: Portfolio,
+    cache: LruCache<RunSummary>,
+    max_pending: usize,
+    requests: u64,
+    rejections: u64,
+    coalesced: u64,
+    errors: u64,
+}
+
+impl Service {
+    /// Creates a service from a config.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            portfolio: config.portfolio,
+            cache: LruCache::new(config.cache_capacity),
+            max_pending: config.max_pending,
+            requests: 0,
+            rejections: 0,
+            coalesced: 0,
+            errors: 0,
+        }
+    }
+
+    /// Submits a single request (a batch of one).
+    pub fn submit(&mut self, request: &Request) -> Reply {
+        self.submit_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one reply per request")
+    }
+
+    /// Submits a batch; returns one reply per request, in order.
+    pub fn submit_batch(&mut self, requests: &[Request]) -> Vec<Reply> {
+        self.requests += requests.len() as u64;
+
+        // Phase 1 — prepare (parallel, pure): problem + encoding + key.
+        type Prepared = Result<(BuiltProblem, (Qubo, Constraints), u64, u64), String>;
+        let prepared: Vec<Prepared> = par::map(requests, |_, req| {
+            req.workload.validate()?;
+            let problem = req.workload.build();
+            let encoded = problem.encode();
+            let signature = problem.signature_of(&encoded);
+            let key = cache_key(signature, req.seed);
+            Ok((problem, encoded, signature, key))
+        });
+
+        // Phase 2 — admit (serial): cache probes, coalescing, admission.
+        let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
+        let mut misses: Vec<(BuiltProblem, (Qubo, Constraints), u64, u64, u64)> = Vec::new();
+        let mut pending_of: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for (req, prep) in requests.iter().zip(&prepared) {
+            let (problem, encoded, signature, key) = match prep {
+                Ok(p) => p,
+                Err(e) => {
+                    self.errors += 1;
+                    plans.push(Plan::Invalid(e.clone()));
+                    continue;
+                }
+            };
+            if let Some(summary) = self.cache.get(*key) {
+                plans.push(Plan::Hit(summary.clone()));
+                continue;
+            }
+            if let Some(&at) = pending_of.get(key) {
+                self.coalesced += 1;
+                plans.push(Plan::Pending(at));
+                continue;
+            }
+            if misses.len() >= self.max_pending {
+                self.rejections += 1;
+                plans.push(Plan::Reject);
+                continue;
+            }
+            pending_of.insert(*key, misses.len());
+            plans.push(Plan::Pending(misses.len()));
+            misses.push((problem.clone(), encoded.clone(), *signature, *key, req.seed));
+        }
+        let committed = misses.len();
+
+        // Phase 3 — solve (parallel): content-derived RNG streams keep
+        // every answer independent of batch order and thread count.
+        let portfolio = &self.portfolio;
+        let solved: Vec<RunSummary> =
+            par::map(&misses, |_, (problem, encoded, signature, _, seed)| {
+                let mut rng = Rng64::for_stream(*seed, *signature);
+                problem.solve(portfolio, encoded, &mut rng)
+            });
+
+        // Phase 4 — publish (serial): cache inserts in miss order, then
+        // replies in request order.
+        for ((_, _, _, key, _), summary) in misses.iter().zip(&solved) {
+            self.cache.insert(*key, summary.clone());
+        }
+        let sig_of_plan = |i: usize| prepared[i].as_ref().map(|&(_, _, s, _)| s).unwrap_or(0);
+        requests
+            .iter()
+            .enumerate()
+            .zip(plans)
+            .map(|((i, req), plan)| match plan {
+                Plan::Invalid(e) => Reply::Error(e),
+                Plan::Hit(summary) => Reply::Done(outcome(req, sig_of_plan(i), &summary, true)),
+                Plan::Pending(at) => Reply::Done(outcome(req, sig_of_plan(i), &solved[at], false)),
+                Plan::Reject => Reply::Rejected {
+                    pending: committed,
+                    max_pending: self.max_pending,
+                },
+            })
+            .collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = self.cache.counters();
+        ServiceStats {
+            requests: self.requests,
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            rejections: self.rejections,
+            coalesced: self.coalesced,
+            errors: self.errors,
+            cache_entries: self.cache.len(),
+        }
+    }
+}
+
+/// The cache key: canonical model signature mixed with the client seed.
+/// The signature already folds in the workload family and variable
+/// count, so equal keys mean "same model, same requested randomness".
+fn cache_key(signature: u64, seed: u64) -> u64 {
+    fnv1a(
+        fnv1a(FNV_OFFSET, &signature.to_le_bytes()),
+        &seed.to_le_bytes(),
+    )
+}
+
+fn outcome(req: &Request, signature: u64, summary: &RunSummary, cached: bool) -> ServeOutcome {
+    ServeOutcome {
+        workload: req.workload.tag(),
+        solution: summary.solution.clone(),
+        objective: summary.objective,
+        solver: summary.solver,
+        penalty_doublings: summary.penalty_doublings,
+        repaired: summary.repaired,
+        signature,
+        cached,
+    }
+}

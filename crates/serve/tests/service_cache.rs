@@ -1,0 +1,405 @@
+//! Integration tests for the optimizer service: cache correctness under
+//! common random numbers, admission control, coalescing, arrival-order
+//! invariance, and the TCP front end.
+
+use qmldb_anneal::{SaParams, TabuParams};
+use qmldb_db::{Portfolio, Solver};
+use qmldb_serve::{
+    spawn, Reply, Request, ServeOutcome, Service, ServiceConfig, Solution, WorkloadSpec,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A fast two-member classical portfolio for tests.
+fn quick_portfolio() -> Portfolio {
+    Portfolio::new(vec![
+        Solver::Sa(SaParams {
+            sweeps: 300,
+            restarts: 2,
+            ..SaParams::default()
+        }),
+        Solver::Tabu(TabuParams {
+            iters: 300,
+            ..TabuParams::default()
+        }),
+    ])
+}
+
+fn quick_config() -> ServiceConfig {
+    ServiceConfig {
+        portfolio: quick_portfolio(),
+        cache_capacity: 32,
+        max_pending: 16,
+    }
+}
+
+/// One request per workload family.
+fn four_workloads(seed: u64) -> Vec<Request> {
+    vec![
+        Request {
+            workload: WorkloadSpec::JoinOrder {
+                cardinalities: vec![1000.0, 10.0, 500.0, 2000.0],
+                edges: vec![(0, 1, 0.01), (1, 2, 0.02), (2, 3, 0.001)],
+            },
+            seed,
+        },
+        Request {
+            workload: WorkloadSpec::Mqo {
+                plan_costs: vec![vec![10.0, 12.0], vec![8.0, 9.0], vec![15.0, 11.0]],
+                savings: vec![((0, 0), (1, 1), 3.5), ((1, 0), (2, 1), 2.0)],
+            },
+            seed,
+        },
+        Request {
+            workload: WorkloadSpec::IndexSelection {
+                sizes: vec![40.0, 25.0, 30.0],
+                benefits: vec![90.0, 60.0, 45.0],
+                interactions: vec![(0, 1, 20.0)],
+                budget: 70.0,
+            },
+            seed,
+        },
+        Request {
+            workload: WorkloadSpec::TxSchedule {
+                n_tx: 6,
+                n_slots: 3,
+                conflicts: vec![(0, 1, 2.5), (2, 4, 1.0), (1, 5, 0.5)],
+                balance_weight: 0.5,
+            },
+            seed,
+        },
+    ]
+}
+
+fn done(reply: &Reply) -> &ServeOutcome {
+    match reply {
+        Reply::Done(o) => o,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+fn assert_outcomes_identical(a: &ServeOutcome, b: &ServeOutcome) {
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    assert_eq!(a.solver, b.solver);
+    assert_eq!(a.penalty_doublings, b.penalty_doublings);
+    assert_eq!(a.repaired, b.repaired);
+    assert_eq!(a.signature, b.signature);
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_fresh_solves_for_all_workloads() {
+    // Common-random-numbers pin: the cached answer must equal, bit for
+    // bit, what a fresh service would compute for the same request seed.
+    for req in four_workloads(42) {
+        let mut warm = Service::new(quick_config());
+        let cold = done(&warm.submit(&req)).clone();
+        assert!(!cold.cached);
+        let hit = done(&warm.submit(&req)).clone();
+        assert!(hit.cached);
+        assert_outcomes_identical(&cold, &hit);
+
+        // A brand-new service (fresh cache) reproduces the same answer.
+        let mut fresh = Service::new(quick_config());
+        let again = done(&fresh.submit(&req)).clone();
+        assert!(!again.cached);
+        assert_outcomes_identical(&cold, &again);
+    }
+}
+
+#[test]
+fn distinct_seeds_do_not_share_cache_lines() {
+    let mut service = Service::new(quick_config());
+    let a = four_workloads(1).remove(3);
+    let mut b = a.clone();
+    b.seed = 2;
+    let ra = done(&service.submit(&a)).clone();
+    let rb = done(&service.submit(&b)).clone();
+    assert!(!ra.cached && !rb.cached, "different seeds must both miss");
+    // Same model ⇒ same signature, even though the runs are independent.
+    assert_eq!(ra.signature, rb.signature);
+    assert_eq!(service.stats().cache_entries, 2);
+}
+
+#[test]
+fn answers_are_independent_of_arrival_order() {
+    let mut batch = four_workloads(7);
+    batch.extend(four_workloads(8));
+    let forward: Vec<ServeOutcome> = Service::new(quick_config())
+        .submit_batch(&batch)
+        .iter()
+        .map(|r| done(r).clone())
+        .collect();
+
+    let mut reversed_batch = batch.clone();
+    reversed_batch.reverse();
+    let mut backward: Vec<ServeOutcome> = Service::new(quick_config())
+        .submit_batch(&reversed_batch)
+        .iter()
+        .map(|r| done(r).clone())
+        .collect();
+    backward.reverse();
+
+    for (f, b) in forward.iter().zip(&backward) {
+        assert_outcomes_identical(f, b);
+    }
+}
+
+#[test]
+fn batch_and_singles_agree() {
+    let batch = four_workloads(21);
+    let batched: Vec<ServeOutcome> = Service::new(quick_config())
+        .submit_batch(&batch)
+        .iter()
+        .map(|r| done(r).clone())
+        .collect();
+    let mut one_by_one = Service::new(quick_config());
+    for (req, expect) in batch.iter().zip(&batched) {
+        let got = done(&one_by_one.submit(req)).clone();
+        assert_outcomes_identical(expect, &got);
+    }
+}
+
+#[test]
+fn in_batch_duplicates_coalesce_onto_one_solve() {
+    let mut service = Service::new(quick_config());
+    let req = four_workloads(5).remove(1);
+    let batch = vec![req.clone(), req.clone(), req.clone()];
+    let replies = service.submit_batch(&batch);
+    let first = done(&replies[0]);
+    for r in &replies {
+        let o = done(r);
+        assert!(!o.cached, "coalesced requests report a fresh solve");
+        assert_outcomes_identical(first, o);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.coalesced, 2);
+    assert_eq!(stats.cache_entries, 1, "one solve, one cache line");
+}
+
+#[test]
+fn admission_control_rejects_overflow_and_retry_succeeds() {
+    let mut service = Service::new(ServiceConfig {
+        portfolio: quick_portfolio(),
+        cache_capacity: 32,
+        max_pending: 2,
+    });
+    // Four distinct models: two admitted, two rejected.
+    let batch: Vec<Request> = four_workloads(9);
+    let replies = service.submit_batch(&batch);
+    assert!(matches!(replies[0], Reply::Done(_)));
+    assert!(matches!(replies[1], Reply::Done(_)));
+    for r in &replies[2..] {
+        assert!(r.retryable(), "overflow must be a retryable rejection");
+        match r {
+            Reply::Rejected {
+                pending,
+                max_pending,
+            } => {
+                assert_eq!(*pending, 2);
+                assert_eq!(*max_pending, 2);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+    assert_eq!(service.stats().rejections, 2);
+
+    // Retrying the rejected tail on the drained service succeeds and
+    // matches what an unthrottled service computes.
+    let retry = service.submit_batch(&batch[2..]);
+    let mut unthrottled = Service::new(quick_config());
+    let reference = unthrottled.submit_batch(&batch[2..]);
+    for (r, expect) in retry.iter().zip(&reference) {
+        assert_outcomes_identical(done(r), done(expect));
+    }
+}
+
+#[test]
+fn hits_bypass_admission_control() {
+    let mut service = Service::new(ServiceConfig {
+        portfolio: quick_portfolio(),
+        cache_capacity: 32,
+        max_pending: 1,
+    });
+    let batch = four_workloads(11);
+    // Warm the first model.
+    let _ = service.submit(&batch[0]);
+    // Now a batch of [cached, new, new]: the hit does not consume the
+    // single admission slot.
+    let replies = service.submit_batch(&batch[..3]);
+    assert!(done(&replies[0]).cached);
+    assert!(matches!(replies[1], Reply::Done(_)));
+    assert!(replies[2].retryable());
+}
+
+#[test]
+fn eviction_counters_track_capacity_pressure() {
+    let mut service = Service::new(ServiceConfig {
+        portfolio: quick_portfolio(),
+        cache_capacity: 2,
+        max_pending: 16,
+    });
+    let batch = four_workloads(13); // 4 distinct models, capacity 2
+    let _ = service.submit_batch(&batch);
+    let stats = service.stats();
+    assert_eq!(stats.evictions, 2);
+    assert_eq!(stats.cache_entries, 2);
+    // The two oldest entries were displaced: resubmitting the first
+    // request misses again.
+    let r = service.submit(&batch[0]);
+    assert!(!done(&r).cached);
+}
+
+#[test]
+fn scale_insensitive_cache_keying() {
+    // A uniformly rescaled model is the same optimization problem; the
+    // canonical signature sends it to the same cache line.
+    let mut service = Service::new(quick_config());
+    let base = Request {
+        workload: WorkloadSpec::Mqo {
+            plan_costs: vec![vec![10.0, 12.0], vec![8.0, 9.0]],
+            savings: vec![((0, 0), (1, 1), 3.5)],
+        },
+        seed: 3,
+    };
+    let scaled = Request {
+        workload: WorkloadSpec::Mqo {
+            plan_costs: vec![vec![20.0, 24.0], vec![16.0, 18.0]],
+            savings: vec![((0, 0), (1, 1), 7.0)],
+        },
+        seed: 3,
+    };
+    let cold = done(&service.submit(&base)).clone();
+    let hit = done(&service.submit(&scaled)).clone();
+    assert!(hit.cached, "rescaled model must hit the cache");
+    assert_eq!(cold.signature, hit.signature);
+    assert_eq!(cold.solution, hit.solution);
+}
+
+#[test]
+fn malformed_requests_get_permanent_errors() {
+    let mut service = Service::new(quick_config());
+    let bad = Request {
+        workload: WorkloadSpec::JoinOrder {
+            cardinalities: vec![100.0, 50.0],
+            edges: vec![(0, 1, 1.5)], // selectivity out of range
+        },
+        seed: 1,
+    };
+    let reply = service.submit(&bad);
+    assert!(matches!(reply, Reply::Error(_)));
+    assert!(!reply.retryable());
+    assert_eq!(service.stats().errors, 1);
+
+    // A malformed request in a batch does not poison its neighbours.
+    let good = four_workloads(2).remove(3);
+    let replies = service.submit_batch(&[bad, good]);
+    assert!(matches!(replies[0], Reply::Error(_)));
+    assert!(matches!(replies[1], Reply::Done(_)));
+}
+
+#[test]
+fn solutions_decode_into_the_right_domain() {
+    let mut service = Service::new(quick_config());
+    let replies = service.submit_batch(&four_workloads(17));
+    match &done(&replies[0]).solution {
+        Solution::Order(perm) => {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "join order is a permutation");
+        }
+        other => panic!("join-order solution mismatch: {other:?}"),
+    }
+    match &done(&replies[1]).solution {
+        Solution::PlanChoice(choice) => assert_eq!(choice.len(), 3),
+        other => panic!("mqo solution mismatch: {other:?}"),
+    }
+    match &done(&replies[2]).solution {
+        Solution::Selection(sel) => assert_eq!(sel.len(), 3),
+        other => panic!("index solution mismatch: {other:?}"),
+    }
+    match &done(&replies[3]).solution {
+        Solution::Slots(slots) => {
+            assert_eq!(slots.len(), 6);
+            assert!(slots.iter().all(|&s| s < 3));
+        }
+        other => panic!("tx solution mismatch: {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_end_to_end_with_cache_and_stats() {
+    let handle = spawn("127.0.0.1:0", Service::new(quick_config())).expect("bind");
+    let addr = handle.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    let solve = "{\"op\":\"solve\",\"workload\":\"tx-schedule\",\"seed\":4,\
+                 \"n_tx\":5,\"n_slots\":2,\"conflicts\":[[0,1,2.0],[2,3,1.0]],\
+                 \"balance_weight\":0.25}";
+    writeln!(writer, "{solve}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\": \"ok\""), "got: {line}");
+    assert!(line.contains("\"cached\": false"), "got: {line}");
+    let first = line.clone();
+
+    // Same request again: answered from cache with identical payload.
+    writeln!(writer, "{solve}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"cached\": true"), "got: {line}");
+    let strip = |s: &str| {
+        s.replace("\"cached\": true", "")
+            .replace("\"cached\": false", "")
+    };
+    assert_eq!(strip(&first), strip(&line));
+
+    // Batch op over a second connection shares the same cache.
+    let stream2 = TcpStream::connect(addr).expect("connect 2");
+    let mut writer2 = stream2.try_clone().expect("clone 2");
+    let mut reader2 = BufReader::new(stream2);
+    let batch = format!(
+        "{{\"op\":\"batch\",\"requests\":[{}]}}",
+        &solve.replace("{\"op\":\"solve\",", "{")
+    );
+    writeln!(writer2, "{batch}").unwrap();
+    line.clear();
+    reader2.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\": \"batch\""), "got: {line}");
+    assert!(line.contains("\"cached\": true"), "got: {line}");
+
+    // Stats reflect both connections.
+    let stats_op = "{\"op\":\"stats\"}";
+    writeln!(writer, "{stats_op}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\": \"stats\""), "got: {line}");
+    assert!(line.contains("\"hits\": 2"), "got: {line}");
+
+    // Malformed line gets an error reply, connection stays usable.
+    writeln!(writer, "]]]garbage").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\": \"error\""), "got: {line}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_shutdown_op_stops_the_server() {
+    let handle = spawn("127.0.0.1:0", Service::new(quick_config())).expect("bind");
+    let addr = handle.local_addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let shutdown_op = "{\"op\":\"shutdown\"}";
+    writeln!(writer, "{shutdown_op}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("shutting-down"), "got: {line}");
+    handle.shutdown();
+}

@@ -5,4 +5,5 @@ pub use qmldb_core as qml;
 pub use qmldb_db as db;
 pub use qmldb_math as math;
 pub use qmldb_ml as ml;
+pub use qmldb_serve as serve;
 pub use qmldb_sim as sim;

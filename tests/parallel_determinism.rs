@@ -20,6 +20,7 @@ use qmldb::math::{par, Rng64};
 use qmldb::qml::ansatz::{hardware_efficient, Entanglement};
 use qmldb::qml::vqc::{GradMethod, VqcConfig};
 use qmldb::qml::{FeatureMap, QuantumKernel, ShiftGradient, Vqc};
+use qmldb::serve::{Reply, Request, Service, ServiceConfig, WorkloadSpec};
 use qmldb::sim::{Circuit, PauliString, PauliSum, Simulator};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -364,6 +365,95 @@ fn solver_portfolio_is_identical_on_1_and_4_threads() {
         serial.1, parallel.1,
         "caller stream must advance identically"
     );
+}
+
+#[test]
+fn optimizer_service_is_identical_on_1_and_4_threads() {
+    // The serve layer batches requests over par::map twice (prepare and
+    // solve) with per-request RNG streams derived from request content.
+    // Every admitted answer — and the cached re-answer — must be
+    // bit-identical whichever worker count ran the batch.
+    let batch = vec![
+        Request {
+            workload: WorkloadSpec::JoinOrder {
+                cardinalities: vec![100.0, 2000.0, 50.0, 700.0],
+                edges: vec![(0, 1, 0.01), (1, 2, 0.05), (2, 3, 0.1)],
+            },
+            seed: 3,
+        },
+        Request {
+            workload: WorkloadSpec::Mqo {
+                plan_costs: vec![vec![10.0, 14.0], vec![9.0, 11.0], vec![20.0, 16.0]],
+                savings: vec![((0, 0), (1, 1), 4.0), ((1, 0), (2, 1), 3.0)],
+            },
+            seed: 5,
+        },
+        Request {
+            workload: WorkloadSpec::IndexSelection {
+                sizes: vec![30.0, 45.0, 25.0, 60.0],
+                benefits: vec![80.0, 55.0, 40.0, 95.0],
+                interactions: vec![(0, 3, 12.0)],
+                budget: 90.0,
+            },
+            seed: 7,
+        },
+        Request {
+            workload: WorkloadSpec::TxSchedule {
+                n_tx: 5,
+                n_slots: 3,
+                conflicts: vec![(0, 1, 2.0), (1, 2, 1.5), (3, 4, 1.0)],
+                balance_weight: 0.2,
+            },
+            seed: 11,
+        },
+    ];
+    let portfolio = Portfolio::new(vec![
+        Solver::Sa(SaParams {
+            sweeps: 200,
+            restarts: 2,
+            ..SaParams::default()
+        }),
+        Solver::Tabu(TabuParams {
+            iters: 200,
+            ..TabuParams::default()
+        }),
+    ]);
+    let (serial, parallel) = on_1_and_4_threads(|| {
+        let mut service = Service::new(ServiceConfig {
+            portfolio: portfolio.clone(),
+            cache_capacity: 16,
+            max_pending: 8,
+        });
+        let cold = service.submit_batch(&batch);
+        let warm = service.submit_batch(&batch);
+        (cold, warm, service.stats())
+    });
+    for (pass_serial, pass_parallel) in [(&serial.0, &parallel.0), (&serial.1, &parallel.1)] {
+        assert_eq!(pass_serial.len(), pass_parallel.len());
+        for (a, b) in pass_serial.iter().zip(pass_parallel) {
+            let (a, b) = match (a, b) {
+                (Reply::Done(a), Reply::Done(b)) => (a, b),
+                other => panic!("expected Done replies, got {other:?}"),
+            };
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.solver, b.solver);
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.cached, b.cached);
+        }
+    }
+    // The warm pass is the cold pass replayed from the cache, bit for bit.
+    for (cold, warm) in serial.0.iter().zip(&serial.1) {
+        let (cold, warm) = match (cold, warm) {
+            (Reply::Done(c), Reply::Done(w)) => (c, w),
+            other => panic!("expected Done replies, got {other:?}"),
+        };
+        assert!(!cold.cached && warm.cached);
+        assert_eq!(cold.solution, warm.solution);
+        assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
+    }
+    assert_eq!(serial.2, parallel.2, "service counters must match");
+    assert_eq!(serial.2.hits, batch.len() as u64);
 }
 
 #[test]
