@@ -1,12 +1,12 @@
 //! Deterministic fork-join parallelism.
 //!
 //! Every hot loop in the workspace — Gram matrices, annealer restarts,
-//! Trotter-replica sweeps, shot estimation — is an index-addressed map over
-//! independent work items. This module runs such maps on scoped threads
-//! (`std::thread::scope`; the workspace forbids `unsafe`, and scoped
-//! borrows make shared inputs free) while keeping the one contract the rest
-//! of the workspace is built on: **results are bit-identical for 1 and N
-//! threads**.
+//! Trotter-replica sweeps, shot estimation, compiled kernel slabs — is an
+//! index-addressed map over independent work items. This module splits
+//! such maps into contiguous chunks and executes one job per chunk on the
+//! persistent worker pool ([`pool`]), while keeping the one contract the
+//! rest of the workspace is built on: **results are bit-identical for 1
+//! and N threads** (and for the pooled vs the scoped-spawn dispatcher).
 //!
 //! Two rules make that hold:
 //!
@@ -14,13 +14,26 @@
 //!    is fixed regardless of which thread ran it.
 //! 2. Stochastic work items never share a generator. [`map_rng`] forks one
 //!    child [`Rng64`] per item from the caller's generator *serially,
-//!    before any thread starts*, so the parent stream advances identically
-//!    however many threads execute the map.
+//!    before any job is dispatched*, so the parent stream advances
+//!    identically however many threads execute the map.
+//!
+//! The chunk geometry is a pure function of `(item count, thread count)`
+//! — never of scheduling — and the per-chunk job bodies are what the
+//! dispatcher executes verbatim, so *which* dispatcher runs them cannot
+//! change a single rounding. [`Dispatch::ScopedBaseline`] keeps the
+//! original spawn-per-call dispatcher selectable for the
+//! `dispatch_overhead` benchmark and the pooled-vs-scoped determinism pin;
+//! production always runs [`Dispatch::Pooled`].
 //!
 //! The pool width comes from the `QMLDB_THREADS` environment variable
 //! (default: the machine's available parallelism), read once per process;
 //! [`set_threads`] overrides it at runtime, which is what the determinism
-//! tests and benchmark baselines use.
+//! tests and benchmark baselines use. The persistent pool sizes itself to
+//! the widest fan-out seen and honors every override between calls —
+//! lowering the count masks surplus workers (they stay parked), raising
+//! it lazily spawns more.
+
+pub mod pool;
 
 use crate::Rng64;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,7 +67,10 @@ pub fn thread_count() -> usize {
 
 /// Overrides the thread count process-wide (clamped to ≥ 1). Intended for
 /// tests and benchmarks that compare 1-thread vs N-thread execution;
-/// production code should configure `QMLDB_THREADS` instead.
+/// production code should configure `QMLDB_THREADS` instead. The
+/// persistent pool honors the override on the next fan-out: chunk
+/// geometry always follows [`thread_count`], and the pool grows (or
+/// masks idle workers) to match.
 pub fn set_threads(n: usize) {
     OVERRIDE.store(n.max(1), Ordering::Relaxed);
 }
@@ -64,7 +80,71 @@ pub fn reset_threads() {
     OVERRIDE.store(0, Ordering::Relaxed);
 }
 
-/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// Which dispatcher executes fan-out jobs. The job bodies and chunk
+/// geometry are identical either way, so both produce bit-identical
+/// results; only the dispatch cost differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// The persistent worker pool ([`pool`]) — parked workers woken per
+    /// call, with the caller executing chunks of its own batch. The
+    /// production dispatcher.
+    Pooled,
+    /// Per-call `std::thread::scope` spawning — the pre-pool dispatcher,
+    /// kept selectable as the measured baseline for the
+    /// `dispatch_overhead` benchmark and the pooled-vs-scoped
+    /// determinism pin. Pays a thread spawn per chunk per call.
+    ScopedBaseline,
+}
+
+/// Active dispatcher; 0 = pooled (default), 1 = scoped baseline.
+static DISPATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the dispatcher process-wide. Benchmark/test hook: production
+/// code never calls this.
+pub fn set_dispatch(d: Dispatch) {
+    DISPATCH.store(
+        match d {
+            Dispatch::Pooled => 0,
+            Dispatch::ScopedBaseline => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The dispatcher fan-outs currently run on.
+pub fn dispatch() -> Dispatch {
+    match DISPATCH.load(Ordering::Relaxed) {
+        1 => Dispatch::ScopedBaseline,
+        _ => Dispatch::Pooled,
+    }
+}
+
+/// Executes one pre-built job per chunk on the active dispatcher and
+/// returns when all have finished. Every `par` primitive funnels through
+/// here: the primitive owns the chunk geometry and disjoint-output
+/// splitting (all safe code), the dispatcher only runs the closures. A
+/// panicking job surfaces on the calling thread after all jobs finish,
+/// for both dispatchers.
+fn fanout<J: FnMut() + Send>(jobs: &mut [J]) {
+    match dispatch() {
+        Dispatch::Pooled => {
+            let mut refs: Vec<&mut (dyn FnMut() + Send)> = jobs
+                .iter_mut()
+                .map(|j| j as &mut (dyn FnMut() + Send))
+                .collect();
+            pool::run(&mut refs);
+        }
+        Dispatch::ScopedBaseline => {
+            std::thread::scope(|scope| {
+                for job in jobs.iter_mut() {
+                    scope.spawn(job);
+                }
+            });
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] pool workers,
 /// returning outputs in item order. `f(i, &items[i])` must depend only on
 /// its arguments for the determinism contract to hold (the compiler cannot
 /// check that `f` ignores ambient mutable state, but `Fn + Sync` rules out
@@ -81,21 +161,25 @@ where
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (ci, (in_chunk, out_chunk)) in
-            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                let base = ci * chunk;
-                for (k, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(base + k, item));
+    {
+        let f = &f;
+        let mut jobs: Vec<_> = items
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+            .map(|(ci, (in_chunk, out_chunk))| {
+                move || {
+                    let base = ci * chunk;
+                    for (k, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                        *slot = Some(f(base + k, item));
+                    }
                 }
-            });
-        }
-    });
+            })
+            .collect();
+        fanout(&mut jobs);
+    }
     out.into_iter()
-        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .map(|r| r.expect("fan-out returned without filling every slot"))
         .collect()
 }
 
@@ -121,29 +205,31 @@ where
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (ci, ((in_chunk, rng_chunk), out_chunk)) in items
+    {
+        let f = &f;
+        let mut jobs: Vec<_> = items
             .chunks(chunk)
             .zip(streams.chunks_mut(chunk))
             .zip(out.chunks_mut(chunk))
             .enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                let base = ci * chunk;
-                for (k, ((item, r), slot)) in in_chunk
-                    .iter()
-                    .zip(rng_chunk.iter_mut())
-                    .zip(out_chunk.iter_mut())
-                    .enumerate()
-                {
-                    *slot = Some(f(base + k, item, r));
+            .map(|(ci, ((in_chunk, rng_chunk), out_chunk))| {
+                move || {
+                    let base = ci * chunk;
+                    for (k, ((item, r), slot)) in in_chunk
+                        .iter()
+                        .zip(rng_chunk.iter_mut())
+                        .zip(out_chunk.iter_mut())
+                        .enumerate()
+                    {
+                        *slot = Some(f(base + k, item, r));
+                    }
                 }
-            });
-        }
-    });
+            })
+            .collect();
+        fanout(&mut jobs);
+    }
     out.into_iter()
-        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .map(|r| r.expect("fan-out returned without filling every slot"))
         .collect()
 }
 
@@ -172,34 +258,36 @@ where
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (ci, ((in_chunk, rng_chunk), out_chunk)) in items
+    {
+        let f = &f;
+        let mut jobs: Vec<_> = items
             .chunks_mut(chunk)
             .zip(streams.chunks_mut(chunk))
             .zip(out.chunks_mut(chunk))
             .enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                let base = ci * chunk;
-                for (k, ((item, r), slot)) in in_chunk
-                    .iter_mut()
-                    .zip(rng_chunk.iter_mut())
-                    .zip(out_chunk.iter_mut())
-                    .enumerate()
-                {
-                    *slot = Some(f(base + k, item, r));
+            .map(|(ci, ((in_chunk, rng_chunk), out_chunk))| {
+                move || {
+                    let base = ci * chunk;
+                    for (k, ((item, r), slot)) in in_chunk
+                        .iter_mut()
+                        .zip(rng_chunk.iter_mut())
+                        .zip(out_chunk.iter_mut())
+                        .enumerate()
+                    {
+                        *slot = Some(f(base + k, item, r));
+                    }
                 }
-            });
-        }
-    });
+            })
+            .collect();
+        fanout(&mut jobs);
+    }
     out.into_iter()
-        .map(|r| r.expect("worker thread panicked before filling its slot"))
+        .map(|r| r.expect("fan-out returned without filling every slot"))
         .collect()
 }
 
 /// Runs `f` over disjoint contiguous slabs of `data` on up to
-/// [`thread_count`] scoped threads. Each slab's length is a multiple of
+/// [`thread_count`] pool workers. Each slab's length is a multiple of
 /// `align` (except possibly the trailing slab), and `f` receives the
 /// slab's starting offset into `data` alongside the slab itself, so
 /// kernels can reconstruct global indices.
@@ -230,12 +318,13 @@ where
     match slab_size(len, align, threads) {
         None => f(0, data),
         Some(slab) => {
-            std::thread::scope(|scope| {
-                for (ci, chunk) in data.chunks_mut(slab).enumerate() {
-                    let f = &f;
-                    scope.spawn(move || f(ci * slab, chunk));
-                }
-            });
+            let f = &f;
+            let mut jobs: Vec<_> = data
+                .chunks_mut(slab)
+                .enumerate()
+                .map(|(ci, chunk)| move || f(ci * slab, &mut *chunk))
+                .collect();
+            fanout(&mut jobs);
         }
     }
 }
@@ -277,12 +366,14 @@ where
     match slab_size(len, align, threads) {
         None => f(0, a, b),
         Some(slab) => {
-            std::thread::scope(|scope| {
-                for (ci, (ca, cb)) in a.chunks_mut(slab).zip(b.chunks_mut(slab)).enumerate() {
-                    let f = &f;
-                    scope.spawn(move || f(ci * slab, ca, cb));
-                }
-            });
+            let f = &f;
+            let mut jobs: Vec<_> = a
+                .chunks_mut(slab)
+                .zip(b.chunks_mut(slab))
+                .enumerate()
+                .map(|(ci, (ca, cb))| move || f(ci * slab, &mut *ca, &mut *cb))
+                .collect();
+            fanout(&mut jobs);
         }
     }
 }
@@ -317,18 +408,18 @@ pub fn for_slab_quads<T, F>(
     match slab_size(len, align, threads) {
         None => f(0, s0, s1, s2, s3),
         Some(slab) => {
-            std::thread::scope(|scope| {
-                for (ci, (((c0, c1), c2), c3)) in s0
-                    .chunks_mut(slab)
-                    .zip(s1.chunks_mut(slab))
-                    .zip(s2.chunks_mut(slab))
-                    .zip(s3.chunks_mut(slab))
-                    .enumerate()
-                {
-                    let f = &f;
-                    scope.spawn(move || f(ci * slab, c0, c1, c2, c3));
-                }
-            });
+            let f = &f;
+            let mut jobs: Vec<_> = s0
+                .chunks_mut(slab)
+                .zip(s1.chunks_mut(slab))
+                .zip(s2.chunks_mut(slab))
+                .zip(s3.chunks_mut(slab))
+                .enumerate()
+                .map(|(ci, (((c0, c1), c2), c3))| {
+                    move || f(ci * slab, &mut *c0, &mut *c1, &mut *c2, &mut *c3)
+                })
+                .collect();
+            fanout(&mut jobs);
         }
     }
 }
@@ -359,7 +450,8 @@ mod tests {
 
     /// Runs `body` under an explicit thread-count override, restoring the
     /// previous override afterwards. Serialized so concurrent unit tests
-    /// don't fight over the process-wide setting.
+    /// don't fight over the process-wide setting (the dispatch selector
+    /// shares the same lock).
     fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         let _guard = LOCK.lock().unwrap();
@@ -419,6 +511,114 @@ mod tests {
     fn map_indices_matches_manual_loop() {
         let expect: Vec<usize> = (0..25).map(|i| i * i).collect();
         assert_eq!(with_threads(3, || map_indices(25, |i| i * i)), expect);
+    }
+
+    #[test]
+    fn pooled_and_scoped_dispatch_agree_bitwise() {
+        // The scoped baseline is kept precisely so this comparison stays
+        // measurable and testable: same chunk geometry, same job bodies,
+        // different dispatcher — outputs must not differ in a single bit.
+        let items: Vec<f64> = (0..513).map(|i| i as f64 * 0.37 - 9.0).collect();
+        let work = |_, x: &f64| (x.sin() * x.cos()).to_bits();
+        let (pooled, scoped) = with_threads(4, || {
+            assert_eq!(dispatch(), Dispatch::Pooled, "pooled must be the default");
+            let pooled = map(&items, work);
+            set_dispatch(Dispatch::ScopedBaseline);
+            let scoped = map(&items, work);
+            set_dispatch(Dispatch::Pooled);
+            (pooled, scoped)
+        });
+        assert_eq!(pooled, scoped);
+
+        let slab_run = |d: Dispatch| {
+            with_threads(4, || {
+                set_dispatch(d);
+                let mut data: Vec<f64> = (0..2048).map(|i| i as f64 * 0.5).collect();
+                for_slabs(&mut data, 256, |base, slab| {
+                    for (k, x) in slab.iter_mut().enumerate() {
+                        *x = x.sin() + (base + k) as f64;
+                    }
+                });
+                set_dispatch(Dispatch::Pooled);
+                data
+            })
+        };
+        assert_eq!(
+            slab_run(Dispatch::Pooled),
+            slab_run(Dispatch::ScopedBaseline)
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller_and_layer_survives() {
+        // Regression (PR 9): the pooled dispatcher must surface a job
+        // panic on the calling thread — not as a misleading "unfilled
+        // slot" expect — and must keep working afterwards.
+        let items: Vec<usize> = (0..64).collect();
+        with_threads(4, || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                map(&items, |_, &x| {
+                    if x == 41 {
+                        panic!("item 41 is unlucky");
+                    }
+                    x * 2
+                })
+            }));
+            let payload = result.expect_err("the job panic must reach the caller");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert!(msg.contains("item 41 is unlucky"), "wrong payload: {msg}");
+
+            // The layer (and the pool behind it) keeps answering.
+            let doubled = map(&items, |_, &x| x * 2);
+            assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn nested_fanout_from_inside_a_worker_completes_and_matches_serial() {
+        // Reentrant fan-out (Portfolio → sharded annealer → slab kernels
+        // in miniature): an inner map issued from inside a pooled job must
+        // complete without deadlock and match the serial result exactly.
+        let expect = with_threads(1, || {
+            map_indices(6, |i| {
+                map_indices(8, |j| (i * 31 + j) as u64).iter().sum::<u64>()
+            })
+        });
+        for threads in [2usize, 3, 4] {
+            let got = with_threads(threads, || {
+                map_indices(6, |i| {
+                    map_indices(8, |j| (i * 31 + j) as u64).iter().sum::<u64>()
+                })
+            });
+            assert_eq!(got, expect, "nested fan-out diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn set_threads_resize_mid_sequence_is_honored_and_deterministic() {
+        // The pool must follow every set_threads change between calls —
+        // growing, masking, and growing again — with results identical to
+        // an all-serial run of the same sequence.
+        let items: Vec<u64> = (0..97).collect();
+        let sequence = || -> Vec<Vec<u64>> {
+            [4usize, 2, 5, 3, 1]
+                .iter()
+                .map(|&t| {
+                    set_threads(t);
+                    map(&items, |i, &x| x.wrapping_mul(7).wrapping_add(i as u64))
+                })
+                .collect()
+        };
+        let resized = with_threads(4, sequence);
+        let serial: Vec<Vec<u64>> = with_threads(1, || {
+            (0..5)
+                .map(|_| map(&items, |i, &x| x.wrapping_mul(7).wrapping_add(i as u64)))
+                .collect()
+        });
+        assert_eq!(resized, serial);
     }
 
     #[test]

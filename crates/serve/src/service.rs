@@ -115,7 +115,64 @@ impl Service {
     }
 
     /// Submits a batch; returns one reply per request, in order.
+    ///
+    /// Single-request batches — the point-query shape every wire `submit`
+    /// takes — skip the batch machinery entirely: no plan/miss vectors,
+    /// no coalescing map, no fan-out dispatch. Prepare and solve run
+    /// inline on the calling thread, with replies and counters identical
+    /// to the general path's (a solve keyed by `(seed, signature)` is
+    /// thread-count invariant, so the two paths are bit-identical).
     pub fn submit_batch(&mut self, requests: &[Request]) -> Vec<Reply> {
+        if let [request] = requests {
+            return vec![self.submit_one(request)];
+        }
+        self.submit_batch_general(requests)
+    }
+
+    /// The tiny-batch fast path: one request, fully inline. Mirrors the
+    /// four phases of [`Self::submit_batch_general`] with every batch
+    /// structure collapsed away.
+    fn submit_one(&mut self, req: &Request) -> Reply {
+        self.requests += 1;
+        // Prepare.
+        let (problem, encoded, signature, key) = match (|| {
+            req.workload.validate()?;
+            let problem = req.workload.build();
+            let encoded = problem.encode();
+            let signature = problem.signature_of(&encoded);
+            let key = cache_key(signature, req.seed);
+            Ok::<_, String>((problem, encoded, signature, key))
+        })() {
+            Ok(p) => p,
+            Err(e) => {
+                self.errors += 1;
+                return Reply::Error(e);
+            }
+        };
+        // Admit.
+        if let Some(summary) = self.cache.get(key) {
+            let summary = summary.clone();
+            return Reply::Done(outcome(req, signature, &summary, true));
+        }
+        if self.max_pending == 0 {
+            self.rejections += 1;
+            return Reply::Rejected {
+                pending: 0,
+                max_pending: 0,
+            };
+        }
+        // Solve + publish.
+        let mut rng = Rng64::for_stream(req.seed, signature);
+        let summary = problem.solve(&self.portfolio, &encoded, &mut rng);
+        self.cache.insert(key, summary.clone());
+        Reply::Done(outcome(req, signature, &summary, false))
+    }
+
+    /// The general batched path. Public (but hidden) so the `serve_load`
+    /// benchmark can measure the tiny-batch fast path against it; callers
+    /// use [`Self::submit_batch`], which picks the path.
+    #[doc(hidden)]
+    pub fn submit_batch_general(&mut self, requests: &[Request]) -> Vec<Reply> {
         self.requests += requests.len() as u64;
 
         // Phase 1 — prepare (parallel, pure): problem + encoding + key.

@@ -161,6 +161,73 @@ fn batch_and_singles_agree() {
 }
 
 #[test]
+fn tiny_batch_fast_path_matches_general_path_exactly() {
+    // PR 9: single-request batches take an inline fast path that skips
+    // the fan-out machinery. Replies, counters, and cache state must be
+    // indistinguishable from the general batched path.
+    for seed in [3u64, 11] {
+        for req in four_workloads(seed) {
+            let mut fast = Service::new(quick_config());
+            let mut general = Service::new(quick_config());
+            // Cold miss, then warm hit, on both paths.
+            for _ in 0..2 {
+                let f = fast.submit_batch(std::slice::from_ref(&req));
+                let g = general.submit_batch_general(std::slice::from_ref(&req));
+                assert_eq!(f.len(), 1);
+                assert_eq!(g.len(), 1);
+                assert_outcomes_identical(done(&f[0]), done(&g[0]));
+                assert_eq!(done(&f[0]).cached, done(&g[0]).cached);
+            }
+            assert_eq!(fast.stats(), general.stats());
+        }
+    }
+
+    // Malformed request: both paths answer a permanent error and count it.
+    let bad = Request {
+        workload: WorkloadSpec::JoinOrder {
+            cardinalities: vec![],
+            edges: vec![],
+        },
+        seed: 1,
+    };
+    let mut fast = Service::new(quick_config());
+    let mut general = Service::new(quick_config());
+    let f = fast.submit_batch(std::slice::from_ref(&bad));
+    let g = general.submit_batch_general(std::slice::from_ref(&bad));
+    assert!(matches!((&f[0], &g[0]), (Reply::Error(a), Reply::Error(b)) if a == b));
+    assert_eq!(fast.stats(), general.stats());
+
+    // max_pending == 0 edge: a cold single request is rejected with the
+    // same retryable reply on both paths.
+    let zero = ServiceConfig {
+        max_pending: 0,
+        ..quick_config()
+    };
+    let req = four_workloads(9).remove(0);
+    let mut fast = Service::new(zero.clone());
+    let mut general = Service::new(zero);
+    let f = fast.submit_batch(std::slice::from_ref(&req));
+    let g = general.submit_batch_general(std::slice::from_ref(&req));
+    match (&f[0], &g[0]) {
+        (
+            Reply::Rejected {
+                pending: pf,
+                max_pending: mf,
+            },
+            Reply::Rejected {
+                pending: pg,
+                max_pending: mg,
+            },
+        ) => {
+            assert_eq!((pf, mf), (pg, mg));
+            assert_eq!(*pf, 0);
+        }
+        other => panic!("expected Rejected on both paths, got {other:?}"),
+    }
+    assert_eq!(fast.stats(), general.stats());
+}
+
+#[test]
 fn in_batch_duplicates_coalesce_onto_one_solve() {
     let mut service = Service::new(quick_config());
     let req = four_workloads(5).remove(1);

@@ -35,8 +35,12 @@ use crate::gate::{Angle, Gate};
 use crate::statevector::StateVector;
 use qmldb_math::{par, CMatrix, C64};
 
-/// Amplitude counts below this run serially: scoped-thread dispatch costs
-/// more than the pass itself on small states (< 2¹⁴ amplitudes).
+/// Amplitude counts below this run serially: fan-out dispatch costs more
+/// than the pass itself on small states (< 2¹⁴ amplitudes). Re-checked
+/// under pooled dispatch (PR 9): the per-fan-out cost fell ~8× (≈6 µs
+/// pooled vs ≈53 µs scoped-spawn at 4 workers), but a sub-16k-amplitude
+/// pass still finishes in about one dispatch quantum, so the threshold
+/// stays pinned; a multi-core re-measurement could lower it.
 const PAR_MIN: usize = 1 << 14;
 
 /// The kernel cache block: every parallel split lands on 256-amplitude
@@ -49,6 +53,13 @@ const BLOCK: usize = 256;
 /// super-blocks, slabs aligned to `2b` already feed every worker, and an
 /// intra-block pair split would only add dispatch overhead. Below it
 /// (top-bit gates), the pair split is the only source of parallelism.
+///
+/// Re-checked under pooled dispatch (PR 9): the pair split pays one
+/// fan-out per super-block (up to 15 per op at this boundary), so the
+/// pool cut its worst-case dispatch penalty from ≈0.8 ms to ≈0.1 ms per
+/// op — but the rule itself is load-balance-driven (contiguous `2b`
+/// slabs must outnumber workers with margin), which dispatch cost does
+/// not move. The boundary stays at 16.
 const PAR_SUPER: usize = 16;
 
 /// Number of low index bits the diagonal kernel factors into pass-wide

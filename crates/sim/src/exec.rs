@@ -152,7 +152,7 @@ impl Simulator {
         counts
     }
 
-    /// Runs a batch of circuits exactly, one scoped worker per chunk (see
+    /// Runs a batch of circuits exactly, one pooled worker per chunk (see
     /// [`qmldb_math::par`]), returning final states in input order. The
     /// workhorse of Gram-matrix feature-state preparation and sweep-style
     /// experiment drivers.

@@ -145,10 +145,19 @@ impl StateVector {
     }
 
     /// Qubit count at which a one-shot [`StateVector::run`] compiles the
-    /// circuit before executing. Measured crossover: at 6+ qubits the
-    /// fused kernels win even including the lowering cost; below, the
-    /// per-gate interpreter is cheaper.
-    pub const COMPILE_MIN_QUBITS: usize = 6;
+    /// circuit before executing.
+    ///
+    /// Re-measured under pooled dispatch (PR 9): for diagonal-heavy
+    /// circuits (QAOA p=2, the fusion-friendliest shape) compile+run
+    /// first beats the interpreter at 9 qubits (1.27× at 9q, 1.88× at
+    /// 10q); for random depth-20 layered circuits the crossover sits
+    /// near 11q (0.84× at 10q). Pinned at the first count where the
+    /// common ansatz shape wins — misrouting above costs ~2× and grows
+    /// per qubit, misrouting below costs ≤ ~25% once. The value is
+    /// dispatch-*insensitive*: states under 2¹⁴ amplitudes never fan
+    /// out (see the sim `PAR_MIN`), so this is pure lowering cost vs
+    /// per-gate interpreter tax.
+    pub const COMPILE_MIN_QUBITS: usize = 9;
 
     /// Applies every instruction of `circuit` one at a time through the
     /// generic [`StateVector::apply`] path, without compilation or fusion.

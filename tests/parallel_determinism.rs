@@ -4,8 +4,14 @@
 //! The contract holds because (a) random streams are forked from the
 //! caller's generator serially, before any worker starts, and (b) each
 //! work item writes only its own output slot, with any reduction done
-//! serially in item order. These tests pin both halves by comparing
-//! one-worker and four-worker runs of every parallel entry point.
+//! serially in item order. These tests pin both halves by running every
+//! parallel entry point across a thread ladder — the serial baseline plus
+//! even and odd worker counts (odd counts leave a ragged trailing chunk,
+//! which caught off-by-one geometry bugs the 1-vs-4 comparison missed) —
+//! and demanding every rung match the baseline. The three cases the PR 9
+//! pool rework leaned on hardest (intra-kernel amplitude splits, the
+//! `map_rng` fork discipline, and the request service) run the full
+//! 1/2/3/4 ladder.
 //!
 //! All tests share one process, and the thread-count override is global,
 //! so each case serialises on a lock and restores the default when done.
@@ -27,16 +33,27 @@ use std::sync::Mutex;
 
 static THREAD_LOCK: Mutex<()> = Mutex::new(());
 
-/// Runs `body` twice — once on 1 worker, once on 4 — and returns both
-/// results for comparison. Restores the default thread count afterwards.
-fn on_1_and_4_threads<R>(mut body: impl FnMut() -> R) -> (R, R) {
+/// The standard ladder: serial baseline, an odd count (ragged trailing
+/// chunk), and the even count the original pins used.
+const LADDER: [usize; 3] = [1, 3, 4];
+
+/// The full ladder for the cases the pool rework singles out.
+const FULL_LADDER: [usize; 4] = [1, 2, 3, 4];
+
+/// Runs `body` once per thread count in `counts` and returns the results
+/// in the same order (index 0 is the serial baseline). Restores the
+/// default thread count afterwards.
+fn across_threads<R>(counts: &[usize], mut body: impl FnMut() -> R) -> Vec<R> {
     let _guard = THREAD_LOCK.lock().unwrap();
-    par::set_threads(1);
-    let serial = body();
-    par::set_threads(4);
-    let parallel = body();
+    let out = counts
+        .iter()
+        .map(|&n| {
+            par::set_threads(n);
+            body()
+        })
+        .collect();
     par::reset_threads();
-    (serial, parallel)
+    out
 }
 
 fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -47,25 +64,36 @@ fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
 }
 
 #[test]
-fn gram_matrix_is_identical_on_1_and_4_threads() {
+fn gram_matrix_is_identical_across_thread_counts() {
     let xs = dataset(10, 3, 41);
     let qk = QuantumKernel::new(3, FeatureMap::ZZ { reps: 2 });
-    let (serial, parallel) = on_1_and_4_threads(|| qk.gram(&xs));
-    // Bit-identical, not approximately equal: the parallel layer may not
-    // change even the floating-point summation order.
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&LADDER, || qk.gram(&xs));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        // Bit-identical, not approximately equal: the parallel layer may
+        // not change even the floating-point summation order.
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn sampled_gram_matrix_is_identical_on_1_and_4_threads() {
+fn sampled_gram_matrix_is_identical_across_thread_counts() {
+    // The `map_rng` fork-discipline case: one child stream per matrix
+    // entry, forked serially pre-dispatch — run on the full 1/2/3/4
+    // ladder.
     let xs = dataset(6, 2, 43);
     let qk = QuantumKernel::new(2, FeatureMap::Angle);
-    let (serial, parallel) = on_1_and_4_threads(|| qk.gram_sampled(&xs, 256, &mut Rng64::new(7)));
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&FULL_LADDER, || {
+        qk.gram_sampled(&xs, 256, &mut Rng64::new(7))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn simulated_annealing_is_identical_on_1_and_4_threads() {
+fn simulated_annealing_is_identical_across_thread_counts() {
     let mut rng = Rng64::new(45);
     let n = 12;
     let mut couplings = Vec::new();
@@ -82,16 +110,20 @@ fn simulated_annealing_is_identical_on_1_and_4_threads() {
         restarts: 4,
         ..SaParams::default()
     };
-    let (serial, parallel) =
-        on_1_and_4_threads(|| simulated_annealing(&model, &params, &mut Rng64::new(9)));
-    assert_eq!(serial.spins, parallel.spins);
-    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
-    assert_eq!(serial.trace, parallel.trace);
-    assert_eq!(serial.proposals, parallel.proposals);
+    let runs = across_threads(&LADDER, || {
+        simulated_annealing(&model, &params, &mut Rng64::new(9))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial.spins, parallel.spins);
+        assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+        assert_eq!(serial.trace, parallel.trace);
+        assert_eq!(serial.proposals, parallel.proposals);
+    }
 }
 
 #[test]
-fn sharded_anneal_is_identical_on_1_and_4_threads() {
+fn sharded_anneal_is_identical_across_thread_counts() {
     // A banded spin glass: locality gives the partitioner several shards
     // and the quotient graph more than one color class, so the test
     // exercises the full chromatic schedule, not a degenerate one-shard
@@ -116,21 +148,25 @@ fn sharded_anneal_is_identical_on_1_and_4_threads() {
         sweeps_per_round: 4,
         ..ShardedParams::default()
     };
-    let (serial, parallel) =
-        on_1_and_4_threads(|| sharded_anneal(&model, &params, &mut Rng64::new(13)));
+    let runs = across_threads(&LADDER, || {
+        sharded_anneal(&model, &params, &mut Rng64::new(13))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
     assert!(serial.n_shards > 1, "partition degenerated to one shard");
-    assert_eq!(serial.spins, parallel.spins);
-    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
-    assert_eq!(serial.cut_weight.to_bits(), parallel.cut_weight.to_bits());
-    assert_eq!(
-        serial.trace.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
-        parallel
-            .trace
-            .iter()
-            .map(|e| e.to_bits())
-            .collect::<Vec<_>>()
-    );
-    assert_eq!(serial.proposals, parallel.proposals);
+    for parallel in rest {
+        assert_eq!(serial.spins, parallel.spins);
+        assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+        assert_eq!(serial.cut_weight.to_bits(), parallel.cut_weight.to_bits());
+        assert_eq!(
+            serial.trace.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            parallel
+                .trace
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(serial.proposals, parallel.proposals);
+    }
 }
 
 /// A random spin glass shared by the annealer determinism cases.
@@ -148,7 +184,7 @@ fn spin_glass(n: usize, seed: u64) -> Ising {
 }
 
 #[test]
-fn simulated_quantum_annealing_is_identical_on_1_and_4_threads() {
+fn simulated_quantum_annealing_is_identical_across_thread_counts() {
     // SQA parallelises over restarts; every restart's Trotter stack and
     // field caches must evolve identically whichever worker runs it.
     let model = spin_glass(10, 51);
@@ -158,16 +194,20 @@ fn simulated_quantum_annealing_is_identical_on_1_and_4_threads() {
         restarts: 4,
         ..SqaParams::default()
     };
-    let (serial, parallel) =
-        on_1_and_4_threads(|| simulated_quantum_annealing(&model, &params, &mut Rng64::new(19)));
-    assert_eq!(serial.spins, parallel.spins);
-    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
-    assert_eq!(serial.trace, parallel.trace);
-    assert_eq!(serial.proposals, parallel.proposals);
+    let runs = across_threads(&LADDER, || {
+        simulated_quantum_annealing(&model, &params, &mut Rng64::new(19))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial.spins, parallel.spins);
+        assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+        assert_eq!(serial.trace, parallel.trace);
+        assert_eq!(serial.proposals, parallel.proposals);
+    }
 }
 
 #[test]
-fn parallel_tempering_is_identical_on_1_and_4_threads() {
+fn parallel_tempering_is_identical_across_thread_counts() {
     // Tempering parallelises the per-sweep chain pass; chains mutate in
     // place (state + field cache + energy), and the swap round must see
     // the same chains in the same order for any worker count.
@@ -177,30 +217,38 @@ fn parallel_tempering_is_identical_on_1_and_4_threads() {
         sweeps: 40,
         ..TemperingParams::default()
     };
-    let (serial, parallel) =
-        on_1_and_4_threads(|| parallel_tempering(&model, &params, &mut Rng64::new(23)));
-    assert_eq!(serial.spins, parallel.spins);
-    assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
-    assert_eq!(serial.trace, parallel.trace);
-    assert_eq!(serial.proposals, parallel.proposals);
+    let runs = across_threads(&LADDER, || {
+        parallel_tempering(&model, &params, &mut Rng64::new(23))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial.spins, parallel.spins);
+        assert_eq!(serial.energy.to_bits(), parallel.energy.to_bits());
+        assert_eq!(serial.trace, parallel.trace);
+        assert_eq!(serial.proposals, parallel.proposals);
+    }
 }
 
 #[test]
-fn sample_counts_are_identical_on_1_and_4_threads() {
+fn sample_counts_are_identical_across_thread_counts() {
     let mut c = Circuit::new(3);
     c.h(0).cx(0, 1).ry(2, 0.7);
     let sim = Simulator::new();
-    let (serial, parallel): (HashMap<usize, usize>, HashMap<usize, usize>) =
-        on_1_and_4_threads(|| sim.sample_counts(&c, &[], 4096, &mut Rng64::new(11)));
-    assert_eq!(serial, parallel);
+    let runs: Vec<HashMap<usize, usize>> = across_threads(&LADDER, || {
+        sim.sample_counts(&c, &[], 4096, &mut Rng64::new(11))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn compiled_circuit_run_is_identical_on_1_and_4_threads() {
+fn compiled_circuit_run_is_identical_across_thread_counts() {
     // 14 qubits = 2^14 amplitudes — exactly the compiled kernels' parallel
-    // dispatch threshold, so the 4-worker run actually exercises the slab
-    // partitioning (smaller states would fall back to the serial path and
-    // the comparison would be vacuous).
+    // dispatch threshold, so the multi-worker runs actually exercise the
+    // slab partitioning (smaller states would fall back to the serial path
+    // and the comparison would be vacuous).
     let n = 14;
     let mut rng = Rng64::new(17);
     let mut c = Circuit::new(n);
@@ -216,19 +264,23 @@ fn compiled_circuit_run_is_identical_on_1_and_4_threads() {
     c.cx(0, n / 2).swap(1, n - 1).ccx(2, 3, 4);
     let compiled = c.compile();
     let sim = Simulator::new();
-    let (serial, parallel) = on_1_and_4_threads(|| sim.run_compiled(&compiled, &[]));
-    // Bit-identical: slab partitioning must not change a single rounding.
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&LADDER, || sim.run_compiled(&compiled, &[]));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        // Bit-identical: slab partitioning must not change one rounding.
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn intra_kernel_amplitude_split_is_identical_on_1_and_4_threads() {
+fn intra_kernel_amplitude_split_is_identical_across_thread_counts() {
     // Gates on the *top* qubits are the ones whose aligned contiguous
-    // slabs degenerate to a single span, so the 4-worker run goes through
-    // the intra-kernel pair/quad splits (one gate's amplitude range shared
-    // across workers) rather than whole-slab fan-out. Every split path is
-    // pinned: dense 1q on the top bit, dense 2q with both targets high,
-    // mixed high/low 2q, SWAP and controlled forms across the boundary.
+    // slabs degenerate to a single span, so the multi-worker runs go
+    // through the intra-kernel pair/quad splits (one gate's amplitude
+    // range shared across workers) rather than whole-slab fan-out. Every
+    // split path is pinned on the full 1/2/3/4 ladder: dense 1q on the
+    // top bit, dense 2q with both targets high, mixed high/low 2q, SWAP
+    // and controlled forms across the boundary.
     let n = 15;
     let mut rng = Rng64::new(83);
     let mut c = Circuit::new(n);
@@ -243,12 +295,15 @@ fn intra_kernel_amplitude_split_is_identical_on_1_and_4_threads() {
     c.x(n - 1).rzz(0, n - 1, rng.uniform_range(-1.0, 1.0));
     let compiled = c.compile();
     let sim = Simulator::new();
-    let (serial, parallel) = on_1_and_4_threads(|| sim.run_compiled(&compiled, &[]));
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&FULL_LADDER, || sim.run_compiled(&compiled, &[]));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn run_batch_is_identical_on_1_and_4_threads() {
+fn run_batch_is_identical_across_thread_counts() {
     let circuits: Vec<Circuit> = (0..6)
         .map(|i| {
             let mut c = Circuit::new(4);
@@ -257,24 +312,30 @@ fn run_batch_is_identical_on_1_and_4_threads() {
         })
         .collect();
     let sim = Simulator::new();
-    let (serial, parallel) = on_1_and_4_threads(|| sim.run_batch(&circuits, &[]));
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&LADDER, || sim.run_batch(&circuits, &[]));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn run_batch_params_is_identical_on_1_and_4_threads() {
+fn run_batch_params_is_identical_across_thread_counts() {
     let mut c = Circuit::new(5);
     let p = c.new_param();
     c.h(0).ry(2, p).cx(0, 3).rzz(3, 4, p).rx(4, 0.4);
     let compiled = c.compile();
     let param_sets: Vec<Vec<f64>> = (0..10).map(|k| vec![0.31 * k as f64 - 1.4]).collect();
     let sim = Simulator::new();
-    let (serial, parallel) = on_1_and_4_threads(|| sim.run_batch_params(&compiled, &param_sets));
-    assert_eq!(serial, parallel);
+    let runs = across_threads(&LADDER, || sim.run_batch_params(&compiled, &param_sets));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
 
 #[test]
-fn vqc_training_is_identical_on_1_and_4_threads() {
+fn vqc_training_is_identical_across_thread_counts() {
     // Vqc::train fans per-sample (output, gradient) evaluation out over
     // the parallel layer and reduces serially in sample order: trained
     // parameters and the loss history must be bit-identical whichever
@@ -289,15 +350,19 @@ fn vqc_training_is_identical_on_1_and_4_threads() {
         grad: GradMethod::ParameterShift,
         ..VqcConfig::default()
     };
-    let (serial, parallel) =
-        on_1_and_4_threads(|| Vqc::train(cfg.clone(), &xs, &ys, &mut Rng64::new(61)));
-    assert_eq!(serial.params(), parallel.params());
+    let runs = across_threads(&LADDER, || {
+        Vqc::train(cfg.clone(), &xs, &ys, &mut Rng64::new(61))
+    });
+    let (serial, rest) = runs.split_first().unwrap();
     let bits = |m: &Vqc| -> Vec<u64> { m.loss_history.iter().map(|v| v.to_bits()).collect() };
-    assert_eq!(bits(&serial), bits(&parallel));
+    for parallel in rest {
+        assert_eq!(serial.params(), parallel.params());
+        assert_eq!(bits(serial), bits(parallel));
+    }
 }
 
 #[test]
-fn parameter_shift_gradient_is_identical_on_1_and_4_threads() {
+fn parameter_shift_gradient_is_identical_across_thread_counts() {
     // The shift rule's 2k evaluations fan out over par::map with a serial
     // chain-rule reduction — the noisy-simulator fallback path of the
     // gradient engine, exercised here directly on the ideal simulator.
@@ -310,13 +375,16 @@ fn parameter_shift_gradient_is_identical_on_1_and_4_threads() {
     ]);
     let params: Vec<f64> = (0..c.n_params()).map(|i| 0.21 * i as f64 - 1.1).collect();
     let sim = Simulator::new();
-    let (serial, parallel) = on_1_and_4_threads(|| sg.gradient(&sim, &params, &obs));
+    let runs = across_threads(&LADDER, || sg.gradient(&sim, &params, &obs));
     let bits = |g: &[f64]| -> Vec<u64> { g.iter().map(|v| v.to_bits()).collect() };
-    assert_eq!(bits(&serial), bits(&parallel));
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(bits(serial), bits(parallel));
+    }
 }
 
 #[test]
-fn solver_portfolio_is_identical_on_1_and_4_threads() {
+fn solver_portfolio_is_identical_across_thread_counts() {
     // Portfolio::solve forks one RNG stream per member serially, then fans
     // the runs out over the parallel layer: the winning solution, every
     // per-solver run, and the caller's stream must be bit-identical for
@@ -345,34 +413,91 @@ fn solver_portfolio_is_identical_on_1_and_4_threads() {
         }),
         Solver::ExactSpectrum,
     ]);
-    let (serial, parallel) = on_1_and_4_threads(|| {
+    let runs = across_threads(&LADDER, || {
         let mut rng = Rng64::new(71);
         let out = portfolio.solve(&m, &mut rng);
         (out, rng.next_u64())
     });
-    assert_eq!(serial.0.solution, parallel.0.solution);
-    assert_eq!(serial.0.objective.to_bits(), parallel.0.objective.to_bits());
-    assert_eq!(serial.0.solver, parallel.0.solver);
-    assert_eq!(serial.0.runs.len(), parallel.0.runs.len());
-    for (a, b) in serial.0.runs.iter().zip(&parallel.0.runs) {
-        assert_eq!(a.solver, b.solver);
-        assert_eq!(a.solution, b.solution);
-        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
-        assert_eq!(a.penalty_doublings, b.penalty_doublings);
-        assert_eq!(a.repaired, b.repaired);
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial.0.solution, parallel.0.solution);
+        assert_eq!(serial.0.objective.to_bits(), parallel.0.objective.to_bits());
+        assert_eq!(serial.0.solver, parallel.0.solver);
+        assert_eq!(serial.0.runs.len(), parallel.0.runs.len());
+        for (a, b) in serial.0.runs.iter().zip(&parallel.0.runs) {
+            assert_eq!(a.solver, b.solver);
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.penalty_doublings, b.penalty_doublings);
+            assert_eq!(a.repaired, b.repaired);
+        }
+        assert_eq!(
+            serial.1, parallel.1,
+            "caller stream must advance identically"
+        );
     }
-    assert_eq!(
-        serial.1, parallel.1,
-        "caller stream must advance identically"
-    );
 }
 
 #[test]
-fn optimizer_service_is_identical_on_1_and_4_threads() {
+fn reentrant_nested_fanout_is_identical_across_thread_counts() {
+    // Reentrant pool use in its pure form: an outer par::map over problem
+    // instances whose body fans annealer restarts out *again* from inside
+    // a pooled worker (the Portfolio → annealer shape, without the
+    // portfolio machinery in the way). The inner fan-out must complete
+    // without deadlock — the caller executes its own batch's chunks — and
+    // the nesting must not perturb a single fork or rounding on the full
+    // 1/2/3/4 ladder.
+    let models: Vec<Ising> = (0..3).map(|k| spin_glass(10, 100 + k)).collect();
+    let params = SaParams {
+        sweeps: 30,
+        restarts: 3,
+        ..SaParams::default()
+    };
+    let runs = across_threads(&FULL_LADDER, || {
+        par::map(&models, |i, m| {
+            let mut rng = Rng64::new(200 + i as u64);
+            let out = simulated_annealing(m, &params, &mut rng);
+            (out.spins, out.energy.to_bits(), rng.next_u64())
+        })
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel, "nested fan-out diverged");
+    }
+}
+
+#[test]
+fn set_threads_resize_mid_sequence_matches_serial() {
+    // The pool must honor every set_threads change between fan-outs —
+    // growing, shrinking below the spawned width (masking surplus
+    // workers), and growing again — with each call's result identical to
+    // the serial baseline.
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let model = spin_glass(10, 303);
+    let params = SaParams {
+        sweeps: 30,
+        restarts: 4,
+        ..SaParams::default()
+    };
+    par::set_threads(1);
+    let baseline = simulated_annealing(&model, &params, &mut Rng64::new(29));
+    for threads in [4usize, 2, 5, 3] {
+        par::set_threads(threads);
+        let out = simulated_annealing(&model, &params, &mut Rng64::new(29));
+        assert_eq!(baseline.spins, out.spins, "diverged at {threads} threads");
+        assert_eq!(baseline.energy.to_bits(), out.energy.to_bits());
+        assert_eq!(baseline.trace, out.trace);
+    }
+    par::reset_threads();
+}
+
+#[test]
+fn optimizer_service_is_identical_across_thread_counts() {
     // The serve layer batches requests over par::map twice (prepare and
     // solve) with per-request RNG streams derived from request content.
     // Every admitted answer — and the cached re-answer — must be
-    // bit-identical whichever worker count ran the batch.
+    // bit-identical whichever worker count ran the batch; the service
+    // case runs the full 1/2/3/4 ladder.
     let batch = vec![
         Request {
             workload: WorkloadSpec::JoinOrder {
@@ -418,7 +543,7 @@ fn optimizer_service_is_identical_on_1_and_4_threads() {
             ..TabuParams::default()
         }),
     ]);
-    let (serial, parallel) = on_1_and_4_threads(|| {
+    let runs = across_threads(&FULL_LADDER, || {
         let mut service = Service::new(ServiceConfig {
             portfolio: portfolio.clone(),
             cache_capacity: 16,
@@ -428,19 +553,23 @@ fn optimizer_service_is_identical_on_1_and_4_threads() {
         let warm = service.submit_batch(&batch);
         (cold, warm, service.stats())
     });
-    for (pass_serial, pass_parallel) in [(&serial.0, &parallel.0), (&serial.1, &parallel.1)] {
-        assert_eq!(pass_serial.len(), pass_parallel.len());
-        for (a, b) in pass_serial.iter().zip(pass_parallel) {
-            let (a, b) = match (a, b) {
-                (Reply::Done(a), Reply::Done(b)) => (a, b),
-                other => panic!("expected Done replies, got {other:?}"),
-            };
-            assert_eq!(a.solution, b.solution);
-            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
-            assert_eq!(a.solver, b.solver);
-            assert_eq!(a.signature, b.signature);
-            assert_eq!(a.cached, b.cached);
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        for (pass_serial, pass_parallel) in [(&serial.0, &parallel.0), (&serial.1, &parallel.1)] {
+            assert_eq!(pass_serial.len(), pass_parallel.len());
+            for (a, b) in pass_serial.iter().zip(pass_parallel.iter()) {
+                let (a, b) = match (a, b) {
+                    (Reply::Done(a), Reply::Done(b)) => (a, b),
+                    other => panic!("expected Done replies, got {other:?}"),
+                };
+                assert_eq!(a.solution, b.solution);
+                assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                assert_eq!(a.solver, b.solver);
+                assert_eq!(a.signature, b.signature);
+                assert_eq!(a.cached, b.cached);
+            }
         }
+        assert_eq!(serial.2, parallel.2, "service counters must match");
     }
     // The warm pass is the cold pass replayed from the cache, bit for bit.
     for (cold, warm) in serial.0.iter().zip(&serial.1) {
@@ -452,7 +581,6 @@ fn optimizer_service_is_identical_on_1_and_4_threads() {
         assert_eq!(cold.solution, warm.solution);
         assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
     }
-    assert_eq!(serial.2, parallel.2, "service counters must match");
     assert_eq!(serial.2.hits, batch.len() as u64);
 }
 
@@ -463,10 +591,13 @@ fn caller_rng_stream_advances_identically_for_any_thread_count() {
     // the call would diverge between machines.
     let xs = dataset(5, 2, 47);
     let qk = QuantumKernel::new(2, FeatureMap::Angle);
-    let (serial, parallel) = on_1_and_4_threads(|| {
+    let runs = across_threads(&LADDER, || {
         let mut rng = Rng64::new(13);
         qk.gram_sampled(&xs, 64, &mut rng);
         rng.next_u64()
     });
-    assert_eq!(serial, parallel);
+    let (serial, rest) = runs.split_first().unwrap();
+    for parallel in rest {
+        assert_eq!(serial, parallel);
+    }
 }
