@@ -1,7 +1,13 @@
 //! Exact QUBO/Ising solvers by exhaustive enumeration — ground truth for
 //! solver-quality experiments on small instances.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::qubo::Qubo;
+
+/// How many Gray-code steps run between deadline/cancel polls: the
+/// enumeration's inner loop is O(n) per step, so polling every 4096
+/// steps keeps the clock off the hot path while still bounding overrun.
+const EXACT_POLL_STRIDE: usize = 4096;
 
 /// Exact solution of a QUBO.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,9 +23,22 @@ pub struct ExactSolution {
 /// Enumerates all assignments of a QUBO (`n ≤ 26`), using Gray-code
 /// incremental updates so each step is `O(n)` instead of `O(n²)`.
 pub fn solve_exact(qubo: &Qubo) -> ExactSolution {
+    solve_exact_with_budget(qubo, &Budget::unlimited()).0
+}
+
+/// [`solve_exact`] under a [`Budget`]. One Gray-code step is one
+/// proposal, so a proposal bound stops the walk after exactly that many
+/// steps — deterministic regardless of thread count (the walk is
+/// serial). Deadline/cancel are polled every [`EXACT_POLL_STRIDE`]
+/// steps. Returns the best-of-enumerated solution plus `true` when a
+/// bound cut the walk short — a cut walk's `energy`/`bits` are still
+/// exact for the prefix visited, but `degeneracy` only counts visited
+/// optima and the result may not be the global optimum.
+pub fn solve_exact_with_budget(qubo: &Qubo, budget: &Budget) -> (ExactSolution, bool) {
     let n = qubo.n();
     assert!(n <= 26, "exhaustive enumeration over {n} variables refused");
     assert!(n >= 1, "empty model");
+    let mut meter = BudgetMeter::new(budget);
     let mut x = vec![false; n];
     let mut energy = qubo.energy(&x);
     let mut best = energy;
@@ -27,6 +46,9 @@ pub fn solve_exact(qubo: &Qubo) -> ExactSolution {
     let mut degeneracy = 1usize;
     let total = 1usize << n;
     for k in 1..total {
+        if (k % EXACT_POLL_STRIDE == 0 && meter.interrupted()) || !meter.try_propose() {
+            break;
+        }
         // Gray code: bit to flip is the trailing-zero count of k.
         let i = k.trailing_zeros() as usize;
         energy += qubo.delta_energy(&x, i);
@@ -39,11 +61,14 @@ pub fn solve_exact(qubo: &Qubo) -> ExactSolution {
             degeneracy += 1;
         }
     }
-    ExactSolution {
-        bits: best_bits,
-        energy: best,
-        degeneracy,
-    }
+    (
+        ExactSolution {
+            bits: best_bits,
+            energy: best,
+            degeneracy,
+        },
+        meter.exhausted(),
+    )
 }
 
 /// The full sorted spectrum (energy per assignment index); for spectral
@@ -122,6 +147,43 @@ mod tests {
     #[should_panic(expected = "refused")]
     fn oversized_enumeration_panics() {
         solve_exact(&Qubo::new(30));
+    }
+
+    #[test]
+    fn budget_cuts_the_walk_deterministically() {
+        let mut q = Qubo::new(10);
+        let mut rng = qmldb_math::Rng64::new(1309);
+        for i in 0..10 {
+            q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+            for j in (i + 1)..10 {
+                if rng.chance(0.4) {
+                    q.add(i, j, rng.uniform_range(-1.0, 1.0));
+                }
+            }
+        }
+        // A roomy budget completes the walk and matches the plain solver.
+        let full = solve_exact(&q);
+        let (roomy, roomy_cut) = solve_exact_with_budget(&q, &Budget::proposals(u64::MAX));
+        assert_eq!(roomy, full);
+        assert!(!roomy_cut);
+
+        // A 100-step bound enumerates exactly the first 101 assignments
+        // (start + 100 Gray-code steps): same result every call, anchored,
+        // and no better than the full optimum.
+        let (a, a_cut) = solve_exact_with_budget(&q, &Budget::proposals(100));
+        let (b, b_cut) = solve_exact_with_budget(&q, &Budget::proposals(100));
+        assert!(a_cut && b_cut);
+        assert_eq!(a, b);
+        assert!((q.energy(&a.bits) - a.energy).abs() < 1e-10);
+        assert!(a.energy >= full.energy - 1e-12);
+
+        // A pre-cancelled budget returns the all-false start state.
+        use crate::budget::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let (cut, was_cut) = solve_exact_with_budget(&q, &Budget::proposals(0).with_cancel(token));
+        assert!(was_cut);
+        assert!(cut.bits.iter().all(|&b| !b));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert!((r.energy + 1.0).abs() < 1e-9);
 //! ```
 
+pub mod budget;
 pub mod builder;
 pub mod csr;
 pub mod device;
@@ -40,6 +41,7 @@ pub mod sqa;
 pub mod tabu;
 pub mod tempering;
 
+pub use budget::{exact_share, Budget, BudgetMeter, CancelToken};
 pub use builder::{
     at_most_k_slack_weights, slack_assignment, ConstraintGroup, ConstraintKind, Constraints,
     QuboBuilder,
@@ -47,17 +49,17 @@ pub use builder::{
 pub use csr::CsrAdjacency;
 pub use device::{AnnealerDevice, DeviceConfig, DeviceResult};
 pub use embed::{Chimera, Embedding};
-pub use exact::{solve_exact, ExactSolution};
+pub use exact::{solve_exact, solve_exact_with_budget, ExactSolution};
 pub use field::{IsingFields, QuboFields};
 pub use ising::{bits_to_spins, spins_to_bits, Ising};
 pub use partition::{
-    embedding_shard_budget, partition_graph, sharded_anneal, sharded_anneal_qubo, Partition,
-    ShardedParams, ShardedResult,
+    embedding_shard_budget, partition_graph, sharded_anneal, sharded_anneal_qubo,
+    sharded_anneal_with_budget, Partition, ShardedParams, ShardedResult,
 };
 pub use qubo::Qubo;
-pub use sa::{simulated_annealing, AnnealResult, SaParams};
+pub use sa::{simulated_annealing, simulated_annealing_with_budget, AnnealResult, SaParams};
 pub use sig::{fnv1a, qubo_signature, sparse_signature, split_signature, FNV_OFFSET};
 pub use sparse::SparseQubo;
-pub use sqa::{simulated_quantum_annealing, SqaParams};
-pub use tabu::{tabu_search, TabuParams, TabuResult};
-pub use tempering::{parallel_tempering, TemperingParams};
+pub use sqa::{simulated_quantum_annealing, simulated_quantum_annealing_with_budget, SqaParams};
+pub use tabu::{tabu_search, tabu_search_with_budget, TabuParams, TabuResult};
+pub use tempering::{parallel_tempering, parallel_tempering_with_budget, TemperingParams};

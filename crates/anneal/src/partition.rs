@@ -30,6 +30,7 @@
 //! The exact decomposition identity the property tests pin:
 //! `E(s) = Σ_p E_internal(p) + Σ_cut Jᵢⱼsᵢsⱼ + offset`.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::csr::CsrAdjacency;
 use crate::device::DeviceConfig;
 use crate::field::IsingFields;
@@ -567,6 +568,9 @@ pub struct ShardedResult {
     pub cut_weight: f64,
     /// Best exact energy after each round.
     pub trace: Vec<f64>,
+    /// True when a [`Budget`] bound cut the run short of its full round
+    /// schedule. The result is still the best re-anchored state seen.
+    pub exhausted: bool,
 }
 
 /// One shard's local subproblem, renumbered to `0..len`.
@@ -710,6 +714,26 @@ fn run_shard(
 /// serially (partitioner first, then one per shard per round), so the
 /// result is bit-identical for any `QMLDB_THREADS`.
 pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) -> ShardedResult {
+    sharded_anneal_with_budget(model, params, &Budget::unlimited(), rng)
+}
+
+/// [`sharded_anneal`] under a [`Budget`]. The bound is enforced at round
+/// boundaries: a round starts only if its deterministic shard-sweep cost
+/// (`n × sweeps_per_round`, plus `n` in the quench regime) still fits
+/// the proposal bound, and deadline/cancel are polled there too. Block
+/// flips and boundary polish are data-dependent follow-up work within a
+/// committed round — they are recorded against the count but never split
+/// a round, so proposal-bounded runs stay bit-identical for any thread
+/// count (at the cost of a small, deterministic overshoot). The sweep
+/// cap bounds `rounds × sweeps_per_round` in whole rounds. The
+/// temperature schedule is untouched — budgets cut the schedule short,
+/// they don't reshape it.
+pub fn sharded_anneal_with_budget(
+    model: &Ising,
+    params: &ShardedParams,
+    budget: &Budget,
+    rng: &mut Rng64,
+) -> ShardedResult {
     let n = model.n();
     assert!(n > 0, "empty model");
     assert!(
@@ -766,23 +790,32 @@ pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) ->
     let t_end = params.t_end_factor * scale;
     let total_sweeps = params.rounds * params.sweeps_per_round;
     let cooling = (t_end / t_start).powf(1.0 / total_sweeps.max(2) as f64);
+    let mut meter = BudgetMeter::new(budget);
+    // The sweep cap cuts in whole rounds: a partial round never runs.
+    let rounds = meter.sweep_cap(total_sweeps) / params.sweeps_per_round;
 
     let mut s: Vec<i8> = (0..n)
         .map(|_| if rng.chance(0.5) { 1 } else { -1 })
         .collect();
     let mut best = s.clone();
     let mut best_e = model.energy(&s);
-    let mut trace = Vec::with_capacity(params.rounds);
-    let mut proposals = 0u64;
+    let mut trace = Vec::with_capacity(rounds);
     let mut round_t = t_start;
 
-    for _ in 0..params.rounds {
+    for _ in 0..rounds {
         let t0 = round_t;
         // The deterministic greedy machinery (plateau passes, shard
         // block flips, boundary polish) only engages once the schedule
         // has cooled into the quench regime — running it every round
         // would collapse the Metropolis walk before it equilibrates.
         let quench = t0 <= 0.05 * scale;
+        // Every variable lives in exactly one shard, so the round's
+        // shard-sweep cost is exact before dispatch; refuse the round
+        // whole if it no longer fits, and poll deadline/cancel here.
+        let round_cost = (n * params.sweeps_per_round + if quench { n } else { 0 }) as u64;
+        if meter.interrupted() || !meter.try_consume(round_cost) {
+            break;
+        }
         for group in &color_groups {
             let frozen = &s;
             let runs = par::map_rng(group, rng, |_, &p, stream| {
@@ -796,9 +829,9 @@ pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) ->
                     stream,
                 )
             });
-            // Serial commit in shard order within the class.
-            for (&p, (ls, props)) in group.iter().zip(runs) {
-                proposals += props;
+            // Serial commit in shard order within the class. The shard
+            // proposals were pre-charged as this round's cost.
+            for (&p, (ls, _)) in group.iter().zip(runs) {
                 for (pos, &g) in shards[p as usize].globals.iter().enumerate() {
                     s[g as usize] = ls[pos];
                 }
@@ -813,7 +846,7 @@ pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) ->
         while flipped {
             flipped = false;
             for shard in &shards {
-                proposals += 1;
+                meter.record(1);
                 let mut contrib = 0.0;
                 for (pos, &g) in shard.globals.iter().enumerate() {
                     contrib += shard.h[pos] * s[g as usize] as f64;
@@ -837,7 +870,7 @@ pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) ->
             for _ in 0..params.polish_passes {
                 let mut improved = false;
                 for &v in &boundary {
-                    proposals += 1;
+                    meter.record(1);
                     if fields.delta_flip(&s, v as usize) < 0.0 {
                         fields.apply_flip(model, &mut s, v as usize);
                         improved = true;
@@ -862,10 +895,11 @@ pub fn sharded_anneal(model: &Ising, params: &ShardedParams, rng: &mut Rng64) ->
     ShardedResult {
         spins: best,
         energy: best_e,
-        proposals,
+        proposals: meter.used(),
         n_shards: partition.n_shards(),
         cut_weight: partition.cut_weight(),
         trace,
+        exhausted: meter.exhausted(),
     }
 }
 
@@ -919,6 +953,48 @@ mod tests {
         }
         assert!(p.max_shard_size() <= 64);
         assert!(p.n_shards() >= 2);
+    }
+
+    #[test]
+    fn budget_cuts_rounds_deterministically() {
+        let mut rng = Rng64::new(83);
+        let m = banded_glass(200, 3, &mut rng);
+        let p = ShardedParams {
+            max_shard_vars: 64,
+            rounds: 24,
+            sweeps_per_round: 4,
+            ..ShardedParams::default()
+        };
+
+        // A sweep cap of 8 = exactly 2 whole rounds.
+        let r = sharded_anneal_with_budget(&m, &p, &Budget::sweeps(8), &mut Rng64::new(85));
+        assert_eq!(r.trace.len(), 2);
+        assert!(r.exhausted);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-9);
+
+        // Fewer budgeted sweeps than one round: zero rounds run, and the
+        // initial random state comes back anchored with an empty trace.
+        let cut = sharded_anneal_with_budget(&m, &p, &Budget::sweeps(3), &mut Rng64::new(85));
+        assert!(cut.trace.is_empty());
+        assert!(cut.exhausted);
+        assert!((m.energy(&cut.spins) - cut.energy).abs() < 1e-9);
+
+        // A round costs 200 × 4 = 800 proposals pre-quench; a bound of
+        // 1000 runs round one whole and refuses round two.
+        let tight =
+            sharded_anneal_with_budget(&m, &p, &Budget::proposals(1000), &mut Rng64::new(85));
+        assert_eq!(tight.proposals, 800);
+        assert_eq!(tight.trace.len(), 1);
+        assert!(tight.exhausted);
+
+        // A roomy budget is bit-identical to the unbudgeted path.
+        let plain = sharded_anneal(&m, &p, &mut Rng64::new(87));
+        let roomy =
+            sharded_anneal_with_budget(&m, &p, &Budget::proposals(u64::MAX), &mut Rng64::new(87));
+        assert_eq!(plain.energy.to_bits(), roomy.energy.to_bits());
+        assert_eq!(plain.spins, roomy.spins);
+        assert_eq!(plain.proposals, roomy.proposals);
+        assert!(!roomy.exhausted);
     }
 
     #[test]

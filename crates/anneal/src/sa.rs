@@ -9,6 +9,7 @@
 //! in O(1), and only accepted flips pay O(degree) to repair neighbor
 //! fields.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::field::IsingFields;
 use crate::ising::Ising;
 use qmldb_math::{par, Rng64};
@@ -49,6 +50,10 @@ pub struct AnnealResult {
     pub trace: Vec<f64>,
     /// Total spin-flip proposals made across all restarts.
     pub proposals: u64,
+    /// True when a [`Budget`] bound (work count, deadline, or
+    /// cancellation) cut the run short of its full schedule. The result
+    /// is still the best state seen — the anytime contract.
+    pub exhausted: bool,
 }
 
 /// One restart's outcome, merged across restarts by the public entry
@@ -58,6 +63,7 @@ pub(crate) struct RestartOutcome {
     pub energy: f64,
     pub trace: Vec<f64>,
     pub proposals: u64,
+    pub exhausted: bool,
 }
 
 /// Merges independent restart outcomes in restart order (first strict
@@ -67,8 +73,10 @@ pub(crate) fn merge_restarts(runs: Vec<RestartOutcome>) -> AnnealResult {
     let mut best_energy = f64::INFINITY;
     let mut best_trace = Vec::new();
     let mut proposals = 0u64;
+    let mut exhausted = false;
     for run in runs {
         proposals += run.proposals;
+        exhausted |= run.exhausted;
         if run.energy < best_energy {
             best_energy = run.energy;
             best_spins = run.spins;
@@ -80,6 +88,7 @@ pub(crate) fn merge_restarts(runs: Vec<RestartOutcome>) -> AnnealResult {
         energy: best_energy,
         trace: best_trace,
         proposals,
+        exhausted,
     }
 }
 
@@ -89,15 +98,32 @@ pub(crate) fn merge_restarts(runs: Vec<RestartOutcome>) -> AnnealResult {
 /// from `rng` and they execute in parallel on up to `QMLDB_THREADS`
 /// workers, with results bit-identical for any thread count.
 pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) -> AnnealResult {
+    simulated_annealing_with_budget(model, params, &Budget::unlimited(), rng)
+}
+
+/// [`simulated_annealing`] under a [`Budget`]. The proposal bound is
+/// split exactly across restarts before dispatch and each restart stops
+/// mid-sweep the moment its share is spent, so proposal/sweep-bounded
+/// runs stay bit-identical for any `QMLDB_THREADS`; deadline/cancel are
+/// polled at sweep boundaries (the nondeterministic opt-in). A cut-short
+/// run still returns its best state, exactly re-anchored.
+pub fn simulated_annealing_with_budget(
+    model: &Ising,
+    params: &SaParams,
+    budget: &Budget,
+    rng: &mut Rng64,
+) -> AnnealResult {
     assert!(model.n() > 0, "empty model");
     assert!(params.sweeps > 0, "need at least one sweep");
     let scale = model.energy_scale();
     let t_start = params.t_start_factor * scale;
     let t_end = params.t_end_factor * scale;
     let cooling = (t_end / t_start).powf(1.0 / params.sweeps.max(2) as f64);
+    let restarts = params.restarts.max(1);
 
-    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
-        let mut proposals = 0u64;
+    let runs = par::map_indices_rng(restarts, rng, |idx, rng| {
+        let mut meter = BudgetMeter::for_unit(budget, restarts, idx);
+        let sweeps = meter.sweep_cap(params.sweeps);
         let mut s: Vec<i8> = (0..model.n())
             .map(|_| if rng.chance(0.5) { 1 } else { -1 })
             .collect();
@@ -105,11 +131,16 @@ pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) ->
         let mut energy = model.energy(&s);
         let mut run_best = energy;
         let mut run_best_spins = s.clone();
-        let mut trace = Vec::with_capacity(params.sweeps);
+        let mut trace = Vec::with_capacity(sweeps);
         let mut temp = t_start;
-        for _ in 0..params.sweeps {
+        'anneal: for _ in 0..sweeps {
+            if meter.interrupted() {
+                break 'anneal;
+            }
             for i in 0..model.n() {
-                proposals += 1;
+                if !meter.try_propose() {
+                    break 'anneal;
+                }
                 let d = fields.delta_flip(&s, i);
                 if d <= 0.0 || rng.chance((-d / temp).exp()) {
                     fields.apply_flip(model, &mut s, i);
@@ -129,7 +160,8 @@ pub fn simulated_annealing(model: &Ising, params: &SaParams, rng: &mut Rng64) ->
             energy: model.energy(&run_best_spins),
             spins: run_best_spins,
             trace,
-            proposals,
+            proposals: meter.used(),
+            exhausted: meter.exhausted(),
         }
     });
     merge_restarts(runs)
@@ -237,5 +269,77 @@ mod tests {
             &mut rng,
         );
         assert_eq!(r.proposals, 5 * 100 * 3);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn proposal_budget_is_consumed_exactly() {
+        let m = random_spin_glass(10, &mut Rng64::new(913));
+        let p = SaParams {
+            sweeps: 200,
+            restarts: 3,
+            ..SaParams::default()
+        };
+        // 100 proposals across 3 restarts: shares 34/33/33, all consumed.
+        let r =
+            simulated_annealing_with_budget(&m, &p, &Budget::proposals(100), &mut Rng64::new(915));
+        assert_eq!(r.proposals, 100);
+        assert!(r.exhausted);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_budget_is_bit_identical_to_unlimited() {
+        let m = random_spin_glass(12, &mut Rng64::new(917));
+        let p = SaParams {
+            sweeps: 50,
+            restarts: 2,
+            ..SaParams::default()
+        };
+        let plain = simulated_annealing(&m, &p, &mut Rng64::new(919));
+        let roomy = simulated_annealing_with_budget(
+            &m,
+            &p,
+            &Budget::proposals(u64::MAX).with_sweeps(u64::MAX),
+            &mut Rng64::new(919),
+        );
+        assert_eq!(plain.energy.to_bits(), roomy.energy.to_bits());
+        assert_eq!(plain.spins, roomy.spins);
+        assert_eq!(plain.proposals, roomy.proposals);
+        assert!(!roomy.exhausted);
+    }
+
+    #[test]
+    fn sweep_budget_caps_each_restart() {
+        let m = random_spin_glass(8, &mut Rng64::new(921));
+        let p = SaParams {
+            sweeps: 100,
+            restarts: 2,
+            ..SaParams::default()
+        };
+        let r = simulated_annealing_with_budget(&m, &p, &Budget::sweeps(10), &mut Rng64::new(923));
+        assert_eq!(r.proposals, 8 * 10 * 2);
+        assert_eq!(r.trace.len(), 10);
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn cancelled_run_still_returns_an_anchored_state() {
+        use crate::budget::CancelToken;
+        let m = random_spin_glass(8, &mut Rng64::new(925));
+        let token = CancelToken::new();
+        token.cancel();
+        let r = simulated_annealing_with_budget(
+            &m,
+            &SaParams::default(),
+            &Budget::unlimited().with_cancel(token),
+            &mut Rng64::new(927),
+        );
+        // Interrupted before the first sweep: the initial random state is
+        // the best seen, exactly anchored.
+        assert_eq!(r.proposals, 0);
+        assert!(r.exhausted);
+        assert_eq!(r.spins.len(), 8);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
     }
 }

@@ -9,6 +9,7 @@
 //! exactly the regime where this dynamics beats thermal annealing — the
 //! physics behind Fig. 2 of the tutorial's source material.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::field::IsingFields;
 use crate::ising::Ising;
 use crate::sa::{merge_restarts, AnnealResult, RestartOutcome};
@@ -51,6 +52,19 @@ pub fn simulated_quantum_annealing(
     params: &SqaParams,
     rng: &mut Rng64,
 ) -> AnnealResult {
+    simulated_quantum_annealing_with_budget(model, params, &Budget::unlimited(), rng)
+}
+
+/// [`simulated_quantum_annealing`] under a [`Budget`]. One proposal is
+/// one replica-site update; the proposal bound is split exactly across
+/// restarts and each restart stops mid-sweep when its share is spent.
+/// Deadline/cancel are polled at sweep boundaries.
+pub fn simulated_quantum_annealing_with_budget(
+    model: &Ising,
+    params: &SqaParams,
+    budget: &Budget,
+    rng: &mut Rng64,
+) -> AnnealResult {
     let n = model.n();
     assert!(n > 0, "empty model");
     let p = params.replicas.max(2);
@@ -60,12 +74,13 @@ pub fn simulated_quantum_annealing(
     let gamma_start = params.gamma_start_factor * scale;
     let gamma_end = params.gamma_end_factor * scale;
     let gamma_decay = (gamma_end / gamma_start).powf(1.0 / params.sweeps.max(2) as f64);
+    let restarts = params.restarts.max(1);
 
     // Restarts are independent Trotter-replica stacks; each runs on its
     // own stream forked from `rng`, in parallel across `QMLDB_THREADS`
     // workers, bit-identical for any thread count.
-    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
-        let mut proposals = 0u64;
+    let runs = par::map_indices_rng(restarts, rng, |idx, rng| {
+        let mut meter = BudgetMeter::for_unit(budget, restarts, idx);
         // replicas[k][i] = spin i of slice k.
         let mut reps: Vec<Vec<i8>> = (0..p)
             .map(|_| {
@@ -83,11 +98,15 @@ pub fn simulated_quantum_annealing(
         let mut energies: Vec<f64> = reps.iter().map(|r| model.energy(r)).collect();
         let mut run_best = f64::INFINITY;
         let mut run_best_spins = reps[0].clone();
-        let mut trace = Vec::with_capacity(params.sweeps);
+        let sweeps = meter.sweep_cap(params.sweeps);
+        let mut trace = Vec::with_capacity(sweeps);
         let mut gamma = gamma_start;
         let inv_p = 1.0 / p as f64;
 
-        for _ in 0..params.sweeps {
+        'anneal: for _ in 0..sweeps {
+            if meter.interrupted() {
+                break 'anneal;
+            }
             // Inter-slice ferromagnetic coupling strength for this Γ,
             // precomputed once per sweep (with the factor 2 of the flip
             // delta folded in).
@@ -97,7 +116,9 @@ pub fn simulated_quantum_annealing(
                 let up = (k + 1) % p;
                 let down = (k + p - 1) % p;
                 for i in 0..n {
-                    proposals += 1;
+                    if !meter.try_propose() {
+                        break 'anneal;
+                    }
                     // Classical part, scaled 1/P per Suzuki–Trotter.
                     let d_model = fields[k].delta_flip(&reps[k], i);
                     let d_classical = d_model * inv_p;
@@ -123,13 +144,25 @@ pub fn simulated_quantum_annealing(
             trace.push(run_best);
             gamma *= gamma_decay;
         }
+        // A run cut off before its first completed sweep never scanned
+        // the replicas; fall back to the best replica right now so the
+        // anytime contract still returns the work actually done.
+        if run_best.is_infinite() {
+            for (k, r) in reps.iter().enumerate() {
+                if energies[k] < run_best {
+                    run_best = energies[k];
+                    run_best_spins = r.clone();
+                }
+            }
+        }
         // Re-anchor the reported optimum to the exact energy of its spins
         // (the running energies carry one rounding per accepted flip).
         RestartOutcome {
             energy: model.energy(&run_best_spins),
             spins: run_best_spins,
             trace,
-            proposals,
+            proposals: meter.used(),
+            exhausted: meter.exhausted(),
         }
     });
     merge_restarts(runs)
@@ -262,5 +295,37 @@ mod tests {
         let mut rng = Rng64::new(1005);
         let r = simulated_quantum_annealing(&m, &SqaParams::default(), &mut rng);
         assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposal_budget_bounds_sqa_exactly() {
+        use crate::budget::Budget;
+        let m = tall_barrier(3, 1.5);
+        let p = SqaParams {
+            replicas: 4,
+            sweeps: 50,
+            restarts: 2,
+            ..SqaParams::default()
+        };
+        let r = simulated_quantum_annealing_with_budget(
+            &m,
+            &p,
+            &Budget::proposals(301),
+            &mut Rng64::new(1007),
+        );
+        assert_eq!(r.proposals, 301);
+        assert!(r.exhausted);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+
+        let plain = simulated_quantum_annealing(&m, &p, &mut Rng64::new(1009));
+        let roomy = simulated_quantum_annealing_with_budget(
+            &m,
+            &p,
+            &Budget::proposals(u64::MAX),
+            &mut Rng64::new(1009),
+        );
+        assert_eq!(plain.energy.to_bits(), roomy.energy.to_bits());
+        assert_eq!(plain.spins, roomy.spins);
+        assert!(!roomy.exhausted);
     }
 }

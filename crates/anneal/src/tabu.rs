@@ -8,6 +8,7 @@
 //! repairs only the flipped variable's neighborhood — O(n + deg) per
 //! iteration instead of the naive O(n·deg).
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::field::QuboFields;
 use crate::qubo::Qubo;
 use qmldb_math::{par, Rng64};
@@ -42,6 +43,11 @@ pub struct TabuResult {
     pub energy: f64,
     /// Flips performed.
     pub flips: u64,
+    /// Delta-evaluations performed (`n` per candidate scan) — the unit
+    /// the [`Budget`] proposal bound counts.
+    pub proposals: u64,
+    /// True when a [`Budget`] bound cut the search short.
+    pub exhausted: bool,
 }
 
 /// Runs tabu search on a QUBO.
@@ -51,13 +57,31 @@ pub struct TabuResult {
 /// parallel (`QMLDB_THREADS` workers), bit-identical for any thread
 /// count.
 pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuResult {
+    tabu_search_with_budget(qubo, params, &Budget::unlimited(), rng)
+}
+
+/// [`tabu_search`] under a [`Budget`]. One iteration's candidate scan
+/// reads `n` cached deltas, so it consumes `n` proposals; an iteration
+/// whose full scan no longer fits the remaining share is refused, which
+/// keeps proposal-bounded runs exact and bit-identical for any thread
+/// count. The sweep cap bounds iterations; deadline/cancel are polled
+/// per iteration.
+pub fn tabu_search_with_budget(
+    qubo: &Qubo,
+    params: &TabuParams,
+    budget: &Budget,
+    rng: &mut Rng64,
+) -> TabuResult {
     let n = qubo.n();
     assert!(n > 0, "empty model");
     // One CSR snapshot of the QUBO's off-diagonal structure, shared by
     // all restarts.
     let adj = qubo.adjacency();
+    let restarts = params.restarts.max(1);
 
-    let runs = par::map_indices_rng(params.restarts.max(1), rng, |_, rng| {
+    let runs = par::map_indices_rng(restarts, rng, |idx, rng| {
+        let mut meter = BudgetMeter::for_unit(budget, restarts, idx);
+        let iters = meter.sweep_cap(params.iters);
         let mut flips = 0u64;
         let mut x: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut fields = QuboFields::new(qubo, &adj, &x);
@@ -69,7 +93,12 @@ pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuRes
         let mut run_best_bits = x.clone();
         let mut tabu_until = vec![0usize; n];
 
-        for it in 1..=params.iters {
+        for it in 1..=iters {
+            // A candidate scan reads all `n` cached deltas; refuse the
+            // whole iteration when the proposal share can't cover it.
+            if meter.interrupted() || !meter.try_consume(n as u64) {
+                break;
+            }
             // Best admissible flip over the cached deltas.
             let mut chosen: Option<(usize, f64)> = None;
             for (i, &d) in deltas.iter().enumerate() {
@@ -101,14 +130,24 @@ pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuRes
         }
         // Re-anchor the reported optimum to the exact energy of its bits.
         let run_best = qubo.energy(&run_best_bits);
-        (run_best_bits, run_best, flips)
+        (
+            run_best_bits,
+            run_best,
+            flips,
+            meter.used(),
+            meter.exhausted(),
+        )
     });
 
     let mut best_bits = Vec::new();
     let mut best_energy = f64::INFINITY;
     let mut flips = 0u64;
-    for (bits, energy, run_flips) in runs {
+    let mut proposals = 0u64;
+    let mut exhausted = false;
+    for (bits, energy, run_flips, run_proposals, run_exhausted) in runs {
         flips += run_flips;
+        proposals += run_proposals;
+        exhausted |= run_exhausted;
         if energy < best_energy {
             best_energy = energy;
             best_bits = bits;
@@ -118,6 +157,8 @@ pub fn tabu_search(qubo: &Qubo, params: &TabuParams, rng: &mut Rng64) -> TabuRes
         bits: best_bits,
         energy: best_energy,
         flips,
+        proposals,
+        exhausted,
     }
 }
 
@@ -186,6 +227,42 @@ mod tests {
         tabu_search(&q, &p, &mut rng);
         // Two solves × four restarts each: still exactly one CSR build.
         assert_eq!(q.adjacency_builds(), 1);
+    }
+
+    #[test]
+    fn proposal_budget_refuses_partial_scans() {
+        let n = 10;
+        let mut rng = Rng64::new(1209);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.uniform_range(-1.0, 1.0));
+            for j in (i + 1)..n {
+                if rng.chance(0.5) {
+                    q.add(i, j, rng.uniform_range(-1.0, 1.0));
+                }
+            }
+        }
+        let p = TabuParams {
+            iters: 100,
+            tenure: 5,
+            restarts: 2,
+        };
+        // 95 proposals over 2 restarts: shares 48/47. Each scan costs
+        // n = 10, so the restarts run 4 scans each (40 + 40 consumed) and
+        // refuse the partial fifth.
+        let r = tabu_search_with_budget(&q, &p, &Budget::proposals(95), &mut Rng64::new(1211));
+        assert_eq!(r.proposals, 80);
+        assert!(r.exhausted);
+        assert!((q.energy(&r.bits) - r.energy).abs() < 1e-12);
+
+        // A roomy budget is bit-identical to the unbudgeted path.
+        let plain = tabu_search(&q, &p, &mut Rng64::new(1213));
+        let roomy =
+            tabu_search_with_budget(&q, &p, &Budget::proposals(u64::MAX), &mut Rng64::new(1213));
+        assert_eq!(plain.energy.to_bits(), roomy.energy.to_bits());
+        assert_eq!(plain.bits, roomy.bits);
+        assert_eq!(plain.flips, roomy.flips);
+        assert!(!roomy.exhausted);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! pointer-sized header swaps), so the fields always travel with the
 //! configuration they describe — swap by index, never by copying state.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::field::IsingFields;
 use crate::ising::Ising;
 use crate::sa::AnnealResult;
@@ -41,8 +42,25 @@ pub fn parallel_tempering(
     params: &TemperingParams,
     rng: &mut Rng64,
 ) -> AnnealResult {
+    parallel_tempering_with_budget(model, params, &Budget::unlimited(), rng)
+}
+
+/// [`parallel_tempering`] under a [`Budget`]. A sweep is one Metropolis
+/// pass over every chain (`chains × n` proposals) plus a swap round; the
+/// sweep loop is serial, so one meter covers the whole run and a sweep
+/// whose `chains × n` proposals no longer fit the remaining bound is
+/// refused whole — keeping proposal-bounded runs bit-identical for any
+/// thread count. Deadline/cancel are polled at sweep boundaries.
+pub fn parallel_tempering_with_budget(
+    model: &Ising,
+    params: &TemperingParams,
+    budget: &Budget,
+    rng: &mut Rng64,
+) -> AnnealResult {
     let n = model.n();
     assert!(n > 0, "empty model");
+    let mut meter = BudgetMeter::new(budget);
+    let sweeps = meter.sweep_cap(params.sweeps);
     let k = params.chains.max(2);
     let scale = model.energy_scale();
     // Geometric temperature ladder.
@@ -75,10 +93,14 @@ pub fn parallel_tempering(
 
     let mut best = chains[0].s.clone();
     let mut best_energy = chains[0].energy;
-    let mut trace = Vec::with_capacity(params.sweeps);
-    let mut proposals = 0u64;
+    let mut trace = Vec::with_capacity(sweeps);
 
-    for _ in 0..params.sweeps {
+    for _ in 0..sweeps {
+        // A sweep costs chains × n proposals; refuse it whole when the
+        // bound can't cover it, and poll deadline/cancel here too.
+        if meter.interrupted() || !meter.try_consume((k * n) as u64) {
+            break;
+        }
         // Metropolis pass per chain. Chains are independent within a
         // sweep, so each runs on its own stream forked from `rng` and the
         // pass is parallel across `QMLDB_THREADS` workers — bit-identical
@@ -103,7 +125,6 @@ pub fn parallel_tempering(
             (local_best_energy, local_best)
         });
         for (local_best_energy, local_best) in stepped {
-            proposals += n as u64;
             if local_best_energy < best_energy {
                 best_energy = local_best_energy;
                 best = local_best.expect("finite local best implies a stored state");
@@ -121,13 +142,25 @@ pub fn parallel_tempering(
         }
         trace.push(best_energy);
     }
+    // A run the budget cut off before its first completed sweep never
+    // compared the chains; scan their starts now so the anytime contract
+    // still reports the best state actually held.
+    if meter.exhausted() && trace.is_empty() {
+        for c in &chains {
+            if c.energy < best_energy {
+                best_energy = c.energy;
+                best = c.s.clone();
+            }
+        }
+    }
     // Re-anchor the reported optimum to the exact energy of its spins
     // (running energies accumulate one rounding per accepted flip).
     AnnealResult {
         energy: model.energy(&best),
         spins: best,
         trace,
-        proposals,
+        proposals: meter.used(),
+        exhausted: meter.exhausted(),
     }
 }
 
@@ -161,6 +194,53 @@ mod tests {
         let mut rng = Rng64::new(1103);
         let r = parallel_tempering(&m, &TemperingParams::default(), &mut rng);
         assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposal_budget_refuses_partial_sweeps() {
+        let mut rng = Rng64::new(1107);
+        let n = 6;
+        let mut couplings = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                couplings.push((i, j, rng.uniform_range(-1.0, 1.0)));
+            }
+        }
+        let m = Ising::new(vec![0.0; n], couplings, 0.0);
+        let p = TemperingParams {
+            chains: 4,
+            sweeps: 100,
+            ..TemperingParams::default()
+        };
+        // One sweep costs 4 × 6 = 24 proposals; a 100-proposal bound
+        // covers 4 sweeps (96 consumed) and refuses the fifth.
+        let r =
+            parallel_tempering_with_budget(&m, &p, &Budget::proposals(100), &mut Rng64::new(1109));
+        assert_eq!(r.proposals, 96);
+        assert_eq!(r.trace.len(), 4);
+        assert!(r.exhausted);
+        assert!((m.energy(&r.spins) - r.energy).abs() < 1e-12);
+
+        // A budget cut off before any sweep still returns an anchored
+        // best-of-starts state.
+        let cut =
+            parallel_tempering_with_budget(&m, &p, &Budget::proposals(3), &mut Rng64::new(1109));
+        assert_eq!(cut.proposals, 0);
+        assert!(cut.exhausted);
+        assert!((m.energy(&cut.spins) - cut.energy).abs() < 1e-12);
+
+        // A roomy budget is bit-identical to the unbudgeted path.
+        let plain = parallel_tempering(&m, &p, &mut Rng64::new(1111));
+        let roomy = parallel_tempering_with_budget(
+            &m,
+            &p,
+            &Budget::proposals(u64::MAX),
+            &mut Rng64::new(1111),
+        );
+        assert_eq!(plain.energy.to_bits(), roomy.energy.to_bits());
+        assert_eq!(plain.spins, roomy.spins);
+        assert_eq!(plain.proposals, roomy.proposals);
+        assert!(!roomy.exhausted);
     }
 
     #[test]

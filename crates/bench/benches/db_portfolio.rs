@@ -4,9 +4,11 @@
 //! Two tiers: medium instances run the classical lineup (SA/SQA/tabu/
 //! tempering), small instances run the *full* lineup where exact
 //! enumeration and the gate-model members (QAOA, Grover minimum-finding)
-//! engage too. Each record carries wall time plus the achieved objective,
-//! and the legacy hand-wired SA pipeline (encode → anneal → decode, the
-//! pre-portfolio code path) runs alongside as the quality baseline.
+//! engage too. Each record carries wall time plus the achieved objective
+//! and a per-member breakdown (solver, wall seconds, delta-evaluations
+//! consumed), and the legacy hand-wired SA pipeline (encode → anneal →
+//! decode, the pre-portfolio code path) runs alongside as the quality
+//! baseline.
 //!
 //! Emits `BENCH_db.json` at the repo root; asserts that every portfolio
 //! run returned a feasible solution.
@@ -126,6 +128,30 @@ where
         Json::Num(out.runs.iter().filter(|r| r.repaired).count() as f64),
     );
     rec.set("feasibility_rate", Json::Num(1.0));
+    // Per-member accounting (PR 10): each run's measured wall seconds and
+    // consumed delta-evaluations. This unbudgeted pass must consume every
+    // member's full schedule, so no run may report exhaustion.
+    rec.set(
+        "members",
+        Json::Arr(
+            out.runs
+                .iter()
+                .map(|run| {
+                    assert!(
+                        !run.budget_exhausted,
+                        "{label}/{}: unbudgeted run reported exhaustion",
+                        run.solver
+                    );
+                    Json::Obj(vec![
+                        ("solver".to_string(), Json::Str(run.solver.to_string())),
+                        ("objective".to_string(), Json::Num(run.objective)),
+                        ("wall_time_s".to_string(), Json::Num(run.wall_time_s)),
+                        ("proposals".to_string(), Json::Num(run.proposals as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
     records.push(rec);
 }
 

@@ -4,8 +4,9 @@
 //! variables each) through the in-process [`Service`] API and measures
 //! per-request latency (p50/p99) and throughput at 1 and 4 worker
 //! threads, cold cache vs warm cache, plus a saturating-load admission
-//! case and a configurable repeat-rate mix. Emits the `serve_load`,
-//! `serve_admission`, and `serve_mix` sections of `BENCH_serve.json`.
+//! case, a configurable repeat-rate mix, and a deadline mix (tight /
+//! mid / loose / none). Emits the `serve_load`, `serve_admission`,
+//! `serve_mix`, and `serve_deadline` sections of `BENCH_serve.json`.
 //!
 //! Doubles as an end-to-end determinism check: every outcome must be
 //! bit-identical across thread counts and across the cold (fresh solve)
@@ -128,6 +129,7 @@ fn request_mix(seed: u64) -> Vec<Request> {
             Request {
                 workload,
                 seed: 1000 + k as u64,
+                deadline_ms: None,
             }
         })
         .collect()
@@ -469,6 +471,80 @@ fn main() {
     assert_identical(&before.0, &after.0, "cold scoped vs pooled");
     assert_identical(&before.1, &after.1, "warm scoped vs pooled");
     par::reset_threads();
+
+    // PR 10 — deadline mix: the same medium mix under tight / mid /
+    // loose / no deadlines. Tight (0 ms) must expire at admission and
+    // loose (10 s) must finish undegraded; the mid bucket is wall-clock
+    // dependent by design, so its expired/degraded rates are recorded
+    // but not pinned.
+    group("serve_deadline_mix");
+    par::set_threads(4);
+    let mut deadline_records = Vec::new();
+    for (name, deadline_ms) in [
+        ("serve/deadline_tight_0ms", Some(0.0)),
+        ("serve/deadline_mid_250us", Some(0.25)),
+        ("serve/deadline_loose_10s", Some(10_000.0)),
+        ("serve/deadline_none", None),
+    ] {
+        let mut service = Service::new(config());
+        let mut requests = mix.clone();
+        for r in &mut requests {
+            r.deadline_ms = deadline_ms;
+        }
+        let t0 = Instant::now();
+        let (mut expired, mut degraded, mut full) = (0usize, 0usize, 0usize);
+        for req in &requests {
+            match service.submit(req) {
+                Reply::Done(o) if o.degraded => degraded += 1,
+                Reply::Done(_) => full += 1,
+                Reply::Expired { .. } => expired += 1,
+                other => panic!("deadline mix request failed: {other:?}"),
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let stats = service.stats();
+        assert_eq!(expired + degraded + full, mix.len());
+        assert_eq!(stats.deadline_expired as usize, expired);
+        assert_eq!(stats.degraded as usize, degraded);
+        match deadline_ms {
+            Some(0.0) => {
+                assert_eq!(expired, mix.len(), "0 ms deadlines are dead on arrival");
+            }
+            Some(d) if d >= 10_000.0 => {
+                assert_eq!(full, mix.len(), "10 s deadlines never bite on this mix");
+            }
+            None => assert_eq!(full, mix.len(), "no deadline, no degradation"),
+            _ => {}
+        }
+        let n = mix.len() as f64;
+        println!(
+            "{name:<28} expired {expired:>3}  degraded {degraded:>3}  full {full:>3}  in {:.1} ms",
+            elapsed * 1e3
+        );
+        deadline_records.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(name.into())),
+            (
+                "deadline_ms".to_string(),
+                deadline_ms.map_or(Json::Null, Json::Num),
+            ),
+            ("offered".to_string(), Json::Num(n)),
+            ("expired".to_string(), Json::Num(expired as f64)),
+            ("degraded".to_string(), Json::Num(degraded as f64)),
+            ("full".to_string(), Json::Num(full as f64)),
+            ("expired_rate".to_string(), Json::Num(expired as f64 / n)),
+            ("degraded_rate".to_string(), Json::Num(degraded as f64 / n)),
+            ("elapsed_s".to_string(), Json::Num(elapsed)),
+        ]));
+    }
+    par::reset_threads();
+    merge_section(
+        Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serve.json"
+        )),
+        "serve_deadline",
+        deadline_records,
+    );
 
     merge_section(
         Path::new(concat!(

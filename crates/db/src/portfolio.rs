@@ -29,12 +29,14 @@
 use crate::problem::QuboProblem;
 use crate::search::grover_minimum;
 use qmldb_anneal::{
-    parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing,
-    solve_exact, spins_to_bits, tabu_search, Constraints, Qubo, SaParams, ShardedParams, SqaParams,
+    parallel_tempering_with_budget, sharded_anneal_with_budget, simulated_annealing_with_budget,
+    simulated_quantum_annealing_with_budget, solve_exact_with_budget, spins_to_bits,
+    tabu_search_with_budget, Budget, Constraints, Qubo, SaParams, ShardedParams, SqaParams,
     TabuParams, TemperingParams,
 };
 use qmldb_core::qaoa::Qaoa;
 use qmldb_math::{par, Rng64};
+use std::time::Instant;
 
 /// One member of the solver portfolio.
 #[derive(Clone, Debug)]
@@ -127,24 +129,71 @@ impl Solver {
         }
     }
 
-    /// Runs this solver on a QUBO and returns the sampled assignment.
-    fn sample(&self, qubo: &Qubo, rng: &mut Rng64) -> Vec<bool> {
+    /// Runs this solver on a QUBO under a [`Budget`] and returns the
+    /// sampled assignment plus its work accounting. The gate-model
+    /// bridges have no incremental work unit, so they report zero
+    /// proposals and honor the budget only by skipping entirely when it
+    /// is already interrupted.
+    fn sample(&self, qubo: &Qubo, budget: &Budget, rng: &mut Rng64) -> Sample {
         match self {
-            Solver::Sa(p) => spins_to_bits(&simulated_annealing(&qubo.to_ising(), p, rng).spins),
+            Solver::Sa(p) => {
+                let r = simulated_annealing_with_budget(&qubo.to_ising(), p, budget, rng);
+                Sample {
+                    bits: spins_to_bits(&r.spins),
+                    proposals: r.proposals,
+                    exhausted: r.exhausted,
+                }
+            }
             Solver::Sqa(p) => {
-                spins_to_bits(&simulated_quantum_annealing(&qubo.to_ising(), p, rng).spins)
+                let r = simulated_quantum_annealing_with_budget(&qubo.to_ising(), p, budget, rng);
+                Sample {
+                    bits: spins_to_bits(&r.spins),
+                    proposals: r.proposals,
+                    exhausted: r.exhausted,
+                }
             }
-            Solver::Tabu(p) => tabu_search(qubo, p, rng).bits,
+            Solver::Tabu(p) => {
+                let r = tabu_search_with_budget(qubo, p, budget, rng);
+                Sample {
+                    bits: r.bits,
+                    proposals: r.proposals,
+                    exhausted: r.exhausted,
+                }
+            }
             Solver::Tempering(p) => {
-                spins_to_bits(&parallel_tempering(&qubo.to_ising(), p, rng).spins)
+                let r = parallel_tempering_with_budget(&qubo.to_ising(), p, budget, rng);
+                Sample {
+                    bits: spins_to_bits(&r.spins),
+                    proposals: r.proposals,
+                    exhausted: r.exhausted,
+                }
             }
-            Solver::ExactSpectrum => solve_exact(qubo).bits,
+            Solver::ExactSpectrum => {
+                let (sol, cut) = solve_exact_with_budget(qubo, budget);
+                // The walk doesn't report its step count; reconstruct it
+                // from the bound (exact when the walk completed, the
+                // bound itself when the proposal cap cut it).
+                let full = (1u64 << qubo.n()) - 1;
+                let proposals = if cut {
+                    budget.proposal_limit().map_or(0, |l| l.min(full))
+                } else {
+                    full
+                };
+                Sample {
+                    bits: sol.bits,
+                    proposals,
+                    exhausted: cut,
+                }
+            }
             Solver::Qaoa {
                 layers,
                 iters,
                 restarts,
                 shots,
             } => {
+                if budget.interrupted() {
+                    return Sample::skipped(qubo.n());
+                }
                 let ising = qubo.to_ising();
                 let q = Qaoa::from_ising(
                     qubo.n(),
@@ -154,14 +203,52 @@ impl Solver {
                     *layers,
                 );
                 let r = q.solve_spsa(*iters, *restarts, *shots, rng);
-                (0..qubo.n())
-                    .map(|i| r.best_bitstring & (1 << i) != 0)
-                    .collect()
+                Sample {
+                    bits: (0..qubo.n())
+                        .map(|i| r.best_bitstring & (1 << i) != 0)
+                        .collect(),
+                    proposals: 0,
+                    exhausted: false,
+                }
             }
-            Solver::GroverMin { rounds } => grover_minimum(qubo, *rounds, rng).bits,
+            Solver::GroverMin { rounds } => {
+                if budget.interrupted() {
+                    return Sample::skipped(qubo.n());
+                }
+                Sample {
+                    bits: grover_minimum(qubo, *rounds, rng).bits,
+                    proposals: 0,
+                    exhausted: false,
+                }
+            }
             Solver::Sharded { params, .. } => {
-                spins_to_bits(&sharded_anneal(&qubo.to_ising(), params, rng).spins)
+                let r = sharded_anneal_with_budget(&qubo.to_ising(), params, budget, rng);
+                Sample {
+                    bits: spins_to_bits(&r.spins),
+                    proposals: r.proposals,
+                    exhausted: r.exhausted,
+                }
             }
+        }
+    }
+}
+
+/// One raw sample plus its budget accounting.
+struct Sample {
+    bits: Vec<bool>,
+    proposals: u64,
+    exhausted: bool,
+}
+
+impl Sample {
+    /// The placeholder a budget-less solver returns when the budget is
+    /// already interrupted at entry: an all-false assignment (the repair
+    /// projection makes it feasible downstream) and `exhausted` set.
+    fn skipped(n: usize) -> Sample {
+        Sample {
+            bits: vec![false; n],
+            proposals: 0,
+            exhausted: true,
         }
     }
 }
@@ -184,6 +271,17 @@ pub struct SolverRun<S> {
     /// Constraint groups the final raw sample violated (0 unless
     /// `repaired`).
     pub violated_groups: usize,
+    /// Delta-evaluations this member consumed across all escalation
+    /// attempts (its share of the [`Budget`] proposal bound).
+    pub proposals: u64,
+    /// Wall-clock seconds this member spent, escalation and repair
+    /// included. Measurement only — it never feeds back into control
+    /// flow, so determinism is untouched.
+    pub wall_time_s: f64,
+    /// True when this member's budget share cut any of its attempts
+    /// short. The solution is still feasible — cut samples go through
+    /// the same escalation/repair pipeline.
+    pub budget_exhausted: bool,
 }
 
 /// The portfolio's best answer plus the per-solver report.
@@ -198,6 +296,10 @@ pub struct PortfolioOutcome<S> {
     /// Every solver's run, in portfolio order (inapplicable members are
     /// skipped).
     pub runs: Vec<SolverRun<S>>,
+    /// True when any member's budget share cut its run short — the
+    /// solve is *degraded*: still feasible, but the schedule didn't run
+    /// to completion.
+    pub budget_exhausted: bool,
 }
 
 /// A lineup of solvers with a shared feasibility policy.
@@ -277,7 +379,28 @@ impl Portfolio {
         P: QuboProblem + Sync,
         P::Solution: Send,
     {
-        self.solve_inner(problem, None, rng)
+        self.solve_inner(problem, None, &Budget::unlimited(), rng)
+    }
+
+    /// [`Portfolio::solve`] under a [`Budget`]. The proposal bound is
+    /// split exactly across the *applicable* members before dispatch
+    /// (earlier members take the remainder), so proposal/sweep-bounded
+    /// solves stay bit-identical for any `QMLDB_THREADS`; deadline and
+    /// cancellation are shared by every member and polled at their sweep
+    /// or round boundaries. A cut-short solve is still feasible: cut
+    /// samples run through the same penalty-escalation and exact-repair
+    /// pipeline, and the outcome reports `budget_exhausted = true`.
+    pub fn solve_with_budget<P>(
+        &self,
+        problem: &P,
+        budget: &Budget,
+        rng: &mut Rng64,
+    ) -> PortfolioOutcome<P::Solution>
+    where
+        P: QuboProblem + Sync,
+        P::Solution: Send,
+    {
+        self.solve_inner(problem, None, budget, rng)
     }
 
     /// Like [`Portfolio::solve`], but reuses an `(encoded QUBO,
@@ -299,17 +422,35 @@ impl Portfolio {
         P: QuboProblem + Sync,
         P::Solution: Send,
     {
+        self.solve_encoded_with_budget(problem, encoded, &Budget::unlimited(), rng)
+    }
+
+    /// [`Portfolio::solve_encoded`] under a [`Budget`] — the combination
+    /// the serve layer uses: one shared encoding, per-member budget
+    /// shares, and deadline/cancel passed through to every solve loop.
+    pub fn solve_encoded_with_budget<P>(
+        &self,
+        problem: &P,
+        encoded: &(Qubo, Constraints),
+        budget: &Budget,
+        rng: &mut Rng64,
+    ) -> PortfolioOutcome<P::Solution>
+    where
+        P: QuboProblem + Sync,
+        P::Solution: Send,
+    {
         debug_assert!(
             encoded.0 == problem.encode(problem.auto_penalty()),
             "solve_encoded: pair must be the auto_penalty encoding of the problem"
         );
-        self.solve_inner(problem, Some(encoded), rng)
+        self.solve_inner(problem, Some(encoded), budget, rng)
     }
 
     fn solve_inner<P>(
         &self,
         problem: &P,
         pre: Option<&(Qubo, Constraints)>,
+        budget: &Budget,
         rng: &mut Rng64,
     ) -> PortfolioOutcome<P::Solution>
     where
@@ -321,13 +462,39 @@ impl Portfolio {
             self.solvers.iter().any(|s| s.applicable(n)),
             "no portfolio member can handle {n} variables"
         );
+        // The proposal bound is split across the members that will
+        // actually run, computed serially before dispatch (the split is
+        // a pure function of the member list, so it is thread-count
+        // invariant).
+        let mut next_applicable = 0usize;
+        let applicable_index: Vec<Option<usize>> = self
+            .solvers
+            .iter()
+            .map(|s| {
+                s.applicable(n).then(|| {
+                    next_applicable += 1;
+                    next_applicable - 1
+                })
+            })
+            .collect();
+        let member_budgets: Vec<Option<Budget>> = applicable_index
+            .iter()
+            .map(|slot| slot.map(|i| budget.split(next_applicable, i)))
+            .collect();
         // One stream per member — applicable or not, so adding variables
         // never shifts a neighbour's stream.
         let runs: Vec<Option<SolverRun<P::Solution>>> =
-            par::map_rng(&self.solvers, rng, |_, solver, stream| {
-                solver
-                    .applicable(n)
-                    .then(|| run_one(problem, solver, self.max_penalty_doublings, pre, stream))
+            par::map_rng(&self.solvers, rng, |idx, solver, stream| {
+                member_budgets[idx].as_ref().map(|share| {
+                    run_one(
+                        problem,
+                        solver,
+                        self.max_penalty_doublings,
+                        pre,
+                        share,
+                        stream,
+                    )
+                })
             });
         let runs: Vec<SolverRun<P::Solution>> = runs.into_iter().flatten().collect();
         let best = runs
@@ -345,6 +512,7 @@ impl Portfolio {
             solution: runs[best].solution.clone(),
             objective: runs[best].objective,
             solver: runs[best].solver,
+            budget_exhausted: runs.iter().any(|r| r.budget_exhausted),
             runs,
         }
     }
@@ -353,18 +521,28 @@ impl Portfolio {
 /// One solver through the penalty-escalation + repair loop. When `pre`
 /// holds the caller's `auto_penalty` encoding, the first attempt borrows
 /// it instead of re-encoding; retries at doubled penalties always encode
-/// fresh.
+/// fresh. The budget share carries across attempts — each retry solves
+/// under whatever proposals the earlier attempts left, and once the
+/// share is spent (or the deadline/cancel fires) escalation stops and
+/// the last sample is projected onto the feasible set, so a cut-short
+/// run still returns a feasible, exactly re-anchored solution.
 fn run_one<P: QuboProblem>(
     problem: &P,
     solver: &Solver,
     max_doublings: usize,
     pre: Option<&(Qubo, Constraints)>,
+    budget: &Budget,
     rng: &mut Rng64,
 ) -> SolverRun<P::Solution> {
+    let started = Instant::now();
     let mut penalty = problem.auto_penalty();
     let mut last_bits: Option<Vec<bool>> = None;
     let mut last_constraints: Option<Constraints> = None;
+    let mut proposals = 0u64;
+    let mut exhausted = false;
+    let mut doublings_run = 0;
     for doubling in 0..=max_doublings {
+        doublings_run = doubling;
         let owned;
         let (qubo, constraints): (&Qubo, &Constraints) = match pre {
             Some(pair) if doubling == 0 => (&pair.0, &pair.1),
@@ -373,9 +551,17 @@ fn run_one<P: QuboProblem>(
                 (&owned.0, &owned.1)
             }
         };
-        let bits = solver.sample(qubo, rng);
-        if problem.is_feasible(&bits) {
-            let solution = problem.decode(&bits);
+        let attempt_budget = match budget.proposal_limit() {
+            Some(limit) => budget
+                .clone()
+                .with_proposals(limit.saturating_sub(proposals)),
+            None => budget.clone(),
+        };
+        let sample = solver.sample(qubo, &attempt_budget, rng);
+        proposals += sample.proposals;
+        exhausted |= sample.exhausted;
+        if problem.is_feasible(&sample.bits) {
+            let solution = problem.decode(&sample.bits);
             let objective = problem.objective(&solution);
             return SolverRun {
                 solver: solver.name(),
@@ -384,11 +570,19 @@ fn run_one<P: QuboProblem>(
                 penalty_doublings: doubling,
                 repaired: false,
                 violated_groups: 0,
+                proposals,
+                wall_time_s: started.elapsed().as_secs_f64(),
+                budget_exhausted: exhausted,
             };
         }
-        last_bits = Some(bits);
+        last_bits = Some(sample.bits);
         last_constraints = Some(constraints.clone());
         penalty *= 2.0;
+        // Escalating past a spent budget would just replay interrupted
+        // solves; fall through to repair instead.
+        if exhausted {
+            break;
+        }
     }
     // Last resort: project the final sample onto the feasible set.
     let raw = last_bits.expect("at least one attempt ran");
@@ -403,9 +597,12 @@ fn run_one<P: QuboProblem>(
         solver: solver.name(),
         solution,
         objective,
-        penalty_doublings: max_doublings,
+        penalty_doublings: doublings_run,
         repaired: true,
         violated_groups,
+        proposals,
+        wall_time_s: started.elapsed().as_secs_f64(),
+        budget_exhausted: exhausted,
     }
 }
 
@@ -647,6 +844,82 @@ mod tests {
         }
         // Both paths leave the caller's stream in the same state.
         assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn roomy_budget_solve_is_bit_identical_to_solve() {
+        let mut gen_rng = Rng64::new(3021);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut gen_rng);
+        let p = quick_classical();
+        let plain = p.solve(&m, &mut Rng64::new(101));
+        let roomy = p.solve_with_budget(&m, &Budget::proposals(u64::MAX), &mut Rng64::new(101));
+        assert_eq!(plain.objective.to_bits(), roomy.objective.to_bits());
+        assert_eq!(plain.solution, roomy.solution);
+        assert_eq!(plain.solver, roomy.solver);
+        assert!(!roomy.budget_exhausted);
+        for (a, b) in plain.runs.iter().zip(&roomy.runs) {
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.proposals, b.proposals);
+        }
+    }
+
+    #[test]
+    fn tight_budget_solve_is_feasible_and_reports_exhaustion() {
+        let mut gen_rng = Rng64::new(3023);
+        let t = TxParams {
+            n_tx: 6,
+            n_slots: 3,
+            density: 0.5,
+        }
+        .generate(&mut gen_rng);
+        let p = quick_classical();
+        // A bound far below the schedule: both members get cut, the
+        // outcome must still be feasible and flag the degradation, and
+        // the per-member shares must sum to no more than the bound.
+        let out = p.solve_with_budget(&t, &Budget::proposals(64), &mut Rng64::new(103));
+        assert!(out.budget_exhausted);
+        assert!(t.is_feasible(&t.encode_solution(&out.solution)));
+        assert_eq!(out.runs.len(), 2);
+        let consumed: u64 = out.runs.iter().map(|r| r.proposals).sum();
+        assert!(consumed <= 64, "consumed {consumed}");
+        for run in &out.runs {
+            assert!(run.budget_exhausted);
+            assert!(run.wall_time_s >= 0.0);
+            assert!(t.is_feasible(&t.encode_solution(&run.solution)));
+        }
+    }
+
+    #[test]
+    fn cancelled_solve_still_returns_a_feasible_solution() {
+        use qmldb_anneal::CancelToken;
+        let mut gen_rng = Rng64::new(3025);
+        let m = MqoParams {
+            n_queries: 4,
+            plans_per: 3,
+            sharing_density: 0.6,
+        }
+        .generate(&mut gen_rng);
+        // Full lineup including the gate-model bridges, all cancelled at
+        // entry: every member must come back feasible via repair.
+        let token = CancelToken::new();
+        token.cancel();
+        let p = Portfolio::full();
+        let out = p.solve_with_budget(
+            &m,
+            &Budget::unlimited().with_cancel(token),
+            &mut Rng64::new(105),
+        );
+        assert!(out.budget_exhausted);
+        assert!(m.is_feasible(&m.encode_solution(&out.solution)));
+        assert_eq!(out.runs.len(), p.solvers.len());
+        for run in &out.runs {
+            assert!(m.is_feasible(&m.encode_solution(&run.solution)));
+        }
     }
 
     #[test]

@@ -1,18 +1,31 @@
-//! A bounded LRU cache with hit/miss/eviction counters.
+//! A bounded LRU cache with hit/miss/eviction counters and
+//! solve-cost-aware eviction.
 //!
 //! Intrusive doubly-linked list over `Vec` slots (indices, not pointers —
 //! the workspace forbids `unsafe`), plus a `HashMap` from key to slot.
-//! `get` promotes to the front; `insert` evicts the back slot when full.
-//! All operations are O(1) amortized.
+//! `get` promotes to the front; `insert` evicts from the back when full.
+//! Entries published with [`LruCache::insert_with_cost`] carry their
+//! recompute cost (the service records solve wall seconds): a full insert
+//! scans the [`EVICTION_WINDOW`] least-recently-used entries and evicts
+//! the *cheapest to recompute* among them, so one expensive solve isn't
+//! displaced by a burst of trivial ones. With uniform costs the scan
+//! degenerates to strict LRU. All operations are O(1) amortized.
 
 use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
 
+/// How many tail-most (least-recently-used) entries the eviction scan
+/// weighs by recompute cost before picking a victim.
+pub const EVICTION_WINDOW: usize = 8;
+
 #[derive(Debug)]
 struct Node<V> {
     key: u64,
     value: V,
+    /// Recompute cost (the service stores solve wall seconds). Only
+    /// compared, never aged: recency is the list order's job.
+    cost: f64,
     prev: usize,
     next: usize,
 }
@@ -26,6 +39,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries pushed out by a full insert.
     pub evictions: u64,
+    /// Evictions where the cost scan spared the strict LRU tail for a
+    /// cheaper-to-recompute entry nearby.
+    pub cost_evictions: u64,
 }
 
 /// A bounded least-recently-used map from `u64` keys to values.
@@ -100,18 +116,43 @@ impl<V> LruCache<V> {
         self.map.get(&key).map(|&at| &self.slots[at].value)
     }
 
-    /// Inserts (or replaces) `key`, evicting the least-recently-used
-    /// entry when at capacity. The entry becomes most-recently-used.
+    /// Inserts (or replaces) `key` with a zero recompute cost — plain
+    /// LRU behavior. The entry becomes most-recently-used.
     pub fn insert(&mut self, key: u64, value: V) {
+        self.insert_with_cost(key, value, 0.0);
+    }
+
+    /// Inserts (or replaces) `key`, recording `cost` (seconds to
+    /// recompute the value). When at capacity the eviction scan walks
+    /// the [`EVICTION_WINDOW`] least-recently-used entries and evicts
+    /// the cheapest-to-recompute one, ties going to the strict LRU tail.
+    /// The entry becomes most-recently-used. NaN costs are treated as
+    /// zero (cheapest).
+    pub fn insert_with_cost(&mut self, key: u64, value: V, cost: f64) {
+        let cost = if cost.is_nan() { 0.0 } else { cost };
         if let Some(&at) = self.map.get(&key) {
             self.slots[at].value = value;
+            self.slots[at].cost = cost;
             self.detach(at);
             self.push_front(at);
             return;
         }
         if self.map.len() == self.capacity {
-            let victim = self.tail;
+            let mut victim = self.tail;
             debug_assert_ne!(victim, NIL, "full cache has a tail");
+            let mut at = self.slots[victim].prev;
+            for _ in 1..EVICTION_WINDOW.min(self.map.len()) {
+                if at == NIL {
+                    break;
+                }
+                if self.slots[at].cost < self.slots[victim].cost {
+                    victim = at;
+                }
+                at = self.slots[at].prev;
+            }
+            if victim != self.tail {
+                self.counters.cost_evictions += 1;
+            }
             self.detach(victim);
             self.map.remove(&self.slots[victim].key);
             self.free.push(victim);
@@ -121,12 +162,14 @@ impl<V> LruCache<V> {
             Some(at) => {
                 self.slots[at].key = key;
                 self.slots[at].value = value;
+                self.slots[at].cost = cost;
                 at
             }
             None => {
                 self.slots.push(Node {
                     key,
                     value,
+                    cost,
                     prev: NIL,
                     next: NIL,
                 });
@@ -246,5 +289,56 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = LruCache::<i32>::new(0);
+    }
+
+    #[test]
+    fn cost_scan_spares_the_expensive_tail() {
+        let mut c: LruCache<&str> = LruCache::new(3);
+        c.insert_with_cost(1, "slow", 5.0);
+        c.insert_with_cost(2, "quick", 0.001);
+        c.insert_with_cost(3, "mid", 1.0);
+        // Strict LRU would evict key 1 (the tail); the cost scan spares
+        // it and takes the cheap key 2 instead.
+        c.insert_with_cost(4, "new", 2.0);
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(3).is_some());
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.counters().cost_evictions, 1);
+    }
+
+    #[test]
+    fn uniform_costs_degenerate_to_strict_lru() {
+        let mut c: LruCache<u32> = LruCache::new(3);
+        c.insert_with_cost(1, 1, 2.0);
+        c.insert_with_cost(2, 2, 2.0);
+        c.insert_with_cost(3, 3, 2.0);
+        c.insert_with_cost(4, 4, 2.0); // tie: strict tail (key 1) goes
+        assert!(c.peek(1).is_none());
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.counters().cost_evictions, 0);
+    }
+
+    #[test]
+    fn expensive_tail_survives_only_while_cheaper_candidates_remain() {
+        let mut c: LruCache<u64> = LruCache::new(EVICTION_WINDOW + 4);
+        c.insert_with_cost(0, 0, 100.0);
+        for k in 1..(EVICTION_WINDOW as u64 + 4) {
+            c.insert_with_cost(k, k, 1.0);
+        }
+        // Key 0 is the tail, but the scan finds the cheap key 1 in its
+        // window and spares the expensive entry.
+        c.insert_with_cost(100, 100, 1.0);
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(1).is_none());
+        assert_eq!(c.counters().cost_evictions, 1);
+        // The protection is relative, not absolute: keep inserting
+        // equally-cheap entries and the window's cheap candidates drain
+        // while key 0 persists; capacity stays bounded throughout.
+        for k in 101..120u64 {
+            c.insert_with_cost(k, k, 1.0);
+        }
+        assert!(c.peek(0).is_some());
+        assert_eq!(c.len(), EVICTION_WINDOW + 4);
     }
 }

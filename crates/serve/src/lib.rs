@@ -18,6 +18,10 @@
 //!   and any arrival order;
 //! * **admission control**: misses beyond a configurable depth are
 //!   rejected with a retryable status instead of queueing unboundedly;
+//! * **deadlines and cancellation**: a request may carry `deadline_ms`;
+//!   expired at admission it is answered `Expired` without solving, and
+//!   a deadline (or server shutdown) hitting mid-solve returns the best
+//!   feasible answer found so far, flagged `degraded`;
 //! * a **std-only TCP front end** ([`server`]) speaking a line-delimited
 //!   JSON wire format ([`wire`]), plus the in-process [`Service`] API.
 //!
@@ -34,6 +38,7 @@
 //!         balance_weight: 0.1,
 //!     },
 //!     seed: 7,
+//!     deadline_ms: None, // or Some(ms) for a wall-clock budget
 //! };
 //! let first = service.submit(&req);
 //! let second = service.submit(&req); // served from cache, bit-identical

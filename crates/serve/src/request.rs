@@ -6,7 +6,7 @@
 //! [`ServeOutcome`]s wrapped in a [`Reply`] that distinguishes success,
 //! retryable admission rejection, and malformed-request errors.
 
-use qmldb_anneal::{fnv1a, split_signature, Constraints, Qubo, FNV_OFFSET};
+use qmldb_anneal::{fnv1a, split_signature, Budget, Constraints, Qubo, FNV_OFFSET};
 use qmldb_db::{
     IndexCandidate, IndexSelection, JoinGraph, JoinOrderQubo, MqoInstance, Portfolio, QuboProblem,
     SolverRun, TxSchedule,
@@ -239,6 +239,35 @@ pub struct Request {
     pub workload: WorkloadSpec,
     /// Client seed for the solver RNG stream.
     pub seed: u64,
+    /// Optional deadline, milliseconds from the service *receiving* the
+    /// request. A request already expired at admission is answered
+    /// [`Reply::Expired`] without solving; one that expires mid-solve
+    /// comes back `Done` with `degraded: true` — the best feasible
+    /// answer found inside the time box. `None` solves without a time
+    /// box. Not part of the cache key: a deadline shapes how long a
+    /// solve may run, not what the answer is.
+    pub deadline_ms: Option<f64>,
+}
+
+impl Request {
+    /// Validates request-level fields (the workload validates itself
+    /// separately): a present deadline must be a finite, non-negative
+    /// number of milliseconds. Zero is legal — it means "already
+    /// expired" and is answered [`Reply::Expired`] at admission.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.deadline_ms {
+            Some(d) if d.is_nan() || d.is_infinite() || d < 0.0 => {
+                Err(format!("deadline_ms {d} must be finite and non-negative"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The absolute deadline for a request received at `arrival`.
+    pub(crate) fn deadline_at(&self, arrival: std::time::Instant) -> Option<std::time::Instant> {
+        self.deadline_ms
+            .map(|d| arrival + std::time::Duration::from_secs_f64(d / 1000.0))
+    }
 }
 
 /// A decoded domain solution, one variant per workload.
@@ -273,6 +302,10 @@ pub struct ServeOutcome {
     pub signature: u64,
     /// True when the answer came from the solution cache.
     pub cached: bool,
+    /// True when the solve's budget (deadline or service cancellation)
+    /// cut it short: the answer is still feasible, but the portfolio
+    /// didn't run its full schedule.
+    pub degraded: bool,
 }
 
 /// The reply to one request in a batch.
@@ -288,13 +321,20 @@ pub enum Reply {
         /// The configured admission limit.
         max_pending: usize,
     },
+    /// The request's deadline had already passed when the service
+    /// admitted it — nothing was solved. Not retryable as-is: an
+    /// unchanged resubmission carries the same expired time box.
+    Expired {
+        /// The deadline the request arrived with (milliseconds).
+        deadline_ms: f64,
+    },
     /// Malformed request; retrying unchanged will fail again.
     Error(String),
 }
 
 impl Reply {
     /// True for replies a client should retry later (admission
-    /// rejections), false for success and permanent errors.
+    /// rejections), false for success, expiry, and permanent errors.
     pub fn retryable(&self) -> bool {
         matches!(self, Reply::Rejected { .. })
     }
@@ -319,15 +359,19 @@ pub(crate) struct RunSummary {
     pub solver: &'static str,
     pub penalty_doublings: usize,
     pub repaired: bool,
+    /// True when the solve's budget cut the portfolio short (any
+    /// member's share exhausted, deadline passed, or cancellation).
+    pub degraded: bool,
 }
 
-fn summarize<S>(run: &SolverRun<S>, wrap: impl Fn(&S) -> Solution) -> RunSummary {
+fn summarize<S>(run: &SolverRun<S>, degraded: bool, wrap: impl Fn(&S) -> Solution) -> RunSummary {
     RunSummary {
         solution: wrap(&run.solution),
         objective: run.objective,
         solver: run.solver,
         penalty_doublings: run.penalty_doublings,
         repaired: run.repaired,
+        degraded,
     }
 }
 
@@ -361,34 +405,40 @@ impl BuiltProblem {
         fnv1a(h, &split_signature(&objective, &encoded.0).to_le_bytes())
     }
 
-    /// Runs the portfolio on the pre-encoded problem and returns the
-    /// winning run as an untyped summary.
+    /// Runs the portfolio on the pre-encoded problem under `budget` and
+    /// returns the winning run as an untyped summary (`degraded` set
+    /// when the budget cut the solve short).
     pub fn solve(
         &self,
         portfolio: &Portfolio,
         encoded: &(Qubo, Constraints),
+        budget: &Budget,
         rng: &mut Rng64,
     ) -> RunSummary {
         match self {
             BuiltProblem::JoinOrder(p) => {
-                let out = portfolio.solve_encoded(p, encoded, rng);
+                let out = portfolio.solve_encoded_with_budget(p, encoded, budget, rng);
                 let best = winning_run(&out.runs, out.solver, out.objective);
-                summarize(best, |s| Solution::Order(s.clone()))
+                summarize(best, out.budget_exhausted, |s| Solution::Order(s.clone()))
             }
             BuiltProblem::Mqo(p) => {
-                let out = portfolio.solve_encoded(p, encoded, rng);
+                let out = portfolio.solve_encoded_with_budget(p, encoded, budget, rng);
                 let best = winning_run(&out.runs, out.solver, out.objective);
-                summarize(best, |s| Solution::PlanChoice(s.clone()))
+                summarize(best, out.budget_exhausted, |s| {
+                    Solution::PlanChoice(s.clone())
+                })
             }
             BuiltProblem::IndexSelection(p) => {
-                let out = portfolio.solve_encoded(p, encoded, rng);
+                let out = portfolio.solve_encoded_with_budget(p, encoded, budget, rng);
                 let best = winning_run(&out.runs, out.solver, out.objective);
-                summarize(best, |s| Solution::Selection(s.clone()))
+                summarize(best, out.budget_exhausted, |s| {
+                    Solution::Selection(s.clone())
+                })
             }
             BuiltProblem::TxSchedule(p) => {
-                let out = portfolio.solve_encoded(p, encoded, rng);
+                let out = portfolio.solve_encoded_with_budget(p, encoded, budget, rng);
                 let best = winning_run(&out.runs, out.solver, out.objective);
-                summarize(best, |s| Solution::Slots(s.clone()))
+                summarize(best, out.budget_exhausted, |s| Solution::Slots(s.clone()))
             }
         }
     }

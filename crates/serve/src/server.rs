@@ -4,11 +4,15 @@
 //! line back. Connections are handled thread-per-connection; every
 //! handler shares the one [`Service`] behind a mutex, so the cache and
 //! counters are global across connections. A `{"op":"shutdown"}` line
-//! (or [`ServerHandle::shutdown`]) stops the accept loop.
+//! (or [`ServerHandle::shutdown`]) stops the accept loop *and* fires the
+//! service's [`CancelToken`], so a solve in flight on another connection
+//! returns its best feasible answer (`degraded`) instead of holding the
+//! drain hostage.
 
 use crate::request::Reply;
 use crate::service::Service;
 use crate::wire::{batch_json, parse_line, reply_json, stats_json, Op};
+use qmldb_anneal::CancelToken;
 use qmldb_math::json::Json;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -21,6 +25,7 @@ use std::time::Duration;
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    cancel: CancelToken,
     accept_loop: Option<JoinHandle<()>>,
 }
 
@@ -30,9 +35,11 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and waits for it to exit. In-flight
-    /// connection handlers finish their current line first.
+    /// Stops the accept loop and waits for it to exit. In-flight solves
+    /// are cancelled cooperatively (their clients get a `degraded`
+    /// reply); connection handlers finish their current line first.
     pub fn shutdown(mut self) {
+        self.cancel.cancel();
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop blocks in `accept`; poke it with a throwaway
         // connection so it observes the stop flag.
@@ -46,6 +53,7 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if let Some(h) = self.accept_loop.take() {
+            self.cancel.cancel();
             self.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(self.addr);
             let _ = h.join();
@@ -59,9 +67,11 @@ pub fn spawn(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<Serv
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let cancel = service.cancel_token();
     let service = Arc::new(Mutex::new(service));
 
     let loop_stop = Arc::clone(&stop);
+    let loop_cancel = cancel.clone();
     let accept_loop = std::thread::spawn(move || {
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
         for conn in listener.incoming() {
@@ -71,9 +81,10 @@ pub fn spawn(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<Serv
             let Ok(stream) = conn else { continue };
             let service = Arc::clone(&service);
             let stop = Arc::clone(&loop_stop);
+            let cancel = loop_cancel.clone();
             let addr = addr;
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &service, &stop, addr);
+                handle_connection(stream, &service, &stop, &cancel, addr);
             }));
         }
         for h in handlers {
@@ -84,6 +95,7 @@ pub fn spawn(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<Serv
     Ok(ServerHandle {
         addr,
         stop,
+        cancel,
         accept_loop: Some(accept_loop),
     })
 }
@@ -92,6 +104,7 @@ fn handle_connection(
     stream: TcpStream,
     service: &Mutex<Service>,
     stop: &AtomicBool,
+    cancel: &CancelToken,
     addr: SocketAddr,
 ) {
     // Poll with a short read timeout so the handler observes the stop
@@ -108,7 +121,9 @@ fn handle_connection(
         match reader.read_line(&mut line) {
             Ok(0) => break, // client closed the connection
             Ok(_) => {
-                if !line.trim().is_empty() && !dispatch(&line, &mut writer, service, stop, addr) {
+                if !line.trim().is_empty()
+                    && !dispatch(&line, &mut writer, service, stop, cancel, addr)
+                {
                     break;
                 }
                 line.clear();
@@ -134,6 +149,7 @@ fn dispatch(
     writer: &mut TcpStream,
     service: &Mutex<Service>,
     stop: &AtomicBool,
+    cancel: &CancelToken,
     addr: SocketAddr,
 ) -> bool {
     let response = match parse_line(line) {
@@ -147,6 +163,10 @@ fn dispatch(
         }
         Ok(Op::Stats) => stats_json(&service.lock().expect("service lock").stats()),
         Ok(Op::Shutdown) => {
+            // Cancel first: a solve blocked on the service mutex in
+            // another handler returns degraded instead of running its
+            // full schedule during the drain.
+            cancel.cancel();
             stop.store(true, Ordering::SeqCst);
             // Poke the accept loop so it re-checks the flag.
             let _ = TcpStream::connect(addr);

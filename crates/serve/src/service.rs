@@ -24,9 +24,10 @@
 
 use crate::cache::LruCache;
 use crate::request::{BuiltProblem, Reply, Request, RunSummary, ServeOutcome};
-use qmldb_anneal::{fnv1a, Constraints, Qubo, FNV_OFFSET};
+use qmldb_anneal::{fnv1a, Budget, CancelToken, Constraints, Qubo, FNV_OFFSET};
 use qmldb_db::Portfolio;
 use qmldb_math::{par, Rng64};
+use std::time::Instant;
 
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
@@ -67,6 +68,16 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Malformed requests answered with a permanent error.
     pub errors: u64,
+    /// Requests whose deadline had already passed at admission — answered
+    /// [`Reply::Expired`] without solving.
+    pub deadline_expired: u64,
+    /// Solves a deadline or cancellation cut short (the reply still
+    /// carried the best feasible answer, flagged `degraded`). Counted per
+    /// solve, so coalesced duplicates sharing one degraded solve add one.
+    pub degraded: u64,
+    /// Evictions where the cost-aware scan spared the strict LRU tail
+    /// for a cheaper-to-recompute entry.
+    pub cost_evictions: u64,
     /// Entries currently resident in the cache.
     pub cache_entries: usize,
 }
@@ -74,6 +85,9 @@ pub struct ServiceStats {
 /// Outcome of phase 2 for one request.
 enum Plan {
     Invalid(String),
+    /// Deadline already passed at admission; carries the request's
+    /// `deadline_ms` for the reply.
+    Expired(f64),
     Hit(RunSummary),
     /// Index into the distinct-miss list; the answer is filled in during
     /// phase 4 (coalesced duplicates share the index of the first miss).
@@ -87,10 +101,13 @@ pub struct Service {
     portfolio: Portfolio,
     cache: LruCache<RunSummary>,
     max_pending: usize,
+    cancel: CancelToken,
     requests: u64,
     rejections: u64,
     coalesced: u64,
     errors: u64,
+    deadline_expired: u64,
+    degraded: u64,
 }
 
 impl Service {
@@ -100,11 +117,24 @@ impl Service {
             portfolio: config.portfolio,
             cache: LruCache::new(config.cache_capacity),
             max_pending: config.max_pending,
+            cancel: CancelToken::new(),
             requests: 0,
             rejections: 0,
             coalesced: 0,
             errors: 0,
+            deadline_expired: 0,
+            degraded: 0,
         }
+    }
+
+    /// The service-wide cancellation token. Cancelling it interrupts
+    /// every in-flight solve at its next sweep/round boundary (replies
+    /// come back `degraded` with the best feasible answer so far) and
+    /// makes future solves return immediately the same way. The TCP
+    /// server wires this to shutdown so a draining process never blocks
+    /// on a long solve.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Submits a single request (a batch of one).
@@ -134,8 +164,10 @@ impl Service {
     /// structure collapsed away.
     fn submit_one(&mut self, req: &Request) -> Reply {
         self.requests += 1;
+        let arrival = Instant::now();
         // Prepare.
         let (problem, encoded, signature, key) = match (|| {
+            req.validate()?;
             req.workload.validate()?;
             let problem = req.workload.build();
             let encoded = problem.encode();
@@ -149,7 +181,16 @@ impl Service {
                 return Reply::Error(e);
             }
         };
-        // Admit.
+        // Admit. An already-expired deadline is checked before the cache
+        // probe: the client stopped waiting, so even a free answer is
+        // useless (and a probe would skew recency for nothing).
+        let deadline = req.deadline_at(arrival);
+        if deadline.is_some_and(|at| Instant::now() >= at) {
+            self.deadline_expired += 1;
+            return Reply::Expired {
+                deadline_ms: req.deadline_ms.unwrap_or(0.0),
+            };
+        }
         if let Some(summary) = self.cache.get(key) {
             let summary = summary.clone();
             return Reply::Done(outcome(req, signature, &summary, true));
@@ -161,10 +202,24 @@ impl Service {
                 max_pending: 0,
             };
         }
-        // Solve + publish.
+        // Solve + publish. Degraded (deadline- or cancel-cut) answers are
+        // never cached: a later unconstrained request deserves the full
+        // solve, not a truncated one.
         let mut rng = Rng64::for_stream(req.seed, signature);
-        let summary = problem.solve(&self.portfolio, &encoded, &mut rng);
-        self.cache.insert(key, summary.clone());
+        let solve_started = Instant::now();
+        let summary = problem.solve(
+            &self.portfolio,
+            &encoded,
+            &solve_budget(deadline, &self.cancel),
+            &mut rng,
+        );
+        let solve_cost = solve_started.elapsed().as_secs_f64();
+        if summary.degraded {
+            self.degraded += 1;
+        } else {
+            self.cache
+                .insert_with_cost(key, summary.clone(), solve_cost);
+        }
         Reply::Done(outcome(req, signature, &summary, false))
     }
 
@@ -174,10 +229,12 @@ impl Service {
     #[doc(hidden)]
     pub fn submit_batch_general(&mut self, requests: &[Request]) -> Vec<Reply> {
         self.requests += requests.len() as u64;
+        let arrival = Instant::now();
 
         // Phase 1 — prepare (parallel, pure): problem + encoding + key.
         type Prepared = Result<(BuiltProblem, (Qubo, Constraints), u64, u64), String>;
         let prepared: Vec<Prepared> = par::map(requests, |_, req| {
+            req.validate()?;
             req.workload.validate()?;
             let problem = req.workload.build();
             let encoded = problem.encode();
@@ -186,9 +243,22 @@ impl Service {
             Ok((problem, encoded, signature, key))
         });
 
-        // Phase 2 — admit (serial): cache probes, coalescing, admission.
+        // Phase 2 — admit (serial): deadline screen, cache probes,
+        // coalescing, admission. One clock read screens the whole batch
+        // so admission stays positional, not timing-raced within it. A
+        // miss carries the deadline of its *first* committer; coalesced
+        // duplicates share that solve (and its possible degradation).
+        type Miss = (
+            BuiltProblem,
+            (Qubo, Constraints),
+            u64,
+            u64,
+            u64,
+            Option<Instant>,
+        );
+        let admit_now = Instant::now();
         let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
-        let mut misses: Vec<(BuiltProblem, (Qubo, Constraints), u64, u64, u64)> = Vec::new();
+        let mut misses: Vec<Miss> = Vec::new();
         let mut pending_of: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
         for (req, prep) in requests.iter().zip(&prepared) {
@@ -200,6 +270,12 @@ impl Service {
                     continue;
                 }
             };
+            let deadline = req.deadline_at(arrival);
+            if deadline.is_some_and(|at| admit_now >= at) {
+                self.deadline_expired += 1;
+                plans.push(Plan::Expired(req.deadline_ms.unwrap_or(0.0)));
+                continue;
+            }
             if let Some(summary) = self.cache.get(*key) {
                 plans.push(Plan::Hit(summary.clone()));
                 continue;
@@ -216,23 +292,48 @@ impl Service {
             }
             pending_of.insert(*key, misses.len());
             plans.push(Plan::Pending(misses.len()));
-            misses.push((problem.clone(), encoded.clone(), *signature, *key, req.seed));
+            misses.push((
+                problem.clone(),
+                encoded.clone(),
+                *signature,
+                *key,
+                req.seed,
+                deadline,
+            ));
         }
         let committed = misses.len();
 
         // Phase 3 — solve (parallel): content-derived RNG streams keep
-        // every answer independent of batch order and thread count.
+        // every answer independent of batch order and thread count. Each
+        // solve runs under its committer's deadline plus the service
+        // cancel token; the measured wall seconds feed cost-aware
+        // eviction at publish.
         let portfolio = &self.portfolio;
-        let solved: Vec<RunSummary> =
-            par::map(&misses, |_, (problem, encoded, signature, _, seed)| {
+        let cancel = &self.cancel;
+        let solved: Vec<(RunSummary, f64)> = par::map(
+            &misses,
+            |_, (problem, encoded, signature, _, seed, deadline)| {
                 let mut rng = Rng64::for_stream(*seed, *signature);
-                problem.solve(portfolio, encoded, &mut rng)
-            });
+                let started = Instant::now();
+                let summary = problem.solve(
+                    portfolio,
+                    encoded,
+                    &solve_budget(*deadline, cancel),
+                    &mut rng,
+                );
+                (summary, started.elapsed().as_secs_f64())
+            },
+        );
 
         // Phase 4 — publish (serial): cache inserts in miss order, then
-        // replies in request order.
-        for ((_, _, _, key, _), summary) in misses.iter().zip(&solved) {
-            self.cache.insert(*key, summary.clone());
+        // replies in request order. Degraded answers are counted but
+        // never cached.
+        for ((_, _, _, key, _, _), (summary, cost)) in misses.iter().zip(&solved) {
+            if summary.degraded {
+                self.degraded += 1;
+            } else {
+                self.cache.insert_with_cost(*key, summary.clone(), *cost);
+            }
         }
         let sig_of_plan = |i: usize| prepared[i].as_ref().map(|&(_, _, s, _)| s).unwrap_or(0);
         requests
@@ -241,8 +342,11 @@ impl Service {
             .zip(plans)
             .map(|((i, req), plan)| match plan {
                 Plan::Invalid(e) => Reply::Error(e),
+                Plan::Expired(deadline_ms) => Reply::Expired { deadline_ms },
                 Plan::Hit(summary) => Reply::Done(outcome(req, sig_of_plan(i), &summary, true)),
-                Plan::Pending(at) => Reply::Done(outcome(req, sig_of_plan(i), &solved[at], false)),
+                Plan::Pending(at) => {
+                    Reply::Done(outcome(req, sig_of_plan(i), &solved[at].0, false))
+                }
                 Plan::Reject => Reply::Rejected {
                     pending: committed,
                     max_pending: self.max_pending,
@@ -262,8 +366,21 @@ impl Service {
             rejections: self.rejections,
             coalesced: self.coalesced,
             errors: self.errors,
+            deadline_expired: self.deadline_expired,
+            degraded: self.degraded,
+            cost_evictions: c.cost_evictions,
             cache_entries: self.cache.len(),
         }
+    }
+}
+
+/// The budget a solve runs under: unlimited work, bounded by the
+/// request's deadline (when it has one) and the service cancel token.
+fn solve_budget(deadline: Option<Instant>, cancel: &CancelToken) -> Budget {
+    let budget = Budget::unlimited().with_cancel(cancel.clone());
+    match deadline {
+        Some(at) => budget.with_deadline(at),
+        None => budget,
     }
 }
 
@@ -285,6 +402,7 @@ fn outcome(req: &Request, signature: u64, summary: &RunSummary, cached: bool) ->
         solver: summary.solver,
         penalty_doublings: summary.penalty_doublings,
         repaired: summary.repaired,
+        degraded: summary.degraded,
         signature,
         cached,
     }

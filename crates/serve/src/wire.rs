@@ -16,10 +16,17 @@
 //! {"op":"shutdown"}
 //! ```
 //!
+//! Any solve-shaped object may add `"deadline_ms":<number>` — a
+//! wall-clock budget in milliseconds from service receipt. Expired at
+//! admission → `{"status":"expired",...}`; expired mid-solve → the
+//! normal `ok` reply with `"degraded":true` and the best feasible
+//! answer found in time.
+//!
 //! Server → client: `{"status":"ok",...}` per solved request (signature
 //! as a hex string — u64 does not fit a JSON number losslessly),
 //! `{"status":"rejected","retryable":true,...}` on admission rejection,
-//! `{"status":"error","message":...}` on malformed input,
+//! `{"status":"expired","retryable":false,...}` on a dead-on-arrival
+//! deadline, `{"status":"error","message":...}` on malformed input,
 //! `{"status":"batch","replies":[...]}` for batches, and
 //! `{"status":"stats",...}` for the counters. Seeds travel as JSON
 //! numbers and are exact up to 2⁵³.
@@ -124,7 +131,18 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         },
         other => return Err(format!("unknown workload {other:?}")),
     };
-    Ok(Request { workload, seed })
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(j) => Some(
+            j.as_num()
+                .ok_or("\"deadline_ms\" must be a number (milliseconds)")?,
+        ),
+    };
+    Ok(Request {
+        workload,
+        seed,
+        deadline_ms,
+    })
 }
 
 /// Encodes a [`Request`] as a solve-shaped object (round-trips through
@@ -135,6 +153,9 @@ pub fn request_json(req: &Request) -> Json {
         ("workload".to_string(), Json::Str(req.workload.tag().into())),
         ("seed".to_string(), Json::Num(req.seed as f64)),
     ];
+    if let Some(d) = req.deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(d)));
+    }
     match &req.workload {
         WorkloadSpec::JoinOrder {
             cardinalities,
@@ -226,6 +247,11 @@ pub fn reply_json(reply: &Reply) -> Json {
             ("pending".into(), Json::Num(*pending as f64)),
             ("max_pending".into(), Json::Num(*max_pending as f64)),
         ]),
+        Reply::Expired { deadline_ms } => Json::Obj(vec![
+            ("status".into(), Json::Str("expired".into())),
+            ("retryable".into(), Json::Bool(false)),
+            ("deadline_ms".into(), Json::Num(*deadline_ms)),
+        ]),
         Reply::Error(message) => Json::Obj(vec![
             ("status".into(), Json::Str("error".into())),
             ("message".into(), Json::Str(message.clone())),
@@ -251,6 +277,7 @@ fn outcome_json(o: &ServeOutcome) -> Json {
             Json::Num(o.penalty_doublings as f64),
         ),
         ("repaired".into(), Json::Bool(o.repaired)),
+        ("degraded".into(), Json::Bool(o.degraded)),
         (
             "signature".into(),
             Json::Str(format!("0x{:016x}", o.signature)),
@@ -281,6 +308,12 @@ pub fn stats_json(s: &ServiceStats) -> Json {
         ("rejections".into(), Json::Num(s.rejections as f64)),
         ("coalesced".into(), Json::Num(s.coalesced as f64)),
         ("errors".into(), Json::Num(s.errors as f64)),
+        (
+            "deadline_expired".into(),
+            Json::Num(s.deadline_expired as f64),
+        ),
+        ("degraded".into(), Json::Num(s.degraded as f64)),
+        ("cost_evictions".into(), Json::Num(s.cost_evictions as f64)),
         ("cache_entries".into(), Json::Num(s.cache_entries as f64)),
     ])
 }
@@ -356,6 +389,7 @@ mod tests {
                     edges: vec![(0, 1, 0.01), (1, 2, 0.02)],
                 },
                 seed: 7,
+                deadline_ms: None,
             },
             Request {
                 workload: WorkloadSpec::Mqo {
@@ -363,6 +397,7 @@ mod tests {
                     savings: vec![((0, 0), (1, 1), 3.5)],
                 },
                 seed: 8,
+                deadline_ms: Some(2_000.0),
             },
             Request {
                 workload: WorkloadSpec::IndexSelection {
@@ -372,6 +407,7 @@ mod tests {
                     budget: 60.0,
                 },
                 seed: 9,
+                deadline_ms: None,
             },
             Request {
                 workload: WorkloadSpec::TxSchedule {
@@ -381,6 +417,7 @@ mod tests {
                     balance_weight: 0.5,
                 },
                 seed: 10,
+                deadline_ms: Some(0.0),
             },
         ]
     }
@@ -456,6 +493,7 @@ mod tests {
             solver: "sa",
             penalty_doublings: 0,
             repaired: false,
+            degraded: true,
             signature: 0xdead_beef,
             cached: true,
         });
@@ -466,6 +504,30 @@ mod tests {
             Some("0x00000000deadbeef")
         );
         assert_eq!(j.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
         assert_eq!(j.get("solution").unwrap().as_arr().unwrap().len(), 2);
+
+        let expired = Reply::Expired { deadline_ms: 5.0 };
+        let j = reply_json(&expired);
+        assert_eq!(j.get("status").unwrap().as_str(), Some("expired"));
+        assert_eq!(j.get("retryable").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("deadline_ms").unwrap().as_num(), Some(5.0));
+        assert!(!expired.retryable());
+    }
+
+    #[test]
+    fn deadline_ms_roundtrips_and_rejects_non_numbers() {
+        // `sample_requests` carries None, Some(2000.0), and Some(0.0)
+        // variants through `requests_roundtrip_through_the_wire`; here we
+        // check the explicit field handling.
+        let line = "{\"op\":\"solve\",\"workload\":\"join-order\",\"seed\":1,\
+             \"cardinalities\":[10,20],\"edges\":[],\"deadline_ms\":250}";
+        match parse_line(line).unwrap() {
+            Op::Solve(req) => assert_eq!(req.deadline_ms, Some(250.0)),
+            other => panic!("parsed {other:?}"),
+        }
+        let bad = "{\"op\":\"solve\",\"workload\":\"join-order\",\"seed\":1,\
+             \"cardinalities\":[10,20],\"edges\":[],\"deadline_ms\":\"soon\"}";
+        assert!(parse_line(bad).is_err());
     }
 }

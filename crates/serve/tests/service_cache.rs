@@ -42,6 +42,7 @@ fn four_workloads(seed: u64) -> Vec<Request> {
                 edges: vec![(0, 1, 0.01), (1, 2, 0.02), (2, 3, 0.001)],
             },
             seed,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::Mqo {
@@ -49,6 +50,7 @@ fn four_workloads(seed: u64) -> Vec<Request> {
                 savings: vec![((0, 0), (1, 1), 3.5), ((1, 0), (2, 1), 2.0)],
             },
             seed,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::IndexSelection {
@@ -58,6 +60,7 @@ fn four_workloads(seed: u64) -> Vec<Request> {
                 budget: 70.0,
             },
             seed,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::TxSchedule {
@@ -67,6 +70,7 @@ fn four_workloads(seed: u64) -> Vec<Request> {
                 balance_weight: 0.5,
             },
             seed,
+            deadline_ms: None,
         },
     ]
 }
@@ -189,6 +193,7 @@ fn tiny_batch_fast_path_matches_general_path_exactly() {
             edges: vec![],
         },
         seed: 1,
+        deadline_ms: None,
     };
     let mut fast = Service::new(quick_config());
     let mut general = Service::new(quick_config());
@@ -311,10 +316,11 @@ fn eviction_counters_track_capacity_pressure() {
     let stats = service.stats();
     assert_eq!(stats.evictions, 2);
     assert_eq!(stats.cache_entries, 2);
-    // The two oldest entries were displaced: resubmitting the first
-    // request misses again.
-    let r = service.submit(&batch[0]);
-    assert!(!done(&r).cached);
+    // Two of the four models were displaced. *Which* two is cost-aware
+    // (cheapest measured solve goes first), so it is not pinned here;
+    // the cache just stays bounded under further pressure.
+    let _ = service.submit_batch(&batch);
+    assert_eq!(service.stats().cache_entries, 2);
 }
 
 #[test]
@@ -328,6 +334,7 @@ fn scale_insensitive_cache_keying() {
             savings: vec![((0, 0), (1, 1), 3.5)],
         },
         seed: 3,
+        deadline_ms: None,
     };
     let scaled = Request {
         workload: WorkloadSpec::Mqo {
@@ -335,6 +342,7 @@ fn scale_insensitive_cache_keying() {
             savings: vec![((0, 0), (1, 1), 7.0)],
         },
         seed: 3,
+        deadline_ms: None,
     };
     let cold = done(&service.submit(&base)).clone();
     let hit = done(&service.submit(&scaled)).clone();
@@ -352,6 +360,7 @@ fn malformed_requests_get_permanent_errors() {
             edges: vec![(0, 1, 1.5)], // selectivity out of range
         },
         seed: 1,
+        deadline_ms: None,
     };
     let reply = service.submit(&bad);
     assert!(matches!(reply, Reply::Error(_)));
@@ -392,6 +401,109 @@ fn solutions_decode_into_the_right_domain() {
         }
         other => panic!("tx solution mismatch: {other:?}"),
     }
+}
+
+#[test]
+fn expired_deadline_is_answered_without_solving() {
+    let mut service = Service::new(quick_config());
+    let mut req = four_workloads(31).remove(0);
+    req.deadline_ms = Some(0.0); // dead on arrival
+    let reply = service.submit(&req);
+    match &reply {
+        Reply::Expired { deadline_ms } => assert_eq!(*deadline_ms, 0.0),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert!(!reply.retryable(), "an expired deadline is the client's");
+    let stats = service.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.cache_entries, 0, "no solve ran, nothing was cached");
+
+    // The same request without a deadline is a cold miss — expiry never
+    // touched the cache.
+    req.deadline_ms = None;
+    assert!(!done(&service.submit(&req)).cached);
+
+    // Batch path: the expired request does not poison its neighbours.
+    let mut doa = four_workloads(32).remove(1);
+    doa.deadline_ms = Some(0.0);
+    let good = four_workloads(32).remove(2);
+    let replies = service.submit_batch(&[doa, good]);
+    assert!(matches!(replies[0], Reply::Expired { .. }));
+    assert!(matches!(replies[1], Reply::Done(_)));
+    assert_eq!(service.stats().deadline_expired, 2);
+}
+
+#[test]
+fn invalid_deadlines_are_permanent_errors() {
+    let mut service = Service::new(quick_config());
+    for bad in [-5.0, f64::NAN, f64::INFINITY] {
+        let mut req = four_workloads(36).remove(0);
+        req.deadline_ms = Some(bad);
+        let reply = service.submit(&req);
+        assert!(matches!(reply, Reply::Error(_)), "deadline {bad}");
+        assert!(!reply.retryable());
+    }
+    assert_eq!(service.stats().errors, 3);
+}
+
+#[test]
+fn cancelled_service_returns_degraded_but_feasible_answers() {
+    // Cancelling the service token before submitting makes every solve
+    // cut out at its first boundary check — a deterministic stand-in for
+    // a deadline expiring mid-solve. The reply still carries a feasible
+    // decoded solution, flagged degraded, and is never cached.
+    let mut service = Service::new(quick_config());
+    service.cancel_token().cancel();
+
+    let o = done(&service.submit(&four_workloads(33).remove(3))).clone();
+    assert!(o.degraded, "cancelled solve must report degradation");
+    match &o.solution {
+        Solution::Slots(slots) => {
+            assert_eq!(slots.len(), 6);
+            assert!(slots.iter().all(|&s| s < 3), "slots stay in range");
+        }
+        other => panic!("tx solution mismatch: {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.cache_entries, 0, "degraded answers are not cached");
+
+    // The batched path degrades every admitted solve the same way.
+    let replies = service.submit_batch(&four_workloads(34));
+    for r in &replies {
+        assert!(done(r).degraded);
+    }
+    assert_eq!(service.stats().degraded, 5);
+    assert_eq!(service.stats().cache_entries, 0);
+}
+
+#[test]
+fn mid_solve_deadline_cuts_the_solve_short() {
+    // A few-ms deadline against a portfolio scheduled for tens of
+    // millions of delta-evaluations: the deadline fires mid-solve (the
+    // normal case) or — on a badly descheduled runner — at admission.
+    // Either way the service answers promptly and counts the event.
+    let heavy = Portfolio::new(vec![Solver::Sa(SaParams {
+        sweeps: 200_000,
+        restarts: 8,
+        ..SaParams::default()
+    })]);
+    let mut service = Service::new(ServiceConfig {
+        portfolio: heavy,
+        cache_capacity: 8,
+        max_pending: 4,
+    });
+    let mut req = four_workloads(35).remove(3);
+    req.deadline_ms = Some(4.0);
+    match &service.submit(&req) {
+        Reply::Done(o) => assert!(o.degraded, "in-time full solve is implausible"),
+        Reply::Expired { .. } => {}
+        other => panic!("expected Done(degraded) or Expired, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.degraded + stats.deadline_expired, 1);
+    assert_eq!(stats.cache_entries, 0);
 }
 
 #[test]
@@ -439,6 +551,16 @@ fn tcp_end_to_end_with_cache_and_stats() {
     assert!(line.contains("\"status\": \"batch\""), "got: {line}");
     assert!(line.contains("\"cached\": true"), "got: {line}");
 
+    // A dead-on-arrival deadline over the wire.
+    let doa = "{\"op\":\"solve\",\"workload\":\"tx-schedule\",\"seed\":5,\
+               \"n_tx\":5,\"n_slots\":2,\"conflicts\":[[0,1,2.0]],\
+               \"balance_weight\":0.25,\"deadline_ms\":0}";
+    writeln!(writer, "{doa}").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\": \"expired\""), "got: {line}");
+    assert!(line.contains("\"retryable\": false"), "got: {line}");
+
     // Stats reflect both connections.
     let stats_op = "{\"op\":\"stats\"}";
     writeln!(writer, "{stats_op}").unwrap();
@@ -446,6 +568,8 @@ fn tcp_end_to_end_with_cache_and_stats() {
     reader.read_line(&mut line).unwrap();
     assert!(line.contains("\"status\": \"stats\""), "got: {line}");
     assert!(line.contains("\"hits\": 2"), "got: {line}");
+    assert!(line.contains("\"deadline_expired\": 1"), "got: {line}");
+    assert!(line.contains("\"degraded\": 0"), "got: {line}");
 
     // Malformed line gets an error reply, connection stays usable.
     writeln!(writer, "]]]garbage").unwrap();

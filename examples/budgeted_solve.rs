@@ -1,0 +1,112 @@
+//! Anytime optimization under a unified solve budget.
+//!
+//! Solves one MQO instance through the classical portfolio at a ladder
+//! of exact proposal budgets — from a handful of delta-evaluations to
+//! the full schedule — printing the objective each budget buys, then
+//! demonstrates cooperative cancellation (a pre-cancelled token still
+//! yields a feasible plan) and a wall-clock deadline at the serve layer
+//! (dead-on-arrival requests expire; mid-solve expiry degrades).
+//!
+//! Proposal budgets are exact work counts split across parallel units
+//! before dispatch, so every budgeted answer here is bit-identical for
+//! any `QMLDB_THREADS`.
+//!
+//! Run with: `cargo run --example budgeted_solve --release`
+
+use qmldb::anneal::{Budget, CancelToken};
+use qmldb::db::instances::{InstanceGenerator, MqoParams};
+use qmldb::db::portfolio::Portfolio;
+use qmldb::db::problem::QuboProblem;
+use qmldb::math::Rng64;
+use qmldb::serve::{Reply, Request, Service, ServiceConfig, WorkloadSpec};
+
+fn main() {
+    let mut rng = Rng64::new(23);
+    let mqo = MqoParams {
+        n_queries: 6,
+        plans_per: 3,
+        sharing_density: 0.6,
+    }
+    .generate(&mut rng);
+    println!(
+        "MQO instance: {} queries x {} plans ({} QUBO variables)\n",
+        6,
+        3,
+        mqo.n_vars()
+    );
+
+    // The anytime ladder: the same solve under tighter and tighter
+    // proposal budgets. Every answer is feasible — a cut-short member
+    // returns its best-so-far sample, repaired if need be.
+    println!(
+        "{:>10}  {:>10}  {:>9}  exhausted",
+        "budget", "consumed", "objective"
+    );
+    let portfolio = Portfolio::classical();
+    let full = portfolio.solve(&mqo, &mut Rng64::new(7));
+    for budget in [50u64, 500, 5_000, 50_000] {
+        let out = portfolio.solve_with_budget(&mqo, &Budget::proposals(budget), &mut Rng64::new(7));
+        let consumed: u64 = out.runs.iter().map(|r| r.proposals).sum();
+        println!(
+            "{budget:>10}  {consumed:>10}  {:>9.3}  {}",
+            out.objective, out.budget_exhausted
+        );
+        assert!(consumed <= budget, "exact budgets never overshoot");
+    }
+    println!(
+        "{:>10}  {:>10}  {:>9.3}  {}",
+        "unlimited",
+        full.runs.iter().map(|r| r.proposals).sum::<u64>(),
+        full.objective,
+        full.budget_exhausted
+    );
+
+    // Cooperative cancellation: a token cancelled before the solve even
+    // starts still produces a feasible (repaired) plan.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = portfolio.solve_with_budget(
+        &mqo,
+        &Budget::unlimited().with_cancel(token),
+        &mut Rng64::new(7),
+    );
+    println!(
+        "\ncancelled-before-start solve: objective {:.3}, feasible {}, degraded {}",
+        cancelled.objective,
+        mqo.is_feasible(&mqo.encode_solution(&cancelled.solution)),
+        cancelled.budget_exhausted
+    );
+
+    // Deadlines at the serve layer: 0 ms expires at admission; an
+    // unconstrained repeat of the same request solves and caches.
+    let mut service = Service::new(ServiceConfig::default());
+    let mut req = Request {
+        workload: WorkloadSpec::TxSchedule {
+            n_tx: 6,
+            n_slots: 3,
+            conflicts: vec![(0, 1, 2.0), (2, 3, 1.0), (4, 5, 1.5)],
+            balance_weight: 0.1,
+        },
+        seed: 7,
+        deadline_ms: Some(0.0),
+    };
+    match service.submit(&req) {
+        Reply::Expired { deadline_ms } => {
+            println!("\nserve: {deadline_ms} ms deadline expired at admission (no solve ran)")
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    req.deadline_ms = Some(10_000.0);
+    match service.submit(&req) {
+        Reply::Done(o) => println!(
+            "serve: 10 s deadline -> solved in time, degraded {}, objective {:.3}",
+            o.degraded, o.objective
+        ),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let stats = service.stats();
+    println!(
+        "serve stats: deadline_expired {}, degraded {}",
+        stats.deadline_expired, stats.degraded
+    );
+}

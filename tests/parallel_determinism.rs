@@ -17,8 +17,9 @@
 //! so each case serialises on a lock and restores the default when done.
 
 use qmldb::anneal::{
-    parallel_tempering, sharded_anneal, simulated_annealing, simulated_quantum_annealing, Ising,
-    SaParams, ShardedParams, SqaParams, TabuParams, TemperingParams,
+    parallel_tempering, sharded_anneal, simulated_annealing, simulated_annealing_with_budget,
+    simulated_quantum_annealing, Budget, Ising, SaParams, ShardedParams, SqaParams, TabuParams,
+    TemperingParams,
 };
 use qmldb::db::instances::{InstanceGenerator, MqoParams};
 use qmldb::db::portfolio::{Portfolio, Solver};
@@ -439,6 +440,79 @@ fn solver_portfolio_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn budget_exhausted_runs_are_identical_across_thread_counts() {
+    // PR 10's determinism claim: an exact proposal budget is split
+    // across parallel units serially before dispatch, so a run the
+    // budget cuts short returns the same best-so-far state — and the
+    // same consumed-proposal count — for any worker count.
+    let model = spin_glass(12, 61);
+    let sa_params = SaParams {
+        sweeps: 60,
+        restarts: 4,
+        ..SaParams::default()
+    };
+    // 12 proposals/sweep × 60 sweeps × 4 restarts = 2880 scheduled;
+    // 700 cuts every restart mid-anneal.
+    let budget = Budget::proposals(700);
+    let runs = across_threads(&LADDER, || {
+        let out = simulated_annealing_with_budget(&model, &sa_params, &budget, &mut Rng64::new(17));
+        (
+            out.spins,
+            out.energy.to_bits(),
+            out.proposals,
+            out.exhausted,
+        )
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    assert!(serial.3, "the budget must actually bite");
+    assert_eq!(serial.2, 700, "exact budgets are consumed exactly");
+    for parallel in rest {
+        assert_eq!(serial, parallel, "budget-cut SA diverged");
+    }
+
+    // Through the portfolio the same bound splits over members, then
+    // over each member's restarts — still entirely pre-dispatch.
+    let mut inst_rng = Rng64::new(97);
+    let m = MqoParams {
+        n_queries: 5,
+        plans_per: 3,
+        sharing_density: 0.6,
+    }
+    .generate(&mut inst_rng);
+    let portfolio = Portfolio::new(vec![
+        Solver::Sa(SaParams {
+            sweeps: 300,
+            restarts: 2,
+            ..SaParams::default()
+        }),
+        Solver::Tabu(TabuParams {
+            iters: 300,
+            ..TabuParams::default()
+        }),
+    ]);
+    let budget = Budget::proposals(900);
+    let runs = across_threads(&LADDER, || {
+        let mut rng = Rng64::new(101);
+        let out = portfolio.solve_with_budget(&m, &budget, &mut rng);
+        (out, rng.next_u64())
+    });
+    let (serial, rest) = runs.split_first().unwrap();
+    assert!(serial.0.budget_exhausted, "the budget must actually bite");
+    for parallel in rest {
+        assert_eq!(serial.0.solution, parallel.0.solution);
+        assert_eq!(serial.0.objective.to_bits(), parallel.0.objective.to_bits());
+        assert_eq!(serial.0.budget_exhausted, parallel.0.budget_exhausted);
+        for (a, b) in serial.0.runs.iter().zip(&parallel.0.runs) {
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.proposals, b.proposals, "{}: consumed count", a.solver);
+            assert_eq!(a.budget_exhausted, b.budget_exhausted);
+        }
+        assert_eq!(serial.1, parallel.1, "caller stream diverged");
+    }
+}
+
+#[test]
 fn reentrant_nested_fanout_is_identical_across_thread_counts() {
     // Reentrant pool use in its pure form: an outer par::map over problem
     // instances whose body fans annealer restarts out *again* from inside
@@ -505,6 +579,7 @@ fn optimizer_service_is_identical_across_thread_counts() {
                 edges: vec![(0, 1, 0.01), (1, 2, 0.05), (2, 3, 0.1)],
             },
             seed: 3,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::Mqo {
@@ -512,6 +587,7 @@ fn optimizer_service_is_identical_across_thread_counts() {
                 savings: vec![((0, 0), (1, 1), 4.0), ((1, 0), (2, 1), 3.0)],
             },
             seed: 5,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::IndexSelection {
@@ -521,6 +597,7 @@ fn optimizer_service_is_identical_across_thread_counts() {
                 budget: 90.0,
             },
             seed: 7,
+            deadline_ms: None,
         },
         Request {
             workload: WorkloadSpec::TxSchedule {
@@ -530,6 +607,7 @@ fn optimizer_service_is_identical_across_thread_counts() {
                 balance_weight: 0.2,
             },
             seed: 11,
+            deadline_ms: None,
         },
     ];
     let portfolio = Portfolio::new(vec![
